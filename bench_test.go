@@ -1,0 +1,363 @@
+// Benchmark harness: one benchmark per paper table/figure (each runs
+// the registered experiment that regenerates the artifact) plus
+// ablation benches for the design choices DESIGN.md calls out and
+// micro-benchmarks of the model's hot paths.
+//
+// Regenerate everything with:
+//
+//	go test -bench=. -benchmem
+package f1
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/experiments"
+	"repro/internal/flightsim"
+	"repro/internal/mission"
+	"repro/internal/physics"
+	"repro/internal/pipeline"
+	"repro/internal/units"
+)
+
+// benchExperiment runs one registered experiment per iteration and
+// reports a headline metric extracted from its result.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cat := catalog.Default()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One bench per table and figure -------------------------------------
+
+func BenchmarkFig2bSizeClasses(b *testing.B)      { benchExperiment(b, "fig2b") }
+func BenchmarkFig5SafetyModel(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkTable1Specs(b *testing.B)           { benchExperiment(b, "table1") }
+func BenchmarkFig7Validation(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig9PayloadSweep(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig11ComputeSelection(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12Heatsink(b *testing.B)         { benchExperiment(b, "fig12") }
+func BenchmarkFig13AlgorithmSelection(b *testing.B) {
+	benchExperiment(b, "fig13")
+}
+func BenchmarkFig14Redundancy(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15FullSystem(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16Accelerators(b *testing.B) {
+	benchExperiment(b, "fig16")
+}
+func BenchmarkTable3CaseStudies(b *testing.B) { benchExperiment(b, "table3") }
+
+// --- Ablation benches -----------------------------------------------------
+
+// BenchmarkAblationKneeFraction sweeps the knee definition η and reports
+// where the Pelican+TX2 knee lands — the sensitivity of the one free
+// parameter in our knee closed form.
+func BenchmarkAblationKneeFraction(b *testing.B) {
+	cat := catalog.Default()
+	cfgBase, err := cat.BuildConfig(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, eta := range []float64{0.90, 0.95, 0.975, 0.99} {
+		b.Run(etaName(eta), func(b *testing.B) {
+			cfg := cfgBase
+			cfg.KneeFraction = eta
+			var knee float64
+			for i := 0; i < b.N; i++ {
+				an, err := core.Analyze(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				knee = an.Knee.Throughput.Hertz()
+			}
+			b.ReportMetric(knee, "kneeHz")
+		})
+	}
+}
+
+func etaName(eta float64) string {
+	switch eta {
+	case 0.90:
+		return "eta=0.90"
+	case 0.95:
+		return "eta=0.95"
+	case 0.975:
+		return "eta=0.975(default)"
+	default:
+		return "eta=0.99"
+	}
+}
+
+// BenchmarkAblationAccelModels compares the three acceleration models on
+// the same airframe/payload, reporting each a_max.
+func BenchmarkAblationAccelModels(b *testing.B) {
+	frame := physics.Airframe{
+		Name: "S500", BaseMass: units.Grams(1030),
+		MotorCount: 4, MotorThrust: units.GramsForce(435),
+	}
+	payload := units.Grams(400)
+	table := physics.MustCalibratedTable([]physics.CalibPoint{
+		{Payload: units.Grams(200), Accel: units.MetersPerSecond2(25)},
+		{Payload: units.Grams(590), Accel: units.MetersPerSecond2(0.81)},
+	})
+	models := map[string]physics.AccelModel{
+		"pitch-limited":    physics.PitchLimited{UsableThrustFraction: 0.95},
+		"thrust-surplus":   physics.ThrustSurplus{},
+		"calibrated-table": table,
+	}
+	for name, m := range models {
+		m := m
+		b.Run(name, func(b *testing.B) {
+			var a units.Acceleration
+			for i := 0; i < b.N; i++ {
+				a = m.MaxAccel(frame, payload)
+			}
+			b.ReportMetric(a.MetersPerSecond2(), "amax")
+		})
+	}
+}
+
+// BenchmarkAblationDragEffect measures the simulated safe velocity with
+// the F-1-ignored effects switched on and off — the mechanism behind
+// the §IV validation error.
+func BenchmarkAblationDragEffect(b *testing.B) {
+	scenario := flightsim.Scenario{
+		ObstacleDistance: units.Meters(3),
+		SensorRange:      units.Meters(3),
+		DecisionRate:     units.Hertz(10),
+		TargetVelocity:   units.MetersPerSecond(1),
+	}
+	variants := map[string]flightsim.Vehicle{
+		"ideal": {
+			Mass: units.Kilograms(1.62), MaxAccel: units.MetersPerSecond2(0.814), BrakeDerate: 1,
+		},
+		"drag+lag": {
+			Mass: units.Kilograms(1.62), MaxAccel: units.MetersPerSecond2(0.814),
+			Drag:         physics.Drag{Cd: 1.1, Area: 0.05},
+			ActuationLag: units.Milliseconds(200), BrakeDerate: 0.97,
+		},
+	}
+	for name, veh := range variants {
+		veh := veh
+		b.Run(name, func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				res, err := flightsim.FindSafeVelocity(veh, scenario, flightsim.SearchOptions{Seed: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = res.SafeVelocity.MetersPerSecond()
+			}
+			b.ReportMetric(v, "safe_m/s")
+		})
+	}
+}
+
+// BenchmarkAblationPipelineOverlap contrasts Eq. 3 (overlapped) and
+// Eq. 2 (lockstep) composition in the executable pipeline model.
+func BenchmarkAblationPipelineOverlap(b *testing.B) {
+	p := pipeline.SensorComputeControl(units.Hertz(60), units.Hertz(178), units.Hertz(1000))
+	for _, mode := range []pipeline.Mode{pipeline.Overlapped, pipeline.Lockstep} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			var hz float64
+			for i := 0; i < b.N; i++ {
+				res, err := pipeline.Simulate(p, mode, 500)
+				if err != nil {
+					b.Fatal(err)
+				}
+				hz = res.Throughput.Hertz()
+			}
+			b.ReportMetric(hz, "Hz")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the hot paths ----------------------------------
+
+func BenchmarkSafeVelocityEq4(b *testing.B) {
+	a := units.MetersPerSecond2(10.67)
+	d := units.Meters(4.5)
+	T := units.Hertz(60).Period()
+	for i := 0; i < b.N; i++ {
+		_ = core.SafeVelocity(a, d, T)
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	cat := catalog.Default()
+	cfg, err := cat.BuildConfig(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCatalogDefault(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = catalog.Default()
+	}
+}
+
+func BenchmarkFlightSimTrial(b *testing.B) {
+	veh := flightsim.Vehicle{
+		Mass: units.Kilograms(1.62), MaxAccel: units.MetersPerSecond2(0.814),
+		Drag:         physics.Drag{Cd: 1.1, Area: 0.05},
+		ActuationLag: units.Milliseconds(200), BrakeDerate: 0.97,
+	}
+	s := flightsim.Scenario{
+		ObstacleDistance: units.Meters(3),
+		SensorRange:      units.Meters(3),
+		DecisionRate:     units.Hertz(10),
+		TargetVelocity:   units.MetersPerSecond(1.9),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flightsim.Run(veh, s, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelCurve(b *testing.B) {
+	m := core.Model{Accel: units.MetersPerSecond2(50), Range: units.Meters(10)}
+	for i := 0; i < b.N; i++ {
+		_ = m.Curve(units.Hertz(0.1), units.Hertz(10000), 300, true)
+	}
+}
+
+// --- Extension-experiment benches ----------------------------------------
+
+func BenchmarkExtMissionEnergy(b *testing.B)  { benchExperiment(b, "ext-mission") }
+func BenchmarkExtDesignTargets(b *testing.B)  { benchExperiment(b, "ext-targets") }
+func BenchmarkExtFaultInjection(b *testing.B) { benchExperiment(b, "ext-faults") }
+func BenchmarkExtLatencyJitter(b *testing.B)  { benchExperiment(b, "ext-jitter") }
+func BenchmarkExtMissionCourse(b *testing.B)  { benchExperiment(b, "ext-course") }
+func BenchmarkExtRooflineCheck(b *testing.B)  { benchExperiment(b, "ext-roofline") }
+
+func BenchmarkMissionCourse(b *testing.B) {
+	course := flightsim.Course{
+		Length:    units.Meters(500),
+		Stops:     []units.Length{units.Meters(150), units.Meters(300)},
+		Obstacles: []units.Length{units.Meters(80), units.Meters(230), units.Meters(420)},
+	}
+	cfg := flightsim.MissionConfig{
+		Vehicle: flightsim.Vehicle{
+			Mass: units.Kilograms(1.2), MaxAccel: units.MetersPerSecond2(10.67),
+			ActuationLag: units.Milliseconds(20), BrakeDerate: 1,
+		},
+		CruiseVelocity: units.MetersPerSecond(6),
+		DecisionRate:   units.Hertz(43),
+		SensorRange:    units.Meters(4.5),
+		HoverPower:     units.Watts(150),
+		ComputePower:   units.Watts(15),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flightsim.FlyMission(course, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipelineJitterSim(b *testing.B) {
+	stages := []pipeline.JitterStage{
+		{Stage: pipeline.StageHz("sensor", units.Hertz(60))},
+		{Stage: pipeline.StageHz("compute", units.Hertz(178)), Jitter: 0.3},
+		{Stage: pipeline.StageHz("control", units.Hertz(1000))},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.SimulateJitter(stages, 2000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDSESweep(b *testing.B) {
+	cat := catalog.Default()
+	cfg, err := cat.BuildConfig(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.Sweep(cfg, dse.KnobComputeRate, 1, 200, 50, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDSEEnumerate(b *testing.B) {
+	cat := catalog.Default()
+	space := dse.Space{
+		UAVs:       []string{catalog.UAVAscTecPelican, catalog.UAVDJISpark},
+		Computes:   []string{catalog.ComputeNCS, catalog.ComputeTX2, catalog.ComputeRasPi4},
+		Algorithms: []string{catalog.AlgoDroNet, catalog.AlgoTrailNet, catalog.AlgoCAD2RL, catalog.AlgoVGG16},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.Enumerate(cat, space, dse.Constraints{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSensitivity(b *testing.B) {
+	m := core.Model{Accel: units.MetersPerSecond2(10.67), Range: units.Meters(4.5)}
+	for i := 0; i < b.N; i++ {
+		if _, err := m.SensitivityAt(units.Hertz(10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtBatterySag(b *testing.B) { benchExperiment(b, "ext-battery") }
+
+func BenchmarkFleetMissions(b *testing.B) {
+	spec := flightsim.CourseSpec{Length: units.Meters(300), Stops: 2, Obstacles: 3}
+	cfg := flightsim.MissionConfig{
+		Vehicle: flightsim.Vehicle{
+			Mass: units.Kilograms(1.2), MaxAccel: units.MetersPerSecond2(10.67),
+			ActuationLag: units.Milliseconds(20), BrakeDerate: 1,
+		},
+		CruiseVelocity: units.MetersPerSecond(6),
+		DecisionRate:   units.Hertz(43),
+		SensorRange:    units.Meters(4.5),
+		HoverPower:     units.Watts(150),
+		ComputePower:   units.Watts(15),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flightsim.FlyFleet(spec, cfg, 4, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatteryEndurance(b *testing.B) {
+	pack := mission.Typical3S()
+	for i := 0; i < b.N; i++ {
+		if _, err := pack.Endurance(units.Watts(165)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

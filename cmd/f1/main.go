@@ -1,0 +1,105 @@
+// Command f1 analyzes a UAV configuration with the F-1 model from the
+// terminal: it prints the knee point, bounds, design classification,
+// optimization tips and an ASCII rendering of the roofline.
+//
+// Usage:
+//
+//	f1 -uav "AscTec Pelican" -compute "Nvidia TX2" -algorithm DroNet
+//	f1 -list                             # show catalog contents
+//	f1 -uav "DJI Spark" -compute "Nvidia AGX" -algorithm DroNet -tdp 15
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/skyline"
+	"repro/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "f1:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("f1", flag.ContinueOnError)
+	uav := fs.String("uav", catalog.UAVAscTecPelican, "UAV preset name")
+	compute := fs.String("compute", catalog.ComputeTX2, "onboard compute preset name")
+	algo := fs.String("algorithm", catalog.AlgoDroNet, "autonomy algorithm preset name")
+	sensor := fs.String("sensor", "", "sensor preset name (default: UAV's default)")
+	tdp := fs.Float64("tdp", 0, "TDP override in watts (resizes the heatsink)")
+	extra := fs.Float64("extra-payload", 0, "extra payload in grams")
+	list := fs.Bool("list", false, "list catalog components and exit")
+	ascii := fs.Bool("plot", true, "render an ASCII F-1 plot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cat := catalog.Default()
+	if *list {
+		printList(w, cat)
+		return nil
+	}
+	sel := catalog.Selection{
+		UAV: *uav, Compute: *compute, Algorithm: *algo, Sensor: *sensor,
+		ExtraPayload: units.Grams(*extra),
+	}
+	if *tdp > 0 {
+		sel.TDPOverride = units.Watts(*tdp)
+	}
+	an, err := cat.Analyze(sel)
+	if err != nil {
+		return err
+	}
+	printAnalysis(w, an)
+	if *ascii {
+		text, err := skyline.Chart(an).ASCII(72, 18)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, text)
+	}
+	return nil
+}
+
+func printList(w io.Writer, cat *catalog.Catalog) {
+	fmt.Fprintln(w, "UAVs:")
+	for _, n := range cat.UAVNames() {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w, "Onboard computes:")
+	for _, n := range cat.ComputeNames() {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w, "Sensors:")
+	for _, n := range cat.SensorNames() {
+		fmt.Fprintf(w, "  %s\n", n)
+	}
+	fmt.Fprintln(w, "Algorithms (measured platforms):")
+	for _, n := range cat.AlgorithmNames() {
+		fmt.Fprintf(w, "  %s: %v\n", n, cat.PerfTable().Platforms(n))
+	}
+}
+
+func printAnalysis(w io.Writer, an core.Analysis) {
+	fmt.Fprintf(w, "Configuration : %s\n", an.Config.Name)
+	fmt.Fprintf(w, "Payload       : %v\n", an.Config.Payload)
+	fmt.Fprintf(w, "a_max         : %v\n", an.AMax)
+	fmt.Fprintf(w, "f_action      : %v (bottleneck: %s)\n", an.Action, an.BottleneckStage)
+	fmt.Fprintf(w, "Knee point    : %v\n", an.Knee)
+	fmt.Fprintf(w, "Physics roof  : %v\n", an.Roof)
+	fmt.Fprintf(w, "Safe velocity : %v\n", an.SafeVelocity)
+	fmt.Fprintf(w, "Bound         : %v\n", an.Bound)
+	fmt.Fprintf(w, "Design class  : %v (gap %.2f×)\n", an.Class, an.GapFactor)
+	for _, tip := range skyline.Tips(an) {
+		fmt.Fprintf(w, "tip: %s\n", tip)
+	}
+}

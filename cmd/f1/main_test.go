@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaultAnalysis(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"AscTec Pelican", "Knee point", "(43 Hz", "physics-bound",
+		"over-provisioned", "tip:", "F-1:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"UAVs:", "DJI Spark", "Nvidia TX2", "DroNet", "Sensors:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q", want)
+		}
+	}
+}
+
+func TestRunTDPOverride(t *testing.T) {
+	var buf strings.Builder
+	err := run([]string{
+		"-uav", "DJI Spark", "-compute", "Nvidia AGX", "-algorithm", "DroNet",
+		"-tdp", "15", "-plot=false",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "15 W") {
+		t.Errorf("TDP variant not reflected: %s", buf.String())
+	}
+	if strings.Contains(buf.String(), "F-1:") {
+		t.Error("-plot=false still rendered a chart")
+	}
+}
+
+func TestRunExtraPayload(t *testing.T) {
+	var base, heavy strings.Builder
+	if err := run([]string{"-plot=false"}, &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-plot=false", "-extra-payload", "150"}, &heavy); err != nil {
+		t.Fatal(err)
+	}
+	if base.String() == heavy.String() {
+		t.Error("extra payload had no effect on the report")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-uav", "bogus"}, &buf); err == nil {
+		t.Error("unknown UAV accepted")
+	}
+	if err := run([]string{"-badflag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

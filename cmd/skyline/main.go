@@ -1,0 +1,42 @@
+// Command skyline serves the interactive web tool for the F-1 model —
+// the reproduction of the paper's Skyline tool (§V). Open the printed
+// address, pick a UAV/compute/algorithm (or enter custom Table II
+// knobs) and inspect the resulting roofline, bounds and optimization
+// tips.
+//
+// Usage:
+//
+//	skyline [-addr :8080] [-catalog file.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/catalog"
+	"repro/internal/skyline"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	catalogPath := flag.String("catalog", "", "optional catalog JSON (default: built-in paper catalog)")
+	flag.Parse()
+
+	cat := catalog.Default()
+	if *catalogPath != "" {
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			log.Fatalf("opening catalog: %v", err)
+		}
+		cat, err = catalog.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("loading catalog: %v", err)
+		}
+	}
+	fmt.Printf("Skyline listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, skyline.NewServer(cat)))
+}

@@ -1,0 +1,66 @@
+package f1_test
+
+import (
+	"fmt"
+
+	f1 "repro"
+)
+
+// The quick-start flow: analyze a preset full system and read off the
+// knee, bounds and classification.
+func Example() {
+	cat := f1.DefaultCatalog()
+	an, err := cat.Analyze(f1.Selection{
+		UAV:       f1.UAVAscTecPelican,
+		Compute:   f1.ComputeTX2,
+		Algorithm: f1.AlgoDroNet,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("knee: %.0f Hz\n", an.Knee.Throughput.Hertz())
+	fmt.Printf("bound: %v\n", an.Bound)
+	fmt.Printf("class: %v\n", an.Class)
+	// Output:
+	// knee: 43 Hz
+	// bound: physics-bound
+	// class: over-provisioned
+}
+
+// Eq. 4 directly: the paper's Fig. 5 textbook numbers.
+func ExampleSafeVelocity() {
+	fmt.Printf("v(1 Hz)   = %.2f m/s\n", f1.SafeVelocity(50, 10, 1))
+	fmt.Printf("v(100 Hz) = %.2f m/s\n", f1.SafeVelocity(50, 10, 100))
+	fmt.Printf("roof      = %.2f m/s\n", f1.PeakVelocity(50, 10))
+	// Output:
+	// v(1 Hz)   = 9.16 m/s
+	// v(100 Hz) = 31.13 m/s
+	// roof      = 31.62 m/s
+}
+
+// Building a model from raw numbers and locating its knee.
+func ExampleNewModel() {
+	m := f1.NewModel(10.669, 4.5) // the Pelican's calibrated physics
+	k := m.Knee()
+	fmt.Printf("knee at %.0f Hz, %.2f m/s\n", k.Throughput.Hertz(), k.Velocity.MetersPerSecond())
+	// Output:
+	// knee at 43 Hz, 9.55 m/s
+}
+
+// Comparing onboard computers for one UAV — the §VI-A case study in
+// four lines per candidate.
+func ExampleCatalog_Analyze() {
+	cat := f1.DefaultCatalog()
+	for _, compute := range []string{f1.ComputeNCS, f1.ComputeAGX} {
+		an, err := cat.Analyze(f1.Selection{
+			UAV: f1.UAVDJISpark, Compute: compute, Algorithm: f1.AlgoDroNet,
+		})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %.2f m/s\n", compute, an.SafeVelocity.MetersPerSecond())
+	}
+	// Output:
+	// Intel NCS: 4.58 m/s
+	// Nvidia AGX: 1.65 m/s
+}

@@ -1,0 +1,74 @@
+// Algorithm choice (paper §VI-B): fix the UAV (AscTec Pelican) and the
+// onboard computer (Nvidia TX2) and compare autonomy algorithm
+// paradigms: a staged Sense-Plan-Act pipeline vs two end-to-end
+// networks (TrailNet, DroNet).
+//
+// The F-1 model turns throughput numbers into actionable verdicts: the
+// SPA stack is compute-bound and needs ~39× more throughput to reach
+// the knee, while DroNet is over-provisioned 4.1× — surplus that could
+// be traded for a lower TDP.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/skyline"
+)
+
+func main() {
+	cat := catalog.Default()
+	fmt.Println("AscTec Pelican + Nvidia TX2 — algorithm comparison (Fig. 13b):")
+	fmt.Printf("%-34s %10s %10s %9s  %s\n", "algorithm", "f_compute", "v_safe", "class", "gap vs knee")
+
+	var last core.Analysis
+	for _, algo := range []string{catalog.AlgoSPA, catalog.AlgoTrailNet, catalog.AlgoDroNet} {
+		an, err := cat.Analyze(catalog.Selection{
+			UAV:       catalog.UAVAscTecPelican,
+			Compute:   catalog.ComputeTX2,
+			Algorithm: algo,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		gap := core.ImprovementFactor(an.Config.ComputeRate.Hertz(), an.Knee.Throughput.Hertz())
+		dir := "over by"
+		if an.Config.ComputeRate.Hertz() < an.Knee.Throughput.Hertz() {
+			dir = "needs"
+		}
+		fmt.Printf("%-34s %7.1f Hz %7.2f m/s %9s  %s %.2f×\n",
+			algo, an.Config.ComputeRate.Hertz(), an.SafeVelocity.MetersPerSecond(),
+			shortClass(an.Class), dir, gap)
+		last = an
+	}
+	fmt.Printf("\nKnee point for this UAV+compute: %v\n\n", last.Knee)
+
+	// The SPA design's pipeline view: where is the time going?
+	spa, err := cat.Analyze(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoSPA})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SPA pipeline bottleneck view:")
+	p := spa.Config.Pipeline()
+	for stage, slack := range p.Slack() {
+		fmt.Printf("  %-8s slack %.1f×\n", stage, slack)
+	}
+	fmt.Println()
+	for _, tip := range skyline.Tips(spa) {
+		fmt.Println("tip:", tip)
+	}
+}
+
+func shortClass(c core.DesignClass) string {
+	switch c {
+	case core.OverProvisioned:
+		return "over"
+	case core.UnderProvisioned:
+		return "under"
+	default:
+		return "optimal"
+	}
+}

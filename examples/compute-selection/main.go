@@ -1,0 +1,55 @@
+// Compute selection (paper §VI-A): given two off-the-shelf onboard
+// computers — Intel NCS and Nvidia AGX — which should a DJI Spark
+// carry for the DroNet autonomy algorithm?
+//
+// The isolated metric says AGX (230 FPS vs 150 FPS). The F-1 model says
+// NCS: the AGX's 280 g module plus its 30 W heatsink crushes the
+// Spark's acceleration, so its roofline drops below the NCS's even
+// though its compute throughput is 1.5× higher.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func main() {
+	cat := catalog.Default()
+	analyze := func(sel catalog.Selection) core.Analysis {
+		an, err := cat.Analyze(sel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return an
+	}
+
+	ncs := analyze(catalog.Selection{
+		UAV: catalog.UAVDJISpark, Compute: catalog.ComputeNCS, Algorithm: catalog.AlgoDroNet})
+	agx30 := analyze(catalog.Selection{
+		UAV: catalog.UAVDJISpark, Compute: catalog.ComputeAGX, Algorithm: catalog.AlgoDroNet})
+	agx15 := analyze(catalog.Selection{
+		UAV: catalog.UAVDJISpark, Compute: catalog.ComputeAGX, Algorithm: catalog.AlgoDroNet,
+		TDPOverride: units.Watts(15)})
+
+	fmt.Println("DJI Spark + DroNet — onboard compute comparison (Fig. 11b):")
+	fmt.Printf("%-16s %12s %12s %10s %12s\n", "compute", "f_compute", "payload", "roof", "v_safe")
+	for _, an := range []core.Analysis{ncs, agx30, agx15} {
+		fmt.Printf("%-16s %9.0f Hz %9.0f g %7.2f m/s %9.2f m/s\n",
+			an.Config.Name[len("DJI Spark + DroNet + "):],
+			an.Config.ComputeRate.Hertz(),
+			an.Config.Payload.Grams(),
+			an.Roof.MetersPerSecond(),
+			an.SafeVelocity.MetersPerSecond())
+	}
+	fmt.Println()
+	fmt.Printf("NCS wins despite 1.5× lower throughput: both designs are %v,\n", ncs.Bound)
+	fmt.Println("so the lighter payload (higher a_max) sets the velocity.")
+	gain := agx15.SafeVelocity.MetersPerSecond()/agx30.SafeVelocity.MetersPerSecond() - 1
+	fmt.Printf("Capping the AGX at 15 W halves its heatsink and buys +%.0f%% velocity\n", gain*100)
+	fmt.Printf("(paper: ≈75%%) — an architectural power optimization translated into\n")
+	fmt.Println("flight performance by the F-1 model.")
+}

@@ -1,0 +1,47 @@
+// Quickstart: build an F-1 model for a preset UAV configuration, read
+// off the knee point and bounds, and render the roofline in the
+// terminal.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/skyline"
+	"repro/internal/units"
+)
+
+func main() {
+	// 1. Analyze a full preset system: AscTec Pelican flying DroNet on a
+	//    Jetson TX2.
+	cat := catalog.Default()
+	an, err := cat.Analyze(catalog.Selection{
+		UAV:       catalog.UAVAscTecPelican,
+		Compute:   catalog.ComputeTX2,
+		Algorithm: catalog.AlgoDroNet,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(an.Summary())
+	fmt.Println()
+
+	// 2. Or work with the raw model: Eq. 4 with explicit parameters
+	//    (the paper's Fig. 5 textbook example).
+	m := core.Model{Accel: units.MetersPerSecond2(50), Range: units.Meters(10)}
+	fmt.Printf("Fig. 5 example (a=50 m/s², d=10 m):\n")
+	fmt.Printf("  v_safe @ 1 Hz   = %v\n", m.SafeVelocityAt(units.Hertz(1)))
+	fmt.Printf("  v_safe @ 100 Hz = %v\n", m.SafeVelocityAt(units.Hertz(100)))
+	fmt.Printf("  physics roof    = %v\n", m.Roof())
+	fmt.Printf("  knee point      = %v\n", m.Knee())
+	fmt.Println()
+
+	// 3. Render the preset system's F-1 plot as ASCII.
+	text, err := skyline.Chart(an).ASCII(72, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(text)
+}

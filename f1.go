@@ -1,0 +1,144 @@
+// Package f1 is the public API of the F-1 model library — a
+// reproduction of "Roofline Model for UAVs: A Bottleneck Analysis Tool
+// for Onboard Compute Characterization of Autonomous Unmanned Aerial
+// Vehicles" (ISPASS 2022).
+//
+// The F-1 model relates a UAV's safe flying velocity to the action
+// throughput of its sensor–compute–control pipeline:
+//
+//	v_safe = a_max · (sqrt(T_action² + 2d/a_max) − T_action)   (Eq. 4)
+//
+// yielding a roofline-shaped curve whose knee separates the
+// compute/sensor-bound region from the physics-bound region. This
+// package re-exports the library's main types; the heavy lifting lives
+// in the internal packages (core, catalog, physics, thermal, pipeline,
+// flightsim, mission, redundancy, dse, plot, skyline, experiments).
+//
+// Quick start:
+//
+//	cat := f1.DefaultCatalog()
+//	an, err := cat.Analyze(f1.Selection{
+//	    UAV:       f1.UAVAscTecPelican,
+//	    Compute:   f1.ComputeTX2,
+//	    Algorithm: f1.AlgoDroNet,
+//	})
+//	fmt.Println(an.Summary())
+package f1
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/physics"
+	"repro/internal/pipeline"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// Re-exported core types: the F-1 model, its analysis products and the
+// configuration that feeds it.
+type (
+	// Model is the analytic F-1 curve (a_max, sensing range, knee
+	// definition).
+	Model = core.Model
+	// Config is a full UAV system configuration.
+	Config = core.Config
+	// Analysis is the complete F-1 characterization of a Config.
+	Analysis = core.Analysis
+	// KneePoint is the corner of the roofline.
+	KneePoint = core.KneePoint
+	// Bound classifies what limits the safe velocity.
+	Bound = core.Bound
+	// DesignClass classifies a design against the knee.
+	DesignClass = core.DesignClass
+	// Ceiling is a sub-roof velocity limit from a slow stage.
+	Ceiling = core.Ceiling
+)
+
+// Re-exported bound and class values.
+const (
+	PhysicsBound = core.PhysicsBound
+	SensorBound  = core.SensorBound
+	ComputeBound = core.ComputeBound
+	ControlBound = core.ControlBound
+
+	OptimalDesign    = core.OptimalDesign
+	OverProvisioned  = core.OverProvisioned
+	UnderProvisioned = core.UnderProvisioned
+)
+
+// DefaultKneeFraction is the η used to declare the knee point.
+const DefaultKneeFraction = core.DefaultKneeFraction
+
+// Re-exported catalog types and the preset component names.
+type (
+	// Catalog is the component database (UAVs, computes, sensors,
+	// algorithms, performance table).
+	Catalog = catalog.Catalog
+	// Selection names one full-system pick to analyze.
+	Selection = catalog.Selection
+	// UAV, Compute, Sensor, Algorithm are catalog entries.
+	UAV       = catalog.UAV
+	Compute   = catalog.Compute
+	Sensor    = catalog.Sensor
+	Algorithm = catalog.Algorithm
+)
+
+// Preset names (every component the paper evaluates).
+const (
+	UAVAscTecPelican = catalog.UAVAscTecPelican
+	UAVDJISpark      = catalog.UAVDJISpark
+	UAVNano          = catalog.UAVNano
+
+	ComputeTX2    = catalog.ComputeTX2
+	ComputeAGX    = catalog.ComputeAGX
+	ComputeNCS    = catalog.ComputeNCS
+	ComputeRasPi4 = catalog.ComputeRasPi4
+	ComputePULP   = catalog.ComputePULP
+	ComputeNavion = catalog.ComputeNavion
+
+	AlgoDroNet   = catalog.AlgoDroNet
+	AlgoTrailNet = catalog.AlgoTrailNet
+	AlgoCAD2RL   = catalog.AlgoCAD2RL
+	AlgoVGG16    = catalog.AlgoVGG16
+	AlgoSPA      = catalog.AlgoSPA
+)
+
+// Physics and substrate re-exports used when building custom configs.
+type (
+	// Airframe is a quadcopter's mechanical description.
+	Airframe = physics.Airframe
+	// AccelModel maps payload mass to maximum acceleration.
+	AccelModel = physics.AccelModel
+	// Pipeline is the sensor–compute–control chain.
+	Pipeline = pipeline.Pipeline
+	// HeatsinkModel maps TDP to heatsink mass.
+	HeatsinkModel = thermal.HeatsinkModel
+)
+
+// DefaultCatalog returns the full paper catalog: every UAV, compute
+// platform, sensor, algorithm and measured throughput the paper
+// evaluates, calibrated so the published knee points are reproduced.
+func DefaultCatalog() *Catalog { return catalog.Default() }
+
+// Analyze runs the F-1 model over a configuration.
+func Analyze(cfg Config) (Analysis, error) { return core.Analyze(cfg) }
+
+// SafeVelocity evaluates Eq. 4 directly.
+func SafeVelocity(aMaxMS2, rangeM, actionHz float64) float64 {
+	return core.SafeVelocity(
+		units.MetersPerSecond2(aMaxMS2),
+		units.Meters(rangeM),
+		units.Hertz(actionHz).Period(),
+	).MetersPerSecond()
+}
+
+// PeakVelocity returns the physics roof sqrt(2·d·a_max).
+func PeakVelocity(aMaxMS2, rangeM float64) float64 {
+	return core.PeakVelocity(units.MetersPerSecond2(aMaxMS2), units.Meters(rangeM)).MetersPerSecond()
+}
+
+// NewModel builds an F-1 model from plain numbers (a_max in m/s²,
+// sensing range in meters).
+func NewModel(aMaxMS2, rangeM float64) Model {
+	return Model{Accel: units.MetersPerSecond2(aMaxMS2), Range: units.Meters(rangeM)}
+}

@@ -1,0 +1,71 @@
+package f1
+
+import (
+	"math"
+	"testing"
+)
+
+// Facade-level integration test: the quick-start flow works end to end.
+func TestQuickStartFlow(t *testing.T) {
+	cat := DefaultCatalog()
+	an, err := cat.Analyze(Selection{
+		UAV:       UAVAscTecPelican,
+		Compute:   ComputeTX2,
+		Algorithm: AlgoDroNet,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Knee.Throughput.Hertz()-43) > 0.5 {
+		t.Errorf("knee = %v, want ≈43 Hz", an.Knee.Throughput)
+	}
+	if an.Bound != PhysicsBound {
+		t.Errorf("bound = %v, want physics-bound", an.Bound)
+	}
+	if an.Summary() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestSafeVelocityHelpers(t *testing.T) {
+	// Fig. 5 anchors through the plain-float helpers.
+	if v := SafeVelocity(50, 10, 1); math.Abs(v-9.161) > 0.01 {
+		t.Errorf("SafeVelocity(50,10,1Hz) = %v, want ≈9.16", v)
+	}
+	if v := PeakVelocity(50, 10); math.Abs(v-31.623) > 0.001 {
+		t.Errorf("PeakVelocity = %v, want 31.62", v)
+	}
+	m := NewModel(50, 10)
+	if err := m.Validate(); err != nil {
+		t.Errorf("NewModel invalid: %v", err)
+	}
+	k := m.Knee()
+	if k.Throughput <= 0 {
+		t.Error("knee not computed")
+	}
+}
+
+func TestCustomConfigThroughFacade(t *testing.T) {
+	cat := DefaultCatalog()
+	uav, err := cat.UAV(UAVDJISpark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Name:        "facade custom",
+		Frame:       uav.Frame,
+		AccelModel:  uav.Accel,
+		Payload:     uav.DefaultSensor.Mass,
+		SensorRate:  uav.DefaultSensor.Rate,
+		SensorRange: uav.DefaultSensor.Range,
+		ComputeRate: 100,
+		ControlRate: 1000,
+	}
+	an, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.SafeVelocity <= 0 {
+		t.Error("no velocity computed")
+	}
+}

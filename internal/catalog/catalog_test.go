@@ -1,0 +1,206 @@
+package catalog
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+func TestLookupsAndNames(t *testing.T) {
+	c := Default()
+	if _, err := c.UAV(UAVAscTecPelican); err != nil {
+		t.Errorf("Pelican missing: %v", err)
+	}
+	if _, err := c.Compute(ComputeTX2); err != nil {
+		t.Errorf("TX2 missing: %v", err)
+	}
+	if _, err := c.Sensor(SensorRGBD); err != nil {
+		t.Errorf("RGB-D missing: %v", err)
+	}
+	if _, err := c.Algorithm(AlgoDroNet); err != nil {
+		t.Errorf("DroNet missing: %v", err)
+	}
+	if got := len(c.UAVNames()); got != 7 {
+		t.Errorf("UAV count = %d, want 7", got)
+	}
+	if got := len(c.ComputeNames()); got != 8 {
+		t.Errorf("compute count = %d, want 8", got)
+	}
+	// Errors name the missing item and the available ones.
+	_, err := c.UAV("nonexistent")
+	if err == nil || !strings.Contains(err.Error(), "nonexistent") {
+		t.Errorf("lookup error = %v", err)
+	}
+	if _, err := c.Compute("nope"); err == nil {
+		t.Error("unknown compute accepted")
+	}
+	if _, err := c.Sensor("nope"); err == nil {
+		t.Error("unknown sensor accepted")
+	}
+	if _, err := c.Algorithm("nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestPerfTablePublishedNumbers(t *testing.T) {
+	c := Default()
+	cases := []struct {
+		algo, plat string
+		want       float64
+	}{
+		{AlgoDroNet, ComputeTX2, 178},
+		{AlgoDroNet, ComputeAGX, 230},
+		{AlgoDroNet, ComputeNCS, 150},
+		{AlgoDroNet, ComputePULP, 6},
+		{AlgoTrailNet, ComputeTX2, 55},
+		{AlgoSPA, ComputeTX2, 1.1},
+	}
+	for _, cs := range cases {
+		f, err := c.Perf(cs.algo, cs.plat)
+		if err != nil {
+			t.Errorf("Perf(%s,%s): %v", cs.algo, cs.plat, err)
+			continue
+		}
+		if math.Abs(f.Hertz()-cs.want) > 1e-9 {
+			t.Errorf("Perf(%s,%s) = %v, want %v", cs.algo, cs.plat, f, cs.want)
+		}
+	}
+}
+
+func TestPerfTableDerivedGaps(t *testing.T) {
+	c := Default()
+	// §VI-D: on the Pelican (knee 43 Hz) Ras-Pi needs 3.3× for DroNet,
+	// 110× for TrailNet, 660× for CAD2RL.
+	cases := []struct {
+		algo string
+		gap  float64
+	}{
+		{AlgoDroNet, 3.3},
+		{AlgoTrailNet, 110},
+		{AlgoCAD2RL, 660},
+	}
+	for _, cs := range cases {
+		f, err := c.Perf(cs.algo, ComputeRasPi4)
+		if err != nil {
+			t.Fatalf("Perf(%s, RasPi): %v", cs.algo, err)
+		}
+		gap := KneePelicanTX2 / f.Hertz()
+		if math.Abs(gap-cs.gap) > 0.01*cs.gap {
+			t.Errorf("%s Ras-Pi gap = %.2f×, want %v×", cs.algo, gap, cs.gap)
+		}
+	}
+}
+
+func TestPerfTableErrors(t *testing.T) {
+	c := Default()
+	if _, err := c.Perf("no-such-algo", ComputeTX2); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := c.Perf(AlgoDroNet, "no-such-platform"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if got := c.PerfTable().Platforms(AlgoDroNet); len(got) != 5 {
+		t.Errorf("DroNet platforms = %v, want 5 entries", got)
+	}
+}
+
+func TestComputeTotalMassAGX(t *testing.T) {
+	c := Default()
+	agx, err := c.Compute(ComputeAGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: AGX module 280 g + 162 g heatsink at 30 W ⇒ ≈442 g.
+	total := agx.TotalMass(c.Heatsink).Grams()
+	if math.Abs(total-442) > 2 {
+		t.Errorf("AGX total mass = %.1f g, want ≈442", total)
+	}
+	// NCS has no heatsink: exactly 47 g.
+	ncs, _ := c.Compute(ComputeNCS)
+	if got := ncs.TotalMass(c.Heatsink).Grams(); math.Abs(got-47) > 1e-9 {
+		t.Errorf("NCS total mass = %.1f g, want 47", got)
+	}
+}
+
+func TestComputeWithTDPShrinksHeatsink(t *testing.T) {
+	c := Default()
+	agx, _ := c.Compute(ComputeAGX)
+	agx15 := agx.WithTDP(units.Watts(15))
+	if agx15.Name == agx.Name {
+		t.Error("WithTDP did not rename the variant")
+	}
+	m30 := agx.TotalMass(c.Heatsink).Grams()
+	m15 := agx15.TotalMass(c.Heatsink).Grams()
+	// Paper: heatsink halves, 162 g → 81 g.
+	if math.Abs((m30-m15)-(161.8-84.9)) > 3 {
+		t.Errorf("TDP cap saved %.1f g, want ≈77 g", m30-m15)
+	}
+}
+
+func TestSizeClassesFig2b(t *testing.T) {
+	rows := SizeClasses()
+	if len(rows) != 3 {
+		t.Fatalf("got %d size classes, want 3", len(rows))
+	}
+	if rows[0].Class != NanoUAV || rows[0].Battery.MilliampHours() != 240 {
+		t.Errorf("nano row = %+v", rows[0])
+	}
+	if rows[2].Class != MiniUAV || rows[2].Endurance.Seconds() != 1800 {
+		t.Errorf("mini row = %+v", rows[2])
+	}
+	// Battery and endurance must grow with size class.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Battery <= rows[i-1].Battery || rows[i].Endurance <= rows[i-1].Endurance {
+			t.Errorf("size classes not monotone: %+v then %+v", rows[i-1], rows[i])
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SensePlanAct.String() != "sense-plan-act" || EndToEnd.String() != "end-to-end" {
+		t.Error("paradigm strings wrong")
+	}
+	if Paradigm(9).String() != "Paradigm(9)" {
+		t.Error("unknown paradigm string wrong")
+	}
+	if NanoUAV.String() != "nano-UAV" || MicroUAV.String() != "micro-UAV" || MiniUAV.String() != "mini-UAV" {
+		t.Error("size class strings wrong")
+	}
+	if SizeClass(9).String() != "SizeClass(9)" {
+		t.Error("unknown size class string wrong")
+	}
+}
+
+func TestValidationAccessors(t *testing.T) {
+	if got := ValidationDrones(); len(got) != 4 || got[0] != UAVValidationA {
+		t.Errorf("ValidationDrones = %v", got)
+	}
+	m, err := ValidationPayload(UAVValidationB)
+	if err != nil || m.Grams() != 800 {
+		t.Errorf("UAV-B payload = %v, %v; want 800 g", m, err)
+	}
+	v, err := ValidationPredictedVelocity(UAVValidationA)
+	if err != nil || v.MetersPerSecond() != 2.13 {
+		t.Errorf("UAV-A prediction = %v, %v; want 2.13", v, err)
+	}
+	if _, err := ValidationPayload("DJI Spark"); err == nil {
+		t.Error("non-validation UAV accepted")
+	}
+	if _, err := ValidationPredictedVelocity("DJI Spark"); err == nil {
+		t.Error("non-validation UAV accepted")
+	}
+}
+
+func TestHeatsinkModelSwappable(t *testing.T) {
+	c := Default()
+	agx, _ := c.Compute(ComputeAGX)
+	def := agx.TotalMass(c.Heatsink)
+	c.Heatsink = thermal.Convection{}
+	alt := agx.TotalMass(c.Heatsink)
+	if def == alt {
+		t.Error("swapping the heatsink model had no effect")
+	}
+}

@@ -1,0 +1,100 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Check validates the catalog's internal consistency: every component
+// is individually sane, every performance-table entry references
+// registered components, and every UAV preset produces an analyzable
+// configuration with its default sensor. It returns all problems found
+// (not just the first), so catalog authors can fix a JSON file in one
+// pass.
+func (c *Catalog) Check() error {
+	var problems []string
+	add := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	for _, name := range c.ComputeNames() {
+		p := c.computes[name]
+		if p.Mass <= 0 {
+			add("compute %q: non-positive mass %v", name, p.Mass)
+		}
+		if p.TDP <= 0 {
+			add("compute %q: non-positive TDP %v", name, p.TDP)
+		}
+		if p.SupportMass < 0 {
+			add("compute %q: negative support mass %v", name, p.SupportMass)
+		}
+	}
+	for _, name := range c.SensorNames() {
+		s := c.sensors[name]
+		if s.Rate <= 0 {
+			add("sensor %q: non-positive rate %v", name, s.Rate)
+		}
+		if s.Range <= 0 {
+			add("sensor %q: non-positive range %v", name, s.Range)
+		}
+		if s.Mass < 0 {
+			add("sensor %q: negative mass %v", name, s.Mass)
+		}
+	}
+	for _, name := range c.UAVNames() {
+		u := c.uavs[name]
+		if err := u.Frame.Validate(); err != nil {
+			add("UAV %q: %v", name, err)
+		}
+		if u.Accel == nil {
+			add("UAV %q: nil acceleration model", name)
+			continue
+		}
+		if _, ok := c.sensors[u.DefaultSensor.Name]; !ok {
+			add("UAV %q: default sensor %q not registered", name, u.DefaultSensor.Name)
+		}
+		if u.ControlRate <= 0 {
+			add("UAV %q: non-positive control rate %v", name, u.ControlRate)
+		}
+		if u.Battery <= 0 || u.BatteryVoltage <= 0 {
+			add("UAV %q: battery %v at %v V not positive", name, u.Battery, u.BatteryVoltage)
+		}
+		// The acceleration model must be usable across a realistic
+		// payload range.
+		for _, payload := range []units.Mass{0, units.Grams(100), units.Grams(500)} {
+			if a := u.Accel.MaxAccel(u.Frame, payload); a <= 0 {
+				add("UAV %q: acceleration model returns %v at payload %v", name, a, payload)
+			}
+		}
+	}
+	// Performance table references.
+	for algo, row := range c.perf {
+		if _, ok := c.algorithms[algo]; !ok {
+			add("perf table: algorithm %q not registered", algo)
+		}
+		for plat, f := range row {
+			if _, ok := c.computes[plat]; !ok {
+				add("perf table: %q measured on unregistered platform %q", algo, plat)
+			}
+			if f <= 0 {
+				add("perf table: %q on %q has non-positive rate %v", algo, plat, f)
+			}
+		}
+	}
+	// Every registered algorithm should have at least one measurement —
+	// an unmeasured algorithm can never be selected.
+	for _, name := range c.AlgorithmNames() {
+		if len(c.perf[name]) == 0 {
+			add("algorithm %q has no performance measurements", name)
+		}
+	}
+	if c.Heatsink == nil {
+		add("catalog has no heatsink model")
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("catalog: %d problem(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
+}

@@ -1,0 +1,143 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+func TestDefaultCatalogPassesCheck(t *testing.T) {
+	if err := Default().Check(); err != nil {
+		t.Errorf("default catalog fails its own check: %v", err)
+	}
+}
+
+func TestCheckFindsBadCompute(t *testing.T) {
+	c := Default()
+	c.AddCompute(Compute{Name: "broken", Mass: 0, TDP: units.Watts(-1)})
+	err := c.Check()
+	if err == nil {
+		t.Fatal("bad compute passed")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error does not name the component: %v", err)
+	}
+}
+
+func TestCheckFindsBadSensor(t *testing.T) {
+	c := Default()
+	c.AddSensor(Sensor{Name: "blind", Rate: 0, Range: 0, Mass: units.Grams(-1)})
+	err := c.Check()
+	if err == nil {
+		t.Fatal("bad sensor passed")
+	}
+	for _, want := range []string{"rate", "range", "mass"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestCheckFindsBadUAV(t *testing.T) {
+	c := Default()
+	u, _ := c.UAV(UAVDJISpark)
+	u.Name = "wrong-sensor"
+	u.DefaultSensor = Sensor{Name: "unregistered"}
+	u.ControlRate = 0
+	c.AddUAV(u)
+	err := c.Check()
+	if err == nil {
+		t.Fatal("bad UAV passed")
+	}
+	if !strings.Contains(err.Error(), "unregistered") || !strings.Contains(err.Error(), "control rate") {
+		t.Errorf("error incomplete: %v", err)
+	}
+}
+
+func TestCheckFindsNilAccelModel(t *testing.T) {
+	c := Default()
+	u, _ := c.UAV(UAVDJISpark)
+	u.Name = "no-accel"
+	u.Accel = nil
+	c.AddUAV(u)
+	if err := c.Check(); err == nil || !strings.Contains(err.Error(), "no-accel") {
+		t.Errorf("nil accel model passed: %v", err)
+	}
+}
+
+func TestCheckFindsOrphanPerfEntries(t *testing.T) {
+	c := Default()
+	c.SetPerf("ghost-algo", ComputeTX2, units.Hertz(10))
+	c.SetPerf(AlgoDroNet, "ghost-platform", units.Hertz(10))
+	c.SetPerf(AlgoTrailNet, ComputeNCS, 0)
+	err := c.Check()
+	if err == nil {
+		t.Fatal("orphan perf entries passed")
+	}
+	for _, want := range []string{"ghost-algo", "ghost-platform", "non-positive rate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestCheckFindsUnmeasuredAlgorithm(t *testing.T) {
+	c := Default()
+	c.AddAlgorithm(Algorithm{Name: "paper-only", Paradigm: EndToEnd})
+	if err := c.Check(); err == nil || !strings.Contains(err.Error(), "paper-only") {
+		t.Errorf("unmeasured algorithm passed: %v", err)
+	}
+}
+
+func TestCheckFindsMissingHeatsink(t *testing.T) {
+	c := Default()
+	c.Heatsink = nil
+	if err := c.Check(); err == nil || !strings.Contains(err.Error(), "heatsink") {
+		t.Errorf("nil heatsink passed: %v", err)
+	}
+}
+
+func TestCheckAggregatesProblems(t *testing.T) {
+	c := Default()
+	c.AddCompute(Compute{Name: "b1"})
+	c.AddSensor(Sensor{Name: "b2"})
+	err := c.Check()
+	if err == nil {
+		t.Fatal("multiple problems passed")
+	}
+	if !strings.Contains(err.Error(), "b1") || !strings.Contains(err.Error(), "b2") {
+		t.Errorf("check stopped at the first problem: %v", err)
+	}
+}
+
+func TestCheckAfterJSONRoundTrip(t *testing.T) {
+	c := Default()
+	var sb strings.Builder
+	if err := c.Save(&sb); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Check(); err != nil {
+		t.Errorf("round-tripped catalog fails check: %v", err)
+	}
+}
+
+func TestCheckAcceptsCustomValidUAV(t *testing.T) {
+	c := Default()
+	table := physics.MustCalibratedTable([]physics.CalibPoint{
+		{Payload: units.Grams(50), Accel: units.MetersPerSecond2(5)},
+		{Payload: units.Grams(900), Accel: units.MetersPerSecond2(1)},
+	})
+	u, _ := c.UAV(UAVDJISpark)
+	u.Name = "custom-ok"
+	u.Accel = table
+	c.AddUAV(u)
+	if err := c.Check(); err != nil {
+		t.Errorf("valid custom UAV rejected: %v", err)
+	}
+}

@@ -1,0 +1,86 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Selection names one full-system pick: which UAV, compute platform,
+// autonomy algorithm and sensor to combine — the four knobs of the
+// paper's case studies.
+type Selection struct {
+	UAV       string
+	Compute   string
+	Algorithm string
+	// Sensor is optional; empty selects the UAV's default sensor.
+	Sensor string
+	// ExtraPayload is additional mass bolted on (calibration weights,
+	// redundant modules).
+	ExtraPayload units.Mass
+	// TDPOverride caps the compute platform's TDP when positive (the
+	// paper's "AGX at 15 W" scenario): the heatsink shrinks while the
+	// measured throughput is kept.
+	TDPOverride units.Power
+	// ComputeRateOverride replaces the performance-table throughput when
+	// positive (for what-if sweeps).
+	ComputeRateOverride units.Frequency
+}
+
+// BuildConfig resolves a selection against the catalog into a core
+// Config ready for analysis. The payload is compute module + heatsink
+// (sized by the catalog's heatsink model) + sensor + extra payload; the
+// compute rate comes from the performance table.
+func (c *Catalog) BuildConfig(sel Selection) (core.Config, error) {
+	uav, err := c.UAV(sel.UAV)
+	if err != nil {
+		return core.Config{}, err
+	}
+	comp, err := c.Compute(sel.Compute)
+	if err != nil {
+		return core.Config{}, err
+	}
+	if _, err := c.Algorithm(sel.Algorithm); err != nil {
+		return core.Config{}, err
+	}
+	sensor := uav.DefaultSensor
+	if sel.Sensor != "" {
+		sensor, err = c.Sensor(sel.Sensor)
+		if err != nil {
+			return core.Config{}, err
+		}
+	}
+	rate := sel.ComputeRateOverride
+	if rate <= 0 {
+		rate, err = c.Perf(sel.Algorithm, sel.Compute)
+		if err != nil {
+			return core.Config{}, err
+		}
+	}
+	name := fmt.Sprintf("%s + %s + %s", sel.UAV, sel.Algorithm, sel.Compute)
+	if sel.TDPOverride > 0 {
+		comp = comp.WithTDP(sel.TDPOverride)
+		name = fmt.Sprintf("%s + %s + %s", sel.UAV, sel.Algorithm, comp.Name)
+	}
+	payload := comp.TotalMass(c.Heatsink) + sensor.Mass + sel.ExtraPayload
+	return core.Config{
+		Name:        name,
+		Frame:       uav.Frame,
+		AccelModel:  uav.Accel,
+		Payload:     payload,
+		SensorRate:  sensor.Rate,
+		SensorRange: sensor.Range,
+		ComputeRate: rate,
+		ControlRate: uav.ControlRate,
+	}, nil
+}
+
+// Analyze is a convenience wrapper: BuildConfig then core.Analyze.
+func (c *Catalog) Analyze(sel Selection) (core.Analysis, error) {
+	cfg, err := c.BuildConfig(sel)
+	if err != nil {
+		return core.Analysis{}, err
+	}
+	return core.Analyze(cfg)
+}

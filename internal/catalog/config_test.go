@@ -1,0 +1,198 @@
+package catalog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+func TestBuildConfigBasics(t *testing.T) {
+	c := Default()
+	cfg, err := c.BuildConfig(Selection{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg.Name, "Pelican") || !strings.Contains(cfg.Name, "DroNet") {
+		t.Errorf("config name = %q", cfg.Name)
+	}
+	if math.Abs(cfg.ComputeRate.Hertz()-178) > 1e-9 {
+		t.Errorf("compute rate = %v, want 178", cfg.ComputeRate)
+	}
+	// Payload = TX2 (85 g) + heatsink (≈85 g) + RGB-D (30 g) ≈ 200 g.
+	if p := cfg.Payload.Grams(); math.Abs(p-200) > 3 {
+		t.Errorf("payload = %.1f g, want ≈200", p)
+	}
+	if cfg.SensorRange.Meters() != 4.5 || cfg.SensorRate.Hertz() != 60 {
+		t.Errorf("sensor defaults wrong: %v, %v", cfg.SensorRange, cfg.SensorRate)
+	}
+}
+
+func TestBuildConfigSensorOverride(t *testing.T) {
+	c := Default()
+	cfg, err := c.BuildConfig(Selection{
+		UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet,
+		Sensor: SensorNanoCam,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.SensorRange.Meters() != 4 {
+		t.Errorf("sensor override ignored: range %v", cfg.SensorRange)
+	}
+}
+
+func TestBuildConfigExtraPayload(t *testing.T) {
+	c := Default()
+	base, err := c.BuildConfig(Selection{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := c.BuildConfig(Selection{
+		UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet,
+		ExtraPayload: units.Grams(150),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (heavy.Payload - base.Payload).Grams(); math.Abs(got-150) > 1e-9 {
+		t.Errorf("extra payload added %v g, want 150", got)
+	}
+}
+
+func TestBuildConfigComputeRateOverride(t *testing.T) {
+	c := Default()
+	cfg, err := c.BuildConfig(Selection{
+		UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet,
+		ComputeRateOverride: units.Hertz(42),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ComputeRate.Hertz() != 42 {
+		t.Errorf("override ignored: %v", cfg.ComputeRate)
+	}
+}
+
+func TestBuildConfigTDPOverrideRenames(t *testing.T) {
+	c := Default()
+	cfg, err := c.BuildConfig(Selection{
+		UAV: UAVDJISpark, Compute: ComputeAGX, Algorithm: AlgoDroNet,
+		TDPOverride: units.Watts(15),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cfg.Name, "15 W") {
+		t.Errorf("TDP variant not named: %q", cfg.Name)
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	c := Default()
+	cases := []Selection{
+		{UAV: "bogus", Compute: ComputeTX2, Algorithm: AlgoDroNet},
+		{UAV: UAVDJISpark, Compute: "bogus", Algorithm: AlgoDroNet},
+		{UAV: UAVDJISpark, Compute: ComputeTX2, Algorithm: "bogus"},
+		{UAV: UAVDJISpark, Compute: ComputeTX2, Algorithm: AlgoDroNet, Sensor: "bogus"},
+		// No measurement: SPA on NCS.
+		{UAV: UAVDJISpark, Compute: ComputeNCS, Algorithm: AlgoSPA},
+	}
+	for i, sel := range cases {
+		if _, err := c.BuildConfig(sel); err == nil {
+			t.Errorf("case %d accepted, want error", i)
+		}
+	}
+	if _, err := c.Analyze(cases[0]); err == nil {
+		t.Error("Analyze accepted bad selection")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	c := Default()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same component names survive.
+	if got, want := c2.UAVNames(), c.UAVNames(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("UAVs after round trip = %v, want %v", got, want)
+	}
+	if got, want := c2.ComputeNames(), c.ComputeNames(); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("computes after round trip = %v, want %v", got, want)
+	}
+	// The analysis results are preserved to numerical precision.
+	sel := Selection{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet}
+	a1, err := c.Analyze(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := c2.Analyze(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(a1.SafeVelocity-a2.SafeVelocity)) > 1e-9 {
+		t.Errorf("v_safe drifted: %v vs %v", a1.SafeVelocity, a2.SafeVelocity)
+	}
+	if math.Abs(float64(a1.Knee.Throughput-a2.Knee.Throughput)) > 1e-9 {
+		t.Errorf("knee drifted: %v vs %v", a1.Knee, a2.Knee)
+	}
+}
+
+func TestJSONLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"uavs":[{"name":"x","accel_anchors":[],"default_sensor":"nope","class":"mini-UAV"}]}`)); err == nil {
+		t.Error("UAV with no anchors accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"algorithms":[{"name":"x","paradigm":"weird"}]}`)); err == nil {
+		t.Error("unknown paradigm accepted")
+	}
+}
+
+func TestSaveRejectsNonTableModel(t *testing.T) {
+	c := Default()
+	u, _ := c.UAV(UAVDJISpark)
+	u.Accel = fixedModel{}
+	u.Name = "custom"
+	c.AddUAV(u)
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err == nil {
+		t.Error("non-serializable accel model accepted")
+	}
+}
+
+type fixedModel struct{}
+
+func (fixedModel) MaxAccel(_ physics.Airframe, _ units.Mass) units.Acceleration { return 1 }
+
+func TestAnalyzeWrapperWithRateOverride(t *testing.T) {
+	c := Default()
+	sel := Selection{UAV: UAVNano, Compute: ComputeNavion, Algorithm: AlgoDroNet}
+	// Navion has no DroNet measurement — expect an error.
+	if _, err := c.Analyze(sel); err == nil {
+		t.Error("missing perf entry accepted")
+	}
+	// An explicit rate override bypasses the perf lookup.
+	sel.ComputeRateOverride = units.Hertz(1.23)
+	cfg, err := c.BuildConfig(sel)
+	if err != nil {
+		t.Fatalf("rate override should bypass missing perf entry: %v", err)
+	}
+	an, err := core.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Action.Hertz() > 1.24 {
+		t.Errorf("action = %v, want ≤1.23", an.Action)
+	}
+}

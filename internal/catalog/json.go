@@ -1,0 +1,222 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// The JSON form flattens every quantity to conventional units (grams,
+// Hz, meters, watts, mAh, seconds) so files are hand-editable, and
+// serializes each UAV's acceleration model as its calibration anchors.
+
+type jsonCatalog struct {
+	UAVs       []jsonUAV       `json:"uavs"`
+	Computes   []jsonCompute   `json:"computes"`
+	Sensors    []jsonSensor    `json:"sensors"`
+	Algorithms []jsonAlgorithm `json:"algorithms"`
+	Perf       []jsonPerf      `json:"perf"`
+}
+
+type jsonUAV struct {
+	Name           string       `json:"name"`
+	BaseMassG      float64      `json:"base_mass_g"`
+	MotorCount     int          `json:"motor_count"`
+	MotorThrustGF  float64      `json:"motor_thrust_gf"`
+	FrameSizeMM    float64      `json:"frame_size_mm"`
+	AccelAnchors   []jsonAnchor `json:"accel_anchors"`
+	DefaultSensor  string       `json:"default_sensor"`
+	Class          string       `json:"class"`
+	BatteryMAH     float64      `json:"battery_mah"`
+	BatteryVoltage float64      `json:"battery_voltage"`
+	EnduranceS     float64      `json:"endurance_s"`
+	ControlRateHz  float64      `json:"control_rate_hz"`
+}
+
+type jsonAnchor struct {
+	PayloadG float64 `json:"payload_g"`
+	AccelMS2 float64 `json:"accel_ms2"`
+}
+
+type jsonCompute struct {
+	Name          string  `json:"name"`
+	MassG         float64 `json:"mass_g"`
+	TDPW          float64 `json:"tdp_w"`
+	NeedsHeatsink bool    `json:"needs_heatsink"`
+	SupportMassG  float64 `json:"support_mass_g,omitempty"`
+}
+
+type jsonSensor struct {
+	Name   string  `json:"name"`
+	RateHz float64 `json:"rate_hz"`
+	RangeM float64 `json:"range_m"`
+	MassG  float64 `json:"mass_g"`
+}
+
+type jsonAlgorithm struct {
+	Name     string `json:"name"`
+	Paradigm string `json:"paradigm"`
+}
+
+type jsonPerf struct {
+	Algorithm string  `json:"algorithm"`
+	Platform  string  `json:"platform"`
+	RateHz    float64 `json:"rate_hz"`
+}
+
+// Save writes the catalog as indented JSON. UAVs whose acceleration
+// model is not a *physics.CalibratedTable cannot be serialized and
+// produce an error (the default catalog is always serializable).
+func (c *Catalog) Save(w io.Writer) error {
+	var jc jsonCatalog
+	for _, name := range c.UAVNames() {
+		u := c.uavs[name]
+		table, ok := u.Accel.(*physics.CalibratedTable)
+		if !ok {
+			return fmt.Errorf("catalog: UAV %q uses a %T acceleration model which has no JSON form", name, u.Accel)
+		}
+		ju := jsonUAV{
+			Name:           u.Name,
+			BaseMassG:      u.Frame.BaseMass.Grams(),
+			MotorCount:     u.Frame.MotorCount,
+			MotorThrustGF:  u.Frame.MotorThrust.GramsForce(),
+			FrameSizeMM:    u.Frame.FrameSize.Millimeters(),
+			DefaultSensor:  u.DefaultSensor.Name,
+			Class:          u.Class.String(),
+			BatteryMAH:     u.Battery.MilliampHours(),
+			BatteryVoltage: u.BatteryVoltage,
+			EnduranceS:     u.Endurance.Seconds(),
+			ControlRateHz:  u.ControlRate.Hertz(),
+		}
+		for _, p := range table.Points() {
+			ju.AccelAnchors = append(ju.AccelAnchors, jsonAnchor{
+				PayloadG: p.Payload.Grams(),
+				AccelMS2: p.Accel.MetersPerSecond2(),
+			})
+		}
+		jc.UAVs = append(jc.UAVs, ju)
+	}
+	for _, name := range c.ComputeNames() {
+		p := c.computes[name]
+		jc.Computes = append(jc.Computes, jsonCompute{
+			Name: p.Name, MassG: p.Mass.Grams(), TDPW: p.TDP.Watts(),
+			NeedsHeatsink: p.NeedsHeatsink, SupportMassG: p.SupportMass.Grams(),
+		})
+	}
+	for _, name := range c.SensorNames() {
+		s := c.sensors[name]
+		jc.Sensors = append(jc.Sensors, jsonSensor{
+			Name: s.Name, RateHz: s.Rate.Hertz(), RangeM: s.Range.Meters(), MassG: s.Mass.Grams(),
+		})
+	}
+	for _, name := range c.AlgorithmNames() {
+		a := c.algorithms[name]
+		jc.Algorithms = append(jc.Algorithms, jsonAlgorithm{Name: a.Name, Paradigm: a.Paradigm.String()})
+	}
+	for _, algo := range sortedKeys(c.perf) {
+		for _, plat := range c.perf.Platforms(algo) {
+			f, _ := c.perf.Get(algo, plat)
+			jc.Perf = append(jc.Perf, jsonPerf{Algorithm: algo, Platform: plat, RateHz: f.Hertz()})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jc)
+}
+
+// Load reads a catalog previously written by Save.
+func Load(r io.Reader) (*Catalog, error) {
+	var jc jsonCatalog
+	if err := json.NewDecoder(r).Decode(&jc); err != nil {
+		return nil, fmt.Errorf("catalog: decoding JSON: %w", err)
+	}
+	c := New()
+	for _, js := range jc.Sensors {
+		c.AddSensor(Sensor{
+			Name: js.Name, Rate: units.Hertz(js.RateHz),
+			Range: units.Meters(js.RangeM), Mass: units.Grams(js.MassG),
+		})
+	}
+	for _, jp := range jc.Computes {
+		c.AddCompute(Compute{
+			Name: jp.Name, Mass: units.Grams(jp.MassG), TDP: units.Watts(jp.TDPW),
+			NeedsHeatsink: jp.NeedsHeatsink, SupportMass: units.Grams(jp.SupportMassG),
+		})
+	}
+	for _, ja := range jc.Algorithms {
+		p, err := parseParadigm(ja.Paradigm)
+		if err != nil {
+			return nil, err
+		}
+		c.AddAlgorithm(Algorithm{Name: ja.Name, Paradigm: p})
+	}
+	for _, ju := range jc.UAVs {
+		anchors := make([]physics.CalibPoint, len(ju.AccelAnchors))
+		for i, a := range ju.AccelAnchors {
+			anchors[i] = physics.CalibPoint{
+				Payload: units.Grams(a.PayloadG),
+				Accel:   units.MetersPerSecond2(a.AccelMS2),
+			}
+		}
+		table, err := physics.NewCalibratedTable(anchors)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: UAV %q: %w", ju.Name, err)
+		}
+		sensor, err := c.Sensor(ju.DefaultSensor)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: UAV %q: %w", ju.Name, err)
+		}
+		class, err := parseSizeClass(ju.Class)
+		if err != nil {
+			return nil, fmt.Errorf("catalog: UAV %q: %w", ju.Name, err)
+		}
+		c.AddUAV(UAV{
+			Name: ju.Name,
+			Frame: physics.Airframe{
+				Name:        ju.Name,
+				BaseMass:    units.Grams(ju.BaseMassG),
+				MotorCount:  ju.MotorCount,
+				MotorThrust: units.GramsForce(ju.MotorThrustGF),
+				FrameSize:   units.Millimeters(ju.FrameSizeMM),
+			},
+			Accel:          table,
+			DefaultSensor:  sensor,
+			Class:          class,
+			Battery:        units.MilliampHours(ju.BatteryMAH),
+			BatteryVoltage: ju.BatteryVoltage,
+			Endurance:      units.Seconds(ju.EnduranceS),
+			ControlRate:    units.Hertz(ju.ControlRateHz),
+		})
+	}
+	for _, jp := range jc.Perf {
+		c.SetPerf(jp.Algorithm, jp.Platform, units.Hertz(jp.RateHz))
+	}
+	return c, nil
+}
+
+func parseParadigm(s string) (Paradigm, error) {
+	switch s {
+	case SensePlanAct.String():
+		return SensePlanAct, nil
+	case EndToEnd.String():
+		return EndToEnd, nil
+	default:
+		return 0, fmt.Errorf("catalog: unknown paradigm %q", s)
+	}
+}
+
+func parseSizeClass(s string) (SizeClass, error) {
+	switch s {
+	case NanoUAV.String():
+		return NanoUAV, nil
+	case MicroUAV.String():
+		return MicroUAV, nil
+	case MiniUAV.String():
+		return MiniUAV, nil
+	default:
+		return 0, fmt.Errorf("catalog: unknown size class %q", s)
+	}
+}

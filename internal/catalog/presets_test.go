@@ -1,0 +1,234 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// The central calibration guarantee: every published knee point is
+// reproduced by the catalog presets.
+
+func TestPelicanKneeAnchor(t *testing.T) {
+	c := Default()
+	an, err := c.Analyze(Selection{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Knee.Throughput.Hertz()-KneePelicanTX2) > 0.5 {
+		t.Errorf("Pelican+TX2 knee = %v, want 43 Hz", an.Knee.Throughput)
+	}
+}
+
+func TestSparkKneeAnchor(t *testing.T) {
+	c := Default()
+	an, err := c.Analyze(Selection{UAV: UAVDJISpark, Compute: ComputeTX2, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Knee.Throughput.Hertz()-KneeSparkTX2) > 0.5 {
+		t.Errorf("Spark+TX2 knee = %v, want 30 Hz", an.Knee.Throughput)
+	}
+}
+
+func TestNanoKneeAnchor(t *testing.T) {
+	c := Default()
+	an, err := c.Analyze(Selection{UAV: UAVNano, Compute: ComputePULP, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Knee.Throughput.Hertz()-KneeNano) > 0.5 {
+		t.Errorf("nano+PULP knee = %v, want 26 Hz", an.Knee.Throughput)
+	}
+}
+
+// §VI-B headline ratios on the Pelican: SPA needs 39×; TrailNet and
+// DroNet are over-provisioned 1.27× and 4.13× in compute throughput.
+func TestPelicanAlgorithmGaps(t *testing.T) {
+	c := Default()
+	spa, err := c.Analyze(Selection{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoSPA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spa.Class != core.UnderProvisioned {
+		t.Errorf("SPA class = %v, want under-provisioned", spa.Class)
+	}
+	if math.Abs(spa.GapFactor-39.1) > 0.8 {
+		t.Errorf("SPA gap = %.2f×, want ≈39×", spa.GapFactor)
+	}
+	knee := spa.Knee.Throughput.Hertz()
+	if got := core.ImprovementFactor(55, knee); math.Abs(got-1.27) > 0.03 {
+		t.Errorf("TrailNet over-provision = %.2f×, want ≈1.27×", got)
+	}
+	if got := core.ImprovementFactor(178, knee); math.Abs(got-4.13) > 0.05 {
+		t.Errorf("DroNet over-provision = %.2f×, want ≈4.13×", got)
+	}
+	// The paper quotes 2.3 m/s for SPA; Eq. 4 with the knee-anchored
+	// a_max gives ≈4.1 m/s (the published figures are not mutually
+	// consistent — recorded in EXPERIMENTS.md). The reproducible shape:
+	// SPA is far below the roof while the E2E algorithms saturate it.
+	if ratio := spa.SafeVelocity.MetersPerSecond() / spa.Roof.MetersPerSecond(); ratio > 0.5 {
+		t.Errorf("SPA v_safe/roof = %.2f, want <0.5 (deeply compute-bound)", ratio)
+	}
+	dronet, err := c.Analyze(Selection{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dronet.SafeVelocity.MetersPerSecond() > 2*spa.SafeVelocity.MetersPerSecond()) {
+		t.Errorf("DroNet v_safe %v not well above SPA %v", dronet.SafeVelocity, spa.SafeVelocity)
+	}
+}
+
+// §VI-D: DJI Spark with TX2 running DroNet is over-provisioned ~6×.
+func TestSparkDroNetOverProvision(t *testing.T) {
+	c := Default()
+	an, err := c.Analyze(Selection{UAV: UAVDJISpark, Compute: ComputeTX2, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := core.ImprovementFactor(178, an.Knee.Throughput.Hertz())
+	if math.Abs(got-6) > 0.2 {
+		t.Errorf("Spark DroNet compute over-provision = %.2f×, want ≈6×", got)
+	}
+}
+
+// §VI-A: on the Spark, NCS gives a higher roofline than AGX-30W despite
+// 1.5× lower compute throughput; capping AGX at 15 W raises its safe
+// velocity by ~75 %.
+func TestSparkComputeSelectionFig11(t *testing.T) {
+	c := Default()
+	ncs, err := c.Analyze(Selection{UAV: UAVDJISpark, Compute: ComputeNCS, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agx30, err := c.Analyze(Selection{UAV: UAVDJISpark, Compute: ComputeAGX, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agx15, err := c.Analyze(Selection{UAV: UAVDJISpark, Compute: ComputeAGX, Algorithm: AlgoDroNet,
+		TDPOverride: units.Watts(15)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ncs.Roof > agx30.Roof) {
+		t.Errorf("NCS roof %v not above AGX-30W roof %v", ncs.Roof, agx30.Roof)
+	}
+	// Both NCS and AGX are physics-bound (paper: "the UAV's physics
+	// restricts it").
+	if ncs.Bound != core.PhysicsBound || agx30.Bound != core.PhysicsBound {
+		t.Errorf("bounds = %v, %v; want physics-bound", ncs.Bound, agx30.Bound)
+	}
+	gain := agx15.SafeVelocity.MetersPerSecond()/agx30.SafeVelocity.MetersPerSecond() - 1
+	if math.Abs(gain-0.75) > 0.06 {
+		t.Errorf("AGX 15 W velocity gain = %.0f%%, want ≈75%%", gain*100)
+	}
+}
+
+// §VII: PULP-DroNet on the nano-UAV is compute-bound needing 4.33×.
+func TestNanoPULPGap(t *testing.T) {
+	c := Default()
+	an, err := c.Analyze(Selection{UAV: UAVNano, Compute: ComputePULP, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Bound != core.ComputeBound {
+		t.Errorf("PULP bound = %v, want compute-bound", an.Bound)
+	}
+	if math.Abs(an.GapFactor-4.33) > 0.1 {
+		t.Errorf("PULP gap = %.2f×, want 4.33×", an.GapFactor)
+	}
+}
+
+// §IV: the validation configs reproduce the predicted safe velocities.
+func TestValidationConfigsPredictions(t *testing.T) {
+	c := Default()
+	for _, name := range ValidationDrones() {
+		cfg, err := c.ValidationConfig(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		an, err := core.Analyze(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, _ := ValidationPredictedVelocity(name)
+		if math.Abs(an.SafeVelocity.MetersPerSecond()-want.MetersPerSecond()) > 0.01 {
+			t.Errorf("%s v_safe = %v, want %v", name, an.SafeVelocity, want)
+		}
+		// The 10 Hz loop is the pipeline bottleneck.
+		if math.Abs(an.Action.Hertz()-10) > 1e-9 {
+			t.Errorf("%s f_action = %v, want 10 Hz", name, an.Action)
+		}
+	}
+}
+
+// §IV: UAV-A's knee lands at the 10 Hz loop rate under the validation
+// knee fraction.
+func TestValidationKneeNearLoopRate(t *testing.T) {
+	c := Default()
+	cfg, err := c.ValidationConfig(UAVValidationA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Knee.Throughput.Hertz()-10) > 0.5 {
+		t.Errorf("UAV-A knee = %v, want ≈10 Hz", an.Knee.Throughput)
+	}
+	// All four drones' knees sit in the 6–11 Hz band.
+	for _, name := range ValidationDrones() {
+		cfg, _ := c.ValidationConfig(name)
+		an, err := core.Analyze(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := an.Knee.Throughput.Hertz()
+		if k < 6 || k > 11 {
+			t.Errorf("%s knee = %v, want within [6,11] Hz", name, k)
+		}
+	}
+}
+
+func TestValidationConfigUnknownDrone(t *testing.T) {
+	c := Default()
+	if _, err := c.ValidationConfig("DJI Spark"); err == nil {
+		t.Error("non-validation drone accepted")
+	}
+}
+
+// Fig. 9 shape: the same 50 g payload step costs ~35 % velocity at
+// UAV-A's operating point but <3 % at UAV-C's.
+func TestValidationNonLinearPayloadSensitivity(t *testing.T) {
+	c := Default()
+	v := func(name string) float64 {
+		cfg, err := c.ValidationConfig(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := core.Analyze(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an.SafeVelocity.MetersPerSecond()
+	}
+	dropAC := 1 - v(UAVValidationC)/v(UAVValidationA) // +50 g
+	dropCD := 1 - v(UAVValidationD)/v(UAVValidationC) // +50 g more
+	if math.Abs(dropAC-0.26) > 0.1 {
+		t.Errorf("A→C velocity drop = %.0f%%, want ≈26%% (paper ~35%%)", dropAC*100)
+	}
+	if dropCD > 0.05 {
+		t.Errorf("C→D velocity drop = %.1f%%, want <5%% (paper <3%%)", dropCD*100)
+	}
+	if !(dropAC > 5*dropCD) {
+		t.Errorf("non-linearity lost: A→C %.1f%% vs C→D %.1f%%", dropAC*100, dropCD*100)
+	}
+	// A→B (+210 g): ~29–41 % drop.
+	dropAB := 1 - v(UAVValidationB)/v(UAVValidationA)
+	if dropAB < 0.25 || dropAB > 0.45 {
+		t.Errorf("A→B velocity drop = %.0f%%, want ≈29–41%%", dropAB*100)
+	}
+}

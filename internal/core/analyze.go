@@ -1,0 +1,272 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/physics"
+	"repro/internal/pipeline"
+	"repro/internal/units"
+)
+
+// Bound says which subsystem limits the UAV's safe velocity (§III-B).
+type Bound int
+
+const (
+	// PhysicsBound: the action throughput is at or beyond the knee; only
+	// better body dynamics (thrust, lighter payload) raise the velocity.
+	PhysicsBound Bound = iota
+	// SensorBound: the sensor's frame rate is the pipeline bottleneck
+	// and sits below the knee; a faster compute changes nothing.
+	SensorBound
+	// ComputeBound: the autonomy algorithm's rate on the onboard
+	// computer is the bottleneck and sits below the knee.
+	ComputeBound
+	// ControlBound: the flight controller loop is the bottleneck
+	// (rare — controllers run at ~1 kHz — but representable).
+	ControlBound
+)
+
+// String implements fmt.Stringer.
+func (b Bound) String() string {
+	switch b {
+	case PhysicsBound:
+		return "physics-bound"
+	case SensorBound:
+		return "sensor-bound"
+	case ComputeBound:
+		return "compute-bound"
+	case ControlBound:
+		return "control-bound"
+	default:
+		return fmt.Sprintf("Bound(%d)", int(b))
+	}
+}
+
+// DesignClass classifies a design against the knee point (§III-C).
+type DesignClass int
+
+const (
+	// OptimalDesign: action throughput within tolerance of the knee.
+	OptimalDesign DesignClass = iota
+	// OverProvisioned: throughput beyond the knee; the surplus compute
+	// performance buys no velocity and its weight/TDP may even cost some.
+	OverProvisioned
+	// UnderProvisioned: throughput below the knee; the paper's
+	// improvement targets (e.g. "39×") are GapFactor for this class.
+	UnderProvisioned
+)
+
+// String implements fmt.Stringer.
+func (c DesignClass) String() string {
+	switch c {
+	case OptimalDesign:
+		return "optimal"
+	case OverProvisioned:
+		return "over-provisioned"
+	case UnderProvisioned:
+		return "under-provisioned"
+	default:
+		return fmt.Sprintf("DesignClass(%d)", int(c))
+	}
+}
+
+// OptimalTolerance is the multiplicative band around the knee considered
+// "balanced": designs within ±10 % of f_knee are classed optimal.
+const OptimalTolerance = 1.10
+
+// Config is a complete UAV system configuration — the F-1 model's input.
+type Config struct {
+	// Name labels the configuration in reports.
+	Name string
+	// Frame is the airframe (mass, motors, thrust).
+	Frame physics.Airframe
+	// AccelModel converts payload mass to a_max. Nil panics in Analyze;
+	// catalogs always set it.
+	AccelModel physics.AccelModel
+	// Payload is everything attached to the frame: onboard computer,
+	// heatsink, its battery, sensors, calibration weights.
+	Payload units.Mass
+	// SensorRate is the sensor's frame rate f_sensor.
+	SensorRate units.Frequency
+	// SensorRange is the sensing distance d.
+	SensorRange units.Length
+	// ComputeRate is the autonomy algorithm's throughput f_compute on
+	// the chosen onboard computer.
+	ComputeRate units.Frequency
+	// ControlRate is the flight controller loop rate f_control
+	// (typically 1 kHz).
+	ControlRate units.Frequency
+	// KneeFraction overrides DefaultKneeFraction when non-zero.
+	KneeFraction float64
+}
+
+// Validate reports the first configuration problem found.
+func (c Config) Validate() error {
+	if c.AccelModel == nil {
+		return fmt.Errorf("f1: config %q: nil AccelModel", c.Name)
+	}
+	if c.SensorRange <= 0 {
+		return fmt.Errorf("f1: config %q: sensing range must be positive, got %v", c.Name, c.SensorRange)
+	}
+	if c.SensorRate <= 0 {
+		return fmt.Errorf("f1: config %q: sensor rate must be positive, got %v", c.Name, c.SensorRate)
+	}
+	if c.ComputeRate < 0 {
+		return fmt.Errorf("f1: config %q: compute rate must be non-negative, got %v", c.Name, c.ComputeRate)
+	}
+	if c.ControlRate <= 0 {
+		return fmt.Errorf("f1: config %q: control rate must be positive, got %v", c.Name, c.ControlRate)
+	}
+	if c.Payload < 0 {
+		return fmt.Errorf("f1: config %q: payload must be non-negative, got %v", c.Name, c.Payload)
+	}
+	return nil
+}
+
+// Pipeline builds the sensor–compute–control pipeline for the config.
+func (c Config) Pipeline() pipeline.Pipeline {
+	return pipeline.SensorComputeControl(c.SensorRate, c.ComputeRate, c.ControlRate)
+}
+
+// Model derives the analytic F-1 curve (a_max from the airframe +
+// payload through the acceleration model).
+func (c Config) Model() Model {
+	return Model{
+		Accel:        c.AccelModel.MaxAccel(c.Frame, c.Payload),
+		Range:        c.SensorRange,
+		KneeFraction: c.KneeFraction,
+	}
+}
+
+// Ceiling is a horizontal velocity limit drawn under the physics roof by
+// a sub-knee sensor or compute stage (Fig. 4a's Vs and Vc).
+type Ceiling struct {
+	// Source names the limiting stage ("sensor" or "compute").
+	Source string
+	// Throughput is the stage's rate (where the ceiling starts).
+	Throughput units.Frequency
+	// Velocity is the ceiling height: v_safe evaluated at Throughput.
+	Velocity units.Velocity
+}
+
+// Analysis is the complete F-1 characterization of one configuration —
+// everything the Skyline tool's "automatic analysis" pane reports.
+type Analysis struct {
+	Config Config
+	// AMax is the derived maximum acceleration at this payload.
+	AMax units.Acceleration
+	// Action is f_action = min(f_sensor, f_compute, f_control) (Eq. 3).
+	Action units.Frequency
+	// BottleneckStage names the slowest pipeline stage.
+	BottleneckStage string
+	// Knee is the configuration's knee point.
+	Knee KneePoint
+	// Roof is the physics-bound peak velocity sqrt(2·d·a_max).
+	Roof units.Velocity
+	// SafeVelocity is Eq. 4 evaluated at the achieved action throughput.
+	SafeVelocity units.Velocity
+	// Bound classifies which subsystem limits the velocity.
+	Bound Bound
+	// Class classifies the design against the knee.
+	Class DesignClass
+	// GapFactor is how far the action throughput sits from the knee:
+	// f_knee/f_action for under-provisioned designs (the paper's "needs
+	// N× improvement"), f_action/f_knee for over-provisioned ones.
+	GapFactor float64
+	// VelocityHeadroom is how much velocity a balanced design would add:
+	// knee velocity − current safe velocity (zero when at/over the knee).
+	VelocityHeadroom units.Velocity
+	// Ceilings lists the sub-roof ceilings introduced by slow stages.
+	Ceilings []Ceiling
+}
+
+// Analyze runs the F-1 model over a configuration.
+func Analyze(cfg Config) (Analysis, error) {
+	if err := cfg.Validate(); err != nil {
+		return Analysis{}, err
+	}
+	model := cfg.Model()
+	if err := model.Validate(); err != nil {
+		return Analysis{}, fmt.Errorf("f1: config %q: %w", cfg.Name, err)
+	}
+	pipe := cfg.Pipeline()
+	action := pipe.ActionThroughput()
+	bn, _ := pipe.Bottleneck()
+	knee := model.Knee()
+
+	an := Analysis{
+		Config:          cfg,
+		AMax:            model.Accel,
+		Action:          action,
+		BottleneckStage: bn.Name,
+		Knee:            knee,
+		Roof:            model.Roof(),
+		SafeVelocity:    model.SafeVelocityAt(action),
+	}
+
+	// Bound classification (§III-B): at or past the knee the physics
+	// rules; below it, the bottleneck stage names the bound.
+	if action.Hertz() >= knee.Throughput.Hertz() {
+		an.Bound = PhysicsBound
+	} else {
+		switch bn.Name {
+		case "sensor":
+			an.Bound = SensorBound
+		case "compute":
+			an.Bound = ComputeBound
+		case "control":
+			an.Bound = ControlBound
+		default:
+			an.Bound = ComputeBound
+		}
+	}
+
+	// Design classification (§III-C) with a ±10 % optimal band.
+	ratio := action.Hertz() / knee.Throughput.Hertz()
+	switch {
+	case math.IsInf(ratio, 1):
+		an.Class = OverProvisioned
+		an.GapFactor = math.Inf(1)
+	case ratio >= 1/OptimalTolerance && ratio <= OptimalTolerance:
+		an.Class = OptimalDesign
+		an.GapFactor = 1
+	case ratio > OptimalTolerance:
+		an.Class = OverProvisioned
+		an.GapFactor = ratio
+	default:
+		an.Class = UnderProvisioned
+		an.GapFactor = 1 / ratio
+		an.VelocityHeadroom = units.Velocity(math.Max(0,
+			knee.Velocity.MetersPerSecond()-an.SafeVelocity.MetersPerSecond()))
+	}
+
+	// Ceilings (Fig. 4a): any stage slower than the knee caps velocity.
+	for _, st := range pipe.Stages {
+		f := st.Throughput()
+		if f.Hertz() < knee.Throughput.Hertz() {
+			an.Ceilings = append(an.Ceilings, Ceiling{
+				Source:     st.Name,
+				Throughput: f,
+				Velocity:   model.SafeVelocityAt(f),
+			})
+		}
+	}
+	return an, nil
+}
+
+// Summary renders the analysis as the Skyline tool's guidance text.
+func (a Analysis) Summary() string {
+	s := fmt.Sprintf("%s: a_max=%v, f_action=%v (bottleneck: %s), knee=%v, roof=%v, v_safe=%v — %v, %v",
+		a.Config.Name, a.AMax, a.Action, a.BottleneckStage, a.Knee, a.Roof, a.SafeVelocity, a.Bound, a.Class)
+	switch a.Class {
+	case UnderProvisioned:
+		s += fmt.Sprintf("; improve %s throughput by %.2f× to reach the knee (+%v)",
+			a.BottleneckStage, a.GapFactor, a.VelocityHeadroom)
+	case OverProvisioned:
+		if !math.IsInf(a.GapFactor, 1) {
+			s += fmt.Sprintf("; over-provisioned by %.2f× — trade the surplus for lower TDP/weight", a.GapFactor)
+		}
+	}
+	return s
+}

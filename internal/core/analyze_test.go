@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// pelicanTX2 approximates the paper's AscTec Pelican + TX2 case study:
+// a_max calibrated so the knee lands at 43 Hz with a 4.5 m sensor.
+func pelicanTX2(computeHz float64) Config {
+	a, err := AccelForKnee(units.Hertz(43), units.Meters(4.5), 0)
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Name:        "AscTec Pelican + TX2",
+		Frame:       physics.Airframe{Name: "Pelican", BaseMass: units.Grams(1000), MotorCount: 4, MotorThrust: units.GramsForce(600)},
+		AccelModel:  physics.FixedAccel(a),
+		Payload:     units.Grams(300),
+		SensorRate:  units.Hertz(60),
+		SensorRange: units.Meters(4.5),
+		ComputeRate: units.Hertz(computeHz),
+		ControlRate: units.Hertz(1000),
+	}
+}
+
+func TestAnalyzeComputeBoundSPA(t *testing.T) {
+	// SPA package delivery on TX2: 1.1 Hz — deeply compute-bound,
+	// needing ~39× improvement (paper §VI-B).
+	an, err := Analyze(pelicanTX2(1.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Bound != ComputeBound {
+		t.Errorf("Bound = %v, want compute-bound", an.Bound)
+	}
+	if an.Class != UnderProvisioned {
+		t.Errorf("Class = %v, want under-provisioned", an.Class)
+	}
+	if math.Abs(an.GapFactor-43/1.1) > 0.2 {
+		t.Errorf("GapFactor = %.2f, want ≈%.2f (39×)", an.GapFactor, 43/1.1)
+	}
+	if an.BottleneckStage != "compute" {
+		t.Errorf("bottleneck = %q, want compute", an.BottleneckStage)
+	}
+	if an.VelocityHeadroom <= 0 {
+		t.Error("under-provisioned design should report velocity headroom")
+	}
+}
+
+func TestAnalyzePhysicsBoundDroNet(t *testing.T) {
+	// DroNet on TX2: 178 Hz with a 60 FPS sensor ⇒ f_action = 60 ≥ 43
+	// knee ⇒ physics-bound, over-provisioned (paper: 4.13× on compute,
+	// 1.4× on the 60 Hz pipeline).
+	an, err := Analyze(pelicanTX2(178))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Bound != PhysicsBound {
+		t.Errorf("Bound = %v, want physics-bound", an.Bound)
+	}
+	if an.Class != OverProvisioned {
+		t.Errorf("Class = %v, want over-provisioned", an.Class)
+	}
+	// f_action = min(60,178,1000) = 60.
+	if math.Abs(an.Action.Hertz()-60) > 1e-9 {
+		t.Errorf("Action = %v, want 60", an.Action)
+	}
+	if an.VelocityHeadroom != 0 {
+		t.Errorf("headroom = %v, want 0 past the knee", an.VelocityHeadroom)
+	}
+}
+
+func TestAnalyzeSensorBound(t *testing.T) {
+	// A 20 FPS sensor with fast compute: sensor-bound (20 < knee 43).
+	cfg := pelicanTX2(178)
+	cfg.SensorRate = units.Hertz(20)
+	an, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Bound != SensorBound {
+		t.Errorf("Bound = %v, want sensor-bound", an.Bound)
+	}
+	if an.BottleneckStage != "sensor" {
+		t.Errorf("bottleneck = %q, want sensor", an.BottleneckStage)
+	}
+	// A sensor ceiling must be present below the roof.
+	found := false
+	for _, c := range an.Ceilings {
+		if c.Source == "sensor" {
+			found = true
+			if c.Velocity >= an.Roof {
+				t.Errorf("sensor ceiling %v not below roof %v", c.Velocity, an.Roof)
+			}
+		}
+	}
+	if !found {
+		t.Error("no sensor ceiling reported")
+	}
+}
+
+func TestAnalyzeControlBound(t *testing.T) {
+	cfg := pelicanTX2(178)
+	cfg.ControlRate = units.Hertz(5)
+	an, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Bound != ControlBound {
+		t.Errorf("Bound = %v, want control-bound", an.Bound)
+	}
+}
+
+func TestAnalyzeOptimalBand(t *testing.T) {
+	// Compute pinned at the knee (43 Hz) with a fast sensor: optimal.
+	cfg := pelicanTX2(43)
+	cfg.SensorRate = units.Hertz(240)
+	an, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Class != OptimalDesign {
+		t.Errorf("Class = %v, want optimal (action %v vs knee %v)", an.Class, an.Action, an.Knee.Throughput)
+	}
+	if an.GapFactor != 1 {
+		t.Errorf("optimal GapFactor = %v, want 1", an.GapFactor)
+	}
+}
+
+func TestAnalyzeCeilingOrdering(t *testing.T) {
+	// Both sensor (20 Hz) and compute (5 Hz) below the knee: two
+	// ceilings, compute's lower than sensor's.
+	cfg := pelicanTX2(5)
+	cfg.SensorRate = units.Hertz(20)
+	an, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.Ceilings) != 2 {
+		t.Fatalf("got %d ceilings, want 2: %v", len(an.Ceilings), an.Ceilings)
+	}
+	var vs, vc units.Velocity
+	for _, c := range an.Ceilings {
+		switch c.Source {
+		case "sensor":
+			vs = c.Velocity
+		case "compute":
+			vc = c.Velocity
+		}
+	}
+	if !(vc < vs) {
+		t.Errorf("compute ceiling %v should be below sensor ceiling %v", vc, vs)
+	}
+	// The achieved velocity equals the lowest ceiling.
+	if math.Abs(float64(an.SafeVelocity-vc)) > 1e-12 {
+		t.Errorf("v_safe %v != compute ceiling %v", an.SafeVelocity, vc)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	bad := pelicanTX2(100)
+	bad.AccelModel = nil
+	if _, err := Analyze(bad); err == nil {
+		t.Error("nil accel model accepted")
+	}
+	bad2 := pelicanTX2(100)
+	bad2.SensorRange = 0
+	if _, err := Analyze(bad2); err == nil {
+		t.Error("zero range accepted")
+	}
+	bad3 := pelicanTX2(100)
+	bad3.SensorRate = 0
+	if _, err := Analyze(bad3); err == nil {
+		t.Error("zero sensor rate accepted")
+	}
+	bad4 := pelicanTX2(100)
+	bad4.ControlRate = 0
+	if _, err := Analyze(bad4); err == nil {
+		t.Error("zero control rate accepted")
+	}
+	bad5 := pelicanTX2(100)
+	bad5.ComputeRate = -1
+	if _, err := Analyze(bad5); err == nil {
+		t.Error("negative compute rate accepted")
+	}
+	bad6 := pelicanTX2(100)
+	bad6.Payload = units.Grams(-10)
+	if _, err := Analyze(bad6); err == nil {
+		t.Error("negative payload accepted")
+	}
+}
+
+func TestAnalyzeZeroComputeRate(t *testing.T) {
+	// Compute that never finishes: v_safe = 0, compute-bound.
+	an, err := Analyze(pelicanTX2(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.SafeVelocity != 0 {
+		t.Errorf("v_safe = %v, want 0", an.SafeVelocity)
+	}
+	if an.Bound != ComputeBound {
+		t.Errorf("Bound = %v, want compute-bound", an.Bound)
+	}
+	if !math.IsInf(an.GapFactor, 1) {
+		t.Errorf("GapFactor = %v, want +Inf", an.GapFactor)
+	}
+}
+
+func TestSummaryText(t *testing.T) {
+	an, err := Analyze(pelicanTX2(1.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := an.Summary()
+	for _, want := range []string{"compute-bound", "under-provisioned", "improve compute"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Summary missing %q: %s", want, s)
+		}
+	}
+	an2, err := Analyze(pelicanTX2(178))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(an2.Summary(), "over-provisioned by") {
+		t.Errorf("Summary missing over-provision note: %s", an2.Summary())
+	}
+}
+
+func TestBoundAndClassStrings(t *testing.T) {
+	if PhysicsBound.String() != "physics-bound" || SensorBound.String() != "sensor-bound" ||
+		ComputeBound.String() != "compute-bound" || ControlBound.String() != "control-bound" {
+		t.Error("Bound strings wrong")
+	}
+	if Bound(42).String() != "Bound(42)" {
+		t.Error("unknown Bound string wrong")
+	}
+	if OptimalDesign.String() != "optimal" || OverProvisioned.String() != "over-provisioned" ||
+		UnderProvisioned.String() != "under-provisioned" {
+		t.Error("DesignClass strings wrong")
+	}
+	if DesignClass(42).String() != "DesignClass(42)" {
+		t.Error("unknown DesignClass string wrong")
+	}
+}
+
+func TestConfigPipelineWiring(t *testing.T) {
+	cfg := pelicanTX2(178)
+	p := cfg.Pipeline()
+	if len(p.Stages) != 3 {
+		t.Fatalf("pipeline has %d stages, want 3", len(p.Stages))
+	}
+	if got := p.ActionThroughput().Hertz(); math.Abs(got-60) > 1e-9 {
+		t.Errorf("pipeline throughput = %v, want 60", got)
+	}
+}

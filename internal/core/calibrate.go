@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// This file contains the model inversions used for calibration: the
+// paper publishes knee points and safe velocities for its UAVs but not
+// the underlying a_max constants, so the catalog anchors those constants
+// by inverting Eq. 4 and the knee formula. The inversions are also
+// useful in their own right ("what acceleration do I need to fly v at
+// rate f?") and are round-trip tested against the forward model.
+
+// AccelForVelocity solves Eq. 4 for a_max: the acceleration required to
+// fly safely at v with decision latency T and sensing range d.
+// Algebraically, v·T + v²/(2a) = d ⇒ a = v² / (2(d − v·T)).
+// It returns an error when v·T ≥ d: the UAV outruns its sensor no matter
+// how hard it can brake.
+func AccelForVelocity(v units.Velocity, d units.Length, T units.Latency) (units.Acceleration, error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("f1: velocity must be positive, got %v", v)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("f1: sensing range must be positive, got %v", d)
+	}
+	if T < 0 {
+		T = 0
+	}
+	margin := d.Meters() - v.MetersPerSecond()*T.Seconds()
+	if margin <= 0 {
+		return 0, fmt.Errorf("f1: %v at decision latency %v covers %v ≥ sensing range %v; no finite acceleration suffices",
+			v, T, units.Meters(v.MetersPerSecond()*T.Seconds()), d)
+	}
+	vv := v.MetersPerSecond()
+	return units.MetersPerSecond2(vv * vv / (2 * margin)), nil
+}
+
+// AccelForKnee inverts the knee formula: the a_max that places the knee
+// point at f_knee for sensing range d and knee fraction eta (0 means
+// DefaultKneeFraction):
+//
+//	a = d/2 · (f_knee·(1−η²)/η)²
+func AccelForKnee(fKnee units.Frequency, d units.Length, eta float64) (units.Acceleration, error) {
+	if eta == 0 {
+		eta = DefaultKneeFraction
+	}
+	if fKnee <= 0 {
+		return 0, fmt.Errorf("f1: knee throughput must be positive, got %v", fKnee)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("f1: sensing range must be positive, got %v", d)
+	}
+	if eta <= 0 || eta >= 1 {
+		return 0, fmt.Errorf("f1: knee fraction must be in (0,1), got %v", eta)
+	}
+	s := fKnee.Hertz() * (1 - eta*eta) / eta
+	return units.MetersPerSecond2(d.Meters() / 2 * s * s), nil
+}
+
+// ThroughputForVelocity returns the minimum action throughput at which
+// the configuration can fly at v: the inverse of Eq. 4 along the
+// throughput axis, f = v / (2(d − v²/(2a)))... derived from
+// T = (d − v²/(2a)) / v. It returns an error when v exceeds the physics
+// roof (no throughput suffices).
+func ThroughputForVelocity(v units.Velocity, a units.Acceleration, d units.Length) (units.Frequency, error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("f1: velocity must be positive, got %v", v)
+	}
+	if a <= 0 || d <= 0 {
+		return 0, fmt.Errorf("f1: need positive acceleration and range, got %v, %v", a, d)
+	}
+	roof := PeakVelocity(a, d)
+	if v >= roof {
+		return 0, fmt.Errorf("f1: %v is at or above the physics roof %v; no action throughput suffices", v, roof)
+	}
+	vv := v.MetersPerSecond()
+	T := (d.Meters() - vv*vv/(2*a.MetersPerSecond2())) / vv
+	return units.Seconds(T).Frequency(), nil
+}
+
+// RangeForVelocity returns the sensing range required to fly at v with
+// acceleration a and decision latency T: d = v·T + v²/(2a). This guides
+// sensor selection, the third knob in the paper's characterization.
+func RangeForVelocity(v units.Velocity, a units.Acceleration, T units.Latency) (units.Length, error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("f1: velocity must be positive, got %v", v)
+	}
+	if a <= 0 {
+		return 0, fmt.Errorf("f1: acceleration must be positive, got %v", a)
+	}
+	if T < 0 {
+		T = 0
+	}
+	vv := v.MetersPerSecond()
+	return units.Meters(vv*T.Seconds() + vv*vv/(2*a.MetersPerSecond2())), nil
+}
+
+// ImprovementFactor reports how much a quantity must improve (>1) or is
+// over-provisioned by (also >1, reported separately) to move `have` to
+// `want`. It is the ratio max(have,want)/min(have,want); callers use
+// DesignClass to know the direction. Returns +Inf when have is zero.
+func ImprovementFactor(have, want float64) float64 {
+	if have <= 0 {
+		return math.Inf(1)
+	}
+	if want <= 0 {
+		return 0
+	}
+	r := want / have
+	if r < 1 {
+		r = 1 / r
+	}
+	return r
+}

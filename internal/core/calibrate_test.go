@@ -1,0 +1,183 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// Round trip: AccelForVelocity inverts Eq. 4.
+func TestAccelForVelocityRoundTrip(t *testing.T) {
+	// The validation drones: UAV-A predicted 2.13 m/s at 10 Hz, d = 3 m.
+	a, err := AccelForVelocity(units.MetersPerSecond(2.13), units.Meters(3), units.Hertz(10).Period())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The derived a_max should be ~0.8 m/s² (a heavily loaded drone).
+	if a.MetersPerSecond2() < 0.5 || a.MetersPerSecond2() > 1.2 {
+		t.Errorf("derived a_max = %v, want ≈0.8", a)
+	}
+	v := SafeVelocity(a, units.Meters(3), units.Hertz(10).Period())
+	if !approx(v.MetersPerSecond(), 2.13, 1e-9) {
+		t.Errorf("round trip v = %v, want 2.13", v)
+	}
+}
+
+func TestAccelForVelocityRoundTripProperty(t *testing.T) {
+	prop := func(a0, d0, T0 float64) bool {
+		a := units.MetersPerSecond2(0.1 + math.Mod(math.Abs(a0), 50))
+		d := units.Meters(0.5 + math.Mod(math.Abs(d0), 30))
+		T := units.Seconds(0.001 + math.Mod(math.Abs(T0), 1))
+		v := SafeVelocity(a, d, T)
+		got, err := AccelForVelocity(v, d, T)
+		if err != nil {
+			return false
+		}
+		return approx(got.MetersPerSecond2(), a.MetersPerSecond2(), 1e-6*a.MetersPerSecond2())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccelForVelocityOutrunsSensor(t *testing.T) {
+	// 10 m/s with a 1 s decision latency and 3 m range: the UAV covers
+	// 10 m blind — impossible.
+	if _, err := AccelForVelocity(units.MetersPerSecond(10), units.Meters(3), units.Seconds(1)); err == nil {
+		t.Error("impossible configuration accepted")
+	}
+}
+
+func TestAccelForVelocityBadInputs(t *testing.T) {
+	if _, err := AccelForVelocity(0, units.Meters(3), 0); err == nil {
+		t.Error("zero velocity accepted")
+	}
+	if _, err := AccelForVelocity(units.MetersPerSecond(1), 0, 0); err == nil {
+		t.Error("zero range accepted")
+	}
+	// Negative latency clamps to zero.
+	a, err := AccelForVelocity(units.MetersPerSecond(1), units.Meters(2), units.Seconds(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(a.MetersPerSecond2(), 0.25, 1e-12) {
+		t.Errorf("a = %v, want v²/2d = 0.25", a)
+	}
+}
+
+// Round trip: AccelForKnee inverts Model.Knee.
+func TestAccelForKneeRoundTrip(t *testing.T) {
+	// The Pelican case: knee at 43 Hz with a 4.5 m RGB-D sensor.
+	a, err := AccelForKnee(units.Hertz(43), units.Meters(4.5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Accel: a, Range: units.Meters(4.5)}
+	if !approx(m.Knee().Throughput.Hertz(), 43, 1e-9) {
+		t.Errorf("knee round trip = %v, want 43 Hz", m.Knee().Throughput)
+	}
+}
+
+func TestAccelForKneeRoundTripProperty(t *testing.T) {
+	prop := func(f0, d0, e0 float64) bool {
+		f := units.Hertz(1 + math.Mod(math.Abs(f0), 500))
+		d := units.Meters(0.5 + math.Mod(math.Abs(d0), 30))
+		eta := 0.5 + math.Mod(math.Abs(e0), 0.49)
+		a, err := AccelForKnee(f, d, eta)
+		if err != nil {
+			return false
+		}
+		m := Model{Accel: a, Range: d, KneeFraction: eta}
+		return approx(m.Knee().Throughput.Hertz(), f.Hertz(), 1e-6*f.Hertz())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccelForKneeBadInputs(t *testing.T) {
+	if _, err := AccelForKnee(0, units.Meters(3), 0); err == nil {
+		t.Error("zero knee accepted")
+	}
+	if _, err := AccelForKnee(units.Hertz(10), 0, 0); err == nil {
+		t.Error("zero range accepted")
+	}
+	if _, err := AccelForKnee(units.Hertz(10), units.Meters(3), 1.2); err == nil {
+		t.Error("eta > 1 accepted")
+	}
+}
+
+func TestThroughputForVelocityRoundTrip(t *testing.T) {
+	m := fig5Model()
+	f, err := ThroughputForVelocity(units.MetersPerSecond(30), m.Accel, m.Range)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.SafeVelocityAt(f)
+	if !approx(v.MetersPerSecond(), 30, 1e-9) {
+		t.Errorf("round trip = %v, want 30", v)
+	}
+}
+
+func TestThroughputForVelocityAboveRoof(t *testing.T) {
+	m := fig5Model()
+	if _, err := ThroughputForVelocity(units.MetersPerSecond(40), m.Accel, m.Range); err == nil {
+		t.Error("velocity above roof accepted")
+	}
+	if _, err := ThroughputForVelocity(m.Roof(), m.Accel, m.Range); err == nil {
+		t.Error("velocity exactly at roof accepted (needs infinite throughput)")
+	}
+}
+
+func TestThroughputForVelocityBadInputs(t *testing.T) {
+	if _, err := ThroughputForVelocity(0, units.MetersPerSecond2(1), units.Meters(1)); err == nil {
+		t.Error("zero velocity accepted")
+	}
+	if _, err := ThroughputForVelocity(units.MetersPerSecond(1), 0, units.Meters(1)); err == nil {
+		t.Error("zero accel accepted")
+	}
+}
+
+func TestRangeForVelocityRoundTrip(t *testing.T) {
+	// d = v·T + v²/2a, then Eq. 4 at that d and T returns v.
+	v := units.MetersPerSecond(5)
+	a := units.MetersPerSecond2(3)
+	T := units.Milliseconds(100)
+	d, err := RangeForVelocity(v, a, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := SafeVelocity(a, d, T)
+	if !approx(got.MetersPerSecond(), 5, 1e-9) {
+		t.Errorf("round trip = %v, want 5", got)
+	}
+}
+
+func TestRangeForVelocityBadInputs(t *testing.T) {
+	if _, err := RangeForVelocity(0, units.MetersPerSecond2(1), 0); err == nil {
+		t.Error("zero velocity accepted")
+	}
+	if _, err := RangeForVelocity(units.MetersPerSecond(1), 0, 0); err == nil {
+		t.Error("zero accel accepted")
+	}
+}
+
+func TestImprovementFactor(t *testing.T) {
+	if got := ImprovementFactor(1.1, 43); !approx(got, 39.09, 0.01) {
+		t.Errorf("SPA improvement = %v, want ≈39.1", got)
+	}
+	if got := ImprovementFactor(178, 43); !approx(got, 4.139, 0.01) {
+		t.Errorf("DroNet over-provision = %v, want ≈4.14", got)
+	}
+	if got := ImprovementFactor(0, 10); !math.IsInf(got, 1) {
+		t.Errorf("zero have = %v, want +Inf", got)
+	}
+	if got := ImprovementFactor(10, 0); got != 0 {
+		t.Errorf("zero want = %v, want 0", got)
+	}
+	if got := ImprovementFactor(7, 7); got != 1 {
+		t.Errorf("equal = %v, want 1", got)
+	}
+}

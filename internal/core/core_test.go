@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// fig5Model is the paper's Fig. 5 textbook configuration:
+// a_max = 50 m/s², d = 10 m.
+func fig5Model() Model {
+	return Model{
+		Accel: units.MetersPerSecond2(50),
+		Range: units.Meters(10),
+	}
+}
+
+func TestSafeVelocityFig5Anchors(t *testing.T) {
+	m := fig5Model()
+	// Paper: at point A (1 Hz) velocity ≈ 10 m/s; exact Eq. 4 value is
+	// 50·(sqrt(1+0.4)−1) ≈ 9.16.
+	vA := m.SafeVelocityAt(units.Hertz(1)).MetersPerSecond()
+	if !approx(vA, 9.161, 0.01) {
+		t.Errorf("v(1 Hz) = %v, want ≈9.16", vA)
+	}
+	// Paper: at the knee (~100 Hz) velocity ≈ 30 m/s; exact value 31.13.
+	v100 := m.SafeVelocityAt(units.Hertz(100)).MetersPerSecond()
+	if !approx(v100, 31.13, 0.01) {
+		t.Errorf("v(100 Hz) = %v, want ≈31.13", v100)
+	}
+	// Paper: as T_action → 0 velocity → 32; exact roof sqrt(1000)=31.62.
+	roof := m.Roof().MetersPerSecond()
+	if !approx(roof, 31.6228, 0.001) {
+		t.Errorf("roof = %v, want 31.62", roof)
+	}
+}
+
+// Paper: "after the knee-point, even 100× improvement in f_action
+// results in only ~1.0004× improvement" — tiny gain past the knee.
+func TestFig5DiminishingReturnsPastKnee(t *testing.T) {
+	m := fig5Model()
+	v100 := m.SafeVelocityAt(units.Hertz(100)).MetersPerSecond()
+	v10k := m.SafeVelocityAt(units.Hertz(10000)).MetersPerSecond()
+	gain := v10k / v100
+	if gain > 1.02 {
+		t.Errorf("100× throughput past knee gained %.4f×, want <1.02×", gain)
+	}
+	// Contrast with the same 100× below the knee: 1 Hz → 100 Hz more
+	// than triples the velocity (paper: 10 → 30 m/s).
+	v1 := m.SafeVelocityAt(units.Hertz(1)).MetersPerSecond()
+	if v100/v1 < 3 {
+		t.Errorf("100× throughput below knee gained only %.2f×, want >3×", v100/v1)
+	}
+}
+
+func TestSafeVelocityLimits(t *testing.T) {
+	m := fig5Model()
+	// T → ∞ (f → 0): velocity → 0.
+	if v := SafeVelocity(m.Accel, m.Range, units.Latency(math.Inf(1))); v != 0 {
+		t.Errorf("v(T=∞) = %v, want 0", v)
+	}
+	// T = 0: exactly the roof.
+	v0 := SafeVelocity(m.Accel, m.Range, 0)
+	if !approx(v0.MetersPerSecond(), m.Roof().MetersPerSecond(), 1e-9) {
+		t.Errorf("v(T=0) = %v, want roof %v", v0, m.Roof())
+	}
+	// Degenerate inputs.
+	if v := SafeVelocity(0, m.Range, units.Seconds(1)); v != 0 {
+		t.Errorf("v(a=0) = %v, want 0", v)
+	}
+	if v := SafeVelocity(m.Accel, 0, units.Seconds(1)); v != 0 {
+		t.Errorf("v(d=0) = %v, want 0", v)
+	}
+	if v := SafeVelocity(m.Accel, m.Range, units.Seconds(-5)); !approx(v.MetersPerSecond(), v0.MetersPerSecond(), 1e-9) {
+		t.Errorf("negative latency clamped: v = %v, want %v", v, v0)
+	}
+}
+
+func TestPeakVelocity(t *testing.T) {
+	// sqrt(2·10·50) = sqrt(1000).
+	if v := PeakVelocity(units.MetersPerSecond2(50), units.Meters(10)); !approx(v.MetersPerSecond(), math.Sqrt(1000), 1e-12) {
+		t.Errorf("PeakVelocity = %v", v)
+	}
+	if v := PeakVelocity(0, units.Meters(10)); v != 0 {
+		t.Errorf("PeakVelocity(a=0) = %v, want 0", v)
+	}
+}
+
+func TestKneeClosedFormMatchesDefinition(t *testing.T) {
+	m := fig5Model()
+	k := m.Knee()
+	// By construction v(knee) = η·roof.
+	want := DefaultKneeFraction * m.Roof().MetersPerSecond()
+	if !approx(k.Velocity.MetersPerSecond(), want, 1e-9) {
+		t.Errorf("v(f_knee) = %v, want η·roof = %v", k.Velocity, want)
+	}
+	// And the closed form: f_knee = η/(1−η²)·sqrt(2a/d).
+	eta := DefaultKneeFraction
+	wantF := eta / (1 - eta*eta) * math.Sqrt(2*50/10.0)
+	if !approx(k.Throughput.Hertz(), wantF, 1e-9) {
+		t.Errorf("f_knee = %v, want %v", k.Throughput, wantF)
+	}
+}
+
+func TestKneeFractionOverride(t *testing.T) {
+	m := fig5Model()
+	m.KneeFraction = 0.9843 // paper's Fig. 5 knee sits near 100 Hz
+	k := m.Knee()
+	if k.Throughput.Hertz() < 90 || k.Throughput.Hertz() > 110 {
+		t.Errorf("η=0.9843 knee = %v, want ≈100 Hz", k.Throughput)
+	}
+}
+
+func TestKneeDegenerate(t *testing.T) {
+	if k := (Model{}).Knee(); k.Throughput != 0 || k.Velocity != 0 {
+		t.Errorf("zero model knee = %v, want zero", k)
+	}
+}
+
+func TestModelValidate(t *testing.T) {
+	if err := fig5Model().Validate(); err != nil {
+		t.Errorf("valid model rejected: %v", err)
+	}
+	bad := []Model{
+		{Accel: 0, Range: units.Meters(10)},
+		{Accel: units.MetersPerSecond2(1), Range: 0},
+		{Accel: units.MetersPerSecond2(1), Range: units.Meters(1), KneeFraction: 1.5},
+		{Accel: units.MetersPerSecond2(1), Range: units.Meters(1), KneeFraction: -0.5},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}
+
+func TestLatencyAsymptote(t *testing.T) {
+	m := fig5Model()
+	// v ≈ d·f for small f: at 0.01 Hz, Eq. 4 ≈ 0.1 m/s = 10 m × 0.01 Hz.
+	got := m.SafeVelocityAt(units.Hertz(0.01)).MetersPerSecond()
+	asym := m.LatencyAsymptote(units.Hertz(0.01)).MetersPerSecond()
+	if math.Abs(got-asym)/asym > 0.01 {
+		t.Errorf("Eq.4 at low f = %v, asymptote = %v; want within 1%%", got, asym)
+	}
+}
+
+// Eq. 4 is monotone increasing in f_action, a_max and d.
+func TestSafeVelocityMonotoneProperty(t *testing.T) {
+	gen := func(x float64, lo, hi float64) float64 {
+		return lo + math.Mod(math.Abs(x), hi-lo)
+	}
+	prop := func(a0, d0, f1, f2 float64) bool {
+		a := units.MetersPerSecond2(gen(a0, 0.1, 60))
+		d := units.Meters(gen(d0, 0.5, 50))
+		fa := units.Hertz(gen(f1, 0.01, 1000))
+		fb := units.Hertz(gen(f2, 0.01, 1000))
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		m := Model{Accel: a, Range: d}
+		if m.SafeVelocityAt(fa) > m.SafeVelocityAt(fb)+1e-12 {
+			return false
+		}
+		// Monotone in a.
+		m2 := m
+		m2.Accel = a * 2
+		if m2.SafeVelocityAt(fa) < m.SafeVelocityAt(fa) {
+			return false
+		}
+		// Monotone in d.
+		m3 := m
+		m3.Range = d * 2
+		return m3.SafeVelocityAt(fa) >= m.SafeVelocityAt(fa)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// v_safe never exceeds the roof, and approaches it at high throughput.
+func TestSafeVelocityBoundedByRoofProperty(t *testing.T) {
+	prop := func(a0, d0, f0 float64) bool {
+		a := units.MetersPerSecond2(0.1 + math.Mod(math.Abs(a0), 60))
+		d := units.Meters(0.5 + math.Mod(math.Abs(d0), 50))
+		f := units.Hertz(0.001 + math.Mod(math.Abs(f0), 1e6))
+		m := Model{Accel: a, Range: d}
+		return m.SafeVelocityAt(f) <= m.Roof()+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The knee velocity is exactly η·roof for any valid parameters.
+func TestKneeVelocityFractionProperty(t *testing.T) {
+	prop := func(a0, d0, e0 float64) bool {
+		a := units.MetersPerSecond2(0.1 + math.Mod(math.Abs(a0), 60))
+		d := units.Meters(0.5 + math.Mod(math.Abs(d0), 50))
+		eta := 0.5 + math.Mod(math.Abs(e0), 0.49)
+		m := Model{Accel: a, Range: d, KneeFraction: eta}
+		k := m.Knee()
+		return approx(k.Velocity.MetersPerSecond(), eta*m.Roof().MetersPerSecond(), 1e-9*m.Roof().MetersPerSecond())
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKneePointString(t *testing.T) {
+	k := KneePoint{Throughput: units.Hertz(43), Velocity: units.MetersPerSecond(7.5)}
+	if k.String() != "(43 Hz, 7.5 m/s)" {
+		t.Errorf("String() = %q", k.String())
+	}
+}

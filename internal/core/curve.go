@@ -1,0 +1,77 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// Point is one sample of the F-1 curve.
+type Point struct {
+	Throughput units.Frequency
+	Velocity   units.Velocity
+}
+
+// Curve samples the model's Eq. 4 between fMin and fMax. When logSpace
+// is true the samples are geometrically spaced — the F-1 plot, like the
+// classic roofline, uses a log throughput axis. n must be ≥ 2; the
+// endpoints are always included.
+func (m Model) Curve(fMin, fMax units.Frequency, n int, logSpace bool) []Point {
+	if n < 2 || fMax <= fMin || fMin < 0 {
+		return nil
+	}
+	if logSpace && fMin <= 0 {
+		fMin = fMax / 1e6
+	}
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		var f float64
+		if logSpace {
+			f = fMin.Hertz() * math.Pow(fMax.Hertz()/fMin.Hertz(), t)
+		} else {
+			f = fMin.Hertz() + t*(fMax.Hertz()-fMin.Hertz())
+		}
+		ff := units.Hertz(f)
+		pts[i] = Point{Throughput: ff, Velocity: m.SafeVelocityAt(ff)}
+	}
+	return pts
+}
+
+// LatencySweep samples Eq. 4 against decision latency, reproducing the
+// paper's Fig. 5a (velocity vs T_sense2act from 0 to tMax).
+func (m Model) LatencySweep(tMax units.Latency, n int) []struct {
+	Latency  units.Latency
+	Velocity units.Velocity
+} {
+	if n < 2 || tMax <= 0 {
+		return nil
+	}
+	out := make([]struct {
+		Latency  units.Latency
+		Velocity units.Velocity
+	}, n)
+	for i := 0; i < n; i++ {
+		T := units.Seconds(tMax.Seconds() * float64(i) / float64(n-1))
+		out[i].Latency = T
+		out[i].Velocity = SafeVelocity(m.Accel, m.Range, T)
+	}
+	return out
+}
+
+// RooflineCurve returns the idealized two-segment roofline (the
+// asymptote min(d·f, V_roof)) rather than the smooth Eq. 4 curve; the
+// Skyline tool overlays both so the linearization error the paper
+// discusses (§IV, sources of error) is visible.
+func (m Model) RooflineCurve(fMin, fMax units.Frequency, n int, logSpace bool) []Point {
+	pts := m.Curve(fMin, fMax, n, logSpace)
+	roof := m.Roof()
+	for i := range pts {
+		v := m.LatencyAsymptote(pts[i].Throughput)
+		if v > roof {
+			v = roof
+		}
+		pts[i].Velocity = v
+	}
+	return pts
+}

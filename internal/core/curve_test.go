@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestCurveEndpointsAndMonotone(t *testing.T) {
+	m := fig5Model()
+	pts := m.Curve(units.Hertz(0.1), units.Hertz(1000), 50, true)
+	if len(pts) != 50 {
+		t.Fatalf("got %d points, want 50", len(pts))
+	}
+	if !approx(pts[0].Throughput.Hertz(), 0.1, 1e-9) || !approx(pts[49].Throughput.Hertz(), 1000, 1e-6) {
+		t.Errorf("endpoints = %v, %v", pts[0].Throughput, pts[49].Throughput)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Throughput <= pts[i-1].Throughput {
+			t.Fatalf("throughput not increasing at %d", i)
+		}
+		if pts[i].Velocity < pts[i-1].Velocity {
+			t.Fatalf("velocity not monotone at %d", i)
+		}
+	}
+}
+
+func TestCurveLogSpacing(t *testing.T) {
+	m := fig5Model()
+	pts := m.Curve(units.Hertz(1), units.Hertz(100), 3, true)
+	// Geometric midpoint of [1,100] is 10.
+	if !approx(pts[1].Throughput.Hertz(), 10, 1e-9) {
+		t.Errorf("log midpoint = %v, want 10", pts[1].Throughput)
+	}
+	lin := m.Curve(units.Hertz(1), units.Hertz(100), 3, false)
+	if !approx(lin[1].Throughput.Hertz(), 50.5, 1e-9) {
+		t.Errorf("linear midpoint = %v, want 50.5", lin[1].Throughput)
+	}
+}
+
+func TestCurveDegenerateInputs(t *testing.T) {
+	m := fig5Model()
+	if pts := m.Curve(units.Hertz(10), units.Hertz(1), 10, true); pts != nil {
+		t.Error("inverted range accepted")
+	}
+	if pts := m.Curve(units.Hertz(1), units.Hertz(10), 1, true); pts != nil {
+		t.Error("n=1 accepted")
+	}
+	// Zero fMin in log space is remapped, not rejected.
+	pts := m.Curve(0, units.Hertz(10), 5, true)
+	if pts == nil || pts[0].Throughput <= 0 {
+		t.Errorf("log curve with fMin=0 = %v", pts)
+	}
+}
+
+func TestLatencySweepFig5a(t *testing.T) {
+	m := fig5Model()
+	sw := m.LatencySweep(units.Seconds(5), 101)
+	if len(sw) != 101 {
+		t.Fatalf("got %d points", len(sw))
+	}
+	// T=0 start: the roof.
+	if !approx(sw[0].Velocity.MetersPerSecond(), m.Roof().MetersPerSecond(), 1e-9) {
+		t.Errorf("v(T=0) = %v, want roof", sw[0].Velocity)
+	}
+	// Decreasing in T.
+	for i := 1; i < len(sw); i++ {
+		if sw[i].Velocity > sw[i-1].Velocity {
+			t.Fatalf("velocity increased with latency at %d", i)
+		}
+	}
+	// T=5 s endpoint: 50(sqrt(25+0.4)−5) ≈ 1.99 m/s.
+	last := sw[100].Velocity.MetersPerSecond()
+	if !approx(last, 50*(math.Sqrt(25.4)-5), 1e-9) {
+		t.Errorf("v(T=5) = %v", last)
+	}
+}
+
+func TestLatencySweepDegenerate(t *testing.T) {
+	m := fig5Model()
+	if sw := m.LatencySweep(0, 10); sw != nil {
+		t.Error("zero tMax accepted")
+	}
+	if sw := m.LatencySweep(units.Seconds(1), 1); sw != nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestRooflineCurveClampsAtRoof(t *testing.T) {
+	m := fig5Model()
+	pts := m.RooflineCurve(units.Hertz(0.1), units.Hertz(10000), 100, true)
+	roof := m.Roof()
+	for _, p := range pts {
+		if p.Velocity > roof {
+			t.Fatalf("roofline exceeds roof at %v: %v", p.Throughput, p.Velocity)
+		}
+	}
+	// Left end matches d·f, right end sits at the roof.
+	if !approx(pts[0].Velocity.MetersPerSecond(), 10*0.1, 1e-9) {
+		t.Errorf("left end = %v, want 1", pts[0].Velocity)
+	}
+	if pts[len(pts)-1].Velocity != roof {
+		t.Errorf("right end = %v, want roof %v", pts[len(pts)-1].Velocity, roof)
+	}
+}
+
+// The idealized roofline always upper-bounds the smooth Eq. 4 curve —
+// this is exactly the linearization error the paper names as an error
+// source (the model is optimistic).
+func TestRooflineUpperBoundsEq4(t *testing.T) {
+	m := fig5Model()
+	smooth := m.Curve(units.Hertz(0.1), units.Hertz(10000), 200, true)
+	ideal := m.RooflineCurve(units.Hertz(0.1), units.Hertz(10000), 200, true)
+	for i := range smooth {
+		if ideal[i].Velocity < smooth[i].Velocity-units.Velocity(1e-9) {
+			t.Fatalf("roofline below Eq.4 at %v: %v < %v",
+				smooth[i].Throughput, ideal[i].Velocity, smooth[i].Velocity)
+		}
+	}
+}

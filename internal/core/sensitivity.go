@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Sensitivity quantifies how much each F-1 input moves the safe
+// velocity at an operating point — the "which knob should I turn"
+// question behind the Skyline tool's guidance. All derivatives are
+// analytic (Eq. 4 is smooth).
+type Sensitivity struct {
+	// DvDa is ∂v_safe/∂a_max in (m/s)/(m/s²).
+	DvDa float64
+	// DvDd is ∂v_safe/∂d in (m/s)/m.
+	DvDd float64
+	// DvDf is ∂v_safe/∂f_action in (m/s)/Hz.
+	DvDf float64
+	// ElasticityA/D/F are the dimensionless elasticities
+	// (d ln v / d ln x): the % velocity gain per % input improvement.
+	ElasticityA float64
+	ElasticityD float64
+	ElasticityF float64
+}
+
+// SensitivityAt evaluates the analytic sensitivities of Eq. 4 at the
+// given action throughput.
+//
+// With s = sqrt(T² + 2d/a) and v = a(s − T):
+//
+//	∂v/∂a = (s − T) − d/(a·s) + ... computed below from the product rule
+//	∂v/∂d = 1/s
+//	∂v/∂T = a(T/s − 1)     ⇒  ∂v/∂f = −∂v/∂T / f²
+func (m Model) SensitivityAt(f units.Frequency) (Sensitivity, error) {
+	if err := m.Validate(); err != nil {
+		return Sensitivity{}, err
+	}
+	if f <= 0 {
+		return Sensitivity{}, fmt.Errorf("f1: sensitivity needs positive throughput, got %v", f)
+	}
+	a := m.Accel.MetersPerSecond2()
+	d := m.Range.Meters()
+	T := f.Period().Seconds()
+	s := math.Sqrt(T*T + 2*d/a)
+	v := a * (s - T)
+	// ∂s/∂a = −d/(a²·s); v = a·s − a·T
+	// ∂v/∂a = s + a·∂s/∂a − T = s − d/(a·s) − T
+	dvda := s - d/(a*s) - T
+	// ∂s/∂d = 1/(a·s); ∂v/∂d = a·∂s/∂d = 1/s
+	dvdd := 1 / s
+	// ∂s/∂T = T/s; ∂v/∂T = a(T/s − 1) ≤ 0; ∂v/∂f = −∂v/∂T·T²
+	dvdT := a * (T/s - 1)
+	dvdf := -dvdT * T * T
+	sens := Sensitivity{
+		DvDa: dvda,
+		DvDd: dvdd,
+		DvDf: dvdf,
+	}
+	if v > 0 {
+		sens.ElasticityA = dvda * a / v
+		sens.ElasticityD = dvdd * d / v
+		sens.ElasticityF = dvdf * (1 / T) / v
+	}
+	return sens, nil
+}
+
+// DesignTargets is the inverse-design output: what an onboard computer
+// (or accelerator) must deliver for a given UAV to fly at its knee —
+// the optimization targets the paper says the F-1 model should hand to
+// architects (§VI takeaways, §IX conclusion).
+type DesignTargets struct {
+	// ComputeRate is the minimum compute throughput: the knee rate
+	// (assuming sensor and control keep up).
+	ComputeRate units.Frequency
+	// ComputeLatencyBudget is the per-decision latency budget, the
+	// reciprocal of ComputeRate.
+	ComputeLatencyBudget units.Latency
+	// SensorRate is the minimum sensor frame rate (same knee rate).
+	SensorRate units.Frequency
+	// MaxPayload is the compute payload (module + heatsink) above which
+	// the velocity target becomes unreachable even at infinite
+	// throughput. Zero when any payload in the model's table works.
+	MaxPayload units.Mass
+	// MaxTDP is the TDP whose heatsink mass would push the payload past
+	// MaxPayload, under the given heatsink model and module mass.
+	MaxTDP units.Power
+	// Velocity is the safe velocity achieved at the knee.
+	Velocity units.Velocity
+}
+
+// PayloadLimitedModel is the subset of AccelModel information inverse
+// design needs: a way to ask "what payload still achieves acceleration
+// a?". The physics.CalibratedTable satisfies it via its anchors; the
+// helper InvertAccel provides a generic bisection for any AccelModel.
+type accelAt func(payload units.Mass) units.Acceleration
+
+// InvertAccel bisects an acceleration model for the heaviest payload
+// that still delivers at least aMin, searching payloads in
+// [0, maxSearch]. It returns ok=false when even zero payload cannot
+// reach aMin. The model must be monotone non-increasing in payload
+// (all AccelModel implementations are).
+func InvertAccel(model accelAt, aMin units.Acceleration, maxSearch units.Mass) (units.Mass, bool) {
+	if model(0) < aMin {
+		return 0, false
+	}
+	if model(maxSearch) >= aMin {
+		return maxSearch, true
+	}
+	lo, hi := units.Mass(0), maxSearch // invariant: a(lo) ≥ aMin > a(hi)
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if model(mid) >= aMin {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, true
+}
+
+// TargetsForVelocity computes accelerator design targets: the pipeline
+// rate and payload/TDP budget that let the configuration's UAV fly at
+// vTarget with sensing range d. moduleMass is the bare compute module
+// (the heatsink is solved for); hs converts TDP to heatsink mass.
+func TargetsForVelocity(
+	cfg Config,
+	vTarget units.Velocity,
+	moduleMass units.Mass,
+	hs interface {
+		HeatsinkMass(units.Power) units.Mass
+	},
+) (DesignTargets, error) {
+	if err := cfg.Validate(); err != nil {
+		return DesignTargets{}, err
+	}
+	if vTarget <= 0 {
+		return DesignTargets{}, fmt.Errorf("f1: target velocity must be positive, got %v", vTarget)
+	}
+	// Required a_max for vTarget at the knee throughput: at the knee,
+	// v = η·roof, so roof = v/η and a = roof²/(2d).
+	eta := cfg.KneeFraction
+	if eta == 0 {
+		eta = DefaultKneeFraction
+	}
+	roof := vTarget.MetersPerSecond() / eta
+	aReq := units.MetersPerSecond2(roof * roof / (2 * cfg.SensorRange.Meters()))
+
+	// Heaviest payload still delivering aReq.
+	maxPayload, ok := InvertAccel(func(p units.Mass) units.Acceleration {
+		return cfg.AccelModel.MaxAccel(cfg.Frame, p)
+	}, aReq, units.Kilograms(20))
+	if !ok {
+		return DesignTargets{}, fmt.Errorf("f1: %v is unreachable on %q at any payload (needs a_max %v)",
+			vTarget, cfg.Frame.Name, aReq)
+	}
+
+	// TDP budget: heatsink mass may consume maxPayload − moduleMass.
+	var maxTDP units.Power
+	if hs != nil && moduleMass < maxPayload {
+		budget := maxPayload - moduleMass
+		lo, hi := 0.0, 1000.0 // watts
+		for i := 0; i < 60; i++ {
+			mid := (lo + hi) / 2
+			if hs.HeatsinkMass(units.Watts(mid)) <= budget {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		maxTDP = units.Watts(lo)
+	}
+
+	// Knee rate at the required acceleration.
+	m := Model{Accel: aReq, Range: cfg.SensorRange, KneeFraction: cfg.KneeFraction}
+	knee := m.Knee()
+	return DesignTargets{
+		ComputeRate:          knee.Throughput,
+		ComputeLatencyBudget: knee.Throughput.Period(),
+		SensorRate:           knee.Throughput,
+		MaxPayload:           maxPayload,
+		MaxTDP:               maxTDP,
+		Velocity:             knee.Velocity,
+	}, nil
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/physics"
+	"repro/internal/thermal"
+	"repro/internal/units"
+)
+
+// Analytic derivatives must match central finite differences.
+func TestSensitivityMatchesFiniteDifference(t *testing.T) {
+	m := fig5Model()
+	f := units.Hertz(10)
+	s, err := m.SensitivityAt(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const h = 1e-6
+	// ∂v/∂a.
+	va := func(a float64) float64 {
+		mm := m
+		mm.Accel = units.MetersPerSecond2(a)
+		return mm.SafeVelocityAt(f).MetersPerSecond()
+	}
+	fd := (va(50+h) - va(50-h)) / (2 * h)
+	if math.Abs(s.DvDa-fd) > 1e-5 {
+		t.Errorf("DvDa = %v, finite diff %v", s.DvDa, fd)
+	}
+	// ∂v/∂d.
+	vd := func(d float64) float64 {
+		mm := m
+		mm.Range = units.Meters(d)
+		return mm.SafeVelocityAt(f).MetersPerSecond()
+	}
+	fd = (vd(10+h) - vd(10-h)) / (2 * h)
+	if math.Abs(s.DvDd-fd) > 1e-5 {
+		t.Errorf("DvDd = %v, finite diff %v", s.DvDd, fd)
+	}
+	// ∂v/∂f.
+	vf := func(hz float64) float64 {
+		return m.SafeVelocityAt(units.Hertz(hz)).MetersPerSecond()
+	}
+	fd = (vf(10+h) - vf(10-h)) / (2 * h)
+	if math.Abs(s.DvDf-fd) > 1e-5 {
+		t.Errorf("DvDf = %v, finite diff %v", s.DvDf, fd)
+	}
+}
+
+// All sensitivities are positive (more accel, range or rate never
+// hurts) and the throughput elasticity collapses past the knee.
+func TestSensitivitySignsAndKneeCollapse(t *testing.T) {
+	m := fig5Model()
+	below, err := m.SensitivityAt(units.Hertz(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	above, err := m.SensitivityAt(units.Hertz(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"DvDa": below.DvDa, "DvDd": below.DvDd, "DvDf": below.DvDf,
+	} {
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	// Below the knee, throughput dominates; above it, it is negligible.
+	if !(below.ElasticityF > 10*above.ElasticityF) {
+		t.Errorf("throughput elasticity did not collapse past knee: %v vs %v",
+			below.ElasticityF, above.ElasticityF)
+	}
+	if above.ElasticityA < 0.4 {
+		t.Errorf("physics elasticity past knee = %v, want ≈0.5", above.ElasticityA)
+	}
+}
+
+// Elasticities of a and d sum toward 1 at high throughput
+// (v → sqrt(2·d·a): half a percent each per percent input).
+func TestElasticityLimitsProperty(t *testing.T) {
+	prop := func(a0, d0 float64) bool {
+		m := Model{
+			Accel: units.MetersPerSecond2(0.5 + math.Mod(math.Abs(a0), 40)),
+			Range: units.Meters(1 + math.Mod(math.Abs(d0), 20)),
+		}
+		s, err := m.SensitivityAt(units.Hertz(1e5))
+		if err != nil {
+			return false
+		}
+		return math.Abs(s.ElasticityA-0.5) < 0.01 && math.Abs(s.ElasticityD-0.5) < 0.01
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSensitivityErrors(t *testing.T) {
+	if _, err := (Model{}).SensitivityAt(units.Hertz(1)); err == nil {
+		t.Error("invalid model accepted")
+	}
+	if _, err := fig5Model().SensitivityAt(0); err == nil {
+		t.Error("zero throughput accepted")
+	}
+}
+
+func TestInvertAccel(t *testing.T) {
+	table := physics.MustCalibratedTable([]physics.CalibPoint{
+		{Payload: units.Grams(100), Accel: units.MetersPerSecond2(10)},
+		{Payload: units.Grams(500), Accel: units.MetersPerSecond2(2)},
+	})
+	model := func(p units.Mass) units.Acceleration {
+		return table.At(p)
+	}
+	// a(p) = 10 at p ≤ 100 g; find the heaviest payload with a ≥ 5.
+	p, ok := InvertAccel(model, units.MetersPerSecond2(5), units.Kilograms(1))
+	if !ok {
+		t.Fatal("invertible model reported unreachable")
+	}
+	if table.At(p).MetersPerSecond2() < 5-1e-6 {
+		t.Errorf("payload %v gives %v < 5", p, table.At(p))
+	}
+	// Slightly heavier payloads fall below the threshold.
+	if table.At(p+units.Grams(5)).MetersPerSecond2() >= 5 {
+		t.Errorf("payload %v not maximal", p)
+	}
+	// Unreachable acceleration.
+	if _, ok := InvertAccel(model, units.MetersPerSecond2(50), units.Kilograms(1)); ok {
+		t.Error("unreachable acceleration reported ok")
+	}
+	// Every payload works.
+	p2, ok := InvertAccel(model, units.MetersPerSecond2(1), units.Kilograms(1))
+	if !ok || p2 != units.Kilograms(1) {
+		t.Errorf("all-payloads case = %v, %v", p2, ok)
+	}
+}
+
+func TestTargetsForVelocity(t *testing.T) {
+	table := physics.MustCalibratedTable([]physics.CalibPoint{
+		{Payload: units.Grams(77), Accel: units.MetersPerSecond2(10.67)},
+		{Payload: units.Grams(200), Accel: units.MetersPerSecond2(10.67)},
+		{Payload: units.Grams(370), Accel: units.MetersPerSecond2(4.79)},
+		{Payload: units.Grams(600), Accel: units.MetersPerSecond2(2.0)},
+	})
+	cfg := Config{
+		Name:        "pelican-like",
+		Frame:       physics.Airframe{Name: "P", BaseMass: units.Grams(1000), MotorCount: 4, MotorThrust: units.GramsForce(650)},
+		AccelModel:  table,
+		Payload:     units.Grams(200),
+		SensorRate:  units.Hertz(60),
+		SensorRange: units.Meters(4.5),
+		ComputeRate: units.Hertz(178),
+		ControlRate: units.Hertz(1000),
+	}
+	// Target: the velocity this airframe reaches at its 43 Hz knee.
+	targets, err := TargetsForVelocity(cfg, units.MetersPerSecond(9.55), units.Grams(85), thermal.DefaultPowerLaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The knee rate should come out ≈43 Hz.
+	if math.Abs(targets.ComputeRate.Hertz()-43) > 1 {
+		t.Errorf("compute target = %v, want ≈43 Hz", targets.ComputeRate)
+	}
+	if targets.SensorRate != targets.ComputeRate {
+		t.Error("sensor and compute targets should match at the knee")
+	}
+	// Latency budget is the reciprocal.
+	if math.Abs(targets.ComputeLatencyBudget.Seconds()*targets.ComputeRate.Hertz()-1) > 1e-9 {
+		t.Error("latency budget not reciprocal of rate")
+	}
+	// Payload budget: somewhere between the 200 g anchor (full a) and
+	// the 370 g anchor.
+	if targets.MaxPayload.Grams() <= 200 || targets.MaxPayload.Grams() >= 370 {
+		t.Errorf("payload budget = %v, want within (200,370) g", targets.MaxPayload)
+	}
+	// TDP budget must be positive and its heatsink must fit.
+	if targets.MaxTDP <= 0 {
+		t.Fatalf("TDP budget = %v", targets.MaxTDP)
+	}
+	hsMass := thermal.DefaultPowerLaw.HeatsinkMass(targets.MaxTDP)
+	if units.Grams(85)+hsMass > targets.MaxPayload+units.Grams(0.1) {
+		t.Errorf("module+heatsink %v exceeds payload budget %v", units.Grams(85)+hsMass, targets.MaxPayload)
+	}
+	// Achieved velocity ≈ the target.
+	if math.Abs(targets.Velocity.MetersPerSecond()-9.55) > 0.05 {
+		t.Errorf("achieved velocity = %v, want ≈9.55", targets.Velocity)
+	}
+}
+
+func TestTargetsForVelocityUnreachable(t *testing.T) {
+	table := physics.MustCalibratedTable([]physics.CalibPoint{
+		{Payload: units.Grams(100), Accel: units.MetersPerSecond2(2)},
+		{Payload: units.Grams(500), Accel: units.MetersPerSecond2(1)},
+	})
+	cfg := Config{
+		Name:        "weak",
+		Frame:       physics.Airframe{Name: "W", BaseMass: units.Grams(500), MotorCount: 4, MotorThrust: units.GramsForce(200)},
+		AccelModel:  table,
+		Payload:     units.Grams(100),
+		SensorRate:  units.Hertz(60),
+		SensorRange: units.Meters(3),
+		ComputeRate: units.Hertz(100),
+		ControlRate: units.Hertz(1000),
+	}
+	if _, err := TargetsForVelocity(cfg, units.MetersPerSecond(50), units.Grams(50), thermal.DefaultPowerLaw); err == nil {
+		t.Error("unreachable velocity accepted")
+	}
+	if _, err := TargetsForVelocity(cfg, 0, units.Grams(50), thermal.DefaultPowerLaw); err == nil {
+		t.Error("zero velocity accepted")
+	}
+}
+
+func TestTargetsForVelocityNilHeatsink(t *testing.T) {
+	table := physics.MustCalibratedTable([]physics.CalibPoint{
+		{Payload: units.Grams(100), Accel: units.MetersPerSecond2(10)},
+		{Payload: units.Grams(500), Accel: units.MetersPerSecond2(2)},
+	})
+	cfg := Config{
+		Name:        "x",
+		Frame:       physics.Airframe{Name: "X", BaseMass: units.Grams(500), MotorCount: 4, MotorThrust: units.GramsForce(400)},
+		AccelModel:  table,
+		Payload:     units.Grams(100),
+		SensorRate:  units.Hertz(60),
+		SensorRange: units.Meters(3),
+		ComputeRate: units.Hertz(100),
+		ControlRate: units.Hertz(1000),
+	}
+	targets, err := TargetsForVelocity(cfg, units.MetersPerSecond(4), units.Grams(50), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if targets.MaxTDP != 0 {
+		t.Errorf("nil heatsink model should leave MaxTDP zero, got %v", targets.MaxTDP)
+	}
+}

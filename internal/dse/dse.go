@@ -1,0 +1,202 @@
+// Package dse automates the paper's §VI-D full-system characterization
+// and the conclusion's "automated design space exploration": enumerate
+// every (UAV × compute × algorithm) combination in a catalog, analyze
+// each with the F-1 model, filter by constraints, rank by objectives and
+// extract the Pareto frontier.
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Candidate is one explored configuration with its F-1 analysis.
+type Candidate struct {
+	Selection catalog.Selection
+	Analysis  core.Analysis
+	// Power is the compute platform's TDP (the payload side is already
+	// inside the analysis).
+	Power units.Power
+}
+
+// Name renders the candidate's configuration name.
+func (c Candidate) Name() string { return c.Analysis.Config.Name }
+
+// Space is the cross product to explore.
+type Space struct {
+	UAVs       []string
+	Computes   []string
+	Algorithms []string
+	// Sensors optionally overrides each UAV's default sensor (empty =
+	// default only).
+	Sensors []string
+}
+
+// Constraints prune candidates before ranking.
+type Constraints struct {
+	// MaxPayload rejects configurations whose payload exceeds it
+	// (zero = unconstrained).
+	MaxPayload units.Mass
+	// MaxPower rejects compute platforms whose TDP exceeds it
+	// (zero = unconstrained).
+	MaxPower units.Power
+	// MinVelocity rejects configurations below this safe velocity
+	// (zero = unconstrained).
+	MinVelocity units.Velocity
+}
+
+// Allows reports whether the candidate satisfies the constraints.
+func (c Constraints) Allows(cand Candidate) bool {
+	if c.MaxPayload > 0 && cand.Analysis.Config.Payload > c.MaxPayload {
+		return false
+	}
+	if c.MaxPower > 0 && cand.Power > c.MaxPower {
+		return false
+	}
+	if c.MinVelocity > 0 && cand.Analysis.SafeVelocity < c.MinVelocity {
+		return false
+	}
+	return true
+}
+
+// Enumerate analyzes every combination in the space. Combinations with
+// no performance-table entry (an algorithm never measured on a platform)
+// are skipped silently — they are not buildable systems. Other analysis
+// errors abort the exploration.
+func Enumerate(cat *catalog.Catalog, space Space, cons Constraints) ([]Candidate, error) {
+	if len(space.UAVs) == 0 || len(space.Computes) == 0 || len(space.Algorithms) == 0 {
+		return nil, fmt.Errorf("dse: space must name at least one UAV, compute and algorithm")
+	}
+	sensors := space.Sensors
+	if len(sensors) == 0 {
+		sensors = []string{""}
+	}
+	var out []Candidate
+	for _, u := range space.UAVs {
+		for _, comp := range space.Computes {
+			for _, algo := range space.Algorithms {
+				if _, err := cat.Perf(algo, comp); err != nil {
+					continue // not a buildable combination
+				}
+				for _, sensor := range sensors {
+					sel := catalog.Selection{UAV: u, Compute: comp, Algorithm: algo, Sensor: sensor}
+					an, err := cat.Analyze(sel)
+					if err != nil {
+						return nil, fmt.Errorf("dse: analyzing %s/%s/%s: %w", u, comp, algo, err)
+					}
+					compSpec, err := cat.Compute(comp)
+					if err != nil {
+						return nil, err
+					}
+					cand := Candidate{Selection: sel, Analysis: an, Power: compSpec.TDP}
+					if cons.Allows(cand) {
+						out = append(out, cand)
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Objective scores a candidate; higher is better.
+type Objective func(Candidate) float64
+
+// MaxVelocity ranks by safe velocity — the paper's primary objective.
+func MaxVelocity(c Candidate) float64 { return c.Analysis.SafeVelocity.MetersPerSecond() }
+
+// MinPower ranks by (negated) compute TDP.
+func MinPower(c Candidate) float64 { return -c.Power.Watts() }
+
+// MinPayload ranks by (negated) payload mass.
+func MinPayload(c Candidate) float64 { return -c.Analysis.Config.Payload.Grams() }
+
+// Balance ranks by closeness to the knee (1/GapFactor): balanced
+// designs score 1, badly over/under-provisioned ones approach 0.
+func Balance(c Candidate) float64 {
+	g := c.Analysis.GapFactor
+	if g <= 0 || math.IsInf(g, 1) {
+		return 0
+	}
+	return 1 / g
+}
+
+// Best returns the highest-scoring candidate under the objective, with
+// deterministic name-ordered tie breaking. It errors on an empty slate.
+func Best(cands []Candidate, obj Objective) (Candidate, error) {
+	if len(cands) == 0 {
+		return Candidate{}, fmt.Errorf("dse: no candidates")
+	}
+	best := cands[0]
+	bestScore := obj(best)
+	for _, c := range cands[1:] {
+		s := obj(c)
+		if s > bestScore || (s == bestScore && c.Name() < best.Name()) {
+			best, bestScore = c, s
+		}
+	}
+	return best, nil
+}
+
+// Rank sorts candidates by descending objective score (stable,
+// name-tie-broken) and returns a new slice.
+func Rank(cands []Candidate, obj Objective) []Candidate {
+	out := make([]Candidate, len(cands))
+	copy(out, cands)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := obj(out[i]), obj(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// ParetoFront returns the candidates not dominated under the given
+// objectives (all maximized). A candidate dominates another when it is
+// at least as good on every objective and strictly better on one.
+// Result order follows the input.
+func ParetoFront(cands []Candidate, objs ...Objective) ([]Candidate, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("dse: Pareto front needs at least one objective")
+	}
+	scores := make([][]float64, len(cands))
+	for i, c := range cands {
+		scores[i] = make([]float64, len(objs))
+		for j, o := range objs {
+			scores[i][j] = o(c)
+		}
+	}
+	dominates := func(a, b []float64) bool {
+		strict := false
+		for k := range a {
+			if a[k] < b[k] {
+				return false
+			}
+			if a[k] > b[k] {
+				strict = true
+			}
+		}
+		return strict
+	}
+	var out []Candidate
+	for i := range cands {
+		dominated := false
+		for j := range cands {
+			if i != j && dominates(scores[j], scores[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, cands[i])
+		}
+	}
+	return out, nil
+}

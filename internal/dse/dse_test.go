@@ -1,0 +1,232 @@
+package dse
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/units"
+)
+
+// fig15Space is the §VI-D cross product.
+func fig15Space() Space {
+	return Space{
+		UAVs:       []string{catalog.UAVAscTecPelican, catalog.UAVDJISpark},
+		Computes:   []string{catalog.ComputeNCS, catalog.ComputeTX2, catalog.ComputeRasPi4},
+		Algorithms: []string{catalog.AlgoDroNet, catalog.AlgoTrailNet, catalog.AlgoCAD2RL},
+	}
+}
+
+func TestEnumerateSkipsUnmeasuredPairs(t *testing.T) {
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured pairs: DroNet on {NCS,TX2,RasPi}=3, TrailNet on
+	// {TX2,RasPi}=2, CAD2RL on {TX2,RasPi}=2 ⇒ 7 per UAV, 14 total.
+	if len(cands) != 14 {
+		t.Fatalf("got %d candidates, want 14", len(cands))
+	}
+	for _, c := range cands {
+		if c.Analysis.SafeVelocity < 0 {
+			t.Errorf("negative velocity for %s", c.Name())
+		}
+	}
+}
+
+func TestEnumerateEmptySpace(t *testing.T) {
+	cat := catalog.Default()
+	if _, err := Enumerate(cat, Space{}, Constraints{}); err == nil {
+		t.Error("empty space accepted")
+	}
+}
+
+func TestEnumerateUnknownUAV(t *testing.T) {
+	cat := catalog.Default()
+	sp := fig15Space()
+	sp.UAVs = []string{"bogus"}
+	if _, err := Enumerate(cat, sp, Constraints{}); err == nil {
+		t.Error("unknown UAV accepted")
+	}
+}
+
+func TestConstraintsFilter(t *testing.T) {
+	cat := catalog.Default()
+	all, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowPower, err := Enumerate(cat, fig15Space(), Constraints{MaxPower: units.Watts(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lowPower) >= len(all) {
+		t.Errorf("power constraint did not prune: %d vs %d", len(lowPower), len(all))
+	}
+	for _, c := range lowPower {
+		if c.Power.Watts() > 2 {
+			t.Errorf("%s violates power constraint (%v)", c.Name(), c.Power)
+		}
+	}
+	fast, err := Enumerate(cat, fig15Space(), Constraints{MinVelocity: units.MetersPerSecond(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range fast {
+		if c.Analysis.SafeVelocity.MetersPerSecond() < 5 {
+			t.Errorf("%s violates velocity constraint", c.Name())
+		}
+	}
+	light, err := Enumerate(cat, fig15Space(), Constraints{MaxPayload: units.Grams(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range light {
+		if c.Analysis.Config.Payload.Grams() > 100 {
+			t.Errorf("%s violates payload constraint", c.Name())
+		}
+	}
+}
+
+func TestBestByVelocityIsPhysicallySensible(t *testing.T) {
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Best(cands, MaxVelocity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fastest full system pairs the Pelican (higher roof) with a
+	// light, fast-enough computer — never Ras-Pi (compute-starved).
+	if !strings.Contains(best.Name(), "Pelican") {
+		t.Errorf("best = %s, want a Pelican configuration", best.Name())
+	}
+	if strings.Contains(best.Name(), "Ras-Pi") {
+		t.Errorf("best = %s, Ras-Pi should never win on velocity", best.Name())
+	}
+	// Best is at least as fast as every candidate.
+	for _, c := range cands {
+		if c.Analysis.SafeVelocity > best.Analysis.SafeVelocity {
+			t.Errorf("%s (%v) beats reported best (%v)", c.Name(), c.Analysis.SafeVelocity, best.Analysis.SafeVelocity)
+		}
+	}
+}
+
+func TestBestEmpty(t *testing.T) {
+	if _, err := Best(nil, MaxVelocity); err == nil {
+		t.Error("empty candidates accepted")
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := Rank(cands, MaxVelocity)
+	if len(ranked) != len(cands) {
+		t.Fatalf("rank changed candidate count")
+	}
+	for i := 1; i < len(ranked); i++ {
+		if MaxVelocity(ranked[i]) > MaxVelocity(ranked[i-1]) {
+			t.Fatalf("rank not descending at %d", i)
+		}
+	}
+	// Original slice untouched (Rank copies).
+	if &ranked[0] == &cands[0] {
+		t.Error("Rank did not copy")
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := ParetoFront(cands, MaxVelocity, MinPower, MinPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) == 0 || len(front) > len(cands) {
+		t.Fatalf("front size %d of %d", len(front), len(cands))
+	}
+	// The velocity-best and the power-best are always on the front.
+	vbest, _ := Best(cands, MaxVelocity)
+	pbest, _ := Best(cands, MinPower)
+	if !onFront(front, vbest.Name()) {
+		t.Errorf("velocity-best %s missing from front", vbest.Name())
+	}
+	if !onFront(front, pbest.Name()) {
+		t.Errorf("power-best %s missing from front", pbest.Name())
+	}
+	// No front member dominates another.
+	for i := range front {
+		for j := range front {
+			if i == j {
+				continue
+			}
+			a, b := front[i], front[j]
+			if MaxVelocity(a) >= MaxVelocity(b) && MinPower(a) >= MinPower(b) &&
+				MinPayload(a) >= MinPayload(b) &&
+				(MaxVelocity(a) > MaxVelocity(b) || MinPower(a) > MinPower(b) || MinPayload(a) > MinPayload(b)) {
+				t.Errorf("front member %s dominates front member %s", a.Name(), b.Name())
+			}
+		}
+	}
+}
+
+func onFront(front []Candidate, name string) bool {
+	for _, c := range front {
+		if c.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParetoFrontNoObjectives(t *testing.T) {
+	if _, err := ParetoFront(nil, nil...); err == nil {
+		t.Error("no objectives accepted")
+	}
+}
+
+func TestSingleObjectiveParetoIsArgmaxSet(t *testing.T) {
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := ParetoFront(cands, MaxVelocity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := Best(cands, MaxVelocity)
+	for _, c := range front {
+		if math.Abs(MaxVelocity(c)-MaxVelocity(best)) > 1e-12 {
+			t.Errorf("single-objective front member %s is not an argmax", c.Name())
+		}
+	}
+}
+
+func TestBalanceObjective(t *testing.T) {
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		b := Balance(c)
+		if b < 0 || b > 1 {
+			t.Errorf("%s balance = %v, want [0,1]", c.Name(), b)
+		}
+		if c.Analysis.GapFactor == 1 && b != 1 {
+			t.Errorf("%s optimal design should score balance 1", c.Name())
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Sweep varies one knob of a configuration over a range and records how
+// the F-1 outputs respond — the programmatic equivalent of dragging a
+// Skyline slider, and the building block for custom characterization
+// studies.
+
+// Knob identifies a sweepable configuration parameter.
+type Knob int
+
+const (
+	// KnobPayload sweeps the payload mass (grams).
+	KnobPayload Knob = iota
+	// KnobSensorRange sweeps the sensing distance (meters).
+	KnobSensorRange
+	// KnobSensorRate sweeps the sensor frame rate (Hz).
+	KnobSensorRate
+	// KnobComputeRate sweeps the compute throughput (Hz).
+	KnobComputeRate
+)
+
+// String implements fmt.Stringer.
+func (k Knob) String() string {
+	switch k {
+	case KnobPayload:
+		return "payload (g)"
+	case KnobSensorRange:
+		return "sensor range (m)"
+	case KnobSensorRate:
+		return "sensor rate (Hz)"
+	case KnobComputeRate:
+		return "compute rate (Hz)"
+	default:
+		return fmt.Sprintf("Knob(%d)", int(k))
+	}
+}
+
+// SweepPoint is one sample of a sweep.
+type SweepPoint struct {
+	// Value is the knob setting (in the knob's natural unit).
+	Value float64
+	// Analysis is the full F-1 result at that setting.
+	Analysis core.Analysis
+}
+
+// SweepResult is a completed sweep.
+type SweepResult struct {
+	Knob   Knob
+	Points []SweepPoint
+}
+
+// Sweep evaluates the configuration with the knob set to n values
+// spaced linearly (or geometrically when logSpace) between lo and hi.
+func Sweep(cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (SweepResult, error) {
+	if n < 2 {
+		return SweepResult{}, fmt.Errorf("dse: sweep needs ≥2 points, got %d", n)
+	}
+	if hi <= lo {
+		return SweepResult{}, fmt.Errorf("dse: sweep range [%v,%v] is empty", lo, hi)
+	}
+	if logSpace && lo <= 0 {
+		return SweepResult{}, fmt.Errorf("dse: log sweep needs positive lower bound, got %v", lo)
+	}
+	res := SweepResult{Knob: knob, Points: make([]SweepPoint, 0, n)}
+	for i := 0; i < n; i++ {
+		t := float64(i) / float64(n-1)
+		var v float64
+		if logSpace {
+			v = lo * math.Pow(hi/lo, t)
+		} else {
+			v = lo + t*(hi-lo)
+		}
+		c := cfg
+		switch knob {
+		case KnobPayload:
+			c.Payload = units.Grams(v)
+		case KnobSensorRange:
+			c.SensorRange = units.Meters(v)
+		case KnobSensorRate:
+			c.SensorRate = units.Hertz(v)
+		case KnobComputeRate:
+			c.ComputeRate = units.Hertz(v)
+		default:
+			return SweepResult{}, fmt.Errorf("dse: unknown knob %v", knob)
+		}
+		an, err := core.Analyze(c)
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("dse: sweep %v at %v: %w", knob, v, err)
+		}
+		res.Points = append(res.Points, SweepPoint{Value: v, Analysis: an})
+	}
+	return res, nil
+}
+
+// Velocities extracts the (knob value, safe velocity) series for
+// plotting.
+func (r SweepResult) Velocities() (xs, ys []float64) {
+	xs = make([]float64, len(r.Points))
+	ys = make([]float64, len(r.Points))
+	for i, p := range r.Points {
+		xs[i] = p.Value
+		ys[i] = p.Analysis.SafeVelocity.MetersPerSecond()
+	}
+	return xs, ys
+}
+
+// BoundTransitions returns the knob values at which the bound
+// classification changes — where a design crosses from compute-bound to
+// physics-bound territory as the knob moves.
+func (r SweepResult) BoundTransitions() []SweepPoint {
+	var out []SweepPoint
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].Analysis.Bound != r.Points[i-1].Analysis.Bound {
+			out = append(out, r.Points[i])
+		}
+	}
+	return out
+}

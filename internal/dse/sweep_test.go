@@ -1,0 +1,123 @@
+package dse
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+func pelicanDroNetConfig(t *testing.T) core.Config {
+	t.Helper()
+	cat := catalog.Default()
+	cfg, err := cat.BuildConfig(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestSweepComputeRateFindsBoundTransition(t *testing.T) {
+	cfg := pelicanDroNetConfig(t)
+	res, err := Sweep(cfg, KnobComputeRate, 1, 200, 60, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 60 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	// Velocity is non-decreasing in compute rate.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Analysis.SafeVelocity < res.Points[i-1].Analysis.SafeVelocity {
+			t.Fatalf("velocity decreased at %v Hz", res.Points[i].Value)
+		}
+	}
+	// Somewhere between 1 and 200 Hz the design crosses compute-bound →
+	// physics-bound (the knee is at 43 Hz).
+	trans := res.BoundTransitions()
+	if len(trans) == 0 {
+		t.Fatal("no bound transition found")
+	}
+	v := trans[0].Value
+	if v < 30 || v > 60 {
+		t.Errorf("transition at %v Hz, want near the 43 Hz knee", v)
+	}
+}
+
+func TestSweepPayloadMonotone(t *testing.T) {
+	cfg := pelicanDroNetConfig(t)
+	res, err := Sweep(cfg, KnobPayload, 80, 550, 40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, ys := res.Velocities()
+	if len(xs) != 40 || len(ys) != 40 {
+		t.Fatal("series length wrong")
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] > ys[i-1]+1e-9 {
+			t.Fatalf("velocity increased with payload at %v g", xs[i])
+		}
+	}
+}
+
+func TestSweepSensorRangeMonotone(t *testing.T) {
+	cfg := pelicanDroNetConfig(t)
+	res, err := Sweep(cfg, KnobSensorRange, 1, 20, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ys := res.Velocities()
+	for i := 1; i < len(ys); i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatal("velocity decreased with sensor range")
+		}
+	}
+}
+
+func TestSweepLogSpacing(t *testing.T) {
+	cfg := pelicanDroNetConfig(t)
+	res, err := Sweep(cfg, KnobComputeRate, 1, 100, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Points[1].Value-10) > 1e-9 {
+		t.Errorf("log midpoint = %v, want 10", res.Points[1].Value)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	cfg := pelicanDroNetConfig(t)
+	if _, err := Sweep(cfg, KnobPayload, 0, 10, 1, false); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := Sweep(cfg, KnobPayload, 10, 10, 5, false); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := Sweep(cfg, KnobComputeRate, 0, 10, 5, true); err == nil {
+		t.Error("log sweep from 0 accepted")
+	}
+	if _, err := Sweep(cfg, Knob(99), 1, 10, 5, false); err == nil {
+		t.Error("unknown knob accepted")
+	}
+	// Sweeping sensor range through zero produces an invalid config.
+	if _, err := Sweep(cfg, KnobSensorRange, -1, 1, 5, false); err == nil {
+		t.Error("invalid config point accepted")
+	}
+}
+
+func TestKnobStrings(t *testing.T) {
+	for knob, want := range map[Knob]string{
+		KnobPayload:     "payload (g)",
+		KnobSensorRange: "sensor range (m)",
+		KnobSensorRate:  "sensor rate (Hz)",
+		KnobComputeRate: "compute rate (Hz)",
+		Knob(99):        "Knob(99)",
+	} {
+		if knob.String() != want {
+			t.Errorf("%v.String() = %q, want %q", int(knob), knob.String(), want)
+		}
+	}
+}

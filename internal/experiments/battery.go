@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/mission"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-battery",
+		Title: "Extension: battery sag — what heavy compute really costs in endurance",
+		Run:   runExtBattery,
+	})
+}
+
+// runExtBattery puts the Fig. 2b endurance story under load: the same
+// S500-class airframe carrying each onboard computer, with hover power
+// recomputed for the payload (heavier compute ⇒ heavier heatsink ⇒ more
+// hover power) and the battery discharged through a sagging LiPo model.
+// Endurance falls faster than the naive energy/power estimate because
+// I²R losses and the low-voltage cutoff punish high draws non-linearly.
+func runExtBattery(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "ext-battery", Title: "Endurance under battery sag per onboard computer"}
+	uav, err := c.UAV(catalog.UAVValidationA)
+	if err != nil {
+		return Result{}, err
+	}
+	pack := mission.Typical3S()
+	t := Table{
+		Title: "S500 endurance per onboard computer (3S 5000 mAh with sag)",
+		Columns: []string{"Compute", "Payload (g)", "Hover+TDP (W)",
+			"Naive endurance (min)", "Sagging endurance (min)", "Sag penalty (%)"},
+		Notes: []string{
+			"hover power from the actuator-disk model at each takeoff mass",
+			"naive = vendor energy ÷ power; sagging adds I²R loss and the 9.0 V cutoff",
+		},
+	}
+	for _, name := range []string{catalog.ComputeNCS, catalog.ComputeRasPi4, catalog.ComputeTX2, catalog.ComputeAGX} {
+		comp, err := c.Compute(name)
+		if err != nil {
+			return Result{}, err
+		}
+		payload := comp.TotalMass(c.Heatsink) + units.Grams(300) // + compute battery share
+		mass := uav.Frame.TakeoffMass(payload)
+		hover, err := mission.HoverPower(mass, 0.2, 0.6)
+		if err != nil {
+			return Result{}, err
+		}
+		draw := units.Watts(hover.Watts() + comp.TDP.Watts())
+		sagging, err := pack.Endurance(draw)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s: %w", name, err)
+		}
+		naive := pack.NominalEnergy().Joules() / draw.Watts()
+		penalty, err := pack.SagPenalty(draw)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(name,
+			fmtF(payload.Grams(), 0),
+			fmtF(draw.Watts(), 0),
+			fmtF(naive/60, 1),
+			fmtF(sagging.Seconds()/60, 1),
+			fmtF(penalty*100, 1))
+	}
+	res.Tables = append(res.Tables, t)
+	return res, nil
+}

@@ -1,0 +1,412 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/dse"
+	"repro/internal/pipeline"
+	"repro/internal/plot"
+	"repro/internal/redundancy"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "Fig. 11: case study VI-A — onboard compute selection (DJI Spark + DroNet)",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Fig. 13: case study VI-B — autonomy algorithm selection (Pelican + TX2)",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Fig. 14: case study VI-C — modular redundancy (Pelican, dual TX2)",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Fig. 15: case study VI-D — full UAV system characterization",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "Fig. 16: accelerator pitfalls — Navion and PULP-DroNet on a nano-UAV",
+		Run:   runFig16,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table III: overview of the evaluation case studies",
+		Run:   runTable3,
+	})
+}
+
+// rooflineSeries samples a config's Eq. 4 curve for charting.
+func rooflineSeries(an core.Analysis, name string, fMin, fMax float64) plot.Series {
+	m := core.Model{Accel: an.AMax, Range: an.Config.SensorRange, KneeFraction: an.Config.KneeFraction}
+	pts := m.Curve(units.Hertz(fMin), units.Hertz(fMax), 200, true)
+	s := plot.Series{Name: name}
+	for _, p := range pts {
+		s.X = append(s.X, p.Throughput.Hertz())
+		s.Y = append(s.Y, p.Velocity.MetersPerSecond())
+	}
+	return s
+}
+
+func runFig11(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "fig11", Title: "Compute selection on the DJI Spark"}
+	type variant struct {
+		label string
+		sel   catalog.Selection
+	}
+	variants := []variant{
+		{"Intel NCS", catalog.Selection{UAV: catalog.UAVDJISpark, Compute: catalog.ComputeNCS, Algorithm: catalog.AlgoDroNet}},
+		{"Nvidia AGX-30W", catalog.Selection{UAV: catalog.UAVDJISpark, Compute: catalog.ComputeAGX, Algorithm: catalog.AlgoDroNet}},
+		{"Nvidia AGX-15W", catalog.Selection{UAV: catalog.UAVDJISpark, Compute: catalog.ComputeAGX, Algorithm: catalog.AlgoDroNet, TDPOverride: units.Watts(15)}},
+	}
+	t := Table{
+		Title: "DJI Spark + DroNet across onboard computers (Fig. 11b)",
+		Columns: []string{"Compute", "f_compute (Hz)", "Payload (g)", "a_max (m/s²)",
+			"Knee (Hz)", "Roof (m/s)", "v_safe (m/s)", "Bound"},
+	}
+	chart := &plot.Chart{
+		Title:  "F-1: DJI Spark + DroNet (Fig. 11b)",
+		XLabel: "action throughput (Hz)",
+		YLabel: "safe velocity (m/s)",
+		LogX:   true,
+	}
+	analyses := make(map[string]core.Analysis, len(variants))
+	for _, v := range variants {
+		an, err := c.Analyze(v.sel)
+		if err != nil {
+			return Result{}, err
+		}
+		analyses[v.label] = an
+		t.AddRow(v.label,
+			fmtF(an.Config.ComputeRate.Hertz(), 0),
+			fmtF(an.Config.Payload.Grams(), 0),
+			fmtF(an.AMax.MetersPerSecond2(), 2),
+			fmtF(an.Knee.Throughput.Hertz(), 1),
+			fmtF(an.Roof.MetersPerSecond(), 2),
+			fmtF(an.SafeVelocity.MetersPerSecond(), 2),
+			an.Bound.String())
+		chart.Series = append(chart.Series, rooflineSeries(an, v.label, 1, 1000))
+		chart.Markers = append(chart.Markers, plot.Marker{
+			X: an.Action.Hertz(), Y: an.SafeVelocity.MetersPerSecond(), Label: v.label,
+		})
+	}
+	gain := analyses["Nvidia AGX-15W"].SafeVelocity.MetersPerSecond()/
+		analyses["Nvidia AGX-30W"].SafeVelocity.MetersPerSecond() - 1
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("capping AGX at 15 W raises safe velocity by %.0f%% (paper: ≈75%%)", gain*100),
+		"NCS beats AGX despite 1.5× lower compute throughput — the physics, not compute, limits both")
+	res.Tables = append(res.Tables, t)
+	res.Charts = append(res.Charts, chart)
+	return res, nil
+}
+
+func runFig13(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "fig13", Title: "Algorithm selection on the AscTec Pelican + TX2"}
+	algos := []string{catalog.AlgoSPA, catalog.AlgoTrailNet, catalog.AlgoDroNet}
+	paperGaps := map[string]string{
+		catalog.AlgoSPA:      "needs 39×",
+		catalog.AlgoTrailNet: "1.27× over",
+		catalog.AlgoDroNet:   "4.13× over",
+	}
+	t := Table{
+		Title: "Autonomy algorithms on Pelican + TX2 (Fig. 13b)",
+		Columns: []string{"Algorithm", "f_compute (Hz)", "f_action (Hz)", "v_safe (m/s)",
+			"Class", "Compute vs knee", "Paper"},
+	}
+	chart := &plot.Chart{
+		Title:  "F-1: AscTec Pelican + TX2 across algorithms (Fig. 13b)",
+		XLabel: "action throughput (Hz)",
+		YLabel: "safe velocity (m/s)",
+		LogX:   true,
+	}
+	var kneeHz float64
+	for i, algo := range algos {
+		an, err := c.Analyze(catalog.Selection{UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: algo})
+		if err != nil {
+			return Result{}, err
+		}
+		kneeHz = an.Knee.Throughput.Hertz()
+		gap := core.ImprovementFactor(an.Config.ComputeRate.Hertz(), kneeHz)
+		dir := "over"
+		if an.Config.ComputeRate.Hertz() < kneeHz {
+			dir = "needs"
+		}
+		t.AddRow(algo,
+			fmtF(an.Config.ComputeRate.Hertz(), 1),
+			fmtF(an.Action.Hertz(), 1),
+			fmtF(an.SafeVelocity.MetersPerSecond(), 2),
+			an.Class.String(),
+			fmt.Sprintf("%s %.2f×", dir, gap),
+			paperGaps[algo])
+		if i == 0 {
+			chart.Series = append(chart.Series, rooflineSeries(an, "Pelican + TX2 roofline", 0.5, 1000))
+			chart.Markers = append(chart.Markers, plot.Marker{
+				X: kneeHz, Y: an.Knee.Velocity.MetersPerSecond(), Label: "knee"})
+		}
+		chart.Markers = append(chart.Markers, plot.Marker{
+			X: an.Action.Hertz(), Y: an.SafeVelocity.MetersPerSecond(), Label: algo})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("knee point: %.1f Hz (paper: 43 Hz)", kneeHz))
+	res.Tables = append(res.Tables, t)
+	res.Charts = append(res.Charts, chart)
+	return res, nil
+}
+
+func runFig14(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "fig14", Title: "Dual modular redundancy on the AscTec Pelican"}
+	tx2, err := c.Compute(catalog.ComputeTX2)
+	if err != nil {
+		return Result{}, err
+	}
+	sensor, err := c.Sensor(catalog.SensorRGBD)
+	if err != nil {
+		return Result{}, err
+	}
+	uav, err := c.UAV(catalog.UAVAscTecPelican)
+	if err != nil {
+		return Result{}, err
+	}
+	rate, err := c.Perf(catalog.AlgoDroNet, catalog.ComputeTX2)
+	if err != nil {
+		return Result{}, err
+	}
+
+	t := Table{
+		Title: "Single vs dual TX2 running DroNet on the Pelican (Fig. 14b)",
+		Columns: []string{"Scheme", "Compute payload (g)", "f_compute (Hz)", "Roof (m/s)",
+			"v_safe (m/s)", "Mission reliability (p=0.99)"},
+	}
+	chart := &plot.Chart{
+		Title:  "F-1: redundancy lowers the roofline (Fig. 14b)",
+		XLabel: "action throughput (Hz)",
+		YLabel: "safe velocity (m/s)",
+		LogX:   true,
+	}
+	var vSingle, vDual float64
+	for _, scheme := range []redundancy.Scheme{redundancy.Simplex, redundancy.DMR} {
+		arr := redundancy.Arrangement{
+			Scheme:       scheme,
+			ModuleMass:   tx2.TotalMass(c.Heatsink),
+			ModuleRate:   rate,
+			ModuleTDP:    tx2.TDP,
+			VoterLatency: units.Milliseconds(1),
+		}
+		cfg := core.Config{
+			Name:        fmt.Sprintf("Pelican + DroNet + %v TX2", scheme),
+			Frame:       uav.Frame,
+			AccelModel:  uav.Accel,
+			Payload:     arr.TotalMass() + sensor.Mass,
+			SensorRate:  sensor.Rate,
+			SensorRange: sensor.Range,
+			ComputeRate: arr.EffectiveRate(),
+			ControlRate: uav.ControlRate,
+		}
+		an, err := core.Analyze(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		rel, err := arr.MissionReliability(0.99)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(scheme.String(),
+			fmtF(arr.TotalMass().Grams(), 0),
+			fmtF(arr.EffectiveRate().Hertz(), 0),
+			fmtF(an.Roof.MetersPerSecond(), 2),
+			fmtF(an.SafeVelocity.MetersPerSecond(), 2),
+			fmtF(rel, 4))
+		label := "Roofline-TX2"
+		if scheme == redundancy.DMR {
+			label = "Roofline-2xTX2"
+			vDual = an.SafeVelocity.MetersPerSecond()
+		} else {
+			vSingle = an.SafeVelocity.MetersPerSecond()
+		}
+		chart.Series = append(chart.Series, rooflineSeries(an, label, 1, 400))
+		chart.Markers = append(chart.Markers, plot.Marker{
+			X: an.Action.Hertz(), Y: an.SafeVelocity.MetersPerSecond(), Label: label})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("DMR reduces safe velocity by %.0f%% (paper: 33%%)", (1-vDual/vSingle)*100),
+		"replication buys fault detection at the cost of payload mass and roofline height")
+	res.Tables = append(res.Tables, t)
+	res.Charts = append(res.Charts, chart)
+	return res, nil
+}
+
+func runFig15(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "fig15", Title: "Full UAV system characterization"}
+	space := dse.Space{
+		UAVs:       []string{catalog.UAVAscTecPelican, catalog.UAVDJISpark},
+		Computes:   []string{catalog.ComputeNCS, catalog.ComputeTX2, catalog.ComputeRasPi4},
+		Algorithms: []string{catalog.AlgoDroNet, catalog.AlgoTrailNet, catalog.AlgoVGG16, catalog.AlgoCAD2RL},
+	}
+	cands, err := dse.Enumerate(c, space, dse.Constraints{})
+	if err != nil {
+		return Result{}, err
+	}
+	t := Table{
+		Title: "All (UAV × compute × algorithm) combinations (Fig. 15b)",
+		Columns: []string{"Configuration", "f_compute (Hz)", "f_action (Hz)", "Knee (Hz)",
+			"v_safe (m/s)", "Bound", "Gap"},
+	}
+	chart := &plot.Chart{
+		Title:  "F-1: full-system characterization (Fig. 15b)",
+		XLabel: "action throughput (Hz)",
+		YLabel: "safe velocity (m/s)",
+		LogX:   true,
+	}
+	seenRoof := map[string]bool{}
+	for _, cand := range cands {
+		an := cand.Analysis
+		t.AddRow(cand.Name(),
+			fmtF(an.Config.ComputeRate.Hertz(), 2),
+			fmtF(an.Action.Hertz(), 2),
+			fmtF(an.Knee.Throughput.Hertz(), 1),
+			fmtF(an.SafeVelocity.MetersPerSecond(), 2),
+			an.Bound.String(),
+			fmtF(an.GapFactor, 2)+"×")
+		if !seenRoof[cand.Selection.UAV] && cand.Selection.Compute == catalog.ComputeTX2 &&
+			cand.Selection.Algorithm == catalog.AlgoDroNet {
+			seenRoof[cand.Selection.UAV] = true
+			chart.Series = append(chart.Series,
+				rooflineSeries(an, "Roofline: "+cand.Selection.UAV, 0.05, 1000))
+		}
+		chart.Markers = append(chart.Markers, plot.Marker{
+			X: an.Action.Hertz(), Y: an.SafeVelocity.MetersPerSecond(),
+			Label: cand.Selection.Algorithm + "+" + cand.Selection.Compute,
+		})
+	}
+	// Ras-Pi improvement targets (the paper's 3.3×/110×/660×).
+	gaps := Table{
+		Title:   "Ras-Pi4 improvement targets on the AscTec Pelican (Fig. 15 discussion)",
+		Columns: []string{"Algorithm", "f_compute (Hz)", "Needed improvement", "Paper"},
+	}
+	for _, row := range []struct {
+		algo, paper string
+	}{
+		{catalog.AlgoDroNet, "3.3×"},
+		{catalog.AlgoTrailNet, "110×"},
+		{catalog.AlgoCAD2RL, "660×"},
+	} {
+		an, err := c.Analyze(catalog.Selection{UAV: catalog.UAVAscTecPelican,
+			Compute: catalog.ComputeRasPi4, Algorithm: row.algo})
+		if err != nil {
+			return Result{}, err
+		}
+		gaps.AddRow(row.algo, fmtF(an.Config.ComputeRate.Hertz(), 3),
+			fmtF(an.GapFactor, 1)+"×", row.paper)
+	}
+	best, err := dse.Best(cands, dse.MaxVelocity)
+	if err != nil {
+		return Result{}, err
+	}
+	front, err := dse.ParetoFront(cands, dse.MaxVelocity, dse.MinPower)
+	if err != nil {
+		return Result{}, err
+	}
+	pareto := Table{
+		Title:   "Velocity/power Pareto frontier over the full space",
+		Columns: []string{"Configuration", "v_safe (m/s)", "Compute TDP (W)"},
+		Notes:   []string{fmt.Sprintf("velocity-optimal selection: %s", best.Name())},
+	}
+	for _, f := range front {
+		pareto.AddRow(f.Name(), fmtF(f.Analysis.SafeVelocity.MetersPerSecond(), 2), fmtF(f.Power.Watts(), 1))
+	}
+	res.Tables = append(res.Tables, t, gaps, pareto)
+	res.Charts = append(res.Charts, chart)
+	return res, nil
+}
+
+func runFig16(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "fig16", Title: "Hardware-accelerator pitfalls on a nano-UAV"}
+
+	// PULP-DroNet: full autonomy at 6 Hz, 64 mW.
+	pulp, err := c.Analyze(catalog.Selection{UAV: catalog.UAVNano, Compute: catalog.ComputePULP, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Navion: 172 FPS SLAM inside an SPA chain totalling 810 ms.
+	slam := pipeline.StageHz("SLAM (Navion)", units.Hertz(172))
+	rest := pipeline.Stage{Name: "mapping+planning+control",
+		Latency: units.Milliseconds(810) - slam.Latency}
+	spaStage := pipeline.Sequential("SPA end-to-end", slam, rest)
+	uav, err := c.UAV(catalog.UAVNano)
+	if err != nil {
+		return Result{}, err
+	}
+	navionHW, err := c.Compute(catalog.ComputeNavion)
+	if err != nil {
+		return Result{}, err
+	}
+	navionCfg := core.Config{
+		Name:        "Nano-UAV + SPA + Navion",
+		Frame:       uav.Frame,
+		AccelModel:  uav.Accel,
+		Payload:     navionHW.TotalMass(c.Heatsink) + uav.DefaultSensor.Mass,
+		SensorRate:  uav.DefaultSensor.Rate,
+		SensorRange: uav.DefaultSensor.Range,
+		ComputeRate: spaStage.Throughput(),
+		ControlRate: uav.ControlRate,
+	}
+	navion, err := core.Analyze(navionCfg)
+	if err != nil {
+		return Result{}, err
+	}
+
+	t := Table{
+		Title: "Accelerators built on isolated metrics, characterized with F-1 (Fig. 16c)",
+		Columns: []string{"Accelerator", "Isolated metric", "f_action (Hz)", "Knee (Hz)",
+			"v_safe (m/s)", "Needed improvement", "Paper"},
+	}
+	t.AddRow("PULP-DroNet", "6 FPS @ 64 mW",
+		fmtF(pulp.Action.Hertz(), 2), fmtF(pulp.Knee.Throughput.Hertz(), 1),
+		fmtF(pulp.SafeVelocity.MetersPerSecond(), 2),
+		fmtF(pulp.GapFactor, 2)+"×", "4.33×")
+	t.AddRow("Navion (SPA)", "172 FPS @ 2 mW (SLAM only)",
+		fmtF(navion.Action.Hertz(), 2), fmtF(navion.Knee.Throughput.Hertz(), 1),
+		fmtF(navion.SafeVelocity.MetersPerSecond(), 2),
+		fmtF(navion.GapFactor, 1)+"×", "21.1×")
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("Navion's SPA chain runs at %.2f Hz end-to-end (paper: 1.23 Hz) despite its 172 FPS SLAM",
+			spaStage.Throughput().Hertz()),
+		"both accelerators are compute-bound: impressive isolated perf/W does not reach the knee")
+
+	chart := &plot.Chart{
+		Title:  "F-1: nano-UAV with PULP-DroNet and Navion (Fig. 16c)",
+		XLabel: "action throughput (Hz)",
+		YLabel: "safe velocity (m/s)",
+		LogX:   true,
+		Series: []plot.Series{rooflineSeries(pulp, "nano-UAV roofline", 0.2, 300)},
+		Markers: []plot.Marker{
+			{X: pulp.Action.Hertz(), Y: pulp.SafeVelocity.MetersPerSecond(), Label: "PULP-DroNet"},
+			{X: navion.Action.Hertz(), Y: navion.SafeVelocity.MetersPerSecond(), Label: "Navion"},
+			{X: pulp.Knee.Throughput.Hertz(), Y: pulp.Knee.Velocity.MetersPerSecond(), Label: "knee"},
+		},
+	}
+	res.Tables = append(res.Tables, t)
+	res.Charts = append(res.Charts, chart)
+	return res, nil
+}
+
+func runTable3(*catalog.Catalog) (Result, error) {
+	t := Table{
+		Title:   "Evaluation case studies (Table III)",
+		Columns: []string{"Case study", "Onboard compute", "Autonomy algorithm", "Redundancy", "UAV type"},
+	}
+	t.AddRow("VI-A onboard compute", "Intel NCS & Nvidia AGX", "DroNet", "none", "DJI Spark")
+	t.AddRow("VI-B autonomy algorithms", "Nvidia TX2", "SPA & TrailNet & DroNet", "none", "AscTec Pelican")
+	t.AddRow("VI-C payload redundancies", "2× Nvidia TX2", "DroNet", "dual modular", "AscTec Pelican")
+	t.AddRow("VI-D full UAV system", "TX2/NCS/Ras-Pi", "DroNet/TrailNet/CAD2RL/VGG16", "none", "Pelican & Spark")
+	return Result{ID: "table3", Title: "Case study overview", Tables: []Table{t}}, nil
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/flightsim"
+	"repro/internal/mission"
+	"repro/internal/physics"
+	"repro/internal/plot"
+	"repro/internal/units"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-course",
+		Title: "Extension: full-mission crossover — commanded velocity vs F-1 safe velocity",
+		Run:   runExtCourse,
+	})
+}
+
+// runExtCourse flies a 500 m delivery course with pop-up obstacles at a
+// sweep of commanded velocities around the Pelican's F-1 safe velocity:
+// below it, missions complete collision-free and get cheaper as speed
+// rises; above it, the obstacles start winning. The mission-scale
+// validation of Eq. 4.
+func runExtCourse(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "ext-course", Title: "Mission-level crossover at the F-1 safe velocity"}
+	an, err := c.Analyze(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		return Result{}, err
+	}
+	uav, err := c.UAV(catalog.UAVAscTecPelican)
+	if err != nil {
+		return Result{}, err
+	}
+	// Eq. 4 at the achieved action throughput with the analysis a_max.
+	vSafe := core.SafeVelocity(an.AMax, an.Config.SensorRange, an.Action.Period())
+
+	vehicle := flightsim.Vehicle{
+		Mass:         uav.Frame.TakeoffMass(an.Config.Payload),
+		MaxAccel:     an.AMax,
+		Drag:         physics.Drag{Cd: 1.0, Area: 0.03},
+		ActuationLag: units.Milliseconds(20),
+		BrakeDerate:  1,
+	}
+	hover, err := mission.HoverPower(vehicle.Mass, 0.2, 0.6)
+	if err != nil {
+		return Result{}, err
+	}
+	course := flightsim.Course{
+		Length:    units.Meters(500),
+		Stops:     []units.Length{units.Meters(150), units.Meters(300)},
+		Obstacles: []units.Length{units.Meters(80), units.Meters(230), units.Meters(420)},
+	}
+	t := Table{
+		Title: "500 m / 2-stop / 3-obstacle mission vs commanded velocity (Pelican + TX2 + DroNet)",
+		Columns: []string{"v_cmd / v_safe", "v_cmd (m/s)", "Completed", "Collided",
+			"Time (s)", "Energy (Wh)"},
+		Notes: []string{
+			fmt.Sprintf("F-1 safe velocity at f_action=%v: %.2f m/s", an.Action, vSafe.MetersPerSecond()),
+			"below the safe velocity missions are collision-free and faster is cheaper; above it the pop-up obstacles win",
+		},
+	}
+	var xs, ys []float64
+	for _, frac := range []float64{0.5, 0.7, 0.9, 1.1, 1.4, 1.8} {
+		cfg := flightsim.MissionConfig{
+			Vehicle:        vehicle,
+			CruiseVelocity: units.Velocity(frac * vSafe.MetersPerSecond()),
+			DecisionRate:   an.Action,
+			SensorRange:    an.Config.SensorRange,
+			HoverPower:     hover,
+			ComputePower:   units.Watts(15),
+		}
+		r, err := flightsim.FlyMission(course, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(fmtF(frac, 2),
+			fmtF(cfg.CruiseVelocity.MetersPerSecond(), 2),
+			fmt.Sprintf("%v", r.Completed),
+			fmt.Sprintf("%v", r.Collided),
+			fmtF(r.Duration.Seconds(), 1),
+			fmtF(r.Energy.WattHours(), 2))
+		if r.Completed {
+			xs = append(xs, cfg.CruiseVelocity.MetersPerSecond())
+			ys = append(ys, r.Energy.WattHours())
+		}
+	}
+	chart := &plot.Chart{
+		Title:  "Completed-mission energy vs commanded velocity",
+		XLabel: "commanded velocity (m/s)",
+		YLabel: "mission energy (Wh)",
+		Series: []plot.Series{{Name: "completed missions", X: xs, Y: ys}},
+	}
+	res.Tables = append(res.Tables, t)
+	res.Charts = append(res.Charts, chart)
+	return res, nil
+}

@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation: each experiment is a named, registered procedure that runs
+// the models over the catalog presets and emits aligned text tables
+// (with paper-vs-measured columns) and charts. The cmd/experiments
+// binary and the root bench suite both drive this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/plot"
+)
+
+// Table is an aligned text table with a title and optional notes.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, padding/truncating to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render draws the table with aligned columns.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Result is one experiment's full output.
+type Result struct {
+	// ID is the experiment identifier ("fig11", "table1", ...).
+	ID string
+	// Title describes the paper artifact being regenerated.
+	Title string
+	// Tables are the regenerated data tables.
+	Tables []Table
+	// Charts are the regenerated figures.
+	Charts []*plot.Chart
+}
+
+// Render dumps the result's tables as text (charts are rendered
+// separately as SVG/ASCII by the caller).
+func (r Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.Render())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Experiment is a registered paper artifact regenerator.
+type Experiment struct {
+	// ID matches DESIGN.md's experiment index ("fig5", "table1", ...).
+	ID string
+	// Title names the paper artifact.
+	Title string
+	// Run regenerates the artifact from the catalog.
+	Run func(*catalog.Catalog) (Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at init time; duplicate IDs panic (a
+// programming error in this package).
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		ids := make([]string, 0, len(registry))
+		for k := range registry {
+			ids = append(ids, k)
+		}
+		sort.Strings(ids)
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %s)", id, strings.Join(ids, ", "))
+	}
+	return e, nil
+}
+
+// fmtF renders a float with the given decimals, trimming is left to the
+// tables' readers — experiment tables favor fixed precision.
+func fmtF(v float64, decimals int) string {
+	return fmt.Sprintf("%.*f", decimals, v)
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ext-battery", "ext-course", "ext-faults", "ext-jitter", "ext-mission", "ext-roofline", "ext-targets",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+		"fig2b", "fig5", "fig7", "fig9", "table1", "table3"}
+	got := All()
+	if len(got) != len(want) {
+		names := make([]string, len(got))
+		for i, e := range got {
+			names[i] = e.ID
+		}
+		t.Fatalf("registry = %v, want %v", names, want)
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig5"); err != nil {
+		t.Errorf("fig5 lookup failed: %v", err)
+	}
+	_, err := ByID("fig99")
+	if err == nil || !strings.Contains(err.Error(), "fig99") {
+		t.Errorf("unknown id error = %v", err)
+	}
+}
+
+// Every registered experiment must run cleanly against the default
+// catalog and produce at least one table; figure experiments must also
+// produce renderable charts.
+func TestAllExperimentsRun(t *testing.T) {
+	cat := catalog.Default()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res, err := e.Run(cat)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if res.ID != e.ID {
+				t.Errorf("result ID %q != experiment ID %q", res.ID, e.ID)
+			}
+			if len(res.Tables) == 0 {
+				t.Error("no tables produced")
+			}
+			for _, tb := range res.Tables {
+				text := tb.Render()
+				if !strings.Contains(text, tb.Columns[0]) {
+					t.Errorf("table %q render missing header", tb.Title)
+				}
+			}
+			if strings.HasPrefix(e.ID, "fig") && len(res.Charts) == 0 {
+				t.Errorf("figure experiment %s produced no charts", e.ID)
+			}
+			for _, ch := range res.Charts {
+				var buf bytes.Buffer
+				if err := ch.SVG(&buf); err != nil {
+					t.Errorf("chart %q SVG failed: %v", ch.Title, err)
+				}
+				if _, err := ch.ASCII(70, 18); err != nil {
+					t.Errorf("chart %q ASCII failed: %v", ch.Title, err)
+				}
+			}
+			if !strings.Contains(res.Render(), e.ID) {
+				t.Error("Render missing experiment id")
+			}
+		})
+	}
+}
+
+// cell finds the first row whose first column contains key and returns
+// the idx-th cell.
+func cell(tb Table, key string, idx int) (string, bool) {
+	for _, row := range tb.Rows {
+		if strings.Contains(row[0], key) {
+			return row[idx], true
+		}
+	}
+	return "", false
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "×")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", s, err)
+	}
+	return v
+}
+
+// Fig. 7: the model must be optimistic for all four drones, with errors
+// in a single-digit-to-low-teens percent band like the paper's.
+func TestFig7ErrorBand(t *testing.T) {
+	cat := catalog.Default()
+	e, err := ByID("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errTable := res.Tables[0]
+	if len(errTable.Rows) != 4 {
+		t.Fatalf("error table has %d rows, want 4", len(errTable.Rows))
+	}
+	for _, row := range errTable.Rows {
+		model := parseF(t, row[1])
+		sim := parseF(t, row[2])
+		errPct := parseF(t, row[3])
+		if sim >= model {
+			t.Errorf("%s: sim %v not below model %v", row[0], sim, model)
+		}
+		if errPct < 1 || errPct > 18 {
+			t.Errorf("%s: error %v%% outside [1,18]", row[0], errPct)
+		}
+	}
+}
+
+// Fig. 9: the drop table reproduces the non-linearity.
+func TestFig9Drops(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("fig9")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drops := res.Tables[1]
+	ac, ok := cell(drops, "UAV-A → UAV-C", 2)
+	if !ok {
+		t.Fatal("A→C row missing")
+	}
+	cd, _ := cell(drops, "UAV-C → UAV-D", 2)
+	if parseF(t, ac) < 5*parseF(t, cd) {
+		t.Errorf("non-linearity lost: A→C %s%% vs C→D %s%%", ac, cd)
+	}
+}
+
+// Fig. 11: NCS roof above AGX-30W; ~75 % gain for AGX-15W.
+func TestFig11Shape(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("fig11")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	ncsRoof, ok := cell(tb, "Intel NCS", 5)
+	if !ok {
+		t.Fatal("NCS row missing")
+	}
+	agxRoof, _ := cell(tb, "Nvidia AGX-30W", 5)
+	if parseF(t, ncsRoof) <= parseF(t, agxRoof) {
+		t.Errorf("NCS roof %s not above AGX-30W roof %s", ncsRoof, agxRoof)
+	}
+	v30, _ := cell(tb, "Nvidia AGX-30W", 6)
+	v15, _ := cell(tb, "Nvidia AGX-15W", 6)
+	gain := parseF(t, v15)/parseF(t, v30) - 1
+	if gain < 0.65 || gain > 0.85 {
+		t.Errorf("AGX-15W gain = %.0f%%, want ≈75%%", gain*100)
+	}
+}
+
+// Fig. 13: the gap column reproduces 39×/1.27×/4.13×.
+func TestFig13Gaps(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("fig13")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	spa, ok := cell(tb, "SPA", 5)
+	if !ok {
+		t.Fatal("SPA row missing")
+	}
+	if !strings.Contains(spa, "needs 39.") {
+		t.Errorf("SPA gap = %q, want needs ≈39×", spa)
+	}
+	trail, _ := cell(tb, "TrailNet", 5)
+	if !strings.Contains(trail, "over 1.2") {
+		t.Errorf("TrailNet gap = %q, want over ≈1.27×", trail)
+	}
+	dronet, _ := cell(tb, "DroNet", 5)
+	if !strings.Contains(dronet, "over 4.1") {
+		t.Errorf("DroNet gap = %q, want over ≈4.13×", dronet)
+	}
+}
+
+// Fig. 14: DMR costs ~33 % of safe velocity.
+func TestFig14DMRDrop(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("fig14")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	vs, ok := cell(tb, "simplex", 4)
+	if !ok {
+		t.Fatal("simplex row missing")
+	}
+	vd, _ := cell(tb, "DMR", 4)
+	drop := 1 - parseF(t, vd)/parseF(t, vs)
+	if drop < 0.25 || drop > 0.41 {
+		t.Errorf("DMR velocity drop = %.0f%%, want ≈33%%", drop*100)
+	}
+	// Reliability column: DMR's autonomous-mission reliability is p².
+	rs, _ := cell(tb, "simplex", 5)
+	rd, _ := cell(tb, "DMR", 5)
+	if !(parseF(t, rd) < parseF(t, rs)) {
+		t.Error("DMR cross-check reliability should be below simplex for mission completion")
+	}
+}
+
+// Fig. 15: Ras-Pi gap rows carry 3.3×/110×/660×.
+func TestFig15RasPiGaps(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("fig15")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gaps := res.Tables[1]
+	for _, want := range []struct{ algo, gap string }{
+		{"DroNet", "3.3×"},
+		{"TrailNet", "110.0×"},
+		{"CAD2RL", "660.0×"},
+	} {
+		got, ok := cell(gaps, want.algo, 2)
+		if !ok {
+			t.Fatalf("%s row missing", want.algo)
+		}
+		if got != want.gap {
+			t.Errorf("%s gap = %q, want %q", want.algo, got, want.gap)
+		}
+	}
+	// The main table covers 16 combinations: per UAV, DroNet on three
+	// platforms, TrailNet/CAD2RL on two, VGG16 on one.
+	if len(res.Tables[0].Rows) != 16 {
+		t.Errorf("main table rows = %d, want 16", len(res.Tables[0].Rows))
+	}
+	// Pareto table exists and is non-empty.
+	if len(res.Tables[2].Rows) == 0 {
+		t.Error("Pareto table empty")
+	}
+}
+
+// Fig. 16: the two accelerators' improvement factors are 4.33× and
+// ≈21×.
+func TestFig16AcceleratorGaps(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("fig16")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	pulp, ok := cell(tb, "PULP", 5)
+	if !ok {
+		t.Fatal("PULP row missing")
+	}
+	if g := parseF(t, pulp); g < 4.2 || g > 4.5 {
+		t.Errorf("PULP gap = %v, want ≈4.33", g)
+	}
+	navion, _ := cell(tb, "Navion", 5)
+	if g := parseF(t, navion); g < 20 || g > 22 {
+		t.Errorf("Navion gap = %v, want ≈21.1", g)
+	}
+	// Navion's end-to-end rate ≈ 1.23 Hz.
+	fAction, _ := cell(tb, "Navion", 2)
+	if f := parseF(t, fAction); f < 1.2 || f > 1.3 {
+		t.Errorf("Navion f_action = %v, want ≈1.23", f)
+	}
+}
+
+// Fig. 12: anchors within a gram or two of the paper's.
+func TestFig12Anchors(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("fig12")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	for _, want := range []struct {
+		tdp   string
+		paper float64
+		tol   float64
+	}{
+		{"30.0", 162, 1.5},
+		{"15.0", 81, 4},
+		{"1.5", 10, 0.5},
+	} {
+		got, ok := cell(tb, want.tdp, 1)
+		if !ok {
+			t.Fatalf("%s W row missing", want.tdp)
+		}
+		if g := parseF(t, got); g < want.paper-want.tol || g > want.paper+want.tol {
+			t.Errorf("%s W heatsink = %v g, want %v ± %v", want.tdp, g, want.paper, want.tol)
+		}
+	}
+}
+
+// Fig. 5: the anchor table carries the paper's three reference points.
+func TestFig5Anchors(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("fig5")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	a, ok := cell(tb, "A", 2)
+	if !ok {
+		t.Fatal("point A missing")
+	}
+	if v := parseF(t, a); v < 9 || v > 10 {
+		t.Errorf("point A velocity = %v, want ≈9.16", v)
+	}
+	roof, _ := cell(tb, "roof", 2)
+	if v := parseF(t, roof); v < 31.5 || v > 31.7 {
+		t.Errorf("roof = %v, want 31.62", v)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tb := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+	}
+	tb.AddRow("x")
+	tb.AddRow("something", "y", "extra-ignored")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title + header + separator + two rows
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	// Header and separator rows align.
+	if len(strings.TrimRight(lines[1], " ")) != len(lines[2]) {
+		t.Errorf("separator misaligned:\n%q\n%q", lines[1], lines[2])
+	}
+}

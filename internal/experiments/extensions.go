@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/flightsim"
+	"repro/internal/mission"
+	"repro/internal/pipeline"
+	"repro/internal/plot"
+	"repro/internal/units"
+)
+
+// Extension experiments ("ext-*") go beyond the paper's figures: they
+// quantify claims the paper makes by citation or discussion (velocity →
+// mission energy, fault tolerance motivating redundancy) and exercise
+// the future-work direction its conclusion names (automated design
+// targets for domain-specific accelerators).
+
+func init() {
+	register(Experiment{
+		ID:    "ext-mission",
+		Title: "Extension: safe velocity → mission time and energy (§I/§III-A motivation)",
+		Run:   runExtMission,
+	})
+	register(Experiment{
+		ID:    "ext-targets",
+		Title: "Extension: inverse design — accelerator targets from a velocity goal (§IX)",
+		Run:   runExtTargets,
+	})
+	register(Experiment{
+		ID:    "ext-faults",
+		Title: "Extension: decision-loop fault injection (§VI-C motivation)",
+		Run:   runExtFaults,
+	})
+	register(Experiment{
+		ID:    "ext-jitter",
+		Title: "Extension: compute-latency jitter and the conservative action rate",
+		Run:   runExtJitter,
+	})
+}
+
+// runExtMission grounds the paper's motivating claim (citing MAVBench):
+// a higher safe velocity lowers both mission time and mission energy.
+func runExtMission(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "ext-mission", Title: "Safe velocity to mission time/energy"}
+	uav, err := c.UAV(catalog.UAVAscTecPelican)
+	if err != nil {
+		return Result{}, err
+	}
+	// 1 km package-delivery route with 4 stops.
+	hover, err := mission.HoverPower(uav.Frame.TakeoffMass(units.Grams(200)), 0.2, 0.6)
+	if err != nil {
+		return Result{}, err
+	}
+	battery := uav.Battery.Energy(uav.BatteryVoltage)
+
+	t := Table{
+		Title: "Pelican 1 km / 4-stop mission across algorithm choices",
+		Columns: []string{"Algorithm+Compute", "v_safe (m/s)", "Mission time (s)",
+			"Mission energy (Wh)", "Battery used (%)"},
+		Notes: []string{
+			fmt.Sprintf("hover power %.0f W (actuator disk), compute TDP added per platform; battery %.1f Wh",
+				hover.Watts(), battery.WattHours()),
+		},
+	}
+	var xs, ys []float64
+	for _, sel := range []catalog.Selection{
+		{UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoSPA},
+		{UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeRasPi4, Algorithm: catalog.AlgoDroNet},
+		{UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoTrailNet},
+		{UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet},
+	} {
+		an, err := c.Analyze(sel)
+		if err != nil {
+			return Result{}, err
+		}
+		comp, err := c.Compute(sel.Compute)
+		if err != nil {
+			return Result{}, err
+		}
+		plan := mission.Plan{
+			Route: units.Meters(1000), Legs: 4,
+			Cruise: an.SafeVelocity, Accel: an.AMax,
+			HoverPower: hover, ComputePower: comp.TDP,
+			Battery: battery,
+		}
+		r, err := plan.Evaluate()
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(sel.Algorithm+" + "+sel.Compute,
+			fmtF(an.SafeVelocity.MetersPerSecond(), 2),
+			fmtF(r.Time.Seconds(), 0),
+			fmtF(r.Energy.WattHours(), 1),
+			fmtF(r.BatteryFraction*100, 0))
+		xs = append(xs, an.SafeVelocity.MetersPerSecond())
+		ys = append(ys, r.Energy.WattHours())
+	}
+	chart := &plot.Chart{
+		Title:  "Mission energy vs safe velocity (1 km, 4 stops)",
+		XLabel: "safe velocity (m/s)",
+		YLabel: "mission energy (Wh)",
+		Series: []plot.Series{{Name: "configurations", X: xs, Y: ys}},
+	}
+	res.Tables = append(res.Tables, t)
+	res.Charts = append(res.Charts, chart)
+	return res, nil
+}
+
+// runExtTargets inverts the model: given a velocity goal on each UAV,
+// what must an accelerator deliver (rate, latency budget, payload and
+// TDP budget)? This is the §IX "automated design space exploration …
+// optimal domain-specific architecture" direction.
+func runExtTargets(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "ext-targets", Title: "Accelerator design targets from velocity goals"}
+	t := Table{
+		Title: "Design targets for a DroNet-class accelerator (module mass 10 g)",
+		Columns: []string{"UAV", "Velocity goal (m/s)", "Min rate (Hz)", "Latency budget (ms)",
+			"Payload budget (g)", "TDP budget (W)"},
+		Notes: []string{"goal = 95 % of each UAV's TX2-reference knee velocity"},
+	}
+	for _, name := range []string{catalog.UAVAscTecPelican, catalog.UAVDJISpark, catalog.UAVNano} {
+		uav, err := c.UAV(name)
+		if err != nil {
+			return Result{}, err
+		}
+		// Reference analysis to pick a realistic goal.
+		refCompute := catalog.ComputeTX2
+		if name == catalog.UAVNano {
+			refCompute = catalog.ComputePULP
+		}
+		an, err := c.Analyze(catalog.Selection{UAV: name, Compute: refCompute, Algorithm: catalog.AlgoDroNet})
+		if err != nil {
+			return Result{}, err
+		}
+		goal := units.Velocity(0.95 * an.Knee.Velocity.MetersPerSecond())
+		cfg := core.Config{
+			Name:        name,
+			Frame:       uav.Frame,
+			AccelModel:  uav.Accel,
+			Payload:     units.Grams(50),
+			SensorRate:  uav.DefaultSensor.Rate,
+			SensorRange: uav.DefaultSensor.Range,
+			ComputeRate: units.Hertz(100),
+			ControlRate: uav.ControlRate,
+		}
+		targets, err := core.TargetsForVelocity(cfg, goal, units.Grams(10), c.Heatsink)
+		if err != nil {
+			return Result{}, err
+		}
+		t.AddRow(name,
+			fmtF(goal.MetersPerSecond(), 2),
+			fmtF(targets.ComputeRate.Hertz(), 1),
+			fmtF(targets.ComputeLatencyBudget.Milliseconds(), 1),
+			fmtF(targets.MaxPayload.Grams(), 0),
+			fmtF(targets.MaxTDP.Watts(), 1))
+	}
+	res.Tables = append(res.Tables, t)
+	return res, nil
+}
+
+// runExtFaults measures how decision-loop faults erode the simulated
+// safe velocity on UAV-A — the failure modes redundancy guards against.
+func runExtFaults(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "ext-faults", Title: "Fault injection in the decision loop"}
+	veh, an, err := validationVehicle(c, catalog.UAVValidationA)
+	if err != nil {
+		return Result{}, err
+	}
+	t := Table{
+		Title:   "UAV-A simulated safe velocity under decision-loop faults",
+		Columns: []string{"Fault model", "Safe velocity (m/s)", "Velocity loss (%)"},
+		Notes: []string{
+			fmt.Sprintf("healthy F-1 prediction: %.2f m/s", an.SafeVelocity.MetersPerSecond()),
+			"dual-redundant compute masks dropped frames — the §VI-C trade-off's other side",
+		},
+	}
+	s := validationScenario()
+	cases := []struct {
+		label string
+		f     flightsim.FaultModel
+	}{
+		{"none", flightsim.FaultModel{}},
+		{"drop 1 of every 4 decisions", flightsim.FaultModel{DropEvery: 4}},
+		{"drop 2 consecutive of every 4", flightsim.FaultModel{DropEvery: 4, BurstLen: 2}},
+	}
+	var healthy float64
+	for _, cse := range cases {
+		impact, err := flightsim.MeasureFaultImpact(veh, s, cse.f,
+			flightsim.SearchOptions{Seed: valSeed, TrialsPerPoint: 10})
+		if err != nil {
+			return Result{}, err
+		}
+		v := impact.Faulty.MetersPerSecond()
+		if cse.label == "none" {
+			healthy = impact.Healthy.MetersPerSecond()
+			v = healthy
+		}
+		loss := (1 - v/healthy) * 100
+		t.AddRow(cse.label, fmtF(v, 2), fmtF(loss, 1))
+	}
+	res.Tables = append(res.Tables, t)
+	return res, nil
+}
+
+// runExtJitter quantifies how compute-latency jitter lowers the
+// conservative action rate a safety analysis should assume, and what
+// that costs in safe velocity on the Pelican.
+func runExtJitter(c *catalog.Catalog) (Result, error) {
+	res := Result{ID: "ext-jitter", Title: "Latency jitter vs conservative action rate"}
+	an, err := c.Analyze(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		return Result{}, err
+	}
+	m := core.Model{Accel: an.AMax, Range: an.Config.SensorRange}
+	t := Table{
+		Title: "Pelican + TX2 + DroNet under compute jitter",
+		Columns: []string{"Jitter (±%)", "Mean rate (Hz)", "Worst interval (ms)",
+			"Conservative rate (Hz)", "v_safe at conservative rate (m/s)"},
+		Notes: []string{"Eq. 3 sees only mean rates; safety should budget the worst interval"},
+	}
+	for _, j := range []float64{0, 0.1, 0.3, 0.5} {
+		stages := []pipeline.JitterStage{
+			{Stage: pipeline.StageHz("sensor", an.Config.SensorRate)},
+			{Stage: pipeline.StageHz("compute", an.Config.ComputeRate), Jitter: j},
+			{Stage: pipeline.StageHz("control", an.Config.ControlRate)},
+		}
+		sim, err := pipeline.SimulateJitter(stages, 4000, 9)
+		if err != nil {
+			return Result{}, err
+		}
+		cons := sim.EffectiveActionRate()
+		t.AddRow(fmtF(j*100, 0),
+			fmtF(sim.MeanThroughput.Hertz(), 1),
+			fmtF(sim.WorstInterval.Milliseconds(), 1),
+			fmtF(cons.Hertz(), 1),
+			fmtF(m.SafeVelocityAt(cons).MetersPerSecond(), 2))
+	}
+	res.Tables = append(res.Tables, t)
+	return res, nil
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// ext-mission: faster configurations must finish sooner and burn less
+// energy — the paper's core motivation for maximizing safe velocity.
+func TestExtMissionMonotone(t *testing.T) {
+	cat := catalog.Default()
+	e, err := ByID("ext-mission")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(tb.Rows))
+	}
+	// Rows are ordered slowest (SPA) to fastest (DroNet+TX2): velocity
+	// increases, mission time and energy decrease.
+	for i := 1; i < len(tb.Rows); i++ {
+		vPrev, v := parseF(t, tb.Rows[i-1][1]), parseF(t, tb.Rows[i][1])
+		tPrev, tm := parseF(t, tb.Rows[i-1][2]), parseF(t, tb.Rows[i][2])
+		ePrev, en := parseF(t, tb.Rows[i-1][3]), parseF(t, tb.Rows[i][3])
+		if v < vPrev {
+			t.Errorf("row %d velocity %v below previous %v", i, v, vPrev)
+		}
+		if tm > tPrev {
+			t.Errorf("row %d time %v above previous %v (faster should be quicker)", i, tm, tPrev)
+		}
+		if en > ePrev {
+			t.Errorf("row %d energy %v above previous %v (faster should be cheaper)", i, en, ePrev)
+		}
+	}
+	// The slow SPA mission costs at least 2× the energy of the fast one.
+	if parseF(t, tb.Rows[0][3]) < 2*parseF(t, tb.Rows[3][3]) {
+		t.Errorf("SPA energy %v not ≫ DroNet energy %v", tb.Rows[0][3], tb.Rows[3][3])
+	}
+}
+
+// ext-targets: the Pelican's accelerator target reproduces its knee.
+func TestExtTargetsPelicanRow(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("ext-targets")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(tb.Rows))
+	}
+	rate, ok := cell(tb, catalog.UAVAscTecPelican, 2)
+	if !ok {
+		t.Fatal("Pelican row missing")
+	}
+	// A 95 % of knee-velocity goal needs a bit less than the 43 Hz knee
+	// rate but the same order.
+	if r := parseF(t, rate); r < 15 || r > 50 {
+		t.Errorf("Pelican target rate = %v Hz, want tens of Hz", r)
+	}
+	tdp, _ := cell(tb, catalog.UAVAscTecPelican, 5)
+	if parseF(t, tdp) <= 0 {
+		t.Errorf("Pelican TDP budget = %v, want positive", tdp)
+	}
+	// The nano-UAV's payload and TDP budgets are far smaller than the
+	// Pelican's.
+	nanoPayload, _ := cell(tb, catalog.UAVNano, 4)
+	pelicanPayload, _ := cell(tb, catalog.UAVAscTecPelican, 4)
+	if parseF(t, nanoPayload) >= parseF(t, pelicanPayload) {
+		t.Errorf("nano payload budget %v not below Pelican's %v", nanoPayload, pelicanPayload)
+	}
+}
+
+// ext-faults: heavier fault injection costs more velocity.
+func TestExtFaultsMonotone(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("ext-faults")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(tb.Rows))
+	}
+	none := parseF(t, tb.Rows[0][1])
+	drop4 := parseF(t, tb.Rows[1][1])
+	drop2 := parseF(t, tb.Rows[2][1])
+	if !(none > drop4 && drop4 > drop2) {
+		t.Errorf("fault severity not monotone: %v, %v, %v", none, drop4, drop2)
+	}
+	if loss := parseF(t, tb.Rows[2][2]); loss < 2 || loss > 40 {
+		t.Errorf("drop-every-2nd loss = %v%%, want a material hit", loss)
+	}
+}
+
+// ext-jitter: more jitter lowers the conservative action rate and the
+// velocity it supports; the zero-jitter row matches the Eq. 3 rate.
+func TestExtJitterMonotone(t *testing.T) {
+	cat := catalog.Default()
+	e, _ := ByID("ext-jitter")
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(tb.Rows))
+	}
+	base := parseF(t, tb.Rows[0][3])
+	if base < 58 || base > 62 {
+		t.Errorf("zero-jitter conservative rate = %v, want ≈60", base)
+	}
+	for i := 1; i < len(tb.Rows); i++ {
+		prev := parseF(t, tb.Rows[i-1][3])
+		cur := parseF(t, tb.Rows[i][3])
+		if cur > prev+0.5 {
+			t.Errorf("row %d conservative rate %v above previous %v", i, cur, prev)
+		}
+	}
+	// Velocity at the conservative rate stays positive and ordered.
+	for _, row := range tb.Rows {
+		if parseF(t, row[4]) <= 0 {
+			t.Errorf("non-positive conservative velocity in row %v", row)
+		}
+	}
+	if !strings.Contains(tb.Notes[0], "worst interval") {
+		t.Error("explanatory note missing")
+	}
+}
+
+// ext-course: the collision crossover sits at the F-1 safe velocity.
+func TestExtCourseCrossover(t *testing.T) {
+	cat := catalog.Default()
+	e, err := ByID("ext-course")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res.Tables[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("got %d rows, want 6", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		frac := parseF(t, row[0])
+		completed := row[2] == "true"
+		collided := row[3] == "true"
+		if frac <= 0.9 {
+			if !completed || collided {
+				t.Errorf("fraction %v should complete cleanly: %v", frac, row)
+			}
+		}
+		if frac >= 1.4 && !collided {
+			t.Errorf("fraction %v should collide: %v", frac, row)
+		}
+	}
+	// Among completed sub-safe missions, faster is cheaper.
+	var prevEnergy float64
+	first := true
+	for _, row := range tb.Rows {
+		if row[2] != "true" {
+			continue
+		}
+		e := parseF(t, row[5])
+		if !first && e > prevEnergy {
+			t.Errorf("completed mission energy not decreasing with velocity: %v then %v", prevEnergy, e)
+		}
+		prevEnergy, first = e, false
+	}
+}

@@ -1,0 +1,242 @@
+package flightsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// This file simulates whole missions rather than single approaches: a
+// polyline course with stop waypoints (package delivery drops) and
+// pop-up obstacles that must be braked for. It closes the loop between
+// the F-1 model and the paper's motivation: flying at the model's safe
+// velocity completes missions quickly and without collisions, flying
+// above it collides, flying below it wastes time and energy.
+
+// Course is a mission route, parameterized by arc length.
+type Course struct {
+	// Length is the total route length.
+	Length units.Length
+	// Stops are arc positions where the vehicle must come to a halt
+	// (deliveries, inspection points). They must be strictly increasing
+	// and within (0, Length]; the course end is an implicit stop.
+	Stops []units.Length
+	// Obstacles are arc positions of pop-up obstacles: each becomes
+	// visible once the vehicle is within sensor range of it and must be
+	// stopped for before the vehicle may proceed (the §IV protocol,
+	// repeated mid-mission). Strictly increasing, within (0, Length).
+	Obstacles []units.Length
+}
+
+// Validate reports the first problem with the course.
+func (c Course) Validate() error {
+	if c.Length <= 0 {
+		return fmt.Errorf("flightsim: course length must be positive, got %v", c.Length)
+	}
+	if err := increasingWithin("stop", c.Stops, c.Length, true); err != nil {
+		return err
+	}
+	return increasingWithin("obstacle", c.Obstacles, c.Length, false)
+}
+
+func increasingWithin(kind string, xs []units.Length, limit units.Length, allowEnd bool) error {
+	prev := units.Length(0)
+	for i, x := range xs {
+		if x <= prev {
+			return fmt.Errorf("flightsim: %s %d at %v not strictly increasing from %v", kind, i, x, prev)
+		}
+		if x > limit || (!allowEnd && x == limit) {
+			return fmt.Errorf("flightsim: %s %d at %v beyond course length %v", kind, i, x, limit)
+		}
+		prev = x
+	}
+	return nil
+}
+
+// MissionConfig drives FlyMission.
+type MissionConfig struct {
+	// Vehicle is the simulated airframe (mass, a_max, drag, lag).
+	Vehicle Vehicle
+	// CruiseVelocity is the commanded speed — typically the F-1 safe
+	// velocity.
+	CruiseVelocity units.Velocity
+	// DecisionRate is the perception loop rate f_action.
+	DecisionRate units.Frequency
+	// SensorRange is how far ahead obstacles become visible.
+	SensorRange units.Length
+	// HoverPower and ComputePower integrate into mission energy.
+	HoverPower   units.Power
+	ComputePower units.Power
+	// Timestep is the integration step; zero means 2 ms.
+	Timestep units.Latency
+	// MaxDuration aborts runaway missions; zero means 3600 s.
+	MaxDuration units.Latency
+}
+
+// Validate reports the first problem with the config.
+func (m MissionConfig) Validate() error {
+	if err := m.Vehicle.Validate(); err != nil {
+		return err
+	}
+	switch {
+	case m.CruiseVelocity <= 0:
+		return fmt.Errorf("flightsim: cruise velocity must be positive, got %v", m.CruiseVelocity)
+	case m.DecisionRate <= 0:
+		return fmt.Errorf("flightsim: decision rate must be positive, got %v", m.DecisionRate)
+	case m.SensorRange <= 0:
+		return fmt.Errorf("flightsim: sensor range must be positive, got %v", m.SensorRange)
+	case m.HoverPower < 0 || m.ComputePower < 0:
+		return fmt.Errorf("flightsim: powers must be non-negative")
+	case m.Timestep < 0:
+		return fmt.Errorf("flightsim: timestep must be non-negative, got %v", m.Timestep)
+	}
+	return nil
+}
+
+// MissionResult summarizes a flown mission.
+type MissionResult struct {
+	// Completed is true when the vehicle reached the course end.
+	Completed bool
+	// Collided is true when the vehicle hit a pop-up obstacle (passed
+	// its position with non-zero speed before stopping for it).
+	Collided bool
+	// CollisionAt is the obstacle arc position hit, when Collided.
+	CollisionAt units.Length
+	// Duration is the mission time (to completion or collision).
+	Duration units.Latency
+	// Distance is the arc length covered.
+	Distance units.Length
+	// Energy is (hover + compute power) × duration.
+	Energy units.Energy
+	// StopsMade counts waypoint halts plus obstacle halts.
+	StopsMade int
+	// PeakVelocity is the highest speed reached.
+	PeakVelocity units.Velocity
+}
+
+// FlyMission simulates the course with a brake-for-the-nearest-target
+// controller: the vehicle cruises at the commanded velocity and brakes
+// (at the decision rate, i.e. with up to one decision period of
+// reaction delay) for the nearest mandatory halt — the next waypoint
+// stop, the course end, or a visible obstacle. Obstacles become visible
+// only within sensor range; a halt clears them.
+func FlyMission(course Course, cfg MissionConfig) (MissionResult, error) {
+	if err := course.Validate(); err != nil {
+		return MissionResult{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return MissionResult{}, err
+	}
+	dt := cfg.Timestep
+	if dt == 0 {
+		dt = units.Milliseconds(2)
+	}
+	maxT := cfg.MaxDuration.Seconds()
+	if maxT == 0 {
+		maxT = 3600
+	}
+	derate := cfg.Vehicle.BrakeDerate
+	if derate == 0 {
+		derate = 1
+	}
+	aMax := cfg.Vehicle.MaxAccel.MetersPerSecond2()
+
+	// Mutable course state.
+	stops := append(append([]units.Length{}, course.Stops...), course.Length)
+	obstacles := append([]units.Length{}, course.Obstacles...)
+
+	var res MissionResult
+	state := physics.State{}
+	var actual float64
+	period := cfg.DecisionRate.Period().Seconds()
+	nextDecision := 0.0
+	var braking bool
+	var brakeTarget units.Length // arc position we are stopping for
+	var brakeForObstacle bool
+
+	// Safety margin the planner budgets when it decides to brake: the
+	// same Eq. 4 stopping distance at current speed plus one decision
+	// period of travel.
+	stopDistance := func(v float64) float64 {
+		return v*period + v*v/(2*aMax*derate)
+	}
+
+	t := 0.0
+	for ; t < maxT; t += dt.Seconds() {
+		pos := state.Pos.Meters()
+		vel := state.Vel.MetersPerSecond()
+
+		// Collision check: crossing a pending obstacle at speed.
+		if len(obstacles) > 0 && units.Meters(pos) >= obstacles[0] && vel > 0.05 {
+			res.Collided = true
+			res.CollisionAt = obstacles[0]
+			break
+		}
+
+		if t >= nextDecision {
+			nextDecision += period
+			if !braking {
+				// Obstacles are unknown until sensed, so the controller
+				// brakes the moment one becomes visible — exactly the
+				// §IV protocol, which is what Eq. 4's safe velocity
+				// guarantees.
+				if len(obstacles) > 0 && obstacles[0] < stops[0] &&
+					obstacles[0].Meters()-pos <= cfg.SensorRange.Meters() {
+					braking = true
+					brakeTarget = obstacles[0]
+					brakeForObstacle = true
+				} else if stops[0].Meters()-pos <= stopDistance(vel) {
+					// Waypoint stops are on the map, so the controller
+					// brakes just in time for them.
+					braking = true
+					brakeTarget = stops[0]
+					brakeForObstacle = false
+				}
+			}
+		}
+
+		var cmd float64
+		if braking {
+			cmd = -derate * aMax
+		} else {
+			err := cfg.CruiseVelocity.MetersPerSecond() - vel
+			cmd = math.Max(-1, math.Min(1, err*4)) * aMax
+		}
+		if cfg.Vehicle.ActuationLag > 0 {
+			alpha := dt.Seconds() / (cfg.Vehicle.ActuationLag.Seconds() + dt.Seconds())
+			actual += alpha * (cmd - actual)
+		} else {
+			actual = cmd
+		}
+		state = physics.Step(state, units.MetersPerSecond2(actual), cfg.Vehicle.Drag, cfg.Vehicle.Mass, dt)
+		if state.Vel > res.PeakVelocity {
+			res.PeakVelocity = state.Vel
+		}
+
+		// Halt reached?
+		if braking && state.Vel <= 0 {
+			braking = false
+			actual = 0
+			res.StopsMade++
+			if brakeForObstacle {
+				// Obstacle inspected/avoided; it no longer binds.
+				if len(obstacles) > 0 && obstacles[0] == brakeTarget {
+					obstacles = obstacles[1:]
+				}
+			} else if stops[0] == brakeTarget {
+				if len(stops) == 1 {
+					res.Completed = true
+					break
+				}
+				stops = stops[1:]
+			}
+		}
+	}
+	res.Duration = units.Seconds(t)
+	res.Distance = state.Pos
+	power := cfg.HoverPower.Watts() + cfg.ComputePower.Watts()
+	res.Energy = units.Joules(power * t)
+	return res, nil
+}

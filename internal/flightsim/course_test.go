@@ -1,0 +1,242 @@
+package flightsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// pelicanVehicle is a Pelican-class airframe for mission tests:
+// a_max 10.67 m/s², 1.2 kg all-up.
+func pelicanVehicle() Vehicle {
+	return Vehicle{
+		Mass:         units.Kilograms(1.2),
+		MaxAccel:     units.MetersPerSecond2(10.67),
+		Drag:         physics.Drag{Cd: 1.0, Area: 0.03},
+		ActuationLag: units.Milliseconds(20),
+		BrakeDerate:  1,
+	}
+}
+
+func missionCfg(v float64) MissionConfig {
+	return MissionConfig{
+		Vehicle:        pelicanVehicle(),
+		CruiseVelocity: units.MetersPerSecond(v),
+		DecisionRate:   units.Hertz(43),
+		SensorRange:    units.Meters(4.5),
+		HoverPower:     units.Watts(150),
+		ComputePower:   units.Watts(15),
+	}
+}
+
+func TestCourseValidate(t *testing.T) {
+	good := Course{
+		Length:    units.Meters(100),
+		Stops:     []units.Length{units.Meters(30), units.Meters(60)},
+		Obstacles: []units.Length{units.Meters(45)},
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good course rejected: %v", err)
+	}
+	bad := []Course{
+		{Length: 0},
+		{Length: units.Meters(10), Stops: []units.Length{units.Meters(5), units.Meters(5)}},
+		{Length: units.Meters(10), Stops: []units.Length{units.Meters(20)}},
+		{Length: units.Meters(10), Obstacles: []units.Length{units.Meters(10)}}, // end not allowed
+		{Length: units.Meters(10), Obstacles: []units.Length{0}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad course %d accepted", i)
+		}
+	}
+}
+
+func TestMissionConfigValidate(t *testing.T) {
+	if err := missionCfg(5).Validate(); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	mutations := []func(*MissionConfig){
+		func(m *MissionConfig) { m.CruiseVelocity = 0 },
+		func(m *MissionConfig) { m.DecisionRate = 0 },
+		func(m *MissionConfig) { m.SensorRange = 0 },
+		func(m *MissionConfig) { m.HoverPower = -1 },
+		func(m *MissionConfig) { m.Timestep = -1 },
+		func(m *MissionConfig) { m.Vehicle = Vehicle{} },
+	}
+	for i, mutate := range mutations {
+		cfg := missionCfg(5)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPlainCruiseMissionCompletes(t *testing.T) {
+	course := Course{Length: units.Meters(200)}
+	res, err := FlyMission(course, missionCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Collided {
+		t.Fatalf("mission failed: %+v", res)
+	}
+	// 200 m at 5 m/s ≈ 40 s plus ramps; energy = 165 W × duration.
+	if res.Duration.Seconds() < 40 || res.Duration.Seconds() > 50 {
+		t.Errorf("duration = %v, want ≈41–45 s", res.Duration)
+	}
+	wantE := 165 * res.Duration.Seconds()
+	if math.Abs(res.Energy.Joules()-wantE) > 1e-6*wantE {
+		t.Errorf("energy = %v J, want %v", res.Energy.Joules(), wantE)
+	}
+	if res.StopsMade != 1 { // the course end
+		t.Errorf("stops = %d, want 1", res.StopsMade)
+	}
+	if res.PeakVelocity.MetersPerSecond() > 5.3 {
+		t.Errorf("peak velocity = %v, want ≤ cruise + tolerance", res.PeakVelocity)
+	}
+}
+
+func TestWaypointStopsAddTime(t *testing.T) {
+	direct, err := FlyMission(Course{Length: units.Meters(200)}, missionCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stops := Course{
+		Length: units.Meters(200),
+		Stops:  []units.Length{units.Meters(50), units.Meters(100), units.Meters(150)},
+	}
+	stopped, err := FlyMission(stops, missionCfg(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stopped.Completed {
+		t.Fatalf("stop mission failed: %+v", stopped)
+	}
+	if stopped.StopsMade != 4 {
+		t.Errorf("stops made = %d, want 4", stopped.StopsMade)
+	}
+	if stopped.Duration <= direct.Duration {
+		t.Errorf("stopping mission (%v) not slower than direct (%v)", stopped.Duration, direct.Duration)
+	}
+}
+
+// The headline crossover: at or below the F-1 safe velocity the mission
+// is collision-free; well above it the pop-up obstacle is hit.
+func TestObstacleCrossoverAtSafeVelocity(t *testing.T) {
+	cfg := missionCfg(0) // velocity set per case
+	vSafe := core.SafeVelocity(
+		cfg.Vehicle.MaxAccel, cfg.SensorRange, cfg.DecisionRate.Period()).MetersPerSecond()
+	course := Course{
+		Length:    units.Meters(150),
+		Obstacles: []units.Length{units.Meters(80)},
+	}
+	// Slightly below the model's safe velocity: must complete cleanly.
+	safe := missionCfg(0.93 * vSafe)
+	res, err := FlyMission(course, safe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Collided || !res.Completed {
+		t.Errorf("at 0.93·v_safe (%.2f m/s): %+v", 0.93*vSafe, res)
+	}
+	// Far above it: the obstacle appears too late to stop.
+	fast := missionCfg(1.8 * vSafe)
+	res2, err := FlyMission(course, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Collided {
+		t.Errorf("at 1.8·v_safe (%.2f m/s) no collision: %+v", 1.8*vSafe, res2)
+	}
+	if res2.CollisionAt != units.Meters(80) {
+		t.Errorf("collision at %v, want 80 m", res2.CollisionAt)
+	}
+}
+
+// Faster (but safe) missions finish sooner and cheaper — the mission
+// model's claim validated in the simulator.
+func TestFasterSafeMissionIsCheaper(t *testing.T) {
+	course := Course{
+		Length: units.Meters(300),
+		Stops:  []units.Length{units.Meters(100), units.Meters(200)},
+	}
+	slow, err := FlyMission(course, missionCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := FlyMission(course, missionCfg(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slow.Completed || !fast.Completed {
+		t.Fatalf("missions failed: %+v / %+v", slow, fast)
+	}
+	if fast.Duration >= slow.Duration || fast.Energy >= slow.Energy {
+		t.Errorf("fast mission not cheaper: %v/%v vs %v/%v",
+			fast.Duration, fast.Energy, slow.Duration, slow.Energy)
+	}
+}
+
+// The simulated mission time tracks the analytic trapezoidal estimate.
+func TestMissionTimeMatchesAnalyticProfile(t *testing.T) {
+	course := Course{Length: units.Meters(400), Stops: []units.Length{units.Meters(200)}}
+	cfg := missionCfg(5)
+	res, err := FlyMission(course, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two 200 m trapezoidal legs at 5 m/s with a ≈ 10.35 m/s² effective.
+	legTime := 200.0/5 + 5/cfg.Vehicle.MaxAccel.MetersPerSecond2()
+	want := 2 * legTime
+	if math.Abs(res.Duration.Seconds()-want) > 0.15*want {
+		t.Errorf("mission time = %v, analytic ≈ %v", res.Duration.Seconds(), want)
+	}
+}
+
+func TestObstacleHaltClearsObstacle(t *testing.T) {
+	course := Course{
+		Length:    units.Meters(100),
+		Obstacles: []units.Length{units.Meters(50)},
+	}
+	res, err := FlyMission(course, missionCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Collided {
+		t.Fatalf("obstacle mission failed: %+v", res)
+	}
+	// One obstacle halt + the course end.
+	if res.StopsMade != 2 {
+		t.Errorf("stops = %d, want 2", res.StopsMade)
+	}
+}
+
+func TestMissionAbortsOnTimeout(t *testing.T) {
+	course := Course{Length: units.Meters(1e6)}
+	cfg := missionCfg(1)
+	cfg.MaxDuration = units.Seconds(5)
+	res, err := FlyMission(course, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("impossible mission reported complete")
+	}
+	if res.Duration.Seconds() > 5.1 {
+		t.Errorf("timeout not honored: %v", res.Duration)
+	}
+}
+
+func TestMissionRejectsBadInputs(t *testing.T) {
+	if _, err := FlyMission(Course{}, missionCfg(5)); err == nil {
+		t.Error("bad course accepted")
+	}
+	if _, err := FlyMission(Course{Length: units.Meters(10)}, MissionConfig{}); err == nil {
+		t.Error("bad config accepted")
+	}
+}

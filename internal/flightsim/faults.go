@@ -1,0 +1,108 @@
+package flightsim
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// FaultModel injects sensing/compute faults into the decision loop —
+// the failure modes that motivate the paper's §VI-C redundancy case
+// study. Faults are deterministic (pattern-based) so experiments stay
+// reproducible. The zero value injects nothing.
+type FaultModel struct {
+	// DropEvery drops a decision tick every k ticks (sensor frame loss
+	// or a missed compute deadline): the controller holds its previous
+	// command through the dropped tick. Zero disables dropping.
+	DropEvery int
+	// BurstLen drops that many consecutive ticks per DropEvery window
+	// (an outage burst rather than a single lost frame). Zero means 1.
+	// Must be less than DropEvery.
+	BurstLen int
+	// Offset shifts the drop pattern by that many ticks — the phase of
+	// the outage pattern relative to the flight. Trials randomizes it
+	// per trial so the worst alignment (an outage right as the obstacle
+	// appears) gets sampled.
+	Offset int
+	// StuckAfter freezes the decision loop entirely after the given
+	// number of ticks (a crashed onboard computer): the last command
+	// holds forever. Zero disables.
+	StuckAfter int
+}
+
+// Validate reports the first problem with the fault model.
+func (f FaultModel) Validate() error {
+	if f.DropEvery < 0 {
+		return fmt.Errorf("flightsim: DropEvery must be non-negative, got %d", f.DropEvery)
+	}
+	if f.DropEvery == 1 {
+		return fmt.Errorf("flightsim: DropEvery=1 drops every decision — the vehicle never reacts")
+	}
+	if f.BurstLen < 0 {
+		return fmt.Errorf("flightsim: BurstLen must be non-negative, got %d", f.BurstLen)
+	}
+	if f.BurstLen > 0 && f.DropEvery > 0 && f.BurstLen >= f.DropEvery {
+		return fmt.Errorf("flightsim: BurstLen %d must be below DropEvery %d — the vehicle never reacts",
+			f.BurstLen, f.DropEvery)
+	}
+	if f.StuckAfter < 0 {
+		return fmt.Errorf("flightsim: StuckAfter must be non-negative, got %d", f.StuckAfter)
+	}
+	return nil
+}
+
+// drops reports whether the tick-th decision (1-based) is lost.
+func (f FaultModel) drops(tick int) bool {
+	if f.StuckAfter > 0 && tick > f.StuckAfter {
+		return true
+	}
+	if f.DropEvery <= 1 {
+		return false
+	}
+	burst := f.BurstLen
+	if burst == 0 {
+		burst = 1
+	}
+	r := (tick + f.Offset) % f.DropEvery
+	if r < 0 {
+		r += f.DropEvery
+	}
+	return r < burst
+}
+
+// FaultImpact compares the safe velocity with and without the fault
+// model — "how much velocity does this failure mode cost?", the
+// quantitative counterpart of the paper's redundancy motivation.
+type FaultImpact struct {
+	// Healthy is the fault-free simulated safe velocity.
+	Healthy units.Velocity
+	// Faulty is the safe velocity under the fault model.
+	Faulty units.Velocity
+	// VelocityLossFraction is 1 − Faulty/Healthy.
+	VelocityLossFraction float64
+}
+
+// MeasureFaultImpact bisects the safe velocity with and without the
+// scenario's faults (the healthy baseline clears the fault model).
+func MeasureFaultImpact(v Vehicle, s Scenario, faults FaultModel, opts SearchOptions) (FaultImpact, error) {
+	if err := faults.Validate(); err != nil {
+		return FaultImpact{}, err
+	}
+	sHealthy := s
+	sHealthy.Faults = FaultModel{}
+	healthy, err := FindSafeVelocity(v, sHealthy, opts)
+	if err != nil {
+		return FaultImpact{}, err
+	}
+	sFaulty := s
+	sFaulty.Faults = faults
+	faulty, err := FindSafeVelocity(v, sFaulty, opts)
+	if err != nil {
+		return FaultImpact{}, err
+	}
+	impact := FaultImpact{Healthy: healthy.SafeVelocity, Faulty: faulty.SafeVelocity}
+	if healthy.SafeVelocity > 0 {
+		impact.VelocityLossFraction = 1 - faulty.SafeVelocity.MetersPerSecond()/healthy.SafeVelocity.MetersPerSecond()
+	}
+	return impact, nil
+}

@@ -1,0 +1,179 @@
+package flightsim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestFaultModelValidate(t *testing.T) {
+	good := []FaultModel{{}, {DropEvery: 2}, {DropEvery: 10, StuckAfter: 100}}
+	for i, f := range good {
+		if err := f.Validate(); err != nil {
+			t.Errorf("good fault model %d rejected: %v", i, err)
+		}
+	}
+	bad := []FaultModel{{DropEvery: -1}, {DropEvery: 1}, {StuckAfter: -1}}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad fault model %d accepted", i)
+		}
+	}
+}
+
+func TestFaultDropPattern(t *testing.T) {
+	f := FaultModel{DropEvery: 3}
+	drops := []bool{false, false, true, false, false, true}
+	for i, want := range drops {
+		if got := f.drops(i + 1); got != want {
+			t.Errorf("tick %d drops = %v, want %v", i+1, got, want)
+		}
+	}
+	stuck := FaultModel{StuckAfter: 4}
+	if stuck.drops(4) {
+		t.Error("tick 4 should still decide")
+	}
+	if !stuck.drops(5) {
+		t.Error("tick 5 should be stuck")
+	}
+}
+
+func TestDroppedFramesShrinkMargin(t *testing.T) {
+	v := uavA()
+	s := scenarioAt(1.8)
+	s.DecisionPhase = 0.5
+	healthy, err := Run(v, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whether a specific drop pattern delays detection depends on the
+	// pattern's alignment with the crossing tick, so scan both
+	// alignments: the worst one must cost margin, and no alignment may
+	// gain any (cruise tracking is decoupled from the perception loop).
+	worst := healthy.StopMargin
+	for off := 0; off < 2; off++ {
+		s.Faults = FaultModel{DropEvery: 2, Offset: off}
+		faulty, err := Run(v, s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faulty.StopMargin > healthy.StopMargin+units.Meters(1e-9) {
+			t.Errorf("offset %d gained margin: %v vs healthy %v", off, faulty.StopMargin, healthy.StopMargin)
+		}
+		if faulty.StopMargin < worst {
+			worst = faulty.StopMargin
+		}
+	}
+	if worst >= healthy.StopMargin {
+		t.Errorf("no drop alignment cost margin: worst %v vs healthy %v", worst, healthy.StopMargin)
+	}
+}
+
+func TestStuckComputeCollides(t *testing.T) {
+	v := uavA()
+	s := scenarioAt(1.5) // comfortably safe when healthy
+	healthy, err := Run(v, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.Infraction {
+		t.Fatal("healthy 1.5 m/s run should be safe")
+	}
+	// Compute crashes after 3 ticks (0.3 s), long before the obstacle
+	// comes into range: the cruise command holds forever and the
+	// vehicle sails through the obstacle.
+	s.Faults = FaultModel{StuckAfter: 3}
+	stuck, err := Run(v, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stuck.Infraction {
+		t.Errorf("stuck compute should collide; stopped at %v", stuck.StopPos)
+	}
+}
+
+func TestMeasureFaultImpact(t *testing.T) {
+	v := uavA()
+	s := scenarioAt(1)
+	impact, err := MeasureFaultImpact(v, s, FaultModel{DropEvery: 2},
+		SearchOptions{Seed: 5, TrialsPerPoint: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.Faulty >= impact.Healthy {
+		t.Errorf("faulty safe velocity %v not below healthy %v", impact.Faulty, impact.Healthy)
+	}
+	if impact.VelocityLossFraction <= 0 || impact.VelocityLossFraction > 0.5 {
+		t.Errorf("velocity loss = %.2f, want (0,0.5]", impact.VelocityLossFraction)
+	}
+	if _, err := MeasureFaultImpact(v, s, FaultModel{DropEvery: 1}, SearchOptions{}); err == nil {
+		t.Error("invalid fault model accepted")
+	}
+}
+
+func TestScenarioValidateCoversFaults(t *testing.T) {
+	s := scenarioAt(1)
+	s.Faults = FaultModel{DropEvery: 1}
+	if err := s.Validate(); err == nil {
+		t.Error("scenario with invalid faults accepted")
+	}
+}
+
+func TestRunWithZeroFaultsUnchanged(t *testing.T) {
+	v := uavA()
+	s := scenarioAt(1.8)
+	s.DecisionPhase = 0.25
+	a, err := Run(v, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Faults = FaultModel{} // explicit zero
+	b, err := Run(v, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StopPos != b.StopPos || a.BrakeTime != b.BrakeTime {
+		t.Errorf("zero fault model changed the trial: %+v vs %+v", a, b)
+	}
+}
+
+func TestBurstDropPattern(t *testing.T) {
+	f := FaultModel{DropEvery: 4, BurstLen: 2}
+	// tick%4 < 2 ⇒ ticks 4,5, 8,9, … drop; ticks 1,2,3,6,7 decide.
+	wantDrop := map[int]bool{1: true, 2: false, 3: false, 4: true, 5: true, 6: false, 7: false, 8: true}
+	for tick, want := range wantDrop {
+		if got := f.drops(tick); got != want {
+			t.Errorf("tick %d drops = %v, want %v", tick, got, want)
+		}
+	}
+}
+
+func TestBurstValidation(t *testing.T) {
+	if err := (FaultModel{DropEvery: 4, BurstLen: 2}).Validate(); err != nil {
+		t.Errorf("valid burst rejected: %v", err)
+	}
+	if err := (FaultModel{DropEvery: 4, BurstLen: 4}).Validate(); err == nil {
+		t.Error("BurstLen == DropEvery accepted")
+	}
+	if err := (FaultModel{BurstLen: -1}).Validate(); err == nil {
+		t.Error("negative BurstLen accepted")
+	}
+}
+
+func TestBurstWorseThanSingleDrop(t *testing.T) {
+	v := uavA()
+	s := scenarioAt(1)
+	single, err := MeasureFaultImpact(v, s, FaultModel{DropEvery: 4},
+		SearchOptions{Seed: 5, TrialsPerPoint: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := MeasureFaultImpact(v, s, FaultModel{DropEvery: 4, BurstLen: 2},
+		SearchOptions{Seed: 5, TrialsPerPoint: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burst.Faulty >= single.Faulty {
+		t.Errorf("burst safe velocity %v not below single-drop %v", burst.Faulty, single.Faulty)
+	}
+}

@@ -1,0 +1,305 @@
+package flightsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// uavA mirrors the validation drone UAV-A: 1.62 kg all-up, a_max
+// calibrated to 0.814 m/s² (2.13 m/s prediction at 10 Hz, d = 3 m).
+func uavA() Vehicle {
+	return Vehicle{
+		Mass:         units.Kilograms(1.62),
+		MaxAccel:     units.MetersPerSecond2(0.814),
+		Drag:         physics.Drag{Cd: 1.1, Area: 0.05},
+		ActuationLag: units.Milliseconds(200),
+		BrakeDerate:  0.97,
+	}
+}
+
+func scenarioAt(v float64) Scenario {
+	return Scenario{
+		ObstacleDistance: units.Meters(3),
+		SensorRange:      units.Meters(3),
+		DecisionRate:     units.Hertz(10),
+		TargetVelocity:   units.MetersPerSecond(v),
+	}
+}
+
+func TestSlowApproachAlwaysStops(t *testing.T) {
+	tr, err := Run(uavA(), scenarioAt(0.5), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Infraction {
+		t.Errorf("0.5 m/s approach hit the obstacle: stop at %v", tr.StopPos)
+	}
+	if tr.StopPos.Meters() >= 0 {
+		t.Errorf("stop position %v not before the obstacle", tr.StopPos)
+	}
+}
+
+func TestFastApproachCollides(t *testing.T) {
+	tr, err := Run(uavA(), scenarioAt(3.5), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Infraction {
+		t.Errorf("3.5 m/s approach should collide; stopped at %v", tr.StopPos)
+	}
+}
+
+func TestPeakVelocityTracksTarget(t *testing.T) {
+	tr, err := Run(uavA(), scenarioAt(1.5), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := tr.PeakVelocity.MetersPerSecond()
+	if math.Abs(peak-1.5) > 0.12 {
+		t.Errorf("peak velocity = %v, want ≈1.5 (cruise tracking)", peak)
+	}
+}
+
+func TestTrajectoryRecording(t *testing.T) {
+	tr, err := Run(uavA(), scenarioAt(1.5), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Trajectory) < 100 {
+		t.Fatalf("trajectory too short: %d points", len(tr.Trajectory))
+	}
+	// Time increases; position moves forward until braking completes.
+	sawBrake := false
+	for i := 1; i < len(tr.Trajectory); i++ {
+		if tr.Trajectory[i].Time <= tr.Trajectory[i-1].Time {
+			t.Fatal("time not increasing")
+		}
+		if tr.Trajectory[i].Braking {
+			sawBrake = true
+		}
+	}
+	if !sawBrake {
+		t.Error("no braking phase recorded")
+	}
+	// Unrecorded runs carry no trajectory.
+	tr2, err := Run(uavA(), scenarioAt(1.5), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Trajectory != nil {
+		t.Error("unrecorded run has trajectory")
+	}
+}
+
+func TestDecisionPhaseMatters(t *testing.T) {
+	// The sampling phase shifts when the obstacle is first noticed
+	// (modulo one decision period), so stop margins must vary across
+	// phases — but by no more than roughly v·T_action of travel.
+	s := scenarioAt(1.9)
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, phase := range []float64{0, 0.2, 0.4, 0.6, 0.8, 0.99} {
+		s.DecisionPhase = phase
+		tr, err := Run(uavA(), s, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := tr.StopMargin.Meters()
+		if m < min {
+			min = m
+		}
+		if m > max {
+			max = m
+		}
+	}
+	if max-min <= 0 {
+		t.Errorf("decision phase had no effect: margin spread %v..%v", min, max)
+	}
+	// One period of blind travel at 1.9 m/s is 0.19 m.
+	if max-min > 0.25 {
+		t.Errorf("margin spread %.3f m exceeds one decision period of travel", max-min)
+	}
+}
+
+func TestActuationLagCostsMargin(t *testing.T) {
+	v := uavA()
+	s := scenarioAt(1.9)
+	lagged, err := Run(v, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.ActuationLag = 0
+	crisp, err := Run(v, s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lagged.StopMargin >= crisp.StopMargin {
+		t.Errorf("lag margin %v not below lag-free margin %v", lagged.StopMargin, crisp.StopMargin)
+	}
+}
+
+func TestValidateVehicle(t *testing.T) {
+	bad := []Vehicle{
+		{MaxAccel: 1, Mass: 0},
+		{Mass: 1, MaxAccel: 0},
+		{Mass: 1, MaxAccel: 1, BrakeDerate: 1.5},
+		{Mass: 1, MaxAccel: 1, ActuationLag: -1},
+	}
+	for i, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("bad vehicle %d accepted", i)
+		}
+	}
+	if err := uavA().Validate(); err != nil {
+		t.Errorf("good vehicle rejected: %v", err)
+	}
+}
+
+func TestValidateScenario(t *testing.T) {
+	good := scenarioAt(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("good scenario rejected: %v", err)
+	}
+	cases := []func(*Scenario){
+		func(s *Scenario) { s.ObstacleDistance = 0 },
+		func(s *Scenario) { s.SensorRange = units.Meters(1) }, // < obstacle distance
+		func(s *Scenario) { s.DecisionRate = 0 },
+		func(s *Scenario) { s.TargetVelocity = 0 },
+		func(s *Scenario) { s.DecisionPhase = 1.5 },
+		func(s *Scenario) { s.Timestep = -1 },
+	}
+	for i, mutate := range cases {
+		s := scenarioAt(1)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad scenario %d accepted", i)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if _, err := Run(Vehicle{}, scenarioAt(1), false); err == nil {
+		t.Error("bad vehicle accepted")
+	}
+	if _, err := Run(uavA(), Scenario{}, false); err == nil {
+		t.Error("bad scenario accepted")
+	}
+}
+
+func TestTrialsDeterministicBySeed(t *testing.T) {
+	v := uavA()
+	s := scenarioAt(2.0)
+	_, inf1, err := Trials(v, s, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, inf2, err := Trials(v, s, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf1 != inf2 {
+		t.Errorf("same seed gave different infraction counts: %d vs %d", inf1, inf2)
+	}
+	if _, _, err := Trials(v, s, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+// The headline validation behaviour: the simulated safe velocity sits a
+// few percent below the F-1 prediction (the model is optimistic), in
+// the paper's 5–12 % error band.
+func TestSimulatedSafeVelocityBelowModel(t *testing.T) {
+	v := uavA()
+	s := scenarioAt(1) // target replaced by the search
+	res, err := FindSafeVelocity(v, s, SearchOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.SafeVelocity(v.MaxAccel, units.Meters(3), units.Hertz(10).Period())
+	sim := res.SafeVelocity.MetersPerSecond()
+	if sim >= model.MetersPerSecond() {
+		t.Fatalf("simulated safe velocity %v not below model prediction %v", sim, model)
+	}
+	errPct := (model.MetersPerSecond() - sim) / model.MetersPerSecond() * 100
+	if errPct < 2 || errPct > 18 {
+		t.Errorf("model-vs-sim error = %.1f%%, want within [2,18]%%", errPct)
+	}
+}
+
+func TestFindSafeVelocityBracketsConsistently(t *testing.T) {
+	v := uavA()
+	res, err := FindSafeVelocity(v, scenarioAt(1), SearchOptions{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafeVelocity <= 0 {
+		t.Fatal("no safe velocity found")
+	}
+	if res.FirstUnsafe.MetersPerSecond()-res.SafeVelocity.MetersPerSecond() > 0.011 {
+		t.Errorf("bracket too wide: safe %v, unsafe %v", res.SafeVelocity, res.FirstUnsafe)
+	}
+	if res.Evaluations < 5 {
+		t.Errorf("suspiciously few evaluations: %d", res.Evaluations)
+	}
+}
+
+func TestFindSafeVelocityExplicitBracket(t *testing.T) {
+	v := uavA()
+	res, err := FindSafeVelocity(v, scenarioAt(1), SearchOptions{
+		Seed: 3, Lo: units.MetersPerSecond(0.5), Hi: units.MetersPerSecond(4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SafeVelocity.MetersPerSecond() < 0.5 || res.SafeVelocity.MetersPerSecond() > 4 {
+		t.Errorf("result outside bracket: %v", res.SafeVelocity)
+	}
+	// A Hi that is already safe returns immediately.
+	res2, err := FindSafeVelocity(v, scenarioAt(1), SearchOptions{
+		Seed: 3, Lo: units.MetersPerSecond(0.1), Hi: units.MetersPerSecond(0.2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.SafeVelocity.MetersPerSecond() != 0.2 {
+		t.Errorf("safe Hi not returned: %v", res2.SafeVelocity)
+	}
+	if !math.IsInf(res2.FirstUnsafe.MetersPerSecond(), 1) {
+		t.Errorf("FirstUnsafe = %v, want +Inf", res2.FirstUnsafe)
+	}
+}
+
+func TestFindSafeVelocityRejectsBadVehicle(t *testing.T) {
+	if _, err := FindSafeVelocity(Vehicle{}, scenarioAt(1), SearchOptions{}); err == nil {
+		t.Error("bad vehicle accepted")
+	}
+}
+
+// Dragless, lag-free, perfectly-sampled vehicle: the simulated safe
+// velocity converges on the analytic Eq. 4 value — the simulator and
+// the model agree when the ignored effects are switched off.
+func TestIdealVehicleMatchesEq4(t *testing.T) {
+	v := Vehicle{
+		Mass:        units.Kilograms(1.62),
+		MaxAccel:    units.MetersPerSecond2(0.814),
+		BrakeDerate: 1,
+	}
+	s := scenarioAt(1)
+	s.DecisionPhase = 0
+	res, err := FindSafeVelocity(v, s, SearchOptions{Seed: 11, TrialsPerPoint: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.SafeVelocity(v.MaxAccel, units.Meters(3), units.Hertz(10).Period())
+	diff := math.Abs(res.SafeVelocity.MetersPerSecond()-model.MetersPerSecond()) / model.MetersPerSecond()
+	// Within 6 %: residual gap comes from worst-case decision sampling
+	// (up to one period late) which Eq. 4's single T_action term models
+	// only on average.
+	if diff > 0.06 {
+		t.Errorf("ideal sim safe velocity %v vs model %v (%.1f%% apart)",
+			res.SafeVelocity, model, diff*100)
+	}
+}

@@ -1,0 +1,132 @@
+package flightsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/units"
+)
+
+// CourseSpec parameterizes the random course generator — the workload
+// generator for mission-scale studies (many missions over many course
+// shapes, all reproducible from a seed).
+type CourseSpec struct {
+	// Length is the route length.
+	Length units.Length
+	// Stops is how many delivery stops to scatter along the route.
+	Stops int
+	// Obstacles is how many pop-up obstacles to scatter.
+	Obstacles int
+	// MinSpacing keeps generated points apart (and away from the route
+	// ends); zero means Length/50.
+	MinSpacing units.Length
+}
+
+// Validate reports the first problem with the spec.
+func (s CourseSpec) Validate() error {
+	if s.Length <= 0 {
+		return fmt.Errorf("flightsim: course length must be positive, got %v", s.Length)
+	}
+	if s.Stops < 0 || s.Obstacles < 0 {
+		return fmt.Errorf("flightsim: stop/obstacle counts must be non-negative")
+	}
+	spacing := s.spacing()
+	need := float64(s.Stops+s.Obstacles+2) * spacing.Meters()
+	if need > s.Length.Meters() {
+		return fmt.Errorf("flightsim: %d stops + %d obstacles with %v spacing do not fit in %v",
+			s.Stops, s.Obstacles, spacing, s.Length)
+	}
+	return nil
+}
+
+func (s CourseSpec) spacing() units.Length {
+	if s.MinSpacing > 0 {
+		return s.MinSpacing
+	}
+	return s.Length / 50
+}
+
+// GenerateCourse builds a random course from the spec, deterministic in
+// the seed. Stops and obstacles are placed on a jittered grid so the
+// spacing guarantee holds by construction.
+func GenerateCourse(spec CourseSpec, seed int64) (Course, error) {
+	if err := spec.Validate(); err != nil {
+		return Course{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := spec.Stops + spec.Obstacles
+	course := Course{Length: spec.Length}
+	if n == 0 {
+		return course, nil
+	}
+	// Jittered grid: divide the interior into n slots, place one point
+	// per slot with margin on both sides.
+	margin := spec.spacing().Meters()
+	usable := spec.Length.Meters() - 2*margin
+	slot := usable / float64(n)
+	positions := make([]float64, n)
+	for i := range positions {
+		jitter := rng.Float64() * (slot - margin)
+		positions[i] = margin + float64(i)*slot + jitter
+	}
+	// Randomly assign which positions are stops vs obstacles.
+	isStop := make([]bool, n)
+	for _, i := range rng.Perm(n)[:spec.Stops] {
+		isStop[i] = true
+	}
+	for i, p := range positions {
+		if isStop[i] {
+			course.Stops = append(course.Stops, units.Meters(p))
+		} else {
+			course.Obstacles = append(course.Obstacles, units.Meters(p))
+		}
+	}
+	return course, nil
+}
+
+// FleetResult aggregates FlyMission over many generated courses.
+type FleetResult struct {
+	// Missions is how many courses were flown.
+	Missions int
+	// Completed and Collided count outcomes.
+	Completed, Collided int
+	// MeanDuration and MeanEnergy average over completed missions.
+	MeanDuration units.Latency
+	MeanEnergy   units.Energy
+}
+
+// FlyFleet generates n courses from the spec (seeds seed, seed+1, …)
+// and flies each with the config, aggregating outcomes. It is the
+// statistical backend for "is this commanded velocity safe across
+// course shapes?" questions.
+func FlyFleet(spec CourseSpec, cfg MissionConfig, n int, seed int64) (FleetResult, error) {
+	if n <= 0 {
+		return FleetResult{}, fmt.Errorf("flightsim: fleet needs at least one mission, got %d", n)
+	}
+	var res FleetResult
+	var totalT, totalE float64
+	for i := 0; i < n; i++ {
+		course, err := GenerateCourse(spec, seed+int64(i))
+		if err != nil {
+			return FleetResult{}, err
+		}
+		r, err := FlyMission(course, cfg)
+		if err != nil {
+			return FleetResult{}, err
+		}
+		res.Missions++
+		if r.Collided {
+			res.Collided++
+		}
+		if r.Completed {
+			res.Completed++
+			totalT += r.Duration.Seconds()
+			totalE += r.Energy.Joules()
+		}
+	}
+	if res.Completed > 0 {
+		res.MeanDuration = units.Seconds(totalT / float64(res.Completed))
+		res.MeanEnergy = units.Joules(totalE / float64(res.Completed))
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package flightsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func TestGenerateCourseStructure(t *testing.T) {
+	spec := CourseSpec{Length: units.Meters(500), Stops: 3, Obstacles: 4}
+	course, err := GenerateCourse(spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := course.Validate(); err != nil {
+		t.Fatalf("generated course invalid: %v", err)
+	}
+	if len(course.Stops) != 3 || len(course.Obstacles) != 4 {
+		t.Errorf("got %d stops, %d obstacles", len(course.Stops), len(course.Obstacles))
+	}
+	// Spacing: all features at least Length/50 = 10 m from the ends.
+	for _, p := range append(append([]units.Length{}, course.Stops...), course.Obstacles...) {
+		if p.Meters() < 10 || p.Meters() > 490 {
+			t.Errorf("feature at %v violates end margin", p)
+		}
+	}
+}
+
+func TestGenerateCourseDeterministic(t *testing.T) {
+	spec := CourseSpec{Length: units.Meters(500), Stops: 2, Obstacles: 3}
+	a, err := GenerateCourse(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCourse(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Stops) != len(b.Stops) {
+		t.Fatal("nondeterministic structure")
+	}
+	for i := range a.Stops {
+		if a.Stops[i] != b.Stops[i] {
+			t.Fatal("nondeterministic stops")
+		}
+	}
+	c, err := GenerateCourse(spec, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Obstacles) == len(c.Obstacles)
+	if same {
+		for i := range a.Obstacles {
+			if a.Obstacles[i] != c.Obstacles[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(a.Obstacles) > 0 {
+		t.Error("different seeds produced identical obstacle layouts")
+	}
+}
+
+func TestGenerateCourseEmpty(t *testing.T) {
+	course, err := GenerateCourse(CourseSpec{Length: units.Meters(100)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(course.Stops) != 0 || len(course.Obstacles) != 0 {
+		t.Error("empty spec produced features")
+	}
+}
+
+func TestGenerateCourseErrors(t *testing.T) {
+	bad := []CourseSpec{
+		{Length: 0},
+		{Length: units.Meters(10), Stops: -1},
+		{Length: units.Meters(10), Stops: 100}, // don't fit
+	}
+	for i, spec := range bad {
+		if _, err := GenerateCourse(spec, 1); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestFlyFleetSafeVelocityIsCleanAcrossCourses(t *testing.T) {
+	spec := CourseSpec{Length: units.Meters(300), Stops: 2, Obstacles: 3}
+	cfg := missionCfg(0)
+	vSafe := core.SafeVelocity(
+		cfg.Vehicle.MaxAccel, cfg.SensorRange, cfg.DecisionRate.Period()).MetersPerSecond()
+	cfg.CruiseVelocity = units.MetersPerSecond(0.9 * vSafe)
+	res, err := FlyFleet(spec, cfg, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missions != 12 || res.Completed != 12 || res.Collided != 0 {
+		t.Errorf("sub-safe fleet: %+v", res)
+	}
+	if res.MeanDuration <= 0 || res.MeanEnergy <= 0 {
+		t.Error("missing aggregates")
+	}
+	// Well above the safe velocity, collisions appear across courses.
+	cfg.CruiseVelocity = units.MetersPerSecond(1.8 * vSafe)
+	res2, err := FlyFleet(spec, cfg, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Collided == 0 {
+		t.Errorf("over-safe fleet had no collisions: %+v", res2)
+	}
+}
+
+func TestFlyFleetMeanTracksSingleMission(t *testing.T) {
+	spec := CourseSpec{Length: units.Meters(200), Stops: 1}
+	cfg := missionCfg(5)
+	res, err := FlyFleet(spec, cfg, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean duration ≈ 200/5 + ramp penalties; within 25 % of the naive
+	// estimate.
+	naive := 200.0 / 5
+	if math.Abs(res.MeanDuration.Seconds()-naive) > 0.25*naive {
+		t.Errorf("mean duration = %v, naive %v", res.MeanDuration, naive)
+	}
+}
+
+func TestFlyFleetErrors(t *testing.T) {
+	spec := CourseSpec{Length: units.Meters(100)}
+	if _, err := FlyFleet(spec, missionCfg(5), 0, 1); err == nil {
+		t.Error("zero missions accepted")
+	}
+	if _, err := FlyFleet(CourseSpec{}, missionCfg(5), 3, 1); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if _, err := FlyFleet(spec, MissionConfig{}, 3, 1); err == nil {
+		t.Error("bad config accepted")
+	}
+}

@@ -1,0 +1,125 @@
+package flightsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// SearchResult is the outcome of the safe-velocity search — the
+// simulated counterpart of the paper's "vary the drone's velocity to the
+// point where we see no infractions".
+type SearchResult struct {
+	// SafeVelocity is the highest tested velocity with zero infractions
+	// across all trials.
+	SafeVelocity units.Velocity
+	// FirstUnsafe is the lowest tested velocity that produced an
+	// infraction.
+	FirstUnsafe units.Velocity
+	// Evaluations is how many (velocity, trials) points were simulated.
+	Evaluations int
+}
+
+// SearchOptions tunes FindSafeVelocity.
+type SearchOptions struct {
+	// TrialsPerPoint mirrors the paper's five trials per velocity.
+	// Zero means 5.
+	TrialsPerPoint int
+	// Tolerance is the bisection resolution. Zero means 0.01 m/s.
+	Tolerance units.Velocity
+	// Seed feeds the deterministic trial randomness.
+	Seed int64
+	// Lo, Hi bracket the search. Zero Hi means 4× the first unsafe
+	// estimate (grown automatically).
+	Lo, Hi units.Velocity
+}
+
+// FindSafeVelocity bisects for the highest cruise velocity at which the
+// vehicle never crosses the obstacle plane. A velocity point is "unsafe"
+// if any of its trials has an infraction — the same conservative rule
+// the paper applies ("with 2 m/s, UAV-A had infractions twice out of
+// five trials; we still consider this velocity unsafe").
+func FindSafeVelocity(v Vehicle, s Scenario, opts SearchOptions) (SearchResult, error) {
+	if err := v.Validate(); err != nil {
+		return SearchResult{}, err
+	}
+	trialsN := opts.TrialsPerPoint
+	if trialsN == 0 {
+		trialsN = 5
+	}
+	tol := opts.Tolerance.MetersPerSecond()
+	if tol == 0 {
+		tol = 0.01
+	}
+	res := SearchResult{}
+	unsafe := func(vel units.Velocity) (bool, error) {
+		si := s
+		si.TargetVelocity = vel
+		res.Evaluations++
+		_, infractions, err := Trials(v, si, trialsN, opts.Seed+int64(res.Evaluations))
+		return infractions > 0, err
+	}
+
+	lo := opts.Lo.MetersPerSecond()
+	if lo <= 0 {
+		lo = 0.05
+	}
+	hi := opts.Hi.MetersPerSecond()
+	if hi <= lo {
+		// Grow until unsafe (or a hard cap).
+		hi = math.Max(2*lo, 1)
+		for {
+			bad, err := unsafe(units.MetersPerSecond(hi))
+			if err != nil {
+				return res, err
+			}
+			if bad {
+				break
+			}
+			hi *= 2
+			if hi > 1e3 {
+				return res, fmt.Errorf("flightsim: no unsafe velocity below 1000 m/s — scenario degenerate")
+			}
+		}
+	} else {
+		bad, err := unsafe(units.MetersPerSecond(hi))
+		if err != nil {
+			return res, err
+		}
+		if !bad {
+			res.SafeVelocity = units.MetersPerSecond(hi)
+			res.FirstUnsafe = units.Velocity(math.Inf(1))
+			return res, nil
+		}
+	}
+	// Ensure lo is safe.
+	for {
+		bad, err := unsafe(units.MetersPerSecond(lo))
+		if err != nil {
+			return res, err
+		}
+		if !bad {
+			break
+		}
+		lo /= 2
+		if lo < 1e-3 {
+			return res, fmt.Errorf("flightsim: even %v m/s is unsafe — scenario degenerate", lo)
+		}
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		bad, err := unsafe(units.MetersPerSecond(mid))
+		if err != nil {
+			return res, err
+		}
+		if bad {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res.SafeVelocity = units.MetersPerSecond(lo)
+	res.FirstUnsafe = units.MetersPerSecond(hi)
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package mission
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Battery models a LiPo flight pack with open-circuit voltage falling
+// over the discharge and an internal resistance that sags the terminal
+// voltage under load. Fig. 2b's endurance numbers assume nominal
+// energy; this model shows what high-power configurations (heavy
+// compute, heavy airframe) actually get: I²R losses plus an early
+// low-voltage cutoff, both of which punish power-hungry designs
+// non-linearly.
+type Battery struct {
+	// Capacity is the rated charge (e.g. 5000 mAh).
+	Capacity units.Charge
+	// Cells is the series cell count (3 for "3S").
+	Cells int
+	// CellFullV and CellEmptyV bound the per-cell open-circuit voltage
+	// over the usable state of charge (defaults 4.2 / 3.3 V).
+	CellFullV, CellEmptyV float64
+	// CellCutoffV is the per-cell terminal voltage at which flight
+	// controllers force a landing (default 3.0 V).
+	CellCutoffV float64
+	// InternalResistance is the whole-pack resistance in ohms
+	// (default 0.02 Ω for a healthy 5 Ah pack).
+	InternalResistance float64
+}
+
+// Typical3S returns the validation drones' pack: 3S 5000 mAh.
+func Typical3S() Battery {
+	return Battery{Capacity: units.MilliampHours(5000), Cells: 3}
+}
+
+func (b Battery) defaults() Battery {
+	if b.CellFullV == 0 {
+		b.CellFullV = 4.2
+	}
+	if b.CellEmptyV == 0 {
+		b.CellEmptyV = 3.3
+	}
+	if b.CellCutoffV == 0 {
+		b.CellCutoffV = 3.0
+	}
+	if b.InternalResistance == 0 {
+		b.InternalResistance = 0.02
+	}
+	return b
+}
+
+// Validate reports the first problem with the battery.
+func (b Battery) Validate() error {
+	bb := b.defaults()
+	switch {
+	case bb.Capacity <= 0:
+		return fmt.Errorf("mission: battery capacity must be positive, got %v", bb.Capacity)
+	case bb.Cells <= 0:
+		return fmt.Errorf("mission: cell count must be positive, got %d", bb.Cells)
+	case bb.CellFullV <= bb.CellEmptyV:
+		return fmt.Errorf("mission: full cell voltage %v must exceed empty %v", bb.CellFullV, bb.CellEmptyV)
+	case bb.InternalResistance < 0:
+		return fmt.Errorf("mission: internal resistance must be non-negative, got %v", bb.InternalResistance)
+	}
+	return nil
+}
+
+// OCV is the open-circuit pack voltage at state of charge soc ∈ [0,1]
+// (linear between empty and full — adequate for endurance estimates).
+func (b Battery) OCV(soc float64) float64 {
+	bb := b.defaults()
+	soc = math.Max(0, math.Min(1, soc))
+	cell := bb.CellEmptyV + soc*(bb.CellFullV-bb.CellEmptyV)
+	return cell * float64(bb.Cells)
+}
+
+// NominalEnergy is the sag-free energy estimate: capacity × mid-range
+// voltage — the number battery vendors quote.
+func (b Battery) NominalEnergy() units.Energy {
+	bb := b.defaults()
+	return bb.Capacity.Energy(bb.OCV(0.5))
+}
+
+// UnderLoad solves the terminal voltage and current when the pack
+// supplies the given power at state of charge soc: with V = OCV − I·R
+// and P = V·I,
+//
+//	V = (OCV + sqrt(OCV² − 4·P·R)) / 2
+//
+// It errors when the pack cannot supply the power at all (discriminant
+// negative — the sag exceeds half the OCV).
+func (b Battery) UnderLoad(soc float64, draw units.Power) (volts, amps float64, err error) {
+	if err := b.Validate(); err != nil {
+		return 0, 0, err
+	}
+	if draw <= 0 {
+		return b.OCV(soc), 0, nil
+	}
+	bb := b.defaults()
+	ocv := bb.OCV(soc)
+	disc := ocv*ocv - 4*draw.Watts()*bb.InternalResistance
+	if disc < 0 {
+		return 0, 0, fmt.Errorf("mission: %v exceeds the pack's deliverable power at SoC %.2f", draw, soc)
+	}
+	v := (ocv + math.Sqrt(disc)) / 2
+	return v, draw.Watts() / v, nil
+}
+
+// Endurance integrates the discharge at constant electrical power until
+// the terminal voltage hits the cutoff or the charge runs out. It
+// always returns less than NominalEnergy/power: I²R losses burn energy
+// and the cutoff strands charge.
+func (b Battery) Endurance(draw units.Power) (units.Latency, error) {
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if draw <= 0 {
+		return 0, fmt.Errorf("mission: power draw must be positive, got %v", draw)
+	}
+	bb := b.defaults()
+	cutoff := bb.CellCutoffV * float64(bb.Cells)
+	const steps = 2000
+	chargeC := bb.Capacity.MilliampHours() * 3.6 // coulombs
+	dq := chargeC / steps
+	t := 0.0
+	for i := 0; i < steps; i++ {
+		soc := 1 - (float64(i)+0.5)/steps
+		v, amps, err := bb.UnderLoad(soc, draw)
+		if err != nil || v < cutoff {
+			break // sagged into cutoff: remaining charge is stranded
+		}
+		t += dq / amps
+	}
+	if t == 0 {
+		return 0, fmt.Errorf("mission: %v trips the %0.1f V cutoff immediately", draw, cutoff)
+	}
+	return units.Seconds(t), nil
+}
+
+// SagPenalty compares the sagging endurance against the naive
+// NominalEnergy/power estimate, returning the fraction of flight time
+// lost to resistance and cutoff (0 = no loss).
+func (b Battery) SagPenalty(draw units.Power) (float64, error) {
+	real, err := b.Endurance(draw)
+	if err != nil {
+		return 0, err
+	}
+	naive := b.NominalEnergy().Joules() / draw.Watts()
+	if naive <= 0 {
+		return 0, fmt.Errorf("mission: degenerate nominal energy")
+	}
+	p := 1 - real.Seconds()/naive
+	if p < 0 {
+		p = 0
+	}
+	return p, nil
+}

@@ -1,0 +1,166 @@
+package mission
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestBatteryDefaults(t *testing.T) {
+	b := Typical3S()
+	if err := b.Validate(); err != nil {
+		t.Fatalf("typical pack invalid: %v", err)
+	}
+	// OCV bounds: 3 × 4.2 = 12.6 full, 3 × 3.3 = 9.9 empty.
+	if math.Abs(b.OCV(1)-12.6) > 1e-9 || math.Abs(b.OCV(0)-9.9) > 1e-9 {
+		t.Errorf("OCV = %v / %v, want 12.6 / 9.9", b.OCV(1), b.OCV(0))
+	}
+	// Clamped outside [0,1].
+	if b.OCV(2) != b.OCV(1) || b.OCV(-1) != b.OCV(0) {
+		t.Error("SoC not clamped")
+	}
+	// Nominal energy ≈ 5 Ah × 11.25 V = 56.25 Wh.
+	if got := b.NominalEnergy().WattHours(); math.Abs(got-56.25) > 0.1 {
+		t.Errorf("nominal energy = %v Wh, want ≈56.25", got)
+	}
+}
+
+func TestBatteryValidate(t *testing.T) {
+	bad := []Battery{
+		{Cells: 3},                           // no capacity
+		{Capacity: units.MilliampHours(100)}, // no cells
+		{Capacity: units.MilliampHours(100), Cells: 3, CellFullV: 3, CellEmptyV: 4},
+		{Capacity: units.MilliampHours(100), Cells: 3, InternalResistance: -1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad battery %d accepted", i)
+		}
+	}
+}
+
+func TestUnderLoadSag(t *testing.T) {
+	b := Typical3S()
+	vNo, iNo, err := b.UnderLoad(1, 0)
+	if err != nil || math.Abs(vNo-12.6) > 1e-9 || iNo != 0 {
+		t.Errorf("no-load = %v V, %v A, %v", vNo, iNo, err)
+	}
+	v, i, err := b.UnderLoad(1, units.Watts(165))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v >= 12.6 {
+		t.Errorf("no sag under 165 W: %v V", v)
+	}
+	// Power balance: V·I = 165.
+	if math.Abs(v*i-165) > 1e-9 {
+		t.Errorf("power balance violated: %v", v*i)
+	}
+	// Absurd power: undeliverable.
+	if _, _, err := b.UnderLoad(0.1, units.Watts(5000)); err == nil {
+		t.Error("5 kW accepted")
+	}
+}
+
+func TestBatteryEnduranceMagnitude(t *testing.T) {
+	b := Typical3S()
+	// ~165 W (S500 hover + compute): nominal 56.25 Wh / 165 W ≈ 20.5 min;
+	// with sag and cutoff expect 17–20.5 min.
+	e, err := b.Endurance(units.Watts(165))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins := e.Seconds() / 60
+	if mins < 15 || mins > 20.6 {
+		t.Errorf("endurance = %.1f min, want ≈17–20", mins)
+	}
+	naive := b.NominalEnergy().Joules() / 165
+	if e.Seconds() >= naive {
+		t.Errorf("sagging endurance %v not below naive %v", e.Seconds(), naive)
+	}
+}
+
+func TestBatteryEnduranceErrors(t *testing.T) {
+	b := Typical3S()
+	if _, err := b.Endurance(0); err == nil {
+		t.Error("zero draw accepted")
+	}
+	if _, err := b.Endurance(units.Watts(50000)); err == nil {
+		t.Error("undeliverable draw accepted")
+	}
+	if _, err := (Battery{}).Endurance(units.Watts(100)); err == nil {
+		t.Error("invalid battery accepted")
+	}
+}
+
+// More power always means less endurance and a larger sag penalty.
+func TestBatteryEnduranceMonotoneProperty(t *testing.T) {
+	b := Typical3S()
+	prop := func(p1, p2 float64) bool {
+		a := units.Watts(50 + math.Mod(math.Abs(p1), 300))
+		c := units.Watts(50 + math.Mod(math.Abs(p2), 300))
+		if a > c {
+			a, c = c, a
+		}
+		ea, err := b.Endurance(a)
+		if err != nil {
+			return false
+		}
+		ec, err := b.Endurance(c)
+		if err != nil {
+			return false
+		}
+		if ec > ea {
+			return false
+		}
+		pa, err := b.SagPenalty(a)
+		if err != nil {
+			return false
+		}
+		pc, err := b.SagPenalty(c)
+		if err != nil {
+			return false
+		}
+		return pc >= pa-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSagPenaltyRange(t *testing.T) {
+	b := Typical3S()
+	p, err := b.SagPenalty(units.Watts(165))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 || p > 0.3 {
+		t.Errorf("sag penalty at 165 W = %.3f, want a few percent", p)
+	}
+	// A tired pack (high resistance) loses more.
+	worn := Typical3S()
+	worn.InternalResistance = 0.08
+	pw, err := worn.SagPenalty(units.Watts(165))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw <= p {
+		t.Errorf("worn pack penalty %.3f not above healthy %.3f", pw, p)
+	}
+}
+
+// The Fig. 2b mini-class endurance (~30 min) is reproduced by the 3S
+// pack at a light hover load.
+func TestFig2bEnduranceWithSag(t *testing.T) {
+	b := Battery{Capacity: units.MilliampHours(3830), Cells: 3}
+	e, err := b.Endurance(units.Watts(80))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mins := e.Seconds() / 60
+	if mins < 25 || mins > 35 {
+		t.Errorf("mini-class endurance = %.1f min, want ≈30", mins)
+	}
+}

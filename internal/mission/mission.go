@@ -1,0 +1,169 @@
+// Package mission models the downstream consequences of safe velocity
+// that motivate the paper (§I, §III-A, citing MAVBench): a higher safe
+// velocity finishes missions sooner, and since a hovering rotorcraft
+// burns near-constant power, sooner means less total mission energy.
+//
+// The package provides an actuator-disk hover-power model, a trapezoidal
+// velocity profile for point-to-point legs, and battery endurance
+// accounting that reproduces the Fig. 2b size classes.
+package mission
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// airDensity is standard sea-level air density.
+const airDensity = 1.225 // kg/m³
+
+// HoverPower estimates the induced power to hover a vehicle of total
+// mass m with rotor disk area A (all rotors combined) and a
+// figure-of-merit fom ∈ (0,1] (propulsive efficiency; ~0.6 for small
+// quads):
+//
+//	P = (m·g)^(3/2) / (fom · sqrt(2·ρ·A))
+//
+// the classic actuator-disk result.
+func HoverPower(m units.Mass, diskArea float64, fom float64) (units.Power, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("mission: mass must be positive, got %v", m)
+	}
+	if diskArea <= 0 {
+		return 0, fmt.Errorf("mission: disk area must be positive, got %v m²", diskArea)
+	}
+	if fom <= 0 || fom > 1 {
+		return 0, fmt.Errorf("mission: figure of merit must be in (0,1], got %v", fom)
+	}
+	w := m.Weight().Newtons()
+	return units.Watts(math.Pow(w, 1.5) / (fom * math.Sqrt(2*airDensity*diskArea))), nil
+}
+
+// Profile is a trapezoidal point-to-point leg: accelerate at a to cruise
+// velocity v, cruise, decelerate at a to a stop.
+type Profile struct {
+	Distance units.Length
+	Cruise   units.Velocity
+	Accel    units.Acceleration
+}
+
+// Validate reports the first problem with the profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Distance <= 0:
+		return fmt.Errorf("mission: distance must be positive, got %v", p.Distance)
+	case p.Cruise <= 0:
+		return fmt.Errorf("mission: cruise velocity must be positive, got %v", p.Cruise)
+	case p.Accel <= 0:
+		return fmt.Errorf("mission: acceleration must be positive, got %v", p.Accel)
+	}
+	return nil
+}
+
+// Triangular reports whether the leg is too short to reach cruise speed
+// (the profile degenerates to accelerate-then-brake).
+func (p Profile) Triangular() bool {
+	rampUpAndDown := p.Cruise.MetersPerSecond() * p.Cruise.MetersPerSecond() / p.Accel.MetersPerSecond2()
+	return rampUpAndDown >= p.Distance.Meters()
+}
+
+// Time is the leg's duration. For a trapezoid:
+//
+//	t = d/v + v/a   (one v/a for ramp-up, one for ramp-down, each
+//	                 costing v/(2a) of "lost" cruise distance)
+//
+// For short (triangular) legs: t = 2·sqrt(d/a).
+func (p Profile) Time() (units.Latency, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	d := p.Distance.Meters()
+	v := p.Cruise.MetersPerSecond()
+	a := p.Accel.MetersPerSecond2()
+	if p.Triangular() {
+		return units.Seconds(2 * math.Sqrt(d/a)), nil
+	}
+	return units.Seconds(d/v + v/a), nil
+}
+
+// Plan is a full mission: total route length flown as repeated legs (one
+// leg per waypoint segment), a platform power draw, and a battery.
+type Plan struct {
+	// Route is the total distance to cover.
+	Route units.Length
+	// Legs is how many stop-and-go segments the route divides into
+	// (deliveries, inspection points). Minimum 1.
+	Legs int
+	// Cruise is the (safe) velocity flown.
+	Cruise units.Velocity
+	// Accel is the vehicle's acceleration limit.
+	Accel units.Acceleration
+	// HoverPower is the propulsion power (≈ constant for rotorcraft).
+	HoverPower units.Power
+	// ComputePower is the onboard computer's draw (its TDP).
+	ComputePower units.Power
+	// Battery is the available energy.
+	Battery units.Energy
+}
+
+// Result summarizes a mission plan.
+type Result struct {
+	// Time is the total mission duration.
+	Time units.Latency
+	// Energy is the total energy drawn.
+	Energy units.Energy
+	// BatteryFraction is Energy / Battery (>1 means the mission does not
+	// fit on one charge).
+	BatteryFraction float64
+	// Feasible is BatteryFraction ≤ 1.
+	Feasible bool
+}
+
+// Evaluate computes mission time and energy for the plan.
+func (p Plan) Evaluate() (Result, error) {
+	if p.Legs < 1 {
+		return Result{}, fmt.Errorf("mission: legs must be ≥1, got %d", p.Legs)
+	}
+	if p.Route <= 0 {
+		return Result{}, fmt.Errorf("mission: route must be positive, got %v", p.Route)
+	}
+	if p.HoverPower <= 0 {
+		return Result{}, fmt.Errorf("mission: hover power must be positive, got %v", p.HoverPower)
+	}
+	if p.ComputePower < 0 {
+		return Result{}, fmt.Errorf("mission: compute power must be non-negative, got %v", p.ComputePower)
+	}
+	leg := Profile{
+		Distance: units.Length(p.Route.Meters() / float64(p.Legs)),
+		Cruise:   p.Cruise,
+		Accel:    p.Accel,
+	}
+	legTime, err := leg.Time()
+	if err != nil {
+		return Result{}, err
+	}
+	total := units.Seconds(legTime.Seconds() * float64(p.Legs))
+	power := p.HoverPower.Watts() + p.ComputePower.Watts()
+	energy := units.Joules(power * total.Seconds())
+	res := Result{Time: total, Energy: energy}
+	if p.Battery > 0 {
+		res.BatteryFraction = energy.Joules() / p.Battery.Joules()
+		res.Feasible = res.BatteryFraction <= 1
+	} else {
+		res.Feasible = true
+	}
+	return res, nil
+}
+
+// Endurance is how long the battery sustains the given constant power
+// draw.
+func Endurance(battery units.Energy, draw units.Power) (units.Latency, error) {
+	if battery <= 0 {
+		return 0, fmt.Errorf("mission: battery energy must be positive, got %v", battery)
+	}
+	if draw <= 0 {
+		return 0, fmt.Errorf("mission: power draw must be positive, got %v", draw)
+	}
+	return units.Seconds(battery.Joules() / draw.Watts()), nil
+}

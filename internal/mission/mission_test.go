@@ -1,0 +1,231 @@
+package mission
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestHoverPowerMagnitude(t *testing.T) {
+	// A 1.62 kg quad with 4 × 10" props (disk area ≈ 4·0.0507 ≈ 0.2 m²)
+	// at FoM 0.6 should hover at roughly 130–220 W — the well-known
+	// ballpark for S500-class builds.
+	p, err := HoverPower(units.Kilograms(1.62), 0.2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Watts() < 100 || p.Watts() > 250 {
+		t.Errorf("hover power = %v, want 100–250 W", p)
+	}
+}
+
+func TestHoverPowerScaling(t *testing.T) {
+	// P ∝ m^1.5: doubling mass multiplies power by 2^1.5.
+	p1, err := HoverPower(units.Kilograms(1), 0.2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := HoverPower(units.Kilograms(2), 0.2, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := p2.Watts() / p1.Watts(); math.Abs(ratio-math.Pow(2, 1.5)) > 1e-9 {
+		t.Errorf("mass-power scaling = %v, want 2^1.5", ratio)
+	}
+}
+
+func TestHoverPowerErrors(t *testing.T) {
+	if _, err := HoverPower(0, 0.2, 0.6); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if _, err := HoverPower(units.Kilograms(1), 0, 0.6); err == nil {
+		t.Error("zero disk area accepted")
+	}
+	if _, err := HoverPower(units.Kilograms(1), 0.2, 1.5); err == nil {
+		t.Error("FoM > 1 accepted")
+	}
+}
+
+func TestProfileTimeTrapezoid(t *testing.T) {
+	// 100 m at 5 m/s with 2.5 m/s²: t = 100/5 + 5/2.5 = 22 s.
+	p := Profile{Distance: units.Meters(100), Cruise: units.MetersPerSecond(5), Accel: units.MetersPerSecond2(2.5)}
+	if p.Triangular() {
+		t.Fatal("long leg classified triangular")
+	}
+	tt, err := p.Time()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tt.Seconds()-22) > 1e-9 {
+		t.Errorf("time = %v, want 22 s", tt)
+	}
+}
+
+func TestProfileTimeTriangular(t *testing.T) {
+	// 4 m at 10 m/s with 2 m/s²: cannot reach cruise; t = 2·sqrt(4/2).
+	p := Profile{Distance: units.Meters(4), Cruise: units.MetersPerSecond(10), Accel: units.MetersPerSecond2(2)}
+	if !p.Triangular() {
+		t.Fatal("short leg not classified triangular")
+	}
+	tt, err := p.Time()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tt.Seconds()-2*math.Sqrt(2)) > 1e-9 {
+		t.Errorf("time = %v, want 2√2 s", tt)
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	bad := []Profile{
+		{Cruise: 1, Accel: 1},
+		{Distance: 1, Accel: 1},
+		{Distance: 1, Cruise: 1},
+	}
+	for i, p := range bad {
+		if _, err := p.Time(); err == nil {
+			t.Errorf("bad profile %d accepted", i)
+		}
+	}
+}
+
+// The paper's motivating claim: higher safe velocity ⇒ shorter mission
+// time ⇒ less mission energy (power is ~constant).
+func TestFasterIsCheaperProperty(t *testing.T) {
+	prop := func(v1, v2 float64) bool {
+		a := units.MetersPerSecond2(2)
+		va := units.MetersPerSecond(0.5 + math.Mod(math.Abs(v1), 10))
+		vb := units.MetersPerSecond(0.5 + math.Mod(math.Abs(v2), 10))
+		if va > vb {
+			va, vb = vb, va
+		}
+		mk := func(v units.Velocity) Result {
+			r, err := Plan{
+				Route: units.Meters(1000), Legs: 4, Cruise: v, Accel: a,
+				HoverPower: units.Watts(150), ComputePower: units.Watts(15),
+				Battery: units.WattHours(55),
+			}.Evaluate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		}
+		slow, fast := mk(va), mk(vb)
+		return fast.Time <= slow.Time && fast.Energy <= slow.Energy
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanEvaluate(t *testing.T) {
+	r, err := Plan{
+		Route: units.Meters(1000), Legs: 1,
+		Cruise: units.MetersPerSecond(5), Accel: units.MetersPerSecond2(2.5),
+		HoverPower: units.Watts(150), ComputePower: units.Watts(15),
+		Battery: units.WattHours(55.5),
+	}.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t = 1000/5 + 2 = 202 s; E = 165 W × 202 s = 33330 J ≈ 9.26 Wh.
+	if math.Abs(r.Time.Seconds()-202) > 1e-9 {
+		t.Errorf("time = %v, want 202 s", r.Time)
+	}
+	if math.Abs(r.Energy.WattHours()-33330.0/3600) > 1e-9 {
+		t.Errorf("energy = %v", r.Energy)
+	}
+	if !r.Feasible || r.BatteryFraction > 0.2 {
+		t.Errorf("feasibility = %v/%v", r.Feasible, r.BatteryFraction)
+	}
+}
+
+func TestPlanInfeasible(t *testing.T) {
+	r, err := Plan{
+		Route: units.Meters(100000), Legs: 1,
+		Cruise: units.MetersPerSecond(2), Accel: units.MetersPerSecond2(2),
+		HoverPower: units.Watts(150), Battery: units.WattHours(10),
+	}.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Feasible || r.BatteryFraction <= 1 {
+		t.Errorf("long mission reported feasible: %+v", r)
+	}
+}
+
+func TestPlanMoreLegsSlower(t *testing.T) {
+	base := Plan{
+		Route: units.Meters(1000), Legs: 1,
+		Cruise: units.MetersPerSecond(5), Accel: units.MetersPerSecond2(2.5),
+		HoverPower: units.Watts(150),
+	}
+	one, err := base.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Legs = 10
+	ten, err := base.Evaluate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each extra stop adds a ramp-down/ramp-up penalty.
+	if ten.Time <= one.Time {
+		t.Errorf("10 legs (%v) not slower than 1 leg (%v)", ten.Time, one.Time)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	good := Plan{
+		Route: units.Meters(100), Legs: 1,
+		Cruise: units.MetersPerSecond(5), Accel: units.MetersPerSecond2(2.5),
+		HoverPower: units.Watts(150),
+	}
+	cases := []func(*Plan){
+		func(p *Plan) { p.Legs = 0 },
+		func(p *Plan) { p.Route = 0 },
+		func(p *Plan) { p.HoverPower = 0 },
+		func(p *Plan) { p.ComputePower = -1 },
+		func(p *Plan) { p.Cruise = 0 },
+	}
+	for i, mutate := range cases {
+		p := good
+		mutate(&p)
+		if _, err := p.Evaluate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestEnduranceFig2bMagnitudes(t *testing.T) {
+	// Mini class: 3830 mAh at 11.1 V ≈ 42.5 Wh; at a typical ~85 W
+	// average draw that is ~30 min — the Fig. 2b mini endurance.
+	battery := units.MilliampHours(3830).Energy(11.1)
+	e, err := Endurance(battery, units.Watts(85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Seconds() < 25*60 || e.Seconds() > 35*60 {
+		t.Errorf("mini endurance = %.1f min, want ≈30", e.Seconds()/60)
+	}
+	// Nano class: 240 mAh at 3.7 V ≈ 0.89 Wh; ~7.5 W draw gives ~7 min.
+	nano := units.MilliampHours(240).Energy(3.7)
+	e2, err := Endurance(nano, units.Watts(7.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Seconds() < 5*60 || e2.Seconds() > 9*60 {
+		t.Errorf("nano endurance = %.1f min, want ≈7", e2.Seconds()/60)
+	}
+}
+
+func TestEnduranceErrors(t *testing.T) {
+	if _, err := Endurance(0, units.Watts(10)); err == nil {
+		t.Error("zero battery accepted")
+	}
+	if _, err := Endurance(units.WattHours(10), 0); err == nil {
+		t.Error("zero draw accepted")
+	}
+}

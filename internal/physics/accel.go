@@ -1,0 +1,231 @@
+package physics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// AccelModel estimates the maximum sustained horizontal acceleration
+// (a_max in Eq. 4) a quadcopter can produce as a function of its payload
+// mass. The paper's F-1 model consumes exactly this scalar; everything
+// else about the body dynamics is folded into it.
+//
+// The paper (Eq. 5 and Fig. 9) establishes that a_max is a steeply
+// non-linear function of payload weight but leaves its internal constants
+// unpublished. We therefore provide three implementations:
+//
+//   - PitchLimited — first-principles hover-constrained model,
+//   - ThrustSurplus — simplest surplus-thrust model,
+//   - CalibratedTable — monotone interpolation through anchor points,
+//     used to anchor the published per-UAV knee points and safe
+//     velocities.
+type AccelModel interface {
+	// MaxAccel returns a_max for the given airframe carrying payload.
+	// Implementations must be monotonically non-increasing in payload.
+	MaxAccel(frame Airframe, payload units.Mass) units.Acceleration
+}
+
+// PitchLimited models a quadcopter that must keep hovering while it
+// accelerates: thrust is tilted by pitch α subject to T·cos α = m·g, so
+// the horizontal acceleration is
+//
+//	a_x = g·sqrt((κT/W)² − 1)
+//
+// where κ is the fraction of maximum thrust the controller may use
+// (control reserve). Below hover capability (κT ≤ W) the model degrades
+// to the Floor acceleration: the vehicle can still brake by other means
+// (drag, descending) but cannot sustain aggressive maneuvers.
+type PitchLimited struct {
+	// UsableThrustFraction κ ∈ (0,1]; flight stacks reserve headroom for
+	// attitude stabilization. Zero means 1.0 (all thrust usable).
+	UsableThrustFraction float64
+	// Floor is the acceleration reported when the thrust-to-weight ratio
+	// drops to or below 1 (overloaded vehicle). Zero means 0.05 m/s².
+	Floor units.Acceleration
+}
+
+// MaxAccel implements AccelModel.
+func (p PitchLimited) MaxAccel(frame Airframe, payload units.Mass) units.Acceleration {
+	kappa := p.UsableThrustFraction
+	if kappa <= 0 || kappa > 1 {
+		kappa = 1
+	}
+	floor := p.Floor
+	if floor <= 0 {
+		floor = units.MetersPerSecond2(0.05)
+	}
+	tw := kappa * frame.ThrustToWeight(payload)
+	if tw <= 1 {
+		return floor
+	}
+	a := units.Gs(math.Sqrt(tw*tw - 1))
+	if a < floor {
+		return floor
+	}
+	return a
+}
+
+// ThrustSurplus models a_max as the specific surplus thrust
+// a = (T − W)/m, i.e. the acceleration available after countering
+// gravity. It is cruder than PitchLimited (it ignores that surplus
+// vertical thrust does not directly translate to horizontal
+// acceleration) but is a common quick estimate, included as an
+// ablation baseline.
+type ThrustSurplus struct {
+	// Floor as in PitchLimited. Zero means 0.05 m/s².
+	Floor units.Acceleration
+}
+
+// MaxAccel implements AccelModel.
+func (t ThrustSurplus) MaxAccel(frame Airframe, payload units.Mass) units.Acceleration {
+	floor := t.Floor
+	if floor <= 0 {
+		floor = units.MetersPerSecond2(0.05)
+	}
+	m := frame.TakeoffMass(payload)
+	if m <= 0 {
+		return floor
+	}
+	surplus := float64(frame.MaxThrust()) - float64(m.Weight())
+	if surplus <= 0 {
+		return floor
+	}
+	a := units.Force(surplus).Over(m)
+	if a < floor {
+		return floor
+	}
+	return a
+}
+
+// CalibPoint anchors a CalibratedTable: at Payload grams of payload the
+// vehicle achieves Accel m/s² of maximum horizontal acceleration.
+type CalibPoint struct {
+	Payload units.Mass
+	Accel   units.Acceleration
+}
+
+// CalibratedTable interpolates a_max(payload) through anchor points with
+// a monotone piecewise-cubic (Fritsch–Carlson / PCHIP) scheme, clamped to
+// the end values outside the anchored range. This is the substitution for
+// the paper's unpublished per-UAV acceleration constants: we anchor the
+// table at the published (payload, a_max) operating points so the
+// published knee points and safe velocities are reproduced, and the
+// interpolant preserves the monotone, steeply non-linear shape of Fig. 9.
+type CalibratedTable struct {
+	points []CalibPoint
+	// PCHIP slopes at each anchor, computed once.
+	slopes []float64
+}
+
+// NewCalibratedTable builds a table from at least two anchor points. The
+// points are sorted by payload; accelerations must be strictly positive
+// and non-increasing with payload (heavier never accelerates harder).
+func NewCalibratedTable(points []CalibPoint) (*CalibratedTable, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("physics: calibrated table needs at least 2 points, got %d", len(points))
+	}
+	ps := make([]CalibPoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Payload < ps[j].Payload })
+	for i, p := range ps {
+		if p.Accel <= 0 {
+			return nil, fmt.Errorf("physics: calibrated table: non-positive acceleration %v at payload %v", p.Accel, p.Payload)
+		}
+		if i > 0 {
+			if p.Payload == ps[i-1].Payload {
+				return nil, fmt.Errorf("physics: calibrated table: duplicate payload %v", p.Payload)
+			}
+			if p.Accel > ps[i-1].Accel {
+				return nil, fmt.Errorf("physics: calibrated table: acceleration increases with payload at %v (%v > %v)",
+					p.Payload, p.Accel, ps[i-1].Accel)
+			}
+		}
+	}
+	return &CalibratedTable{points: ps, slopes: pchipSlopes(ps)}, nil
+}
+
+// MustCalibratedTable is NewCalibratedTable, panicking on invalid input.
+// Intended for static catalog data.
+func MustCalibratedTable(points []CalibPoint) *CalibratedTable {
+	t, err := NewCalibratedTable(points)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// MaxAccel implements AccelModel. The frame argument is unused: a
+// calibrated table already folds the airframe in.
+func (c *CalibratedTable) MaxAccel(_ Airframe, payload units.Mass) units.Acceleration {
+	return c.At(payload)
+}
+
+// At evaluates the interpolant at the given payload.
+func (c *CalibratedTable) At(payload units.Mass) units.Acceleration {
+	ps := c.points
+	n := len(ps)
+	if payload <= ps[0].Payload {
+		return ps[0].Accel
+	}
+	if payload >= ps[n-1].Payload {
+		return ps[n-1].Accel
+	}
+	// Find the bracketing segment.
+	i := sort.Search(n, func(k int) bool { return ps[k].Payload > payload }) - 1
+	x0, x1 := float64(ps[i].Payload), float64(ps[i+1].Payload)
+	y0, y1 := float64(ps[i].Accel), float64(ps[i+1].Accel)
+	h := x1 - x0
+	t := (float64(payload) - x0) / h
+	m0, m1 := c.slopes[i]*h, c.slopes[i+1]*h
+	// Cubic Hermite basis.
+	t2, t3 := t*t, t*t*t
+	y := (2*t3-3*t2+1)*y0 + (t3-2*t2+t)*m0 + (-2*t3+3*t2)*y1 + (t3-t2)*m1
+	if y < 0 {
+		y = 0
+	}
+	return units.Acceleration(y)
+}
+
+// Points returns a copy of the anchor points (sorted by payload).
+func (c *CalibratedTable) Points() []CalibPoint {
+	out := make([]CalibPoint, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
+// pchipSlopes computes Fritsch–Carlson monotone slopes for the anchors.
+func pchipSlopes(ps []CalibPoint) []float64 {
+	n := len(ps)
+	d := make([]float64, n-1) // secant slopes
+	for i := 0; i < n-1; i++ {
+		d[i] = (float64(ps[i+1].Accel) - float64(ps[i].Accel)) /
+			(float64(ps[i+1].Payload) - float64(ps[i].Payload))
+	}
+	m := make([]float64, n)
+	m[0], m[n-1] = d[0], d[n-2]
+	for i := 1; i < n-1; i++ {
+		if d[i-1]*d[i] <= 0 {
+			m[i] = 0
+			continue
+		}
+		// Harmonic mean preserves monotonicity (Fritsch–Carlson).
+		w1 := 2*(float64(ps[i+1].Payload)-float64(ps[i].Payload)) + (float64(ps[i].Payload) - float64(ps[i-1].Payload))
+		w2 := (float64(ps[i+1].Payload) - float64(ps[i].Payload)) + 2*(float64(ps[i].Payload)-float64(ps[i-1].Payload))
+		m[i] = (w1 + w2) / (w1/d[i-1] + w2/d[i])
+	}
+	return m
+}
+
+// FixedAccel is an AccelModel that always reports the same a_max,
+// ignoring the airframe and payload. It reproduces "textbook" sweeps such
+// as Fig. 5 (a_max = 50 m/s², d = 10 m) where the paper fixes the
+// acceleration directly.
+type FixedAccel units.Acceleration
+
+// MaxAccel implements AccelModel.
+func (f FixedAccel) MaxAccel(Airframe, units.Mass) units.Acceleration {
+	return units.Acceleration(f)
+}

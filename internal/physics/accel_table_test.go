@@ -1,0 +1,142 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// paperTable anchors the four validation UAVs' operating points derived
+// from §IV (safe velocities 2.13/1.58/1.53/1.51 m/s at 10 Hz, d = 3 m).
+func paperTable(t *testing.T) *CalibratedTable {
+	t.Helper()
+	tab, err := NewCalibratedTable([]CalibPoint{
+		{Payload: units.Grams(590), Accel: units.MetersPerSecond2(0.81)},
+		{Payload: units.Grams(640), Accel: units.MetersPerSecond2(0.44)},
+		{Payload: units.Grams(690), Accel: units.MetersPerSecond2(0.415)},
+		{Payload: units.Grams(800), Accel: units.MetersPerSecond2(0.405)},
+	})
+	if err != nil {
+		t.Fatalf("NewCalibratedTable: %v", err)
+	}
+	return tab
+}
+
+func TestCalibratedTableHitsAnchors(t *testing.T) {
+	tab := paperTable(t)
+	for _, p := range tab.Points() {
+		got := tab.At(p.Payload)
+		if math.Abs(float64(got-p.Accel)) > 1e-12 {
+			t.Errorf("At(%v) = %v, want anchor %v", p.Payload, got, p.Accel)
+		}
+	}
+}
+
+func TestCalibratedTableClampsOutsideRange(t *testing.T) {
+	tab := paperTable(t)
+	if got := tab.At(units.Grams(100)); got != units.MetersPerSecond2(0.81) {
+		t.Errorf("below range = %v, want clamp to 0.81", got)
+	}
+	if got := tab.At(units.Grams(5000)); got != units.MetersPerSecond2(0.405) {
+		t.Errorf("above range = %v, want clamp to 0.405", got)
+	}
+}
+
+func TestCalibratedTableMonotone(t *testing.T) {
+	tab := paperTable(t)
+	prev := math.Inf(1)
+	for g := 0.0; g <= 1000; g += 2.5 {
+		a := tab.At(units.Grams(g)).MetersPerSecond2()
+		if a > prev+1e-12 {
+			t.Fatalf("interpolant not monotone: a(%v g)=%v > a(prev)=%v", g, a, prev)
+		}
+		prev = a
+	}
+}
+
+func TestCalibratedTableMonotoneProperty(t *testing.T) {
+	tab := paperTable(t)
+	prop := func(g1, g2 float64) bool {
+		a := units.Grams(math.Mod(math.Abs(g1), 1200))
+		b := units.Grams(math.Mod(math.Abs(g2), 1200))
+		if a > b {
+			a, b = b, a
+		}
+		return tab.At(a) >= tab.At(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibratedTableBoundedByAnchorsProperty(t *testing.T) {
+	tab := paperTable(t)
+	lo, hi := 0.405, 0.81
+	prop := func(g float64) bool {
+		a := tab.At(units.Grams(math.Mod(math.Abs(g), 2000))).MetersPerSecond2()
+		return a >= lo-1e-12 && a <= hi+1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibratedTableUnsortedInput(t *testing.T) {
+	tab, err := NewCalibratedTable([]CalibPoint{
+		{Payload: units.Grams(800), Accel: units.MetersPerSecond2(0.4)},
+		{Payload: units.Grams(100), Accel: units.MetersPerSecond2(5)},
+		{Payload: units.Grams(400), Accel: units.MetersPerSecond2(1)},
+	})
+	if err != nil {
+		t.Fatalf("unsorted input rejected: %v", err)
+	}
+	pts := tab.Points()
+	if pts[0].Payload.Grams() != 100 || pts[2].Payload.Grams() != 800 {
+		t.Errorf("points not sorted: %v", pts)
+	}
+}
+
+func TestCalibratedTableRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		pts  []CalibPoint
+	}{
+		{"too few", []CalibPoint{{Payload: units.Grams(1), Accel: 1}}},
+		{"duplicate payload", []CalibPoint{
+			{Payload: units.Grams(100), Accel: 2},
+			{Payload: units.Grams(100), Accel: 1},
+		}},
+		{"increasing accel", []CalibPoint{
+			{Payload: units.Grams(100), Accel: 1},
+			{Payload: units.Grams(200), Accel: 2},
+		}},
+		{"non-positive accel", []CalibPoint{
+			{Payload: units.Grams(100), Accel: 1},
+			{Payload: units.Grams(200), Accel: 0},
+		}},
+	}
+	for _, c := range cases {
+		if _, err := NewCalibratedTable(c.pts); err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+		}
+	}
+}
+
+func TestMustCalibratedTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCalibratedTable did not panic on invalid input")
+		}
+	}()
+	MustCalibratedTable(nil)
+}
+
+func TestCalibratedTableImplementsAccelModel(t *testing.T) {
+	var m AccelModel = paperTable(t)
+	got := m.MaxAccel(Airframe{}, units.Grams(590))
+	if math.Abs(got.MetersPerSecond2()-0.81) > 1e-12 {
+		t.Errorf("MaxAccel via interface = %v, want 0.81", got)
+	}
+}

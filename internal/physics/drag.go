@@ -1,0 +1,91 @@
+package physics
+
+import (
+	"math"
+
+	"repro/internal/units"
+)
+
+// AirDensity is the standard sea-level air density used by the drag
+// model.
+const AirDensity = 1.225 // kg/m³
+
+// Drag models quadratic aerodynamic drag F_D = ½·ρ·C_d·A·v². The F-1
+// model deliberately omits drag (the paper lists it as the second source
+// of model error); the flight simulator includes it so that simulated
+// "real world" safe velocities come out a few percent below the model's
+// predictions — the same optimism the paper measured.
+type Drag struct {
+	// Cd is the drag coefficient (≈ 1.0–1.3 for a quadcopter with
+	// dangling payload).
+	Cd float64
+	// Area is the reference frontal area in m².
+	Area float64
+}
+
+// Force returns the drag force opposing motion at speed v. The sign of
+// the returned force is always non-negative; callers apply it opposite
+// to the direction of travel.
+func (d Drag) Force(v units.Velocity) units.Force {
+	vv := math.Abs(v.MetersPerSecond())
+	return units.Newtons(0.5 * AirDensity * d.Cd * d.Area * vv * vv)
+}
+
+// Decel returns the deceleration drag imposes on a vehicle of mass m at
+// speed v.
+func (d Drag) Decel(v units.Velocity, m units.Mass) units.Acceleration {
+	if m <= 0 {
+		return 0
+	}
+	return d.Force(v).Over(m)
+}
+
+// TerminalVelocity returns the speed at which drag equals the given
+// propulsive force (the maximum achievable steady-state speed).
+func (d Drag) TerminalVelocity(propulsion units.Force) units.Velocity {
+	if d.Cd <= 0 || d.Area <= 0 {
+		return units.Velocity(math.Inf(1))
+	}
+	if propulsion <= 0 {
+		return 0
+	}
+	return units.MetersPerSecond(math.Sqrt(2 * propulsion.Newtons() / (AirDensity * d.Cd * d.Area)))
+}
+
+// State is a 1-D point-mass kinematic state used by the flight
+// simulator: position along the approach axis and velocity toward the
+// obstacle.
+type State struct {
+	Pos units.Length
+	Vel units.Velocity
+}
+
+// Step integrates the state forward by dt under the commanded
+// acceleration cmd, minus quadratic drag, using semi-implicit Euler
+// (velocity first, then position), which is stable for the stiff braking
+// phases the simulator exercises. The vehicle never reverses through the
+// obstacle plane due to drag alone: velocity is clamped at zero when a
+// pure braking command would flip its sign.
+func Step(s State, cmd units.Acceleration, drag Drag, mass units.Mass, dt units.Latency) State {
+	h := dt.Seconds()
+	v := s.Vel.MetersPerSecond()
+	a := cmd.MetersPerSecond2()
+	if v != 0 {
+		dd := drag.Decel(s.Vel, mass).MetersPerSecond2()
+		if v > 0 {
+			a -= dd
+		} else {
+			a += dd
+		}
+	}
+	nv := v + a*h
+	// A braking command must not push the vehicle backwards within a
+	// single step; real controllers cut thrust at zero velocity.
+	if v > 0 && nv < 0 && cmd.MetersPerSecond2() <= 0 {
+		nv = 0
+	}
+	return State{
+		Pos: s.Pos + units.Length(nv*h),
+		Vel: units.MetersPerSecond(nv),
+	}
+}

@@ -1,0 +1,146 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestDragForceQuadratic(t *testing.T) {
+	d := Drag{Cd: 1.0, Area: 0.1}
+	f1 := d.Force(units.MetersPerSecond(1)).Newtons()
+	f2 := d.Force(units.MetersPerSecond(2)).Newtons()
+	if math.Abs(f2-4*f1) > 1e-12 {
+		t.Errorf("drag not quadratic: F(2)=%v, 4·F(1)=%v", f2, 4*f1)
+	}
+	want := 0.5 * AirDensity * 1.0 * 0.1
+	if math.Abs(f1-want) > 1e-12 {
+		t.Errorf("F(1 m/s) = %v, want %v", f1, want)
+	}
+}
+
+func TestDragForceSymmetric(t *testing.T) {
+	d := Drag{Cd: 1.2, Area: 0.05}
+	fp := d.Force(units.MetersPerSecond(3))
+	fn := d.Force(units.MetersPerSecond(-3))
+	if fp != fn {
+		t.Errorf("drag not symmetric: %v vs %v", fp, fn)
+	}
+	if fp < 0 {
+		t.Errorf("drag force negative: %v", fp)
+	}
+}
+
+func TestDragDecel(t *testing.T) {
+	d := Drag{Cd: 1.0, Area: 0.1}
+	a := d.Decel(units.MetersPerSecond(2), units.Kilograms(2))
+	want := d.Force(units.MetersPerSecond(2)).Newtons() / 2
+	if math.Abs(a.MetersPerSecond2()-want) > 1e-12 {
+		t.Errorf("Decel = %v, want %v", a, want)
+	}
+	if got := d.Decel(units.MetersPerSecond(2), 0); got != 0 {
+		t.Errorf("Decel with zero mass = %v, want 0", got)
+	}
+}
+
+func TestTerminalVelocity(t *testing.T) {
+	d := Drag{Cd: 1.0, Area: 0.1}
+	f := units.Newtons(6.125) // ½·1.225·1·0.1·v² = 6.125 ⇒ v = 10
+	v := d.TerminalVelocity(f)
+	if math.Abs(v.MetersPerSecond()-10) > 1e-9 {
+		t.Errorf("terminal velocity = %v, want 10", v)
+	}
+	if got := (Drag{}).TerminalVelocity(f); !math.IsInf(got.MetersPerSecond(), 1) {
+		t.Errorf("dragless terminal velocity = %v, want +Inf", got)
+	}
+	if got := d.TerminalVelocity(0); got != 0 {
+		t.Errorf("zero propulsion terminal velocity = %v, want 0", got)
+	}
+}
+
+// At terminal velocity the drag decel equals the propulsive accel.
+func TestTerminalVelocityBalancesProperty(t *testing.T) {
+	prop := func(f0, cd0, area0 float64) bool {
+		f := units.Newtons(0.1 + math.Mod(math.Abs(f0), 100))
+		d := Drag{Cd: 0.3 + math.Mod(math.Abs(cd0), 2), Area: 0.01 + math.Mod(math.Abs(area0), 1)}
+		v := d.TerminalVelocity(f)
+		return math.Abs(d.Force(v).Newtons()-f.Newtons()) < 1e-6*f.Newtons()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStepConstantAccel(t *testing.T) {
+	// No drag: after N small steps at a=2 m/s² velocity ≈ a·t.
+	s := State{}
+	dt := units.Milliseconds(1)
+	for i := 0; i < 1000; i++ {
+		s = Step(s, units.MetersPerSecond2(2), Drag{}, units.Kilograms(1), dt)
+	}
+	if math.Abs(s.Vel.MetersPerSecond()-2) > 1e-9 {
+		t.Errorf("v after 1 s at 2 m/s² = %v, want 2", s.Vel)
+	}
+	// Semi-implicit Euler position: slightly above analytic ½at² by ½a·t·dt.
+	if math.Abs(s.Pos.Meters()-1) > 0.01 {
+		t.Errorf("x after 1 s = %v, want ≈1", s.Pos)
+	}
+}
+
+func TestStepBrakingClampsAtZero(t *testing.T) {
+	s := State{Vel: units.MetersPerSecond(0.001)}
+	s = Step(s, units.MetersPerSecond2(-5), Drag{}, units.Kilograms(1), units.Milliseconds(10))
+	if s.Vel != 0 {
+		t.Errorf("braking through zero gave v=%v, want clamp to 0", s.Vel)
+	}
+}
+
+func TestStepPositiveCommandMayReverse(t *testing.T) {
+	// A positive command is not clamped (vehicle may accelerate from rest).
+	s := State{}
+	s = Step(s, units.MetersPerSecond2(5), Drag{}, units.Kilograms(1), units.Milliseconds(10))
+	if s.Vel <= 0 {
+		t.Errorf("positive command gave v=%v, want >0", s.Vel)
+	}
+}
+
+func TestStepDragSlowsCoasting(t *testing.T) {
+	d := Drag{Cd: 1.0, Area: 0.1}
+	free := Step(State{Vel: units.MetersPerSecond(10)}, 0, Drag{}, units.Kilograms(1), units.Milliseconds(10))
+	dragged := Step(State{Vel: units.MetersPerSecond(10)}, 0, d, units.Kilograms(1), units.Milliseconds(10))
+	if dragged.Vel >= free.Vel {
+		t.Errorf("drag did not slow coasting: %v vs %v", dragged.Vel, free.Vel)
+	}
+}
+
+func TestStepDragOpposesNegativeVelocity(t *testing.T) {
+	d := Drag{Cd: 1.0, Area: 0.1}
+	s := Step(State{Vel: units.MetersPerSecond(-10)}, 0, d, units.Kilograms(1), units.Milliseconds(10))
+	if s.Vel <= units.MetersPerSecond(-10) {
+		t.Errorf("drag did not oppose negative velocity: %v", s.Vel)
+	}
+}
+
+// Energy argument: coasting with drag, speed must decrease monotonically
+// and never cross zero.
+func TestStepCoastingMonotoneProperty(t *testing.T) {
+	d := Drag{Cd: 1.1, Area: 0.08}
+	prop := func(v0 float64) bool {
+		v := 0.1 + math.Mod(math.Abs(v0), 30)
+		s := State{Vel: units.MetersPerSecond(v)}
+		prev := s.Vel
+		for i := 0; i < 200; i++ {
+			s = Step(s, 0, d, units.Kilograms(1.5), units.Milliseconds(5))
+			if s.Vel > prev || s.Vel < 0 {
+				return false
+			}
+			prev = s.Vel
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package physics models the body dynamics of a quadcopter UAV: how much
+// horizontal acceleration the vehicle can produce given its thrust and
+// takeoff mass (Eq. 5 of the paper), aerodynamic drag (which the F-1
+// model deliberately ignores but the validation flight tests experience),
+// and elementary braking/kinematic relations used by the flight
+// simulator.
+package physics
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Airframe describes the fixed mechanical properties of a quadcopter.
+type Airframe struct {
+	// Name identifies the frame (e.g. "S500", "AscTec Pelican").
+	Name string
+	// BaseMass is the mass of motors + ESCs + frame + flight controller,
+	// i.e. everything that is not payload ("Base Weight" in Table I).
+	BaseMass units.Mass
+	// MotorCount is the number of rotors (4 for all quadcopters here).
+	MotorCount int
+	// MotorThrust is the maximum thrust ("pull") of a single motor.
+	MotorThrust units.Force
+	// FrameSize is the diagonal motor-to-motor size, used only for size
+	// classification (nano / micro / mini).
+	FrameSize units.Length
+}
+
+// MaxThrust is the combined maximum thrust of all motors.
+func (a Airframe) MaxThrust() units.Force {
+	return units.Force(float64(a.MotorThrust) * float64(a.MotorCount))
+}
+
+// TakeoffMass is the all-up mass with the given payload attached.
+func (a Airframe) TakeoffMass(payload units.Mass) units.Mass {
+	return a.BaseMass + payload
+}
+
+// ThrustToWeight is the thrust-to-weight ratio at the given payload.
+func (a Airframe) ThrustToWeight(payload units.Mass) float64 {
+	w := a.TakeoffMass(payload).Weight()
+	if w <= 0 {
+		return math.Inf(1)
+	}
+	return float64(a.MaxThrust()) / float64(w)
+}
+
+// Validate reports a descriptive error when the airframe is physically
+// meaningless.
+func (a Airframe) Validate() error {
+	switch {
+	case a.BaseMass <= 0:
+		return fmt.Errorf("physics: airframe %q: base mass must be positive, got %v", a.Name, a.BaseMass)
+	case a.MotorCount <= 0:
+		return fmt.Errorf("physics: airframe %q: motor count must be positive, got %d", a.Name, a.MotorCount)
+	case a.MotorThrust <= 0:
+		return fmt.Errorf("physics: airframe %q: motor thrust must be positive, got %v", a.Name, a.MotorThrust)
+	}
+	return nil
+}
+
+// ThrustDecomposition is Eq. 5 of the paper: given total thrust T tilted
+// by pitch angle α, vehicle mass m and a horizontal drag force FD, it
+// returns the vertical and horizontal acceleration components
+//
+//	a_y = (T cos α − m g) / m
+//	a_x = (T sin α − F_D) / m
+func ThrustDecomposition(thrust units.Force, pitch units.Angle, m units.Mass, drag units.Force) (ax, ay units.Acceleration) {
+	if m <= 0 {
+		return 0, 0
+	}
+	t := thrust.Newtons()
+	alpha := pitch.Radians()
+	ay = units.Acceleration((t*math.Cos(alpha) - m.Kilograms()*units.StandardGravity) / m.Kilograms())
+	ax = units.Acceleration((t*math.Sin(alpha) - drag.Newtons()) / m.Kilograms())
+	return ax, ay
+}
+
+// HoverPitchLimit returns the maximum pitch angle at which the vehicle
+// can still hold altitude (T cos α = m g) at the given thrust-to-weight
+// ratio. For ratios ≤ 1 the vehicle cannot hover at any tilt and the
+// limit is zero.
+func HoverPitchLimit(thrustToWeight float64) units.Angle {
+	if thrustToWeight <= 1 {
+		return 0
+	}
+	return units.Radians(math.Acos(1 / thrustToWeight))
+}
+
+// BrakingDistance is the distance covered while decelerating from v to a
+// stop at constant deceleration a, after a reaction delay of T seconds at
+// speed v:
+//
+//	d = v·T + v²/(2a)
+//
+// This inverts the safety model: Eq. 4 is exactly the v that makes the
+// braking distance equal the sensing range d.
+func BrakingDistance(v units.Velocity, a units.Acceleration, reaction units.Latency) units.Length {
+	if a <= 0 {
+		return units.Length(math.Inf(1))
+	}
+	vv := v.MetersPerSecond()
+	return units.Length(vv*reaction.Seconds() + vv*vv/(2*a.MetersPerSecond2()))
+}

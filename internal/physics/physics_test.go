@@ -1,0 +1,227 @@
+package physics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// s500 approximates UAV-A from Table I: 1030 g base, 4×435 gf motors.
+func s500() Airframe {
+	return Airframe{
+		Name:        "S500",
+		BaseMass:    units.Grams(1030),
+		MotorCount:  4,
+		MotorThrust: units.GramsForce(435),
+		FrameSize:   units.Millimeters(500),
+	}
+}
+
+func TestAirframeMaxThrust(t *testing.T) {
+	f := s500()
+	if got := f.MaxThrust().GramsForce(); math.Abs(got-1740) > 1e-9 {
+		t.Errorf("MaxThrust = %v gf, want 1740", got)
+	}
+}
+
+func TestAirframeTakeoffMass(t *testing.T) {
+	f := s500()
+	if got := f.TakeoffMass(units.Grams(590)).Grams(); math.Abs(got-1620) > 1e-9 {
+		t.Errorf("TakeoffMass = %v g, want 1620", got)
+	}
+}
+
+func TestThrustToWeight(t *testing.T) {
+	f := s500()
+	// UAV-A: 1740 gf thrust over 1620 g mass ⇒ T/W ≈ 1.074.
+	got := f.ThrustToWeight(units.Grams(590))
+	if math.Abs(got-1740.0/1620.0) > 1e-9 {
+		t.Errorf("ThrustToWeight = %v, want %v", got, 1740.0/1620.0)
+	}
+}
+
+func TestAirframeValidate(t *testing.T) {
+	good := s500()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid airframe rejected: %v", err)
+	}
+	bad := []Airframe{
+		{Name: "no-mass", MotorCount: 4, MotorThrust: units.GramsForce(100)},
+		{Name: "no-motors", BaseMass: units.Grams(100), MotorThrust: units.GramsForce(100)},
+		{Name: "no-thrust", BaseMass: units.Grams(100), MotorCount: 4},
+	}
+	for _, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("airframe %q accepted, want error", b.Name)
+		}
+	}
+}
+
+func TestThrustDecompositionHover(t *testing.T) {
+	// Level hover: thrust = weight, zero pitch ⇒ zero accelerations.
+	m := units.Kilograms(1.62)
+	ax, ay := ThrustDecomposition(m.Weight(), 0, m, 0)
+	if math.Abs(ax.MetersPerSecond2()) > 1e-12 || math.Abs(ay.MetersPerSecond2()) > 1e-12 {
+		t.Errorf("hover gave ax=%v ay=%v, want 0,0", ax, ay)
+	}
+}
+
+func TestThrustDecompositionPitch(t *testing.T) {
+	// Pitch 30° with thrust 2·W: ax = 2g·sin30 = g, ay = 2g·cos30 − g.
+	m := units.Kilograms(1)
+	thrust := units.Newtons(2 * units.StandardGravity)
+	ax, ay := ThrustDecomposition(thrust, units.Degrees(30), m, 0)
+	if math.Abs(ax.MetersPerSecond2()-units.StandardGravity) > 1e-9 {
+		t.Errorf("ax = %v, want g", ax)
+	}
+	wantAy := 2*units.StandardGravity*math.Cos(math.Pi/6) - units.StandardGravity
+	if math.Abs(ay.MetersPerSecond2()-wantAy) > 1e-9 {
+		t.Errorf("ay = %v, want %v", ay, wantAy)
+	}
+}
+
+func TestThrustDecompositionDrag(t *testing.T) {
+	m := units.Kilograms(1)
+	thrust := units.Newtons(2 * units.StandardGravity)
+	axFree, _ := ThrustDecomposition(thrust, units.Degrees(45), m, 0)
+	axDrag, _ := ThrustDecomposition(thrust, units.Degrees(45), m, units.Newtons(1))
+	if math.Abs((axFree.MetersPerSecond2()-axDrag.MetersPerSecond2())-1) > 1e-9 {
+		t.Errorf("1 N drag on 1 kg should cost 1 m/s²; free=%v dragged=%v", axFree, axDrag)
+	}
+}
+
+func TestThrustDecompositionZeroMass(t *testing.T) {
+	ax, ay := ThrustDecomposition(units.Newtons(10), units.Degrees(10), 0, 0)
+	if ax != 0 || ay != 0 {
+		t.Errorf("zero mass gave ax=%v ay=%v, want 0,0", ax, ay)
+	}
+}
+
+func TestHoverPitchLimit(t *testing.T) {
+	if got := HoverPitchLimit(1.0); got != 0 {
+		t.Errorf("T/W=1 pitch limit = %v, want 0", got)
+	}
+	if got := HoverPitchLimit(0.9); got != 0 {
+		t.Errorf("T/W<1 pitch limit = %v, want 0", got)
+	}
+	// T/W = 2 ⇒ cos α = 0.5 ⇒ α = 60°.
+	if got := HoverPitchLimit(2.0).Degrees(); math.Abs(got-60) > 1e-9 {
+		t.Errorf("T/W=2 pitch limit = %v°, want 60", got)
+	}
+}
+
+func TestBrakingDistance(t *testing.T) {
+	// 10 m/s, 5 m/s² decel, no reaction: d = 100/10 = 10 m.
+	d := BrakingDistance(units.MetersPerSecond(10), units.MetersPerSecond2(5), 0)
+	if math.Abs(d.Meters()-10) > 1e-9 {
+		t.Errorf("braking distance = %v, want 10 m", d)
+	}
+	// Adding a 1 s reaction adds v·T = 10 m.
+	d2 := BrakingDistance(units.MetersPerSecond(10), units.MetersPerSecond2(5), units.Seconds(1))
+	if math.Abs(d2.Meters()-20) > 1e-9 {
+		t.Errorf("braking distance with reaction = %v, want 20 m", d2)
+	}
+	if d3 := BrakingDistance(units.MetersPerSecond(10), 0, 0); !math.IsInf(d3.Meters(), 1) {
+		t.Errorf("zero decel braking distance = %v, want +Inf", d3)
+	}
+}
+
+// BrakingDistance at v_safe from Eq. 4 must equal the sensing range:
+// the safety model is exactly "can stop within d".
+func TestBrakingDistanceInvertsEq4Property(t *testing.T) {
+	prop := func(a0, d0, T0 float64) bool {
+		a := 0.1 + math.Mod(math.Abs(a0), 50)  // 0.1..50.1 m/s²
+		d := 0.5 + math.Mod(math.Abs(d0), 20)  // 0.5..20.5 m
+		T := 0.001 + math.Mod(math.Abs(T0), 2) // 1 ms..2 s
+		vs := a * (math.Sqrt(T*T+2*d/a) - T)   // Eq. 4
+		bd := BrakingDistance(units.MetersPerSecond(vs), units.MetersPerSecond2(a), units.Seconds(T))
+		return math.Abs(bd.Meters()-d) < 1e-6*d+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPitchLimitedModel(t *testing.T) {
+	m := PitchLimited{UsableThrustFraction: 1}
+	f := s500()
+	// At T/W = 2 (870 g takeoff mass under 1740 gf): a = g·sqrt(3).
+	light := Airframe{Name: "light", BaseMass: units.Grams(435), MotorCount: 4, MotorThrust: units.GramsForce(435)}
+	a := m.MaxAccel(light, units.Grams(435)) // mass 870 g, thrust 1740 gf ⇒ T/W=2
+	want := units.StandardGravity * math.Sqrt(3)
+	if math.Abs(a.MetersPerSecond2()-want) > 1e-9 {
+		t.Errorf("a_max = %v, want %v", a, want)
+	}
+	// Overloaded: payload pushes T/W below 1 ⇒ floor.
+	aFloor := m.MaxAccel(f, units.Grams(2000))
+	if math.Abs(aFloor.MetersPerSecond2()-0.05) > 1e-12 {
+		t.Errorf("overloaded a_max = %v, want default floor 0.05", aFloor)
+	}
+}
+
+func TestPitchLimitedUsableFraction(t *testing.T) {
+	light := Airframe{Name: "light", BaseMass: units.Grams(435), MotorCount: 4, MotorThrust: units.GramsForce(435)}
+	full := PitchLimited{UsableThrustFraction: 1}.MaxAccel(light, units.Grams(435))
+	half := PitchLimited{UsableThrustFraction: 0.5}.MaxAccel(light, units.Grams(435))
+	if half >= full {
+		t.Errorf("κ=0.5 a_max %v not below κ=1 a_max %v", half, full)
+	}
+	// κ=0.5 at T/W=2 gives effective 1.0 ⇒ floor.
+	if math.Abs(half.MetersPerSecond2()-0.05) > 1e-12 {
+		t.Errorf("κ=0.5 a_max = %v, want floor", half)
+	}
+	// Invalid κ treated as 1.
+	bad := PitchLimited{UsableThrustFraction: 1.7}.MaxAccel(light, units.Grams(435))
+	if bad != full {
+		t.Errorf("invalid κ a_max = %v, want %v", bad, full)
+	}
+}
+
+func TestThrustSurplusModel(t *testing.T) {
+	m := ThrustSurplus{}
+	f := s500()
+	// UAV-A: surplus = 1740−1620 = 120 gf over 1.62 kg.
+	a := m.MaxAccel(f, units.Grams(590))
+	want := units.GramsForce(120).Newtons() / 1.62
+	if math.Abs(a.MetersPerSecond2()-want) > 1e-9 {
+		t.Errorf("a_max = %v, want %v", a.MetersPerSecond2(), want)
+	}
+	// Overloaded ⇒ floor.
+	if got := m.MaxAccel(f, units.Grams(5000)); math.Abs(got.MetersPerSecond2()-0.05) > 1e-12 {
+		t.Errorf("overloaded a_max = %v, want floor", got)
+	}
+}
+
+// Both physics-based models must be monotone non-increasing in payload.
+func TestAccelModelsMonotoneProperty(t *testing.T) {
+	f := s500()
+	models := []AccelModel{
+		PitchLimited{UsableThrustFraction: 0.95},
+		ThrustSurplus{},
+	}
+	prop := func(p1, p2 float64) bool {
+		a := units.Grams(math.Mod(math.Abs(p1), 3000))
+		b := units.Grams(math.Mod(math.Abs(p2), 3000))
+		if a > b {
+			a, b = b, a
+		}
+		for _, m := range models {
+			if m.MaxAccel(f, a) < m.MaxAccel(f, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFixedAccel(t *testing.T) {
+	m := FixedAccel(units.MetersPerSecond2(50))
+	if got := m.MaxAccel(Airframe{}, units.Grams(99999)); got.MetersPerSecond2() != 50 {
+		t.Errorf("FixedAccel = %v, want 50", got)
+	}
+}

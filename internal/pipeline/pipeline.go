@@ -1,0 +1,194 @@
+// Package pipeline models the sensor–compute–control pipeline whose
+// throughput is the UAV's decision-making rate ("action throughput",
+// Fig. 3b and Eqs. 1–3 of the paper).
+//
+// A Pipeline is an ordered list of stages, each with a latency. When the
+// stages run concurrently (the paper's assumption) the pipeline's
+// steady-state throughput is the reciprocal of the slowest stage
+// (Eq. 3); when they cannot overlap at all the achievable rate degrades
+// to the reciprocal of the latency sum (Eq. 2). Both compositions are
+// provided, together with a discrete-event simulator that verifies the
+// analytic results and lets callers explore partial overlap.
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Stage is one element of the sensor–compute–control pipeline.
+type Stage struct {
+	// Name identifies the stage ("sensor", "compute", "control", or a
+	// kernel name like "SLAM" inside an SPA chain).
+	Name string
+	// Latency is the time the stage needs to process one sample.
+	Latency units.Latency
+}
+
+// StageHz builds a stage from a throughput instead of a latency; sensor
+// frame rates and algorithm inference rates are usually quoted in Hz.
+func StageHz(name string, f units.Frequency) Stage {
+	return Stage{Name: name, Latency: f.Period()}
+}
+
+// Throughput is the stage's standalone rate, 1/Latency.
+func (s Stage) Throughput() units.Frequency { return s.Latency.Frequency() }
+
+// String renders "name (latency, throughput)".
+func (s Stage) String() string {
+	return fmt.Sprintf("%s (%v, %v)", s.Name, s.Latency, s.Throughput())
+}
+
+// Sequential collapses a chain of stages that must run back-to-back into
+// a single stage whose latency is the sum of the parts. This models SPA
+// pipelines whose kernels are serialized on one processor: the paper's
+// Navion case study composes SLAM + mapping + planning + control into an
+// 810 ms end-to-end stage (1.23 Hz).
+func Sequential(name string, stages ...Stage) Stage {
+	var total units.Latency
+	for _, st := range stages {
+		total += st.Latency
+	}
+	return Stage{Name: name, Latency: total}
+}
+
+// Pipeline is an ordered sensor→compute→control chain.
+type Pipeline struct {
+	Stages []Stage
+}
+
+// New builds a pipeline from stages.
+func New(stages ...Stage) Pipeline { return Pipeline{Stages: stages} }
+
+// SensorComputeControl builds the canonical three-stage pipeline of
+// Fig. 3b from the three throughputs.
+func SensorComputeControl(sensor, compute, control units.Frequency) Pipeline {
+	return New(
+		StageHz("sensor", sensor),
+		StageHz("compute", compute),
+		StageHz("control", control),
+	)
+}
+
+// Validate reports an error for empty pipelines or stages with negative
+// latency. Infinite latency (zero-throughput stage) is legal: it models
+// a stage that never completes, and correctly drives the pipeline
+// throughput to zero.
+func (p Pipeline) Validate() error {
+	if len(p.Stages) == 0 {
+		return fmt.Errorf("pipeline: no stages")
+	}
+	for _, s := range p.Stages {
+		if s.Latency < 0 {
+			return fmt.Errorf("pipeline: stage %q has negative latency %v", s.Name, s.Latency)
+		}
+	}
+	return nil
+}
+
+// ActionThroughput is Eq. 3: the throughput of a fully overlapped
+// pipeline, min(1/T_i) over the stages.
+func (p Pipeline) ActionThroughput() units.Frequency {
+	if len(p.Stages) == 0 {
+		return 0
+	}
+	f := units.Frequency(math.Inf(1))
+	for _, s := range p.Stages {
+		if t := s.Throughput(); t < f {
+			f = t
+		}
+	}
+	return f
+}
+
+// LatencyLowerBound is Eq. 1's left side: the pipeline interval can
+// never be shorter than its slowest stage.
+func (p Pipeline) LatencyLowerBound() units.Latency {
+	var max units.Latency
+	for _, s := range p.Stages {
+		if s.Latency > max {
+			max = s.Latency
+		}
+	}
+	return max
+}
+
+// LatencyUpperBound is Eq. 2: with no overlap at all the interval is the
+// sum of stage latencies.
+func (p Pipeline) LatencyUpperBound() units.Latency {
+	var sum units.Latency
+	for _, s := range p.Stages {
+		sum += s.Latency
+	}
+	return sum
+}
+
+// SequentialThroughput is the decision rate when the stages cannot
+// overlap (one sample in flight at a time): 1 / Σ T_i.
+func (p Pipeline) SequentialThroughput() units.Frequency {
+	return p.LatencyUpperBound().Frequency()
+}
+
+// Bottleneck returns the stage with the largest latency — the one whose
+// improvement raises the action throughput — and false when the pipeline
+// is empty. Ties go to the earliest stage.
+func (p Pipeline) Bottleneck() (Stage, bool) {
+	if len(p.Stages) == 0 {
+		return Stage{}, false
+	}
+	best := p.Stages[0]
+	for _, s := range p.Stages[1:] {
+		if s.Latency > best.Latency {
+			best = s
+		}
+	}
+	return best, true
+}
+
+// Slack returns, per stage, how much faster the stage is than the
+// bottleneck (bottleneck latency / stage latency, ≥ 1). A slack of 3
+// means the stage could be 3× slower (e.g. a cheaper part) without
+// hurting the action throughput — the inverse of the paper's
+// over-provisioning factors.
+func (p Pipeline) Slack() map[string]float64 {
+	out := make(map[string]float64, len(p.Stages))
+	bn, ok := p.Bottleneck()
+	if !ok {
+		return out
+	}
+	for _, s := range p.Stages {
+		if s.Latency <= 0 {
+			out[s.Name] = math.Inf(1)
+			continue
+		}
+		out[s.Name] = float64(bn.Latency) / float64(s.Latency)
+	}
+	return out
+}
+
+// WithStage returns a copy of the pipeline with the named stage's
+// latency replaced; if no stage has the name, the stage is appended.
+func (p Pipeline) WithStage(st Stage) Pipeline {
+	out := Pipeline{Stages: make([]Stage, len(p.Stages))}
+	copy(out.Stages, p.Stages)
+	for i, s := range out.Stages {
+		if s.Name == st.Name {
+			out.Stages[i] = st
+			return out
+		}
+	}
+	out.Stages = append(out.Stages, st)
+	return out
+}
+
+// String renders the pipeline as "a → b → c (f_action = X)".
+func (p Pipeline) String() string {
+	names := make([]string, len(p.Stages))
+	for i, s := range p.Stages {
+		names[i] = s.Name
+	}
+	return fmt.Sprintf("%s (f_action = %v)", strings.Join(names, " → "), p.ActionThroughput())
+}

@@ -1,0 +1,228 @@
+package pipeline
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// dronetOnTX2 is the paper's running example: 60 FPS camera, DroNet at
+// 178 Hz on a TX2, 1 kHz flight controller.
+func dronetOnTX2() Pipeline {
+	return SensorComputeControl(units.Hertz(60), units.Hertz(178), units.Hertz(1000))
+}
+
+func TestActionThroughputEq3(t *testing.T) {
+	p := dronetOnTX2()
+	// min(60, 178, 1000) = 60: sensor-bound.
+	if got := p.ActionThroughput().Hertz(); math.Abs(got-60) > 1e-9 {
+		t.Errorf("ActionThroughput = %v, want 60", got)
+	}
+}
+
+func TestBottleneckIdentification(t *testing.T) {
+	p := dronetOnTX2()
+	bn, ok := p.Bottleneck()
+	if !ok || bn.Name != "sensor" {
+		t.Errorf("Bottleneck = %v,%v, want sensor", bn, ok)
+	}
+	// SPA at 1.1 Hz makes compute the bottleneck.
+	p2 := SensorComputeControl(units.Hertz(60), units.Hertz(1.1), units.Hertz(1000))
+	bn2, _ := p2.Bottleneck()
+	if bn2.Name != "compute" {
+		t.Errorf("Bottleneck = %v, want compute", bn2.Name)
+	}
+}
+
+func TestBottleneckTieGoesToEarliest(t *testing.T) {
+	p := New(StageHz("a", 10), StageHz("b", 10))
+	bn, _ := p.Bottleneck()
+	if bn.Name != "a" {
+		t.Errorf("tie bottleneck = %q, want a", bn.Name)
+	}
+}
+
+func TestBottleneckEmpty(t *testing.T) {
+	if _, ok := (Pipeline{}).Bottleneck(); ok {
+		t.Error("empty pipeline reported a bottleneck")
+	}
+}
+
+func TestLatencyBoundsEq1Eq2(t *testing.T) {
+	p := dronetOnTX2()
+	lo := p.LatencyLowerBound().Seconds()
+	hi := p.LatencyUpperBound().Seconds()
+	wantLo := 1.0 / 60
+	wantHi := 1.0/60 + 1.0/178 + 1.0/1000
+	if math.Abs(lo-wantLo) > 1e-12 {
+		t.Errorf("lower bound = %v, want %v", lo, wantLo)
+	}
+	if math.Abs(hi-wantHi) > 1e-12 {
+		t.Errorf("upper bound = %v, want %v", hi, wantHi)
+	}
+	if lo > hi {
+		t.Error("lower bound exceeds upper bound")
+	}
+}
+
+func TestSequentialThroughput(t *testing.T) {
+	p := dronetOnTX2()
+	want := 1.0 / p.LatencyUpperBound().Seconds()
+	if got := p.SequentialThroughput().Hertz(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SequentialThroughput = %v, want %v", got, want)
+	}
+}
+
+// The Navion composition (Fig. 16a): SLAM at 172 FPS plus the rest of
+// the SPA chain totalling 810 ms end-to-end ⇒ 1.23 Hz.
+func TestSequentialComposesNavionChain(t *testing.T) {
+	slam := StageHz("SLAM (Navion)", units.Hertz(172))
+	rest := Stage{Name: "octomap+planning+control", Latency: units.Milliseconds(810 - 1000.0/172)}
+	spa := Sequential("SPA e2e", slam, rest)
+	if math.Abs(spa.Latency.Milliseconds()-810) > 1e-9 {
+		t.Errorf("sequential latency = %v, want 810 ms", spa.Latency)
+	}
+	if math.Abs(spa.Throughput().Hertz()-1.2345679) > 1e-3 {
+		t.Errorf("sequential throughput = %v, want ≈1.23 Hz", spa.Throughput())
+	}
+}
+
+func TestZeroThroughputStageKillsPipeline(t *testing.T) {
+	p := SensorComputeControl(units.Hertz(60), units.Hertz(0), units.Hertz(1000))
+	if got := p.ActionThroughput(); got != 0 {
+		t.Errorf("pipeline with dead stage throughput = %v, want 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Pipeline{}).Validate(); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	bad := New(Stage{Name: "x", Latency: units.Seconds(-1)})
+	if err := bad.Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if err := dronetOnTX2().Validate(); err != nil {
+		t.Errorf("valid pipeline rejected: %v", err)
+	}
+}
+
+func TestSlack(t *testing.T) {
+	p := dronetOnTX2()
+	slack := p.Slack()
+	if math.Abs(slack["sensor"]-1) > 1e-12 {
+		t.Errorf("bottleneck slack = %v, want 1", slack["sensor"])
+	}
+	if math.Abs(slack["compute"]-178.0/60) > 1e-9 {
+		t.Errorf("compute slack = %v, want %v", slack["compute"], 178.0/60)
+	}
+	if math.Abs(slack["control"]-1000.0/60) > 1e-9 {
+		t.Errorf("control slack = %v, want %v", slack["control"], 1000.0/60)
+	}
+}
+
+func TestSlackEmptyPipeline(t *testing.T) {
+	if got := (Pipeline{}).Slack(); len(got) != 0 {
+		t.Errorf("empty pipeline slack = %v, want empty", got)
+	}
+}
+
+func TestWithStageReplaces(t *testing.T) {
+	p := dronetOnTX2()
+	p2 := p.WithStage(StageHz("compute", units.Hertz(6))) // swap in PULP
+	if got := p2.ActionThroughput().Hertz(); math.Abs(got-6) > 1e-9 {
+		t.Errorf("after swap throughput = %v, want 6", got)
+	}
+	// Original untouched.
+	if got := p.ActionThroughput().Hertz(); math.Abs(got-60) > 1e-9 {
+		t.Errorf("original mutated: %v", got)
+	}
+}
+
+func TestWithStageAppends(t *testing.T) {
+	p := dronetOnTX2()
+	p2 := p.WithStage(StageHz("voter", units.Hertz(30)))
+	if len(p2.Stages) != 4 {
+		t.Fatalf("stage not appended: %d stages", len(p2.Stages))
+	}
+	if got := p2.ActionThroughput().Hertz(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("after append throughput = %v, want 30", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := dronetOnTX2().String()
+	if !strings.Contains(s, "sensor → compute → control") {
+		t.Errorf("String() = %q", s)
+	}
+	if StageHz("x", units.Hertz(10)).String() == "" {
+		t.Error("empty stage string")
+	}
+	if Overlapped.String() != "overlapped" || Lockstep.String() != "lockstep" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(99).String() != "Mode(99)" {
+		t.Errorf("unknown mode string = %q", Mode(99).String())
+	}
+}
+
+// Eq. 1 ≤ T_action ≤ Eq. 2 must hold for arbitrary pipelines; and the
+// overlapped throughput is the reciprocal of the lower bound.
+func TestBoundsOrderingProperty(t *testing.T) {
+	prop := func(l1, l2, l3 float64) bool {
+		p := New(
+			Stage{Name: "a", Latency: units.Seconds(0.001 + math.Mod(math.Abs(l1), 2))},
+			Stage{Name: "b", Latency: units.Seconds(0.001 + math.Mod(math.Abs(l2), 2))},
+			Stage{Name: "c", Latency: units.Seconds(0.001 + math.Mod(math.Abs(l3), 2))},
+		)
+		lo, hi := p.LatencyLowerBound(), p.LatencyUpperBound()
+		if lo > hi {
+			return false
+		}
+		f := p.ActionThroughput().Hertz()
+		return math.Abs(f-1/lo.Seconds()) < 1e-9*f
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Improving a non-bottleneck stage never changes the action throughput;
+// improving the bottleneck strictly increases it (when it is the unique
+// bottleneck).
+func TestBottleneckImprovementProperty(t *testing.T) {
+	prop := func(l1, l2 float64) bool {
+		a := 0.01 + math.Mod(math.Abs(l1), 1)
+		b := 0.01 + math.Mod(math.Abs(l2), 1)
+		if a == b {
+			b += 0.01
+		}
+		p := New(Stage{Name: "a", Latency: units.Seconds(a)}, Stage{Name: "b", Latency: units.Seconds(b)})
+		base := p.ActionThroughput()
+		bn, _ := p.Bottleneck()
+		other := "a"
+		if bn.Name == "a" {
+			other = "b"
+		}
+		// Halve the non-bottleneck: no change.
+		var otherLat units.Latency
+		for _, s := range p.Stages {
+			if s.Name == other {
+				otherLat = s.Latency
+			}
+		}
+		same := p.WithStage(Stage{Name: other, Latency: otherLat / 2}).ActionThroughput()
+		if math.Abs(float64(same-base)) > 1e-12 {
+			return false
+		}
+		// Halve the bottleneck: strictly better.
+		better := p.WithStage(Stage{Name: bn.Name, Latency: bn.Latency / 2}).ActionThroughput()
+		return better > base
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

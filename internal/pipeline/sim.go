@@ -1,0 +1,131 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Mode selects how the discrete-event simulator lets samples overlap
+// across stages.
+type Mode int
+
+const (
+	// Overlapped: every stage works on a different sample concurrently
+	// (the paper's Eq. 3 assumption — sensor captures frame k+2 while
+	// compute processes k+1 and control actuates k).
+	Overlapped Mode = iota
+	// Lockstep: exactly one sample is in flight end-to-end at a time
+	// (the Eq. 2 worst case — a purely sequential implementation).
+	Lockstep
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Overlapped:
+		return "overlapped"
+	case Lockstep:
+		return "lockstep"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// SimResult summarizes a pipeline simulation.
+type SimResult struct {
+	// Samples is the number of samples pushed through the pipeline.
+	Samples int
+	// Makespan is the time from the first sample entering to the last
+	// sample leaving.
+	Makespan units.Latency
+	// Throughput is the steady-state output rate, measured over the
+	// tail of the run to exclude fill/drain transients.
+	Throughput units.Frequency
+	// EndToEndLatency is the time a single sample spends in the
+	// pipeline (entry of a stage-0 slot to exit of the last stage) at
+	// steady state.
+	EndToEndLatency units.Latency
+}
+
+// Simulate runs n samples through the pipeline with the given overlap
+// mode and returns measured steady-state figures. It is a deterministic
+// critical-path recurrence, not a random queueing simulation.
+//
+// Overlapped mode is a blocking flow shop with zero intermediate buffers
+// (every stage holds its sample until the next stage is free, the way a
+// double-buffered sensor→compute→control chain behaves). With departure
+// time D[k][i] of sample k from stage i:
+//
+//	D[k][0] = D[k-1][1]                      (admission)
+//	D[k][i] = max(D[k][i-1] + L_i, D[k-1][i+1])
+//	D[k][m] = D[k][m-1] + L_m
+//
+// For identical deterministic samples this converges to the Eq. 3 rate
+// 1/max(L_i) with bounded end-to-end latency. Lockstep mode runs one
+// sample at a time: D[k][m] = D[k-1][m] + ΣL_i (the Eq. 2 rate). A unit
+// test pins both equivalences, so the analytic model and the executable
+// model cannot drift apart.
+func Simulate(p Pipeline, mode Mode, n int) (SimResult, error) {
+	if err := p.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if n < 2 {
+		return SimResult{}, fmt.Errorf("pipeline: simulation needs ≥2 samples, got %d", n)
+	}
+	for _, s := range p.Stages {
+		if math.IsInf(s.Latency.Seconds(), 1) {
+			// A dead stage never produces output; report zeros rather
+			// than running forever.
+			return SimResult{Samples: n, Makespan: units.Latency(math.Inf(1))}, nil
+		}
+	}
+	stages := p.Stages
+	ns := len(stages)
+	// prev[i] = departure of sample k-1 from stage i (index 0 is the
+	// admission point, stage i lives at slot i+1).
+	prev := make([]float64, ns+1)
+	cur := make([]float64, ns+1)
+	var firstOut, lastOut float64
+	var midOut float64 // output time of sample n/2, for steady-state rate
+	var lastIn float64 // admission time of the last sample
+	for k := 0; k < n; k++ {
+		if mode == Lockstep {
+			cur[0] = prev[ns] // wait for the previous sample to exit
+		} else if k > 0 {
+			cur[0] = prev[1] // wait for stage 0 to discharge sample k-1
+		} else {
+			cur[0] = 0
+		}
+		lastIn = cur[0]
+		for i := 0; i < ns; i++ {
+			done := cur[i] + stages[i].Latency.Seconds()
+			if mode == Overlapped && i < ns-1 && prev[i+2] > done {
+				done = prev[i+2] // blocked: next stage still occupied
+			}
+			cur[i+1] = done
+		}
+		prev, cur = cur, prev
+		out := prev[ns]
+		if k == 0 {
+			firstOut = out
+		}
+		if k == n/2 {
+			midOut = out
+		}
+		lastOut = out
+	}
+	res := SimResult{
+		Samples:         n,
+		Makespan:        units.Seconds(lastOut),
+		EndToEndLatency: units.Seconds(lastOut - lastIn),
+	}
+	// Steady-state rate over the back half of the run.
+	if span := lastOut - midOut; span > 0 {
+		res.Throughput = units.Hertz(float64(n-1-n/2) / span)
+	} else if lastOut == firstOut {
+		res.Throughput = units.Frequency(math.Inf(1))
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestSimulateOverlappedMatchesEq3(t *testing.T) {
+	p := SensorComputeControl(units.Hertz(60), units.Hertz(178), units.Hertz(1000))
+	res, err := Simulate(p, Overlapped, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := p.ActionThroughput().Hertz()
+	if math.Abs(res.Throughput.Hertz()-analytic) > 0.01*analytic {
+		t.Errorf("simulated overlapped throughput %v, analytic %v", res.Throughput, analytic)
+	}
+}
+
+func TestSimulateLockstepMatchesEq2(t *testing.T) {
+	p := SensorComputeControl(units.Hertz(60), units.Hertz(178), units.Hertz(1000))
+	res, err := Simulate(p, Lockstep, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := p.SequentialThroughput().Hertz()
+	if math.Abs(res.Throughput.Hertz()-analytic) > 0.01*analytic {
+		t.Errorf("simulated lockstep throughput %v, analytic %v", res.Throughput, analytic)
+	}
+}
+
+func TestSimulateEndToEndLatency(t *testing.T) {
+	p := New(
+		Stage{Name: "a", Latency: units.Milliseconds(10)},
+		Stage{Name: "b", Latency: units.Milliseconds(20)},
+		Stage{Name: "c", Latency: units.Milliseconds(5)},
+	)
+	// Lockstep: a sample's end-to-end latency is the latency sum (35 ms).
+	res, err := Simulate(p, Lockstep, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.EndToEndLatency.Milliseconds()-35) > 1e-6 {
+		t.Errorf("lockstep e2e latency = %v, want 35 ms", res.EndToEndLatency)
+	}
+	// Overlapped: a sample can queue behind the bottleneck, so e2e
+	// latency is within [Eq.1 bound, small multiple of Eq.2 bound].
+	res2, err := Simulate(p, Overlapped, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.EndToEndLatency < p.LatencyLowerBound() {
+		t.Errorf("overlapped e2e latency %v below max stage latency %v",
+			res2.EndToEndLatency, p.LatencyLowerBound())
+	}
+	if res2.EndToEndLatency > 2*p.LatencyUpperBound() {
+		t.Errorf("overlapped e2e latency %v far above latency sum %v",
+			res2.EndToEndLatency, p.LatencyUpperBound())
+	}
+}
+
+func TestSimulateMakespan(t *testing.T) {
+	// Single-stage pipeline: makespan = n × latency (both modes).
+	p := New(Stage{Name: "only", Latency: units.Milliseconds(10)})
+	for _, mode := range []Mode{Overlapped, Lockstep} {
+		res, err := Simulate(p, mode, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Makespan.Milliseconds()-100) > 1e-6 {
+			t.Errorf("%v makespan = %v, want 100 ms", mode, res.Makespan)
+		}
+	}
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	if _, err := Simulate(Pipeline{}, Overlapped, 10); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	p := New(Stage{Name: "x", Latency: units.Milliseconds(1)})
+	if _, err := Simulate(p, Overlapped, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestSimulateDeadStage(t *testing.T) {
+	p := SensorComputeControl(units.Hertz(60), units.Hertz(0), units.Hertz(1000))
+	res, err := Simulate(p, Overlapped, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != 0 {
+		t.Errorf("dead-stage throughput = %v, want 0", res.Throughput)
+	}
+	if !math.IsInf(res.Makespan.Seconds(), 1) {
+		t.Errorf("dead-stage makespan = %v, want +Inf", res.Makespan)
+	}
+}
+
+func TestSimulateZeroLatencyPipeline(t *testing.T) {
+	p := New(Stage{Name: "instant", Latency: 0})
+	res, err := Simulate(p, Overlapped, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Throughput.Hertz(), 1) {
+		t.Errorf("zero-latency throughput = %v, want +Inf", res.Throughput)
+	}
+}
+
+// Property: for any 3-stage pipeline the simulated overlapped throughput
+// matches Eq. 3 and the lockstep throughput matches Eq. 2 within 2 %.
+func TestSimulateMatchesAnalyticProperty(t *testing.T) {
+	prop := func(l1, l2, l3 float64) bool {
+		p := New(
+			Stage{Name: "a", Latency: units.Seconds(0.001 + math.Mod(math.Abs(l1), 0.5))},
+			Stage{Name: "b", Latency: units.Seconds(0.001 + math.Mod(math.Abs(l2), 0.5))},
+			Stage{Name: "c", Latency: units.Seconds(0.001 + math.Mod(math.Abs(l3), 0.5))},
+		)
+		over, err := Simulate(p, Overlapped, 300)
+		if err != nil {
+			return false
+		}
+		lock, err := Simulate(p, Lockstep, 300)
+		if err != nil {
+			return false
+		}
+		okOver := math.Abs(over.Throughput.Hertz()-p.ActionThroughput().Hertz()) < 0.02*p.ActionThroughput().Hertz()
+		okLock := math.Abs(lock.Throughput.Hertz()-p.SequentialThroughput().Hertz()) < 0.02*p.SequentialThroughput().Hertz()
+		// Overlap can only help: overlapped ≥ lockstep.
+		okOrder := over.Throughput >= lock.Throughput-units.Frequency(1e-9)
+		return okOver && okLock && okOrder
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// JitterStage is a pipeline stage whose per-sample latency varies: a
+// mean with a uniform ± jitter band (autonomy workloads are input
+// dependent — e.g. a planner's time varies with scene clutter). The
+// analytic Eq. 3 uses only means; the stochastic simulator shows how
+// jitter erodes the achievable action rate and fattens the latency
+// tail, which matters when the knee sits close to the mean rate.
+type JitterStage struct {
+	// Stage carries the name and mean latency.
+	Stage
+	// Jitter is the half-width of the uniform latency band as a
+	// fraction of the mean (0.2 = ±20 %). Must be in [0,1).
+	Jitter float64
+}
+
+// StochasticResult summarizes a jittered simulation.
+type StochasticResult struct {
+	// MeanThroughput is the long-run output rate.
+	MeanThroughput units.Frequency
+	// P50Latency and P99Latency are end-to-end latency percentiles.
+	P50Latency units.Latency
+	P99Latency units.Latency
+	// WorstInterval is the largest observed gap between consecutive
+	// outputs — the worst-case decision staleness the controller sees.
+	WorstInterval units.Latency
+}
+
+// SimulateJitter pushes n samples through an overlapped (blocking
+// flow-shop, as in Simulate) pipeline whose stage latencies are drawn
+// per sample from each stage's jitter band, using a deterministic
+// seeded source. The first 10 % of samples are discarded as warm-up.
+func SimulateJitter(stages []JitterStage, n int, seed int64) (StochasticResult, error) {
+	if len(stages) == 0 {
+		return StochasticResult{}, fmt.Errorf("pipeline: no stages")
+	}
+	if n < 20 {
+		return StochasticResult{}, fmt.Errorf("pipeline: jitter simulation needs ≥20 samples, got %d", n)
+	}
+	for _, s := range stages {
+		if s.Latency <= 0 || math.IsInf(s.Latency.Seconds(), 1) {
+			return StochasticResult{}, fmt.Errorf("pipeline: stage %q needs a positive finite latency", s.Name)
+		}
+		if s.Jitter < 0 || s.Jitter >= 1 {
+			return StochasticResult{}, fmt.Errorf("pipeline: stage %q jitter must be in [0,1), got %v", s.Name, s.Jitter)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ns := len(stages)
+	prev := make([]float64, ns+1)
+	cur := make([]float64, ns+1)
+	warm := n / 10
+	var outs []float64
+	var latencies []float64
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			cur[0] = prev[1]
+		} else {
+			cur[0] = 0
+		}
+		entry := cur[0]
+		for i := 0; i < ns; i++ {
+			mean := stages[i].Latency.Seconds()
+			lat := mean * (1 + stages[i].Jitter*(2*rng.Float64()-1))
+			done := cur[i] + lat
+			if i < ns-1 && prev[i+2] > done {
+				done = prev[i+2] // blocked by the next stage
+			}
+			cur[i+1] = done
+		}
+		prev, cur = cur, prev
+		if k >= warm {
+			outs = append(outs, prev[ns])
+			latencies = append(latencies, prev[ns]-entry)
+		}
+	}
+	res := StochasticResult{}
+	if len(outs) >= 2 {
+		span := outs[len(outs)-1] - outs[0]
+		if span > 0 {
+			res.MeanThroughput = units.Hertz(float64(len(outs)-1) / span)
+		}
+		worst := 0.0
+		for i := 1; i < len(outs); i++ {
+			if gap := outs[i] - outs[i-1]; gap > worst {
+				worst = gap
+			}
+		}
+		res.WorstInterval = units.Seconds(worst)
+	}
+	sort.Float64s(latencies)
+	res.P50Latency = units.Seconds(percentile(latencies, 0.50))
+	res.P99Latency = units.Seconds(percentile(latencies, 0.99))
+	return res, nil
+}
+
+// percentile returns the p-quantile of sorted values (nearest-rank).
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// EffectiveActionRate is the conservative decision rate a safety
+// analysis should assume under jitter: the reciprocal of the worst
+// observed output interval. Feeding this (rather than the mean rate)
+// into Eq. 4 keeps the safety guarantee under input-dependent latency.
+func (r StochasticResult) EffectiveActionRate() units.Frequency {
+	return r.WorstInterval.Frequency()
+}

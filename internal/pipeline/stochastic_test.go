@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func jitterPipeline(j float64) []JitterStage {
+	return []JitterStage{
+		{Stage: StageHz("sensor", units.Hertz(60)), Jitter: j},
+		{Stage: StageHz("compute", units.Hertz(178)), Jitter: j},
+		{Stage: StageHz("control", units.Hertz(1000)), Jitter: 0},
+	}
+}
+
+func TestSimulateJitterZeroMatchesDeterministic(t *testing.T) {
+	res, err := SimulateJitter(jitterPipeline(0), 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without jitter the mean rate equals the Eq. 3 rate (60 Hz).
+	if math.Abs(res.MeanThroughput.Hertz()-60) > 0.6 {
+		t.Errorf("jitterless throughput = %v, want 60", res.MeanThroughput)
+	}
+	// And the latency distribution is a point mass: p50 == p99.
+	if math.Abs(res.P50Latency.Seconds()-res.P99Latency.Seconds()) > 1e-9 {
+		t.Errorf("jitterless p50 %v != p99 %v", res.P50Latency, res.P99Latency)
+	}
+}
+
+func TestSimulateJitterDegradesWorstCase(t *testing.T) {
+	res, err := SimulateJitter(jitterPipeline(0.3), 5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean rate stays near 60 Hz but the worst interval is longer
+	// than the mean period — the conservative action rate drops.
+	if res.MeanThroughput.Hertz() < 50 || res.MeanThroughput.Hertz() > 70 {
+		t.Errorf("mean throughput = %v, want ≈60", res.MeanThroughput)
+	}
+	eff := res.EffectiveActionRate().Hertz()
+	if eff >= res.MeanThroughput.Hertz() {
+		t.Errorf("effective rate %v not below mean %v under jitter", eff, res.MeanThroughput)
+	}
+	// ±30 % jitter on a 16.7 ms stage: worst interval below 1.3× mean
+	// period... must be within the jitter bound (≤ 1.3/0.7 of mean).
+	if eff < 60*0.7/1.3 {
+		t.Errorf("effective rate %v implausibly low", eff)
+	}
+	// Tail latency exceeds the median.
+	if res.P99Latency <= res.P50Latency {
+		t.Errorf("p99 %v not above p50 %v", res.P99Latency, res.P50Latency)
+	}
+}
+
+func TestSimulateJitterDeterministicBySeed(t *testing.T) {
+	a, err := SimulateJitter(jitterPipeline(0.2), 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateJitter(jitterPipeline(0.2), 1000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed differs: %+v vs %+v", a, b)
+	}
+	c, err := SimulateJitter(jitterPipeline(0.2), 1000, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestSimulateJitterValidation(t *testing.T) {
+	if _, err := SimulateJitter(nil, 100, 1); err == nil {
+		t.Error("empty stages accepted")
+	}
+	if _, err := SimulateJitter(jitterPipeline(0.2), 5, 1); err == nil {
+		t.Error("tiny n accepted")
+	}
+	bad := jitterPipeline(0.2)
+	bad[0].Jitter = 1.5
+	if _, err := SimulateJitter(bad, 100, 1); err == nil {
+		t.Error("jitter ≥ 1 accepted")
+	}
+	dead := jitterPipeline(0.2)
+	dead[1].Stage = StageHz("compute", 0)
+	if _, err := SimulateJitter(dead, 100, 1); err == nil {
+		t.Error("infinite-latency stage accepted")
+	}
+	zero := jitterPipeline(0.2)
+	zero[1].Stage = Stage{Name: "compute", Latency: 0}
+	if _, err := SimulateJitter(zero, 100, 1); err == nil {
+		t.Error("zero-latency stage accepted")
+	}
+}
+
+// More jitter never improves the worst interval (monotone degradation).
+func TestJitterMonotoneWorstCaseProperty(t *testing.T) {
+	prop := func(j1, j2 float64) bool {
+		a := math.Mod(math.Abs(j1), 0.5)
+		b := math.Mod(math.Abs(j2), 0.5)
+		if a > b {
+			a, b = b, a
+		}
+		ra, err := SimulateJitter(jitterPipeline(a), 2000, 11)
+		if err != nil {
+			return false
+		}
+		rb, err := SimulateJitter(jitterPipeline(b), 2000, 11)
+		if err != nil {
+			return false
+		}
+		// Allow a hair of slack: different jitter scales resample the
+		// same RNG stream.
+		return rb.WorstInterval >= ra.WorstInterval-units.Seconds(1e-4)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(vals, 0.5); p != 5 {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := percentile(vals, 0.99); p != 10 {
+		t.Errorf("p99 = %v, want 10", p)
+	}
+	if p := percentile(vals, 0.01); p != 1 {
+		t.Errorf("p1 = %v, want 1", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v, want 0", p)
+	}
+}

@@ -1,0 +1,262 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+)
+
+func f1Chart() *Chart {
+	// A miniature F-1 plot: Eq. 4 curve for a = 10, d = 4.5.
+	var xs, ys []float64
+	for f := 0.5; f <= 500; f *= 1.3 {
+		T := 1 / f
+		xs = append(xs, f)
+		ys = append(ys, 10*(math.Sqrt(T*T+2*4.5/10)-T))
+	}
+	return &Chart{
+		Title:  "F-1: AscTec Pelican",
+		XLabel: "Action Throughput (Hz)",
+		YLabel: "Safe Velocity (m/s)",
+		LogX:   true,
+		Series: []Series{{Name: "Eq. 4", X: xs, Y: ys}},
+		Markers: []Marker{
+			{X: 43, Y: 9.2, Label: "knee"},
+			{X: 1.1, Y: 2.5, Label: "SPA"},
+		},
+		Ceilings: []Ceiling{{Y: 5.5, FromX: 20, Label: "compute ceiling"}},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := f1Chart().SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestSVGContainsExpectedElements(t *testing.T) {
+	var buf bytes.Buffer
+	if err := f1Chart().SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"<svg", "polyline", "circle", "F-1: AscTec Pelican",
+		"Action Throughput (Hz)", "Safe Velocity (m/s)",
+		"knee", "compute ceiling", "stroke-dasharray",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+}
+
+func TestSVGEscapesText(t *testing.T) {
+	ch := f1Chart()
+	ch.Title = `A<B & "C"`
+	var buf bytes.Buffer
+	if err := ch.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if strings.Contains(s, `A<B`) {
+		t.Error("unescaped < in SVG text")
+	}
+	if !strings.Contains(s, "A&lt;B &amp; &quot;C&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestSVGDefaultsAndCustomSize(t *testing.T) {
+	ch := f1Chart()
+	var buf bytes.Buffer
+	if err := ch.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="720" height="440"`) {
+		t.Error("default size not applied")
+	}
+	ch.Width, ch.Height = 1000, 600
+	buf.Reset()
+	if err := ch.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="1000" height="600"`) {
+		t.Error("custom size not applied")
+	}
+}
+
+func TestValidateRejectsBadCharts(t *testing.T) {
+	empty := &Chart{Title: "empty"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	mismatched := &Chart{Series: []Series{{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}}}
+	if err := mismatched.Validate(); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	emptySeries := &Chart{Series: []Series{{Name: "none"}}}
+	if err := emptySeries.Validate(); err == nil {
+		t.Error("empty series accepted")
+	}
+	var buf bytes.Buffer
+	if err := empty.SVG(&buf); err == nil {
+		t.Error("SVG of empty chart accepted")
+	}
+	if _, err := empty.ASCII(40, 10); err == nil {
+		t.Error("ASCII of empty chart accepted")
+	}
+}
+
+func TestBoundsSkipNonPositiveOnLogAxes(t *testing.T) {
+	ch := &Chart{
+		LogX:   true,
+		Series: []Series{{Name: "s", X: []float64{0, 1, 10}, Y: []float64{1, 2, 3}}},
+	}
+	xmin, xmax, _, _, err := ch.bounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmin != 1 || xmax != 10 {
+		t.Errorf("bounds = [%v,%v], want [1,10]", xmin, xmax)
+	}
+	// All-invalid data errors.
+	bad := &Chart{LogX: true, Series: []Series{{Name: "s", X: []float64{0, -1}, Y: []float64{1, 2}}}}
+	if _, _, _, _, err := bad.bounds(); err == nil {
+		t.Error("unplottable chart accepted")
+	}
+}
+
+func TestLinearTicksAreNice(t *testing.T) {
+	ticks := linTicks(0, 10, 6)
+	if len(ticks) < 4 || len(ticks) > 12 {
+		t.Errorf("tick count = %d: %v", len(ticks), ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatal("ticks not increasing")
+		}
+	}
+	if len(linTicks(5, 5, 6)) != 0 {
+		t.Error("degenerate range should give no ticks")
+	}
+}
+
+func TestLogTicksDecades(t *testing.T) {
+	ticks := logTicks(1, 1000)
+	want := []float64{1, 10, 100, 1000}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if math.Abs(ticks[i]-want[i]) > 1e-9 {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+	// Narrow range gets 2/5 subdivisions.
+	narrow := logTicks(1, 8)
+	if len(narrow) < 3 {
+		t.Errorf("narrow log ticks = %v, want subdivisions", narrow)
+	}
+	if logTicks(0, 10) != nil {
+		t.Error("non-positive min accepted")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1:       "1",
+		2.5:     "2.5",
+		100:     "100",
+		1e7:     "1e+07",
+		0.01:    "0.01",
+		0.00001: "1e-05",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestASCIIRendering(t *testing.T) {
+	s, err := f1Chart().ASCII(60, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "F-1: AscTec Pelican") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(s, "*") {
+		t.Error("series glyph missing")
+	}
+	if !strings.Contains(s, "X") {
+		t.Error("marker glyph missing")
+	}
+	if !strings.Contains(s, "-") {
+		t.Error("ceiling glyph missing")
+	}
+	if !strings.Contains(s, "Eq. 4") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) < 16 {
+		t.Errorf("ASCII output too short: %d lines", len(lines))
+	}
+}
+
+func TestASCIIMinimumDimensions(t *testing.T) {
+	// Tiny requested sizes are bumped to usable minimums, not errors.
+	s, err := f1Chart().ASCII(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 {
+		t.Error("empty output")
+	}
+}
+
+// The ASCII roofline must actually look like a roofline: the series row
+// (height) is non-decreasing left to right for the Eq. 4 curve.
+func TestASCIICurveShape(t *testing.T) {
+	ch := f1Chart()
+	ch.Markers = nil
+	ch.Ceilings = nil
+	s, err := ch.ASCII(60, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(s, "\n")
+	// Find the first and last column containing the glyph, compare rows.
+	firstRow, lastRow := -1, -1
+	for i, line := range lines {
+		if strings.Contains(line, "*") {
+			if firstRow == -1 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if firstRow == -1 {
+		t.Fatal("no curve drawn")
+	}
+	// The curve spans multiple rows (it rises) — a flat line would mean
+	// the scaling collapsed.
+	if lastRow-firstRow < 5 {
+		t.Errorf("curve too flat: rows %d..%d", firstRow, lastRow)
+	}
+}

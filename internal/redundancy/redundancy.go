@@ -1,0 +1,176 @@
+// Package redundancy models modular redundancy in onboard compute (§VI-C
+// of the paper): replicating the computer raises reliability through
+// majority voting but costs payload mass (every replica brings its
+// module and heatsink) and a voting step, which lowers the F-1 roofline.
+package redundancy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Scheme is the replication arrangement.
+type Scheme int
+
+const (
+	// Simplex: a single computer, no redundancy.
+	Simplex Scheme = iota
+	// DMR: dual modular redundancy — two replicas whose outputs are
+	// cross-checked (detects faults; a disagreement falls back to a safe
+	// action, as in Tesla's FSD arrangement the paper cites).
+	DMR
+	// TMR: triple modular redundancy — three replicas with majority
+	// voting (masks a single fault).
+	TMR
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Simplex:
+		return "simplex"
+	case DMR:
+		return "DMR"
+	case TMR:
+		return "TMR"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Replicas returns the number of compute modules the scheme carries.
+func (s Scheme) Replicas() int {
+	switch s {
+	case DMR:
+		return 2
+	case TMR:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// Arrangement describes a redundant compute payload.
+type Arrangement struct {
+	// Scheme selects simplex/DMR/TMR.
+	Scheme Scheme
+	// ModuleMass is one replica's total payload cost (module + heatsink).
+	ModuleMass units.Mass
+	// ModuleRate is one replica's compute throughput on the autonomy
+	// algorithm.
+	ModuleRate units.Frequency
+	// ModuleTDP is one replica's power draw.
+	ModuleTDP units.Power
+	// VoterLatency is the cross-check/vote step added per decision.
+	// Zero is allowed (negligible voter).
+	VoterLatency units.Latency
+}
+
+// Validate reports the first problem with the arrangement.
+func (a Arrangement) Validate() error {
+	switch {
+	case a.ModuleMass <= 0:
+		return fmt.Errorf("redundancy: module mass must be positive, got %v", a.ModuleMass)
+	case a.ModuleRate <= 0:
+		return fmt.Errorf("redundancy: module rate must be positive, got %v", a.ModuleRate)
+	case a.VoterLatency < 0:
+		return fmt.Errorf("redundancy: voter latency must be non-negative, got %v", a.VoterLatency)
+	}
+	return nil
+}
+
+// TotalMass is the payload the arrangement costs: replicas × module.
+func (a Arrangement) TotalMass() units.Mass {
+	return units.Mass(float64(a.ModuleMass) * float64(a.Scheme.Replicas()))
+}
+
+// TotalTDP is the combined power draw of all replicas.
+func (a Arrangement) TotalTDP() units.Power {
+	return units.Power(float64(a.ModuleTDP) * float64(a.Scheme.Replicas()))
+}
+
+// EffectiveRate is the decision throughput after redundancy: the
+// replicas run the same input in parallel (no speedup), and the voter
+// adds its latency to each decision:
+//
+//	T_eff = T_module + T_voter
+func (a Arrangement) EffectiveRate() units.Frequency {
+	t := a.ModuleRate.Period().Seconds() + a.VoterLatency.Seconds()
+	return units.Seconds(t).Frequency()
+}
+
+// MissionReliability returns the probability the arrangement produces
+// correct outputs for the whole mission, given each replica
+// independently survives the mission with probability pModule, and a
+// perfect voter:
+//
+//	simplex: p
+//	DMR:     both must agree to act autonomously: p²  (a single fault is
+//	         detected and degrades to fail-safe, counted as "not
+//	         completing the autonomous mission")
+//	TMR:     majority: p³ + 3p²(1−p)
+func (a Arrangement) MissionReliability(pModule float64) (float64, error) {
+	if pModule < 0 || pModule > 1 {
+		return 0, fmt.Errorf("redundancy: module reliability must be in [0,1], got %v", pModule)
+	}
+	p := pModule
+	switch a.Scheme {
+	case DMR:
+		return p * p, nil
+	case TMR:
+		return p*p*p + 3*p*p*(1-p), nil
+	default:
+		return p, nil
+	}
+}
+
+// FaultDetectionCoverage is the probability a single-module fault is
+// detected (DMR/TMR detect any single divergence; simplex detects
+// nothing).
+func (a Arrangement) FaultDetectionCoverage() float64 {
+	if a.Scheme == Simplex {
+		return 0
+	}
+	return 1
+}
+
+// FaultMaskingCoverage is the probability a single-module fault is
+// masked without interrupting the mission (only TMR masks).
+func (a Arrangement) FaultMaskingCoverage() float64 {
+	if a.Scheme == TMR {
+		return 1
+	}
+	return 0
+}
+
+// ExpectedSafeMissions converts per-mission module failure probability q
+// into the expected number of missions between unsafe outcomes, where
+// "unsafe" means an undetected wrong output drives the vehicle:
+//
+//	simplex: every module fault is unsafe → 1/q
+//	DMR:     unsafe only if both replicas fail identically; with
+//	         independent faults the cross-check catches everything, so
+//	         the dominant unsafe path is common-mode failure, modeled
+//	         with a beta factor.
+func ExpectedSafeMissions(q, commonModeBeta float64, s Scheme) (float64, error) {
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("redundancy: failure probability must be in (0,1), got %v", q)
+	}
+	if commonModeBeta < 0 || commonModeBeta > 1 {
+		return 0, fmt.Errorf("redundancy: beta factor must be in [0,1], got %v", commonModeBeta)
+	}
+	switch s {
+	case Simplex:
+		return 1 / q, nil
+	case DMR, TMR:
+		unsafe := commonModeBeta * q // common-mode slips past voting
+		if unsafe == 0 {
+			return math.Inf(1), nil
+		}
+		return 1 / unsafe, nil
+	default:
+		return 0, fmt.Errorf("redundancy: unknown scheme %v", s)
+	}
+}

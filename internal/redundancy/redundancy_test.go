@@ -1,0 +1,193 @@
+package redundancy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// tx2 mirrors §VI-C: a TX2 replica (module + heatsink ≈ 170 g) running
+// DroNet at 178 Hz at 15 W.
+func tx2(s Scheme) Arrangement {
+	return Arrangement{
+		Scheme:       s,
+		ModuleMass:   units.Grams(170),
+		ModuleRate:   units.Hertz(178),
+		ModuleTDP:    units.Watts(15),
+		VoterLatency: units.Milliseconds(1),
+	}
+}
+
+func TestReplicas(t *testing.T) {
+	if Simplex.Replicas() != 1 || DMR.Replicas() != 2 || TMR.Replicas() != 3 {
+		t.Error("replica counts wrong")
+	}
+	if Scheme(9).Replicas() != 1 {
+		t.Error("unknown scheme should default to 1 replica")
+	}
+}
+
+func TestTotalMassAndTDP(t *testing.T) {
+	a := tx2(DMR)
+	if got := a.TotalMass().Grams(); math.Abs(got-340) > 1e-9 {
+		t.Errorf("DMR mass = %v g, want 340", got)
+	}
+	if got := a.TotalTDP().Watts(); math.Abs(got-30) > 1e-9 {
+		t.Errorf("DMR TDP = %v W, want 30", got)
+	}
+	if got := tx2(TMR).TotalMass().Grams(); math.Abs(got-510) > 1e-9 {
+		t.Errorf("TMR mass = %v g, want 510", got)
+	}
+}
+
+func TestEffectiveRate(t *testing.T) {
+	a := tx2(DMR)
+	// 1/178 s + 1 ms ⇒ ≈150.9 Hz: replication does not speed compute,
+	// the voter slightly slows it.
+	got := a.EffectiveRate().Hertz()
+	want := 1 / (1/178.0 + 0.001)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("effective rate = %v, want %v", got, want)
+	}
+	if got >= 178 {
+		t.Error("voter should not speed up the pipeline")
+	}
+	// Zero voter latency: unchanged rate.
+	a.VoterLatency = 0
+	if math.Abs(a.EffectiveRate().Hertz()-178) > 1e-9 {
+		t.Errorf("zero-voter rate = %v, want 178", a.EffectiveRate())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := tx2(DMR).Validate(); err != nil {
+		t.Errorf("valid arrangement rejected: %v", err)
+	}
+	bad := []Arrangement{
+		{ModuleRate: 1},
+		{ModuleMass: 1},
+		{ModuleMass: 1, ModuleRate: 1, VoterLatency: -1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad arrangement %d accepted", i)
+		}
+	}
+}
+
+func TestMissionReliability(t *testing.T) {
+	p := 0.99
+	sx, err := tx2(Simplex).MissionReliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmr, err := tx2(DMR).MissionReliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmr, err := tx2(TMR).MissionReliability(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sx-0.99) > 1e-12 {
+		t.Errorf("simplex = %v", sx)
+	}
+	if math.Abs(dmr-0.9801) > 1e-12 {
+		t.Errorf("DMR = %v, want p²", dmr)
+	}
+	want := math.Pow(p, 3) + 3*p*p*(1-p)
+	if math.Abs(tmr-want) > 1e-12 {
+		t.Errorf("TMR = %v, want %v", tmr, want)
+	}
+	// TMR masks single faults: above simplex for high-reliability
+	// modules.
+	if !(tmr > sx) {
+		t.Errorf("TMR (%v) should beat simplex (%v) at p=0.99", tmr, sx)
+	}
+	if _, err := tx2(DMR).MissionReliability(1.5); err == nil {
+		t.Error("p > 1 accepted")
+	}
+}
+
+// TMR beats simplex exactly when p > 0.5 (the classic crossover).
+func TestTMRCrossoverProperty(t *testing.T) {
+	prop := func(p0 float64) bool {
+		p := math.Mod(math.Abs(p0), 1)
+		if p == 0 || p == 0.5 {
+			return true
+		}
+		tmr, err := tx2(TMR).MissionReliability(p)
+		if err != nil {
+			return false
+		}
+		if p > 0.5 {
+			return tmr >= p
+		}
+		return tmr <= p
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if tx2(Simplex).FaultDetectionCoverage() != 0 {
+		t.Error("simplex detects nothing")
+	}
+	if tx2(DMR).FaultDetectionCoverage() != 1 || tx2(TMR).FaultDetectionCoverage() != 1 {
+		t.Error("DMR/TMR detect single faults")
+	}
+	if tx2(DMR).FaultMaskingCoverage() != 0 {
+		t.Error("DMR does not mask")
+	}
+	if tx2(TMR).FaultMaskingCoverage() != 1 {
+		t.Error("TMR masks single faults")
+	}
+}
+
+func TestExpectedSafeMissions(t *testing.T) {
+	// Simplex with q=0.01 ⇒ 100 missions.
+	n, err := ExpectedSafeMissions(0.01, 0.05, Simplex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n-100) > 1e-9 {
+		t.Errorf("simplex = %v, want 100", n)
+	}
+	// DMR with beta=0.05: only common-mode slips ⇒ 2000 missions.
+	n2, err := ExpectedSafeMissions(0.01, 0.05, DMR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n2-2000) > 1e-9 {
+		t.Errorf("DMR = %v, want 2000", n2)
+	}
+	// Zero beta: unbounded.
+	n3, err := ExpectedSafeMissions(0.01, 0, TMR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(n3, 1) {
+		t.Errorf("beta=0 = %v, want +Inf", n3)
+	}
+	if _, err := ExpectedSafeMissions(0, 0.1, DMR); err == nil {
+		t.Error("q=0 accepted")
+	}
+	if _, err := ExpectedSafeMissions(0.01, 2, DMR); err == nil {
+		t.Error("beta=2 accepted")
+	}
+	if _, err := ExpectedSafeMissions(0.01, 0.1, Scheme(9)); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestSchemeString(t *testing.T) {
+	if Simplex.String() != "simplex" || DMR.String() != "DMR" || TMR.String() != "TMR" {
+		t.Error("scheme strings wrong")
+	}
+	if Scheme(9).String() != "Scheme(9)" {
+		t.Error("unknown scheme string wrong")
+	}
+}

@@ -1,0 +1,131 @@
+// Package roofline implements the classic compute roofline model
+// (Williams, Waterman & Patterson, CACM 2009) — the baseline the paper
+// argues against using in isolation: a processor's attainable
+// performance is min(peak compute, bandwidth × arithmetic intensity),
+// which says nothing about whether that performance helps the UAV fly
+// faster.
+//
+// The accelerator-pitfalls example contrasts this package's verdicts
+// ("Navion: great perf/W!") with the F-1 model's ("Navion's SPA
+// pipeline is 21× short of the knee").
+package roofline
+
+import (
+	"fmt"
+	"math"
+)
+
+// Platform is a compute platform's two classic roofline parameters.
+type Platform struct {
+	// Name identifies the platform.
+	Name string
+	// PeakOps is the peak compute throughput in ops/s (FLOPS for FP
+	// workloads).
+	PeakOps float64
+	// MemBandwidth is the peak memory bandwidth in bytes/s.
+	MemBandwidth float64
+	// Power is the platform's power in watts (for perf/W comparisons).
+	Power float64
+}
+
+// Validate reports the first problem with the platform.
+func (p Platform) Validate() error {
+	switch {
+	case p.PeakOps <= 0:
+		return fmt.Errorf("roofline: %q: peak ops must be positive, got %v", p.Name, p.PeakOps)
+	case p.MemBandwidth <= 0:
+		return fmt.Errorf("roofline: %q: bandwidth must be positive, got %v", p.Name, p.MemBandwidth)
+	}
+	return nil
+}
+
+// RidgePoint is the arithmetic intensity (ops/byte) at which the
+// platform transitions from memory-bound to compute-bound.
+func (p Platform) RidgePoint() float64 {
+	return p.PeakOps / p.MemBandwidth
+}
+
+// Attainable is the classic roofline equation: attainable ops/s at
+// arithmetic intensity ai (ops/byte) is min(peak, bandwidth·ai).
+func (p Platform) Attainable(ai float64) float64 {
+	if ai <= 0 {
+		return 0
+	}
+	return math.Min(p.PeakOps, p.MemBandwidth*ai)
+}
+
+// Kernel is a workload characterized for the roofline model.
+type Kernel struct {
+	// Name identifies the kernel.
+	Name string
+	// Ops is the work per invocation (ops).
+	Ops float64
+	// Bytes is the memory traffic per invocation.
+	Bytes float64
+}
+
+// Intensity is the kernel's arithmetic intensity (ops/byte).
+func (k Kernel) Intensity() float64 {
+	if k.Bytes <= 0 {
+		return math.Inf(1)
+	}
+	return k.Ops / k.Bytes
+}
+
+// Throughput is the kernel invocation rate (per second) the platform
+// sustains under the roofline bound.
+func (k Kernel) Throughput(p Platform) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if k.Ops <= 0 {
+		return 0, fmt.Errorf("roofline: kernel %q: ops must be positive, got %v", k.Name, k.Ops)
+	}
+	ai := k.Intensity()
+	var attainable float64
+	if math.IsInf(ai, 1) {
+		attainable = p.PeakOps
+	} else {
+		attainable = p.Attainable(ai)
+	}
+	return attainable / k.Ops, nil
+}
+
+// Bound classifies the kernel on the platform.
+type Bound int
+
+const (
+	// MemoryBound: intensity below the ridge — bandwidth limits it.
+	MemoryBound Bound = iota
+	// ComputeBound: intensity at/above the ridge — peak ops limit it.
+	ComputeBound
+)
+
+// String implements fmt.Stringer.
+func (b Bound) String() string {
+	if b == MemoryBound {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// Classify reports which classic-roofline regime the kernel lands in.
+func (k Kernel) Classify(p Platform) Bound {
+	if k.Intensity() < p.RidgePoint() {
+		return MemoryBound
+	}
+	return ComputeBound
+}
+
+// EfficiencyOpsPerWatt is the isolated "perf/W" metric the paper warns
+// about: attainable ops/s per watt for the kernel on the platform.
+func (k Kernel) EfficiencyOpsPerWatt(p Platform) (float64, error) {
+	if p.Power <= 0 {
+		return 0, fmt.Errorf("roofline: %q: power must be positive for efficiency, got %v", p.Name, p.Power)
+	}
+	ai := k.Intensity()
+	if math.IsInf(ai, 1) {
+		return p.PeakOps / p.Power, nil
+	}
+	return p.Attainable(ai) / p.Power, nil
+}

@@ -1,0 +1,165 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// tx2ish: ~1.3 TFLOPS FP16, ~60 GB/s, 15 W.
+func tx2ish() Platform {
+	return Platform{Name: "TX2", PeakOps: 1.3e12, MemBandwidth: 60e9, Power: 15}
+}
+
+func TestRidgePoint(t *testing.T) {
+	p := tx2ish()
+	want := 1.3e12 / 60e9
+	if math.Abs(p.RidgePoint()-want) > 1e-9 {
+		t.Errorf("ridge = %v, want %v", p.RidgePoint(), want)
+	}
+}
+
+func TestAttainable(t *testing.T) {
+	p := tx2ish()
+	// Below the ridge: bandwidth-limited.
+	if got := p.Attainable(1); math.Abs(got-60e9) > 1 {
+		t.Errorf("attainable(1) = %v, want 60e9", got)
+	}
+	// Above the ridge: peak-limited.
+	if got := p.Attainable(1000); got != 1.3e12 {
+		t.Errorf("attainable(1000) = %v, want peak", got)
+	}
+	if got := p.Attainable(0); got != 0 {
+		t.Errorf("attainable(0) = %v, want 0", got)
+	}
+}
+
+func TestAttainableContinuousAtRidgeProperty(t *testing.T) {
+	prop := func(peak0, bw0 float64) bool {
+		p := Platform{
+			Name:         "x",
+			PeakOps:      1e9 + math.Mod(math.Abs(peak0), 1e13),
+			MemBandwidth: 1e8 + math.Mod(math.Abs(bw0), 1e12),
+		}
+		r := p.RidgePoint()
+		atRidge := p.Attainable(r)
+		return math.Abs(atRidge-p.PeakOps) < 1e-6*p.PeakOps
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKernelThroughput(t *testing.T) {
+	p := tx2ish()
+	// DroNet-ish: ~0.5 GOP per frame, highly reused weights ⇒ high AI.
+	k := Kernel{Name: "DroNet", Ops: 0.5e9, Bytes: 1e6}
+	f, err := k.Throughput(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AI = 500 ops/byte > ridge 21.7 ⇒ compute-bound: 1.3e12/0.5e9 = 2600/s.
+	if math.Abs(f-2600) > 1 {
+		t.Errorf("throughput = %v, want 2600", f)
+	}
+	if k.Classify(p) != ComputeBound {
+		t.Errorf("classification = %v, want compute-bound", k.Classify(p))
+	}
+}
+
+func TestMemoryBoundKernel(t *testing.T) {
+	p := tx2ish()
+	// Streaming kernel: AI = 0.25 ops/byte, far below the ridge.
+	k := Kernel{Name: "stream", Ops: 1e6, Bytes: 4e6}
+	if k.Classify(p) != MemoryBound {
+		t.Errorf("classification = %v, want memory-bound", k.Classify(p))
+	}
+	f, err := k.Throughput(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// bandwidth·AI/ops = 60e9·0.25/1e6 = 15000/s.
+	if math.Abs(f-15000) > 1 {
+		t.Errorf("throughput = %v, want 15000", f)
+	}
+}
+
+func TestZeroByteKernel(t *testing.T) {
+	p := tx2ish()
+	k := Kernel{Name: "register-only", Ops: 1e6, Bytes: 0}
+	if !math.IsInf(k.Intensity(), 1) {
+		t.Error("zero-byte kernel should have infinite intensity")
+	}
+	f, err := k.Throughput(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1.3e12/1e6) > 1 {
+		t.Errorf("throughput = %v, want peak/ops", f)
+	}
+	if k.Classify(p) != ComputeBound {
+		t.Error("infinite intensity should be compute-bound")
+	}
+}
+
+func TestThroughputErrors(t *testing.T) {
+	if _, err := (Kernel{Ops: 1, Bytes: 1}).Throughput(Platform{}); err == nil {
+		t.Error("invalid platform accepted")
+	}
+	if _, err := (Kernel{Ops: 0, Bytes: 1}).Throughput(tx2ish()); err == nil {
+		t.Error("zero-op kernel accepted")
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	p := tx2ish()
+	k := Kernel{Name: "DroNet", Ops: 0.5e9, Bytes: 1e6}
+	e, err := k.EfficiencyOpsPerWatt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-1.3e12/15) > 1 {
+		t.Errorf("efficiency = %v", e)
+	}
+	p.Power = 0
+	if _, err := k.EfficiencyOpsPerWatt(p); err == nil {
+		t.Error("zero power accepted")
+	}
+}
+
+// The pitfall the paper warns about, in classic-roofline terms: a tiny
+// accelerator can dominate perf/W while sustaining far less absolute
+// throughput than a bigger chip.
+func TestPerfPerWattInversion(t *testing.T) {
+	navionish := Platform{Name: "Navion", PeakOps: 4e9, MemBandwidth: 1e9, Power: 0.002}
+	big := tx2ish()
+	k := Kernel{Name: "VIO", Ops: 20e6, Bytes: 40e3}
+	effSmall, err := k.EfficiencyOpsPerWatt(navionish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effBig, err := k.EfficiencyOpsPerWatt(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSmall, err := k.Throughput(navionish)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBig, err := k.Throughput(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(effSmall > effBig) {
+		t.Errorf("small accelerator perf/W %v not above big chip %v", effSmall, effBig)
+	}
+	if !(fSmall < fBig) {
+		t.Errorf("small accelerator throughput %v not below big chip %v", fSmall, fBig)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	if MemoryBound.String() != "memory-bound" || ComputeBound.String() != "compute-bound" {
+		t.Error("bound strings wrong")
+	}
+}

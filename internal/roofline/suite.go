@@ -1,0 +1,75 @@
+package roofline
+
+import "fmt"
+
+// This file provides classic-roofline descriptions of the paper's
+// compute platforms and autonomy workloads. The point of the suite is
+// the paper's §VII lesson made quantitative: a roofline estimate is an
+// *optimistic upper bound* on an autonomy algorithm's frame rate — real
+// measured rates (catalog perf table) sit at or below it, sometimes far
+// below for small kernels dominated by per-frame overheads. Anyone
+// selecting hardware from roofline numbers alone inherits that
+// optimism on top of ignoring the UAV physics.
+
+// Efficiency is the fraction of peak a well-tuned dense inference
+// kernel sustains in practice; used by EstimateRate.
+const Efficiency = 0.25
+
+// PaperPlatforms returns classic-roofline parameters for the compute
+// platforms the paper evaluates. Peak numbers are vendor dense-compute
+// figures (FP16 where supported); bandwidths are the memory interfaces.
+func PaperPlatforms() []Platform {
+	return []Platform{
+		{Name: "Nvidia TX2", PeakOps: 1.3e12, MemBandwidth: 59.7e9, Power: 15},
+		{Name: "Nvidia AGX", PeakOps: 11e12, MemBandwidth: 137e9, Power: 30},
+		{Name: "Intel NCS", PeakOps: 100e9, MemBandwidth: 4e9, Power: 1},
+		{Name: "Ras-Pi4", PeakOps: 24e9, MemBandwidth: 4e9, Power: 7},
+		{Name: "PULP-DroNet", PeakOps: 8e9, MemBandwidth: 0.5e9, Power: 0.064},
+		{Name: "Navion", PeakOps: 4e9, MemBandwidth: 1e9, Power: 0.002},
+	}
+}
+
+// PaperKernels returns per-frame work estimates for the autonomy
+// networks the paper evaluates. Ops are multiply-accumulate-style
+// operation counts from the respective papers (DroNet is a famously
+// tiny 41 MFLOP network; VGG16 a famously fat 31 GFLOP one); bytes are
+// weight+activation traffic assuming on-chip reuse of activations.
+func PaperKernels() []Kernel {
+	return []Kernel{
+		{Name: "DroNet", Ops: 41e6, Bytes: 1.3e6},
+		{Name: "TrailNet", Ops: 1.8e9, Bytes: 12e6},
+		{Name: "CAD2RL", Ops: 3e9, Bytes: 20e6},
+		{Name: "VGG16", Ops: 31e9, Bytes: 150e6},
+	}
+}
+
+// EstimateRate is the classic-roofline frame-rate estimate for a kernel
+// on a platform: attainable ops/s (× a practical efficiency factor)
+// divided by the kernel's per-frame work.
+func EstimateRate(k Kernel, p Platform) (float64, error) {
+	f, err := k.Throughput(p)
+	if err != nil {
+		return 0, err
+	}
+	return f * Efficiency, nil
+}
+
+// FindPlatform returns the named platform from PaperPlatforms.
+func FindPlatform(name string) (Platform, error) {
+	for _, p := range PaperPlatforms() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("roofline: unknown platform %q", name)
+}
+
+// FindKernel returns the named kernel from PaperKernels.
+func FindKernel(name string) (Kernel, error) {
+	for _, k := range PaperKernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("roofline: unknown kernel %q", name)
+}

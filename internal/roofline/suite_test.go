@@ -1,0 +1,142 @@
+package roofline
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func TestSuiteLookups(t *testing.T) {
+	if _, err := FindPlatform("Nvidia TX2"); err != nil {
+		t.Errorf("TX2 missing: %v", err)
+	}
+	if _, err := FindPlatform("bogus"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+	if _, err := FindKernel("DroNet"); err != nil {
+		t.Errorf("DroNet missing: %v", err)
+	}
+	if _, err := FindKernel("bogus"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	for _, p := range PaperPlatforms() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("platform %s invalid: %v", p.Name, err)
+		}
+	}
+	for _, k := range PaperKernels() {
+		if k.Ops <= 0 || k.Bytes <= 0 {
+			t.Errorf("kernel %s has non-positive work", k.Name)
+		}
+	}
+}
+
+// The §VII lesson, quantified: roofline frame-rate estimates are
+// optimistic — every measured (kernel, platform) rate in the catalog is
+// at or below the classic-roofline estimate.
+func TestRooflineEstimatesUpperBoundMeasurements(t *testing.T) {
+	cat := catalog.Default()
+	for _, k := range PaperKernels() {
+		for _, plat := range cat.PerfTable().Platforms(k.Name) {
+			hw, err := FindPlatform(plat)
+			if err != nil {
+				continue // platform without roofline parameters
+			}
+			measured, err := cat.Perf(k.Name, plat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := EstimateRate(k, hw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if measured.Hertz() > est*1.05 {
+				t.Errorf("%s on %s: measured %.1f Hz exceeds roofline estimate %.1f Hz",
+					k.Name, plat, measured.Hertz(), est)
+			}
+		}
+	}
+}
+
+// The FLOP-heavy kernel tracks its roofline estimate closely (VGG16 on
+// TX2 ≈ 10 Hz); the tiny kernel falls far short of its estimate
+// (DroNet's 178 Hz ≪ thousands) — per-frame overheads dominate small
+// nets, another way isolated peak numbers mislead.
+func TestBigKernelsTrackRooflineSmallOnesDoNot(t *testing.T) {
+	cat := catalog.Default()
+	tx2, err := FindPlatform("Nvidia TX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vgg, err := FindKernel("VGG16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	estVGG, err := EstimateRate(vgg, tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measVGG, err := cat.Perf(catalog.AlgoVGG16, catalog.ComputeTX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := estVGG / measVGG.Hertz(); ratio < 0.5 || ratio > 2 {
+		t.Errorf("VGG16 estimate %.1f Hz vs measured %v: ratio %.2f, want within 2×", estVGG, measVGG, ratio)
+	}
+	dronet, err := FindKernel("DroNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	estDroNet, err := EstimateRate(dronet, tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measDroNet, err := cat.Perf(catalog.AlgoDroNet, catalog.ComputeTX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if estDroNet < 5*measDroNet.Hertz() {
+		t.Errorf("DroNet estimate %.0f Hz should dwarf measured %v (overhead-bound small net)",
+			estDroNet, measDroNet)
+	}
+}
+
+// Perf/W ordering on the suite reproduces the accelerator-pitfall
+// inversion: milliwatt accelerators dominate efficiency while big chips
+// dominate absolute rate.
+func TestSuitePerfPerWattInversion(t *testing.T) {
+	dronet, err := FindKernel("DroNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pulp, err := FindPlatform("PULP-DroNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, err := FindPlatform("Nvidia TX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	effPULP, err := dronet.EfficiencyOpsPerWatt(pulp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effTX2, err := dronet.EfficiencyOpsPerWatt(tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if effPULP <= effTX2 {
+		t.Errorf("PULP perf/W %.1e not above TX2 %.1e", effPULP, effTX2)
+	}
+	ratePULP, err := EstimateRate(dronet, pulp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rateTX2, err := EstimateRate(dronet, tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratePULP >= rateTX2 {
+		t.Errorf("PULP absolute rate %.0f not below TX2 %.0f", ratePULP, rateTX2)
+	}
+}

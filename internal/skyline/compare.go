@@ -1,0 +1,154 @@
+package skyline
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/units"
+)
+
+// Comparison overlays several preset configurations on one F-1 chart —
+// how the paper's Figs. 11b, 13b and 15b are built. Configurations are
+// passed as repeated "config" query parameters, each of the form
+// "UAV|Compute|Algorithm" with an optional "|tdp=WATTS" suffix:
+//
+//	/compare.svg?config=AscTec Pelican|Nvidia TX2|DroNet&config=...
+type Comparison struct {
+	Selections []catalog.Selection
+	Analyses   []core.Analysis
+}
+
+// ParseComparison extracts and analyzes the configs in the query.
+func ParseComparison(cat *catalog.Catalog, q url.Values) (Comparison, error) {
+	specs := q["config"]
+	if len(specs) == 0 {
+		return Comparison{}, fmt.Errorf("skyline: compare needs at least one config=UAV|Compute|Algorithm parameter")
+	}
+	if len(specs) > 8 {
+		return Comparison{}, fmt.Errorf("skyline: compare supports at most 8 configs, got %d", len(specs))
+	}
+	var cmp Comparison
+	for _, spec := range specs {
+		sel, err := parseSelectionSpec(spec)
+		if err != nil {
+			return Comparison{}, err
+		}
+		an, err := cat.Analyze(sel)
+		if err != nil {
+			return Comparison{}, err
+		}
+		cmp.Selections = append(cmp.Selections, sel)
+		cmp.Analyses = append(cmp.Analyses, an)
+	}
+	return cmp, nil
+}
+
+// parseSelectionSpec parses "UAV|Compute|Algorithm[|tdp=W]".
+func parseSelectionSpec(spec string) (catalog.Selection, error) {
+	parts := strings.Split(spec, "|")
+	if len(parts) < 3 || len(parts) > 4 {
+		return catalog.Selection{}, fmt.Errorf(
+			"skyline: config %q must be UAV|Compute|Algorithm[|tdp=W]", spec)
+	}
+	sel := catalog.Selection{
+		UAV:       strings.TrimSpace(parts[0]),
+		Compute:   strings.TrimSpace(parts[1]),
+		Algorithm: strings.TrimSpace(parts[2]),
+	}
+	if len(parts) == 4 {
+		opt := strings.TrimSpace(parts[3])
+		var w float64
+		if _, err := fmt.Sscanf(opt, "tdp=%g", &w); err != nil || w <= 0 {
+			return catalog.Selection{}, fmt.Errorf("skyline: config option %q must be tdp=WATTS", opt)
+		}
+		sel.TDPOverride = units.Watts(w)
+	}
+	return sel, nil
+}
+
+// Chart renders all configurations' rooflines and design points on one
+// log-throughput chart.
+func (c Comparison) Chart() *plot.Chart {
+	ch := &plot.Chart{
+		Title:  "F-1 comparison",
+		XLabel: "action throughput (Hz)",
+		YLabel: "safe velocity (m/s)",
+		LogX:   true,
+	}
+	// A shared throughput window covering every knee and design point.
+	fMax := 0.0
+	for _, an := range c.Analyses {
+		if k := an.Knee.Throughput.Hertz(); k > fMax {
+			fMax = k
+		}
+		if a := an.Action.Hertz(); !math.IsInf(a, 1) && a > fMax {
+			fMax = a
+		}
+	}
+	fMax *= 3
+	fMin := fMax / 1e4
+	for _, an := range c.Analyses {
+		m := core.Model{Accel: an.AMax, Range: an.Config.SensorRange, KneeFraction: an.Config.KneeFraction}
+		pts := m.Curve(units.Hertz(fMin), units.Hertz(fMax), 200, true)
+		s := plot.Series{Name: an.Config.Name}
+		for _, p := range pts {
+			s.X = append(s.X, p.Throughput.Hertz())
+			s.Y = append(s.Y, p.Velocity.MetersPerSecond())
+		}
+		ch.Series = append(ch.Series, s)
+		if !math.IsInf(an.Action.Hertz(), 1) {
+			ch.Markers = append(ch.Markers, plot.Marker{
+				X: an.Action.Hertz(), Y: an.SafeVelocity.MetersPerSecond(),
+			})
+		}
+	}
+	return ch
+}
+
+// Table summarizes the compared configurations for the analysis pane.
+func (c Comparison) Table() []CompareRow {
+	rows := make([]CompareRow, len(c.Analyses))
+	for i, an := range c.Analyses {
+		rows[i] = CompareRow{
+			Name:           an.Config.Name,
+			ActionHz:       an.Action.Hertz(),
+			KneeHz:         an.Knee.Throughput.Hertz(),
+			RoofMS:         an.Roof.MetersPerSecond(),
+			SafeVelocityMS: an.SafeVelocity.MetersPerSecond(),
+			Bound:          an.Bound.String(),
+			Class:          an.Class.String(),
+		}
+	}
+	return rows
+}
+
+// CompareRow is one configuration's summary in the comparison output.
+type CompareRow struct {
+	Name           string  `json:"name"`
+	ActionHz       float64 `json:"action_hz"`
+	KneeHz         float64 `json:"knee_hz"`
+	RoofMS         float64 `json:"roof_ms"`
+	SafeVelocityMS float64 `json:"safe_velocity_ms"`
+	Bound          string  `json:"bound"`
+	Class          string  `json:"class"`
+}
+
+// Winner returns the index of the configuration with the highest safe
+// velocity (first wins ties) and false for an empty comparison.
+func (c Comparison) Winner() (int, bool) {
+	if len(c.Analyses) == 0 {
+		return 0, false
+	}
+	best := 0
+	for i, an := range c.Analyses {
+		if an.SafeVelocity > c.Analyses[best].SafeVelocity {
+			best = i
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,138 @@
+package skyline
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func compareQuery(specs ...string) string {
+	q := url.Values{}
+	for _, s := range specs {
+		q.Add("config", s)
+	}
+	return q.Encode()
+}
+
+func TestParseComparisonFig11(t *testing.T) {
+	cat := catalog.Default()
+	q, _ := url.ParseQuery(compareQuery(
+		"DJI Spark|Intel NCS|DroNet",
+		"DJI Spark|Nvidia AGX|DroNet",
+		"DJI Spark|Nvidia AGX|DroNet|tdp=15",
+	))
+	cmp, err := ParseComparison(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Analyses) != 3 {
+		t.Fatalf("got %d analyses", len(cmp.Analyses))
+	}
+	// The TDP override took effect: third config's payload is lighter
+	// than the second's.
+	if cmp.Analyses[2].Config.Payload >= cmp.Analyses[1].Config.Payload {
+		t.Errorf("tdp=15 payload %v not below 30 W payload %v",
+			cmp.Analyses[2].Config.Payload, cmp.Analyses[1].Config.Payload)
+	}
+	// The winner is the NCS config (Fig. 11's takeaway).
+	i, ok := cmp.Winner()
+	if !ok || !strings.Contains(cmp.Analyses[i].Config.Name, "NCS") {
+		t.Errorf("winner = %v, want the NCS config", cmp.Analyses[i].Config.Name)
+	}
+}
+
+func TestParseComparisonErrors(t *testing.T) {
+	cat := catalog.Default()
+	cases := []url.Values{
+		{},                                     // no configs
+		{"config": {"only|two"}},               // malformed
+		{"config": {"a|b|c|d|e"}},              // too many parts
+		{"config": {"DJI Spark|bogus|DroNet"}}, // unknown component
+		{"config": {"DJI Spark|Nvidia AGX|DroNet|tdp=abc"}},
+		{"config": {"DJI Spark|Nvidia AGX|DroNet|watts=5"}},
+	}
+	for i, q := range cases {
+		if _, err := ParseComparison(cat, q); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Too many configs.
+	many := url.Values{}
+	for i := 0; i < 9; i++ {
+		many.Add("config", "DJI Spark|Nvidia TX2|DroNet")
+	}
+	if _, err := ParseComparison(cat, many); err == nil {
+		t.Error("9 configs accepted")
+	}
+}
+
+func TestComparisonChartStructure(t *testing.T) {
+	cat := catalog.Default()
+	q, _ := url.ParseQuery(compareQuery(
+		"AscTec Pelican|Nvidia TX2|DroNet",
+		"DJI Spark|Nvidia TX2|DroNet",
+	))
+	cmp, err := ParseComparison(cat, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := cmp.Chart()
+	if len(ch.Series) != 2 {
+		t.Errorf("series = %d, want 2", len(ch.Series))
+	}
+	if len(ch.Markers) != 2 {
+		t.Errorf("markers = %d, want 2", len(ch.Markers))
+	}
+	rows := cmp.Table()
+	if len(rows) != 2 || rows[0].KneeHz <= rows[1].KneeHz {
+		t.Errorf("table rows = %+v; Pelican knee should exceed Spark knee", rows)
+	}
+}
+
+func TestCompareEndpoints(t *testing.T) {
+	srv := newTestServer(t)
+	q := compareQuery("DJI Spark|Intel NCS|DroNet", "DJI Spark|Nvidia AGX|DroNet")
+
+	status, body := get(t, srv.URL+"/compare.svg?"+q)
+	if status != http.StatusOK {
+		t.Fatalf("compare.svg status = %d: %s", status, body)
+	}
+	if !strings.Contains(body, "<svg") || !strings.Contains(body, "polyline") {
+		t.Error("compare SVG incomplete")
+	}
+
+	status, body = get(t, srv.URL+"/api/compare?"+q)
+	if status != http.StatusOK {
+		t.Fatalf("api/compare status = %d: %s", status, body)
+	}
+	var out CompareJSON
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Rows) != 2 {
+		t.Errorf("rows = %d", len(out.Rows))
+	}
+	if !strings.Contains(out.Winner, "NCS") {
+		t.Errorf("winner = %q, want NCS config", out.Winner)
+	}
+
+	status, _ = get(t, srv.URL+"/api/compare")
+	if status != http.StatusBadRequest {
+		t.Errorf("empty compare status = %d, want 400", status)
+	}
+	status, _ = get(t, srv.URL+"/compare.svg")
+	if status != http.StatusBadRequest {
+		t.Errorf("empty compare.svg status = %d, want 400", status)
+	}
+}
+
+func TestWinnerEmpty(t *testing.T) {
+	var cmp Comparison
+	if _, ok := cmp.Winner(); ok {
+		t.Error("empty comparison reported a winner")
+	}
+}

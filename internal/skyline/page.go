@@ -1,0 +1,106 @@
+package skyline
+
+import "html/template"
+
+// pageTemplate is the single-page Skyline UI: knobs on the left, the
+// SVG visualization in the middle, and the automatic analysis pane
+// below — mirroring Fig. 10's three areas.
+var pageTemplate = template.Must(template.New("skyline").Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>Skyline — F-1 model for UAVs</title>
+<style>
+ body { font-family: sans-serif; margin: 1.5em; max-width: 1100px; }
+ fieldset { margin-bottom: 1em; }
+ label { display: inline-block; min-width: 160px; }
+ .row { margin: 0.25em 0; }
+ .cols { display: flex; gap: 2em; flex-wrap: wrap; }
+ .pane { border: 1px solid #ccc; padding: 1em; border-radius: 6px; }
+ .error { color: #b00; }
+ ul { margin: 0.3em 0; }
+</style>
+</head>
+<body>
+<h1>Skyline</h1>
+<p>An interactive tool for the F-1 roofline model of autonomous UAVs
+(reproduction of the ISPASS 2022 paper).</p>
+
+<div class="cols">
+<div class="pane">
+<h2>UAV system parameter knobs</h2>
+<form method="GET" action="/">
+<fieldset>
+<legend>Preset configuration</legend>
+<input type="hidden" name="mode" value="preset">
+<div class="row"><label>UAV</label>
+<select name="uav">{{range .UAVs}}<option>{{.}}</option>{{end}}</select></div>
+<div class="row"><label>Onboard compute</label>
+<select name="compute">{{range .Computes}}<option>{{.}}</option>{{end}}</select></div>
+<div class="row"><label>Autonomy algorithm</label>
+<select name="algorithm">{{range .Algorithms}}<option>{{.}}</option>{{end}}</select></div>
+<div class="row"><label>Compute TDP override (W)</label>
+<input name="tdp_w" size="8" placeholder="e.g. 15"></div>
+</fieldset>
+<button type="submit">Plot F-1 model</button>
+</form>
+
+<form method="GET" action="/">
+<fieldset>
+<legend>User-defined knobs (Table II)</legend>
+<input type="hidden" name="mode" value="custom">
+<div class="row"><label>Drone weight (g)</label><input name="drone_weight_g" size="8" value="1000"></div>
+<div class="row"><label>Rotor pull, single (gf)</label><input name="rotor_pull_gf" size="8" value="650"></div>
+<div class="row"><label>Payload weight (g)</label><input name="payload_g" size="8" value="200"></div>
+<div class="row"><label>Sensor framerate (Hz)</label><input name="sensor_hz" size="8" value="60"></div>
+<div class="row"><label>Sensor range (m)</label><input name="sensor_range_m" size="8" value="4.5"></div>
+<div class="row"><label>Compute runtime (s)</label><input name="compute_runtime_s" size="8" value="0.0056"></div>
+<div class="row"><label>Compute TDP (W)</label><input name="tdp_w" size="8" value="15"></div>
+<div class="row"><label>Control rate (Hz)</label><input name="control_hz" size="8" value="1000"></div>
+</fieldset>
+<button type="submit">Plot F-1 model</button>
+</form>
+</div>
+
+<div class="pane">
+<h2>Visualization area</h2>
+{{if .Error}}
+<p class="error">{{.Error}}</p>
+{{else}}
+<img src="/plot.svg?{{.Query}}" alt="F-1 plot" width="720" height="440">
+{{end}}
+</div>
+</div>
+
+<div class="pane">
+<h2>More endpoints</h2>
+<ul>
+<li><code>/compare.svg?config=UAV|Compute|Algorithm&amp;config=…</code> — overlay up to 8 rooflines (add <code>|tdp=W</code> to cap a platform)</li>
+<li><code>/sweep.svg?knob=compute|payload|range|sensor&amp;lo=…&amp;hi=…&amp;log=true</code> — sweep one knob, with bound-transition markers</li>
+<li><code>/api/analyze</code>, <code>/api/compare</code> — JSON for scripting</li>
+</ul>
+</div>
+
+{{if .Analysis}}
+<div class="pane">
+<h2>Analysis</h2>
+<p>{{.Summary}}</p>
+<table border="1" cellpadding="4">
+<tr><th>a_max</th><th>f_action</th><th>knee</th><th>roof</th><th>v_safe</th><th>bound</th><th>class</th></tr>
+<tr>
+<td>{{printf "%.2f m/s²" .Analysis.AMax.MetersPerSecond2}}</td>
+<td>{{printf "%.1f Hz" .Analysis.Action.Hertz}}</td>
+<td>{{.Analysis.Knee}}</td>
+<td>{{printf "%.2f m/s" .Analysis.Roof.MetersPerSecond}}</td>
+<td>{{printf "%.2f m/s" .Analysis.SafeVelocity.MetersPerSecond}}</td>
+<td>{{.Analysis.Bound}}</td>
+<td>{{.Analysis.Class}}</td>
+</tr>
+</table>
+<h3>Optimization tips</h3>
+<ul>{{range .Tips}}<li>{{.}}</li>{{end}}</ul>
+</div>
+{{end}}
+</body>
+</html>
+`))

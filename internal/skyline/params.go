@@ -1,0 +1,151 @@
+// Package skyline is the interactive web tool for the F-1 model
+// (§V of the paper): a stdlib net/http server with the paper's three
+// areas — UAV system parameter knobs, a visualization area (the F-1
+// plot rendered server-side as SVG), and an automatic analysis pane
+// with bound/bottleneck classification and optimization tips.
+package skyline
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// Params are the Table II knobs, parsed from the request. Two modes:
+// preset (catalog components by name) and custom (raw numbers).
+type Params struct {
+	// Mode is "preset" or "custom".
+	Mode string
+
+	// Preset mode.
+	UAV       string
+	Compute   string
+	Algorithm string
+	TDPW      float64 // optional TDP override, watts
+
+	// Custom mode (Table II user-defined knobs).
+	DroneWeightG   float64 // max weight without payload
+	RotorPullGF    float64 // single-rotor thrust
+	PayloadG       float64 // payload weight excluding auto heatsink
+	SensorHz       float64 // sensor framerate
+	SensorRangeM   float64 // sensor range
+	ComputeRuntime float64 // autonomy algorithm latency, seconds
+	ControlHz      float64 // flight controller rate
+}
+
+// parseFloat reads one float field, tolerating absence (0).
+func parseFloat(q url.Values, key string) (float64, error) {
+	s := q.Get(key)
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("skyline: parameter %q: %v is not a number", key, s)
+	}
+	return v, nil
+}
+
+// ParseParams extracts knobs from a query string.
+func ParseParams(q url.Values) (Params, error) {
+	p := Params{
+		Mode:      q.Get("mode"),
+		UAV:       q.Get("uav"),
+		Compute:   q.Get("compute"),
+		Algorithm: q.Get("algorithm"),
+	}
+	if p.Mode == "" {
+		p.Mode = "preset"
+	}
+	if p.Mode != "preset" && p.Mode != "custom" {
+		return Params{}, fmt.Errorf("skyline: unknown mode %q (want preset or custom)", p.Mode)
+	}
+	var err error
+	read := func(key string, dst *float64) {
+		if err != nil {
+			return
+		}
+		*dst, err = parseFloat(q, key)
+	}
+	read("tdp_w", &p.TDPW)
+	read("drone_weight_g", &p.DroneWeightG)
+	read("rotor_pull_gf", &p.RotorPullGF)
+	read("payload_g", &p.PayloadG)
+	read("sensor_hz", &p.SensorHz)
+	read("sensor_range_m", &p.SensorRangeM)
+	read("compute_runtime_s", &p.ComputeRuntime)
+	read("control_hz", &p.ControlHz)
+	if err != nil {
+		return Params{}, err
+	}
+	return p, nil
+}
+
+// Config resolves the params into an analyzable configuration.
+func (p Params) Config(cat *catalog.Catalog) (core.Config, error) {
+	if p.Mode == "custom" {
+		return p.customConfig(cat)
+	}
+	sel := catalog.Selection{
+		UAV:       defaultStr(p.UAV, catalog.UAVAscTecPelican),
+		Compute:   defaultStr(p.Compute, catalog.ComputeTX2),
+		Algorithm: defaultStr(p.Algorithm, catalog.AlgoDroNet),
+	}
+	if p.TDPW > 0 {
+		sel.TDPOverride = units.Watts(p.TDPW)
+	}
+	return cat.BuildConfig(sel)
+}
+
+func (p Params) customConfig(cat *catalog.Catalog) (core.Config, error) {
+	if p.DroneWeightG <= 0 || p.RotorPullGF <= 0 {
+		return core.Config{}, fmt.Errorf("skyline: custom mode needs drone_weight_g and rotor_pull_gf")
+	}
+	if p.SensorRangeM <= 0 || p.SensorHz <= 0 {
+		return core.Config{}, fmt.Errorf("skyline: custom mode needs sensor_hz and sensor_range_m")
+	}
+	if p.ComputeRuntime <= 0 {
+		return core.Config{}, fmt.Errorf("skyline: custom mode needs compute_runtime_s")
+	}
+	controlHz := p.ControlHz
+	if controlHz == 0 {
+		controlHz = 1000
+	}
+	payload := units.Grams(p.PayloadG)
+	// The TDP knob sizes a heatsink which joins the payload — the
+	// coupling the paper's §V walkthrough describes.
+	if p.TDPW > 0 {
+		payload += cat.Heatsink.HeatsinkMass(units.Watts(p.TDPW))
+	}
+	frame := physics.Airframe{
+		Name:        "custom",
+		BaseMass:    units.Grams(p.DroneWeightG),
+		MotorCount:  4,
+		MotorThrust: units.GramsForce(p.RotorPullGF),
+	}
+	if err := frame.Validate(); err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Name:        "custom UAV",
+		Frame:       frame,
+		AccelModel:  physics.PitchLimited{UsableThrustFraction: 0.95},
+		Payload:     payload,
+		SensorRate:  units.Hertz(p.SensorHz),
+		SensorRange: units.Meters(p.SensorRangeM),
+		ComputeRate: units.Seconds(p.ComputeRuntime).Frequency(),
+		ControlRate: units.Hertz(controlHz),
+	}, nil
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,270 @@
+package skyline
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/plot"
+	"repro/internal/units"
+)
+
+// Server serves the Skyline tool over HTTP.
+type Server struct {
+	cat *catalog.Catalog
+	mux *http.ServeMux
+}
+
+// NewServer builds a server over the given catalog (nil = default
+// catalog).
+func NewServer(cat *catalog.Catalog) *Server {
+	if cat == nil {
+		cat = catalog.Default()
+	}
+	s := &Server{cat: cat, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handlePage)
+	s.mux.HandleFunc("/plot.svg", s.handlePlot)
+	s.mux.HandleFunc("/api/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/compare.svg", s.handleCompareSVG)
+	s.mux.HandleFunc("/api/compare", s.handleCompare)
+	s.mux.HandleFunc("/sweep.svg", s.handleSweep)
+	return s
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	req, err := ParseSweep(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ch, err := req.Run(s.cat)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := ch.SVG(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleCompareSVG(w http.ResponseWriter, r *http.Request) {
+	cmp, err := ParseComparison(s.cat, r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := cmp.Chart().SVG(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// CompareJSON is the /api/compare response shape.
+type CompareJSON struct {
+	Rows   []CompareRow `json:"rows"`
+	Winner string       `json:"winner"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	cmp, err := ParseComparison(s.cat, r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := CompareJSON{Rows: cmp.Table()}
+	if i, ok := cmp.Winner(); ok {
+		out.Winner = cmp.Analyses[i].Config.Name
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// analysisFor runs the model for a request.
+func (s *Server) analysisFor(r *http.Request) (core.Analysis, error) {
+	p, err := ParseParams(r.URL.Query())
+	if err != nil {
+		return core.Analysis{}, err
+	}
+	cfg, err := p.Config(s.cat)
+	if err != nil {
+		return core.Analysis{}, err
+	}
+	return core.Analyze(cfg)
+}
+
+// AnalysisJSON is the /api/analyze response shape.
+type AnalysisJSON struct {
+	Name            string   `json:"name"`
+	AMaxMS2         float64  `json:"a_max_ms2"`
+	ActionHz        float64  `json:"action_hz"`
+	Bottleneck      string   `json:"bottleneck"`
+	KneeHz          float64  `json:"knee_hz"`
+	KneeVelocity    float64  `json:"knee_velocity_ms"`
+	RoofMS          float64  `json:"roof_ms"`
+	SafeVelocityMS  float64  `json:"safe_velocity_ms"`
+	Bound           string   `json:"bound"`
+	Class           string   `json:"class"`
+	GapFactor       float64  `json:"gap_factor"`
+	PayloadG        float64  `json:"payload_g"`
+	OptimizationTip []string `json:"optimization_tips"`
+}
+
+// Tips generates the analysis pane's optimization guidance — the §V
+// "analysis and guidance area".
+func Tips(an core.Analysis) []string {
+	var tips []string
+	switch an.Bound {
+	case core.PhysicsBound:
+		tips = append(tips,
+			"The UAV is physics-bound: faster compute or sensors cannot raise the safe velocity.",
+			"Raise the roofline instead: shed payload weight (smaller heatsink, lighter board) or add thrust.")
+		if an.Class == core.OverProvisioned && !math.IsInf(an.GapFactor, 1) {
+			tips = append(tips, fmt.Sprintf(
+				"Compute is over-provisioned by %.1f×: trade the surplus throughput for a lower TDP to shrink the heatsink.",
+				an.GapFactor))
+		}
+	case core.SensorBound:
+		tips = append(tips, fmt.Sprintf(
+			"The sensor's %.0f Hz frame rate caps the pipeline below the %.1f Hz knee: a faster sensor lifts the ceiling.",
+			an.Config.SensorRate.Hertz(), an.Knee.Throughput.Hertz()))
+	case core.ComputeBound:
+		tips = append(tips, fmt.Sprintf(
+			"Compute-bound: improve the algorithm/compute throughput by %.1f× to reach the %.1f Hz knee (+%.2f m/s).",
+			an.GapFactor, an.Knee.Throughput.Hertz(), an.VelocityHeadroom.MetersPerSecond()))
+	case core.ControlBound:
+		tips = append(tips, "The flight controller loop is the bottleneck — raise its rate (typical stacks run 1 kHz).")
+	}
+	if an.Class == core.OptimalDesign {
+		tips = append(tips, "This is a balanced design: the action throughput sits at the knee point.")
+	}
+	return tips
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	an, err := s.analysisFor(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	out := AnalysisJSON{
+		Name:            an.Config.Name,
+		AMaxMS2:         an.AMax.MetersPerSecond2(),
+		ActionHz:        an.Action.Hertz(),
+		Bottleneck:      an.BottleneckStage,
+		KneeHz:          an.Knee.Throughput.Hertz(),
+		KneeVelocity:    an.Knee.Velocity.MetersPerSecond(),
+		RoofMS:          an.Roof.MetersPerSecond(),
+		SafeVelocityMS:  an.SafeVelocity.MetersPerSecond(),
+		Bound:           an.Bound.String(),
+		Class:           an.Class.String(),
+		GapFactor:       an.GapFactor,
+		PayloadG:        an.Config.Payload.Grams(),
+		OptimizationTip: Tips(an),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Chart builds the F-1 plot for an analysis — exported so the CLI can
+// render the same figure as ASCII.
+func Chart(an core.Analysis) *plot.Chart {
+	m := core.Model{Accel: an.AMax, Range: an.Config.SensorRange, KneeFraction: an.Config.KneeFraction}
+	fMax := 4 * an.Knee.Throughput.Hertz()
+	if an.Action.Hertz() > fMax && !math.IsInf(an.Action.Hertz(), 1) {
+		fMax = 2 * an.Action.Hertz()
+	}
+	fMin := fMax / 1e4
+	curve := m.Curve(units.Hertz(fMin), units.Hertz(fMax), 300, true)
+	ideal := m.RooflineCurve(units.Hertz(fMin), units.Hertz(fMax), 300, true)
+	ch := &plot.Chart{
+		Title:  "F-1: " + an.Config.Name,
+		XLabel: "action throughput (Hz)",
+		YLabel: "safe velocity (m/s)",
+		LogX:   true,
+	}
+	var cx, cy, ix, iy []float64
+	for i := range curve {
+		cx = append(cx, curve[i].Throughput.Hertz())
+		cy = append(cy, curve[i].Velocity.MetersPerSecond())
+		ix = append(ix, ideal[i].Throughput.Hertz())
+		iy = append(iy, ideal[i].Velocity.MetersPerSecond())
+	}
+	ch.Series = append(ch.Series,
+		plot.Series{Name: "Eq. 4", X: cx, Y: cy},
+		plot.Series{Name: "idealized roofline", X: ix, Y: iy, Dashed: true})
+	ch.Markers = append(ch.Markers,
+		plot.Marker{X: an.Knee.Throughput.Hertz(), Y: an.Knee.Velocity.MetersPerSecond(), Label: "knee"})
+	if !math.IsInf(an.Action.Hertz(), 1) {
+		ch.Markers = append(ch.Markers,
+			plot.Marker{X: an.Action.Hertz(), Y: an.SafeVelocity.MetersPerSecond(), Label: "design point"})
+	}
+	for _, c := range an.Ceilings {
+		ch.Ceilings = append(ch.Ceilings, plot.Ceiling{
+			Y: c.Velocity.MetersPerSecond(), FromX: c.Throughput.Hertz(),
+			Label: c.Source + " ceiling",
+		})
+	}
+	return ch
+}
+
+func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
+	an, err := s.analysisFor(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := Chart(an).SVG(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// pageData feeds the HTML template.
+type pageData struct {
+	UAVs       []string
+	Computes   []string
+	Algorithms []string
+	Query      string
+	Analysis   *core.Analysis
+	Tips       []string
+	Summary    string
+	Error      string
+}
+
+func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	data := pageData{
+		UAVs:       s.cat.UAVNames(),
+		Computes:   s.cat.ComputeNames(),
+		Algorithms: s.cat.AlgorithmNames(),
+		Query:      template.URLQueryEscaper(r.URL.RawQuery),
+	}
+	data.Query = r.URL.RawQuery
+	an, err := s.analysisFor(r)
+	if err != nil {
+		data.Error = err.Error()
+	} else {
+		data.Analysis = &an
+		data.Tips = Tips(an)
+		data.Summary = an.Summary()
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := pageTemplate.Execute(w, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

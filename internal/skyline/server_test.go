@@ -1,0 +1,224 @@
+package skyline
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewServer(nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, u string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestPageServesKnobsAndAnalysis(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := get(t, srv.URL+"/")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	for _, want := range []string{
+		"Skyline", "UAV system parameter knobs", "Visualization area",
+		"Optimization tips", catalog.UAVAscTecPelican, catalog.ComputeTX2,
+		catalog.AlgoDroNet, "Analysis",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+}
+
+func TestPageNotFound(t *testing.T) {
+	srv := newTestServer(t)
+	status, _ := get(t, srv.URL+"/nonexistent")
+	if status != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", status)
+	}
+}
+
+func TestPlotSVG(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := get(t, srv.URL+"/plot.svg?mode=preset&uav="+url.QueryEscape(catalog.UAVDJISpark))
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if !strings.Contains(body, "<svg") || !strings.Contains(body, "knee") {
+		t.Error("SVG incomplete")
+	}
+}
+
+func TestPlotBadParams(t *testing.T) {
+	srv := newTestServer(t)
+	status, _ := get(t, srv.URL+"/plot.svg?mode=custom") // missing knobs
+	if status != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", status)
+	}
+	status, _ = get(t, srv.URL+"/plot.svg?mode=weird")
+	if status != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", status)
+	}
+	status, _ = get(t, srv.URL+"/plot.svg?mode=preset&uav=bogus")
+	if status != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", status)
+	}
+	status, _ = get(t, srv.URL+"/plot.svg?sensor_hz=abc")
+	if status != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400", status)
+	}
+}
+
+func TestAnalyzeAPIPreset(t *testing.T) {
+	srv := newTestServer(t)
+	q := url.Values{
+		"mode": {"preset"}, "uav": {catalog.UAVAscTecPelican},
+		"compute": {catalog.ComputeTX2}, "algorithm": {catalog.AlgoDroNet},
+	}
+	status, body := get(t, srv.URL+"/api/analyze?"+q.Encode())
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var out AnalysisJSON
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if math.Abs(out.KneeHz-43) > 0.5 {
+		t.Errorf("knee = %v, want ≈43", out.KneeHz)
+	}
+	if out.Bound != "physics-bound" {
+		t.Errorf("bound = %q", out.Bound)
+	}
+	if len(out.OptimizationTip) == 0 {
+		t.Error("no optimization tips")
+	}
+}
+
+func TestAnalyzeAPICustom(t *testing.T) {
+	srv := newTestServer(t)
+	q := url.Values{
+		"mode":              {"custom"},
+		"drone_weight_g":    {"1000"},
+		"rotor_pull_gf":     {"650"},
+		"payload_g":         {"200"},
+		"sensor_hz":         {"60"},
+		"sensor_range_m":    {"4.5"},
+		"compute_runtime_s": {"0.0056"},
+		"tdp_w":             {"15"},
+	}
+	status, body := get(t, srv.URL+"/api/analyze?"+q.Encode())
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var out AnalysisJSON
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if out.SafeVelocityMS <= 0 {
+		t.Errorf("v_safe = %v, want > 0", out.SafeVelocityMS)
+	}
+	// The 15 W TDP knob must have added a heatsink (~85 g) to the 200 g
+	// payload.
+	if out.PayloadG < 280 || out.PayloadG > 290 {
+		t.Errorf("payload = %v g, want ≈285 (200 + heatsink)", out.PayloadG)
+	}
+}
+
+func TestAnalyzeDefaultsToPreset(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := get(t, srv.URL+"/api/analyze")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	var out AnalysisJSON
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Name, catalog.UAVAscTecPelican) {
+		t.Errorf("default config = %q, want Pelican", out.Name)
+	}
+}
+
+func TestParseParamsErrors(t *testing.T) {
+	if _, err := ParseParams(url.Values{"mode": {"bogus"}}); err == nil {
+		t.Error("bad mode accepted")
+	}
+	if _, err := ParseParams(url.Values{"tdp_w": {"x"}}); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	p, err := ParseParams(url.Values{})
+	if err != nil || p.Mode != "preset" {
+		t.Errorf("empty query: %+v, %v", p, err)
+	}
+}
+
+func TestCustomConfigValidation(t *testing.T) {
+	cat := catalog.Default()
+	cases := []Params{
+		{Mode: "custom"}, // nothing set
+		{Mode: "custom", DroneWeightG: 1000, RotorPullGF: 650},                                  // no sensor
+		{Mode: "custom", DroneWeightG: 1000, RotorPullGF: 650, SensorHz: 60, SensorRangeM: 4.5}, // no runtime
+	}
+	for i, p := range cases {
+		if _, err := p.Config(cat); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestTipsCoverAllBounds(t *testing.T) {
+	cat := catalog.Default()
+	mk := func(sel catalog.Selection) core.Analysis {
+		an, err := cat.Analyze(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return an
+	}
+	phys := mk(catalog.Selection{UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if tips := Tips(phys); !strings.Contains(strings.Join(tips, " "), "physics-bound") {
+		t.Errorf("physics tips = %v", tips)
+	}
+	comp := mk(catalog.Selection{UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoSPA})
+	if tips := Tips(comp); !strings.Contains(strings.Join(tips, " "), "Compute-bound") {
+		t.Errorf("compute tips = %v", tips)
+	}
+}
+
+func TestChartIncludesCeilings(t *testing.T) {
+	cat := catalog.Default()
+	an, err := cat.Analyze(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoSPA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := Chart(an)
+	if len(ch.Ceilings) == 0 {
+		t.Error("compute-bound chart missing ceiling")
+	}
+	if len(ch.Series) != 2 || len(ch.Markers) < 2 {
+		t.Errorf("chart structure: %d series, %d markers", len(ch.Series), len(ch.Markers))
+	}
+}

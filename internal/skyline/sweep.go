@@ -1,0 +1,99 @@
+package skyline
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/dse"
+	"repro/internal/plot"
+)
+
+// SweepRequest is the /sweep.svg interface: the base configuration uses
+// the same preset/custom parameters as /plot.svg, plus:
+//
+//	knob = payload | range | sensor | compute
+//	lo, hi = sweep bounds (knob's natural unit)
+//	n = sample count (default 50)
+//	log = true for geometric spacing
+type SweepRequest struct {
+	Params Params
+	Knob   dse.Knob
+	Lo, Hi float64
+	N      int
+	Log    bool
+}
+
+// ParseSweep extracts a sweep request from query parameters.
+func ParseSweep(q url.Values) (SweepRequest, error) {
+	p, err := ParseParams(q)
+	if err != nil {
+		return SweepRequest{}, err
+	}
+	req := SweepRequest{Params: p, N: 50}
+	switch q.Get("knob") {
+	case "payload":
+		req.Knob = dse.KnobPayload
+	case "range":
+		req.Knob = dse.KnobSensorRange
+	case "sensor":
+		req.Knob = dse.KnobSensorRate
+	case "compute":
+		req.Knob = dse.KnobComputeRate
+	case "":
+		return SweepRequest{}, fmt.Errorf("skyline: sweep needs knob=payload|range|sensor|compute")
+	default:
+		return SweepRequest{}, fmt.Errorf("skyline: unknown sweep knob %q", q.Get("knob"))
+	}
+	parse := func(key string) (float64, error) {
+		v, err := strconv.ParseFloat(q.Get(key), 64)
+		if err != nil {
+			return 0, fmt.Errorf("skyline: sweep parameter %q: %v", key, err)
+		}
+		return v, nil
+	}
+	if req.Lo, err = parse("lo"); err != nil {
+		return SweepRequest{}, err
+	}
+	if req.Hi, err = parse("hi"); err != nil {
+		return SweepRequest{}, err
+	}
+	if ns := q.Get("n"); ns != "" {
+		n, err := strconv.Atoi(ns)
+		if err != nil || n < 2 || n > 2000 {
+			return SweepRequest{}, fmt.Errorf("skyline: sweep parameter n must be 2..2000, got %q", ns)
+		}
+		req.N = n
+	}
+	req.Log = q.Get("log") == "true"
+	return req, nil
+}
+
+// Run executes the sweep against the catalog and renders the velocity
+// response chart with bound-transition markers.
+func (r SweepRequest) Run(cat *catalog.Catalog) (*plot.Chart, error) {
+	cfg, err := r.Params.Config(cat)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dse.Sweep(cfg, r.Knob, r.Lo, r.Hi, r.N, r.Log)
+	if err != nil {
+		return nil, err
+	}
+	xs, ys := res.Velocities()
+	ch := &plot.Chart{
+		Title:  fmt.Sprintf("Sweep: %s — %s", cfg.Name, r.Knob),
+		XLabel: r.Knob.String(),
+		YLabel: "safe velocity (m/s)",
+		LogX:   r.Log,
+		Series: []plot.Series{{Name: "v_safe", X: xs, Y: ys}},
+	}
+	for _, tr := range res.BoundTransitions() {
+		ch.Markers = append(ch.Markers, plot.Marker{
+			X: tr.Value, Y: tr.Analysis.SafeVelocity.MetersPerSecond(),
+			Label: "→ " + tr.Analysis.Bound.String(),
+		})
+	}
+	return ch, nil
+}

@@ -1,0 +1,96 @@
+package skyline
+
+import (
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/dse"
+)
+
+func TestParseSweep(t *testing.T) {
+	q, _ := url.ParseQuery("knob=compute&lo=1&hi=200&n=30&log=true")
+	req, err := ParseSweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Knob != dse.KnobComputeRate || req.Lo != 1 || req.Hi != 200 || req.N != 30 || !req.Log {
+		t.Errorf("parsed = %+v", req)
+	}
+	// Default n.
+	q2, _ := url.ParseQuery("knob=payload&lo=50&hi=500")
+	req2, err := ParseSweep(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req2.N != 50 || req2.Log {
+		t.Errorf("defaults = %+v", req2)
+	}
+}
+
+func TestParseSweepErrors(t *testing.T) {
+	cases := []string{
+		"lo=1&hi=10",                      // no knob
+		"knob=warp&lo=1&hi=10",            // unknown knob
+		"knob=payload&hi=10",              // missing lo
+		"knob=payload&lo=1",               // missing hi
+		"knob=payload&lo=1&hi=10&n=1",     // n too small
+		"knob=payload&lo=1&hi=10&n=50000", // n too large
+		"mode=weird&knob=payload&lo=1&hi=10",
+	}
+	for _, c := range cases {
+		q, _ := url.ParseQuery(c)
+		if _, err := ParseSweep(q); err == nil {
+			t.Errorf("query %q accepted", c)
+		}
+	}
+}
+
+func TestSweepRunTransitionMarker(t *testing.T) {
+	cat := catalog.Default()
+	q, _ := url.ParseQuery("knob=compute&lo=1&hi=200&n=60&log=true")
+	req, err := ParseSweep(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := req.Run(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Series) != 1 || len(ch.Series[0].X) != 60 {
+		t.Fatalf("chart series wrong: %+v", ch.Series)
+	}
+	// The compute sweep crosses the Pelican knee: a transition marker
+	// labelled physics-bound appears.
+	found := false
+	for _, m := range ch.Markers {
+		if strings.Contains(m.Label, "physics-bound") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no bound-transition marker: %+v", ch.Markers)
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := get(t, srv.URL+"/sweep.svg?knob=compute&lo=1&hi=200&log=true")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	if !strings.Contains(body, "<svg") {
+		t.Error("sweep SVG missing")
+	}
+	status, _ = get(t, srv.URL+"/sweep.svg?knob=warp&lo=1&hi=2")
+	if status != http.StatusBadRequest {
+		t.Errorf("bad sweep status = %d, want 400", status)
+	}
+	// A sweep that produces invalid configs (range through zero).
+	status, _ = get(t, srv.URL+"/sweep.svg?knob=range&lo=-5&hi=5")
+	if status != http.StatusBadRequest {
+		t.Errorf("invalid-range sweep status = %d, want 400", status)
+	}
+}

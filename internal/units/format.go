@@ -1,0 +1,81 @@
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// String renders the mass with an auto-selected unit (g below 1 kg,
+// kg otherwise).
+func (m Mass) String() string {
+	g := m.Grams()
+	if math.Abs(g) < 1000 {
+		return trimFloat(g) + " g"
+	}
+	return trimFloat(m.Kilograms()) + " kg"
+}
+
+// String renders the force in grams-force, the convention used for motor
+// thrust throughout the paper.
+func (f Force) String() string { return trimFloat(f.GramsForce()) + " gf" }
+
+// String renders the frequency in Hz.
+func (f Frequency) String() string {
+	if math.IsInf(float64(f), 1) {
+		return "∞ Hz"
+	}
+	return trimFloat(f.Hertz()) + " Hz"
+}
+
+// String renders the latency with an auto-selected unit (ms below 1 s).
+func (l Latency) String() string {
+	if math.IsInf(float64(l), 1) {
+		return "∞ s"
+	}
+	if math.Abs(float64(l)) < 1 {
+		return trimFloat(l.Milliseconds()) + " ms"
+	}
+	return trimFloat(l.Seconds()) + " s"
+}
+
+// String renders the length in meters.
+func (l Length) String() string { return trimFloat(l.Meters()) + " m" }
+
+// String renders the velocity in m/s.
+func (v Velocity) String() string { return trimFloat(v.MetersPerSecond()) + " m/s" }
+
+// String renders the acceleration in m/s².
+func (a Acceleration) String() string { return trimFloat(a.MetersPerSecond2()) + " m/s²" }
+
+// String renders the power with an auto-selected unit (mW below 1 W).
+func (p Power) String() string {
+	if math.Abs(float64(p)) < 1 && p != 0 {
+		return trimFloat(p.Milliwatts()) + " mW"
+	}
+	return trimFloat(p.Watts()) + " W"
+}
+
+// String renders the energy in watt-hours.
+func (e Energy) String() string { return trimFloat(e.WattHours()) + " Wh" }
+
+// String renders the charge in mAh.
+func (c Charge) String() string { return trimFloat(c.MilliampHours()) + " mAh" }
+
+// String renders the angle in degrees.
+func (a Angle) String() string { return trimFloat(a.Degrees()) + "°" }
+
+// trimFloat formats a float with up to three significant decimals and no
+// trailing zeros, so model output tables stay compact.
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	s := fmt.Sprintf("%.3f", v)
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}

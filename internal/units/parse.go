@@ -1,0 +1,185 @@
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file parses human-written quantity strings ("435g", "60 Hz",
+// "4.5m", "15W", "810ms") into typed quantities — the format used on
+// component datasheets and in hand-edited catalog files.
+
+// splitQuantity separates "12.5 kg" into (12.5, "kg"). The unit suffix
+// is matched case-sensitively by the callers; whitespace between number
+// and unit is optional.
+func splitQuantity(s string) (float64, string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, "", fmt.Errorf("units: empty quantity")
+	}
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			// Guard: 'e'/'E' only counts as part of the number when
+			// followed by a digit or sign (exponent), otherwise it
+			// begins the unit (e.g. "5 eV" — not that we have eV).
+			if c == 'e' || c == 'E' {
+				if i+1 >= len(s) {
+					break
+				}
+				n := s[i+1]
+				if !(n >= '0' && n <= '9') && n != '-' && n != '+' {
+					break
+				}
+			}
+			i++
+			continue
+		}
+		break
+	}
+	num := s[:i]
+	unit := strings.TrimSpace(s[i:])
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, "", fmt.Errorf("units: %q is not a number in %q", num, s)
+	}
+	return v, unit, nil
+}
+
+// ParseMass parses "435g", "1.62kg".
+func ParseMass(s string) (Mass, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "g":
+		return Grams(v), nil
+	case "kg":
+		return Kilograms(v), nil
+	default:
+		return 0, fmt.Errorf("units: unknown mass unit %q in %q (want g or kg)", unit, s)
+	}
+}
+
+// ParseForce parses "435gf", "1.74kgf", "4.3N".
+func ParseForce(s string) (Force, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "gf":
+		return GramsForce(v), nil
+	case "kgf":
+		return KilogramsForce(v), nil
+	case "N":
+		return Newtons(v), nil
+	default:
+		return 0, fmt.Errorf("units: unknown force unit %q in %q (want gf, kgf or N)", unit, s)
+	}
+}
+
+// ParseFrequency parses "60Hz", "1kHz", "178 Hz".
+func ParseFrequency(s string) (Frequency, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "Hz":
+		return Hertz(v), nil
+	case "kHz":
+		return Hertz(v * 1000), nil
+	default:
+		return 0, fmt.Errorf("units: unknown frequency unit %q in %q (want Hz or kHz)", unit, s)
+	}
+}
+
+// ParseLatency parses "810ms", "0.1s", "16us".
+func ParseLatency(s string) (Latency, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "s":
+		return Seconds(v), nil
+	case "ms":
+		return Milliseconds(v), nil
+	case "us", "µs":
+		return Seconds(v / 1e6), nil
+	default:
+		return 0, fmt.Errorf("units: unknown latency unit %q in %q (want s, ms or us)", unit, s)
+	}
+}
+
+// ParseLength parses "4.5m", "500mm", "3.2km".
+func ParseLength(s string) (Length, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "m":
+		return Meters(v), nil
+	case "mm":
+		return Millimeters(v), nil
+	case "km":
+		return Meters(v * 1000), nil
+	default:
+		return 0, fmt.Errorf("units: unknown length unit %q in %q (want m, mm or km)", unit, s)
+	}
+}
+
+// ParseVelocity parses "2.13m/s", "9.6 m/s".
+func ParseVelocity(s string) (Velocity, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "m/s":
+		return MetersPerSecond(v), nil
+	case "km/h":
+		return MetersPerSecond(v / 3.6), nil
+	default:
+		return 0, fmt.Errorf("units: unknown velocity unit %q in %q (want m/s or km/h)", unit, s)
+	}
+}
+
+// ParsePower parses "30W", "64mW", "2.5kW".
+func ParsePower(s string) (Power, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "W":
+		return Watts(v), nil
+	case "mW":
+		return Milliwatts(v), nil
+	case "kW":
+		return Watts(v * 1000), nil
+	default:
+		return 0, fmt.Errorf("units: unknown power unit %q in %q (want W, mW or kW)", unit, s)
+	}
+}
+
+// ParseCharge parses "5000mAh", "5Ah".
+func ParseCharge(s string) (Charge, error) {
+	v, unit, err := splitQuantity(s)
+	if err != nil {
+		return 0, err
+	}
+	switch unit {
+	case "mAh":
+		return MilliampHours(v), nil
+	case "Ah":
+		return MilliampHours(v * 1000), nil
+	default:
+		return 0, fmt.Errorf("units: unknown charge unit %q in %q (want mAh or Ah)", unit, s)
+	}
+}

@@ -1,0 +1,173 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMass(t *testing.T) {
+	cases := map[string]float64{ // → grams
+		"435g":    435,
+		"1.62kg":  1620,
+		" 500 g ": 500,
+		"-5g":     -5,
+		"1e3g":    1000,
+	}
+	for in, want := range cases {
+		m, err := ParseMass(in)
+		if err != nil {
+			t.Errorf("ParseMass(%q): %v", in, err)
+			continue
+		}
+		if !approx(m.Grams(), want, 1e-9) {
+			t.Errorf("ParseMass(%q) = %v g, want %v", in, m.Grams(), want)
+		}
+	}
+	for _, bad := range []string{"", "g", "10", "10 lb", "x g", "10gg"} {
+		if _, err := ParseMass(bad); err == nil {
+			t.Errorf("ParseMass(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseForce(t *testing.T) {
+	f, err := ParseForce("435gf")
+	if err != nil || !approx(f.GramsForce(), 435, 1e-9) {
+		t.Errorf("435gf → %v, %v", f, err)
+	}
+	f2, err := ParseForce("1.74kgf")
+	if err != nil || !approx(f2.GramsForce(), 1740, 1e-9) {
+		t.Errorf("1.74kgf → %v, %v", f2, err)
+	}
+	f3, err := ParseForce("9.80665N")
+	if err != nil || !approx(f3.GramsForce(), 1000, 1e-6) {
+		t.Errorf("9.80665N → %v, %v", f3, err)
+	}
+	if _, err := ParseForce("5 lbf"); err == nil {
+		t.Error("lbf accepted")
+	}
+}
+
+func TestParseFrequency(t *testing.T) {
+	f, err := ParseFrequency("60Hz")
+	if err != nil || f.Hertz() != 60 {
+		t.Errorf("60Hz → %v, %v", f, err)
+	}
+	f2, err := ParseFrequency("1kHz")
+	if err != nil || f2.Hertz() != 1000 {
+		t.Errorf("1kHz → %v, %v", f2, err)
+	}
+	if _, err := ParseFrequency("60 rpm"); err == nil {
+		t.Error("rpm accepted")
+	}
+}
+
+func TestParseLatency(t *testing.T) {
+	cases := map[string]float64{ // → seconds
+		"810ms": 0.81,
+		"0.1s":  0.1,
+		"16us":  16e-6,
+		"16µs":  16e-6,
+	}
+	for in, want := range cases {
+		l, err := ParseLatency(in)
+		if err != nil || !approx(l.Seconds(), want, 1e-12) {
+			t.Errorf("ParseLatency(%q) = %v, %v; want %v s", in, l, err, want)
+		}
+	}
+	if _, err := ParseLatency("5 min"); err == nil {
+		t.Error("min accepted")
+	}
+}
+
+func TestParseLength(t *testing.T) {
+	cases := map[string]float64{"4.5m": 4.5, "500mm": 0.5, "1.2km": 1200}
+	for in, want := range cases {
+		l, err := ParseLength(in)
+		if err != nil || !approx(l.Meters(), want, 1e-9) {
+			t.Errorf("ParseLength(%q) = %v, %v", in, l, err)
+		}
+	}
+	if _, err := ParseLength("3 ft"); err == nil {
+		t.Error("ft accepted")
+	}
+}
+
+func TestParseVelocity(t *testing.T) {
+	v, err := ParseVelocity("2.13m/s")
+	if err != nil || !approx(v.MetersPerSecond(), 2.13, 1e-9) {
+		t.Errorf("2.13m/s → %v, %v", v, err)
+	}
+	v2, err := ParseVelocity("36 km/h")
+	if err != nil || !approx(v2.MetersPerSecond(), 10, 1e-9) {
+		t.Errorf("36km/h → %v, %v", v2, err)
+	}
+	if _, err := ParseVelocity("5 mph"); err == nil {
+		t.Error("mph accepted")
+	}
+}
+
+func TestParsePower(t *testing.T) {
+	cases := map[string]float64{"30W": 30, "64mW": 0.064, "1.5kW": 1500}
+	for in, want := range cases {
+		p, err := ParsePower(in)
+		if err != nil || !approx(p.Watts(), want, 1e-12) {
+			t.Errorf("ParsePower(%q) = %v, %v", in, p, err)
+		}
+	}
+	if _, err := ParsePower("3 hp"); err == nil {
+		t.Error("hp accepted")
+	}
+}
+
+func TestParseCharge(t *testing.T) {
+	c, err := ParseCharge("5000mAh")
+	if err != nil || !approx(c.MilliampHours(), 5000, 1e-9) {
+		t.Errorf("5000mAh → %v, %v", c, err)
+	}
+	c2, err := ParseCharge("5Ah")
+	if err != nil || !approx(c2.MilliampHours(), 5000, 1e-9) {
+		t.Errorf("5Ah → %v, %v", c2, err)
+	}
+	if _, err := ParseCharge("5 C"); err == nil {
+		t.Error("coulombs accepted (not supported)")
+	}
+}
+
+// Round trip: formatting then parsing returns the same quantity, for
+// the String() formats that are parseable (mass, velocity, power).
+func TestParseFormatsRoundTripProperty(t *testing.T) {
+	prop := func(g0 float64) bool {
+		g := math.Mod(math.Abs(g0), 1e5)
+		m := Grams(g)
+		back, err := ParseMass(m.String())
+		if err != nil {
+			return false
+		}
+		// String() trims to 3 decimals, so allow that much slack.
+		return math.Abs(back.Grams()-g) < 2e-3*math.Max(1, g)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitQuantityEdgeCases(t *testing.T) {
+	if _, _, err := splitQuantity("   "); err == nil {
+		t.Error("blank accepted")
+	}
+	v, unit, err := splitQuantity("1e-3 kg")
+	if err != nil || v != 1e-3 || unit != "kg" {
+		t.Errorf("1e-3 kg → %v %q %v", v, unit, err)
+	}
+	// 'e' starting a unit is not an exponent.
+	if _, _, err := splitQuantity("5eggs"); err == nil {
+		// "5" parses, unit "eggs" — handled by the unit switch, so
+		// splitQuantity itself accepts it.
+		v, unit, _ := splitQuantity("5eggs")
+		if v != 5 || unit != "eggs" {
+			t.Errorf("5eggs → %v %q", v, unit)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package units provides typed physical quantities used throughout the
+// F-1 model: masses, forces, frequencies, latencies, lengths, velocities,
+// accelerations, powers, energies and angles.
+//
+// Every quantity is a distinct float64 type holding the value in a single
+// canonical SI-ish unit (documented per type). The type system prevents
+// the classic modeling mistakes — adding a thrust to a mass, confusing a
+// throughput with a latency — while keeping arithmetic on the underlying
+// float64 trivial.
+package units
+
+import "math"
+
+// StandardGravity is the conventional standard acceleration due to
+// gravity, used to convert between gram-force thrust figures (as quoted
+// on motor datasheets and in the paper, e.g. "Motor Pull ≈ 435 g") and
+// newtons.
+const StandardGravity = 9.80665 // m/s²
+
+// Mass is a mass in kilograms.
+type Mass float64
+
+// Grams constructs a Mass from a value in grams.
+func Grams(g float64) Mass { return Mass(g / 1000) }
+
+// Kilograms constructs a Mass from a value in kilograms.
+func Kilograms(kg float64) Mass { return Mass(kg) }
+
+// Grams reports the mass in grams.
+func (m Mass) Grams() float64 { return float64(m) * 1000 }
+
+// Kilograms reports the mass in kilograms.
+func (m Mass) Kilograms() float64 { return float64(m) }
+
+// Weight is the gravitational force exerted on the mass under standard
+// gravity.
+func (m Mass) Weight() Force { return Force(float64(m) * StandardGravity) }
+
+// Force is a force in newtons.
+type Force float64
+
+// Newtons constructs a Force from a value in newtons.
+func Newtons(n float64) Force { return Force(n) }
+
+// GramsForce constructs a Force from a value in grams-force. Motor
+// datasheets (and the paper) quote thrust as the mass it can lift, e.g.
+// "435 g per motor".
+func GramsForce(g float64) Force { return Force(g / 1000 * StandardGravity) }
+
+// KilogramsForce constructs a Force from a value in kilograms-force.
+func KilogramsForce(kg float64) Force { return Force(kg * StandardGravity) }
+
+// Newtons reports the force in newtons.
+func (f Force) Newtons() float64 { return float64(f) }
+
+// GramsForce reports the force in grams-force.
+func (f Force) GramsForce() float64 { return float64(f) / StandardGravity * 1000 }
+
+// Over divides the force by a mass, yielding an acceleration (F = m·a).
+func (f Force) Over(m Mass) Acceleration {
+	if m <= 0 {
+		return 0
+	}
+	return Acceleration(float64(f) / float64(m))
+}
+
+// Frequency is a rate in hertz. Throughputs in the sensor–compute–control
+// pipeline (sensor frame rate, compute inference rate, control loop rate,
+// action throughput) are all frequencies.
+type Frequency float64
+
+// Hertz constructs a Frequency from a value in Hz.
+func Hertz(hz float64) Frequency { return Frequency(hz) }
+
+// Hertz reports the frequency in Hz.
+func (f Frequency) Hertz() float64 { return float64(f) }
+
+// Period returns the reciprocal latency 1/f. A non-positive frequency
+// maps to an infinite latency (a stage that never produces output).
+func (f Frequency) Period() Latency {
+	if f <= 0 {
+		return Latency(math.Inf(1))
+	}
+	return Latency(1 / float64(f))
+}
+
+// Latency is a duration in seconds. We use a plain float64-second type
+// rather than time.Duration because model latencies routinely need
+// sub-nanosecond precision during sweeps and infinities for disabled
+// stages.
+type Latency float64
+
+// Seconds constructs a Latency from a value in seconds.
+func Seconds(s float64) Latency { return Latency(s) }
+
+// Milliseconds constructs a Latency from a value in milliseconds.
+func Milliseconds(ms float64) Latency { return Latency(ms / 1000) }
+
+// Seconds reports the latency in seconds.
+func (l Latency) Seconds() float64 { return float64(l) }
+
+// Milliseconds reports the latency in milliseconds.
+func (l Latency) Milliseconds() float64 { return float64(l) * 1000 }
+
+// Frequency returns the reciprocal rate 1/T. A non-positive latency maps
+// to an infinite frequency.
+func (l Latency) Frequency() Frequency {
+	if l <= 0 {
+		return Frequency(math.Inf(1))
+	}
+	return Frequency(1 / float64(l))
+}
+
+// Length is a distance in meters.
+type Length float64
+
+// Meters constructs a Length from a value in meters.
+func Meters(m float64) Length { return Length(m) }
+
+// Millimeters constructs a Length from a value in millimeters; UAV frame
+// sizes are conventionally quoted in mm (e.g. the S500 frame is 500 mm).
+func Millimeters(mm float64) Length { return Length(mm / 1000) }
+
+// Meters reports the length in meters.
+func (l Length) Meters() float64 { return float64(l) }
+
+// Millimeters reports the length in millimeters.
+func (l Length) Millimeters() float64 { return float64(l) * 1000 }
+
+// Velocity is a speed in meters per second.
+type Velocity float64
+
+// MetersPerSecond constructs a Velocity.
+func MetersPerSecond(v float64) Velocity { return Velocity(v) }
+
+// MetersPerSecond reports the velocity in m/s.
+func (v Velocity) MetersPerSecond() float64 { return float64(v) }
+
+// Acceleration is an acceleration in meters per second squared.
+type Acceleration float64
+
+// MetersPerSecond2 constructs an Acceleration.
+func MetersPerSecond2(a float64) Acceleration { return Acceleration(a) }
+
+// Gs constructs an Acceleration from a multiple of standard gravity.
+func Gs(g float64) Acceleration { return Acceleration(g * StandardGravity) }
+
+// MetersPerSecond2 reports the acceleration in m/s².
+func (a Acceleration) MetersPerSecond2() float64 { return float64(a) }
+
+// Gs reports the acceleration as a multiple of standard gravity.
+func (a Acceleration) Gs() float64 { return float64(a) / StandardGravity }
+
+// Power is a power in watts. Compute-platform TDPs and accelerator power
+// envelopes are powers.
+type Power float64
+
+// Watts constructs a Power from a value in watts.
+func Watts(w float64) Power { return Power(w) }
+
+// Milliwatts constructs a Power from a value in milliwatts (accelerators
+// like Navion are quoted in mW).
+func Milliwatts(mw float64) Power { return Power(mw / 1000) }
+
+// Watts reports the power in watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Milliwatts reports the power in milliwatts.
+func (p Power) Milliwatts() float64 { return float64(p) * 1000 }
+
+// Energy is an energy in joules.
+type Energy float64
+
+// Joules constructs an Energy from a value in joules.
+func Joules(j float64) Energy { return Energy(j) }
+
+// WattHours constructs an Energy from a value in watt-hours.
+func WattHours(wh float64) Energy { return Energy(wh * 3600) }
+
+// Joules reports the energy in joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// WattHours reports the energy in watt-hours.
+func (e Energy) WattHours() float64 { return float64(e) / 3600 }
+
+// Charge is an electric charge in coulombs. Battery capacities are
+// conventionally quoted in mAh.
+type Charge float64
+
+// MilliampHours constructs a Charge from a value in mAh.
+func MilliampHours(mah float64) Charge { return Charge(mah * 3.6) }
+
+// MilliampHours reports the charge in mAh.
+func (c Charge) MilliampHours() float64 { return float64(c) / 3.6 }
+
+// Energy returns the energy stored at the given voltage (E = Q·V).
+func (c Charge) Energy(volts float64) Energy { return Energy(float64(c) * volts) }
+
+// Angle is a plane angle in radians.
+type Angle float64
+
+// Radians constructs an Angle from a value in radians.
+func Radians(r float64) Angle { return Angle(r) }
+
+// Degrees constructs an Angle from a value in degrees.
+func Degrees(d float64) Angle { return Angle(d * math.Pi / 180) }
+
+// Radians reports the angle in radians.
+func (a Angle) Radians() float64 { return float64(a) }
+
+// Degrees reports the angle in degrees.
+func (a Angle) Degrees() float64 { return float64(a) * 180 / math.Pi }

@@ -1,0 +1,227 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMassConversions(t *testing.T) {
+	m := Grams(1500)
+	if got := m.Kilograms(); !approx(got, 1.5, 1e-12) {
+		t.Errorf("Kilograms() = %v, want 1.5", got)
+	}
+	if got := Kilograms(2).Grams(); !approx(got, 2000, 1e-9) {
+		t.Errorf("Grams() = %v, want 2000", got)
+	}
+}
+
+func TestMassWeight(t *testing.T) {
+	w := Kilograms(1).Weight()
+	if !approx(w.Newtons(), StandardGravity, 1e-12) {
+		t.Errorf("1 kg weight = %v N, want %v", w.Newtons(), StandardGravity)
+	}
+	if !approx(w.GramsForce(), 1000, 1e-9) {
+		t.Errorf("1 kg weight = %v gf, want 1000", w.GramsForce())
+	}
+}
+
+func TestForceConversions(t *testing.T) {
+	f := GramsForce(435)
+	if !approx(f.Newtons(), 0.435*StandardGravity, 1e-12) {
+		t.Errorf("435 gf = %v N", f.Newtons())
+	}
+	if !approx(KilogramsForce(0.435).Newtons(), f.Newtons(), 1e-12) {
+		t.Error("KilogramsForce and GramsForce disagree")
+	}
+}
+
+func TestForceOverMass(t *testing.T) {
+	a := Newtons(10).Over(Kilograms(2))
+	if !approx(a.MetersPerSecond2(), 5, 1e-12) {
+		t.Errorf("10 N / 2 kg = %v, want 5", a)
+	}
+	if got := Newtons(10).Over(0); got != 0 {
+		t.Errorf("force over zero mass = %v, want 0", got)
+	}
+	if got := Newtons(10).Over(Kilograms(-1)); got != 0 {
+		t.Errorf("force over negative mass = %v, want 0", got)
+	}
+}
+
+func TestFrequencyPeriodRoundTrip(t *testing.T) {
+	f := Hertz(60)
+	p := f.Period()
+	if !approx(p.Milliseconds(), 1000.0/60, 1e-9) {
+		t.Errorf("60 Hz period = %v ms", p.Milliseconds())
+	}
+	if !approx(p.Frequency().Hertz(), 60, 1e-9) {
+		t.Errorf("round trip = %v Hz", p.Frequency())
+	}
+}
+
+func TestZeroFrequencyPeriodIsInfinite(t *testing.T) {
+	if p := Hertz(0).Period(); !math.IsInf(p.Seconds(), 1) {
+		t.Errorf("0 Hz period = %v, want +Inf", p)
+	}
+	if f := Seconds(0).Frequency(); !math.IsInf(f.Hertz(), 1) {
+		t.Errorf("0 s frequency = %v, want +Inf", f)
+	}
+	if f := Seconds(-1).Frequency(); !math.IsInf(f.Hertz(), 1) {
+		t.Errorf("negative latency frequency = %v, want +Inf", f)
+	}
+}
+
+func TestLatencyConstruction(t *testing.T) {
+	if !approx(Milliseconds(810).Seconds(), 0.81, 1e-12) {
+		t.Error("810 ms != 0.81 s")
+	}
+}
+
+func TestLengthConversions(t *testing.T) {
+	if !approx(Millimeters(500).Meters(), 0.5, 1e-12) {
+		t.Error("500 mm != 0.5 m")
+	}
+	if !approx(Meters(3).Millimeters(), 3000, 1e-9) {
+		t.Error("3 m != 3000 mm")
+	}
+}
+
+func TestAccelerationGs(t *testing.T) {
+	a := Gs(2)
+	if !approx(a.MetersPerSecond2(), 2*StandardGravity, 1e-12) {
+		t.Errorf("2 g = %v m/s²", a.MetersPerSecond2())
+	}
+	if !approx(a.Gs(), 2, 1e-12) {
+		t.Errorf("round trip = %v g", a.Gs())
+	}
+}
+
+func TestPowerConversions(t *testing.T) {
+	if !approx(Milliwatts(64).Watts(), 0.064, 1e-12) {
+		t.Error("64 mW != 0.064 W")
+	}
+	if !approx(Watts(30).Milliwatts(), 30000, 1e-9) {
+		t.Error("30 W != 30000 mW")
+	}
+}
+
+func TestEnergyConversions(t *testing.T) {
+	if !approx(WattHours(1).Joules(), 3600, 1e-9) {
+		t.Error("1 Wh != 3600 J")
+	}
+	if !approx(Joules(7200).WattHours(), 2, 1e-12) {
+		t.Error("7200 J != 2 Wh")
+	}
+}
+
+func TestChargeEnergy(t *testing.T) {
+	// The validation drones' battery: 3S 5000 mAh at 11.1 V ≈ 55.5 Wh.
+	c := MilliampHours(5000)
+	if !approx(c.MilliampHours(), 5000, 1e-9) {
+		t.Errorf("round trip = %v mAh", c.MilliampHours())
+	}
+	if !approx(c.Energy(11.1).WattHours(), 55.5, 1e-9) {
+		t.Errorf("5000 mAh @ 11.1 V = %v Wh, want 55.5", c.Energy(11.1).WattHours())
+	}
+}
+
+func TestAngleConversions(t *testing.T) {
+	if !approx(Degrees(180).Radians(), math.Pi, 1e-12) {
+		t.Error("180° != π")
+	}
+	if !approx(Radians(math.Pi/2).Degrees(), 90, 1e-12) {
+		t.Error("π/2 != 90°")
+	}
+}
+
+func TestStringFormatting(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{Grams(435).String(), "435 g"},
+		{Kilograms(1.62).String(), "1.62 kg"},
+		{GramsForce(435).String(), "435 gf"},
+		{Hertz(178).String(), "178 Hz"},
+		{Hertz(0).Period().String(), "∞ s"},
+		{Milliseconds(810).String(), "810 ms"},
+		{Seconds(5).String(), "5 s"},
+		{Meters(3).String(), "3 m"},
+		{MetersPerSecond(2.13).String(), "2.13 m/s"},
+		{MetersPerSecond2(50).String(), "50 m/s²"},
+		{Watts(30).String(), "30 W"},
+		{Milliwatts(64).String(), "64 mW"},
+		{Watts(0).String(), "0 W"},
+		{WattHours(55.5).String(), "55.5 Wh"},
+		{MilliampHours(240).String(), "240 mAh"},
+		{Degrees(45).String(), "45°"},
+		{Frequency(math.Inf(1)).String(), "∞ Hz"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// Property: frequency↔period inversion is an involution for positive
+// finite values.
+func TestFrequencyPeriodInvolutionProperty(t *testing.T) {
+	prop := func(hz float64) bool {
+		hz = 1e-6 + math.Abs(hz) // positive
+		if math.IsInf(hz, 0) || math.IsNaN(hz) || hz > 1e12 {
+			return true
+		}
+		f := Hertz(hz)
+		back := f.Period().Frequency()
+		return approx(back.Hertz(), hz, hz*1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mass↔grams round-trips.
+func TestMassRoundTripProperty(t *testing.T) {
+	prop := func(g float64) bool {
+		if math.IsInf(g, 0) || math.IsNaN(g) {
+			return true
+		}
+		return approx(Grams(g).Grams(), g, math.Abs(g)*1e-12+1e-12)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Weight/StandardGravity recovers the mass.
+func TestWeightRecoversMassProperty(t *testing.T) {
+	prop := func(kg float64) bool {
+		kg = math.Abs(kg)
+		if math.IsInf(kg, 0) || math.IsNaN(kg) || kg > 1e9 {
+			return true
+		}
+		m := Kilograms(kg)
+		return approx(m.Weight().Newtons()/StandardGravity, kg, kg*1e-12+1e-12)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: force/mass/acceleration triangle is consistent.
+func TestForceOverMassProperty(t *testing.T) {
+	prop := func(n, kg float64) bool {
+		n, kg = math.Abs(n), 1e-6+math.Abs(kg)
+		if math.IsInf(n, 0) || math.IsNaN(n) || math.IsInf(kg, 0) || math.IsNaN(kg) || n > 1e12 || kg > 1e12 {
+			return true
+		}
+		a := Newtons(n).Over(Kilograms(kg))
+		return approx(a.MetersPerSecond2()*kg, n, n*1e-9+1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
