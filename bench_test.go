@@ -306,6 +306,114 @@ func BenchmarkDSESweep(b *testing.B) {
 	}
 }
 
+// --- DSE engine benches ---------------------------------------------------
+//
+// The Enumerate benches run a synthetically enlarged catalog (1280
+// candidates) far beyond the paper's presets; their baseline (pre-rework
+// serial engine) is recorded in BENCH_dse.json.
+
+func dseBenchSpace(cat *catalog.Catalog) dse.Space {
+	return dse.Space{
+		UAVs:       cat.UAVNames(),
+		Computes:   cat.ComputeNames(),
+		Algorithms: cat.AlgorithmNames(),
+	}
+}
+
+func benchEnumerate(b *testing.B, workers int) {
+	cat := catalog.Synthetic(5, 16, 16) // 1280 candidates
+	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat), Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := e.Enumerate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) != 1280 {
+			b.Fatalf("got %d candidates", len(cands))
+		}
+	}
+}
+
+// BenchmarkEnumerateSerial pins the pool to one worker (inline, no
+// goroutines) — the baseline for the speedup comparison.
+func BenchmarkEnumerateSerial(b *testing.B) { benchEnumerate(b, 1) }
+
+// BenchmarkEnumerateParallel fans out across all available cores.
+func BenchmarkEnumerateParallel(b *testing.B) { benchEnumerate(b, 0) }
+
+// BenchmarkEnumerateStream measures the iter.Seq2 streaming path with a
+// constraint filter applied by the consumer.
+func BenchmarkEnumerateStream(b *testing.B) {
+	cat := catalog.Synthetic(5, 16, 16)
+	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for cand, err := range e.Candidates() {
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cand.Analysis.SafeVelocity.MetersPerSecond() > 5 {
+				n++
+			}
+		}
+		if n == 0 {
+			b.Fatal("no fast candidates")
+		}
+	}
+}
+
+// BenchmarkParetoFront exercises the sort-based two-objective skyline
+// on the enlarged candidate slate (baseline: the O(n²) all-pairs scan).
+func BenchmarkParetoFront(b *testing.B) {
+	cat := catalog.Synthetic(5, 16, 16)
+	cands, err := dse.Enumerate(cat, dseBenchSpace(cat), dse.Constraints{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.ParetoFront(cands, dse.MaxVelocity, dse.MinPower); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParetoFront3D exercises the k>=3 sort-filter scan.
+func BenchmarkParetoFront3D(b *testing.B) {
+	cat := catalog.Synthetic(5, 16, 16)
+	cands, err := dse.Enumerate(cat, dseBenchSpace(cat), dse.Constraints{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.ParetoFront(cands, dse.MaxVelocity, dse.MinPower, dse.MinPayload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopK contrasts the bounded heap against a full Rank.
+func BenchmarkTopK(b *testing.B) {
+	cat := catalog.Synthetic(5, 16, 16)
+	cands, err := dse.Enumerate(cat, dseBenchSpace(cat), dse.Constraints{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("top10-heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = dse.TopK(cands, dse.MaxVelocity, 10)
+		}
+	})
+	b.Run("full-rank", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = dse.Rank(cands, dse.MaxVelocity)
+		}
+	})
+}
+
 func BenchmarkDSEEnumerate(b *testing.B) {
 	cat := catalog.Default()
 	space := dse.Space{

@@ -15,6 +15,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/catalog"
 	"repro/internal/experiments"
@@ -32,8 +33,13 @@ func run(args []string, stdout io.Writer) error {
 	id := fs.String("id", "", "run a single experiment (default: all)")
 	out := fs.String("out", "", "directory to write .txt tables and .svg figures")
 	ascii := fs.Bool("ascii", false, "also render charts as ASCII on stdout")
+	workers := fs.Int("workers", 0, "cap the cores used by the exploration/sweep engines (0 = all)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *workers > 0 {
+		// The DSE engine sizes its worker pools from GOMAXPROCS.
+		runtime.GOMAXPROCS(*workers)
 	}
 
 	var todo []experiments.Experiment

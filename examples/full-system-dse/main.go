@@ -23,17 +23,21 @@ func main() {
 		Algorithms: []string{catalog.AlgoDroNet, catalog.AlgoTrailNet, catalog.AlgoCAD2RL, catalog.AlgoVGG16},
 	}
 
-	cands, err := dse.Enumerate(cat, space, dse.Constraints{})
-	if err != nil {
-		log.Fatal(err)
+	// The Explorer fans the cross product out across all cores and
+	// streams candidates in deterministic order; collecting them is
+	// just one consumer of the stream.
+	explorer := dse.Explorer{Catalog: cat, Space: space}
+	var cands []dse.Candidate
+	for cand, err := range explorer.Candidates() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		cands = append(cands, cand)
 	}
 	fmt.Printf("Explored %d buildable combinations (Fig. 15b space).\n\n", len(cands))
 
 	fmt.Println("Top 5 by safe velocity:")
-	for i, c := range dse.Rank(cands, dse.MaxVelocity) {
-		if i == 5 {
-			break
-		}
+	for i, c := range dse.TopK(cands, dse.MaxVelocity, 5) {
 		fmt.Printf("  %d. %-58s %6.2f m/s  %v\n", i+1, c.Name(),
 			c.Analysis.SafeVelocity.MetersPerSecond(), c.Analysis.Bound)
 	}

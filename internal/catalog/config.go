@@ -1,8 +1,6 @@
 package catalog
 
 import (
-	"fmt"
-
 	"repro/internal/core"
 	"repro/internal/units"
 )
@@ -31,49 +29,14 @@ type Selection struct {
 // BuildConfig resolves a selection against the catalog into a core
 // Config ready for analysis. The payload is compute module + heatsink
 // (sized by the catalog's heatsink model) + sensor + extra payload; the
-// compute rate comes from the performance table.
+// compute rate comes from the performance table. It is shorthand for
+// Resolve followed by Resolved.Config.
 func (c *Catalog) BuildConfig(sel Selection) (core.Config, error) {
-	uav, err := c.UAV(sel.UAV)
+	r, err := c.Resolve(sel)
 	if err != nil {
 		return core.Config{}, err
 	}
-	comp, err := c.Compute(sel.Compute)
-	if err != nil {
-		return core.Config{}, err
-	}
-	if _, err := c.Algorithm(sel.Algorithm); err != nil {
-		return core.Config{}, err
-	}
-	sensor := uav.DefaultSensor
-	if sel.Sensor != "" {
-		sensor, err = c.Sensor(sel.Sensor)
-		if err != nil {
-			return core.Config{}, err
-		}
-	}
-	rate := sel.ComputeRateOverride
-	if rate <= 0 {
-		rate, err = c.Perf(sel.Algorithm, sel.Compute)
-		if err != nil {
-			return core.Config{}, err
-		}
-	}
-	name := fmt.Sprintf("%s + %s + %s", sel.UAV, sel.Algorithm, sel.Compute)
-	if sel.TDPOverride > 0 {
-		comp = comp.WithTDP(sel.TDPOverride)
-		name = fmt.Sprintf("%s + %s + %s", sel.UAV, sel.Algorithm, comp.Name)
-	}
-	payload := comp.TotalMass(c.Heatsink) + sensor.Mass + sel.ExtraPayload
-	return core.Config{
-		Name:        name,
-		Frame:       uav.Frame,
-		AccelModel:  uav.Accel,
-		Payload:     payload,
-		SensorRate:  sensor.Rate,
-		SensorRange: sensor.Range,
-		ComputeRate: rate,
-		ControlRate: uav.ControlRate,
-	}, nil
+	return r.Config(), nil
 }
 
 // Analyze is a convenience wrapper: BuildConfig then core.Analyze.

@@ -1,0 +1,91 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Resolved is a Selection with every catalog lookup already performed:
+// the component specs, the performance-table throughput and the
+// compute platform's total payload cost (module + heatsink + support)
+// are materialized once, so a core.Config — or thousands of them — can
+// be assembled without touching the catalog maps again. The exploration
+// engine in internal/dse resolves each axis value once and combines
+// Resolved parts per candidate.
+type Resolved struct {
+	Selection Selection
+	UAV       UAV
+	Compute   Compute
+	Algorithm Algorithm
+	// Sensor is the UAV's default when Selection.Sensor is empty.
+	Sensor Sensor
+	// ComputeRate is the perf-table throughput, or the selection's
+	// override when set.
+	ComputeRate units.Frequency
+	// ComputeMass is Compute.TotalMass under the resolving catalog's
+	// heatsink model (after any TDP override).
+	ComputeMass units.Mass
+}
+
+// Resolve performs every catalog lookup a Selection needs, exactly
+// once. The returned value is self-contained: Config never fails and
+// never consults the catalog.
+func (c *Catalog) Resolve(sel Selection) (Resolved, error) {
+	r := Resolved{Selection: sel}
+	var err error
+	if r.UAV, err = c.UAV(sel.UAV); err != nil {
+		return Resolved{}, err
+	}
+	if r.Compute, err = c.Compute(sel.Compute); err != nil {
+		return Resolved{}, err
+	}
+	if r.Algorithm, err = c.Algorithm(sel.Algorithm); err != nil {
+		return Resolved{}, err
+	}
+	r.Sensor = r.UAV.DefaultSensor
+	if sel.Sensor != "" {
+		if r.Sensor, err = c.Sensor(sel.Sensor); err != nil {
+			return Resolved{}, err
+		}
+	}
+	r.ComputeRate = sel.ComputeRateOverride
+	if r.ComputeRate <= 0 {
+		if r.ComputeRate, err = c.Perf(sel.Algorithm, sel.Compute); err != nil {
+			return Resolved{}, err
+		}
+	}
+	if sel.TDPOverride > 0 {
+		r.Compute = r.Compute.WithTDP(sel.TDPOverride)
+	}
+	r.ComputeMass = r.Compute.TotalMass(c.Heatsink)
+	return r, nil
+}
+
+// Name renders the configuration name ("UAV + algorithm + compute").
+func (r Resolved) Name() string {
+	return fmt.Sprintf("%s + %s + %s", r.Selection.UAV, r.Selection.Algorithm, r.Compute.Name)
+}
+
+// Config assembles the core configuration from the resolved parts. It
+// is pure: no catalog access, no failure modes.
+func (r Resolved) Config() core.Config { return r.ConfigNamed(r.Name()) }
+
+// ConfigNamed is Config with a caller-supplied name, for callers that
+// render the name once and reuse it (the exploration engine names each
+// (UAV, algorithm, compute) cell once, not once per sensor variant).
+// The name must render as Name() does; everything else — the payload
+// formula and the field mapping — lives only here.
+func (r Resolved) ConfigNamed(name string) core.Config {
+	return core.Config{
+		Name:        name,
+		Frame:       r.UAV.Frame,
+		AccelModel:  r.UAV.Accel,
+		Payload:     r.ComputeMass + r.Sensor.Mass + r.Selection.ExtraPayload,
+		SensorRate:  r.Sensor.Rate,
+		SensorRange: r.Sensor.Range,
+		ComputeRate: r.ComputeRate,
+		ControlRate: r.UAV.ControlRate,
+	}
+}

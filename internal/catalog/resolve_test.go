@@ -1,0 +1,130 @@
+package catalog
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// Resolve must agree with BuildConfig for every selection shape the
+// catalog supports — the exploration engine builds configs from
+// Resolved parts and relies on them being interchangeable.
+func TestResolveMatchesBuildConfig(t *testing.T) {
+	c := Default()
+	sels := []Selection{
+		{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet},
+		{UAV: UAVDJISpark, Compute: ComputeNCS, Algorithm: AlgoDroNet, Sensor: SensorRGBD},
+		{UAV: UAVAscTecPelican, Compute: ComputeAGX, Algorithm: AlgoDroNet, TDPOverride: units.Watts(15)},
+		{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet, ExtraPayload: units.Grams(120)},
+		{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoSPA, ComputeRateOverride: units.Hertz(50)},
+	}
+	for _, sel := range sels {
+		want, err := c.BuildConfig(sel)
+		if err != nil {
+			t.Fatalf("%+v: %v", sel, err)
+		}
+		r, err := c.Resolve(sel)
+		if err != nil {
+			t.Fatalf("%+v: %v", sel, err)
+		}
+		if got := r.Config(); !reflect.DeepEqual(want, got) {
+			t.Errorf("Resolve(%+v).Config() diverges:\nwant %+v\ngot  %+v", sel, want, got)
+		}
+		if r.Name() != want.Name {
+			t.Errorf("Resolve name %q, want %q", r.Name(), want.Name)
+		}
+	}
+}
+
+func TestResolvePartsAreSelfContained(t *testing.T) {
+	c := Default()
+	r, err := c.Resolve(Selection{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Compute.Name != ComputeTX2 || r.Algorithm.Name != AlgoDroNet {
+		t.Fatal("components not resolved")
+	}
+	if r.Sensor.Name != r.UAV.DefaultSensor.Name {
+		t.Errorf("default sensor not applied: %q", r.Sensor.Name)
+	}
+	if r.ComputeRate != units.Hertz(178) {
+		t.Errorf("perf rate %v, want 178 Hz", r.ComputeRate)
+	}
+	// Total mass includes the TDP-sized heatsink for a 15 W platform.
+	if r.ComputeMass <= r.Compute.Mass {
+		t.Errorf("compute mass %v not above module mass %v", r.ComputeMass, r.Compute.Mass)
+	}
+}
+
+func TestResolveTDPOverrideShrinksMassAndRenames(t *testing.T) {
+	c := Default()
+	full, err := c.Resolve(Selection{UAV: UAVDJISpark, Compute: ComputeAGX, Algorithm: AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := c.Resolve(Selection{UAV: UAVDJISpark, Compute: ComputeAGX, Algorithm: AlgoDroNet,
+		TDPOverride: units.Watts(15)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.ComputeMass >= full.ComputeMass {
+		t.Errorf("capped TDP mass %v not below full %v", capped.ComputeMass, full.ComputeMass)
+	}
+	if capped.Compute.Name == full.Compute.Name {
+		t.Error("TDP override did not rename the platform")
+	}
+	if capped.ComputeRate != full.ComputeRate {
+		t.Error("TDP override changed the measured throughput")
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	c := Default()
+	base := Selection{UAV: UAVAscTecPelican, Compute: ComputeTX2, Algorithm: AlgoDroNet}
+	for name, mutate := range map[string]func(*Selection){
+		"uav":       func(s *Selection) { s.UAV = "bogus" },
+		"compute":   func(s *Selection) { s.Compute = "bogus" },
+		"algorithm": func(s *Selection) { s.Algorithm = "bogus" },
+		"sensor":    func(s *Selection) { s.Sensor = "bogus" },
+		"perf":      func(s *Selection) { s.Algorithm = AlgoValidation }, // never measured on TX2
+	} {
+		sel := base
+		mutate(&sel)
+		if _, err := c.Resolve(sel); err == nil {
+			t.Errorf("unknown %s accepted", name)
+		}
+	}
+}
+
+func TestSyntheticCatalogShape(t *testing.T) {
+	c := Synthetic(3, 4, 5)
+	if got := len(c.UAVNames()); got != 3 {
+		t.Errorf("%d UAVs, want 3", got)
+	}
+	if got := len(c.ComputeNames()); got != 4 {
+		t.Errorf("%d computes, want 4", got)
+	}
+	if got := len(c.AlgorithmNames()); got != 5 {
+		t.Errorf("%d algorithms, want 5", got)
+	}
+	// Every pair measured, every selection analyzable.
+	for _, algo := range c.AlgorithmNames() {
+		for _, comp := range c.ComputeNames() {
+			if _, err := c.Perf(algo, comp); err != nil {
+				t.Fatalf("unmeasured pair %s/%s: %v", algo, comp, err)
+			}
+		}
+	}
+	for _, u := range c.UAVNames() {
+		if _, err := c.Analyze(Selection{UAV: u, Compute: c.ComputeNames()[0], Algorithm: c.AlgorithmNames()[0]}); err != nil {
+			t.Fatalf("synthetic selection not analyzable: %v", err)
+		}
+	}
+	// Determinism: two builds agree.
+	again := Synthetic(3, 4, 5)
+	if !reflect.DeepEqual(c.UAVNames(), again.UAVNames()) {
+		t.Error("synthetic catalogs diverge")
+	}
+}

@@ -1,0 +1,69 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// Synthetic builds a catalog scaled far beyond the paper's presets, for
+// stress tests and benchmarks of the exploration engine: nUAVs airframe
+// variants, nComputes platforms and nAlgos algorithms, with every
+// (algorithm × platform) pair measured so the cross product yields
+// nUAVs·nComputes·nAlgos buildable candidates. All quantities are
+// deterministic functions of the index — two calls produce identical
+// catalogs.
+func Synthetic(nUAVs, nComputes, nAlgos int) *Catalog {
+	c := New()
+	for i := 0; i < nUAVs; i++ {
+		name := fmt.Sprintf("synth-uav-%03d", i)
+		sensor := Sensor{
+			Name:  fmt.Sprintf("synth-cam-%03d", i),
+			Rate:  units.Hertz(30 + float64(i%4)*15),
+			Range: units.Meters(2 + float64(i%5)),
+			Mass:  units.Grams(10 + float64(i%3)*10),
+		}
+		c.AddSensor(sensor)
+		c.AddUAV(UAV{
+			Name: name,
+			Frame: physics.Airframe{
+				Name:        name,
+				BaseMass:    units.Grams(800 + float64(i%7)*100),
+				MotorCount:  4,
+				MotorThrust: units.GramsForce(500 + float64(i%9)*50),
+				FrameSize:   units.Millimeters(300 + float64(i%6)*50),
+			},
+			Accel:          physics.PitchLimited{UsableThrustFraction: 0.95},
+			DefaultSensor:  sensor,
+			Class:          MiniUAV,
+			Battery:        units.MilliampHours(3000),
+			BatteryVoltage: 11.1,
+			Endurance:      units.Seconds(25 * 60),
+			ControlRate:    units.Hertz(1000),
+		})
+	}
+	for i := 0; i < nComputes; i++ {
+		c.AddCompute(Compute{
+			Name:          fmt.Sprintf("synth-soc-%03d", i),
+			Mass:          units.Grams(20 + float64(i%12)*25),
+			TDP:           units.Watts(1 + float64(i%10)*3),
+			NeedsHeatsink: i%3 != 0,
+		})
+	}
+	for i := 0; i < nAlgos; i++ {
+		c.AddAlgorithm(Algorithm{
+			Name:     fmt.Sprintf("synth-net-%03d", i),
+			Paradigm: EndToEnd,
+		})
+	}
+	for a := 0; a < nAlgos; a++ {
+		for p := 0; p < nComputes; p++ {
+			// Spread throughputs across under-, optimally and
+			// over-provisioned territory.
+			rate := units.Hertz(0.5 + float64((a*nComputes+p)%200))
+			c.SetPerf(fmt.Sprintf("synth-net-%03d", a), fmt.Sprintf("synth-soc-%03d", p), rate)
+		}
+	}
+	return c
+}

@@ -182,6 +182,12 @@ type Analysis struct {
 }
 
 // Analyze runs the F-1 model over a configuration.
+//
+// It is the exploration engine's hot path, so it avoids materializing
+// the pipeline.Pipeline value: the canonical three-stage
+// sensor→compute→control chain is evaluated inline (with semantics
+// identical to Config.Pipeline()), and the Ceilings slice is allocated
+// once at its exact final size.
 func Analyze(cfg Config) (Analysis, error) {
 	if err := cfg.Validate(); err != nil {
 		return Analysis{}, err
@@ -190,16 +196,31 @@ func Analyze(cfg Config) (Analysis, error) {
 	if err := model.Validate(); err != nil {
 		return Analysis{}, fmt.Errorf("f1: config %q: %w", cfg.Name, err)
 	}
-	pipe := cfg.Pipeline()
-	action := pipe.ActionThroughput()
-	bn, _ := pipe.Bottleneck()
+
+	// The three stages exactly as pipeline.SensorComputeControl builds
+	// them: latency = rate.Period(), throughput = latency.Frequency()
+	// (the round trip matters for bit-identical results on infinities).
+	stageNames := [3]string{"sensor", "compute", "control"}
+	lats := [3]units.Latency{cfg.SensorRate.Period(), cfg.ComputeRate.Period(), cfg.ControlRate.Period()}
+	var thr [3]units.Frequency
+	action := units.Frequency(math.Inf(1))
+	bottleneck := 0
+	for i := range lats {
+		thr[i] = lats[i].Frequency()
+		if thr[i] < action {
+			action = thr[i]
+		}
+		if lats[i] > lats[bottleneck] {
+			bottleneck = i
+		}
+	}
 	knee := model.Knee()
 
 	an := Analysis{
 		Config:          cfg,
 		AMax:            model.Accel,
 		Action:          action,
-		BottleneckStage: bn.Name,
+		BottleneckStage: stageNames[bottleneck],
 		Knee:            knee,
 		Roof:            model.Roof(),
 		SafeVelocity:    model.SafeVelocityAt(action),
@@ -210,15 +231,13 @@ func Analyze(cfg Config) (Analysis, error) {
 	if action.Hertz() >= knee.Throughput.Hertz() {
 		an.Bound = PhysicsBound
 	} else {
-		switch bn.Name {
-		case "sensor":
+		switch bottleneck {
+		case 0:
 			an.Bound = SensorBound
-		case "compute":
+		case 1:
 			an.Bound = ComputeBound
-		case "control":
-			an.Bound = ControlBound
 		default:
-			an.Bound = ComputeBound
+			an.Bound = ControlBound
 		}
 	}
 
@@ -242,14 +261,24 @@ func Analyze(cfg Config) (Analysis, error) {
 	}
 
 	// Ceilings (Fig. 4a): any stage slower than the knee caps velocity.
-	for _, st := range pipe.Stages {
-		f := st.Throughput()
-		if f.Hertz() < knee.Throughput.Hertz() {
-			an.Ceilings = append(an.Ceilings, Ceiling{
-				Source:     st.Name,
-				Throughput: f,
-				Velocity:   model.SafeVelocityAt(f),
-			})
+	// Count first so the slice is allocated exactly once, and only when
+	// a ceiling exists at all.
+	nCeil := 0
+	for i := range thr {
+		if thr[i].Hertz() < knee.Throughput.Hertz() {
+			nCeil++
+		}
+	}
+	if nCeil > 0 {
+		an.Ceilings = make([]Ceiling, 0, nCeil)
+		for i := range thr {
+			if thr[i].Hertz() < knee.Throughput.Hertz() {
+				an.Ceilings = append(an.Ceilings, Ceiling{
+					Source:     stageNames[i],
+					Throughput: thr[i],
+					Velocity:   model.SafeVelocityAt(thr[i]),
+				})
+			}
 		}
 	}
 	return an, nil

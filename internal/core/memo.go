@@ -1,0 +1,100 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+)
+
+// Cache memoizes Analyze results keyed on the full Config value, so
+// repeated analyses of the same resolved configuration — a Skyline
+// server replaying popular requests, or an Explorer re-running a design
+// space after a constraint tweak — pay the model cost once.
+//
+// Cached Analysis values are shared between callers: treat them as
+// read-only (in particular, do not mutate the Ceilings slice of a
+// cached result).
+//
+// A Config is memoizable when its AccelModel's dynamic type is
+// comparable (all models in internal/physics are — structs of scalars
+// or pointers). Configs carrying a non-comparable model fall through to
+// a direct Analyze call rather than panicking on the map insert.
+//
+// The zero Cache is not usable; construct with NewCache. A nil *Cache
+// is legal and simply disables memoization, so callers can thread an
+// optional cache without branching.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[Config]Analysis
+	// limit bounds the entry count; when an insert would exceed it the
+	// cache resets wholesale (generation clearing — cheap, and the hot
+	// working set repopulates immediately).
+	limit int
+}
+
+// DefaultCacheLimit bounds a NewCache-constructed cache's entry count.
+const DefaultCacheLimit = 1 << 16
+
+// NewCache returns an empty cache bounded to DefaultCacheLimit entries.
+func NewCache() *Cache { return NewCacheLimit(DefaultCacheLimit) }
+
+// NewCacheLimit returns an empty cache bounded to limit entries
+// (limit <= 0 selects DefaultCacheLimit).
+func NewCacheLimit(limit int) *Cache {
+	if limit <= 0 {
+		limit = DefaultCacheLimit
+	}
+	return &Cache{m: make(map[Config]Analysis), limit: limit}
+}
+
+// Analyze returns the memoized analysis for cfg, computing and caching
+// it on a miss. Errors are never cached (they are cheap to recompute
+// and usually indicate a caller bug). Safe for concurrent use.
+func (c *Cache) Analyze(cfg Config) (Analysis, error) {
+	if c == nil || !memoizable(cfg) {
+		return Analyze(cfg)
+	}
+	c.mu.RLock()
+	an, ok := c.m[cfg]
+	c.mu.RUnlock()
+	if ok {
+		return an, nil
+	}
+	an, err := Analyze(cfg)
+	if err != nil {
+		return an, err
+	}
+	c.mu.Lock()
+	if len(c.m) >= c.limit {
+		clear(c.m)
+	}
+	c.m[cfg] = an
+	c.mu.Unlock()
+	return an, nil
+}
+
+// Len reports the number of memoized configurations.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// comparableTypes memoizes the per-dynamic-type comparability check so
+// the reflect call happens once per AccelModel implementation.
+var comparableTypes sync.Map // reflect.Type → bool
+
+func memoizable(cfg Config) bool {
+	if cfg.AccelModel == nil {
+		return true // Analyze will reject it; nothing reaches the map
+	}
+	t := reflect.TypeOf(cfg.AccelModel)
+	if v, ok := comparableTypes.Load(t); ok {
+		return v.(bool)
+	}
+	ok := t.Comparable()
+	comparableTypes.Store(t, ok)
+	return ok
+}

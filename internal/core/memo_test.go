@@ -1,0 +1,154 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+func memoTestConfig(name string, payload float64) Config {
+	return Config{
+		Name: name,
+		Frame: physics.Airframe{
+			Name: "memo-frame", BaseMass: units.Grams(1000),
+			MotorCount: 4, MotorThrust: units.GramsForce(650),
+		},
+		AccelModel:  physics.PitchLimited{UsableThrustFraction: 0.95},
+		Payload:     units.Grams(payload),
+		SensorRate:  units.Hertz(60),
+		SensorRange: units.Meters(4.5),
+		ComputeRate: units.Hertz(178),
+		ControlRate: units.Hertz(1000),
+	}
+}
+
+func TestCacheHitReturnsIdenticalAnalysis(t *testing.T) {
+	c := NewCache()
+	cfg := memoTestConfig("memo", 300)
+	want, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := c.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", c.Len())
+	}
+	second, err := c.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, first) || !reflect.DeepEqual(first, second) {
+		t.Fatal("cached analysis diverges from direct Analyze")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("hit grew the cache to %d", c.Len())
+	}
+}
+
+func TestCacheDistinctConfigs(t *testing.T) {
+	c := NewCache()
+	for i := 0; i < 10; i++ {
+		if _, err := c.Analyze(memoTestConfig("memo", float64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 10 {
+		t.Fatalf("cache has %d entries, want 10", c.Len())
+	}
+}
+
+func TestNilCacheFallsThrough(t *testing.T) {
+	var c *Cache
+	an, err := c.Analyze(memoTestConfig("nil-cache", 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.SafeVelocity <= 0 {
+		t.Fatal("nil cache produced empty analysis")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := NewCache()
+	bad := memoTestConfig("bad", 300)
+	bad.SensorRange = 0
+	if _, err := c.Analyze(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("error was cached")
+	}
+}
+
+// sliceAccel is deliberately non-comparable (slice field): the cache
+// must fall through to a direct Analyze instead of panicking on the
+// map insert.
+type sliceAccel struct{ pad []float64 }
+
+func (sliceAccel) MaxAccel(physics.Airframe, units.Mass) units.Acceleration {
+	return units.MetersPerSecond2(10)
+}
+
+func TestCacheNonComparableModelFallsThrough(t *testing.T) {
+	c := NewCache()
+	cfg := memoTestConfig("non-comparable", 300)
+	cfg.AccelModel = sliceAccel{pad: []float64{1}}
+	an, err := c.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.SafeVelocity <= 0 {
+		t.Fatal("fallback analysis empty")
+	}
+	if c.Len() != 0 {
+		t.Fatal("non-comparable config was cached")
+	}
+}
+
+func TestCacheLimitResets(t *testing.T) {
+	c := NewCacheLimit(4)
+	for i := 0; i < 10; i++ {
+		if _, err := c.Analyze(memoTestConfig("memo", float64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() > 4 {
+			t.Fatalf("cache exceeded its limit: %d", c.Len())
+		}
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cfg := memoTestConfig("memo", float64(100+i%20))
+				an, err := c.Analyze(cfg)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if an.Config.Payload != cfg.Payload {
+					t.Error("wrong cached entry returned")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 20 {
+		t.Fatalf("cache has %d entries, want 20", c.Len())
+	}
+}

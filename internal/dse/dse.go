@@ -1,11 +1,39 @@
 // Package dse automates the paper's §VI-D full-system characterization
 // and the conclusion's "automated design space exploration": enumerate
-// every (UAV × compute × algorithm) combination in a catalog, analyze
-// each with the F-1 model, filter by constraints, rank by objectives and
-// extract the Pareto frontier.
+// every (UAV × compute × algorithm × sensor) combination in a catalog,
+// analyze each with the F-1 model, filter by constraints, rank by
+// objectives and extract the Pareto frontier.
+//
+// # Architecture
+//
+// The engine is built for catalogs far beyond the paper's handful of
+// presets:
+//
+//   - Explorer (explore.go) pre-resolves every axis value against the
+//     catalog once, then fans the cross product out across a bounded
+//     worker pool in fixed-size chunks (pool.go). Chunk results are
+//     merged in index order, so the output is deterministic and
+//     element-for-element identical to a serial scan for every worker
+//     count. Explorer.Candidates streams the space as an iter.Seq2, so
+//     callers can filter or stop early without materializing it;
+//     Explorer.Enumerate collects it.
+//   - Analysis hot paths are allocation-lean: catalog lookups happen
+//     once per axis value (not once per candidate), configuration names
+//     are rendered once per (UAV, compute, algorithm) cell, and an
+//     optional core.Cache memoizes repeated analyses.
+//   - Rank and TopK (this file) score every candidate exactly once;
+//     TopK keeps a bounded heap instead of sorting the full slate.
+//   - ParetoFront (pareto.go) runs the argmax set for one objective, a
+//     sort-based O(n log n) skyline for two, and a sort-filter
+//     block-nested-loop scan with early termination for three or more.
+//   - Sweep and GridSweep (sweep.go) evaluate knob sweeps in parallel
+//     chunks with the same deterministic-merge discipline; they are the
+//     engine behind the Skyline server's /sweep.svg and the experiment
+//     reproductions.
 package dse
 
 import (
+	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -64,46 +92,6 @@ func (c Constraints) Allows(cand Candidate) bool {
 	return true
 }
 
-// Enumerate analyzes every combination in the space. Combinations with
-// no performance-table entry (an algorithm never measured on a platform)
-// are skipped silently — they are not buildable systems. Other analysis
-// errors abort the exploration.
-func Enumerate(cat *catalog.Catalog, space Space, cons Constraints) ([]Candidate, error) {
-	if len(space.UAVs) == 0 || len(space.Computes) == 0 || len(space.Algorithms) == 0 {
-		return nil, fmt.Errorf("dse: space must name at least one UAV, compute and algorithm")
-	}
-	sensors := space.Sensors
-	if len(sensors) == 0 {
-		sensors = []string{""}
-	}
-	var out []Candidate
-	for _, u := range space.UAVs {
-		for _, comp := range space.Computes {
-			for _, algo := range space.Algorithms {
-				if _, err := cat.Perf(algo, comp); err != nil {
-					continue // not a buildable combination
-				}
-				for _, sensor := range sensors {
-					sel := catalog.Selection{UAV: u, Compute: comp, Algorithm: algo, Sensor: sensor}
-					an, err := cat.Analyze(sel)
-					if err != nil {
-						return nil, fmt.Errorf("dse: analyzing %s/%s/%s: %w", u, comp, algo, err)
-					}
-					compSpec, err := cat.Compute(comp)
-					if err != nil {
-						return nil, err
-					}
-					cand := Candidate{Selection: sel, Analysis: an, Power: compSpec.TDP}
-					if cons.Allows(cand) {
-						out = append(out, cand)
-					}
-				}
-			}
-		}
-	}
-	return out, nil
-}
-
 // Objective scores a candidate; higher is better.
 type Objective func(Candidate) float64
 
@@ -127,76 +115,109 @@ func Balance(c Candidate) float64 {
 }
 
 // Best returns the highest-scoring candidate under the objective, with
-// deterministic name-ordered tie breaking. It errors on an empty slate.
+// deterministic name-ordered tie breaking. It is a single pass that
+// invokes the objective exactly once per candidate, and errors on an
+// empty slate.
 func Best(cands []Candidate, obj Objective) (Candidate, error) {
 	if len(cands) == 0 {
 		return Candidate{}, fmt.Errorf("dse: no candidates")
 	}
-	best := cands[0]
-	bestScore := obj(best)
-	for _, c := range cands[1:] {
-		s := obj(c)
-		if s > bestScore || (s == bestScore && c.Name() < best.Name()) {
-			best, bestScore = c, s
+	best := 0
+	bestScore := obj(cands[0])
+	for i := 1; i < len(cands); i++ {
+		s := obj(cands[i])
+		if s > bestScore || (s == bestScore && cands[i].Name() < cands[best].Name()) {
+			best, bestScore = i, s
 		}
 	}
-	return best, nil
+	return cands[best], nil
 }
 
 // Rank sorts candidates by descending objective score (stable,
-// name-tie-broken) and returns a new slice.
+// name-tie-broken) and returns a new slice. Scores are precomputed
+// once — the objective runs n times, not O(n log n) times in the
+// comparator.
 func Rank(cands []Candidate, obj Objective) []Candidate {
-	out := make([]Candidate, len(cands))
-	copy(out, cands)
-	sort.SliceStable(out, func(i, j int) bool {
-		si, sj := obj(out[i]), obj(out[j])
-		if si != sj {
-			return si > sj
+	scores := make([]float64, len(cands))
+	order := make([]int, len(cands))
+	for i, c := range cands {
+		scores[i] = obj(c)
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
 		}
-		return out[i].Name() < out[j].Name()
+		return cands[ia].Name() < cands[ib].Name()
 	})
+	out := make([]Candidate, len(cands))
+	for i, idx := range order {
+		out[i] = cands[idx]
+	}
 	return out
 }
 
-// ParetoFront returns the candidates not dominated under the given
-// objectives (all maximized). A candidate dominates another when it is
-// at least as good on every objective and strictly better on one.
-// Result order follows the input.
-func ParetoFront(cands []Candidate, objs ...Objective) ([]Candidate, error) {
-	if len(objs) == 0 {
-		return nil, fmt.Errorf("dse: Pareto front needs at least one objective")
+// TopK returns the k highest-scoring candidates in rank order (score
+// descending, name-ascending on ties) without sorting the full slate:
+// a bounded min-heap keeps the cost at O(n log k). k >= len(cands)
+// degenerates to Rank.
+func TopK(cands []Candidate, obj Objective, k int) []Candidate {
+	if k <= 0 || len(cands) == 0 {
+		return nil
 	}
-	scores := make([][]float64, len(cands))
+	if k >= len(cands) {
+		return Rank(cands, obj)
+	}
+	h := topKHeap{cands: cands, scores: make([]float64, len(cands))}
 	for i, c := range cands {
-		scores[i] = make([]float64, len(objs))
-		for j, o := range objs {
-			scores[i][j] = o(c)
-		}
+		h.scores[i] = obj(c)
 	}
-	dominates := func(a, b []float64) bool {
-		strict := false
-		for k := range a {
-			if a[k] < b[k] {
-				return false
-			}
-			if a[k] > b[k] {
-				strict = true
-			}
-		}
-		return strict
-	}
-	var out []Candidate
 	for i := range cands {
-		dominated := false
-		for j := range cands {
-			if i != j && dominates(scores[j], scores[i]) {
-				dominated = true
-				break
+		if len(h.idx) < k {
+			h.idx = append(h.idx, i)
+			if len(h.idx) == k {
+				heap.Init(&h)
 			}
+			continue
 		}
-		if !dominated {
-			out = append(out, cands[i])
+		// Replace the heap minimum when candidate i ranks above it.
+		if h.ranksAbove(i, h.idx[0]) {
+			h.idx[0] = i
+			heap.Fix(&h, 0)
 		}
 	}
-	return out, nil
+	out := make([]Candidate, len(h.idx))
+	for i := len(h.idx) - 1; i >= 0; i-- {
+		out[i] = cands[heap.Pop(&h).(int)]
+	}
+	return out
 }
+
+// topKHeap is a min-heap of candidate indices under (score, name,
+// input index) rank order, so the root is the weakest of the current
+// top k. The index tie-break makes the order total — names alone are
+// not unique (sensor variants of one cell share a name) — and matches
+// the input-order stability of Rank.
+type topKHeap struct {
+	cands  []Candidate
+	scores []float64
+	idx    []int
+}
+
+// ranksAbove reports whether candidate a outranks candidate b.
+func (h *topKHeap) ranksAbove(a, b int) bool {
+	if h.scores[a] != h.scores[b] {
+		return h.scores[a] > h.scores[b]
+	}
+	if na, nb := h.cands[a].Name(), h.cands[b].Name(); na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func (h *topKHeap) Len() int           { return len(h.idx) }
+func (h *topKHeap) Less(i, j int) bool { return h.ranksAbove(h.idx[j], h.idx[i]) }
+func (h *topKHeap) Swap(i, j int)      { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *topKHeap) Push(x any)         { h.idx = append(h.idx, x.(int)) }
+func (h *topKHeap) Pop() (x any)       { x, h.idx = h.idx[len(h.idx)-1], h.idx[:len(h.idx)-1]; return }

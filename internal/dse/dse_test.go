@@ -2,6 +2,7 @@ package dse
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -211,6 +212,76 @@ func TestSingleObjectiveParetoIsArgmaxSet(t *testing.T) {
 		if math.Abs(MaxVelocity(c)-MaxVelocity(best)) > 1e-12 {
 			t.Errorf("single-objective front member %s is not an argmax", c.Name())
 		}
+	}
+}
+
+func TestTopKMatchesRankPrefix(t *testing.T) {
+	cat := catalog.Synthetic(3, 8, 8)
+	cands, err := Enumerate(cat, synthSpace(cat), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, obj := range []Objective{MaxVelocity, MinPower, Balance} {
+		ranked := Rank(cands, obj)
+		for _, k := range []int{1, 2, 5, 17, len(cands) - 1, len(cands), len(cands) + 10} {
+			top := TopK(cands, obj, k)
+			want := ranked
+			if k < len(ranked) {
+				want = ranked[:k]
+			}
+			if len(top) != len(want) {
+				t.Fatalf("k=%d: got %d, want %d", k, len(top), len(want))
+			}
+			for i := range want {
+				if top[i].Name() != want[i].Name() {
+					t.Fatalf("k=%d rank %d: got %s, want %s", k, i, top[i].Name(), want[i].Name())
+				}
+			}
+		}
+	}
+}
+
+func TestTopKStableAcrossFullTies(t *testing.T) {
+	// Sensor variants of one (UAV, algorithm, compute) cell share a
+	// Name, and MinPower ties across every variant of a compute — so
+	// (score, name) alone is not a total order. TopK must still return
+	// exactly Rank's prefix, selections included.
+	cat := catalog.Default()
+	space := fig15Space()
+	space.Sensors = []string{"", catalog.SensorRGBD, catalog.SensorNanoCam}
+	cands, err := Enumerate(cat, space, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := Rank(cands, MinPower)
+	for _, k := range []int{1, 3, 7, len(cands) - 1} {
+		top := TopK(cands, MinPower, k)
+		for i := range top {
+			if !reflect.DeepEqual(top[i], ranked[i]) {
+				t.Fatalf("k=%d rank %d: TopK returned %s (sensor %q), Rank has %s (sensor %q)",
+					k, i, top[i].Name(), top[i].Selection.Sensor,
+					ranked[i].Name(), ranked[i].Selection.Sensor)
+			}
+		}
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	if got := TopK(nil, MaxVelocity, 3); got != nil {
+		t.Errorf("TopK(nil) = %v", got)
+	}
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TopK(cands, MaxVelocity, 0); got != nil {
+		t.Errorf("k=0 returned %d candidates", len(got))
+	}
+	top1 := TopK(cands, MaxVelocity, 1)
+	best, _ := Best(cands, MaxVelocity)
+	if len(top1) != 1 || top1[0].Name() != best.Name() {
+		t.Errorf("TopK(1) = %v, want [%s]", names(top1), best.Name())
 	}
 }
 

@@ -1,0 +1,312 @@
+package dse
+
+import (
+	"fmt"
+	"iter"
+	"runtime"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// Explorer is the design-space exploration engine: it fans the
+// (UAV × compute × algorithm × sensor) cross product out across a
+// bounded worker pool and streams the surviving candidates in the
+// canonical serial order, so parallel output is element-for-element
+// identical to Workers=1 output.
+type Explorer struct {
+	Catalog     *catalog.Catalog
+	Space       Space
+	Constraints Constraints
+	// Workers bounds the pool: 0 picks GOMAXPROCS, 1 runs serially
+	// inline (no goroutines).
+	Workers int
+	// ChunkSize is the number of candidates per work unit; 0 picks a
+	// size that keeps every worker busy without unbounded buffering.
+	ChunkSize int
+	// Cache optionally memoizes analyses across explorations (e.g. a
+	// server re-exploring after a constraint tweak). Nil disables.
+	Cache *core.Cache
+}
+
+// workers resolves the effective pool size.
+func (e Explorer) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// chunkSize resolves the work-unit size for n candidates.
+func (e Explorer) chunkSize(n, workers int) int {
+	if e.ChunkSize > 0 {
+		return e.ChunkSize
+	}
+	// Aim for ~8 chunks per worker so a slow chunk cannot stall the
+	// pool, while keeping per-chunk overhead negligible.
+	c := n / (workers * 8)
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// plan is the pre-resolved exploration: every catalog lookup is done
+// once per axis value here, so building candidate i is pure arithmetic
+// plus one core.Analyze call.
+type plan struct {
+	cons  Constraints
+	cache *core.Cache
+	uavs  []catalog.UAV
+	// computes and computeMass are parallel: computeMass[i] is
+	// computes[i].TotalMass under the catalog's heatsink model.
+	computes    []catalog.Compute
+	computeMass []units.Mass
+	sensors     []sensorChoice
+	// cells enumerates the buildable (UAV, compute, algorithm) triples
+	// in canonical order; each crosses with every sensor choice.
+	cells []cell
+}
+
+// sensorChoice is one value of the sensor axis: a named catalog sensor,
+// or the UAV's default (the empty name).
+type sensorChoice struct {
+	name       string
+	spec       catalog.Sensor
+	useDefault bool
+}
+
+// cell is one buildable (UAV, compute, algorithm) triple with its
+// measured throughput and precomputed configuration name.
+type cell struct {
+	u, c int
+	algo string
+	rate units.Frequency
+	name string
+}
+
+// total is the number of candidates the plan will visit.
+func (p *plan) total() int { return len(p.cells) * len(p.sensors) }
+
+// newPlan resolves the space against the catalog. Unknown UAVs,
+// computes and sensors are errors (as in the serial engine, which hit
+// them on the first analysis); algorithms without a performance-table
+// row are silently skipped — they are not buildable systems.
+func newPlan(cat *catalog.Catalog, space Space, cons Constraints, cache *core.Cache) (*plan, error) {
+	if len(space.UAVs) == 0 || len(space.Computes) == 0 || len(space.Algorithms) == 0 {
+		return nil, fmt.Errorf("dse: space must name at least one UAV, compute and algorithm")
+	}
+	p := &plan{cons: cons, cache: cache}
+	p.uavs = make([]catalog.UAV, len(space.UAVs))
+	for i, name := range space.UAVs {
+		u, err := cat.UAV(name)
+		if err != nil {
+			return nil, fmt.Errorf("dse: resolving UAV %q: %w", name, err)
+		}
+		p.uavs[i] = u
+	}
+	p.computes = make([]catalog.Compute, len(space.Computes))
+	p.computeMass = make([]units.Mass, len(space.Computes))
+	for i, name := range space.Computes {
+		c, err := cat.Compute(name)
+		if err != nil {
+			return nil, fmt.Errorf("dse: resolving compute %q: %w", name, err)
+		}
+		p.computes[i] = c
+		p.computeMass[i] = c.TotalMass(cat.Heatsink)
+	}
+	sensorNames := space.Sensors
+	if len(sensorNames) == 0 {
+		sensorNames = []string{""}
+	}
+	p.sensors = make([]sensorChoice, len(sensorNames))
+	for i, name := range sensorNames {
+		if name == "" {
+			p.sensors[i] = sensorChoice{useDefault: true}
+			continue
+		}
+		s, err := cat.Sensor(name)
+		if err != nil {
+			return nil, fmt.Errorf("dse: resolving sensor %q: %w", name, err)
+		}
+		p.sensors[i] = sensorChoice{name: name, spec: s}
+	}
+	// Rate lookups once per (algorithm × compute) pair — not once per
+	// candidate — and the configuration name once per cell.
+	type algoRates struct {
+		rates []units.Frequency // parallel to p.computes; <0 = unmeasured
+	}
+	perAlgo := make([]algoRates, len(space.Algorithms))
+	for ai, algo := range space.Algorithms {
+		rates := make([]units.Frequency, len(space.Computes))
+		any := false
+		for ci, comp := range space.Computes {
+			r, err := cat.Perf(algo, comp)
+			if err != nil {
+				rates[ci] = -1
+				continue
+			}
+			rates[ci] = r
+			any = true
+		}
+		if any {
+			// The serial engine surfaced an unregistered algorithm (one
+			// with perf rows but no Algorithm entry) through the first
+			// analysis; surface it at plan time instead.
+			if _, err := cat.Algorithm(algo); err != nil {
+				return nil, fmt.Errorf("dse: resolving algorithm %q: %w", algo, err)
+			}
+		}
+		perAlgo[ai] = algoRates{rates: rates}
+	}
+	for ui := range space.UAVs {
+		for ci := range space.Computes {
+			for ai, algo := range space.Algorithms {
+				rate := perAlgo[ai].rates[ci]
+				if rate < 0 {
+					continue // not a buildable combination
+				}
+				p.cells = append(p.cells, cell{
+					u: ui, c: ci, algo: algo, rate: rate,
+					// Concatenation, not Sprintf: one allocation, and
+					// byte-identical to catalog.Resolved.Name.
+					name: space.UAVs[ui] + " + " + algo + " + " + space.Computes[ci],
+				})
+			}
+		}
+	}
+	return p, nil
+}
+
+// candidate builds and analyzes candidate i. ok is false when the
+// constraints reject it.
+func (p *plan) candidate(i int) (cand Candidate, ok bool, err error) {
+	cl := &p.cells[i/len(p.sensors)]
+	sc := &p.sensors[i%len(p.sensors)]
+	uav := &p.uavs[cl.u]
+	comp := &p.computes[cl.c]
+	sensor := sc.spec
+	if sc.useDefault {
+		sensor = uav.DefaultSensor
+	}
+	sel := catalog.Selection{UAV: uav.Name, Compute: comp.Name, Algorithm: cl.algo, Sensor: sc.name}
+	r := catalog.Resolved{
+		Selection:   sel,
+		UAV:         *uav,
+		Compute:     *comp,
+		Sensor:      sensor,
+		ComputeRate: cl.rate,
+		ComputeMass: p.computeMass[cl.c],
+	}
+	an, err := p.cache.Analyze(r.ConfigNamed(cl.name))
+	if err != nil {
+		return Candidate{}, false, fmt.Errorf("dse: analyzing %s/%s/%s: %w", uav.Name, comp.Name, cl.algo, err)
+	}
+	cand = Candidate{Selection: sel, Analysis: an, Power: comp.TDP}
+	return cand, p.cons.Allows(cand), nil
+}
+
+// processChunk analyzes candidates [start,end), returning the survivors
+// in order. On error it returns the survivors found before the failing
+// candidate together with the error.
+func (p *plan) processChunk(start, end int) ([]Candidate, error) {
+	out := make([]Candidate, 0, end-start)
+	for i := start; i < end; i++ {
+		cand, ok, err := p.candidate(i)
+		if err != nil {
+			return out, err
+		}
+		if ok {
+			out = append(out, cand)
+		}
+	}
+	return out, nil
+}
+
+// Candidates streams the exploration as an iterator: candidates arrive
+// in canonical (UAV, compute, algorithm, sensor) order regardless of
+// the worker count, and callers can stop early — remaining work is
+// cancelled, not drained. A non-nil error is the final element.
+func (e Explorer) Candidates() iter.Seq2[Candidate, error] {
+	return func(yield func(Candidate, error) bool) {
+		p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.Cache)
+		if err != nil {
+			yield(Candidate{}, err)
+			return
+		}
+		n := p.total()
+		if n == 0 {
+			return
+		}
+		workers := e.workers()
+		chunk := e.chunkSize(n, workers)
+		if workers == 1 || n <= chunk {
+			for i := 0; i < n; i++ {
+				cand, ok, err := p.candidate(i)
+				if err != nil {
+					yield(Candidate{}, err)
+					return
+				}
+				if ok && !yield(cand, nil) {
+					return
+				}
+			}
+			return
+		}
+		for cands, err := range streamChunks(p, n, chunk, workers) {
+			for _, c := range cands {
+				if !yield(c, nil) {
+					return
+				}
+			}
+			if err != nil {
+				yield(Candidate{}, err)
+				return
+			}
+		}
+	}
+}
+
+// Enumerate collects the full exploration. The result is identical —
+// same candidates, same order — for every worker count.
+func (e Explorer) Enumerate() ([]Candidate, error) {
+	var out []Candidate
+	p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.Cache)
+	if err != nil {
+		return nil, err
+	}
+	n := p.total()
+	workers := e.workers()
+	chunk := e.chunkSize(n, workers)
+	if workers == 1 || n <= chunk {
+		// Serial: one output allocation, no handoff buffers.
+		out = make([]Candidate, 0, n)
+		for i := 0; i < n; i++ {
+			cand, ok, err := p.candidate(i)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out = append(out, cand)
+			}
+		}
+		return out, nil
+	}
+	for cands, err := range streamChunks(p, n, chunk, workers) {
+		out = append(out, cands...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Enumerate analyzes every combination in the space using the parallel
+// engine with default settings. Combinations with no performance-table
+// entry (an algorithm never measured on a platform) are skipped
+// silently — they are not buildable systems. Other analysis errors
+// abort the exploration.
+func Enumerate(cat *catalog.Catalog, space Space, cons Constraints) ([]Candidate, error) {
+	return Explorer{Catalog: cat, Space: space, Constraints: cons}.Enumerate()
+}

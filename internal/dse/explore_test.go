@@ -1,0 +1,323 @@
+package dse
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func synthSpace(cat *catalog.Catalog) Space {
+	return Space{
+		UAVs:       cat.UAVNames(),
+		Computes:   cat.ComputeNames(),
+		Algorithms: cat.AlgorithmNames(),
+	}
+}
+
+// requireEqualCandidates asserts element-for-element equality, with a
+// useful message on the first divergence.
+func requireEqualCandidates(t *testing.T, want, got []Candidate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("candidate count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("candidate %d differs:\nwant %+v\ngot  %+v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	cat := catalog.Synthetic(4, 9, 7)
+	space := synthSpace(cat)
+	serial, err := Explorer{Catalog: cat, Space: space, Workers: 1}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 4*9*7 {
+		t.Fatalf("serial explored %d candidates, want %d", len(serial), 4*9*7)
+	}
+	for _, workers := range []int{2, 3, 8, 32} {
+		for _, chunk := range []int{0, 1, 7, 64, 10000} {
+			par, err := Explorer{Catalog: cat, Space: space, Workers: workers, ChunkSize: chunk}.Enumerate()
+			if err != nil {
+				t.Fatalf("workers=%d chunk=%d: %v", workers, chunk, err)
+			}
+			requireEqualCandidates(t, serial, par)
+		}
+	}
+}
+
+func TestParallelMatchesSerialWithConstraints(t *testing.T) {
+	cat := catalog.Synthetic(3, 8, 8)
+	space := synthSpace(cat)
+	cons := Constraints{MaxPower: units.Watts(20), MinVelocity: units.MetersPerSecond(1)}
+	serial, err := Explorer{Catalog: cat, Space: space, Constraints: cons, Workers: 1}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) == 0 || len(serial) == 3*8*8 {
+		t.Fatalf("constraints should prune some but not all (kept %d)", len(serial))
+	}
+	par, err := Explorer{Catalog: cat, Space: space, Constraints: cons, Workers: 6, ChunkSize: 5}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualCandidates(t, serial, par)
+}
+
+func TestParallelMatchesSerialWithSensorAxis(t *testing.T) {
+	cat := catalog.Default()
+	space := Space{
+		UAVs:       []string{catalog.UAVAscTecPelican, catalog.UAVDJISpark},
+		Computes:   []string{catalog.ComputeNCS, catalog.ComputeTX2, catalog.ComputeRasPi4},
+		Algorithms: []string{catalog.AlgoDroNet, catalog.AlgoTrailNet},
+		Sensors:    []string{"", catalog.SensorRGBD, catalog.SensorNanoCam},
+	}
+	serial, err := Explorer{Catalog: cat, Space: space, Workers: 1}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Explorer{Catalog: cat, Space: space, Workers: 4, ChunkSize: 3}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualCandidates(t, serial, par)
+	// The sensor axis multiplies the space.
+	noSensors := space
+	noSensors.Sensors = nil
+	base, err := Enumerate(cat, noSensors, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 3*len(base) {
+		t.Fatalf("sensor axis: got %d, want %d", len(serial), 3*len(base))
+	}
+}
+
+func TestExplorerMatchesLegacyEnumerate(t *testing.T) {
+	// The package-level Enumerate and the fig15 expectations from the
+	// serial engine still hold (14 buildable pairs, see dse_test.go).
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Explorer{Catalog: cat, Space: fig15Space(), Workers: 1}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualCandidates(t, serial, cands)
+}
+
+func TestCandidatesStreamMatchesEnumerate(t *testing.T) {
+	cat := catalog.Synthetic(3, 7, 5)
+	space := synthSpace(cat)
+	for _, workers := range []int{1, 4} {
+		e := Explorer{Catalog: cat, Space: space, Workers: workers, ChunkSize: 10}
+		want, err := e.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []Candidate
+		for cand, err := range e.Candidates() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, cand)
+		}
+		requireEqualCandidates(t, want, got)
+	}
+}
+
+func TestCandidatesEarlyBreak(t *testing.T) {
+	cat := catalog.Synthetic(3, 7, 5)
+	e := Explorer{Catalog: cat, Space: synthSpace(cat), Workers: 4, ChunkSize: 4}
+	full, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stop := range []int{0, 1, 5, 17, 50} {
+		var got []Candidate
+		for cand, err := range e.Candidates() {
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, cand)
+			if len(got) == stop {
+				break
+			}
+		}
+		if stop > 0 && len(got) != stop {
+			t.Fatalf("early break at %d collected %d", stop, len(got))
+		}
+		requireEqualCandidates(t, full[:len(got)], got)
+	}
+}
+
+func TestExplorerSharedCache(t *testing.T) {
+	cat := catalog.Synthetic(2, 5, 5)
+	cache := core.NewCache()
+	e := Explorer{Catalog: cat, Space: synthSpace(cat), Workers: 4, ChunkSize: 3, Cache: cache}
+	first, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("cache stayed empty")
+	}
+	second, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualCandidates(t, first, second)
+	// And against an uncached run.
+	plain, err := Explorer{Catalog: cat, Space: e.Space, Workers: 1}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualCandidates(t, plain, second)
+}
+
+func TestExplorerUnknownAxisValues(t *testing.T) {
+	cat := catalog.Default()
+	base := fig15Space()
+	for name, mutate := range map[string]func(*Space){
+		"uav":     func(s *Space) { s.UAVs = []string{"bogus"} },
+		"compute": func(s *Space) { s.Computes = []string{"bogus"} },
+		"sensor":  func(s *Space) { s.Sensors = []string{"bogus"} },
+	} {
+		sp := base
+		mutate(&sp)
+		if _, err := Enumerate(cat, sp, Constraints{}); err == nil {
+			t.Errorf("unknown %s accepted", name)
+		}
+		// Streaming surfaces the same error.
+		e := Explorer{Catalog: cat, Space: sp, Workers: 4}
+		var sawErr bool
+		for _, err := range e.Candidates() {
+			if err != nil {
+				sawErr = true
+				break
+			}
+		}
+		if !sawErr {
+			t.Errorf("unknown %s not surfaced by Candidates", name)
+		}
+	}
+}
+
+func TestExplorerUnknownAlgorithmSkippedSilently(t *testing.T) {
+	// An algorithm with no perf-table row — including a wholly unknown
+	// name — is not a buildable system and is skipped, as in the serial
+	// engine.
+	cat := catalog.Default()
+	sp := fig15Space()
+	sp.Algorithms = append(sp.Algorithms, "never-measured")
+	with, err := Enumerate(cat, sp, Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualCandidates(t, without, with)
+}
+
+func TestExplorerUnregisteredAlgorithmWithPerfRowErrors(t *testing.T) {
+	// A perf measurement for an algorithm that was never registered is
+	// a catalog inconsistency the serial engine surfaced on the first
+	// analysis; the plan surfaces it up front.
+	cat := catalog.Default()
+	cat.SetPerf("ghost-net", catalog.ComputeTX2, units.Hertz(100))
+	sp := fig15Space()
+	sp.Algorithms = []string{"ghost-net"}
+	if _, err := Enumerate(cat, sp, Constraints{}); err == nil {
+		t.Fatal("unregistered algorithm with perf row accepted")
+	}
+}
+
+func TestExplorerChunkBoundariesCoverSpace(t *testing.T) {
+	// Chunk sizes that divide the space exactly, leave a remainder of
+	// one, and exceed the space must all visit every candidate once.
+	cat := catalog.Synthetic(2, 5, 5) // 50 candidates
+	space := synthSpace(cat)
+	want, err := Explorer{Catalog: cat, Space: space, Workers: 1}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 50 {
+		t.Fatalf("space size %d, want 50", len(want))
+	}
+	for _, chunk := range []int{1, 2, 5, 7, 25, 49, 50, 51, 1000} {
+		got, err := Explorer{Catalog: cat, Space: space, Workers: 3, ChunkSize: chunk}.Enumerate()
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		requireEqualCandidates(t, want, got)
+	}
+}
+
+func TestExplorerLargeSpaceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large space")
+	}
+	cat := catalog.Synthetic(5, 16, 16) // 1280 candidates
+	space := synthSpace(cat)
+	serial, err := Explorer{Catalog: cat, Space: space, Workers: 1}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != 1280 {
+		t.Fatalf("space size %d, want 1280", len(serial))
+	}
+	par, err := Explorer{Catalog: cat, Space: space, Workers: 8}.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualCandidates(t, serial, par)
+}
+
+func TestExplorerDeterministicAcrossRuns(t *testing.T) {
+	cat := catalog.Synthetic(3, 6, 6)
+	e := Explorer{Catalog: cat, Space: synthSpace(cat), Workers: 5, ChunkSize: 3}
+	first, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 5; run++ {
+		again, err := e.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualCandidates(t, first, again)
+	}
+}
+
+func TestExplorerNamePrecomputation(t *testing.T) {
+	// Candidate names must match what catalog.BuildConfig renders.
+	cat := catalog.Default()
+	cands, err := Enumerate(cat, fig15Space(), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cands {
+		want := fmt.Sprintf("%s + %s + %s", c.Selection.UAV, c.Selection.Algorithm, c.Selection.Compute)
+		if c.Name() != want {
+			t.Fatalf("name %q, want %q", c.Name(), want)
+		}
+		cfg, err := cat.BuildConfig(c.Selection)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cfg, c.Analysis.Config) {
+			t.Fatalf("explorer config diverges from BuildConfig for %s", c.Name())
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ParetoFront returns the candidates not dominated under the given
+// objectives (all maximized). A candidate dominates another when it is
+// at least as good on every objective and strictly better on one.
+// Duplicates — candidates equal on every objective — do not dominate
+// each other, so all of them stay on the front. A candidate with a NaN
+// score is incomparable: it neither dominates nor is dominated, so it
+// always stays on the front. Result order follows the input.
+//
+// The algorithm is chosen by objective count: one objective is the
+// argmax set (O(n)); two objectives use a sort-based skyline sweep
+// (O(n log n)); three or more use a sort-filter block-nested-loop scan
+// whose window holds only mutually non-dominated candidates, with
+// early termination inside each dominance test.
+func ParetoFront(cands []Candidate, objs ...Objective) ([]Candidate, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("dse: Pareto front needs at least one objective")
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	// Score every candidate exactly once: objectives never re-run
+	// during the sort or the dominance tests.
+	scores := make([]float64, len(cands)*len(objs))
+	for i, c := range cands {
+		row := scores[i*len(objs) : (i+1)*len(objs)]
+		for j, o := range objs {
+			row[j] = o(c)
+		}
+	}
+	// NaN-scored candidates are incomparable — always on the front —
+	// and must not enter the sorted scans, whose comparators assume a
+	// total order.
+	keep, comparable := splitNaN(scores, len(objs))
+	switch len(objs) {
+	case 1:
+		keep = append(keep, argmaxSet(scores, comparable)...)
+	case 2:
+		keep = append(keep, skyline2(scores, comparable)...)
+	default:
+		keep = append(keep, skylineBNL(scores, len(objs), comparable)...)
+	}
+	sort.Ints(keep)
+	out := make([]Candidate, len(keep))
+	for i, idx := range keep {
+		out[i] = cands[idx]
+	}
+	return out, nil
+}
+
+// splitNaN partitions the candidate indices: those carrying any NaN
+// score (returned directly — always front members) and the comparable
+// rest (fed to the scans). The common all-finite case allocates
+// nothing for the NaN side.
+func splitNaN(scores []float64, k int) (nan, comparable []int) {
+	n := len(scores) / k
+	comparable = make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		hasNaN := false
+		for _, s := range scores[i*k : (i+1)*k] {
+			if math.IsNaN(s) {
+				hasNaN = true
+				break
+			}
+		}
+		if hasNaN {
+			nan = append(nan, i)
+		} else {
+			comparable = append(comparable, i)
+		}
+	}
+	return nan, comparable
+}
+
+// argmaxSet is the single-objective front: every candidate achieving
+// the maximum score.
+func argmaxSet(scores []float64, idx []int) []int {
+	if len(idx) == 0 {
+		return nil
+	}
+	best := scores[idx[0]]
+	for _, i := range idx[1:] {
+		if scores[i] > best {
+			best = scores[i]
+		}
+	}
+	var keep []int
+	for _, i := range idx {
+		if scores[i] == best {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+// skyline2 is the classic two-objective skyline sweep: sort by the
+// first objective descending (second descending on ties), then a
+// single pass keeps a point iff no already-seen point dominates it.
+// Dominators always precede their victims in this order, so tracking
+// two running maxima suffices: the best second objective among points
+// with a strictly larger first objective, and the head of the current
+// equal-first-objective run.
+func skyline2(scores []float64, idx []int) []int {
+	if len(idx) == 0 {
+		return nil
+	}
+	order := make([]int, len(idx))
+	copy(order, idx)
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		xa, xb := scores[2*ia], scores[2*ib]
+		if xa != xb {
+			return xa > xb
+		}
+		ya, yb := scores[2*ia+1], scores[2*ib+1]
+		if ya != yb {
+			return ya > yb
+		}
+		return ia < ib // stabilize for deterministic output
+	})
+	var keep []int
+	// Best y among points with strictly larger x. A boolean tracks the
+	// unset state: a -Inf sentinel would collide with legitimate -Inf
+	// scores under the >= test and drop undominated points.
+	maxYStrict, haveStrict := 0.0, false
+	runX := scores[2*order[0]]
+	runHeadY := scores[2*order[0]+1]
+	for _, idx := range order {
+		x, y := scores[2*idx], scores[2*idx+1]
+		if x != runX {
+			// Entering a new (smaller) x: everything in the finished
+			// run has strictly larger x than all later points.
+			if !haveStrict || runHeadY > maxYStrict {
+				maxYStrict, haveStrict = runHeadY, true
+			}
+			runX, runHeadY = x, y
+		}
+		// Dominated either by a strictly-larger-x point with y >= ours,
+		// or by an equal-x point with strictly larger y (the run head).
+		if (haveStrict && maxYStrict >= y) || runHeadY > y {
+			continue
+		}
+		keep = append(keep, idx)
+	}
+	return keep
+}
+
+// skylineBNL is the k >= 3 front: candidates are visited in descending
+// score-sum order (when sums are finite, a dominator always has a
+// strictly larger sum, so window members are final), and each candidate
+// is tested against the window of current front members only. The
+// window stays small in practice — it holds mutually non-dominated
+// points — giving near-linear behavior on correlated objectives; the
+// two-way test keeps the scan correct even when infinite scores break
+// the sum ordering.
+func skylineBNL(scores []float64, k int, idx []int) []int {
+	order := make([]int, len(idx))
+	copy(order, idx)
+	sums := make([]float64, len(scores)/k)
+	for _, i := range idx {
+		s := 0.0
+		for _, v := range scores[i*k : (i+1)*k] {
+			s += v
+		}
+		sums[i] = s
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if sums[ia] != sums[ib] {
+			return sums[ia] > sums[ib]
+		}
+		return ia < ib
+	})
+	var window []int
+	for _, idx := range order {
+		row := scores[idx*k : (idx+1)*k]
+		dominated := false
+		for w := 0; w < len(window); w++ {
+			wrow := scores[window[w]*k : window[w]*k+k]
+			if dominates(wrow, row) {
+				dominated = true
+				break
+			}
+			// Only possible when the sum ordering is broken by
+			// infinities, but required for correctness then.
+			if dominates(row, wrow) {
+				window[w] = window[len(window)-1]
+				window = window[:len(window)-1]
+				w--
+			}
+		}
+		if !dominated {
+			window = append(window, idx)
+		}
+	}
+	return window
+}
+
+// dominates reports whether score vector a dominates b: at least as
+// good everywhere, strictly better somewhere. Vectors carrying a NaN
+// are incomparable — never dominating, never dominated. It terminates
+// at the first objective where a falls behind.
+func dominates(a, b []float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] < b[i] || math.IsNaN(a[i]) || math.IsNaN(b[i]) {
+			return false
+		}
+		if a[i] > b[i] {
+			strict = true
+		}
+	}
+	return strict
+}

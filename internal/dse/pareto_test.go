@@ -1,0 +1,278 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// scoredCandidates builds synthetic candidates whose objective values
+// are taken from rows, via objectives that index a side table by name.
+// This isolates the Pareto algorithms from the F-1 model.
+func scoredCandidates(rows [][]float64) ([]Candidate, []Objective) {
+	cands := make([]Candidate, len(rows))
+	table := make(map[string][]float64, len(rows))
+	k := 0
+	for i, row := range rows {
+		name := fmt.Sprintf("cand-%03d", i)
+		cands[i].Analysis.Config.Name = name
+		table[name] = row
+		if len(row) > k {
+			k = len(row)
+		}
+	}
+	objs := make([]Objective, k)
+	for j := range objs {
+		j := j
+		objs[j] = func(c Candidate) float64 { return table[c.Name()][j] }
+	}
+	return cands, objs
+}
+
+// bruteForceFront is the O(n²) reference implementation (the
+// pre-rework algorithm).
+func bruteForceFront(cands []Candidate, objs []Objective) []Candidate {
+	scores := make([][]float64, len(cands))
+	for i, c := range cands {
+		scores[i] = make([]float64, len(objs))
+		for j, o := range objs {
+			scores[i][j] = o(c)
+		}
+	}
+	var out []Candidate
+	for i := range cands {
+		dominated := false
+		for j := range cands {
+			if i != j && dominates(scores[j], scores[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}
+
+func requireSameFront(t *testing.T, want, got []Candidate) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("front size: want %d (%v), got %d (%v)", len(want), names(want), len(got), names(got))
+	}
+	for i := range want {
+		if want[i].Name() != got[i].Name() {
+			t.Fatalf("front[%d]: want %s, got %s", i, want[i].Name(), got[i].Name())
+		}
+	}
+}
+
+func names(cands []Candidate) []string {
+	out := make([]string, len(cands))
+	for i, c := range cands {
+		out[i] = c.Name()
+	}
+	return out
+}
+
+// lcg is a tiny deterministic generator so the randomized comparisons
+// are reproducible.
+type lcg uint64
+
+func (l *lcg) next() float64 {
+	*l = *l*6364136223846793005 + 1442695040888963407
+	return float64((*l)>>11) / float64(1<<53)
+}
+
+func TestParetoEmptyInput(t *testing.T) {
+	front, err := ParetoFront(nil, MaxVelocity, MinPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) != 0 {
+		t.Fatalf("empty input produced %d front members", len(front))
+	}
+}
+
+func TestParetoNoObjectives(t *testing.T) {
+	if _, err := ParetoFront(nil); err == nil {
+		t.Error("no objectives accepted")
+	}
+}
+
+func TestPareto2DMatchesBruteForce(t *testing.T) {
+	rng := lcg(42)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + trial*7
+		rows := make([][]float64, n)
+		for i := range rows {
+			// Quantize so ties and duplicates occur naturally.
+			rows[i] = []float64{math.Floor(rng.next() * 8), math.Floor(rng.next() * 8)}
+		}
+		cands, objs := scoredCandidates(rows)
+		got, err := ParetoFront(cands, objs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameFront(t, bruteForceFront(cands, objs), got)
+	}
+}
+
+func TestPareto3DMatchesBruteForce(t *testing.T) {
+	rng := lcg(7)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + trial*5
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = []float64{
+				math.Floor(rng.next() * 6),
+				math.Floor(rng.next() * 6),
+				math.Floor(rng.next() * 6),
+			}
+		}
+		cands, objs := scoredCandidates(rows)
+		got, err := ParetoFront(cands, objs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameFront(t, bruteForceFront(cands, objs), got)
+	}
+}
+
+func TestParetoDuplicatesAllKept(t *testing.T) {
+	// Candidates equal on every objective do not dominate each other:
+	// the whole duplicate set survives.
+	rows := [][]float64{{5, 5}, {5, 5}, {5, 5}, {3, 3}}
+	cands, objs := scoredCandidates(rows)
+	front, err := ParetoFront(cands, objs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names(front), []string{"cand-000", "cand-001", "cand-002"}) {
+		t.Fatalf("duplicate handling: got %v", names(front))
+	}
+}
+
+func TestParetoTies(t *testing.T) {
+	// Ties on one axis: (5,1) and (5,3) share x; (5,3) dominates (5,1).
+	// (1,5) is incomparable to both.
+	rows := [][]float64{{5, 1}, {5, 3}, {1, 5}}
+	cands, objs := scoredCandidates(rows)
+	front, err := ParetoFront(cands, objs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names(front), []string{"cand-001", "cand-002"}) {
+		t.Fatalf("tie handling: got %v", names(front))
+	}
+}
+
+func TestParetoInputOrderPreserved(t *testing.T) {
+	rows := [][]float64{{1, 9}, {9, 1}, {5, 5}, {0, 0}}
+	cands, objs := scoredCandidates(rows)
+	front, err := ParetoFront(cands, objs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names(front), []string{"cand-000", "cand-001", "cand-002"}) {
+		t.Fatalf("order: got %v", names(front))
+	}
+}
+
+func TestParetoInfiniteScores(t *testing.T) {
+	// Infinities break the sum ordering the k>=3 scan exploits; the
+	// two-way window test must still produce the right front.
+	rows := [][]float64{
+		{math.Inf(1), 0, 0},
+		{math.Inf(1), 1, 0},
+		{0, 0, math.Inf(1)},
+		{0, 0, 1},
+	}
+	cands, objs := scoredCandidates(rows)
+	front, err := ParetoFront(cands, objs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameFront(t, bruteForceFront(cands, objs), front)
+	if !reflect.DeepEqual(names(front), []string{"cand-001", "cand-002"}) {
+		t.Fatalf("infinity handling: got %v", names(front))
+	}
+}
+
+func TestPareto2DNegativeInfinity(t *testing.T) {
+	// A candidate scoring -Inf on the second objective but strictly
+	// best on the first is undominated and must stay on the front (a
+	// -Inf sentinel in the sweep would swallow it).
+	ninf := math.Inf(-1)
+	for _, rows := range [][][]float64{
+		{{9, ninf}, {1, 5}},
+		{{1, 5}, {9, ninf}},
+		{{9, ninf}, {9, ninf}, {1, 5}},
+		{{ninf, ninf}, {1, 5}},
+		{{9, ninf}, {10, 0}, {1, 5}},
+	} {
+		cands, objs := scoredCandidates(rows)
+		got, err := ParetoFront(cands, objs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameFront(t, bruteForceFront(cands, objs), got)
+	}
+}
+
+func TestParetoNaNScoresNeverDominated(t *testing.T) {
+	// NaN compares false both ways, so a NaN-scored candidate is never
+	// dominated: every path must keep it, including the single-objective
+	// argmax set.
+	nan := math.NaN()
+	for _, rows := range [][][]float64{
+		{{3}, {nan}, {7}, {7}},
+		{{nan}, {nan}},
+		{{3, 1}, {nan, 5}, {7, 2}},
+		{{3, 1, 0}, {nan, 5, 1}, {7, 2, 2}},
+	} {
+		cands, objs := scoredCandidates(rows)
+		got, err := ParetoFront(cands, objs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameFront(t, bruteForceFront(cands, objs), got)
+	}
+}
+
+func TestParetoSingleObjectiveArgmaxSet(t *testing.T) {
+	rows := [][]float64{{3}, {7}, {7}, {1}}
+	cands, objs := scoredCandidates(rows)
+	front, err := ParetoFront(cands, objs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names(front), []string{"cand-001", "cand-002"}) {
+		t.Fatalf("argmax set: got %v", names(front))
+	}
+}
+
+func TestParetoRealCandidates2DMatchesBruteForce(t *testing.T) {
+	// End-to-end on the synthetic catalog with the real objectives.
+	cat := catalog.Synthetic(3, 8, 8)
+	cands, err := Enumerate(cat, synthSpace(cat), Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []Objective{MaxVelocity, MinPower}
+	got, err := ParetoFront(cands, objs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameFront(t, bruteForceFront(cands, objs), got)
+
+	objs3 := []Objective{MaxVelocity, MinPower, MinPayload}
+	got3, err := ParetoFront(cands, objs3...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameFront(t, bruteForceFront(cands, objs3), got3)
+}

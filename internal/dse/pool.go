@@ -1,0 +1,69 @@
+package dse
+
+import "iter"
+
+// streamChunks fans the candidate index space [0,n) out across a
+// bounded worker pool and yields each chunk's surviving candidates in
+// ascending chunk order, so the merged stream is deterministic — byte
+// identical to a serial scan — while the workers run out of order.
+//
+// Memory stays bounded: at most `workers` chunks are buffered ahead of
+// the consumer (the dispatcher blocks once the ordered queue is full),
+// and breaking out of the iteration cancels the remaining work.
+//
+// A chunk that fails yields its pre-error survivors along with the
+// error; iteration stops after the first error, which — because chunks
+// are yielded in order — is the same error a serial scan would hit
+// first.
+func streamChunks(p *plan, n, chunk, workers int) iter.Seq2[[]Candidate, error] {
+	return func(yield func([]Candidate, error) bool) {
+		type job struct {
+			start, end int
+			out        chan chunkResult
+		}
+		done := make(chan struct{})
+		defer close(done)
+		jobs := make(chan *job)
+		ordered := make(chan *job, workers)
+
+		// Dispatcher: enqueue chunks in order. Both sends abort when the
+		// consumer is gone.
+		go func() {
+			defer close(jobs)
+			defer close(ordered)
+			for start := 0; start < n; start += chunk {
+				j := &job{start: start, end: min(start+chunk, n), out: make(chan chunkResult, 1)}
+				select {
+				case ordered <- j:
+				case <-done:
+					return
+				}
+				select {
+				case jobs <- j:
+				case <-done:
+					return
+				}
+			}
+		}()
+		for w := 0; w < workers; w++ {
+			go func() {
+				for j := range jobs {
+					cands, err := p.processChunk(j.start, j.end)
+					j.out <- chunkResult{cands: cands, err: err} // cap 1: never blocks
+				}
+			}()
+		}
+		for j := range ordered {
+			res := <-j.out
+			if !yield(res.cands, res.err) || res.err != nil {
+				return
+			}
+		}
+	}
+}
+
+// chunkResult is one completed work unit.
+type chunkResult struct {
+	cands []Candidate
+	err   error
+}

@@ -3,6 +3,9 @@ package dse
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/units"
@@ -11,7 +14,9 @@ import (
 // Sweep varies one knob of a configuration over a range and records how
 // the F-1 outputs respond — the programmatic equivalent of dragging a
 // Skyline slider, and the building block for custom characterization
-// studies.
+// studies. Large sweeps are evaluated in parallel chunks; the points
+// land in a preallocated slice at their own indices, so the result is
+// identical for every worker count.
 
 // Knob identifies a sweepable configuration parameter.
 type Knob int
@@ -43,6 +48,24 @@ func (k Knob) String() string {
 	}
 }
 
+// apply returns cfg with the knob set to v.
+func (k Knob) apply(cfg core.Config, v float64) core.Config {
+	switch k {
+	case KnobPayload:
+		cfg.Payload = units.Grams(v)
+	case KnobSensorRange:
+		cfg.SensorRange = units.Meters(v)
+	case KnobSensorRate:
+		cfg.SensorRate = units.Hertz(v)
+	case KnobComputeRate:
+		cfg.ComputeRate = units.Hertz(v)
+	}
+	return cfg
+}
+
+// valid reports whether the knob is one of the defined constants.
+func (k Knob) valid() bool { return k >= KnobPayload && k <= KnobComputeRate }
+
 // SweepPoint is one sample of a sweep.
 type SweepPoint struct {
 	// Value is the knob setting (in the knob's natural unit).
@@ -57,8 +80,24 @@ type SweepResult struct {
 	Points []SweepPoint
 }
 
+// sweepSerialThreshold is the point count below which goroutine setup
+// costs more than it saves.
+const sweepSerialThreshold = 64
+
+// sampleAt returns the i-th of n samples between lo and hi, linearly or
+// geometrically spaced.
+func sampleAt(lo, hi float64, i, n int, logSpace bool) float64 {
+	t := float64(i) / float64(n-1)
+	if logSpace {
+		return lo * math.Pow(hi/lo, t)
+	}
+	return lo + t*(hi-lo)
+}
+
 // Sweep evaluates the configuration with the knob set to n values
 // spaced linearly (or geometrically when logSpace) between lo and hi.
+// Large sweeps run on all available cores; the output is deterministic
+// regardless.
 func Sweep(cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (SweepResult, error) {
 	if n < 2 {
 		return SweepResult{}, fmt.Errorf("dse: sweep needs ≥2 points, got %d", n)
@@ -69,35 +108,75 @@ func Sweep(cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (Sw
 	if logSpace && lo <= 0 {
 		return SweepResult{}, fmt.Errorf("dse: log sweep needs positive lower bound, got %v", lo)
 	}
-	res := SweepResult{Knob: knob, Points: make([]SweepPoint, 0, n)}
-	for i := 0; i < n; i++ {
-		t := float64(i) / float64(n-1)
-		var v float64
-		if logSpace {
-			v = lo * math.Pow(hi/lo, t)
-		} else {
-			v = lo + t*(hi-lo)
-		}
-		c := cfg
-		switch knob {
-		case KnobPayload:
-			c.Payload = units.Grams(v)
-		case KnobSensorRange:
-			c.SensorRange = units.Meters(v)
-		case KnobSensorRate:
-			c.SensorRate = units.Hertz(v)
-		case KnobComputeRate:
-			c.ComputeRate = units.Hertz(v)
-		default:
-			return SweepResult{}, fmt.Errorf("dse: unknown knob %v", knob)
-		}
-		an, err := core.Analyze(c)
-		if err != nil {
-			return SweepResult{}, fmt.Errorf("dse: sweep %v at %v: %w", knob, v, err)
-		}
-		res.Points = append(res.Points, SweepPoint{Value: v, Analysis: an})
+	if !knob.valid() {
+		return SweepResult{}, fmt.Errorf("dse: unknown knob %v", knob)
 	}
-	return res, nil
+	points := make([]SweepPoint, n)
+	eval := func(i int) error {
+		v := sampleAt(lo, hi, i, n, logSpace)
+		an, err := core.Analyze(knob.apply(cfg, v))
+		if err != nil {
+			return fmt.Errorf("dse: sweep %v at %v: %w", knob, v, err)
+		}
+		points[i] = SweepPoint{Value: v, Analysis: an}
+		return nil
+	}
+	if err := forEachParallel(n, eval); err != nil {
+		return SweepResult{}, err
+	}
+	return SweepResult{Knob: knob, Points: points}, nil
+}
+
+// forEachParallel runs eval(0..n-1), serially for small n and in
+// chunks across GOMAXPROCS workers otherwise. Workers write only their
+// own indices, so results are position-stable; on failure the error of
+// the lowest-indexed failing chunk is returned — the one a serial loop
+// would have hit first.
+func forEachParallel(n int, eval func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if n < sweepSerialThreshold || workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := eval(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < 8 {
+		chunk = 8
+	}
+	nChunks := (n + chunk - 1) / chunk
+	errs := make([]error, nChunks)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(next.Add(1)) - 1
+				if ci >= nChunks {
+					return
+				}
+				start := ci * chunk
+				end := min(start+chunk, n)
+				for i := start; i < end; i++ {
+					if err := eval(i); err != nil {
+						errs[ci] = err
+						break // abandon this chunk, keep the pool going
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Velocities extracts the (knob value, safe velocity) series for
@@ -123,4 +202,60 @@ func (r SweepResult) BoundTransitions() []SweepPoint {
 		}
 	}
 	return out
+}
+
+// GridResult is a completed two-knob sweep: Cells[yi][xi] is the
+// analysis at (Xs[xi], Ys[yi]).
+type GridResult struct {
+	XKnob, YKnob Knob
+	Xs, Ys       []float64
+	Cells        [][]core.Analysis
+}
+
+// GridSweep evaluates the configuration over the (xKnob × yKnob) grid:
+// nx samples of xKnob between xLo and xHi crossed with ny samples of
+// yKnob between yLo and yHi, linearly spaced. The nx·ny analyses run in
+// parallel chunks with deterministic placement — the characterization
+// heatmap behind two-axis design studies.
+func GridSweep(cfg core.Config, xKnob Knob, xLo, xHi float64, nx int, yKnob Knob, yLo, yHi float64, ny int) (GridResult, error) {
+	if nx < 2 || ny < 2 {
+		return GridResult{}, fmt.Errorf("dse: grid sweep needs ≥2 points per axis, got %d×%d", nx, ny)
+	}
+	if xHi <= xLo || yHi <= yLo {
+		return GridResult{}, fmt.Errorf("dse: grid sweep range [%v,%v]×[%v,%v] is empty", xLo, xHi, yLo, yHi)
+	}
+	if !xKnob.valid() || !yKnob.valid() {
+		return GridResult{}, fmt.Errorf("dse: unknown knob in grid sweep (%v, %v)", xKnob, yKnob)
+	}
+	if xKnob == yKnob {
+		return GridResult{}, fmt.Errorf("dse: grid sweep axes must differ, got %v twice", xKnob)
+	}
+	res := GridResult{XKnob: xKnob, YKnob: yKnob}
+	res.Xs = make([]float64, nx)
+	for i := range res.Xs {
+		res.Xs[i] = sampleAt(xLo, xHi, i, nx, false)
+	}
+	res.Ys = make([]float64, ny)
+	for i := range res.Ys {
+		res.Ys[i] = sampleAt(yLo, yHi, i, ny, false)
+	}
+	res.Cells = make([][]core.Analysis, ny)
+	cells := make([]core.Analysis, nx*ny)
+	for yi := range res.Cells {
+		res.Cells[yi] = cells[yi*nx : (yi+1)*nx]
+	}
+	eval := func(i int) error {
+		xi, yi := i%nx, i/nx
+		c := yKnob.apply(xKnob.apply(cfg, res.Xs[xi]), res.Ys[yi])
+		an, err := core.Analyze(c)
+		if err != nil {
+			return fmt.Errorf("dse: grid sweep at (%v=%v, %v=%v): %w", xKnob, res.Xs[xi], yKnob, res.Ys[yi], err)
+		}
+		cells[i] = an
+		return nil
+	}
+	if err := forEachParallel(nx*ny, eval); err != nil {
+		return GridResult{}, err
+	}
+	return res, nil
 }

@@ -108,6 +108,117 @@ func TestSweepErrors(t *testing.T) {
 	}
 }
 
+// serialSweep recomputes a sweep point-by-point with direct Analyze
+// calls — the reference the parallel chunked path must reproduce.
+func serialSweep(t *testing.T, cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) []SweepPoint {
+	t.Helper()
+	pts := make([]SweepPoint, n)
+	for i := 0; i < n; i++ {
+		v := sampleAt(lo, hi, i, n, logSpace)
+		an, err := core.Analyze(knob.apply(cfg, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts[i] = SweepPoint{Value: v, Analysis: an}
+	}
+	return pts
+}
+
+func TestSweepChunkBoundaries(t *testing.T) {
+	// Point counts straddling the serial threshold and the chunk-size
+	// rounding: below the parallel cutoff, exactly at it, one past it,
+	// an exact chunk multiple, and off-by-one around one.
+	cfg := pelicanDroNetConfig(t)
+	for _, n := range []int{2, 63, 64, 65, 127, 128, 129, 200} {
+		res, err := Sweep(cfg, KnobComputeRate, 1, 200, n, true)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want := serialSweep(t, cfg, KnobComputeRate, 1, 200, n, true)
+		if len(res.Points) != n {
+			t.Fatalf("n=%d: got %d points", n, len(res.Points))
+		}
+		for i := range want {
+			if res.Points[i].Value != want[i].Value {
+				t.Fatalf("n=%d point %d: value %v, want %v", n, i, res.Points[i].Value, want[i].Value)
+			}
+			if res.Points[i].Analysis.SafeVelocity != want[i].Analysis.SafeVelocity {
+				t.Fatalf("n=%d point %d: velocity diverges from serial", n, i)
+			}
+		}
+	}
+}
+
+func TestSweepParallelErrorIsFirstSerialError(t *testing.T) {
+	// A payload sweep crossing into negative territory fails validation
+	// partway through; the parallel path must report an error (the
+	// lowest-chunk one) and return no partial result.
+	cfg := pelicanDroNetConfig(t)
+	res, err := Sweep(cfg, KnobPayload, -50, 550, 128, false)
+	if err == nil {
+		t.Fatal("invalid sweep accepted")
+	}
+	if len(res.Points) != 0 {
+		t.Fatalf("failed sweep returned %d points", len(res.Points))
+	}
+}
+
+func TestGridSweep(t *testing.T) {
+	cfg := pelicanDroNetConfig(t)
+	res, err := GridSweep(cfg, KnobComputeRate, 1, 200, 12, KnobPayload, 80, 550, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Xs) != 12 || len(res.Ys) != 11 || len(res.Cells) != 11 {
+		t.Fatalf("grid shape %dx%d (%d rows)", len(res.Xs), len(res.Ys), len(res.Cells))
+	}
+	for yi, row := range res.Cells {
+		if len(row) != 12 {
+			t.Fatalf("row %d has %d cells", yi, len(row))
+		}
+		for xi, an := range row {
+			want, err := core.Analyze(KnobPayload.apply(KnobComputeRate.apply(cfg, res.Xs[xi]), res.Ys[yi]))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if an.SafeVelocity != want.SafeVelocity {
+				t.Fatalf("cell (%d,%d) diverges from direct analysis", xi, yi)
+			}
+		}
+	}
+	// More compute never hurts; more payload never helps.
+	for yi := range res.Cells {
+		for xi := 1; xi < len(res.Xs); xi++ {
+			if res.Cells[yi][xi].SafeVelocity < res.Cells[yi][xi-1].SafeVelocity {
+				t.Fatal("velocity decreased with compute rate")
+			}
+		}
+	}
+	for xi := range res.Xs {
+		for yi := 1; yi < len(res.Ys); yi++ {
+			if res.Cells[yi][xi].SafeVelocity > res.Cells[yi-1][xi].SafeVelocity+1e-9 {
+				t.Fatal("velocity increased with payload")
+			}
+		}
+	}
+}
+
+func TestGridSweepErrors(t *testing.T) {
+	cfg := pelicanDroNetConfig(t)
+	if _, err := GridSweep(cfg, KnobComputeRate, 1, 200, 1, KnobPayload, 80, 550, 5); err == nil {
+		t.Error("nx=1 accepted")
+	}
+	if _, err := GridSweep(cfg, KnobComputeRate, 200, 1, 5, KnobPayload, 80, 550, 5); err == nil {
+		t.Error("empty x range accepted")
+	}
+	if _, err := GridSweep(cfg, KnobComputeRate, 1, 200, 5, KnobComputeRate, 1, 200, 5); err == nil {
+		t.Error("same knob twice accepted")
+	}
+	if _, err := GridSweep(cfg, Knob(99), 1, 200, 5, KnobPayload, 80, 550, 5); err == nil {
+		t.Error("unknown knob accepted")
+	}
+}
+
 func TestKnobStrings(t *testing.T) {
 	for knob, want := range map[Knob]string{
 		KnobPayload:     "payload (g)",

@@ -250,10 +250,6 @@ func runFig15(c *catalog.Catalog) (Result, error) {
 		Computes:   []string{catalog.ComputeNCS, catalog.ComputeTX2, catalog.ComputeRasPi4},
 		Algorithms: []string{catalog.AlgoDroNet, catalog.AlgoTrailNet, catalog.AlgoVGG16, catalog.AlgoCAD2RL},
 	}
-	cands, err := dse.Enumerate(c, space, dse.Constraints{})
-	if err != nil {
-		return Result{}, err
-	}
 	t := Table{
 		Title: "All (UAV × compute × algorithm) combinations (Fig. 15b)",
 		Columns: []string{"Configuration", "f_compute (Hz)", "f_action (Hz)", "Knee (Hz)",
@@ -265,8 +261,16 @@ func runFig15(c *catalog.Catalog) (Result, error) {
 		YLabel: "safe velocity (m/s)",
 		LogX:   true,
 	}
+	// Stream the exploration: table rows and chart markers are built as
+	// candidates arrive from the parallel engine (in deterministic
+	// order), collecting the slate only for the ranking/Pareto passes.
+	var cands []dse.Candidate
 	seenRoof := map[string]bool{}
-	for _, cand := range cands {
+	for cand, err := range (dse.Explorer{Catalog: c, Space: space}).Candidates() {
+		if err != nil {
+			return Result{}, err
+		}
+		cands = append(cands, cand)
 		an := cand.Analysis
 		t.AddRow(cand.Name(),
 			fmtF(an.Config.ComputeRate.Hertz(), 2),

@@ -17,6 +17,9 @@ import (
 type Server struct {
 	cat *catalog.Catalog
 	mux *http.ServeMux
+	// cache memoizes analyses across requests: under heavy traffic the
+	// popular configurations hit the F-1 model once, not per request.
+	cache *core.Cache
 }
 
 // NewServer builds a server over the given catalog (nil = default
@@ -25,7 +28,7 @@ func NewServer(cat *catalog.Catalog) *Server {
 	if cat == nil {
 		cat = catalog.Default()
 	}
-	s := &Server{cat: cat, mux: http.NewServeMux()}
+	s := &Server{cat: cat, mux: http.NewServeMux(), cache: core.NewCache()}
 	s.mux.HandleFunc("/", s.handlePage)
 	s.mux.HandleFunc("/plot.svg", s.handlePlot)
 	s.mux.HandleFunc("/api/analyze", s.handleAnalyze)
@@ -99,7 +102,7 @@ func (s *Server) analysisFor(r *http.Request) (core.Analysis, error) {
 	if err != nil {
 		return core.Analysis{}, err
 	}
-	return core.Analyze(cfg)
+	return s.cache.Analyze(cfg)
 }
 
 // AnalysisJSON is the /api/analyze response shape.
