@@ -9,6 +9,7 @@
 package f1
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/catalog"
@@ -347,10 +348,11 @@ func BenchmarkEnumerateParallel(b *testing.B) { benchEnumerate(b, 0) }
 func BenchmarkEnumerateStream(b *testing.B) {
 	cat := catalog.Synthetic(5, 16, 16)
 	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat)}
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
-		for cand, err := range e.Candidates() {
+		for cand, err := range e.Candidates(ctx) {
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -439,6 +441,8 @@ func BenchmarkSensitivity(b *testing.B) {
 }
 
 func BenchmarkExtBatterySag(b *testing.B) { benchExperiment(b, "ext-battery") }
+
+func BenchmarkExtGridHeatmap(b *testing.B) { benchExperiment(b, "ext-grid") }
 
 func BenchmarkFleetMissions(b *testing.B) {
 	spec := flightsim.CourseSpec{Length: units.Meters(300), Stops: 2, Obstacles: 3}

@@ -74,18 +74,33 @@ func run(args []string, stdout io.Writer) error {
 				}
 				fmt.Fprintln(stdout, a)
 			}
+			for _, hm := range res.Heatmaps {
+				a, err := hm.ASCII(76, 18)
+				if err != nil {
+					return fmt.Errorf("%s: %w", e.ID, err)
+				}
+				fmt.Fprintln(stdout, a)
+			}
 		}
 		if *out != "" {
 			if err := os.WriteFile(filepath.Join(*out, e.ID+".txt"), []byte(text), 0o644); err != nil {
 				return err
 			}
-			for i, ch := range res.Charts {
+			type svgRenderer interface{ SVG(io.Writer) error }
+			var figures []svgRenderer
+			for _, ch := range res.Charts {
+				figures = append(figures, ch)
+			}
+			for _, hm := range res.Heatmaps {
+				figures = append(figures, hm)
+			}
+			for i, fig := range figures {
 				name := fmt.Sprintf("%s_%d.svg", e.ID, i)
 				f, err := os.Create(filepath.Join(*out, name))
 				if err != nil {
 					return err
 				}
-				err = ch.SVG(f)
+				err = fig.SVG(f)
 				if cerr := f.Close(); err == nil {
 					err = cerr
 				}

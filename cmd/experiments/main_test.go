@@ -64,3 +64,23 @@ func TestRunBadFlag(t *testing.T) {
 		t.Error("unknown flag accepted")
 	}
 }
+
+func TestRunGridHeatmapArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-id", "ext-grid", "-out", dir, "-ascii"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The ASCII heatmap prints its value-range caption and the field.
+	if !strings.Contains(out, "v_safe (m/s):") || !strings.Contains(out, "+---") {
+		t.Errorf("ASCII heatmap missing:\n%s", out)
+	}
+	svg, err := os.ReadFile(filepath.Join(dir, "ext-grid_0.svg"))
+	if err != nil {
+		t.Fatalf("heatmap SVG missing: %v", err)
+	}
+	if !strings.Contains(string(svg), "<svg") || !strings.Contains(string(svg), "payload (g)") {
+		t.Error("heatmap SVG content wrong")
+	}
+}

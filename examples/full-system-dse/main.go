@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,10 +26,12 @@ func main() {
 
 	// The Explorer fans the cross product out across all cores and
 	// streams candidates in deterministic order; collecting them is
-	// just one consumer of the stream.
+	// just one consumer of the stream. The context scopes the work:
+	// cancelling it (a timeout, a dropped client) stops the workers
+	// between candidates instead of draining the space.
 	explorer := dse.Explorer{Catalog: cat, Space: space}
 	var cands []dse.Candidate
-	for cand, err := range explorer.Candidates() {
+	for cand, err := range explorer.Candidates(context.Background()) {
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,7 +16,10 @@
 //     element-for-element identical to a serial scan for every worker
 //     count. Explorer.Candidates streams the space as an iter.Seq2, so
 //     callers can filter or stop early without materializing it;
-//     Explorer.Enumerate collects it.
+//     Explorer.ExploreContext (and its no-context shorthand Enumerate)
+//     collects it. Both are request-scoped: cancelling the context — a
+//     disconnected HTTP client, a deadline — stops in-flight chunks
+//     between candidates instead of draining the space.
 //   - Analysis hot paths are allocation-lean: catalog lookups happen
 //     once per axis value (not once per candidate), configuration names
 //     are rendered once per (UAV, compute, algorithm) cell, and an

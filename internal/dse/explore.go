@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"iter"
 	"runtime"
@@ -208,11 +209,19 @@ func (p *plan) candidate(i int) (cand Candidate, ok bool, err error) {
 }
 
 // processChunk analyzes candidates [start,end), returning the survivors
-// in order. On error it returns the survivors found before the failing
-// candidate together with the error.
-func (p *plan) processChunk(start, end int) ([]Candidate, error) {
+// in order. On error — including cancellation of ctx, checked between
+// candidates so in-flight chunks abort instead of draining — it returns
+// the survivors found before the failing candidate together with the
+// error.
+func (p *plan) processChunk(ctx context.Context, start, end int) ([]Candidate, error) {
+	done := ctx.Done() // one channel load; the per-candidate check is a cheap select
 	out := make([]Candidate, 0, end-start)
 	for i := start; i < end; i++ {
+		select {
+		case <-done:
+			return out, ctx.Err()
+		default:
+		}
 		cand, ok, err := p.candidate(i)
 		if err != nil {
 			return out, err
@@ -227,9 +236,14 @@ func (p *plan) processChunk(start, end int) ([]Candidate, error) {
 // Candidates streams the exploration as an iterator: candidates arrive
 // in canonical (UAV, compute, algorithm, sensor) order regardless of
 // the worker count, and callers can stop early — remaining work is
-// cancelled, not drained. A non-nil error is the final element.
-func (e Explorer) Candidates() iter.Seq2[Candidate, error] {
+// cancelled, not drained. Cancelling ctx (a client disconnect, a
+// deadline) likewise stops in-flight chunks between candidates and
+// surfaces ctx's error. A non-nil error is the final element.
+func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 	return func(yield func(Candidate, error) bool) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
 		p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.Cache)
 		if err != nil {
 			yield(Candidate{}, err)
@@ -242,7 +256,14 @@ func (e Explorer) Candidates() iter.Seq2[Candidate, error] {
 		workers := e.workers()
 		chunk := e.chunkSize(n, workers)
 		if workers == 1 || n <= chunk {
+			done := ctx.Done()
 			for i := 0; i < n; i++ {
+				select {
+				case <-done:
+					yield(Candidate{}, ctx.Err())
+					return
+				default:
+				}
 				cand, ok, err := p.candidate(i)
 				if err != nil {
 					yield(Candidate{}, err)
@@ -254,7 +275,7 @@ func (e Explorer) Candidates() iter.Seq2[Candidate, error] {
 			}
 			return
 		}
-		for cands, err := range streamChunks(p, n, chunk, workers) {
+		for cands, err := range streamChunks(ctx, p, n, chunk, workers) {
 			for _, c := range cands {
 				if !yield(c, nil) {
 					return
@@ -268,9 +289,14 @@ func (e Explorer) Candidates() iter.Seq2[Candidate, error] {
 	}
 }
 
-// Enumerate collects the full exploration. The result is identical —
-// same candidates, same order — for every worker count.
-func (e Explorer) Enumerate() ([]Candidate, error) {
+// ExploreContext collects the full exploration, honoring ctx: on
+// cancellation the workers stop between candidates and the context's
+// error is returned. The result is identical — same candidates, same
+// order — for every worker count.
+func (e Explorer) ExploreContext(ctx context.Context) ([]Candidate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var out []Candidate
 	p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.Cache)
 	if err != nil {
@@ -281,25 +307,25 @@ func (e Explorer) Enumerate() ([]Candidate, error) {
 	chunk := e.chunkSize(n, workers)
 	if workers == 1 || n <= chunk {
 		// Serial: one output allocation, no handoff buffers.
-		out = make([]Candidate, 0, n)
-		for i := 0; i < n; i++ {
-			cand, ok, err := p.candidate(i)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				out = append(out, cand)
-			}
+		cands, err := p.processChunk(ctx, 0, n)
+		if err != nil {
+			return nil, err
 		}
-		return out, nil
+		return cands, nil
 	}
-	for cands, err := range streamChunks(p, n, chunk, workers) {
+	for cands, err := range streamChunks(ctx, p, n, chunk, workers) {
 		out = append(out, cands...)
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// Enumerate collects the full exploration without a cancellation
+// context — ExploreContext with context.Background().
+func (e Explorer) Enumerate() ([]Candidate, error) {
+	return e.ExploreContext(context.Background())
 }
 
 // Enumerate analyzes every combination in the space using the parallel

@@ -1,9 +1,13 @@
 package dse
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -125,7 +129,7 @@ func TestCandidatesStreamMatchesEnumerate(t *testing.T) {
 			t.Fatal(err)
 		}
 		var got []Candidate
-		for cand, err := range e.Candidates() {
+		for cand, err := range e.Candidates(context.Background()) {
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -144,7 +148,7 @@ func TestCandidatesEarlyBreak(t *testing.T) {
 	}
 	for _, stop := range []int{0, 1, 5, 17, 50} {
 		var got []Candidate
-		for cand, err := range e.Candidates() {
+		for cand, err := range e.Candidates(context.Background()) {
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -200,7 +204,7 @@ func TestExplorerUnknownAxisValues(t *testing.T) {
 		// Streaming surfaces the same error.
 		e := Explorer{Catalog: cat, Space: sp, Workers: 4}
 		var sawErr bool
-		for _, err := range e.Candidates() {
+		for _, err := range e.Candidates(context.Background()) {
 			if err != nil {
 				sawErr = true
 				break
@@ -320,4 +324,104 @@ func TestExplorerNamePrecomputation(t *testing.T) {
 			t.Fatalf("explorer config diverges from BuildConfig for %s", c.Name())
 		}
 	}
+}
+
+// goroutineCount waits for transient goroutines to wind down and
+// returns the stable count.
+func goroutineCount(t *testing.T, baseline int, within time.Duration) int {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// TestCandidatesEarlyBreakLeavesNoGoroutines is the leak regression for
+// the early-exit streaming path: breaking out of Candidates after the
+// first element must wind the worker pool down to baseline — no worker
+// may stay blocked on a handoff channel, and in-flight chunks must be
+// cancelled rather than drained.
+func TestCandidatesEarlyBreakLeavesNoGoroutines(t *testing.T) {
+	cat := catalog.Synthetic(5, 16, 16) // 1280 candidates
+	e := Explorer{Catalog: cat, Space: synthSpace(cat), Workers: 8, ChunkSize: 16}
+	baseline := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		for cand, err := range e.Candidates(context.Background()) {
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = cand
+			break // early exit after the first candidate
+		}
+	}
+	if n := goroutineCount(t, baseline, 2*time.Second); n > baseline {
+		t.Fatalf("goroutines after early break: %d, baseline %d — pool leaked workers", n, baseline)
+	}
+}
+
+func TestCandidatesContextCancel(t *testing.T) {
+	cat := catalog.Synthetic(4, 10, 8) // 320 candidates
+	for _, workers := range []int{1, 6} {
+		e := Explorer{Catalog: cat, Space: synthSpace(cat), Workers: workers, ChunkSize: 8}
+		ctx, cancel := context.WithCancel(context.Background())
+		var got []Candidate
+		var sawErr error
+		for cand, err := range e.Candidates(ctx) {
+			if err != nil {
+				sawErr = err
+				break
+			}
+			got = append(got, cand)
+			if len(got) == 3 {
+				cancel()
+			}
+		}
+		cancel()
+		if sawErr == nil {
+			t.Fatalf("workers=%d: cancelled exploration completed without error (yielded %d)", workers, len(got))
+		}
+		if !errors.Is(sawErr, context.Canceled) {
+			t.Fatalf("workers=%d: error = %v, want context.Canceled", workers, sawErr)
+		}
+		// The candidates yielded before cancellation are still the
+		// canonical prefix.
+		full, err := Explorer{Catalog: cat, Space: e.Space, Workers: 1}.Enumerate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireEqualCandidates(t, full[:len(got)], got)
+	}
+}
+
+func TestExploreContextCancelled(t *testing.T) {
+	cat := catalog.Synthetic(4, 10, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already dead
+	for _, workers := range []int{1, 6} {
+		e := Explorer{Catalog: cat, Space: synthSpace(cat), Workers: workers, ChunkSize: 8}
+		cands, err := e.ExploreContext(ctx)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if cands != nil {
+			t.Fatalf("workers=%d: cancelled exploration returned %d candidates", workers, len(cands))
+		}
+	}
+}
+
+func TestExploreContextMatchesEnumerate(t *testing.T) {
+	cat := catalog.Synthetic(3, 7, 5)
+	e := Explorer{Catalog: cat, Space: synthSpace(cat), Workers: 4, ChunkSize: 10}
+	want, err := e.Enumerate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.ExploreContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqualCandidates(t, want, got)
 }

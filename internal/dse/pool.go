@@ -1,6 +1,9 @@
 package dse
 
-import "iter"
+import (
+	"context"
+	"iter"
+)
 
 // streamChunks fans the candidate index space [0,n) out across a
 // bounded worker pool and yields each chunk's surviving candidates in
@@ -8,26 +11,38 @@ import "iter"
 // identical to a serial scan — while the workers run out of order.
 //
 // Memory stays bounded: at most `workers` chunks are buffered ahead of
-// the consumer (the dispatcher blocks once the ordered queue is full),
-// and breaking out of the iteration cancels the remaining work.
+// the consumer (the dispatcher blocks once the ordered queue is full).
+//
+// Cancellation is request-scoped: the pool derives its own context from
+// ctx, cancelled when the consumer breaks out of the iteration or when
+// ctx itself is cancelled (a client disconnect, a deadline). Workers
+// observe it between candidates, so in-flight chunks abort instead of
+// draining to completion.
 //
 // A chunk that fails yields its pre-error survivors along with the
 // error; iteration stops after the first error, which — because chunks
 // are yielded in order — is the same error a serial scan would hit
-// first.
-func streamChunks(p *plan, n, chunk, workers int) iter.Seq2[[]Candidate, error] {
+// first. A parent-context cancellation surfaces as ctx.Err() on the
+// first chunk that observed it.
+func streamChunks(ctx context.Context, p *plan, n, chunk, workers int) iter.Seq2[[]Candidate, error] {
 	return func(yield func([]Candidate, error) bool) {
 		type job struct {
 			start, end int
 			out        chan chunkResult
 		}
-		done := make(chan struct{})
-		defer close(done)
+		// cancel fires on every exit path: early consumer break, error,
+		// or normal completion (a no-op by then). Workers and the
+		// dispatcher all hang off this context.
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		done := ctx.Done()
 		jobs := make(chan *job)
 		ordered := make(chan *job, workers)
 
 		// Dispatcher: enqueue chunks in order. Both sends abort when the
-		// consumer is gone.
+		// consumer is gone. A job that made it into the ordered queue but
+		// not to a worker still gets a result — the cancellation error —
+		// so the consumer can never block on an orphaned handoff.
 		go func() {
 			defer close(jobs)
 			defer close(ordered)
@@ -41,6 +56,7 @@ func streamChunks(p *plan, n, chunk, workers int) iter.Seq2[[]Candidate, error] 
 				select {
 				case jobs <- j:
 				case <-done:
+					j.out <- chunkResult{err: ctx.Err()} // cap 1: never blocks
 					return
 				}
 			}
@@ -48,7 +64,7 @@ func streamChunks(p *plan, n, chunk, workers int) iter.Seq2[[]Candidate, error] 
 		for w := 0; w < workers; w++ {
 			go func() {
 				for j := range jobs {
-					cands, err := p.processChunk(j.start, j.end)
+					cands, err := p.processChunk(ctx, j.start, j.end)
 					j.out <- chunkResult{cands: cands, err: err} // cap 1: never blocks
 				}
 			}()
@@ -58,6 +74,13 @@ func streamChunks(p *plan, n, chunk, workers int) iter.Seq2[[]Candidate, error] 
 			if !yield(res.cands, res.err) || res.err != nil {
 				return
 			}
+		}
+		// The ordered queue can close without an error having surfaced
+		// when the parent context died before every chunk was enqueued;
+		// report the cancellation rather than masquerading as a complete
+		// traversal.
+		if err := ctx.Err(); err != nil {
+			yield(nil, err)
 		}
 	}
 }

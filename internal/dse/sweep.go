@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -95,10 +96,18 @@ func sampleAt(lo, hi float64, i, n int, logSpace bool) float64 {
 }
 
 // Sweep evaluates the configuration with the knob set to n values
-// spaced linearly (or geometrically when logSpace) between lo and hi.
-// Large sweeps run on all available cores; the output is deterministic
-// regardless.
+// spaced linearly (or geometrically when logSpace) between lo and hi —
+// SweepContext without a cancellation context.
 func Sweep(cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (SweepResult, error) {
+	return SweepContext(context.Background(), cfg, knob, lo, hi, n, logSpace)
+}
+
+// SweepContext evaluates the configuration with the knob set to n
+// values spaced linearly (or geometrically when logSpace) between lo
+// and hi. Large sweeps run on all available cores; the output is
+// deterministic regardless. Cancelling ctx — a disconnected /sweep.svg
+// client — stops the evaluation between points and returns ctx's error.
+func SweepContext(ctx context.Context, cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (SweepResult, error) {
 	if n < 2 {
 		return SweepResult{}, fmt.Errorf("dse: sweep needs ≥2 points, got %d", n)
 	}
@@ -121,7 +130,7 @@ func Sweep(cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (Sw
 		points[i] = SweepPoint{Value: v, Analysis: an}
 		return nil
 	}
-	if err := forEachParallel(n, eval); err != nil {
+	if err := forEachParallel(ctx, n, eval); err != nil {
 		return SweepResult{}, err
 	}
 	return SweepResult{Knob: knob, Points: points}, nil
@@ -129,13 +138,21 @@ func Sweep(cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (Sw
 
 // forEachParallel runs eval(0..n-1), serially for small n and in
 // chunks across GOMAXPROCS workers otherwise. Workers write only their
-// own indices, so results are position-stable; on failure the error of
-// the lowest-indexed failing chunk is returned — the one a serial loop
-// would have hit first.
-func forEachParallel(n int, eval func(i int) error) error {
+// own indices, so results are position-stable. The first error aborts
+// the remaining chunks (the result is discarded wholesale anyway), and
+// cancelling ctx stops every worker between evaluations; the returned
+// error is the lowest-indexed recorded failure, or ctx's error when
+// nothing else failed first.
+func forEachParallel(ctx context.Context, n int, eval func(i int) error) error {
+	done := ctx.Done()
 	workers := runtime.GOMAXPROCS(0)
 	if n < sweepSerialThreshold || workers == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			if err := eval(i); err != nil {
 				return err
 			}
@@ -149,6 +166,7 @@ func forEachParallel(n int, eval func(i int) error) error {
 	nChunks := (n + chunk - 1) / chunk
 	errs := make([]error, nChunks)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -156,15 +174,22 @@ func forEachParallel(n int, eval func(i int) error) error {
 			defer wg.Done()
 			for {
 				ci := int(next.Add(1)) - 1
-				if ci >= nChunks {
+				if ci >= nChunks || failed.Load() {
 					return
 				}
 				start := ci * chunk
 				end := min(start+chunk, n)
 				for i := start; i < end; i++ {
+					select {
+					case <-done:
+						failed.Store(true)
+						return
+					default:
+					}
 					if err := eval(i); err != nil {
 						errs[ci] = err
-						break // abandon this chunk, keep the pool going
+						failed.Store(true) // abort the remaining chunks
+						break
 					}
 				}
 			}
@@ -176,7 +201,7 @@ func forEachParallel(n int, eval func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Velocities extracts the (knob value, safe velocity) series for
@@ -212,12 +237,34 @@ type GridResult struct {
 	Cells        [][]core.Analysis
 }
 
-// GridSweep evaluates the configuration over the (xKnob × yKnob) grid:
-// nx samples of xKnob between xLo and xHi crossed with ny samples of
-// yKnob between yLo and yHi, linearly spaced. The nx·ny analyses run in
-// parallel chunks with deterministic placement — the characterization
-// heatmap behind two-axis design studies.
+// VelocityGrid extracts the safe-velocity field for heatmap rendering:
+// out[yi][xi] is the safe velocity at (Xs[xi], Ys[yi]).
+func (g GridResult) VelocityGrid() [][]float64 {
+	out := make([][]float64, len(g.Cells))
+	for yi, row := range g.Cells {
+		vs := make([]float64, len(row))
+		for xi := range row {
+			vs[xi] = row[xi].SafeVelocity.MetersPerSecond()
+		}
+		out[yi] = vs
+	}
+	return out
+}
+
+// GridSweep evaluates the configuration over the (xKnob × yKnob) grid
+// — GridSweepContext without a cancellation context.
 func GridSweep(cfg core.Config, xKnob Knob, xLo, xHi float64, nx int, yKnob Knob, yLo, yHi float64, ny int) (GridResult, error) {
+	return GridSweepContext(context.Background(), cfg, xKnob, xLo, xHi, nx, yKnob, yLo, yHi, ny)
+}
+
+// GridSweepContext evaluates the configuration over the (xKnob ×
+// yKnob) grid: nx samples of xKnob between xLo and xHi crossed with ny
+// samples of yKnob between yLo and yHi, linearly spaced. The nx·ny
+// analyses run in parallel chunks with deterministic placement — the
+// characterization heatmap behind two-axis design studies. Cancelling
+// ctx — a disconnected /grid.svg client — stops the workers between
+// cells instead of finishing the grid.
+func GridSweepContext(ctx context.Context, cfg core.Config, xKnob Knob, xLo, xHi float64, nx int, yKnob Knob, yLo, yHi float64, ny int) (GridResult, error) {
 	if nx < 2 || ny < 2 {
 		return GridResult{}, fmt.Errorf("dse: grid sweep needs ≥2 points per axis, got %d×%d", nx, ny)
 	}
@@ -254,7 +301,7 @@ func GridSweep(cfg core.Config, xKnob Knob, xLo, xHi float64, nx int, yKnob Knob
 		cells[i] = an
 		return nil
 	}
-	if err := forEachParallel(nx*ny, eval); err != nil {
+	if err := forEachParallel(ctx, nx*ny, eval); err != nil {
 		return GridResult{}, err
 	}
 	return res, nil

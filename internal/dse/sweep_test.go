@@ -1,7 +1,10 @@
 package dse
 
 import (
+	"context"
+	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/catalog"
@@ -230,5 +233,47 @@ func TestKnobStrings(t *testing.T) {
 		if knob.String() != want {
 			t.Errorf("%v.String() = %q, want %q", int(knob), knob.String(), want)
 		}
+	}
+}
+
+func TestSweepContextCancelled(t *testing.T) {
+	cat := catalog.Default()
+	cfg, err := cat.BuildConfig(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Both the serial (< threshold) and chunked paths observe the dead
+	// context before evaluating.
+	if _, err := SweepContext(ctx, cfg, KnobPayload, 0, 500, 10, false); !errors.Is(err, context.Canceled) {
+		t.Errorf("serial sweep: err = %v, want context.Canceled", err)
+	}
+	if _, err := SweepContext(ctx, cfg, KnobPayload, 0, 500, 500, false); !errors.Is(err, context.Canceled) {
+		t.Errorf("chunked sweep: err = %v, want context.Canceled", err)
+	}
+	if _, err := GridSweepContext(ctx, cfg, KnobPayload, 0, 500, 20, KnobComputeRate, 1, 100, 20); !errors.Is(err, context.Canceled) {
+		t.Errorf("grid sweep: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSweepContextMatchesSweep(t *testing.T) {
+	cat := catalog.Default()
+	cfg, err := cat.BuildConfig(catalog.Selection{
+		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Sweep(cfg, KnobComputeRate, 1, 200, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoped, err := SweepContext(context.Background(), cfg, KnobComputeRate, 1, 200, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, scoped) {
+		t.Error("SweepContext diverges from Sweep")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -266,7 +267,7 @@ func runFig15(c *catalog.Catalog) (Result, error) {
 	// order), collecting the slate only for the ranking/Pareto passes.
 	var cands []dse.Candidate
 	seenRoof := map[string]bool{}
-	for cand, err := range (dse.Explorer{Catalog: c, Space: space}).Candidates() {
+	for cand, err := range (dse.Explorer{Catalog: c, Space: space}).Candidates(context.Background()) {
 		if err != nil {
 			return Result{}, err
 		}

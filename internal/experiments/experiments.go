@@ -84,6 +84,8 @@ type Result struct {
 	Tables []Table
 	// Charts are the regenerated figures.
 	Charts []*plot.Chart
+	// Heatmaps are the regenerated two-knob characterization fields.
+	Heatmaps []*plot.Heatmap
 }
 
 // Render dumps the result's tables as text (charts are rendered

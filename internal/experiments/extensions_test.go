@@ -179,3 +179,34 @@ func TestExtCourseCrossover(t *testing.T) {
 		prevEnergy, first = e, false
 	}
 }
+
+func TestExtGridHeatmap(t *testing.T) {
+	e, err := ByID("ext-grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(catalog.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Heatmaps) != 1 {
+		t.Fatalf("got %d heatmaps", len(res.Heatmaps))
+	}
+	hm := res.Heatmaps[0]
+	if err := hm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(hm.Xs) != 36 || len(hm.Ys) != 24 {
+		t.Fatalf("grid is %d×%d, want 36×24", len(hm.Xs), len(hm.Ys))
+	}
+	// The F-1 model's shape: velocity falls as payload grows (same
+	// compute rate), so the left edge dominates the right on every row.
+	for yi, row := range hm.Values {
+		if row[0] < row[len(row)-1] {
+			t.Errorf("row %d: velocity rises with payload (%.2f -> %.2f)", yi, row[0], row[len(row)-1])
+		}
+	}
+	if len(res.Tables) == 0 {
+		t.Fatal("no summary table")
+	}
+}

@@ -1,0 +1,295 @@
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Heatmap is a dense two-dimensional field rendering — the chart type
+// behind dse.GridSweep characterization maps: Values[yi][xi] is the
+// measured quantity at (Xs[xi], Ys[yi]). Like Chart it renders as SVG
+// (the Skyline /grid.svg endpoint) and as ASCII (terminal studies).
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	// ZLabel names the mapped quantity (color-bar caption).
+	ZLabel string
+	// Xs, Ys are the sample coordinates, ascending. Cells are drawn on
+	// a uniform index grid, so unevenly spaced samples still render.
+	Xs, Ys []float64
+	// Values is indexed [len(Ys)][len(Xs)]. NaN cells render as gaps.
+	Values [][]float64
+	// Width, Height are the SVG pixel dimensions; zero means 720×440.
+	Width, Height int
+}
+
+// Validate reports the first structural problem with the heatmap.
+func (h *Heatmap) Validate() error {
+	if len(h.Xs) == 0 || len(h.Ys) == 0 {
+		return fmt.Errorf("plot: heatmap %q has an empty axis (%d×%d)", h.Title, len(h.Xs), len(h.Ys))
+	}
+	if len(h.Values) != len(h.Ys) {
+		return fmt.Errorf("plot: heatmap %q has %d rows but %d y values", h.Title, len(h.Values), len(h.Ys))
+	}
+	for yi, row := range h.Values {
+		if len(row) != len(h.Xs) {
+			return fmt.Errorf("plot: heatmap %q row %d has %d cells but %d x values", h.Title, yi, len(row), len(h.Xs))
+		}
+	}
+	return nil
+}
+
+// zRange scans the finite values; ok is false when every cell is NaN
+// or infinite.
+func (h *Heatmap) zRange() (zmin, zmax float64, ok bool) {
+	zmin, zmax = math.Inf(1), math.Inf(-1)
+	for _, row := range h.Values {
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			zmin, zmax = math.Min(zmin, v), math.Max(zmax, v)
+		}
+	}
+	if zmin > zmax {
+		return 0, 0, false
+	}
+	if zmin == zmax {
+		// A flat field still renders: center it in the ramp.
+		zmin, zmax = zmin-1, zmax+1
+	}
+	return zmin, zmax, true
+}
+
+// rampStops is the sequential colormap (perceptually ordered dark →
+// bright, viridis-like endpoints).
+var rampStops = [][3]float64{
+	{0x44, 0x01, 0x54}, // dark purple
+	{0x3b, 0x52, 0x8b}, // blue
+	{0x21, 0x91, 0x8c}, // teal
+	{0x5e, 0xc9, 0x62}, // green
+	{0xfd, 0xe7, 0x25}, // yellow
+}
+
+// rampColor maps t ∈ [0,1] onto the stop gradient.
+func rampColor(t float64) string {
+	if math.IsNaN(t) {
+		return "#ffffff"
+	}
+	t = math.Max(0, math.Min(1, t))
+	seg := t * float64(len(rampStops)-1)
+	i := int(seg)
+	if i >= len(rampStops)-1 {
+		i = len(rampStops) - 2
+	}
+	f := seg - float64(i)
+	a, b := rampStops[i], rampStops[i+1]
+	return fmt.Sprintf("#%02x%02x%02x",
+		int(a[0]+(b[0]-a[0])*f+0.5),
+		int(a[1]+(b[1]-a[1])*f+0.5),
+		int(a[2]+(b[2]-a[2])*f+0.5))
+}
+
+// axisTickIndexes picks up to target well-spread sample indexes for
+// labeling, always including the first and last.
+func axisTickIndexes(n, target int) []int {
+	if target < 2 {
+		target = 2
+	}
+	if n <= target {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, target)
+	for i := 0; i < target; i++ {
+		out = append(out, i*(n-1)/(target-1))
+	}
+	return out
+}
+
+// SVG renders the heatmap as a standalone SVG document with a color
+// bar on the right.
+func (h *Heatmap) SVG(w io.Writer) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	zmin, zmax, ok := h.zRange()
+	if !ok {
+		return fmt.Errorf("plot: heatmap %q has no finite values", h.Title)
+	}
+	width, height := h.Width, h.Height
+	if width == 0 {
+		width = 720
+	}
+	if height == 0 {
+		height = 440
+	}
+	const (
+		marginL = 64
+		marginR = 86 // room for the color bar
+		marginT = 36
+		marginB = 48
+	)
+	nx, ny := len(h.Xs), len(h.Ys)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	cellW := plotW / float64(nx)
+	cellH := plotH / float64(ny)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if h.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n",
+			marginL, escape(h.Title))
+	}
+
+	// Cells: row 0 (lowest y value) sits at the bottom.
+	for yi, row := range h.Values {
+		y := float64(marginT) + plotH - float64(yi+1)*cellH
+		for xi, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue // gap
+			}
+			t := (v - zmin) / (zmax - zmin)
+			// +0.5 overlap hides hairline seams between cells.
+			fmt.Fprintf(&b, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				float64(marginL)+float64(xi)*cellW, y, cellW+0.5, cellH+0.5, rampColor(t))
+		}
+	}
+
+	// Axes and tick labels (cell-center positions on the index grid).
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black" stroke-width="1.5"/>`+"\n",
+		marginL, float64(marginT)+plotH, float64(marginL)+plotW, float64(marginT)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="black" stroke-width="1.5"/>`+"\n",
+		marginL, marginT, marginL, float64(marginT)+plotH)
+	for _, xi := range axisTickIndexes(nx, 6) {
+		x := float64(marginL) + (float64(xi)+0.5)*cellW
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			x, float64(marginT)+plotH+16, escape(formatTick(h.Xs[xi])))
+	}
+	for _, yi := range axisTickIndexes(ny, 6) {
+		y := float64(marginT) + plotH - (float64(yi)+0.5)*cellH
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, escape(formatTick(h.Ys[yi])))
+	}
+	if h.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			float64(marginL)+plotW/2, height-10, escape(h.XLabel))
+	}
+	if h.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, escape(h.YLabel))
+	}
+
+	// Color bar: a vertical gradient strip with min/mid/max labels.
+	const barSteps = 32
+	barX := float64(width - marginR + 18)
+	barW := 14.0
+	stepH := plotH / barSteps
+	for i := 0; i < barSteps; i++ {
+		t := (float64(i) + 0.5) / barSteps
+		y := float64(marginT) + plotH - float64(i+1)*stepH
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.2f" width="%.1f" height="%.2f" fill="%s"/>`+"\n",
+			barX, y, barW, stepH+0.5, rampColor(t))
+	}
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%.1f" fill="none" stroke="black" stroke-width="0.5"/>`+"\n",
+		barX, marginT, barW, plotH)
+	for _, tick := range []struct {
+		t float64
+		v float64
+	}{{0, zmin}, {0.5, (zmin + zmax) / 2}, {1, zmax}} {
+		y := float64(marginT) + plotH - tick.t*plotH
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10">%s</text>`+"\n",
+			barX+barW+4, y+3, escape(formatTick(tick.v)))
+	}
+	if h.ZLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			barX+barW/2, marginT-8, escape(h.ZLabel))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// asciiRamp shades ASCII cells from low to high.
+const asciiRamp = " .:-=+*#%@"
+
+// ASCII renders the heatmap on a character grid: each character cell
+// shows the nearest data cell's value on a ten-level density ramp, with
+// the value range in the caption. cols×rows is the field area
+// (reasonable minimums are enforced).
+func (h *Heatmap) ASCII(cols, rows int) (string, error) {
+	if err := h.Validate(); err != nil {
+		return "", err
+	}
+	zmin, zmax, ok := h.zRange()
+	if !ok {
+		return "", fmt.Errorf("plot: heatmap %q has no finite values", h.Title)
+	}
+	if cols < 20 {
+		cols = 20
+	}
+	if rows < 8 {
+		rows = 8
+	}
+	nx, ny := len(h.Xs), len(h.Ys)
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	yTop, yBot := formatTick(h.Ys[ny-1]), formatTick(h.Ys[0])
+	labelW := max(len(yTop), len(yBot))
+	for r := 0; r < rows; r++ {
+		// Top character row maps to the highest y sample.
+		yi := (rows - 1 - r) * (ny - 1) / max(rows-1, 1)
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		} else if r == rows-1 {
+			label = fmt.Sprintf("%*s", labelW, yBot)
+		}
+		line := make([]byte, cols)
+		for c := 0; c < cols; c++ {
+			xi := c * (nx - 1) / max(cols-1, 1)
+			v := h.Values[yi][xi]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				line[c] = ' '
+				continue
+			}
+			// Data cells use ramp[1:] — the blank is reserved for
+			// NaN/Inf gaps, so a zmin cell ('.') stays distinguishable
+			// from missing data.
+			t := (v - zmin) / (zmax - zmin)
+			idx := 1 + int(t*float64(len(asciiRamp)-2))
+			idx = max(1, min(len(asciiRamp)-1, idx))
+			line[c] = asciiRamp[idx]
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, line)
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", cols))
+	xl, xr := formatTick(h.Xs[0]), formatTick(h.Xs[nx-1])
+	pad := cols - len(xl) - len(xr)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xl, strings.Repeat(" ", pad), xr)
+	if h.XLabel != "" || h.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), h.XLabel, h.YLabel)
+	}
+	z := h.ZLabel
+	if z == "" {
+		z = "value"
+	}
+	fmt.Fprintf(&b, "%s  %s: %s (%c) .. %s (%c)\n", strings.Repeat(" ", labelW),
+		z, formatTick(zmin), asciiRamp[1], formatTick(zmax), asciiRamp[len(asciiRamp)-1])
+	return b.String(), nil
+}

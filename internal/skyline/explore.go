@@ -1,0 +1,284 @@
+package skyline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/dse"
+	"repro/internal/units"
+)
+
+// ExploreRequest is the parsed /explore query: a design space, pruning
+// constraints, and an optional selection pass (top-K under one
+// objective, or a Pareto frontier over several).
+type ExploreRequest struct {
+	Space       dse.Space
+	Constraints dse.Constraints
+
+	// TopK > 0 selects the K best candidates under Rank.
+	TopK int
+	Rank dse.Objective
+	// RankName is the query-string name behind Rank (for messages).
+	RankName string
+
+	// Pareto non-empty selects the Pareto frontier over these
+	// objectives. Mutually exclusive with TopK.
+	Pareto      []dse.Objective
+	ParetoNames []string
+}
+
+// objectives maps query-string names onto ranking objectives.
+var objectives = map[string]dse.Objective{
+	"velocity": dse.MaxVelocity,
+	"power":    dse.MinPower,
+	"payload":  dse.MinPayload,
+	"balance":  dse.Balance,
+}
+
+// objectiveNames lists the accepted objective names (for error text).
+func objectiveNames() string { return "velocity, power, payload or balance" }
+
+// axisValues gathers one space axis from the query: the key may repeat
+// and each value may be a comma-separated list, validated against the
+// catalog so a typo becomes a 400 instead of a mid-stream failure. A
+// raw value that is itself a known catalog name is taken whole —
+// several preset names contain commas ("RGB-D camera (60 FPS, 4.5 m)")
+// and must not be split. An omitted key yields the (already valid)
+// fallback unchecked.
+func axisValues(q url.Values, key string, fallback []string, known func(string) bool) ([]string, error) {
+	var out []string
+	for _, raw := range q[key] {
+		if trimmed := strings.TrimSpace(raw); known(trimmed) {
+			out = append(out, trimmed)
+			continue
+		}
+		for _, v := range strings.Split(raw, ",") {
+			if v = strings.TrimSpace(v); v == "" {
+				continue
+			} else if !known(v) {
+				return nil, fmt.Errorf("skyline: explore: unknown %s %q", key, v)
+			} else {
+				out = append(out, v)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return fallback, nil
+	}
+	return out, nil
+}
+
+// ParseExplore extracts an exploration request from query parameters,
+// resolving every named axis value against the catalog so typos become
+// a 400 instead of a mid-stream failure. On the sensor axis the
+// keyword "default" names the UAV's own sensor, so it can be compared
+// against named sensors in one request (an omitted sensor= means
+// default only).
+func ParseExplore(cat *catalog.Catalog, q url.Values) (ExploreRequest, error) {
+	knownUAV := func(s string) bool { _, err := cat.UAV(s); return err == nil }
+	knownCompute := func(s string) bool { _, err := cat.Compute(s); return err == nil }
+	knownAlgo := func(s string) bool { _, err := cat.Algorithm(s); return err == nil }
+	knownSensor := func(s string) bool {
+		if s == "default" {
+			return true
+		}
+		_, err := cat.Sensor(s)
+		return err == nil
+	}
+	var req ExploreRequest
+	var err error
+	if req.Space.UAVs, err = axisValues(q, "uav", cat.UAVNames(), knownUAV); err != nil {
+		return ExploreRequest{}, err
+	}
+	if req.Space.Computes, err = axisValues(q, "compute", cat.ComputeNames(), knownCompute); err != nil {
+		return ExploreRequest{}, err
+	}
+	if req.Space.Algorithms, err = axisValues(q, "algorithm", cat.AlgorithmNames(), knownAlgo); err != nil {
+		return ExploreRequest{}, err
+	}
+	if req.Space.Sensors, err = axisValues(q, "sensor", nil, knownSensor); err != nil {
+		return ExploreRequest{}, err
+	}
+	for i, s := range req.Space.Sensors {
+		if s == "default" {
+			req.Space.Sensors[i] = "" // dse.Space's spelling of the UAV default
+		}
+	}
+
+	maxPayload, err := parseNonNeg(q, "max_payload_g")
+	if err != nil {
+		return ExploreRequest{}, err
+	}
+	maxPower, err := parseNonNeg(q, "max_power_w")
+	if err != nil {
+		return ExploreRequest{}, err
+	}
+	minVelocity, err := parseNonNeg(q, "min_velocity_ms")
+	if err != nil {
+		return ExploreRequest{}, err
+	}
+	req.Constraints = dse.Constraints{
+		MaxPayload:  units.Grams(maxPayload),
+		MaxPower:    units.Watts(maxPower),
+		MinVelocity: units.MetersPerSecond(minVelocity),
+	}
+
+	if ts := q.Get("top"); ts != "" {
+		k, err := strconv.Atoi(ts)
+		if err != nil || k < 1 {
+			return ExploreRequest{}, fmt.Errorf("skyline: explore parameter top must be a positive integer, got %q", ts)
+		}
+		req.TopK = k
+	}
+	req.RankName = q.Get("rank")
+	if req.RankName == "" {
+		req.RankName = "velocity"
+	}
+	obj, ok := objectives[req.RankName]
+	if !ok {
+		return ExploreRequest{}, fmt.Errorf("skyline: explore: unknown rank objective %q (want %s)", req.RankName, objectiveNames())
+	}
+	req.Rank = obj
+	if q.Get("rank") != "" && req.TopK == 0 {
+		return ExploreRequest{}, fmt.Errorf("skyline: explore: rank= needs top=K")
+	}
+
+	if ps := q.Get("pareto"); ps != "" {
+		if req.TopK > 0 {
+			return ExploreRequest{}, fmt.Errorf("skyline: explore: top and pareto are mutually exclusive")
+		}
+		for _, name := range strings.Split(ps, ",") {
+			name = strings.TrimSpace(name)
+			obj, ok := objectives[name]
+			if !ok {
+				return ExploreRequest{}, fmt.Errorf("skyline: explore: unknown pareto objective %q (want %s)", name, objectiveNames())
+			}
+			req.Pareto = append(req.Pareto, obj)
+			req.ParetoNames = append(req.ParetoNames, name)
+		}
+	}
+	return req, nil
+}
+
+// ExploreCandidateJSON is one /explore NDJSON line.
+type ExploreCandidateJSON struct {
+	Name      string  `json:"name"`
+	UAV       string  `json:"uav"`
+	Compute   string  `json:"compute"`
+	Algorithm string  `json:"algorithm"`
+	Sensor    string  `json:"sensor,omitempty"`
+	VSafeMS   float64 `json:"v_safe_ms"`
+	ActionHz  float64 `json:"action_hz"`
+	KneeHz    float64 `json:"knee_hz"`
+	PowerW    float64 `json:"power_w"`
+	PayloadG  float64 `json:"payload_g"`
+	Bound     string  `json:"bound"`
+	Class     string  `json:"class"`
+	// GapFactor is omitted when not finite (a zero-throughput design).
+	GapFactor float64 `json:"gap_factor,omitempty"`
+}
+
+// exploreLine converts a candidate for the wire.
+func exploreLine(c dse.Candidate) ExploreCandidateJSON {
+	an := c.Analysis
+	out := ExploreCandidateJSON{
+		Name:      c.Name(),
+		UAV:       c.Selection.UAV,
+		Compute:   c.Selection.Compute,
+		Algorithm: c.Selection.Algorithm,
+		Sensor:    c.Selection.Sensor,
+		VSafeMS:   an.SafeVelocity.MetersPerSecond(),
+		KneeHz:    an.Knee.Throughput.Hertz(),
+		PowerW:    c.Power.Watts(),
+		PayloadG:  an.Config.Payload.Grams(),
+		Bound:     an.Bound.String(),
+		Class:     an.Class.String(),
+	}
+	// JSON has no ±Inf: leave non-finite readings at zero (omitted).
+	if v := an.Action.Hertz(); !math.IsInf(v, 0) && !math.IsNaN(v) {
+		out.ActionHz = v
+	}
+	if g := an.GapFactor; !math.IsInf(g, 0) && !math.IsNaN(g) {
+		out.GapFactor = g
+	}
+	return out
+}
+
+// handleExplore serves the design-space exploration as NDJSON. Without
+// a selection pass the candidates stream as the parallel engine
+// produces them — the first line arrives long before a large sweep
+// finishes — and the request context scopes the work: a dropped client
+// cancels the exploration's workers mid-space.
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	req, err := ParseExplore(s.cat, r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	e := dse.Explorer{
+		Catalog:     s.cat,
+		Space:       req.Space,
+		Constraints: req.Constraints,
+		Cache:       s.cache,
+	}
+	ctx := r.Context()
+
+	// Selection passes need the full slate; they respond only once the
+	// exploration completes (still NDJSON, one line per survivor).
+	if req.TopK > 0 || len(req.Pareto) > 0 {
+		cands, err := e.ExploreContext(ctx)
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return // client is gone; nothing left to tell it
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.TopK > 0 {
+			cands = dse.TopK(cands, req.Rank, req.TopK)
+		} else {
+			cands, err = dse.ParetoFront(cands, req.Pareto...)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, c := range cands {
+			if err := enc.Encode(exploreLine(c)); err != nil {
+				return
+			}
+		}
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+	for cand, err := range e.Candidates(ctx) {
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return // disconnect: the pool has already been cancelled
+			}
+			// Headers are sent; the best we can do is a terminal
+			// error line (ParseExplore has made these unlikely).
+			_ = enc.Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		if err := enc.Encode(exploreLine(cand)); err != nil {
+			return // write failure: client went away
+		}
+		// Flush each candidate so clients see results immediately;
+		// streaming beats buffering for multi-second explorations.
+		_ = rc.Flush()
+	}
+}

@@ -1,0 +1,347 @@
+package skyline
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dse"
+	"repro/internal/units"
+)
+
+// exploreLines GETs an /explore URL and decodes the NDJSON body.
+func exploreLines(t *testing.T, u string) []ExploreCandidateJSON {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var out []ExploreCandidateJSON
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		var line ExploreCandidateJSON
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		out = append(out, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// requireSameCandidates asserts the streamed lines match the engine's
+// slate element for element.
+func requireSameCandidates(t *testing.T, want []dse.Candidate, got []ExploreCandidateJSON) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("candidate count: engine %d, endpoint %d", len(want), len(got))
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name() {
+			t.Fatalf("line %d: name %q, want %q", i, got[i].Name, want[i].Name())
+		}
+		if v := want[i].Analysis.SafeVelocity.MetersPerSecond(); math.Abs(got[i].VSafeMS-v) > 1e-9 {
+			t.Fatalf("line %d: v_safe %v, want %v", i, got[i].VSafeMS, v)
+		}
+	}
+}
+
+func defaultSpace(cat *catalog.Catalog) dse.Space {
+	return dse.Space{
+		UAVs:       cat.UAVNames(),
+		Computes:   cat.ComputeNames(),
+		Algorithms: cat.AlgorithmNames(),
+	}
+}
+
+func TestExploreStreamMatchesEnumerate(t *testing.T) {
+	srv := newTestServer(t)
+	cat := catalog.Default()
+	want, err := dse.Enumerate(cat, defaultSpace(cat), dse.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exploreLines(t, srv.URL+"/explore")
+	requireSameCandidates(t, want, got)
+}
+
+func TestExploreSpaceSubsets(t *testing.T) {
+	srv := newTestServer(t)
+	cat := catalog.Default()
+	space := dse.Space{
+		UAVs:       []string{catalog.UAVDJISpark},
+		Computes:   []string{catalog.ComputeNCS, catalog.ComputeTX2},
+		Algorithms: []string{catalog.AlgoDroNet, catalog.AlgoTrailNet},
+	}
+	want, err := dse.Enumerate(cat, space, dse.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("empty subset slate")
+	}
+	// Repeated keys and comma-separated lists both describe the axis.
+	q := "uav=" + strings.ReplaceAll(catalog.UAVDJISpark, " ", "%20") +
+		"&compute=" + strings.ReplaceAll(catalog.ComputeNCS+","+catalog.ComputeTX2, " ", "%20") +
+		"&algorithm=" + catalog.AlgoDroNet + "&algorithm=" + catalog.AlgoTrailNet
+	got := exploreLines(t, srv.URL+"/explore?"+q)
+	requireSameCandidates(t, want, got)
+}
+
+func TestExploreSensorAxis(t *testing.T) {
+	srv := newTestServer(t)
+	cat := catalog.Default()
+	space := dse.Space{
+		UAVs:       []string{catalog.UAVAscTecPelican},
+		Computes:   []string{catalog.ComputeTX2},
+		Algorithms: []string{catalog.AlgoDroNet},
+		Sensors:    []string{catalog.SensorRGBD},
+	}
+	want, err := dse.Enumerate(cat, space, dse.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exploreLines(t, srv.URL+"/explore?uav="+strings.ReplaceAll(catalog.UAVAscTecPelican, " ", "%20")+
+		"&compute="+strings.ReplaceAll(catalog.ComputeTX2, " ", "%20")+
+		"&algorithm="+catalog.AlgoDroNet+"&sensor="+strings.ReplaceAll(catalog.SensorRGBD, " ", "%20"))
+	requireSameCandidates(t, want, got)
+	for _, line := range got {
+		if line.Sensor != catalog.SensorRGBD {
+			t.Errorf("sensor = %q", line.Sensor)
+		}
+	}
+}
+
+func TestExploreSensorDefaultKeyword(t *testing.T) {
+	// sensor=default (the UAV's own sensor) combines with named sensors
+	// in one request — the dse.Space "" choice, reachable via query.
+	srv := newTestServer(t)
+	cat := catalog.Default()
+	space := dse.Space{
+		UAVs:       []string{catalog.UAVAscTecPelican},
+		Computes:   []string{catalog.ComputeTX2},
+		Algorithms: []string{catalog.AlgoDroNet},
+		Sensors:    []string{"", catalog.SensorRGBD},
+	}
+	want, err := dse.Enumerate(cat, space, dse.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 2 {
+		t.Fatalf("slate = %d, want 2 (default + named sensor)", len(want))
+	}
+	got := exploreLines(t, srv.URL+"/explore?uav="+strings.ReplaceAll(catalog.UAVAscTecPelican, " ", "%20")+
+		"&compute="+strings.ReplaceAll(catalog.ComputeTX2, " ", "%20")+
+		"&algorithm="+catalog.AlgoDroNet+
+		"&sensor=default&sensor="+strings.ReplaceAll(catalog.SensorRGBD, " ", "%20"))
+	requireSameCandidates(t, want, got)
+}
+
+func TestExploreConstraints(t *testing.T) {
+	srv := newTestServer(t)
+	cat := catalog.Default()
+	cons := dse.Constraints{MaxPower: units.Watts(5), MinVelocity: units.MetersPerSecond(1)}
+	want, err := dse.Enumerate(cat, defaultSpace(cat), cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := dse.Enumerate(cat, defaultSpace(cat), dse.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 || len(want) == len(all) {
+		t.Fatalf("constraints should prune some but not all (kept %d of %d)", len(want), len(all))
+	}
+	got := exploreLines(t, srv.URL+"/explore?max_power_w=5&min_velocity_ms=1")
+	requireSameCandidates(t, want, got)
+	for _, line := range got {
+		if line.PowerW > 5 || line.VSafeMS < 1 {
+			t.Errorf("constraint violated: %s (%.1f W, %.2f m/s)", line.Name, line.PowerW, line.VSafeMS)
+		}
+	}
+}
+
+func TestExploreTopK(t *testing.T) {
+	srv := newTestServer(t)
+	cat := catalog.Default()
+	all, err := dse.Enumerate(cat, defaultSpace(cat), dse.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, obj := range map[string]dse.Objective{"velocity": dse.MaxVelocity, "balance": dse.Balance} {
+		want := dse.TopK(all, obj, 3)
+		got := exploreLines(t, srv.URL+"/explore?top=3&rank="+rank)
+		requireSameCandidates(t, want, got)
+	}
+	// Default rank is velocity.
+	got := exploreLines(t, srv.URL+"/explore?top=5")
+	requireSameCandidates(t, dse.TopK(all, dse.MaxVelocity, 5), got)
+}
+
+func TestExplorePareto(t *testing.T) {
+	srv := newTestServer(t)
+	cat := catalog.Default()
+	all, err := dse.Enumerate(cat, defaultSpace(cat), dse.Constraints{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := dse.ParetoFront(all, dse.MaxVelocity, dse.MinPower)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := exploreLines(t, srv.URL+"/explore?pareto=velocity,power")
+	requireSameCandidates(t, want, got)
+
+	want3, err := dse.ParetoFront(all, dse.MaxVelocity, dse.MinPower, dse.MinPayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got3 := exploreLines(t, srv.URL+"/explore?pareto=velocity,power,payload")
+	requireSameCandidates(t, want3, got3)
+}
+
+func TestExploreBadParams(t *testing.T) {
+	srv := newTestServer(t)
+	for _, q := range []string{
+		"uav=bogus",
+		"compute=bogus",
+		"algorithm=bogus",
+		"sensor=bogus",
+		"max_power_w=-1",
+		"max_payload_g=-0.5",
+		"min_velocity_ms=abc",
+		"top=0",
+		"top=-2",
+		"top=x",
+		"top=3&rank=warp",
+		"rank=velocity",               // rank without top
+		"top=3&pareto=velocity,power", // mutually exclusive
+		"pareto=velocity,warp",
+	} {
+		resp, err := http.Get(srv.URL + "/explore?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%q: status = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestExploreStreamsAndDisconnectCancels drives the acceptance
+// criterion end to end against a synthetically enlarged catalog: the
+// first NDJSON line must arrive while the sweep is still running, and
+// closing the connection must cancel the exploration — observed
+// through the server's shared cache, which only grows while workers
+// are analyzing.
+func TestExploreStreamsAndDisconnectCancels(t *testing.T) {
+	cat := catalog.Synthetic(10, 40, 40) // 16000 candidates
+	s := NewServer(cat)
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	baseline := runtime.NumGoroutine()
+	resp, err := http.Get(srv.URL + "/explore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first line must be readable before the sweep finishes (the
+	// handler flushes per candidate); afterwards the exploration is
+	// still far from its 16000-candidate end.
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading first streamed line: %v", err)
+	}
+	var first ExploreCandidateJSON
+	if err := json.Unmarshal(line, &first); err != nil {
+		t.Fatalf("first line %q: %v", line, err)
+	}
+	if first.Name == "" {
+		t.Fatal("first line has no name")
+	}
+	resp.Body.Close() // mid-stream disconnect
+
+	// Cancellation: the analysis cache stops growing well short of the
+	// full space once the request context dies.
+	total := 16000
+	var settled, prev int
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		settled = s.cache.Len()
+		time.Sleep(50 * time.Millisecond)
+		if s.cache.Len() == settled && settled == prev {
+			break
+		}
+		prev = settled
+	}
+	if settled >= total {
+		t.Fatalf("exploration ran to completion (%d analyses) despite disconnect", settled)
+	}
+	// And the handler + worker goroutines wind down to baseline.
+	waitUntil := time.Now().Add(2 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > baseline && time.Now().Before(waitUntil) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > baseline+1 { // allow one lingering http keep-alive goroutine
+		t.Errorf("goroutines after disconnect: %d, baseline %d", n, baseline)
+	}
+}
+
+func TestExploreEmptySlateIsEmptyBody(t *testing.T) {
+	srv := newTestServer(t)
+	// An impossible constraint leaves nothing to stream — the response
+	// is a valid, empty NDJSON document.
+	got := exploreLines(t, srv.URL+"/explore?min_velocity_ms=10000")
+	if len(got) != 0 {
+		t.Fatalf("got %d lines, want 0", len(got))
+	}
+}
+
+// BenchmarkExploreEndpoint measures a full /explore request over the
+// default catalog — the serving hot path (parse, explore, encode,
+// flush) end to end. Part of the CI bench smoke step.
+func BenchmarkExploreEndpoint(b *testing.B) {
+	srv := httptest.NewServer(NewServer(nil))
+	defer srv.Close()
+	client := srv.Client()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(srv.URL + "/explore")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		n := 0
+		for sc.Scan() {
+			n++
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("no candidates streamed")
+		}
+	}
+}

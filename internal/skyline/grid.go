@@ -1,0 +1,135 @@
+package skyline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"repro/internal/catalog"
+	"repro/internal/dse"
+	"repro/internal/plot"
+)
+
+// GridRequest is the /grid.svg interface: the base configuration uses
+// the same preset/custom parameters as /plot.svg, plus:
+//
+//	x, y       = payload | range | sensor | compute (must differ)
+//	xlo, xhi   = x-axis bounds (the knob's natural unit)
+//	ylo, yhi   = y-axis bounds
+//	nx, ny     = grid resolution (default 40×30, max 200 per axis)
+//
+// The response is a safe-velocity heatmap over the (x × y) grid — the
+// GridSweep characterization map.
+type GridRequest struct {
+	Params   Params
+	X, Y     dse.Knob
+	XLo, XHi float64
+	YLo, YHi float64
+	NX, NY   int
+}
+
+// gridMaxAxis bounds each axis so one request cannot monopolize the
+// server (200×200 analyses ≈ tens of milliseconds; far beyond any
+// legible SVG anyway).
+const gridMaxAxis = 200
+
+// ParseGrid extracts a grid request from query parameters.
+func ParseGrid(q url.Values) (GridRequest, error) {
+	p, err := ParseParams(q)
+	if err != nil {
+		return GridRequest{}, err
+	}
+	req := GridRequest{Params: p, NX: 40, NY: 30}
+	if req.X, err = parseKnob("x", q.Get("x")); err != nil {
+		return GridRequest{}, err
+	}
+	if req.Y, err = parseKnob("y", q.Get("y")); err != nil {
+		return GridRequest{}, err
+	}
+	if req.X == req.Y {
+		return GridRequest{}, fmt.Errorf("skyline: grid axes must differ, got %s twice", q.Get("x"))
+	}
+	parse := func(key string, dst *float64) {
+		if err != nil {
+			return
+		}
+		v, perr := strconv.ParseFloat(q.Get(key), 64)
+		if perr != nil {
+			err = fmt.Errorf("skyline: grid parameter %q: %v", key, perr)
+			return
+		}
+		*dst = v
+	}
+	parse("xlo", &req.XLo)
+	parse("xhi", &req.XHi)
+	parse("ylo", &req.YLo)
+	parse("yhi", &req.YHi)
+	if err != nil {
+		return GridRequest{}, err
+	}
+	readN := func(key string, dst *int) error {
+		s := q.Get(key)
+		if s == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 2 || n > gridMaxAxis {
+			return fmt.Errorf("skyline: grid parameter %s must be 2..%d, got %q", key, gridMaxAxis, s)
+		}
+		*dst = n
+		return nil
+	}
+	if err := readN("nx", &req.NX); err != nil {
+		return GridRequest{}, err
+	}
+	if err := readN("ny", &req.NY); err != nil {
+		return GridRequest{}, err
+	}
+	return req, nil
+}
+
+// Run executes the grid sweep against the catalog and renders the
+// safe-velocity heatmap. ctx scopes the nx·ny analyses to the request:
+// a dropped client cancels the remaining cells.
+func (r GridRequest) Run(ctx context.Context, cat *catalog.Catalog) (*plot.Heatmap, error) {
+	cfg, err := r.Params.Config(cat)
+	if err != nil {
+		return nil, err
+	}
+	res, err := dse.GridSweepContext(ctx, cfg, r.X, r.XLo, r.XHi, r.NX, r.Y, r.YLo, r.YHi, r.NY)
+	if err != nil {
+		return nil, err
+	}
+	return &plot.Heatmap{
+		Title:  fmt.Sprintf("Grid: %s — %s × %s", cfg.Name, r.X, r.Y),
+		XLabel: r.X.String(),
+		YLabel: r.Y.String(),
+		ZLabel: "v_safe (m/s)",
+		Xs:     res.Xs,
+		Ys:     res.Ys,
+		Values: res.VelocityGrid(),
+	}, nil
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	req, err := ParseGrid(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hm, err := req.Run(r.Context(), s.cat)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return // client is gone
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	if err := hm.SVG(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -77,6 +77,8 @@ var pageTemplate = template.Must(template.New("skyline").Parse(`<!DOCTYPE html>
 <ul>
 <li><code>/compare.svg?config=UAV|Compute|Algorithm&amp;config=…</code> — overlay up to 8 rooflines (add <code>|tdp=W</code> to cap a platform)</li>
 <li><code>/sweep.svg?knob=compute|payload|range|sensor&amp;lo=…&amp;hi=…&amp;log=true</code> — sweep one knob, with bound-transition markers</li>
+<li><code>/grid.svg?x=payload&amp;xlo=…&amp;xhi=…&amp;y=compute&amp;ylo=…&amp;yhi=…</code> — two-knob safe-velocity heatmap</li>
+<li><code>/explore?uav=…&amp;compute=…&amp;max_power_w=…&amp;top=K|pareto=velocity,power</code> — stream the design-space exploration as NDJSON</li>
 <li><code>/api/analyze</code>, <code>/api/compare</code> — JSON for scripting</li>
 </ul>
 </div>

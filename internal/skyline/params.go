@@ -3,6 +3,34 @@
 // areas — UAV system parameter knobs, a visualization area (the F-1
 // plot rendered server-side as SVG), and an automatic analysis pane
 // with bound/bottleneck classification and optimization tips.
+//
+// # Endpoints
+//
+//	/                GET  the interactive page (preset + Table II knobs)
+//	/plot.svg        GET  the F-1 roofline figure for one configuration
+//	/api/analyze     GET  the analysis as JSON
+//	/compare.svg     GET  overlay up to 8 rooflines (config=UAV|Compute|Algo)
+//	/api/compare     GET  the comparison table as JSON
+//	/sweep.svg       GET  one-knob sweep (knob=, lo=, hi=, n=, log=)
+//	/explore         GET  design-space exploration streamed as NDJSON.
+//	                      Space: uav=, compute=, algorithm=, sensor=
+//	                      (repeatable or comma-separated; omitted = whole
+//	                      catalog; sensor=default names the UAV's own
+//	                      sensor). Constraints: max_payload_g=,
+//	                      max_power_w=, min_velocity_ms=. Selection:
+//	                      top=K with rank=velocity|power|payload|balance,
+//	                      or pareto=velocity,power[,payload]. Without
+//	                      top/pareto, candidates stream incrementally in
+//	                      canonical order and a dropped connection
+//	                      cancels the exploration's workers.
+//	/grid.svg        GET  two-knob GridSweep heatmap. Axes: x=, y= (one
+//	                      of payload|range|sensor|compute), bounds
+//	                      xlo=, xhi=, ylo=, yhi=, resolution nx=, ny=
+//	                      (default 40×30), plus the base configuration
+//	                      parameters of /plot.svg.
+//
+// Numeric knobs shared with /plot.svg (tdp_w, payload_g, sensor_hz, …)
+// reject negative values with a 400.
 package skyline
 
 import (
@@ -51,6 +79,19 @@ func parseFloat(q url.Values, key string) (float64, error) {
 	return v, nil
 }
 
+// parseNonNeg reads one non-negative float field, tolerating absence
+// (0 = unset) — the rule for every physical knob and constraint.
+func parseNonNeg(q url.Values, key string) (float64, error) {
+	v, err := parseFloat(q, key)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("skyline: parameter %q: %v is negative", key, v)
+	}
+	return v, nil
+}
+
 // ParseParams extracts knobs from a query string.
 func ParseParams(q url.Values) (Params, error) {
 	p := Params{
@@ -70,7 +111,10 @@ func ParseParams(q url.Values) (Params, error) {
 		if err != nil {
 			return
 		}
-		*dst, err = parseFloat(q, key)
+		// Every numeric knob is a physical quantity (mass, rate, power,
+		// time): negatives can only produce nonsense configs, so reject
+		// them at the boundary instead of analyzing garbage.
+		*dst, err = parseNonNeg(q, key)
 	}
 	read("tdp_w", &p.TDPW)
 	read("drone_weight_g", &p.DroneWeightG)

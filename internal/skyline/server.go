@@ -1,11 +1,14 @@
 package skyline
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"math"
 	"net/http"
+	"net/url"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -35,6 +38,8 @@ func NewServer(cat *catalog.Catalog) *Server {
 	s.mux.HandleFunc("/compare.svg", s.handleCompareSVG)
 	s.mux.HandleFunc("/api/compare", s.handleCompare)
 	s.mux.HandleFunc("/sweep.svg", s.handleSweep)
+	s.mux.HandleFunc("/explore", s.handleExplore)
+	s.mux.HandleFunc("/grid.svg", s.handleGrid)
 	return s
 }
 
@@ -44,8 +49,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	ch, err := req.Run(s.cat)
+	ch, err := req.Run(r.Context(), s.cat)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return // client is gone
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -239,11 +247,16 @@ type pageData struct {
 	UAVs       []string
 	Computes   []string
 	Algorithms []string
-	Query      string
-	Analysis   *core.Analysis
-	Tips       []string
-	Summary    string
-	Error      string
+	// Query is the request's query string, re-encoded so every key and
+	// value is percent-escaped. The template.URL marker keeps
+	// html/template from a second, structure-destroying escape of the
+	// = and & separators — safe because url.Values.Encode emits only
+	// URL-safe characters.
+	Query    template.URL
+	Analysis *core.Analysis
+	Tips     []string
+	Summary  string
+	Error    string
 }
 
 func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
@@ -251,13 +264,20 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	// Re-encode the query through url.Values: every key and value is
+	// percent-escaped (hostile input cannot smuggle markup into the
+	// page) while the key=value&... structure survives, unlike escaping
+	// the raw string wholesale. ParseQuery returns the well-formed
+	// pairs even on error; keep them — analysisFor sees the same
+	// surviving pairs, so the plot image stays in sync with the
+	// analysis pane.
+	query, _ := url.ParseQuery(r.URL.RawQuery)
 	data := pageData{
 		UAVs:       s.cat.UAVNames(),
 		Computes:   s.cat.ComputeNames(),
 		Algorithms: s.cat.AlgorithmNames(),
-		Query:      template.URLQueryEscaper(r.URL.RawQuery),
+		Query:      template.URL(query.Encode()),
 	}
-	data.Query = r.URL.RawQuery
 	an, err := s.analysisFor(r)
 	if err != nil {
 		data.Error = err.Error()

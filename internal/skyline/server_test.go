@@ -222,3 +222,129 @@ func TestChartIncludesCeilings(t *testing.T) {
 		t.Errorf("chart structure: %d series, %d markers", len(ch.Series), len(ch.Markers))
 	}
 }
+
+// TestPageEscapesHostileQuery is the regression test for the dead
+// URL-escaping bug: the raw query string used to flow into the page
+// template verbatim. A hostile value in an ignored extra parameter —
+// which leaves the analysis (and thus the <img> URL) intact — must
+// come out percent-escaped, and the legitimate pairs must survive
+// structurally (the old code's double-escape turned = and & into %3d
+// and %26, silently breaking every non-default plot URL).
+func TestPageEscapesHostileQuery(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := get(t, srv.URL+`/?mode=preset&evil=<script>alert(1)</script>`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !strings.Contains(body, "/plot.svg?") {
+		t.Fatal("page did not render the plot image")
+	}
+	for _, hostile := range []string{"<script>alert", "</script>"} {
+		if strings.Contains(body, hostile) {
+			t.Errorf("hostile query leaked into page: %q", hostile)
+		}
+	}
+	// The escaping must not break the round trip: the legitimate pair
+	// still reaches the plot URL in key=value form.
+	if !strings.Contains(body, "mode=preset") {
+		t.Error("escaping destroyed the query structure (mode=preset missing)")
+	}
+	if !strings.Contains(body, "evil=%3Cscript%3E") {
+		t.Error("hostile value not percent-escaped")
+	}
+}
+
+func TestPageSurvivesUnparseableQuery(t *testing.T) {
+	srv := newTestServer(t)
+	status, _ := get(t, srv.URL+`/?bad=%zz;x=%`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	// A malformed pair must not discard the well-formed ones: the plot
+	// image has to show the same configuration as the analysis pane.
+	status, body := get(t, srv.URL+`/?uav=`+url.QueryEscape(catalog.UAVDJISpark)+`&junk=%zz`)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !strings.Contains(body, "uav=DJI") {
+		t.Error("valid query pair dropped alongside the malformed one")
+	}
+}
+
+// TestParseParamsRejectsNegatives covers every numeric knob: negative
+// values are physical nonsense and must 400 at the parse boundary.
+func TestParseParamsRejectsNegatives(t *testing.T) {
+	keys := []string{
+		"tdp_w", "drone_weight_g", "rotor_pull_gf", "payload_g",
+		"sensor_hz", "sensor_range_m", "compute_runtime_s", "control_hz",
+	}
+	for _, key := range keys {
+		t.Run(key, func(t *testing.T) {
+			if _, err := ParseParams(url.Values{key: {"-1"}}); err == nil {
+				t.Errorf("%s=-1 accepted", key)
+			}
+			if _, err := ParseParams(url.Values{key: {"-0.001"}}); err == nil {
+				t.Errorf("%s=-0.001 accepted", key)
+			}
+			// Zero (unset) and positive values stay legal.
+			if _, err := ParseParams(url.Values{key: {"0"}}); err != nil {
+				t.Errorf("%s=0 rejected: %v", key, err)
+			}
+			if _, err := ParseParams(url.Values{key: {"12.5"}}); err != nil {
+				t.Errorf("%s=12.5 rejected: %v", key, err)
+			}
+		})
+	}
+}
+
+func TestNegativeKnobIs400(t *testing.T) {
+	srv := newTestServer(t)
+	for _, path := range []string{
+		"/api/analyze?payload_g=-50",
+		"/plot.svg?sensor_hz=-10",
+		"/sweep.svg?knob=payload&lo=1&hi=10&tdp_w=-3",
+	} {
+		status, body := get(t, srv.URL+path)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", path, status, body)
+		}
+	}
+}
+
+func TestGridSVG(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := get(t, srv.URL+
+		"/grid.svg?x=payload&xlo=0&xhi=600&y=compute&ylo=1&yhi=100&nx=12&ny=8")
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	for _, want := range []string{"<svg", "payload (g)", "compute rate (Hz)", "v_safe (m/s)"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("grid SVG missing %q", want)
+		}
+	}
+	// 12×8 cells plus the color bar: the SVG is a dense rect field.
+	if n := strings.Count(body, "<rect"); n < 96 {
+		t.Errorf("only %d rects in a 12×8 grid", n)
+	}
+}
+
+func TestGridBadParams(t *testing.T) {
+	srv := newTestServer(t)
+	for _, q := range []string{
+		"",                        // no axes
+		"x=payload&xlo=0&xhi=600", // no y
+		"x=payload&y=payload&xlo=0&xhi=1&ylo=0&yhi=1",              // same knob twice
+		"x=payload&y=compute&xlo=0&xhi=1&ylo=9&yhi=1",              // empty y range
+		"x=payload&y=compute&xhi=1&ylo=0&yhi=1",                    // missing xlo
+		"x=payload&y=compute&xlo=0&xhi=1&ylo=0&yhi=1&nx=1",         // nx too small
+		"x=payload&y=compute&xlo=0&xhi=1&ylo=0&yhi=1&ny=9999",      // ny too large
+		"x=warp&y=compute&xlo=0&xhi=1&ylo=0&yhi=1",                 // unknown knob
+		"x=payload&y=compute&xlo=0&xhi=1&ylo=0&yhi=1&payload_g=-5", // negative knob
+	} {
+		status, _ := get(t, srv.URL+"/grid.svg?"+q)
+		if status != http.StatusBadRequest {
+			t.Errorf("%q: status = %d, want 400", q, status)
+		}
+	}
+}

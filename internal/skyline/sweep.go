@@ -1,6 +1,7 @@
 package skyline
 
 import (
+	"context"
 	"fmt"
 	"net/url"
 	"strconv"
@@ -25,6 +26,24 @@ type SweepRequest struct {
 	Log    bool
 }
 
+// parseKnob maps a query-string knob name onto the dse constant.
+func parseKnob(key, name string) (dse.Knob, error) {
+	switch name {
+	case "payload":
+		return dse.KnobPayload, nil
+	case "range":
+		return dse.KnobSensorRange, nil
+	case "sensor":
+		return dse.KnobSensorRate, nil
+	case "compute":
+		return dse.KnobComputeRate, nil
+	case "":
+		return 0, fmt.Errorf("skyline: missing %s=payload|range|sensor|compute", key)
+	default:
+		return 0, fmt.Errorf("skyline: unknown %s knob %q (want payload|range|sensor|compute)", key, name)
+	}
+}
+
 // ParseSweep extracts a sweep request from query parameters.
 func ParseSweep(q url.Values) (SweepRequest, error) {
 	p, err := ParseParams(q)
@@ -32,19 +51,8 @@ func ParseSweep(q url.Values) (SweepRequest, error) {
 		return SweepRequest{}, err
 	}
 	req := SweepRequest{Params: p, N: 50}
-	switch q.Get("knob") {
-	case "payload":
-		req.Knob = dse.KnobPayload
-	case "range":
-		req.Knob = dse.KnobSensorRange
-	case "sensor":
-		req.Knob = dse.KnobSensorRate
-	case "compute":
-		req.Knob = dse.KnobComputeRate
-	case "":
-		return SweepRequest{}, fmt.Errorf("skyline: sweep needs knob=payload|range|sensor|compute")
-	default:
-		return SweepRequest{}, fmt.Errorf("skyline: unknown sweep knob %q", q.Get("knob"))
+	if req.Knob, err = parseKnob("knob", q.Get("knob")); err != nil {
+		return SweepRequest{}, err
 	}
 	parse := func(key string) (float64, error) {
 		v, err := strconv.ParseFloat(q.Get(key), 64)
@@ -71,13 +79,14 @@ func ParseSweep(q url.Values) (SweepRequest, error) {
 }
 
 // Run executes the sweep against the catalog and renders the velocity
-// response chart with bound-transition markers.
-func (r SweepRequest) Run(cat *catalog.Catalog) (*plot.Chart, error) {
+// response chart with bound-transition markers. ctx scopes the
+// evaluation to the request: a dropped client cancels the sweep.
+func (r SweepRequest) Run(ctx context.Context, cat *catalog.Catalog) (*plot.Chart, error) {
 	cfg, err := r.Params.Config(cat)
 	if err != nil {
 		return nil, err
 	}
-	res, err := dse.Sweep(cfg, r.Knob, r.Lo, r.Hi, r.N, r.Log)
+	res, err := dse.SweepContext(ctx, cfg, r.Knob, r.Lo, r.Hi, r.N, r.Log)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package skyline
 
 import (
+	"context"
 	"net/http"
 	"net/url"
 	"strings"
@@ -55,7 +56,7 @@ func TestSweepRunTransitionMarker(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch, err := req.Run(cat)
+	ch, err := req.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
