@@ -323,7 +323,8 @@ func dseBenchSpace(cat *catalog.Catalog) dse.Space {
 
 func benchEnumerate(b *testing.B, workers int) {
 	cat := catalog.Synthetic(5, 16, 16) // 1280 candidates
-	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat), Workers: workers}
+	// CacheOff: measure the engine, not shared-cache hits.
+	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat), Workers: workers, Cache: core.CacheOff()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cands, err := e.Enumerate()
@@ -347,7 +348,7 @@ func BenchmarkEnumerateParallel(b *testing.B) { benchEnumerate(b, 0) }
 // constraint filter applied by the consumer.
 func BenchmarkEnumerateStream(b *testing.B) {
 	cat := catalog.Synthetic(5, 16, 16)
-	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat)}
+	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat), Cache: core.CacheOff()}
 	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -423,9 +424,10 @@ func BenchmarkDSEEnumerate(b *testing.B) {
 		Computes:   []string{catalog.ComputeNCS, catalog.ComputeTX2, catalog.ComputeRasPi4},
 		Algorithms: []string{catalog.AlgoDroNet, catalog.AlgoTrailNet, catalog.AlgoCAD2RL, catalog.AlgoVGG16},
 	}
+	e := dse.Explorer{Catalog: cat, Space: space, Cache: core.CacheOff()}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := dse.Enumerate(cat, space, dse.Constraints{}); err != nil {
+		if _, err := e.Enumerate(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,77 @@
+// Command benchfmt converts the committed BENCH_dse.json record into Go
+// benchmark output ("BenchmarkX 1 123 ns/op ...") so benchstat can
+// compare a fresh `go test -bench` run against the checked-in baseline
+// — the CI bench-regression job's input.
+//
+// Usage:
+//
+//	benchfmt [-f BENCH_dse.json] [-section current]
+//
+// The section flag picks which record to emit ("current" is the latest
+// capture; "baseline" the pre-rework engine). Benchmarks are emitted in
+// name order so the output is deterministic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// measurement is one benchmark record in BENCH_dse.json.
+type measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchfmt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchfmt", flag.ContinueOnError)
+	file := fs.String("f", "BENCH_dse.json", "benchmark record to convert")
+	section := fs.String("section", "current", "record section to emit (current or baseline)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", *file, err)
+	}
+	sec, ok := doc[*section]
+	if !ok {
+		return fmt.Errorf("%s: no %q section", *file, *section)
+	}
+	var benches map[string]measurement
+	if err := json.Unmarshal(sec, &benches); err != nil {
+		return fmt.Errorf("%s: section %q: %w", *file, *section, err)
+	}
+	names := make([]string, 0, len(benches))
+	for name := range benches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := benches[name]
+		// %g keeps the recorded precision: sub-microsecond records like
+		// 188.3 ns/op must not round before benchstat sees them (B/op
+		// and allocs/op are integral by construction).
+		if _, err := fmt.Fprintf(stdout, "%s \t1\t%g ns/op\t%.0f B/op\t%.0f allocs/op\n",
+			name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

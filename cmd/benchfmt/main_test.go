@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleRecord = `{
+  "description": "test record",
+  "baseline": {
+    "Enumerate_1280": {"ns_per_op": 1303420, "bytes_per_op": 1459683, "allocs_per_op": 7774}
+  },
+  "current": {
+    "BenchmarkZeta-4": {"ns_per_op": 100.5, "bytes_per_op": 32, "allocs_per_op": 2, "cpu_flag": 4},
+    "BenchmarkAlpha": {"ns_per_op": 571187, "bytes_per_op": 764784, "allocs_per_op": 2311, "cpu_flag": 1}
+  }
+}`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(sampleRecord), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEmitsBenchFormat(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-f", writeSample(t)}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), out.String())
+	}
+	// Name order: deterministic output regardless of JSON map order.
+	if !strings.HasPrefix(lines[0], "BenchmarkAlpha ") || !strings.HasPrefix(lines[1], "BenchmarkZeta-4 ") {
+		t.Fatalf("unexpected order: %q", lines)
+	}
+	for _, want := range []string{"571187 ns/op", "764784 B/op", "2311 allocs/op"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("line %q missing %q", lines[0], want)
+		}
+	}
+	// Fractional ns/op keep their recorded precision (benchstat parses
+	// float ns/op, exactly as `go test -bench` prints for fast ops).
+	if !strings.Contains(lines[1], "100.5 ns/op") {
+		t.Errorf("line %q lost ns/op precision", lines[1])
+	}
+}
+
+func TestRunSectionFlag(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-f", writeSample(t), "-section", "baseline"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Enumerate_1280 ") {
+		t.Fatalf("baseline section not emitted: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-f", "/nonexistent.json"}, &strings.Builder{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-f", writeSample(t), "-section", "nope"}, &strings.Builder{}); err == nil {
+		t.Error("unknown section accepted")
+	}
+}
+
+func TestRunAgainstRepoRecord(t *testing.T) {
+	// The committed record must stay convertible — this is what the CI
+	// bench-regression job feeds to benchstat.
+	var out strings.Builder
+	if err := run([]string{"-f", "../../BENCH_dse.json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BenchmarkEnumerateSerial ", "ns/op", "allocs/op"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("repo record output missing %q", want)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"runtime"
 
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -34,6 +35,7 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", "", "directory to write .txt tables and .svg figures")
 	ascii := fs.Bool("ascii", false, "also render charts as ASCII on stdout")
 	workers := fs.Int("workers", 0, "cap the cores used by the exploration/sweep engines (0 = all)")
+	cacheStats := fs.Bool("cache-stats", false, "print the process-wide analysis cache statistics after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -109,6 +111,14 @@ func run(args []string, stdout io.Writer) error {
 				}
 			}
 		}
+	}
+	if *cacheStats {
+		// The exploration-driven experiments share core.SharedCache
+		// (the dse.Explorer default); the hit rate shows how much of the
+		// run was memoized.
+		st := core.SharedCache().Stats()
+		fmt.Fprintf(stdout, "cache: %d/%d entries across %d shards, %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
+			st.Entries, st.Capacity, st.Shards, st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
 	}
 	return nil
 }

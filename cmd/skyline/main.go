@@ -7,6 +7,15 @@
 // Usage:
 //
 //	skyline [-addr :8080] [-catalog file.json]
+//	        [-cache-entries 65536] [-max-inflight 4×GOMAXPROCS]
+//	        [-max-workers-per-request GOMAXPROCS]
+//
+// -cache-entries bounds the process-wide analysis cache; -max-inflight
+// caps the concurrently running exploration requests (excess requests
+// get 429 + Retry-After; 0 disables the limit); and
+// -max-workers-per-request clamps one request's workers= knob so a
+// single client cannot monopolize the cores. /healthz reports the cache
+// and admission gauges as JSON.
 package main
 
 import (
@@ -15,28 +24,56 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/skyline"
 )
 
 func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	catalogPath := flag.String("catalog", "", "optional catalog JSON (default: built-in paper catalog)")
-	flag.Parse()
+	srv, addr, err := setup(os.Args[1:])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Skyline listening on %s\n", addr)
+	log.Fatal(http.ListenAndServe(addr, srv))
+}
+
+// setup parses the flags, sizes the process-wide cache and builds the
+// configured server — everything main does short of listening.
+func setup(args []string) (*skyline.Server, string, error) {
+	fs := flag.NewFlagSet("skyline", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	catalogPath := fs.String("catalog", "", "optional catalog JSON (default: built-in paper catalog)")
+	cacheEntries := fs.Int("cache-entries", core.DefaultCacheLimit,
+		"bound on the process-wide analysis cache (entries)")
+	maxInflight := fs.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
+		"concurrent exploration requests before /explore answers 429 (0 = unlimited)")
+	maxWorkers := fs.Int("max-workers-per-request", 0,
+		"cap on one exploration request's workers= knob (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
 
 	cat := catalog.Default()
 	if *catalogPath != "" {
 		f, err := os.Open(*catalogPath)
 		if err != nil {
-			log.Fatalf("opening catalog: %v", err)
+			return nil, "", fmt.Errorf("opening catalog: %w", err)
 		}
 		cat, err = catalog.Load(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("loading catalog: %v", err)
+			return nil, "", fmt.Errorf("loading catalog: %w", err)
 		}
 	}
-	fmt.Printf("Skyline listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, skyline.NewServer(cat)))
+	if *cacheEntries != core.DefaultCacheLimit {
+		core.SetSharedCacheLimit(*cacheEntries)
+	}
+	srv := skyline.NewServerWith(cat, skyline.Options{
+		MaxInflight:          *maxInflight,
+		MaxWorkersPerRequest: *maxWorkers,
+	})
+	return srv, *addr, nil
 }

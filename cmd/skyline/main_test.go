@@ -1,0 +1,70 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"repro/internal/skyline"
+)
+
+// healthz GETs /healthz on a setup-built server and decodes it.
+func healthz(t *testing.T, args []string) skyline.HealthJSON {
+	t.Helper()
+	srv, addr, err := setup(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("empty listen address")
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out skyline.HealthJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSetupDefaultLimits(t *testing.T) {
+	h := healthz(t, nil)
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if want := 4 * runtime.GOMAXPROCS(0); h.MaxInflight != want {
+		t.Errorf("max_inflight = %d, want %d", h.MaxInflight, want)
+	}
+	if want := runtime.GOMAXPROCS(0); h.MaxWorkersPerRequest != want {
+		t.Errorf("max_workers_per_request = %d, want %d", h.MaxWorkersPerRequest, want)
+	}
+}
+
+func TestSetupFlagLimits(t *testing.T) {
+	h := healthz(t, []string{
+		"-max-inflight", "3", "-max-workers-per-request", "1",
+		"-cache-entries", "512",
+	})
+	if h.MaxInflight != 3 {
+		t.Errorf("max_inflight = %d, want 3", h.MaxInflight)
+	}
+	if h.MaxWorkersPerRequest != 1 {
+		t.Errorf("max_workers_per_request = %d, want 1", h.MaxWorkersPerRequest)
+	}
+	// -cache-entries resized the process-wide cache the server shares.
+	if h.Cache.Capacity != 512 {
+		t.Errorf("cache capacity = %d, want 512", h.Cache.Capacity)
+	}
+}
+
+func TestSetupBadFlag(t *testing.T) {
+	if _, _, err := setup([]string{"-catalog", "/nonexistent/catalog.json"}); err == nil {
+		t.Fatal("missing catalog file accepted")
+	}
+}

@@ -1,14 +1,28 @@
 package core
 
 import (
+	"math"
 	"reflect"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Cache memoizes Analyze results keyed on the full Config value, so
 // repeated analyses of the same resolved configuration — a Skyline
 // server replaying popular requests, or an Explorer re-running a design
 // space after a constraint tweak — pay the model cost once.
+//
+// The cache is sharded: the Config hashes to one of a power-of-two
+// number of independently locked segments, so concurrent exploration
+// sweeps spread their lookups instead of contending on a single lock.
+// Each shard is bounded and evicts with a segmented LRU: new entries
+// enter a probationary list and only a second hit promotes them to the
+// protected list, so a one-pass cold scan (a huge /explore sweep)
+// churns through probation without displacing the hot working set —
+// unlike the previous generation-clearing cache, which dropped every
+// entry at once when full. Hits, misses and evictions are counted;
+// Stats returns a snapshot.
 //
 // Cached Analysis values are shared between callers: treat them as
 // read-only (in particular, do not mutate the Ceilings slice of a
@@ -19,57 +33,286 @@ import (
 // or pointers). Configs carrying a non-comparable model fall through to
 // a direct Analyze call rather than panicking on the map insert.
 //
-// The zero Cache is not usable; construct with NewCache. A nil *Cache
-// is legal and simply disables memoization, so callers can thread an
-// optional cache without branching.
+// The zero Cache is a valid pass-through that never memoizes (CacheOff
+// returns a canonical one); construct with NewCache for a real cache.
+// A nil *Cache is likewise legal and simply disables memoization, so
+// callers can thread an optional cache without branching.
 type Cache struct {
-	mu sync.RWMutex
-	m  map[Config]Analysis
-	// limit bounds the entry count; when an insert would exceed it the
-	// cache resets wholesale (generation clearing — cheap, and the hot
-	// working set repopulates immediately).
-	limit int
+	mask   uint64
+	shards []shard
+}
+
+// shard is one independently locked cache segment: a map for lookup
+// plus two intrusive LRU lists (probation and protected) for the
+// segmented eviction order.
+type shard struct {
+	mu        sync.Mutex
+	entries   map[Config]*entry
+	probation lruList
+	protected lruList
+	// capacity bounds len(entries); protectedCap bounds the protected
+	// list (the remainder is probation churn room).
+	capacity     int
+	protectedCap int
+	hits         uint64
+	misses       uint64
+	evictions    uint64
+}
+
+// entry is one memoized analysis, linked into exactly one of its
+// shard's two LRU lists.
+type entry struct {
+	cfg        Config
+	an         Analysis
+	prev, next *entry
+	protected  bool
+	// ref is the protected segment's second-chance bit: set on every
+	// protected hit (one store — far cheaper than exact LRU surgery on
+	// the hot path), consumed by the eviction rotation.
+	ref bool
+}
+
+// shardFor routes cfg to its segment. The route mixes only the cheap
+// scalar knobs (not the airframe or the accel-model interface, which
+// would cost a full runtime hash): correctness never depends on it —
+// every shard map is keyed by the complete Config — only the load
+// spread does, and real design spaces vary exactly these knobs. The
+// shard index must be a pure function of the Config so concurrent
+// lookups of one configuration meet at the same lock.
+func (c *Cache) shardFor(cfg Config) *shard {
+	const mix = 0x9E3779B97F4A7C15 // Fibonacci hashing multiplier
+	h := math.Float64bits(float64(cfg.Payload)) ^ uint64(len(cfg.Name))
+	h = (h + math.Float64bits(float64(cfg.ComputeRate))) * mix
+	h = (h + math.Float64bits(float64(cfg.SensorRate))) * mix
+	h += math.Float64bits(float64(cfg.SensorRange))
+	h *= mix
+	return &c.shards[(h>>32)&c.mask]
+}
+
+// lruList is an intrusive doubly-linked list ordered most- to
+// least-recently used. Intrusive (links live in the entry) so hits and
+// evictions allocate nothing.
+type lruList struct {
+	front, back *entry
+	n           int
+}
+
+func (l *lruList) pushFront(e *entry) {
+	e.prev, e.next = nil, l.front
+	if l.front != nil {
+		l.front.prev = e
+	} else {
+		l.back = e
+	}
+	l.front = e
+	l.n++
+}
+
+func (l *lruList) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+func (l *lruList) moveToFront(e *entry) {
+	if l.front == e {
+		return
+	}
+	l.remove(e)
+	l.pushFront(e)
 }
 
 // DefaultCacheLimit bounds a NewCache-constructed cache's entry count.
 const DefaultCacheLimit = 1 << 16
 
+// maxShards caps the shard count; beyond ~128 segments the lock
+// striping gains nothing while the fixed footprint keeps growing.
+const maxShards = 128
+
 // NewCache returns an empty cache bounded to DefaultCacheLimit entries.
 func NewCache() *Cache { return NewCacheLimit(DefaultCacheLimit) }
 
 // NewCacheLimit returns an empty cache bounded to limit entries
-// (limit <= 0 selects DefaultCacheLimit).
+// (limit <= 0 selects DefaultCacheLimit). The limit is distributed
+// across the shards, so an individual shard evicts slightly before the
+// whole cache is full.
 func NewCacheLimit(limit int) *Cache {
 	if limit <= 0 {
 		limit = DefaultCacheLimit
 	}
-	return &Cache{m: make(map[Config]Analysis), limit: limit}
+	// Enough shards to spread GOMAXPROCS concurrent lookups, but never
+	// so many that a shard drops below ~8 entries of churn room.
+	n := 1
+	for n < 4*runtime.GOMAXPROCS(0) && n < maxShards {
+		n <<= 1
+	}
+	for n > 1 && limit/n < 8 {
+		n >>= 1
+	}
+	c := &Cache{
+		mask:   uint64(n - 1),
+		shards: make([]shard, n),
+	}
+	base, rem := limit/n, limit%n
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = base
+		if i < rem {
+			sh.capacity++
+		}
+		// 80/20 protected/probation split — the classic SLRU ratio:
+		// most of the shard holds the proven working set, the rest is
+		// churn room for one-hit wonders.
+		sh.protectedCap = sh.capacity * 4 / 5
+		sh.entries = make(map[Config]*entry)
+	}
+	return c
+}
+
+// CacheOff returns the canonical pass-through cache: Analyze always
+// recomputes and nothing is retained. Use it where a *Cache is
+// expected but memoization must be off (e.g. a benchmark isolating the
+// computation, or a dse.Explorer that must not touch SharedCache).
+func CacheOff() *Cache { return &cacheOff }
+
+var cacheOff Cache
+
+// sharedCache is the process-wide cache, created on first use.
+var sharedCache atomic.Pointer[Cache]
+
+// SharedCache returns the process-wide analysis cache shared by every
+// component that does not bring its own — the Skyline server, the
+// experiments runner and default-constructed dse.Explorers — so popular
+// configurations are analyzed once per process, not once per subsystem.
+func SharedCache() *Cache {
+	if c := sharedCache.Load(); c != nil {
+		return c
+	}
+	c := NewCache()
+	if sharedCache.CompareAndSwap(nil, c) {
+		return c
+	}
+	return sharedCache.Load()
+}
+
+// SetSharedCacheLimit replaces the process-wide cache with a fresh one
+// bounded to limit entries (limit <= 0 selects DefaultCacheLimit) and
+// returns it. Existing entries and counters are discarded; call it at
+// startup (e.g. from a -cache-entries flag), not mid-traffic.
+func SetSharedCacheLimit(limit int) *Cache {
+	c := NewCacheLimit(limit)
+	sharedCache.Store(c)
+	return c
 }
 
 // Analyze returns the memoized analysis for cfg, computing and caching
 // it on a miss. Errors are never cached (they are cheap to recompute
 // and usually indicate a caller bug). Safe for concurrent use.
 func (c *Cache) Analyze(cfg Config) (Analysis, error) {
-	if c == nil || !memoizable(cfg) {
+	if c == nil || len(c.shards) == 0 || !memoizable(cfg) {
 		return Analyze(cfg)
 	}
-	c.mu.RLock()
-	an, ok := c.m[cfg]
-	c.mu.RUnlock()
-	if ok {
+	sh := c.shardFor(cfg)
+	sh.mu.Lock()
+	if e, ok := sh.entries[cfg]; ok {
+		sh.touch(e)
+		an := e.an
+		sh.mu.Unlock()
 		return an, nil
 	}
+	sh.misses++
+	sh.mu.Unlock()
 	an, err := Analyze(cfg)
 	if err != nil {
 		return an, err
 	}
-	c.mu.Lock()
-	if len(c.m) >= c.limit {
-		clear(c.m)
+	sh.mu.Lock()
+	// A concurrent miss may have inserted cfg while we analyzed; the
+	// results are identical, keep the incumbent's LRU position.
+	if _, ok := sh.entries[cfg]; !ok {
+		sh.insert(cfg, an)
 	}
-	c.m[cfg] = an
-	c.mu.Unlock()
+	sh.mu.Unlock()
 	return an, nil
+}
+
+// touch records a hit and advances e in the segmented order: a
+// probationary entry's second access promotes it to protected (demoting
+// the oldest protected entry back to probation when that segment is
+// full). A hit on an already-protected entry — the hot steady state —
+// only sets the second-chance bit; the eviction rotation restores
+// recency order lazily, so the common path stays one store instead of
+// six pointer writes. Callers hold the shard lock.
+func (sh *shard) touch(e *entry) {
+	sh.hits++
+	switch {
+	case e.protected:
+		if !e.ref {
+			e.ref = true
+		}
+	case sh.protectedCap == 0:
+		// Shard too small for two segments: plain LRU in probation.
+		sh.probation.moveToFront(e)
+	default:
+		sh.probation.remove(e)
+		e.protected = true
+		e.ref = false
+		sh.protected.pushFront(e)
+		if sh.protected.n > sh.protectedCap {
+			demoted := sh.oldestProtected()
+			sh.protected.remove(demoted)
+			demoted.protected = false
+			demoted.ref = false
+			sh.probation.pushFront(demoted)
+		}
+	}
+}
+
+// oldestProtected returns the protected entry to demote or evict,
+// giving recently hit entries a second chance: the rotation clears ref
+// bits and re-files their holders to the front, converging on the
+// least-recently-hit entry (bounded by one full lap).
+func (sh *shard) oldestProtected() *entry {
+	for i := sh.protected.n; i > 1; i-- {
+		back := sh.protected.back
+		if !back.ref {
+			return back
+		}
+		back.ref = false
+		sh.protected.moveToFront(back)
+	}
+	return sh.protected.back
+}
+
+// insert adds a new probationary entry, evicting one victim first when
+// the shard is full. Callers hold the shard lock.
+func (sh *shard) insert(cfg Config, an Analysis) {
+	if sh.capacity == 0 {
+		return
+	}
+	if len(sh.entries) >= sh.capacity {
+		victim := sh.probation.back
+		if victim != nil {
+			sh.probation.remove(victim)
+		} else {
+			victim = sh.oldestProtected()
+			sh.protected.remove(victim)
+		}
+		delete(sh.entries, victim.cfg)
+		sh.evictions++
+	}
+	e := &entry{cfg: cfg, an: an}
+	sh.entries[cfg] = e
+	sh.probation.pushFront(e)
 }
 
 // Len reports the number of memoized configurations.
@@ -77,9 +320,69 @@ func (c *Cache) Len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.m)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats is a point-in-time cache snapshot. Counters are cumulative
+// since construction; Entries and the capacity fields describe the
+// current state.
+type CacheStats struct {
+	Shards    int    `json:"shards"`
+	Capacity  int    `json:"capacity"`
+	Entries   int    `json:"entries"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate is Hits over all lookups, 0 when nothing was looked up.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats aggregates the per-shard counters. The snapshot is
+// shard-by-shard consistent, not globally atomic: under concurrent
+// traffic the totals may mix moments, but every counter is monotone.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{Shards: len(c.shards)}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Capacity += sh.capacity
+		st.Entries += len(sh.entries)
+		st.Hits += sh.hits
+		st.Misses += sh.misses
+		st.Evictions += sh.evictions
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// contains reports whether cfg is currently memoized, without touching
+// the LRU order or the counters (a test / diagnostics probe).
+func (c *Cache) contains(cfg Config) bool {
+	if c == nil || len(c.shards) == 0 || !memoizable(cfg) {
+		return false
+	}
+	sh := c.shardFor(cfg)
+	sh.mu.Lock()
+	_, ok := sh.entries[cfg]
+	sh.mu.Unlock()
+	return ok
 }
 
 // comparableTypes memoizes the per-dynamic-type comparability check so

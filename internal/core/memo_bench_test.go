@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// singleLockCache is the pre-sharding implementation — one RWMutex over
+// one map with generation clearing — kept here as the benchmark
+// baseline so the "no regression at -cpu 1, wins under contention"
+// comparison is reproducible in a single run:
+//
+//	go test -run NONE -bench CacheAnalyze -benchmem -cpu 1,4 ./internal/core
+type singleLockCache struct {
+	mu    sync.RWMutex
+	m     map[Config]Analysis
+	limit int
+}
+
+func (c *singleLockCache) Analyze(cfg Config) (Analysis, error) {
+	if !memoizable(cfg) {
+		return Analyze(cfg)
+	}
+	c.mu.RLock()
+	an, ok := c.m[cfg]
+	c.mu.RUnlock()
+	if ok {
+		return an, nil
+	}
+	an, err := Analyze(cfg)
+	if err != nil {
+		return an, err
+	}
+	c.mu.Lock()
+	if len(c.m) >= c.limit {
+		clear(c.m)
+	}
+	c.m[cfg] = an
+	c.mu.Unlock()
+	return an, nil
+}
+
+// benchConfigs builds a working set of n distinct memoizable configs.
+func benchConfigs(n int) []Config {
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = memoTestConfig("bench", float64(100+i))
+	}
+	return cfgs
+}
+
+type analyzer interface {
+	Analyze(Config) (Analysis, error)
+}
+
+// benchCacheHits drives an all-hits workload — the steady state of a
+// server replaying popular configurations — through cache. With
+// -cpu 1,4 it contrasts the uncontended cost against lock contention.
+func benchCacheHits(b *testing.B, cache analyzer, cfgs []Config) {
+	b.Helper()
+	for _, cfg := range cfgs { // pre-warm: the measured loop only hits
+		if _, err := cache.Analyze(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := cache.Analyze(cfgs[i%len(cfgs)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkCacheAnalyzeHitSharded measures the sharded cache's hit
+// path. Compare against ...HitSingleLock at -cpu 1 (must not regress)
+// and at -cpu 4+ (sharding must win once readers contend).
+func BenchmarkCacheAnalyzeHitSharded(b *testing.B) {
+	benchCacheHits(b, NewCacheLimit(1024), benchConfigs(256))
+}
+
+// BenchmarkCacheAnalyzeHitSingleLock is the pre-sharding baseline on
+// the identical workload.
+func BenchmarkCacheAnalyzeHitSingleLock(b *testing.B) {
+	benchCacheHits(b, &singleLockCache{m: make(map[Config]Analysis), limit: 1024}, benchConfigs(256))
+}
+
+// BenchmarkCacheEvictionChurn measures the miss+insert+evict path: the
+// working set is 4× the capacity, so (nearly) every lookup analyzes,
+// inserts and evicts. The old cache amortized this with a wholesale
+// clear; the sharded cache pays one unlink per insert instead of
+// periodically dropping the whole working set.
+func BenchmarkCacheEvictionChurn(b *testing.B) {
+	cfgs := benchConfigs(512)
+	c := NewCacheLimit(128)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := c.Analyze(cfgs[i%len(cfgs)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	if c.Len() > 128 {
+		b.Fatalf("cache exceeded its limit: %d", c.Len())
+	}
+}

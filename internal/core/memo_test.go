@@ -3,6 +3,7 @@ package core
 import (
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/physics"
@@ -114,7 +115,7 @@ func TestCacheNonComparableModelFallsThrough(t *testing.T) {
 	}
 }
 
-func TestCacheLimitResets(t *testing.T) {
+func TestCacheLimitEvictsIncrementally(t *testing.T) {
 	c := NewCacheLimit(4)
 	for i := 0; i < 10; i++ {
 		if _, err := c.Analyze(memoTestConfig("memo", float64(100+i))); err != nil {
@@ -122,6 +123,243 @@ func TestCacheLimitResets(t *testing.T) {
 		}
 		if c.Len() > 4 {
 			t.Fatalf("cache exceeded its limit: %d", c.Len())
+		}
+	}
+	// Eviction is per-entry, not generation clearing: a full cache stays
+	// full instead of dropping its whole working set.
+	if c.Len() != 4 {
+		t.Fatalf("cache has %d entries after overflow, want 4 (wholesale clear?)", c.Len())
+	}
+	if st := c.Stats(); st.Evictions != 6 {
+		t.Fatalf("evictions = %d, want 6 (10 inserts into 4 slots)", st.Evictions)
+	}
+}
+
+func TestCacheMatchesDirectAnalyze(t *testing.T) {
+	// The sharded cache must be semantically invisible: for any config,
+	// Analyze-through-cache equals a direct Analyze — including after
+	// eviction churn forces recomputation.
+	c := NewCacheLimit(8)
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < 40; i++ {
+			cfg := memoTestConfig("equality", float64(100+i))
+			want, err := Analyze(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Analyze(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("pass %d config %d: cached analysis diverges from direct Analyze", pass, i)
+			}
+		}
+	}
+}
+
+func TestCacheStatsCounters(t *testing.T) {
+	c := NewCacheLimit(64)
+	for i := 0; i < 3; i++ {
+		cfg := memoTestConfig("stats", float64(100+i))
+		for j := 0; j < 2; j++ {
+			if _, err := c.Analyze(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 3 || st.Hits != 3 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 3 hits / 3 misses / 0 evictions", st)
+	}
+	if st.Entries != 3 || st.Entries != c.Len() {
+		t.Fatalf("entries = %d (Len %d), want 3", st.Entries, c.Len())
+	}
+	if st.Capacity != 64 {
+		t.Fatalf("capacity = %d, want 64 (the construction limit)", st.Capacity)
+	}
+	if st.Shards < 1 {
+		t.Fatalf("shards = %d", st.Shards)
+	}
+	if r := st.HitRate(); r != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", r)
+	}
+	var nilStats CacheStats
+	if nilStats.HitRate() != 0 {
+		t.Fatal("zero stats hit rate not 0")
+	}
+}
+
+func TestCacheHotEntriesSurviveColdScan(t *testing.T) {
+	// Segmented LRU's whole point: a one-pass cold scan (a huge explore
+	// sweep) must not displace the proven working set. Hot entries are
+	// promoted by their second hit; the scan then churns probation only.
+	c := NewCacheLimit(8)
+	hot := []Config{memoTestConfig("hot", 300), memoTestConfig("hot", 301)}
+	for _, cfg := range hot {
+		for j := 0; j < 2; j++ { // second access promotes to protected
+			if _, err := c.Analyze(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := c.Analyze(memoTestConfig("cold", float64(1000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, cfg := range hot {
+		if !c.contains(cfg) {
+			t.Errorf("hot entry %d evicted by the cold scan", i)
+		}
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache exceeded its limit: %d", c.Len())
+	}
+	if st := c.Stats(); st.Evictions == 0 {
+		t.Fatal("cold scan caused no evictions")
+	}
+}
+
+func TestCacheOffPassesThrough(t *testing.T) {
+	c := CacheOff()
+	cfg := memoTestConfig("off", 300)
+	an, err := c.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.SafeVelocity <= 0 {
+		t.Fatal("pass-through analysis empty")
+	}
+	if c.Len() != 0 || c.contains(cfg) {
+		t.Fatal("CacheOff retained an entry")
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("CacheOff stats = %+v, want zero", st)
+	}
+}
+
+func TestSharedCacheProcessWide(t *testing.T) {
+	if SharedCache() != SharedCache() {
+		t.Fatal("SharedCache not a stable singleton")
+	}
+	old := SharedCache()
+	resized := SetSharedCacheLimit(128)
+	defer SetSharedCacheLimit(0) // restore a default-sized cache
+	if SharedCache() != resized || resized == old {
+		t.Fatal("SetSharedCacheLimit did not replace the shared cache")
+	}
+	if got := resized.Stats().Capacity; got != 128 {
+		t.Fatalf("resized capacity = %d, want 128", got)
+	}
+	if def := SetSharedCacheLimit(0); def.Stats().Capacity != DefaultCacheLimit {
+		t.Fatalf("limit 0 capacity = %d, want DefaultCacheLimit", def.Stats().Capacity)
+	}
+}
+
+// TestCacheConcurrentEvictionChurn hammers a small cache from many
+// goroutines (run under -race): a shared hot set is touched every
+// iteration while unique cold configs force continuous eviction. The
+// size bound, counter monotonicity and counter bookkeeping must all
+// hold throughout, and a post-churn re-warm of the hot set must survive
+// a fresh cold scan.
+func TestCacheConcurrentEvictionChurn(t *testing.T) {
+	const (
+		limit      = 32
+		goroutines = 8
+		iters      = 200
+	)
+	c := NewCacheLimit(limit)
+	hot := []Config{
+		memoTestConfig("hot", 300), memoTestConfig("hot", 301),
+		memoTestConfig("hot", 302), memoTestConfig("hot", 303),
+	}
+
+	// Sampler: every counter must be monotone while the hammer runs.
+	stop := make(chan struct{})
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		var prev CacheStats
+		for {
+			st := c.Stats()
+			if st.Hits < prev.Hits || st.Misses < prev.Misses || st.Evictions < prev.Evictions {
+				t.Errorf("counters went backwards: %+v then %+v", prev, st)
+				return
+			}
+			if st.Entries > limit {
+				t.Errorf("entries = %d exceeds limit %d", st.Entries, limit)
+				return
+			}
+			prev = st
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	var lookups atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				for _, cfg := range hot {
+					if _, err := c.Analyze(cfg); err != nil {
+						t.Error(err)
+						return
+					}
+					lookups.Add(1)
+				}
+				cold := memoTestConfig("cold", float64(10000+w*iters+i))
+				if _, err := c.Analyze(cold); err != nil {
+					t.Error(err)
+					return
+				}
+				lookups.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-samplerDone
+
+	st := c.Stats()
+	if c.Len() > limit || st.Entries > limit {
+		t.Fatalf("cache exceeded its limit: Len %d, Entries %d", c.Len(), st.Entries)
+	}
+	// Every lookup is exactly one hit or one miss.
+	if total := st.Hits + st.Misses; total != lookups.Load() {
+		t.Fatalf("hits+misses = %d, want %d lookups", total, lookups.Load())
+	}
+	if st.Evictions == 0 {
+		t.Fatal("churn caused no evictions")
+	}
+	if st.Evictions > st.Misses {
+		t.Fatalf("evictions (%d) exceed misses (%d)", st.Evictions, st.Misses)
+	}
+
+	// Deterministic epilogue: re-warm the hot set (promoting each entry
+	// to its shard's protected segment), then stream fresh cold configs.
+	// The hot entries must survive — eviction prefers probation.
+	for _, cfg := range hot {
+		for j := 0; j < 2; j++ {
+			if _, err := c.Analyze(cfg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := c.Analyze(memoTestConfig("cold2", float64(50000+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, cfg := range hot {
+		if !c.contains(cfg) {
+			t.Errorf("hot entry %d evicted by post-churn cold scan", i)
 		}
 	}
 }

@@ -26,9 +26,19 @@ type Explorer struct {
 	// ChunkSize is the number of candidates per work unit; 0 picks a
 	// size that keeps every worker busy without unbounded buffering.
 	ChunkSize int
-	// Cache optionally memoizes analyses across explorations (e.g. a
-	// server re-exploring after a constraint tweak). Nil disables.
+	// Cache memoizes analyses across explorations (e.g. a server
+	// re-exploring after a constraint tweak). Nil selects the
+	// process-wide core.SharedCache; core.CacheOff() disables
+	// memoization entirely (e.g. a benchmark isolating the engine).
 	Cache *core.Cache
+}
+
+// cache resolves the effective analysis cache.
+func (e Explorer) cache() *core.Cache {
+	if e.Cache != nil {
+		return e.Cache
+	}
+	return core.SharedCache()
 }
 
 // workers resolves the effective pool size.
@@ -244,7 +254,7 @@ func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 		if ctx == nil {
 			ctx = context.Background()
 		}
-		p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.Cache)
+		p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.cache())
 		if err != nil {
 			yield(Candidate{}, err)
 			return
@@ -298,7 +308,7 @@ func (e Explorer) ExploreContext(ctx context.Context) ([]Candidate, error) {
 		ctx = context.Background()
 	}
 	var out []Candidate
-	p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.Cache)
+	p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.cache())
 	if err != nil {
 		return nil, err
 	}

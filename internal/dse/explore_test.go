@@ -181,11 +181,35 @@ func TestExplorerSharedCache(t *testing.T) {
 	}
 	requireEqualCandidates(t, first, second)
 	// And against an uncached run.
-	plain, err := Explorer{Catalog: cat, Space: e.Space, Workers: 1}.Enumerate()
+	plain, err := Explorer{Catalog: cat, Space: e.Space, Workers: 1, Cache: core.CacheOff()}.Enumerate()
 	if err != nil {
 		t.Fatal(err)
 	}
 	requireEqualCandidates(t, plain, second)
+}
+
+func TestExplorerCacheDefaults(t *testing.T) {
+	// A default Explorer joins the process-wide cache; an explicit cache
+	// wins; core.CacheOff opts out of memoization entirely.
+	if (Explorer{}).cache() != core.SharedCache() {
+		t.Error("nil Cache did not resolve to core.SharedCache")
+	}
+	own := core.NewCacheLimit(16)
+	if (Explorer{Cache: own}).cache() != own {
+		t.Error("explicit cache not honored")
+	}
+	off := core.CacheOff()
+	if (Explorer{Cache: off}).cache() != off {
+		t.Error("CacheOff not honored")
+	}
+	cat := catalog.Synthetic(1, 2, 2)
+	e := Explorer{Catalog: cat, Space: synthSpace(cat), Cache: off}
+	if _, err := e.Enumerate(); err != nil {
+		t.Fatal(err)
+	}
+	if off.Len() != 0 {
+		t.Errorf("CacheOff retained %d entries", off.Len())
+	}
 }
 
 func TestExplorerUnknownAxisValues(t *testing.T) {

@@ -97,17 +97,18 @@ func sampleAt(lo, hi float64, i, n int, logSpace bool) float64 {
 
 // Sweep evaluates the configuration with the knob set to n values
 // spaced linearly (or geometrically when logSpace) between lo and hi —
-// SweepContext without a cancellation context.
+// SweepContext without a cancellation context, on all available cores.
 func Sweep(cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (SweepResult, error) {
-	return SweepContext(context.Background(), cfg, knob, lo, hi, n, logSpace)
+	return SweepContext(context.Background(), cfg, knob, lo, hi, n, logSpace, 0)
 }
 
 // SweepContext evaluates the configuration with the knob set to n
 // values spaced linearly (or geometrically when logSpace) between lo
-// and hi. Large sweeps run on all available cores; the output is
-// deterministic regardless. Cancelling ctx — a disconnected /sweep.svg
-// client — stops the evaluation between points and returns ctx's error.
-func SweepContext(ctx context.Context, cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (SweepResult, error) {
+// and hi. Large sweeps run across workers cores (0 = GOMAXPROCS — a
+// server passes its per-request cap); the output is deterministic
+// regardless. Cancelling ctx — a disconnected /sweep.svg client —
+// stops the evaluation between points and returns ctx's error.
+func SweepContext(ctx context.Context, cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool, workers int) (SweepResult, error) {
 	if n < 2 {
 		return SweepResult{}, fmt.Errorf("dse: sweep needs ≥2 points, got %d", n)
 	}
@@ -130,22 +131,25 @@ func SweepContext(ctx context.Context, cfg core.Config, knob Knob, lo, hi float6
 		points[i] = SweepPoint{Value: v, Analysis: an}
 		return nil
 	}
-	if err := forEachParallel(ctx, n, eval); err != nil {
+	if err := forEachParallel(ctx, n, workers, eval); err != nil {
 		return SweepResult{}, err
 	}
 	return SweepResult{Knob: knob, Points: points}, nil
 }
 
 // forEachParallel runs eval(0..n-1), serially for small n and in
-// chunks across GOMAXPROCS workers otherwise. Workers write only their
-// own indices, so results are position-stable. The first error aborts
-// the remaining chunks (the result is discarded wholesale anyway), and
-// cancelling ctx stops every worker between evaluations; the returned
-// error is the lowest-indexed recorded failure, or ctx's error when
-// nothing else failed first.
-func forEachParallel(ctx context.Context, n int, eval func(i int) error) error {
+// chunks across the worker pool otherwise (workers <= 0 picks
+// GOMAXPROCS). Workers write only their own indices, so results are
+// position-stable. The first error aborts the remaining chunks (the
+// result is discarded wholesale anyway), and cancelling ctx stops
+// every worker between evaluations; the returned error is the
+// lowest-indexed recorded failure, or ctx's error when nothing else
+// failed first.
+func forEachParallel(ctx context.Context, n, workers int, eval func(i int) error) error {
 	done := ctx.Done()
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if n < sweepSerialThreshold || workers == 1 {
 		for i := 0; i < n; i++ {
 			select {
@@ -252,19 +256,21 @@ func (g GridResult) VelocityGrid() [][]float64 {
 }
 
 // GridSweep evaluates the configuration over the (xKnob × yKnob) grid
-// — GridSweepContext without a cancellation context.
+// — GridSweepContext without a cancellation context, on all available
+// cores.
 func GridSweep(cfg core.Config, xKnob Knob, xLo, xHi float64, nx int, yKnob Knob, yLo, yHi float64, ny int) (GridResult, error) {
-	return GridSweepContext(context.Background(), cfg, xKnob, xLo, xHi, nx, yKnob, yLo, yHi, ny)
+	return GridSweepContext(context.Background(), cfg, xKnob, xLo, xHi, nx, yKnob, yLo, yHi, ny, 0)
 }
 
 // GridSweepContext evaluates the configuration over the (xKnob ×
 // yKnob) grid: nx samples of xKnob between xLo and xHi crossed with ny
 // samples of yKnob between yLo and yHi, linearly spaced. The nx·ny
-// analyses run in parallel chunks with deterministic placement — the
-// characterization heatmap behind two-axis design studies. Cancelling
-// ctx — a disconnected /grid.svg client — stops the workers between
-// cells instead of finishing the grid.
-func GridSweepContext(ctx context.Context, cfg core.Config, xKnob Knob, xLo, xHi float64, nx int, yKnob Knob, yLo, yHi float64, ny int) (GridResult, error) {
+// analyses run in parallel chunks across workers cores (0 = GOMAXPROCS
+// — a server passes its per-request cap) with deterministic placement
+// — the characterization heatmap behind two-axis design studies.
+// Cancelling ctx — a disconnected /grid.svg client — stops the workers
+// between cells instead of finishing the grid.
+func GridSweepContext(ctx context.Context, cfg core.Config, xKnob Knob, xLo, xHi float64, nx int, yKnob Knob, yLo, yHi float64, ny int, workers int) (GridResult, error) {
 	if nx < 2 || ny < 2 {
 		return GridResult{}, fmt.Errorf("dse: grid sweep needs ≥2 points per axis, got %d×%d", nx, ny)
 	}
@@ -301,7 +307,7 @@ func GridSweepContext(ctx context.Context, cfg core.Config, xKnob Knob, xLo, xHi
 		cells[i] = an
 		return nil
 	}
-	if err := forEachParallel(ctx, nx*ny, eval); err != nil {
+	if err := forEachParallel(ctx, nx*ny, workers, eval); err != nil {
 		return GridResult{}, err
 	}
 	return res, nil

@@ -247,13 +247,13 @@ func TestSweepContextCancelled(t *testing.T) {
 	cancel()
 	// Both the serial (< threshold) and chunked paths observe the dead
 	// context before evaluating.
-	if _, err := SweepContext(ctx, cfg, KnobPayload, 0, 500, 10, false); !errors.Is(err, context.Canceled) {
+	if _, err := SweepContext(ctx, cfg, KnobPayload, 0, 500, 10, false, 0); !errors.Is(err, context.Canceled) {
 		t.Errorf("serial sweep: err = %v, want context.Canceled", err)
 	}
-	if _, err := SweepContext(ctx, cfg, KnobPayload, 0, 500, 500, false); !errors.Is(err, context.Canceled) {
+	if _, err := SweepContext(ctx, cfg, KnobPayload, 0, 500, 500, false, 0); !errors.Is(err, context.Canceled) {
 		t.Errorf("chunked sweep: err = %v, want context.Canceled", err)
 	}
-	if _, err := GridSweepContext(ctx, cfg, KnobPayload, 0, 500, 20, KnobComputeRate, 1, 100, 20); !errors.Is(err, context.Canceled) {
+	if _, err := GridSweepContext(ctx, cfg, KnobPayload, 0, 500, 20, KnobComputeRate, 1, 100, 20, 0); !errors.Is(err, context.Canceled) {
 		t.Errorf("grid sweep: err = %v, want context.Canceled", err)
 	}
 }
@@ -269,7 +269,16 @@ func TestSweepContextMatchesSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	scoped, err := SweepContext(context.Background(), cfg, KnobComputeRate, 1, 200, 100, true)
+	// A capped pool (a server's per-request workers clamp) must produce
+	// the identical result.
+	capped, err := SweepContext(context.Background(), cfg, KnobComputeRate, 1, 200, 100, true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(capped.Points, plain.Points) {
+		t.Error("workers=1 sweep diverges from default pool")
+	}
+	scoped, err := SweepContext(context.Background(), cfg, KnobComputeRate, 1, 200, 100, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -212,21 +212,54 @@ func exploreLine(c dse.Candidate) ExploreCandidateJSON {
 	return out
 }
 
+// requestWorkers resolves the workers= query knob against the server's
+// per-request cap: absent or oversized requests get the cap, explicit
+// smaller requests are honored, and garbage is a 400. Every
+// engine-driven endpoint (/explore, /grid.svg, /sweep.svg) runs its
+// pool at the resolved size and echoes it in the X-Explore-Workers
+// header.
+func (s *Server) requestWorkers(q url.Values) (int, error) {
+	ws := q.Get("workers")
+	if ws == "" {
+		return s.maxWorkers, nil
+	}
+	n, err := strconv.Atoi(ws)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("skyline: parameter workers must be a positive integer, got %q", ws)
+	}
+	return min(n, s.maxWorkers), nil
+}
+
 // handleExplore serves the design-space exploration as NDJSON. Without
 // a selection pass the candidates stream as the parallel engine
 // produces them — the first line arrives long before a large sweep
 // finishes — and the request context scopes the work: a dropped client
-// cancels the exploration's workers mid-space.
+// cancels the exploration's workers mid-space. The request runs under
+// the server's admission limit (429 when saturated) and its worker pool
+// is clamped to the per-request cap; the effective pool size is echoed
+// in the X-Explore-Workers header.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	req, err := ParseExplore(s.cat, r.URL.Query())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	workers, err := s.requestWorkers(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	w.Header().Set("X-Explore-Workers", strconv.Itoa(workers))
 	e := dse.Explorer{
 		Catalog:     s.cat,
 		Space:       req.Space,
 		Constraints: req.Constraints,
+		Workers:     workers,
 		Cache:       s.cache,
 	}
 	ctx := r.Context()

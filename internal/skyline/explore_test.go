@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/units"
 )
@@ -254,7 +255,9 @@ func TestExploreBadParams(t *testing.T) {
 // are analyzing.
 func TestExploreStreamsAndDisconnectCancels(t *testing.T) {
 	cat := catalog.Synthetic(10, 40, 40) // 16000 candidates
-	s := NewServer(cat)
+	// A private cache isolates the growth observation from other tests
+	// sharing the process-wide core.SharedCache.
+	s := NewServerWith(cat, Options{Cache: core.NewCache()})
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 

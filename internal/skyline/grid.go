@@ -29,6 +29,9 @@ type GridRequest struct {
 	XLo, XHi float64
 	YLo, YHi float64
 	NX, NY   int
+	// Workers bounds the evaluation pool (0 = all cores); the server
+	// sets it to the request's clamped workers= knob.
+	Workers int
 }
 
 // gridMaxAxis bounds each axis so one request cannot monopolize the
@@ -99,7 +102,7 @@ func (r GridRequest) Run(ctx context.Context, cat *catalog.Catalog) (*plot.Heatm
 	if err != nil {
 		return nil, err
 	}
-	res, err := dse.GridSweepContext(ctx, cfg, r.X, r.XLo, r.XHi, r.NX, r.Y, r.YLo, r.YHi, r.NY)
+	res, err := dse.GridSweepContext(ctx, cfg, r.X, r.XLo, r.XHi, r.NX, r.Y, r.YLo, r.YHi, r.NY, r.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +123,16 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if req.Workers, err = s.requestWorkers(r.URL.Query()); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	w.Header().Set("X-Explore-Workers", strconv.Itoa(req.Workers))
 	hm, err := req.Run(r.Context(), s.cat)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {

@@ -22,15 +22,40 @@
 //	                      or pareto=velocity,power[,payload]. Without
 //	                      top/pareto, candidates stream incrementally in
 //	                      canonical order and a dropped connection
-//	                      cancels the exploration's workers.
+//	                      cancels the exploration's workers. workers=N
+//	                      sizes the request's worker pool, clamped to the
+//	                      server's per-request cap; the effective size is
+//	                      echoed in the X-Explore-Workers header.
 //	/grid.svg        GET  two-knob GridSweep heatmap. Axes: x=, y= (one
 //	                      of payload|range|sensor|compute), bounds
 //	                      xlo=, xhi=, ylo=, yhi=, resolution nx=, ny=
 //	                      (default 40×30), plus the base configuration
 //	                      parameters of /plot.svg.
+//	/healthz         GET  liveness plus operational gauges as JSON: the
+//	                      shared analysis-cache statistics (entries,
+//	                      capacity, shards, hits/misses/evictions, hit
+//	                      rate) and the admission-control state
+//	                      (in-flight, limit, rejected count).
 //
 // Numeric knobs shared with /plot.svg (tdp_w, payload_g, sensor_hz, …)
 // reject negative values with a 400.
+//
+// # Limits
+//
+// Servers built with NewServerWith apply admission control to the
+// engine-driven endpoints (/explore, /grid.svg, /sweep.svg): at most
+// Options.MaxInflight explorations run concurrently and excess requests
+// are shed immediately with 429 Too Many Requests plus a Retry-After
+// header — in-flight streams are never throttled. Each request's worker
+// pool is clamped to Options.MaxWorkersPerRequest so one client cannot
+// monopolize the cores: all three endpoints accept the workers= knob
+// and echo the effective pool size in X-Explore-Workers. Analyses are
+// memoized in the process-wide
+// core.SharedCache (sharded, segmented-LRU eviction) unless Options
+// supplies a dedicated cache.
+//
+// cmd/skyline exposes these as -cache-entries, -max-inflight and
+// -max-workers-per-request flags.
 package skyline
 
 import (

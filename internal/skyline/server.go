@@ -9,6 +9,9 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"runtime"
+	"strconv"
+	"sync/atomic"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -21,17 +24,56 @@ type Server struct {
 	cat *catalog.Catalog
 	mux *http.ServeMux
 	// cache memoizes analyses across requests: under heavy traffic the
-	// popular configurations hit the F-1 model once, not per request.
+	// popular configurations hit the F-1 model once, not per process.
 	cache *core.Cache
+	// inflight is the exploration admission semaphore (nil = unlimited):
+	// the engine-driven endpoints acquire a slot or answer 429.
+	inflight chan struct{}
+	// maxWorkers caps one request's exploration worker pool.
+	maxWorkers int
+	// rejected counts requests turned away with 429.
+	rejected atomic.Uint64
+}
+
+// Options tune a Server beyond its catalog. The zero value preserves
+// the permissive defaults: the process-wide shared cache, no in-flight
+// admission limit, and per-request workers capped at GOMAXPROCS.
+type Options struct {
+	// Cache memoizes analyses across requests. Nil selects the
+	// process-wide core.SharedCache; core.CacheOff() disables caching.
+	Cache *core.Cache
+	// MaxInflight bounds how many engine-driven requests (/explore,
+	// /grid.svg, /sweep.svg) may run concurrently; excess requests get
+	// 429 with a Retry-After header instead of queueing. 0 = unlimited.
+	MaxInflight int
+	// MaxWorkersPerRequest clamps the workers= query knob (and the
+	// default pool size) so one client cannot monopolize the cores.
+	// 0 or anything above GOMAXPROCS means GOMAXPROCS.
+	MaxWorkersPerRequest int
 }
 
 // NewServer builds a server over the given catalog (nil = default
-// catalog).
-func NewServer(cat *catalog.Catalog) *Server {
+// catalog) with default Options.
+func NewServer(cat *catalog.Catalog) *Server { return NewServerWith(cat, Options{}) }
+
+// NewServerWith builds a server over the given catalog (nil = default
+// catalog) with explicit limits.
+func NewServerWith(cat *catalog.Catalog, opt Options) *Server {
 	if cat == nil {
 		cat = catalog.Default()
 	}
-	s := &Server{cat: cat, mux: http.NewServeMux(), cache: core.NewCache()}
+	cache := opt.Cache
+	if cache == nil {
+		cache = core.SharedCache()
+	}
+	maxWorkers := runtime.GOMAXPROCS(0)
+	if opt.MaxWorkersPerRequest > 0 && opt.MaxWorkersPerRequest < maxWorkers {
+		maxWorkers = opt.MaxWorkersPerRequest
+	}
+	s := &Server{cat: cat, mux: http.NewServeMux(), cache: cache, maxWorkers: maxWorkers}
+	if opt.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opt.MaxInflight)
+	}
 	s.mux.HandleFunc("/", s.handlePage)
 	s.mux.HandleFunc("/plot.svg", s.handlePlot)
 	s.mux.HandleFunc("/api/analyze", s.handleAnalyze)
@@ -40,7 +82,56 @@ func NewServer(cat *catalog.Catalog) *Server {
 	s.mux.HandleFunc("/sweep.svg", s.handleSweep)
 	s.mux.HandleFunc("/explore", s.handleExplore)
 	s.mux.HandleFunc("/grid.svg", s.handleGrid)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s
+}
+
+// admit reserves an exploration slot. When the server is saturated it
+// answers 429 with Retry-After and returns ok=false; otherwise the
+// caller must defer release. Admission never queues — a full server
+// sheds load immediately so the in-flight requests keep their cores.
+func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
+	if s.inflight == nil {
+		return func() {}, true
+	}
+	select {
+	case s.inflight <- struct{}{}:
+		return func() { <-s.inflight }, true
+	default:
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server is at its exploration capacity; retry shortly", http.StatusTooManyRequests)
+		return nil, false
+	}
+}
+
+// HealthJSON is the /healthz response shape: liveness plus the shared
+// cache and admission-control gauges.
+type HealthJSON struct {
+	Status               string          `json:"status"`
+	Cache                core.CacheStats `json:"cache"`
+	CacheHitRate         float64         `json:"cache_hit_rate"`
+	InflightActive       int             `json:"inflight_active"`
+	MaxInflight          int             `json:"max_inflight"` // 0 = unlimited
+	Rejected             uint64          `json:"rejected"`
+	MaxWorkersPerRequest int             `json:"max_workers_per_request"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cache.Stats()
+	out := HealthJSON{
+		Status:               "ok",
+		Cache:                st,
+		CacheHitRate:         st.HitRate(),
+		InflightActive:       len(s.inflight),
+		MaxInflight:          cap(s.inflight),
+		Rejected:             s.rejected.Load(),
+		MaxWorkersPerRequest: s.maxWorkers,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -49,6 +140,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	if req.Workers, err = s.requestWorkers(r.URL.Query()); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	release, ok := s.admit(w)
+	if !ok {
+		return
+	}
+	defer release()
+	w.Header().Set("X-Explore-Workers", strconv.Itoa(req.Workers))
 	ch, err := req.Run(r.Context(), s.cat)
 	if err != nil {
 		if errors.Is(err, context.Canceled) {

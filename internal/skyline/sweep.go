@@ -24,6 +24,9 @@ type SweepRequest struct {
 	Lo, Hi float64
 	N      int
 	Log    bool
+	// Workers bounds the evaluation pool (0 = all cores); the server
+	// sets it to the request's clamped workers= knob.
+	Workers int
 }
 
 // parseKnob maps a query-string knob name onto the dse constant.
@@ -86,7 +89,7 @@ func (r SweepRequest) Run(ctx context.Context, cat *catalog.Catalog) (*plot.Char
 	if err != nil {
 		return nil, err
 	}
-	res, err := dse.SweepContext(ctx, cfg, r.Knob, r.Lo, r.Hi, r.N, r.Log)
+	res, err := dse.SweepContext(ctx, cfg, r.Knob, r.Lo, r.Hi, r.N, r.Log, r.Workers)
 	if err != nil {
 		return nil, err
 	}
