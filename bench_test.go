@@ -344,6 +344,40 @@ func BenchmarkEnumerateSerial(b *testing.B) { benchEnumerate(b, 1) }
 // BenchmarkEnumerateParallel fans out across all available cores.
 func BenchmarkEnumerateParallel(b *testing.B) { benchEnumerate(b, 0) }
 
+// --- Skewed-space benches ------------------------------------------------
+//
+// The Skewed benches run the same 1280-candidate space with analysis
+// cost proportional to the UAV index (catalog.SyntheticSkewed): the
+// last airframe's cells cost ~1600 spin iterations each while the
+// first's cost none, so a static partition of the space leaves most of
+// a fixed-chunk pool idle behind the expensive tail. They exist to
+// catch regressions in the work-stealing scheduler's rebalancing —
+// on a multi-core runner the parallel/serial ratio here is the
+// headline rebalancing win.
+
+func benchEnumerateSkewed(b *testing.B, workers int) {
+	cat := catalog.SyntheticSkewed(5, 16, 16, 400) // 1280 candidates, heavy tail
+	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat), Workers: workers, Cache: core.CacheOff()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := e.Enumerate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) != 1280 {
+			b.Fatalf("got %d candidates", len(cands))
+		}
+	}
+}
+
+// BenchmarkEnumerateSkewedSerial is the one-worker baseline over the
+// skewed space.
+func BenchmarkEnumerateSkewedSerial(b *testing.B) { benchEnumerateSkewed(b, 1) }
+
+// BenchmarkEnumerateSkewedParallel fans the skewed space across all
+// cores; work stealing keeps the pool busy through the expensive tail.
+func BenchmarkEnumerateSkewedParallel(b *testing.B) { benchEnumerateSkewed(b, 0) }
+
 // BenchmarkEnumerateStream measures the iter.Seq2 streaming path with a
 // constraint filter applied by the consumer.
 func BenchmarkEnumerateStream(b *testing.B) {

@@ -117,8 +117,8 @@ func run(args []string, stdout io.Writer) error {
 		// (the dse.Explorer default); the hit rate shows how much of the
 		// run was memoized.
 		st := core.SharedCache().Stats()
-		fmt.Fprintf(stdout, "cache: %d/%d entries across %d shards, %d hits / %d misses (%.1f%% hit rate), %d evictions\n",
-			st.Entries, st.Capacity, st.Shards, st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
+		fmt.Fprintf(stdout, "cache: %d/%d entries across %d shards, %d hits / %d misses (%.1f%% hit rate, %d coalesced), %d evictions\n",
+			st.Entries, st.Capacity, st.Shards, st.Hits, st.Misses, 100*st.HitRate(), st.Coalesced, st.Evictions)
 	}
 	return nil
 }

@@ -128,3 +128,34 @@ func TestSyntheticCatalogShape(t *testing.T) {
 		t.Error("synthetic catalogs diverge")
 	}
 }
+
+func TestSyntheticSkewedMatchesSynthetic(t *testing.T) {
+	// The spin changes analysis cost, never analysis results: every
+	// selection of the skewed catalog analyzes to exactly the plain
+	// synthetic catalog's numbers.
+	plain := Synthetic(3, 4, 5)
+	skew := SyntheticSkewed(3, 4, 5, 200)
+	for _, u := range plain.UAVNames() {
+		sel := Selection{UAV: u, Compute: plain.ComputeNames()[1], Algorithm: plain.AlgorithmNames()[2]}
+		want, err := plain.Analyze(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := skew.Analyze(sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.SafeVelocity != got.SafeVelocity || want.AMax != got.AMax || want.Knee != got.Knee {
+			t.Errorf("%s: skewed analysis diverges from plain (v %v vs %v)", u, got.SafeVelocity, want.SafeVelocity)
+		}
+	}
+	// The skew model must stay comparable so configs remain memoizable
+	// (a non-comparable AccelModel silently disables the shared cache).
+	cfg, err := skew.BuildConfig(Selection{UAV: skew.UAVNames()[2], Compute: skew.ComputeNames()[0], Algorithm: skew.AlgorithmNames()[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := cfg.AccelModel; !reflect.TypeOf(m).Comparable() {
+		t.Error("skewed accel model is not comparable")
+	}
+}

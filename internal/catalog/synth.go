@@ -2,6 +2,7 @@ package catalog
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/physics"
 	"repro/internal/units"
@@ -15,6 +16,48 @@ import (
 // deterministic functions of the index — two calls produce identical
 // catalogs.
 func Synthetic(nUAVs, nComputes, nAlgos int) *Catalog {
+	return synthetic(nUAVs, nComputes, nAlgos, 0)
+}
+
+// SyntheticSkewed is Synthetic with a strongly non-uniform analysis
+// cost: UAV i's acceleration model performs i·spin extra deterministic
+// floating-point iterations per evaluation, so the candidate space's
+// cost grows with the cell index — the last UAV's cells dominate the
+// wall clock while the first UAV's are nearly free. The analysis
+// *results* are identical to Synthetic's (the spin changes nothing but
+// time), which makes this the fixture for scheduler-rebalancing tests
+// and benches: a static partition of a skewed space stalls on the
+// expensive tail, a work-stealing one spreads it.
+func SyntheticSkewed(nUAVs, nComputes, nAlgos, spin int) *Catalog {
+	return synthetic(nUAVs, nComputes, nAlgos, spin)
+}
+
+// spinningAccel wraps the synthetic catalog's acceleration model with a
+// deterministic compute delay — the knob behind SyntheticSkewed. The
+// returned acceleration is exactly the wrapped model's; only the
+// evaluation cost differs. Comparable (a struct of scalars), so
+// configurations carrying it stay memoizable.
+type spinningAccel struct {
+	model physics.PitchLimited
+	spin  int
+}
+
+// MaxAccel implements physics.AccelModel.
+func (m spinningAccel) MaxAccel(frame physics.Airframe, payload units.Mass) units.Acceleration {
+	x := float64(m.spin + 2)
+	for i := 0; i < m.spin; i++ {
+		x = math.Sqrt(x) + 1
+	}
+	a := m.model.MaxAccel(frame, payload)
+	if math.IsNaN(x) {
+		// Unreachable — the sqrt chain stays finite and positive — but
+		// it keeps the spin observable so the loop cannot be elided.
+		return 0
+	}
+	return a
+}
+
+func synthetic(nUAVs, nComputes, nAlgos, spin int) *Catalog {
 	c := New()
 	for i := 0; i < nUAVs; i++ {
 		name := fmt.Sprintf("synth-uav-%03d", i)
@@ -25,6 +68,10 @@ func Synthetic(nUAVs, nComputes, nAlgos int) *Catalog {
 			Mass:  units.Grams(10 + float64(i%3)*10),
 		}
 		c.AddSensor(sensor)
+		var accel physics.AccelModel = physics.PitchLimited{UsableThrustFraction: 0.95}
+		if spin > 0 {
+			accel = spinningAccel{model: physics.PitchLimited{UsableThrustFraction: 0.95}, spin: i * spin}
+		}
 		c.AddUAV(UAV{
 			Name: name,
 			Frame: physics.Airframe{
@@ -34,7 +81,7 @@ func Synthetic(nUAVs, nComputes, nAlgos int) *Catalog {
 				MotorThrust: units.GramsForce(500 + float64(i%9)*50),
 				FrameSize:   units.Millimeters(300 + float64(i%6)*50),
 			},
-			Accel:          physics.PitchLimited{UsableThrustFraction: 0.95},
+			Accel:          accel,
 			DefaultSensor:  sensor,
 			Class:          MiniUAV,
 			Battery:        units.MilliampHours(3000),

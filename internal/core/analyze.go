@@ -101,25 +101,31 @@ type Config struct {
 	KneeFraction float64
 }
 
-// Validate reports the first configuration problem found.
+// Validate reports the first configuration problem found. NaN is
+// rejected everywhere (every NaN comparison is false, so it would
+// otherwise slip past the range checks into the model — a NaN payload
+// even panics a calibrated acceleration table's segment search). The
+// payload must additionally be finite — an infinite mass is physical
+// nonsense — while infinite rates ("this stage is free") and an
+// infinite sensing range are meaningful limits the model handles.
 func (c Config) Validate() error {
 	if c.AccelModel == nil {
 		return fmt.Errorf("f1: config %q: nil AccelModel", c.Name)
 	}
-	if c.SensorRange <= 0 {
+	if math.IsNaN(float64(c.SensorRange)) || c.SensorRange <= 0 {
 		return fmt.Errorf("f1: config %q: sensing range must be positive, got %v", c.Name, c.SensorRange)
 	}
-	if c.SensorRate <= 0 {
+	if math.IsNaN(float64(c.SensorRate)) || c.SensorRate <= 0 {
 		return fmt.Errorf("f1: config %q: sensor rate must be positive, got %v", c.Name, c.SensorRate)
 	}
-	if c.ComputeRate < 0 {
+	if math.IsNaN(float64(c.ComputeRate)) || c.ComputeRate < 0 {
 		return fmt.Errorf("f1: config %q: compute rate must be non-negative, got %v", c.Name, c.ComputeRate)
 	}
-	if c.ControlRate <= 0 {
+	if math.IsNaN(float64(c.ControlRate)) || c.ControlRate <= 0 {
 		return fmt.Errorf("f1: config %q: control rate must be positive, got %v", c.Name, c.ControlRate)
 	}
-	if c.Payload < 0 {
-		return fmt.Errorf("f1: config %q: payload must be non-negative, got %v", c.Name, c.Payload)
+	if math.IsNaN(float64(c.Payload)) || math.IsInf(float64(c.Payload), 0) || c.Payload < 0 {
+		return fmt.Errorf("f1: config %q: payload must be finite and non-negative, got %v", c.Name, c.Payload)
 	}
 	return nil
 }

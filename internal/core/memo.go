@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"runtime"
@@ -21,8 +22,12 @@ import (
 // protected list, so a one-pass cold scan (a huge /explore sweep)
 // churns through probation without displacing the hot working set —
 // unlike the previous generation-clearing cache, which dropped every
-// entry at once when full. Hits, misses and evictions are counted;
-// Stats returns a snapshot.
+// entry at once when full. Misses fill with singleflight: concurrent
+// misses of one configuration coalesce onto a single in-flight
+// analysis (a per-shard wait registry), so a thundering herd of
+// identical requests computes once and shares the result. Hits,
+// misses, coalesced waits and evictions are counted; Stats returns a
+// snapshot.
 //
 // Cached Analysis values are shared between callers: treat them as
 // read-only (in particular, do not mutate the Ceilings slice of a
@@ -42,12 +47,14 @@ type Cache struct {
 	shards []shard
 }
 
-// shard is one independently locked cache segment: a map for lookup
-// plus two intrusive LRU lists (probation and protected) for the
-// segmented eviction order.
+// shard is one independently locked cache segment: a map for lookup,
+// two intrusive LRU lists (probation and protected) for the segmented
+// eviction order, and a singleflight registry of analyses currently in
+// flight so concurrent misses of one configuration coalesce.
 type shard struct {
 	mu        sync.Mutex
 	entries   map[Config]*entry
+	inflight  map[Config]*flight
 	probation lruList
 	protected lruList
 	// capacity bounds len(entries); protectedCap bounds the protected
@@ -56,7 +63,21 @@ type shard struct {
 	protectedCap int
 	hits         uint64
 	misses       uint64
+	coalesced    uint64
 	evictions    uint64
+}
+
+// flight is one in-progress analysis. The first miss of a Config (the
+// leader) creates it, computes, then publishes the result and closes
+// done; concurrent misses of the same Config (followers) wait on done
+// and share the leader's result instead of re-analyzing. Errors are
+// shared with the waiting followers too — Analyze is deterministic in
+// its Config, so every follower would have hit the same error — but,
+// as ever, never cached.
+type flight struct {
+	done chan struct{}
+	an   Analysis
+	err  error
 }
 
 // entry is one memoized analysis, linked into exactly one of its
@@ -174,6 +195,7 @@ func NewCacheLimit(limit int) *Cache {
 		// churn room for one-hit wonders.
 		sh.protectedCap = sh.capacity * 4 / 5
 		sh.entries = make(map[Config]*entry)
+		sh.inflight = make(map[Config]*flight)
 	}
 	return c
 }
@@ -214,9 +236,18 @@ func SetSharedCacheLimit(limit int) *Cache {
 	return c
 }
 
+// analyzeFn computes an analysis on a cache miss. It is a package
+// variable only so tests can count or stall the underlying computation;
+// production code never reassigns it.
+var analyzeFn = Analyze
+
 // Analyze returns the memoized analysis for cfg, computing and caching
-// it on a miss. Errors are never cached (they are cheap to recompute
-// and usually indicate a caller bug). Safe for concurrent use.
+// it on a miss. Concurrent misses of the same configuration coalesce:
+// the first caller analyzes while the rest wait for its result
+// (singleflight), so a thundering herd of identical requests pays the
+// model cost exactly once — the coalesced waits are counted in Stats.
+// Errors are never cached (they are cheap to recompute and usually
+// indicate a caller bug). Safe for concurrent use.
 func (c *Cache) Analyze(cfg Config) (Analysis, error) {
 	if c == nil || len(c.shards) == 0 || !memoizable(cfg) {
 		return Analyze(cfg)
@@ -230,20 +261,47 @@ func (c *Cache) Analyze(cfg Config) (Analysis, error) {
 		return an, nil
 	}
 	sh.misses++
-	sh.mu.Unlock()
-	an, err := Analyze(cfg)
-	if err != nil {
-		return an, err
+	if f, ok := sh.inflight[cfg]; ok {
+		// A leader is already analyzing this exact configuration: wait
+		// for its result instead of burning a second analysis.
+		sh.coalesced++
+		sh.mu.Unlock()
+		<-f.done
+		return f.an, f.err
 	}
-	sh.mu.Lock()
-	// A concurrent miss may have inserted cfg while we analyzed; the
-	// results are identical, keep the incumbent's LRU position.
-	if _, ok := sh.entries[cfg]; !ok {
-		sh.insert(cfg, an)
-	}
+	// errFlightAbandoned is what followers see if the leader never
+	// publishes — i.e. analyzeFn panicked. It is pre-set and overwritten
+	// on every normal path, so it can only escape through a panic.
+	f := &flight{done: make(chan struct{}), err: errFlightAbandoned}
+	sh.inflight[cfg] = f
 	sh.mu.Unlock()
-	return an, nil
+
+	// The cleanup is deferred so that a panicking analyzeFn (bad model
+	// data) cannot strand the flight: the registry entry would otherwise
+	// outlive the leader and every future Analyze of this Config would
+	// coalesce onto a flight that never completes.
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.inflight, cfg)
+		if f.err == nil {
+			// A leader for this Config is unique, but an entry may still
+			// exist if the Config was evicted and re-inserted around an
+			// earlier flight; keep the incumbent's LRU position.
+			if _, ok := sh.entries[cfg]; !ok {
+				sh.insert(cfg, f.an)
+			}
+		}
+		sh.mu.Unlock()
+		close(f.done) // publish to followers only after f.an/f.err are set
+	}()
+	f.an, f.err = analyzeFn(cfg)
+	return f.an, f.err
 }
+
+// errFlightAbandoned surfaces to singleflight followers whose leader
+// died (panicked) before publishing a result; the next caller simply
+// becomes a fresh leader.
+var errFlightAbandoned = errors.New("f1: cache: in-flight analysis abandoned")
 
 // touch records a hit and advances e in the segmented order: a
 // probationary entry's second access promotes it to protected (demoting
@@ -334,11 +392,15 @@ func (c *Cache) Len() int {
 // since construction; Entries and the capacity fields describe the
 // current state.
 type CacheStats struct {
-	Shards    int    `json:"shards"`
-	Capacity  int    `json:"capacity"`
-	Entries   int    `json:"entries"`
-	Hits      uint64 `json:"hits"`
-	Misses    uint64 `json:"misses"`
+	Shards   int    `json:"shards"`
+	Capacity int    `json:"capacity"`
+	Entries  int    `json:"entries"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	// Coalesced counts the subset of Misses that waited on another
+	// caller's in-flight analysis of the same configuration
+	// (singleflight) instead of recomputing it.
+	Coalesced uint64 `json:"coalesced"`
 	Evictions uint64 `json:"evictions"`
 }
 
@@ -366,6 +428,7 @@ func (c *Cache) Stats() CacheStats {
 		st.Entries += len(sh.entries)
 		st.Hits += sh.hits
 		st.Misses += sh.misses
+		st.Coalesced += sh.coalesced
 		st.Evictions += sh.evictions
 		sh.mu.Unlock()
 	}

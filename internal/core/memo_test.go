@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/physics"
 	"repro/internal/units"
@@ -388,5 +389,164 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if c.Len() != 20 {
 		t.Fatalf("cache has %d entries, want 20", c.Len())
+	}
+}
+
+// TestCacheSingleflightExactlyOnce is the thundering-herd regression: a
+// burst of concurrent misses of the same configurations must analyze
+// each distinct config exactly once — the followers coalesce onto the
+// leader's in-flight analysis — and the coalesced waits must show up in
+// Stats. A counting analyzeFn stands in for the model; a start barrier
+// maximizes the collision window.
+func TestCacheSingleflightExactlyOnce(t *testing.T) {
+	const goroutines = 16
+	const distinct = 4
+
+	counts := make([]atomic.Int64, distinct)
+	release := make(chan struct{})
+	orig := analyzeFn
+	analyzeFn = func(cfg Config) (Analysis, error) {
+		// Payload encodes the config index (see below).
+		counts[int(cfg.Payload.Grams())-100].Add(1)
+		<-release // hold every leader in flight until the herd has arrived
+		return orig(cfg)
+	}
+	defer func() { analyzeFn = orig }()
+
+	c := NewCache()
+	var wg sync.WaitGroup
+	results := make([]Analysis, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cfg := memoTestConfig("herd", float64(100+g%distinct))
+			an, err := c.Analyze(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = an
+		}(g)
+	}
+	// Release the stalled leaders only once every goroutine is inside
+	// Analyze — each has bumped the miss counter, as leader or as
+	// coalesced follower — so the herd genuinely collides.
+	for deadline := time.Now().Add(10 * time.Second); c.Stats().Misses < goroutines; {
+		if time.Now().After(deadline) {
+			t.Fatalf("herd never assembled: %d/%d misses", c.Stats().Misses, goroutines)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i := range counts {
+		if n := counts[i].Load(); n != 1 {
+			t.Errorf("config %d analyzed %d times, want exactly 1", i, n)
+		}
+	}
+	st := c.Stats()
+	if st.Coalesced == 0 {
+		t.Error("no coalesced waits recorded despite concurrent misses")
+	}
+	if st.Coalesced > st.Misses {
+		t.Errorf("coalesced (%d) exceeds misses (%d)", st.Coalesced, st.Misses)
+	}
+	// Every caller of one config got the leader's (identical) result.
+	for g := range results {
+		want, err := Analyze(memoTestConfig("herd", float64(100+g%distinct)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[g], want) {
+			t.Errorf("goroutine %d got a diverging coalesced result", g)
+		}
+	}
+}
+
+// TestCacheSingleflightSharesErrors: followers of a failing leader get
+// the same error, and nothing is cached.
+func TestCacheSingleflightSharesErrors(t *testing.T) {
+	c := NewCache()
+	bad := memoTestConfig("bad", 300)
+	bad.SensorRange = 0 // fails validation deterministically
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := c.Analyze(bad); err == nil {
+				t.Error("invalid config analyzed without error")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Len() != 0 {
+		t.Fatalf("error was cached: %d entries", c.Len())
+	}
+}
+
+// TestCacheSingleflightLeaderPanic: a panicking analysis (bad model
+// data) must not strand the in-flight registration — concurrent
+// followers get an error instead of hanging, and the next caller
+// becomes a fresh leader and succeeds.
+func TestCacheSingleflightLeaderPanic(t *testing.T) {
+	c := NewCache()
+	cfg := memoTestConfig("panicky", 300)
+
+	release := make(chan struct{})
+	orig := analyzeFn
+	analyzeFn = func(cfg Config) (Analysis, error) {
+		<-release
+		panic("model blew up")
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	panics := make([]any, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer func() { panics[g] = recover() }()
+			_, errs[g] = c.Analyze(cfg)
+		}(g)
+	}
+	for deadline := time.Now().Add(10 * time.Second); c.Stats().Misses < 4; {
+		if time.Now().After(deadline) {
+			t.Fatal("goroutines never assembled")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(release)
+	wg.Wait()
+	analyzeFn = orig
+
+	leaders, followers := 0, 0
+	for g := range errs {
+		switch {
+		case panics[g] != nil:
+			leaders++ // the leader's panic propagates to its caller
+		case errs[g] != nil:
+			followers++ // followers get the abandoned-flight error
+		default:
+			t.Errorf("goroutine %d returned success from a panicked flight", g)
+		}
+	}
+	if leaders != 1 || followers != 3 {
+		t.Errorf("leaders=%d followers=%d, want 1/3", leaders, followers)
+	}
+
+	// The registry entry is gone: the same config analyzes cleanly now.
+	an, err := c.Analyze(cfg)
+	if err != nil {
+		t.Fatalf("config permanently wedged after leader panic: %v", err)
+	}
+	if an.Config.Name != "panicky" {
+		t.Fatal("wrong analysis returned")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache has %d entries, want 1", c.Len())
 	}
 }

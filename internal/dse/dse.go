@@ -10,29 +10,37 @@
 // presets:
 //
 //   - Explorer (explore.go) pre-resolves every axis value against the
-//     catalog once, then fans the cross product out across a bounded
-//     worker pool in fixed-size chunks (pool.go). Chunk results are
-//     merged in index order, so the output is deterministic and
-//     element-for-element identical to a serial scan for every worker
-//     count. Explorer.Candidates streams the space as an iter.Seq2, so
+//     catalog once, then fans the cross product out across the
+//     package's work-stealing scheduler (pool.go): per-worker deques
+//     seeded with coarse contiguous index ranges, small claim grains,
+//     and steal-half splitting when a worker runs dry — so skewed
+//     spaces, where some cells analyze orders of magnitude slower than
+//     others, rebalance dynamically instead of stalling the pool
+//     behind one slow fixed-size chunk. Grain results are re-merged in
+//     index order by a bounded reorder sink, so the output is
+//     deterministic and element-for-element identical to a serial scan
+//     for every worker count, grain size and steal interleaving.
+//     Explorer.Candidates streams the space as an iter.Seq2, so
 //     callers can filter or stop early without materializing it;
 //     Explorer.ExploreContext (and its no-context shorthand Enumerate)
 //     collects it. Both are request-scoped: cancelling the context — a
-//     disconnected HTTP client, a deadline — stops in-flight chunks
+//     disconnected HTTP client, a deadline — stops in-flight grains
 //     between candidates instead of draining the space.
 //   - Analysis hot paths are allocation-lean: catalog lookups happen
 //     once per axis value (not once per candidate), configuration names
 //     are rendered once per (UAV, compute, algorithm) cell, and an
-//     optional core.Cache memoizes repeated analyses.
+//     optional core.Cache memoizes repeated analyses — with
+//     singleflight fill, so concurrent explorations of overlapping
+//     spaces analyze each configuration once, not once per request.
 //   - Rank and TopK (this file) score every candidate exactly once;
 //     TopK keeps a bounded heap instead of sorting the full slate.
 //   - ParetoFront (pareto.go) runs the argmax set for one objective, a
 //     sort-based O(n log n) skyline for two, and a sort-filter
 //     block-nested-loop scan with early termination for three or more.
-//   - Sweep and GridSweep (sweep.go) evaluate knob sweeps in parallel
-//     chunks with the same deterministic-merge discipline; they are the
-//     engine behind the Skyline server's /sweep.svg and the experiment
-//     reproductions.
+//   - Sweep and GridSweep (sweep.go) evaluate knob sweeps over the
+//     same work-stealing scheduler with position-stable writes; they
+//     are the engine behind the Skyline server's /sweep.svg and
+//     /grid.svg and the experiment reproductions.
 package dse
 
 import (

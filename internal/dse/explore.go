@@ -12,10 +12,11 @@ import (
 )
 
 // Explorer is the design-space exploration engine: it fans the
-// (UAV × compute × algorithm × sensor) cross product out across a
-// bounded worker pool and streams the surviving candidates in the
-// canonical serial order, so parallel output is element-for-element
-// identical to Workers=1 output.
+// (UAV × compute × algorithm × sensor) cross product out across the
+// package's work-stealing scheduler and streams the surviving
+// candidates in the canonical serial order, so parallel output is
+// element-for-element identical to Workers=1 output even when the
+// space is skewed and cells rebalance between workers mid-flight.
 type Explorer struct {
 	Catalog     *catalog.Catalog
 	Space       Space
@@ -23,8 +24,9 @@ type Explorer struct {
 	// Workers bounds the pool: 0 picks GOMAXPROCS, 1 runs serially
 	// inline (no goroutines).
 	Workers int
-	// ChunkSize is the number of candidates per work unit; 0 picks a
-	// size that keeps every worker busy without unbounded buffering.
+	// ChunkSize is the scheduler's claim grain — the number of
+	// candidates a worker takes from its deque at once; 0 picks a size
+	// that rebalances skewed cells without measurable claim overhead.
 	ChunkSize int
 	// Cache memoizes analyses across explorations (e.g. a server
 	// re-exploring after a constraint tweak). Nil selects the
@@ -49,18 +51,12 @@ func (e Explorer) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// chunkSize resolves the work-unit size for n candidates.
-func (e Explorer) chunkSize(n, workers int) int {
+// grain resolves the scheduler's claim quantum for n candidates.
+func (e Explorer) grain(n, workers int) int {
 	if e.ChunkSize > 0 {
 		return e.ChunkSize
 	}
-	// Aim for ~8 chunks per worker so a slow chunk cannot stall the
-	// pool, while keeping per-chunk overhead negligible.
-	c := n / (workers * 8)
-	if c < 16 {
-		c = 16
-	}
-	return c
+	return stealGrain(n, workers)
 }
 
 // plan is the pre-resolved exploration: every catalog lookup is done
@@ -101,9 +97,10 @@ type cell struct {
 func (p *plan) total() int { return len(p.cells) * len(p.sensors) }
 
 // newPlan resolves the space against the catalog. Unknown UAVs,
-// computes and sensors are errors (as in the serial engine, which hit
-// them on the first analysis); algorithms without a performance-table
-// row are silently skipped — they are not buildable systems.
+// computes, sensors and algorithms are errors (as in the serial
+// engine, which hit them on the first analysis); a registered
+// algorithm without a performance-table row on a given compute is
+// silently skipped — that combination is not a buildable system.
 func newPlan(cat *catalog.Catalog, space Space, cons Constraints, cache *core.Cache) (*plan, error) {
 	if len(space.UAVs) == 0 || len(space.Computes) == 0 || len(space.Algorithms) == 0 {
 		return nil, fmt.Errorf("dse: space must name at least one UAV, compute and algorithm")
@@ -150,8 +147,16 @@ func newPlan(cat *catalog.Catalog, space Space, cons Constraints, cache *core.Ca
 	}
 	perAlgo := make([]algoRates, len(space.Algorithms))
 	for ai, algo := range space.Algorithms {
+		// Validation parity with the UAV/compute/sensor axes: an
+		// algorithm the catalog has never heard of is a caller error,
+		// surfaced at plan time — not a silently empty exploration. A
+		// registered algorithm merely lacking perf rows on the requested
+		// computes is different: those combinations are simply not
+		// buildable and are skipped below.
+		if _, err := cat.Algorithm(algo); err != nil {
+			return nil, fmt.Errorf("dse: resolving algorithm %q: %w", algo, err)
+		}
 		rates := make([]units.Frequency, len(space.Computes))
-		any := false
 		for ci, comp := range space.Computes {
 			r, err := cat.Perf(algo, comp)
 			if err != nil {
@@ -159,15 +164,6 @@ func newPlan(cat *catalog.Catalog, space Space, cons Constraints, cache *core.Ca
 				continue
 			}
 			rates[ci] = r
-			any = true
-		}
-		if any {
-			// The serial engine surfaced an unregistered algorithm (one
-			// with perf rows but no Algorithm entry) through the first
-			// analysis; surface it at plan time instead.
-			if _, err := cat.Algorithm(algo); err != nil {
-				return nil, fmt.Errorf("dse: resolving algorithm %q: %w", algo, err)
-			}
 		}
 		perAlgo[ai] = algoRates{rates: rates}
 	}
@@ -264,8 +260,8 @@ func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 			return
 		}
 		workers := e.workers()
-		chunk := e.chunkSize(n, workers)
-		if workers == 1 || n <= chunk {
+		grain := e.grain(n, workers)
+		if workers == 1 || n <= grain {
 			done := ctx.Done()
 			for i := 0; i < n; i++ {
 				select {
@@ -285,7 +281,7 @@ func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 			}
 			return
 		}
-		for cands, err := range streamChunks(ctx, p, n, chunk, workers) {
+		for cands, err := range streamStealing(ctx, p, n, grain, workers) {
 			for _, c := range cands {
 				if !yield(c, nil) {
 					return
@@ -314,8 +310,8 @@ func (e Explorer) ExploreContext(ctx context.Context) ([]Candidate, error) {
 	}
 	n := p.total()
 	workers := e.workers()
-	chunk := e.chunkSize(n, workers)
-	if workers == 1 || n <= chunk {
+	grain := e.grain(n, workers)
+	if workers == 1 || n <= grain {
 		// Serial: one output allocation, no handoff buffers.
 		cands, err := p.processChunk(ctx, 0, n)
 		if err != nil {
@@ -323,7 +319,7 @@ func (e Explorer) ExploreContext(ctx context.Context) ([]Candidate, error) {
 		}
 		return cands, nil
 	}
-	for cands, err := range streamChunks(ctx, p, n, chunk, workers) {
+	for cands, err := range streamStealing(ctx, p, n, grain, workers) {
 		out = append(out, cands...)
 		if err != nil {
 			return nil, err
@@ -339,10 +335,11 @@ func (e Explorer) Enumerate() ([]Candidate, error) {
 }
 
 // Enumerate analyzes every combination in the space using the parallel
-// engine with default settings. Combinations with no performance-table
-// entry (an algorithm never measured on a platform) are skipped
-// silently — they are not buildable systems. Other analysis errors
-// abort the exploration.
+// engine with default settings. Unknown axis values — including
+// algorithm names the catalog has never registered — are errors;
+// combinations with no performance-table entry (a registered algorithm
+// never measured on a platform) are skipped silently, as they are not
+// buildable systems. Other analysis errors abort the exploration.
 func Enumerate(cat *catalog.Catalog, space Space, cons Constraints) ([]Candidate, error) {
 	return Explorer{Catalog: cat, Space: space, Constraints: cons}.Enumerate()
 }

@@ -240,13 +240,38 @@ func TestExplorerUnknownAxisValues(t *testing.T) {
 	}
 }
 
-func TestExplorerUnknownAlgorithmSkippedSilently(t *testing.T) {
-	// An algorithm with no perf-table row — including a wholly unknown
-	// name — is not a buildable system and is skipped, as in the serial
-	// engine.
+func TestExplorerUnknownAlgorithmErrors(t *testing.T) {
+	// Validation parity with the other axes: an algorithm name the
+	// catalog has never registered is a plan error, not a silently
+	// empty (or silently shrunken) exploration — previously a typo'd
+	// algorithm with no perf rows skipped the existence check entirely.
 	cat := catalog.Default()
 	sp := fig15Space()
 	sp.Algorithms = append(sp.Algorithms, "never-measured")
+	if _, err := Enumerate(cat, sp, Constraints{}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	// Streaming surfaces the same error.
+	var sawErr bool
+	for _, err := range (Explorer{Catalog: cat, Space: sp, Workers: 4}).Candidates(context.Background()) {
+		if err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Error("unknown algorithm not surfaced by Candidates")
+	}
+}
+
+func TestExplorerMeasurelessAlgorithmSkippedSilently(t *testing.T) {
+	// A REGISTERED algorithm that merely lacks perf-table rows on the
+	// requested computes is not a buildable system: its combinations
+	// are skipped without shrinking or failing the rest of the space.
+	cat := catalog.Default()
+	cat.AddAlgorithm(catalog.Algorithm{Name: "registered-unmeasured", Paradigm: catalog.EndToEnd})
+	sp := fig15Space()
+	sp.Algorithms = append(sp.Algorithms, "registered-unmeasured")
 	with, err := Enumerate(cat, sp, Constraints{})
 	if err != nil {
 		t.Fatal(err)

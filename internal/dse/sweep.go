@@ -6,7 +6,6 @@ import (
 	"math"
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/units"
@@ -137,14 +136,16 @@ func SweepContext(ctx context.Context, cfg core.Config, knob Knob, lo, hi float6
 	return SweepResult{Knob: knob, Points: points}, nil
 }
 
-// forEachParallel runs eval(0..n-1), serially for small n and in
-// chunks across the worker pool otherwise (workers <= 0 picks
+// forEachParallel runs eval(0..n-1), serially for small n and across
+// the package's work-stealing scheduler otherwise (workers <= 0 picks
 // GOMAXPROCS). Workers write only their own indices, so results are
-// position-stable. The first error aborts the remaining chunks (the
-// result is discarded wholesale anyway), and cancelling ctx stops
-// every worker between evaluations; the returned error is the
-// lowest-indexed recorded failure, or ctx's error when nothing else
-// failed first.
+// position-stable and identical for every worker count; skewed
+// workloads — some indices far slower than others — rebalance through
+// steal-half splitting instead of stalling a fixed chunk. The first
+// error aborts the remaining work (the result is discarded wholesale
+// anyway), and cancelling ctx stops every worker between evaluations;
+// the returned error is the lowest-indexed recorded failure, or ctx's
+// error when nothing else failed first.
 func forEachParallel(ctx context.Context, n, workers int, eval func(i int) error) error {
 	done := ctx.Done()
 	if workers <= 0 {
@@ -163,47 +164,29 @@ func forEachParallel(ctx context.Context, n, workers int, eval func(i int) error
 		}
 		return nil
 	}
-	chunk := (n + workers*4 - 1) / (workers * 4)
-	if chunk < 8 {
-		chunk = 8
-	}
-	nChunks := (n + chunk - 1) / chunk
-	errs := make([]error, nChunks)
-	var next atomic.Int64
-	var failed atomic.Bool
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				ci := int(next.Add(1)) - 1
-				if ci >= nChunks || failed.Load() {
-					return
-				}
-				start := ci * chunk
-				end := min(start+chunk, n)
-				for i := start; i < end; i++ {
-					select {
-					case <-done:
-						failed.Store(true)
-						return
-					default:
-					}
-					if err := eval(i); err != nil {
-						errs[ci] = err
-						failed.Store(true) // abort the remaining chunks
-						break
-					}
-				}
+	var mu sync.Mutex
+	firstIdx, firstErr := n, error(nil)
+	stealRun(ctx, n, workers, stealGrain(n, workers), func(_ int, g span) bool {
+		for i := g.start; i < g.end; i++ {
+			select {
+			case <-done:
+				return false
+			default:
 			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+			if err := eval(i); err != nil {
+				mu.Lock()
+				if i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				return false // abort the remaining work
+			}
 		}
+		return true
+	})
+	// stealRun has joined every worker, so the error record is settled.
+	if firstErr != nil {
+		return firstErr
 	}
 	return ctx.Err()
 }

@@ -212,4 +212,23 @@ func TestHealthz(t *testing.T) {
 	if h.MaxWorkersPerRequest != runtime.GOMAXPROCS(0) {
 		t.Errorf("max workers = %d, want GOMAXPROCS", h.MaxWorkersPerRequest)
 	}
+
+	// The singleflight gauge is on the wire (zero here — no concurrent
+	// misses happened — but operators alert on its presence and growth).
+	hr2, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr2.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.NewDecoder(hr2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var cacheObj map[string]json.RawMessage
+	if err := json.Unmarshal(raw["cache"], &cacheObj); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cacheObj["coalesced"]; !ok {
+		t.Error("/healthz cache gauges missing the coalesced counter")
+	}
 }

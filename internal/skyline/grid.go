@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -62,6 +63,12 @@ func ParseGrid(q url.Values) (GridRequest, error) {
 		v, perr := strconv.ParseFloat(q.Get(key), 64)
 		if perr != nil {
 			err = fmt.Errorf("skyline: grid parameter %q: %v", key, perr)
+			return
+		}
+		// Axis bounds must be real numbers (ParseFloat accepts "NaN"
+		// and "Inf"; a NaN bound would reach the physics models).
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			err = fmt.Errorf("skyline: grid parameter %q must be finite, got %v", key, v)
 			return
 		}
 		*dst = v
@@ -141,8 +148,5 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "image/svg+xml")
-	if err := hm.SVG(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	renderSVG(w, hm)
 }

@@ -34,11 +34,22 @@
 //	/healthz         GET  liveness plus operational gauges as JSON: the
 //	                      shared analysis-cache statistics (entries,
 //	                      capacity, shards, hits/misses/evictions, hit
-//	                      rate) and the admission-control state
-//	                      (in-flight, limit, rejected count).
+//	                      rate, plus the coalesced count — misses that
+//	                      waited on another request's in-flight analysis
+//	                      of the same configuration instead of
+//	                      recomputing it) and the admission-control
+//	                      state (in-flight, limit, rejected count).
 //
 // Numeric knobs shared with /plot.svg (tdp_w, payload_g, sensor_hz, …)
-// reject negative values with a 400.
+// reject negative values and NaN with a 400. +Inf is legal for rate
+// knobs ("this stage is free") — any non-finite analysis outputs it
+// produces are encoded as JSON null rather than failing the response —
+// while an infinite mass fails configuration validation (400) and
+// sweep/grid axis bounds must be finite outright.
+//
+// The SVG endpoints render to memory before writing, so a rendering
+// failure is a clean 500 — error text is never spliced into a
+// partially streamed 200 chart.
 //
 // # Limits
 //
@@ -60,6 +71,7 @@ package skyline
 
 import (
 	"fmt"
+	"math"
 	"net/url"
 	"strconv"
 
@@ -105,11 +117,18 @@ func parseFloat(q url.Values, key string) (float64, error) {
 }
 
 // parseNonNeg reads one non-negative float field, tolerating absence
-// (0 = unset) — the rule for every physical knob and constraint.
+// (0 = unset) — the rule for every physical knob and constraint. NaN
+// (which strconv.ParseFloat accepts and every comparison waves
+// through) is rejected; +Inf is legal — an Inf-rate knob is how a
+// client asks "what if this stage were free?", and the analysis and
+// its JSON encoding handle it.
 func parseNonNeg(q url.Values, key string) (float64, error) {
 	v, err := parseFloat(q, key)
 	if err != nil {
 		return 0, err
+	}
+	if math.IsNaN(v) {
+		return 0, fmt.Errorf("skyline: parameter %q: NaN is not a value", key)
 	}
 	if v < 0 {
 		return 0, fmt.Errorf("skyline: parameter %q: %v is negative", key, v)

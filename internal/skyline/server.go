@@ -1,11 +1,13 @@
 package skyline
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"html/template"
+	"io"
 	"math"
 	"net/http"
 	"net/url"
@@ -134,6 +136,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// renderSVG renders a figure to memory before touching the response.
+// SVG renderers can fail mid-stream, and an http.Error issued after the
+// first byte of a 200 body would splice error text into the image —
+// clients must see either a complete chart or a clean 500, never a
+// corrupt hybrid.
+func renderSVG(w http.ResponseWriter, fig interface{ SVG(io.Writer) error }) {
+	var buf bytes.Buffer
+	if err := fig.SVG(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = buf.WriteTo(w) // a write failure here means the client left
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	req, err := ParseSweep(r.URL.Query())
 	if err != nil {
@@ -158,10 +176,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "image/svg+xml")
-	if err := ch.SVG(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	renderSVG(w, ch)
 }
 
 func (s *Server) handleCompareSVG(w http.ResponseWriter, r *http.Request) {
@@ -170,10 +185,7 @@ func (s *Server) handleCompareSVG(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "image/svg+xml")
-	if err := cmp.Chart().SVG(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	renderSVG(w, cmp.Chart())
 }
 
 // CompareJSON is the /api/compare response shape.
@@ -214,21 +226,52 @@ func (s *Server) analysisFor(r *http.Request) (core.Analysis, error) {
 	return s.cache.Analyze(cfg)
 }
 
-// AnalysisJSON is the /api/analyze response shape.
+// JSONFloat is a float64 whose non-finite values encode as JSON null.
+// Legitimate analyses produce them — an over-provisioned design with
+// infinite compute headroom has GapFactor = +Inf, and Inf-rate knobs
+// make ActionHz infinite — but encoding/json rejects ±Inf and NaN
+// outright ("json: unsupported value"), which used to turn those
+// analyses into 500s mid-response. null is the wire spelling of "off
+// the scale"; clients decode it as absent.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler: null round-trips back to
+// +Inf — the only non-finite value the analysis fields produce in
+// practice (a gap or rate beyond any finite scale).
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = JSONFloat(math.Inf(1))
+		return nil
+	}
+	return json.Unmarshal(b, (*float64)(f))
+}
+
+// AnalysisJSON is the /api/analyze response shape. Every float field
+// can in principle go non-finite on extreme configurations, so all of
+// them sanitize through JSONFloat.
 type AnalysisJSON struct {
-	Name            string   `json:"name"`
-	AMaxMS2         float64  `json:"a_max_ms2"`
-	ActionHz        float64  `json:"action_hz"`
-	Bottleneck      string   `json:"bottleneck"`
-	KneeHz          float64  `json:"knee_hz"`
-	KneeVelocity    float64  `json:"knee_velocity_ms"`
-	RoofMS          float64  `json:"roof_ms"`
-	SafeVelocityMS  float64  `json:"safe_velocity_ms"`
-	Bound           string   `json:"bound"`
-	Class           string   `json:"class"`
-	GapFactor       float64  `json:"gap_factor"`
-	PayloadG        float64  `json:"payload_g"`
-	OptimizationTip []string `json:"optimization_tips"`
+	Name            string    `json:"name"`
+	AMaxMS2         JSONFloat `json:"a_max_ms2"`
+	ActionHz        JSONFloat `json:"action_hz"`
+	Bottleneck      string    `json:"bottleneck"`
+	KneeHz          JSONFloat `json:"knee_hz"`
+	KneeVelocity    JSONFloat `json:"knee_velocity_ms"`
+	RoofMS          JSONFloat `json:"roof_ms"`
+	SafeVelocityMS  JSONFloat `json:"safe_velocity_ms"`
+	Bound           string    `json:"bound"`
+	Class           string    `json:"class"`
+	GapFactor       JSONFloat `json:"gap_factor"`
+	PayloadG        JSONFloat `json:"payload_g"`
+	OptimizationTip []string  `json:"optimization_tips"`
 }
 
 // Tips generates the analysis pane's optimization guidance — the §V
@@ -270,17 +313,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	out := AnalysisJSON{
 		Name:            an.Config.Name,
-		AMaxMS2:         an.AMax.MetersPerSecond2(),
-		ActionHz:        an.Action.Hertz(),
+		AMaxMS2:         JSONFloat(an.AMax.MetersPerSecond2()),
+		ActionHz:        JSONFloat(an.Action.Hertz()),
 		Bottleneck:      an.BottleneckStage,
-		KneeHz:          an.Knee.Throughput.Hertz(),
-		KneeVelocity:    an.Knee.Velocity.MetersPerSecond(),
-		RoofMS:          an.Roof.MetersPerSecond(),
-		SafeVelocityMS:  an.SafeVelocity.MetersPerSecond(),
+		KneeHz:          JSONFloat(an.Knee.Throughput.Hertz()),
+		KneeVelocity:    JSONFloat(an.Knee.Velocity.MetersPerSecond()),
+		RoofMS:          JSONFloat(an.Roof.MetersPerSecond()),
+		SafeVelocityMS:  JSONFloat(an.SafeVelocity.MetersPerSecond()),
 		Bound:           an.Bound.String(),
 		Class:           an.Class.String(),
-		GapFactor:       an.GapFactor,
-		PayloadG:        an.Config.Payload.Grams(),
+		GapFactor:       JSONFloat(an.GapFactor),
+		PayloadG:        JSONFloat(an.Config.Payload.Grams()),
 		OptimizationTip: Tips(an),
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -337,10 +380,7 @@ func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	w.Header().Set("Content-Type", "image/svg+xml")
-	if err := Chart(an).SVG(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	renderSVG(w, Chart(an))
 }
 
 // pageData feeds the HTML template.

@@ -2,11 +2,13 @@ package skyline
 
 import (
 	"encoding/json"
+	"errors"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -105,7 +107,7 @@ func TestAnalyzeAPIPreset(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &out); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
-	if math.Abs(out.KneeHz-43) > 0.5 {
+	if math.Abs(float64(out.KneeHz)-43) > 0.5 {
 		t.Errorf("knee = %v, want ≈43", out.KneeHz)
 	}
 	if out.Bound != "physics-bound" {
@@ -345,6 +347,136 @@ func TestGridBadParams(t *testing.T) {
 		status, _ := get(t, srv.URL+"/grid.svg?"+q)
 		if status != http.StatusBadRequest {
 			t.Errorf("%q: status = %d, want 400", q, status)
+		}
+	}
+}
+
+// TestAnalyzeOverProvisionedInfiniteGap is the non-finite-float
+// regression: an over-provisioned configuration with infinite-rate
+// stages has GapFactor and ActionHz = +Inf, which encoding/json
+// rejects outright — /api/analyze used to answer 500 ("json:
+// unsupported value") for a perfectly legitimate design. The response
+// must now be a 200 with valid JSON, the non-finite readings encoded
+// as null.
+func TestAnalyzeOverProvisionedInfiniteGap(t *testing.T) {
+	srv := newTestServer(t)
+	q := url.Values{
+		"mode":              {"custom"},
+		"drone_weight_g":    {"1000"},
+		"rotor_pull_gf":     {"650"},
+		"sensor_hz":         {"Inf"}, // a free sensor stage
+		"sensor_range_m":    {"4.5"},
+		"compute_runtime_s": {"1e-323"}, // 1/denormal overflows to +Inf Hz
+		"control_hz":        {"Inf"},
+	}
+	status, body := get(t, srv.URL+"/api/analyze?"+q.Encode())
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200: %s", status, body)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(body), &raw); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{"gap_factor", "action_hz"} {
+		if v, ok := raw[key]; !ok || v != nil {
+			t.Errorf("%s = %v, want null (non-finite sanitized)", key, v)
+		}
+	}
+	if raw["class"] != "over-provisioned" {
+		t.Errorf("class = %v, want over-provisioned", raw["class"])
+	}
+	// The typed decode round-trips null back to +Inf.
+	var out AnalysisJSON
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(out.GapFactor), 1) {
+		t.Errorf("decoded gap factor = %v, want +Inf", out.GapFactor)
+	}
+}
+
+func TestParamsRejectNaN(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := get(t, srv.URL+"/api/analyze?payload_g=NaN")
+	if status != http.StatusBadRequest {
+		t.Errorf("NaN knob: status = %d, want 400: %s", status, body)
+	}
+}
+
+// failingSVG streams half a figure and then fails — the shape of a
+// mid-render error.
+type failingSVG struct{}
+
+func (failingSVG) SVG(w io.Writer) error {
+	io.WriteString(w, "<svg><rect/>")
+	return errors.New("renderer broke mid-stream")
+}
+
+// TestRenderSVGNoMidStreamSplice is the corrupt-chart regression: the
+// SVG handlers used to stream straight into the ResponseWriter and
+// call http.Error on failure, splicing error text (and a useless 500
+// status line) into the middle of an already-committed 200 SVG body.
+// Rendering is now buffered, so a failing figure yields a clean 500
+// with no SVG bytes in front of it.
+func TestRenderSVGNoMidStreamSplice(t *testing.T) {
+	rec := httptest.NewRecorder()
+	renderSVG(rec, failingSVG{})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	if body := rec.Body.String(); strings.Contains(body, "<svg") {
+		t.Fatalf("partial SVG spliced into the error response: %q", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); strings.Contains(ct, "svg") {
+		t.Errorf("error response advertises SVG content type %q", ct)
+	}
+}
+
+// TestSweepSVGBufferedResponse: the happy path now carries an exact
+// Content-Length (a side effect of buffering) and a complete document.
+func TestSweepSVGBufferedResponse(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/sweep.svg?knob=payload&lo=100&hi=600&n=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Errorf("Content-Length = %q, body is %d bytes", cl, len(body))
+	}
+	if !strings.HasPrefix(string(body), "<?xml") && !strings.HasPrefix(string(body), "<svg") {
+		t.Errorf("response does not start with an SVG document: %.40q", body)
+	}
+	if !strings.Contains(string(body), "</svg>") {
+		t.Error("SVG document is incomplete")
+	}
+}
+
+// TestSweepGridRejectNonFiniteBounds: ParseFloat accepts "NaN"/"Inf",
+// and a NaN axis bound used to flow into the physics models as a NaN
+// knob value — panicking a calibrated acceleration table's segment
+// search and killing the handler. All bounds must be finite, 400
+// otherwise.
+func TestSweepGridRejectNonFiniteBounds(t *testing.T) {
+	srv := newTestServer(t)
+	for _, q := range []string{
+		"/sweep.svg?knob=payload&lo=NaN&hi=600&n=20",
+		"/sweep.svg?knob=payload&lo=100&hi=Inf&n=20",
+		"/grid.svg?x=payload&xlo=NaN&xhi=600&y=compute&ylo=1&yhi=100",
+		"/grid.svg?x=payload&xlo=0&xhi=600&y=compute&ylo=1&yhi=Inf",
+		// An infinite mass fails configuration validation.
+		"/api/analyze?mode=custom&drone_weight_g=1000&rotor_pull_gf=650&sensor_hz=60&sensor_range_m=4.5&compute_runtime_s=0.005&payload_g=Inf",
+	} {
+		status, body := get(t, srv.URL+q)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400: %.80s", q, status, body)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package skyline
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/url"
 	"strconv"
 
@@ -61,6 +62,12 @@ func ParseSweep(q url.Values) (SweepRequest, error) {
 		v, err := strconv.ParseFloat(q.Get(key), 64)
 		if err != nil {
 			return 0, fmt.Errorf("skyline: sweep parameter %q: %v", key, err)
+		}
+		// ParseFloat accepts "NaN" and "Inf", but an axis bound must be
+		// a real number — a NaN bound would otherwise reach the physics
+		// models as a NaN knob value.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("skyline: sweep parameter %q must be finite, got %v", key, v)
 		}
 		return v, nil
 	}
