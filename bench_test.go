@@ -378,6 +378,84 @@ func BenchmarkEnumerateSkewedSerial(b *testing.B) { benchEnumerateSkewed(b, 1) }
 // cores; work stealing keeps the pool busy through the expensive tail.
 func BenchmarkEnumerateSkewedParallel(b *testing.B) { benchEnumerateSkewed(b, 0) }
 
+// --- Algorithm-heavy benches ----------------------------------------------
+//
+// The AlgoHeavy benches run a 1280-candidate space whose cross product
+// is dominated by the algorithm axis (160 algorithms × 4 computes × 2
+// UAVs) over calibrated acceleration tables — a real catalog's a_max
+// cost. The algorithm axis never touches the F-1 model, so the plan's
+// partial evaluation computes each (UAV, compute, sensor) model partial
+// once and reuses it 160×; these benches catch regressions in exactly
+// that reuse.
+
+func benchEnumerateAlgoHeavy(b *testing.B, workers int) {
+	cat := catalog.SyntheticAlgoHeavy(2, 4, 160) // 1280 candidates, algo-dominated
+	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat), Workers: workers, Cache: core.CacheOff()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := e.Enumerate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) != 1280 {
+			b.Fatalf("got %d candidates", len(cands))
+		}
+	}
+}
+
+// BenchmarkEnumerateAlgoHeavySerial is the one-worker baseline over the
+// algorithm-heavy space.
+func BenchmarkEnumerateAlgoHeavySerial(b *testing.B) { benchEnumerateAlgoHeavy(b, 1) }
+
+// BenchmarkEnumerateAlgoHeavyParallel fans the algorithm-heavy space
+// across all cores.
+func BenchmarkEnumerateAlgoHeavyParallel(b *testing.B) { benchEnumerateAlgoHeavy(b, 0) }
+
+// --- Skewed-sweep benches -------------------------------------------------
+//
+// Plan-level partial evaluation hoists SyntheticSkewed's per-UAV model
+// cost out of the per-candidate path (the EnumerateSkewed benches now
+// record that hoisting win), so those benches no longer present the
+// scheduler with skewed per-item cost. A payload sweep is the workload
+// that still does: the payload is the a_max lookup's own input, so no
+// partial can cache it, and PayloadSpinAccel makes each point's cost
+// proportional to its payload value — point i is linearly more
+// expensive than point 0. These benches are the post-factoring
+// regression probe for the work-stealing scheduler's rebalancing; on a
+// multi-core runner their parallel/serial ratio is the gate the CI
+// bench-multicore job asserts.
+
+func benchSweepPayloadSkewed(b *testing.B, workers int) {
+	cfg := core.Config{
+		Name: "skewed-sweep",
+		Frame: physics.Airframe{
+			Name: "sweep-frame", BaseMass: units.Grams(1030),
+			MotorCount: 4, MotorThrust: units.GramsForce(650),
+		},
+		AccelModel:  catalog.PayloadSpinAccel(60),
+		Payload:     units.Grams(100), // overridden by the swept knob
+		SensorRate:  units.Hertz(60),
+		SensorRange: units.Meters(4.5),
+		ComputeRate: units.Hertz(178),
+		ControlRate: units.Hertz(1000),
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.SweepContext(ctx, cfg, dse.KnobPayload, 1, 1200, 256, false, workers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepPayloadSkewedSerial is the one-worker baseline.
+func BenchmarkSweepPayloadSkewedSerial(b *testing.B) { benchSweepPayloadSkewed(b, 1) }
+
+// BenchmarkSweepPayloadSkewedParallel fans the skewed sweep across all
+// cores; steal-half splitting keeps workers busy through the expensive
+// high-payload tail.
+func BenchmarkSweepPayloadSkewedParallel(b *testing.B) { benchSweepPayloadSkewed(b, 0) }
+
 // BenchmarkEnumerateStream measures the iter.Seq2 streaming path with a
 // constraint filter applied by the consumer.
 func BenchmarkEnumerateStream(b *testing.B) {

@@ -72,6 +72,17 @@ func (r Resolved) Name() string {
 // is pure: no catalog access, no failure modes.
 func (r Resolved) Config() core.Config { return r.ConfigNamed(r.Name()) }
 
+// Payload is the configured payload mass: the compute platform's total
+// mass (module + heatsink + support), the sensor's mass, and any extra
+// payload the selection carries. This is the one place the payload
+// formula lives — ConfigNamed uses it, and so does the exploration
+// engine when it precomputes model partials per payload triple, so a
+// partial-evaluated candidate keys caches with exactly the Config a
+// direct resolution would.
+func (r Resolved) Payload() units.Mass {
+	return r.ComputeMass + r.Sensor.Mass + r.Selection.ExtraPayload
+}
+
 // ConfigNamed is Config with a caller-supplied name, for callers that
 // render the name once and reuse it (the exploration engine names each
 // (UAV, algorithm, compute) cell once, not once per sensor variant).
@@ -82,7 +93,7 @@ func (r Resolved) ConfigNamed(name string) core.Config {
 		Name:        name,
 		Frame:       r.UAV.Frame,
 		AccelModel:  r.UAV.Accel,
-		Payload:     r.ComputeMass + r.Sensor.Mass + r.Selection.ExtraPayload,
+		Payload:     r.Payload(),
 		SensorRate:  r.Sensor.Rate,
 		SensorRange: r.Sensor.Range,
 		ComputeRate: r.ComputeRate,

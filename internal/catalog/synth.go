@@ -32,6 +32,55 @@ func SyntheticSkewed(nUAVs, nComputes, nAlgos, spin int) *Catalog {
 	return synthetic(nUAVs, nComputes, nAlgos, spin)
 }
 
+// SyntheticAlgoHeavy is Synthetic with the opposite skew shape: the
+// algorithm axis dominates the cross product (many algorithms measured
+// per compute) and every UAV carries a calibrated acceleration table
+// instead of the closed-form PitchLimited model, so each analysis pays
+// a real catalog's a_max cost — an anchor-table segment search plus
+// cubic Hermite evaluation. This is the fixture where plan-level
+// partial evaluation matters most: the model work depends only on the
+// (UAV, compute, sensor) payload triple, so a factored engine computes
+// it once and reuses it across all nAlgos algorithms, while a naive
+// per-candidate evaluation repeats it nAlgos times. Results are
+// deterministic functions of the indices — two calls produce identical
+// catalogs.
+func SyntheticAlgoHeavy(nUAVs, nComputes, nAlgos int) *Catalog {
+	c := synthetic(nUAVs, nComputes, nAlgos, 0)
+	for i := 0; i < nUAVs; i++ {
+		name := fmt.Sprintf("synth-uav-%03d", i)
+		u, err := c.UAV(name)
+		if err != nil {
+			panic(err) // unreachable: synthetic just added it
+		}
+		// A monotone non-increasing anchor table spanning the payload
+		// range the synthetic computes + sensors produce, with enough
+		// anchors that At() performs a non-trivial segment search.
+		pts := make([]physics.CalibPoint, 8)
+		for k := range pts {
+			pts[k] = physics.CalibPoint{
+				Payload: units.Grams(20 + float64(k)*70),
+				Accel:   units.MetersPerSecond2(12 - float64(k)*1.25 - float64(i%5)*0.3),
+			}
+		}
+		u.Accel = physics.MustCalibratedTable(pts)
+		c.AddUAV(u)
+	}
+	return c
+}
+
+// spin burns n deterministic float iterations and reports whether the
+// chain stayed finite — the shared compute-delay kernel behind the
+// skew fixtures. It always returns true (the sqrt chain stays finite
+// and positive), but callers must branch on it so the loop stays
+// observable and cannot be elided.
+func spin(n int) bool {
+	x := float64(n + 2)
+	for i := 0; i < n; i++ {
+		x = math.Sqrt(x) + 1
+	}
+	return !math.IsNaN(x)
+}
+
 // spinningAccel wraps the synthetic catalog's acceleration model with a
 // deterministic compute delay — the knob behind SyntheticSkewed. The
 // returned acceleration is exactly the wrapped model's; only the
@@ -44,17 +93,48 @@ type spinningAccel struct {
 
 // MaxAccel implements physics.AccelModel.
 func (m spinningAccel) MaxAccel(frame physics.Airframe, payload units.Mass) units.Acceleration {
-	x := float64(m.spin + 2)
-	for i := 0; i < m.spin; i++ {
-		x = math.Sqrt(x) + 1
-	}
+	ok := spin(m.spin)
 	a := m.model.MaxAccel(frame, payload)
-	if math.IsNaN(x) {
-		// Unreachable — the sqrt chain stays finite and positive — but
-		// it keeps the spin observable so the loop cannot be elided.
-		return 0
+	if !ok {
+		return 0 // unreachable anti-elision branch
 	}
 	return a
+}
+
+// payloadSpinAccel wraps PitchLimited with an evaluation cost
+// proportional to the payload mass being queried (spinPerGram
+// deterministic float iterations per gram). The returned acceleration
+// is exactly the wrapped model's; only the evaluation cost differs.
+type payloadSpinAccel struct {
+	model       physics.PitchLimited
+	spinPerGram int
+}
+
+// MaxAccel implements physics.AccelModel.
+func (m payloadSpinAccel) MaxAccel(frame physics.Airframe, payload units.Mass) units.Acceleration {
+	n := 0
+	if g := payload.Grams(); g > 0 {
+		n = int(g) * m.spinPerGram
+	}
+	ok := spin(n)
+	a := m.model.MaxAccel(frame, payload)
+	if !ok {
+		return 0 // unreachable anti-elision branch
+	}
+	return a
+}
+
+// PayloadSpinAccel returns an acceleration model bit-identical to
+// PitchLimited{UsableThrustFraction: 0.95} whose evaluation cost grows
+// linearly with the queried payload. Unlike SyntheticSkewed's per-UAV
+// spin — which plan-level partial evaluation hoists out of the
+// per-candidate path entirely — this skew lives on the one axis a
+// partial cannot cache (the payload is the a_max lookup's input), so a
+// payload sweep over it still presents the scheduler with genuinely
+// skewed per-point cost. It is the fixture behind the skewed-sweep
+// rebalancing benches.
+func PayloadSpinAccel(spinPerGram int) physics.AccelModel {
+	return payloadSpinAccel{model: physics.PitchLimited{UsableThrustFraction: 0.95}, spinPerGram: spinPerGram}
 }
 
 func synthetic(nUAVs, nComputes, nAlgos, spin int) *Catalog {

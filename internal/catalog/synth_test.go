@@ -1,0 +1,63 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// TestPayloadSpinAccelMatchesPitchLimited: the skewed-sweep fixture's
+// model must be bit-identical to the PitchLimited it wraps — the spin
+// changes nothing but evaluation time.
+func TestPayloadSpinAccelMatchesPitchLimited(t *testing.T) {
+	frame := physics.Airframe{
+		Name: "spin-frame", BaseMass: units.Grams(1030),
+		MotorCount: 4, MotorThrust: units.GramsForce(650),
+	}
+	ref := physics.PitchLimited{UsableThrustFraction: 0.95}
+	spun := PayloadSpinAccel(25)
+	for _, g := range []float64{0, 1, 50, 400, 900, 2500} {
+		p := units.Grams(g)
+		got, want := spun.MaxAccel(frame, p), ref.MaxAccel(frame, p)
+		if math.Float64bits(float64(got)) != math.Float64bits(float64(want)) {
+			t.Fatalf("payload %vg: spun %v != pitch-limited %v", g, got, want)
+		}
+	}
+}
+
+// TestSyntheticAlgoHeavyCatalogShape: the algorithm-heavy fixture keeps
+// Synthetic's structure (every combination buildable) while swapping
+// each UAV's model for a calibrated table.
+func TestSyntheticAlgoHeavyCatalogShape(t *testing.T) {
+	c := SyntheticAlgoHeavy(2, 3, 5)
+	if got := len(c.UAVNames()) * len(c.ComputeNames()) * len(c.AlgorithmNames()); got != 2*3*5 {
+		t.Fatalf("axis product %d, want %d", got, 2*3*5)
+	}
+	for _, name := range c.UAVNames() {
+		u, err := c.UAV(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, ok := u.Accel.(*physics.CalibratedTable)
+		if !ok {
+			t.Fatalf("UAV %s carries %T, want *physics.CalibratedTable", name, u.Accel)
+		}
+		// The anchored range must cover the payloads the synthetic
+		// computes + sensors can produce, so the segment search actually
+		// runs (instead of clamping) for typical candidates.
+		pts := tab.Points()
+		if lo, hi := pts[0].Payload.Grams(), pts[len(pts)-1].Payload.Grams(); lo > 30 || hi < 400 {
+			t.Fatalf("UAV %s anchors [%v,%v]g leave typical payloads clamped", name, lo, hi)
+		}
+		// Every perf row resolvable → every combination buildable.
+		for _, comp := range c.ComputeNames() {
+			for _, algo := range c.AlgorithmNames() {
+				if _, err := c.Perf(algo, comp); err != nil {
+					t.Fatalf("unmeasured pair (%s,%s): %v", algo, comp, err)
+				}
+			}
+		}
+	}
+}

@@ -187,107 +187,28 @@ type Analysis struct {
 	Ceilings []Ceiling
 }
 
+// stageNames names the canonical three pipeline stages, in pipeline
+// order — shared by Analyze and AnalyzeWithPartial so the reported
+// BottleneckStage and Ceiling sources are the same string values.
+var stageNames = [3]string{"sensor", "compute", "control"}
+
 // Analyze runs the F-1 model over a configuration.
 //
-// It is the exploration engine's hot path, so it avoids materializing
-// the pipeline.Pipeline value: the canonical three-stage
-// sensor→compute→control chain is evaluated inline (with semantics
-// identical to Config.Pipeline()), and the Ceilings slice is allocated
-// once at its exact final size.
+// It is a thin wrapper over the factored evaluation in partial.go:
+// PrecomputeModel derives the model-dependent part (a_max, knee, roof),
+// PrecomputeStage performs each stage's latency→frequency round trip
+// (with semantics identical to Config.Pipeline()), and
+// AnalyzeWithPartial recombines them. Callers evaluating many
+// configurations that share axes — an exploration plan, a rate sweep —
+// should hold the partials and call AnalyzeWithPartial directly; the
+// result is bit-identical. The Ceilings slice is the only allocation,
+// made once at its exact final size.
 func Analyze(cfg Config) (Analysis, error) {
-	if err := cfg.Validate(); err != nil {
-		return Analysis{}, err
-	}
-	model := cfg.Model()
-	if err := model.Validate(); err != nil {
-		return Analysis{}, fmt.Errorf("f1: config %q: %w", cfg.Name, err)
-	}
-
-	// The three stages exactly as pipeline.SensorComputeControl builds
-	// them: latency = rate.Period(), throughput = latency.Frequency()
-	// (the round trip matters for bit-identical results on infinities).
-	stageNames := [3]string{"sensor", "compute", "control"}
-	lats := [3]units.Latency{cfg.SensorRate.Period(), cfg.ComputeRate.Period(), cfg.ControlRate.Period()}
-	var thr [3]units.Frequency
-	action := units.Frequency(math.Inf(1))
-	bottleneck := 0
-	for i := range lats {
-		thr[i] = lats[i].Frequency()
-		if thr[i] < action {
-			action = thr[i]
-		}
-		if lats[i] > lats[bottleneck] {
-			bottleneck = i
-		}
-	}
-	knee := model.Knee()
-
-	an := Analysis{
-		Config:          cfg,
-		AMax:            model.Accel,
-		Action:          action,
-		BottleneckStage: stageNames[bottleneck],
-		Knee:            knee,
-		Roof:            model.Roof(),
-		SafeVelocity:    model.SafeVelocityAt(action),
-	}
-
-	// Bound classification (§III-B): at or past the knee the physics
-	// rules; below it, the bottleneck stage names the bound.
-	if action.Hertz() >= knee.Throughput.Hertz() {
-		an.Bound = PhysicsBound
-	} else {
-		switch bottleneck {
-		case 0:
-			an.Bound = SensorBound
-		case 1:
-			an.Bound = ComputeBound
-		default:
-			an.Bound = ControlBound
-		}
-	}
-
-	// Design classification (§III-C) with a ±10 % optimal band.
-	ratio := action.Hertz() / knee.Throughput.Hertz()
-	switch {
-	case math.IsInf(ratio, 1):
-		an.Class = OverProvisioned
-		an.GapFactor = math.Inf(1)
-	case ratio >= 1/OptimalTolerance && ratio <= OptimalTolerance:
-		an.Class = OptimalDesign
-		an.GapFactor = 1
-	case ratio > OptimalTolerance:
-		an.Class = OverProvisioned
-		an.GapFactor = ratio
-	default:
-		an.Class = UnderProvisioned
-		an.GapFactor = 1 / ratio
-		an.VelocityHeadroom = units.Velocity(math.Max(0,
-			knee.Velocity.MetersPerSecond()-an.SafeVelocity.MetersPerSecond()))
-	}
-
-	// Ceilings (Fig. 4a): any stage slower than the knee caps velocity.
-	// Count first so the slice is allocated exactly once, and only when
-	// a ceiling exists at all.
-	nCeil := 0
-	for i := range thr {
-		if thr[i].Hertz() < knee.Throughput.Hertz() {
-			nCeil++
-		}
-	}
-	if nCeil > 0 {
-		an.Ceilings = make([]Ceiling, 0, nCeil)
-		for i := range thr {
-			if thr[i].Hertz() < knee.Throughput.Hertz() {
-				an.Ceilings = append(an.Ceilings, Ceiling{
-					Source:     stageNames[i],
-					Throughput: thr[i],
-					Velocity:   model.SafeVelocityAt(thr[i]),
-				})
-			}
-		}
-	}
-	return an, nil
+	p := PrecomputeModel(cfg)
+	return AnalyzeWithPartial(&p, cfg.Name,
+		PrecomputeStage(cfg.SensorRate),
+		PrecomputeStage(cfg.ComputeRate),
+		PrecomputeStage(cfg.ControlRate))
 }
 
 // Summary renders the analysis as the Skyline tool's guidance text.

@@ -5,6 +5,29 @@
 // separates the compute/sensor-bound region from the physics-bound
 // region, and classifies designs as optimal, over-provisioned or
 // under-provisioned.
+//
+// # Factored evaluation
+//
+// Analyze is factored for callers that evaluate many configurations
+// sharing axes (partial.go): a ModelPartial caches everything derived
+// from (airframe, accel model, payload, sensing range, knee fraction) —
+// the a_max lookup, the knee/roof square roots and the knee-throughput
+// scalar the classifier compares against — and a Stage caches one
+// pipeline rate's latency→frequency round trip. A ModelPartial is safe
+// to reuse across any combination of stage rates and names (those are
+// combine-time inputs); it must be rebuilt when any of its five inputs
+// changes, except that a sensing-range change may go through WithRange,
+// which reuses the a_max lookup. AnalyzeWithPartial recombines partial
+// and stages with pure arithmetic, bit-identical to Analyze (which is
+// now a thin wrapper over it), allocating only the exact-size Ceilings
+// slice. The exploration engine in internal/dse precomputes partials
+// per payload triple and stages per rate, so its per-candidate cost is
+// the combine alone.
+//
+// Cache (memo.go) memoizes analyses process-wide with sharding,
+// segmented-LRU eviction and context-aware singleflight miss
+// coalescing; its AnalyzeFunc variants let a factored caller fill
+// misses via the partial combine instead of the full Analyze.
 package core
 
 import (

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"reflect"
@@ -25,9 +26,14 @@ import (
 // entry at once when full. Misses fill with singleflight: concurrent
 // misses of one configuration coalesce onto a single in-flight
 // analysis (a per-shard wait registry), so a thundering herd of
-// identical requests computes once and shares the result. Hits,
-// misses, coalesced waits and evictions are counted; Stats returns a
-// snapshot.
+// identical requests computes once and shares the result; with
+// AnalyzeContext the coalesced wait is context-aware — a follower
+// whose own request dies abandons the wait while the leader completes
+// and fills. The AnalyzeFunc variants accept a caller-supplied miss
+// fill (the exploration engine fills via its precomputed-partial
+// combine), and Lookup probes the hit path without committing to a
+// fill. Hits, misses, coalesced waits and evictions are counted; Stats
+// returns a snapshot.
 //
 // Cached Analysis values are shared between callers: treat them as
 // read-only (in particular, do not mutate the Ceilings slice of a
@@ -248,8 +254,75 @@ var analyzeFn = Analyze
 // model cost exactly once — the coalesced waits are counted in Stats.
 // Errors are never cached (they are cheap to recompute and usually
 // indicate a caller bug). Safe for concurrent use.
+//
+// Analyze is AnalyzeContext with context.Background(): the coalesced
+// wait cannot be abandoned.
 func (c *Cache) Analyze(cfg Config) (Analysis, error) {
+	return c.analyze(context.Background(), cfg, nil)
+}
+
+// AnalyzeContext is Analyze with a context governing the singleflight
+// wait: a follower coalesced onto another caller's in-flight analysis
+// of the same configuration selects on its own ctx and abandons the
+// wait with ctx.Err() when cancelled first. The leader is unaffected —
+// it completes its analysis and fills the cache for future callers.
+// (The leader's own computation is not interrupted by its ctx: analyses
+// are pure CPU with no cancellation points, and an abandoned fill would
+// strand the coalesced followers.)
+func (c *Cache) AnalyzeContext(ctx context.Context, cfg Config) (Analysis, error) {
+	return c.analyze(ctx, cfg, nil)
+}
+
+// AnalyzeFunc is Analyze with a caller-supplied fill: on a miss the
+// cache computes via fill instead of the full Analyze, so callers
+// holding a precomputed ModelPartial fill misses with the cheap
+// AnalyzeWithPartial combine. fill must be equivalent to Analyze(cfg) —
+// AnalyzeWithPartial over partials assembled from the same
+// configuration is, bit for bit — since its result is cached under cfg
+// and shared with every future caller. Misses still coalesce: one fill
+// runs, followers share it.
+func (c *Cache) AnalyzeFunc(cfg Config, fill func() (Analysis, error)) (Analysis, error) {
+	return c.analyze(context.Background(), cfg, fill)
+}
+
+// AnalyzeContextFunc combines AnalyzeContext and AnalyzeFunc: a
+// caller-supplied miss fill with a context-governed coalesced wait.
+func (c *Cache) AnalyzeContextFunc(ctx context.Context, cfg Config, fill func() (Analysis, error)) (Analysis, error) {
+	return c.analyze(ctx, cfg, fill)
+}
+
+// Lookup peeks for a memoized analysis: on a hit it counts the hit,
+// refreshes cfg's eviction standing and returns the analysis; on an
+// absence it returns false without counting a miss — the expected
+// follow-up (AnalyzeFunc or a sibling) records the miss when it fills.
+// It exists so hot loops can keep their miss-fill closure off the hit
+// path: probe first, and only on absence build the closure and call
+// AnalyzeContextFunc.
+func (c *Cache) Lookup(cfg Config) (Analysis, bool) {
 	if c == nil || len(c.shards) == 0 || !memoizable(cfg) {
+		return Analysis{}, false
+	}
+	sh := c.shardFor(cfg)
+	sh.mu.Lock()
+	e, ok := sh.entries[cfg]
+	if !ok {
+		sh.mu.Unlock()
+		return Analysis{}, false
+	}
+	sh.touch(e)
+	an := e.an
+	sh.mu.Unlock()
+	return an, true
+}
+
+// analyze is the shared implementation behind the Analyze* variants.
+// A nil fill means the package-level analyzeFn (i.e. the full Analyze,
+// reassignable only by tests).
+func (c *Cache) analyze(ctx context.Context, cfg Config, fill func() (Analysis, error)) (Analysis, error) {
+	if c == nil || len(c.shards) == 0 || !memoizable(cfg) {
+		if fill != nil {
+			return fill()
+		}
 		return Analyze(cfg)
 	}
 	sh := c.shardFor(cfg)
@@ -263,11 +336,18 @@ func (c *Cache) Analyze(cfg Config) (Analysis, error) {
 	sh.misses++
 	if f, ok := sh.inflight[cfg]; ok {
 		// A leader is already analyzing this exact configuration: wait
-		// for its result instead of burning a second analysis.
+		// for its result instead of burning a second analysis — but no
+		// longer than the follower's own request lives. ctx.Done() is
+		// nil for context.Background(), so the uncancellable wait stays
+		// a two-way select that can only take the done arm.
 		sh.coalesced++
 		sh.mu.Unlock()
-		<-f.done
-		return f.an, f.err
+		select {
+		case <-f.done:
+			return f.an, f.err
+		case <-ctx.Done():
+			return Analysis{}, ctx.Err()
+		}
 	}
 	// errFlightAbandoned is what followers see if the leader never
 	// publishes — i.e. analyzeFn panicked. It is pre-set and overwritten
@@ -294,7 +374,11 @@ func (c *Cache) Analyze(cfg Config) (Analysis, error) {
 		sh.mu.Unlock()
 		close(f.done) // publish to followers only after f.an/f.err are set
 	}()
-	f.an, f.err = analyzeFn(cfg)
+	if fill != nil {
+		f.an, f.err = fill()
+	} else {
+		f.an, f.err = analyzeFn(cfg)
+	}
 	return f.an, f.err
 }
 
@@ -372,6 +456,11 @@ func (sh *shard) insert(cfg Config, an Analysis) {
 	sh.entries[cfg] = e
 	sh.probation.pushFront(e)
 }
+
+// Memoizes reports whether this cache retains anything at all: false
+// for a nil *Cache and for the zero/CacheOff pass-through. Hot loops
+// use it to skip cache plumbing entirely when memoization is off.
+func (c *Cache) Memoizes() bool { return c != nil && len(c.shards) > 0 }
 
 // Len reports the number of memoized configurations.
 func (c *Cache) Len() int {

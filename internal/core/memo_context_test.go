@@ -1,0 +1,243 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheAnalyzeContextCancelledFollower is the stalled-leader /
+// cancelled-follower regression: a follower coalesced onto a leader's
+// in-flight analysis must abandon the wait with its own ctx.Err() when
+// its request dies first — while the leader, unaffected, completes and
+// fills the cache for everyone after.
+func TestCacheAnalyzeContextCancelledFollower(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var analyses atomic.Int64
+	orig := analyzeFn
+	analyzeFn = func(cfg Config) (Analysis, error) {
+		analyses.Add(1)
+		entered <- struct{}{}
+		<-release // stall the leader mid-flight
+		return orig(cfg)
+	}
+	defer func() { analyzeFn = orig }()
+
+	c := NewCache()
+	cfg := memoTestConfig("ctx-follower", 300)
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := c.Analyze(cfg) // uncancellable leader
+		leaderDone <- err
+	}()
+	<-entered // the leader is in flight and registered
+
+	// A follower with a cancellable context joins the flight, then its
+	// request is cancelled while the leader is still stalled.
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan error, 1)
+	go func() {
+		_, err := c.AnalyzeContext(ctx, cfg)
+		followerDone <- err
+	}()
+	// Wait until the follower has actually coalesced before cancelling,
+	// so the test exercises the in-wait select, not the lock-step path.
+	for deadline := time.Now().Add(10 * time.Second); c.Stats().Coalesced == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never coalesced onto the leader's flight")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+
+	select {
+	case err := <-followerDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled follower returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled follower still waiting on the stalled leader")
+	}
+
+	// The leader was unaffected: release it, it completes and fills.
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader failed: %v", err)
+	}
+	if !c.contains(cfg) {
+		t.Fatal("leader did not fill the cache after follower abandonment")
+	}
+	// The next caller hits; no second analysis ever ran.
+	if _, err := c.AnalyzeContext(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if n := analyses.Load(); n != 1 {
+		t.Fatalf("analysis ran %d times, want exactly 1", n)
+	}
+}
+
+// TestCacheAnalyzeContextUncancelledMatchesAnalyze: with a background
+// context the context-aware path is behaviorally identical to Analyze.
+func TestCacheAnalyzeContextUncancelledMatchesAnalyze(t *testing.T) {
+	c := NewCache()
+	cfg := memoTestConfig("ctx-plain", 310)
+	got, err := c.AnalyzeContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("AnalyzeContext diverges from direct Analyze")
+	}
+	if c.Stats().Hits != 0 || c.Stats().Misses != 1 {
+		t.Fatalf("unexpected stats after first lookup: %+v", c.Stats())
+	}
+}
+
+// TestCacheAnalyzeFuncFillsOnMiss: the caller-supplied fill runs on the
+// miss, its result is cached under cfg, and subsequent plain Analyze
+// calls hit it.
+func TestCacheAnalyzeFuncFillsOnMiss(t *testing.T) {
+	c := NewCache()
+	cfg := memoTestConfig("func-fill", 320)
+	var fills atomic.Int64
+	fill := func() (Analysis, error) {
+		fills.Add(1)
+		// The exploration engine fills via AnalyzeWithPartial; the
+		// equivalent-computation contract is what matters here.
+		p := PrecomputeModel(cfg)
+		return AnalyzeWithPartial(&p, cfg.Name,
+			PrecomputeStage(cfg.SensorRate), PrecomputeStage(cfg.ComputeRate), PrecomputeStage(cfg.ControlRate))
+	}
+	first, err := c.AnalyzeFunc(cfg, fill)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills.Load() != 1 {
+		t.Fatalf("fill ran %d times on the first miss, want 1", fills.Load())
+	}
+	// Hit path: neither fill nor the full analysis runs again, and the
+	// plain and fill variants see the same entry.
+	second, err := c.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fills.Load() != 1 {
+		t.Fatalf("fill re-ran on a hit (%d runs)", fills.Load())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("fill-variant and plain-variant results diverge")
+	}
+	want, err := Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatal("AnalyzeFunc result diverges from direct Analyze")
+	}
+}
+
+// TestCacheAnalyzeFuncErrorsNotCached mirrors the plain-variant
+// error-caching contract for caller-supplied fills.
+func TestCacheAnalyzeFuncErrorsNotCached(t *testing.T) {
+	c := NewCache()
+	cfg := memoTestConfig("func-err", 330)
+	boom := errors.New("fill failed")
+	if _, err := c.AnalyzeFunc(cfg, func() (Analysis, error) { return Analysis{}, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the fill's error", err)
+	}
+	if c.contains(cfg) {
+		t.Fatal("failed fill was cached")
+	}
+	// A later successful fill works.
+	if _, err := c.AnalyzeFunc(cfg, func() (Analysis, error) { return Analyze(cfg) }); err != nil {
+		t.Fatal(err)
+	}
+	if !c.contains(cfg) {
+		t.Fatal("successful retry was not cached")
+	}
+}
+
+// TestCacheAnalyzeFuncPassThrough: nil caches and the CacheOff
+// pass-through still run the fill (never the full Analyze).
+func TestCacheAnalyzeFuncPassThrough(t *testing.T) {
+	cfg := memoTestConfig("func-off", 340)
+	for _, c := range []*Cache{nil, CacheOff()} {
+		var fills atomic.Int64
+		an, err := c.AnalyzeFunc(cfg, func() (Analysis, error) {
+			fills.Add(1)
+			return Analyze(cfg)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fills.Load() != 1 {
+			t.Fatalf("pass-through ran fill %d times, want 1", fills.Load())
+		}
+		want, _ := Analyze(cfg)
+		if !reflect.DeepEqual(an, want) {
+			t.Fatal("pass-through fill result diverges")
+		}
+		if c.Len() != 0 {
+			t.Fatal("pass-through cache retained an entry")
+		}
+	}
+}
+
+// TestCacheLookup: hits return the entry and count as hits; absences
+// return false without counting a miss (the follow-up fill records it).
+func TestCacheLookup(t *testing.T) {
+	c := NewCache()
+	cfg := memoTestConfig("lookup", 350)
+	if _, ok := c.Lookup(cfg); ok {
+		t.Fatal("Lookup hit an empty cache")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Lookup absence perturbed counters: %+v", st)
+	}
+	want, err := c.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Lookup(cfg)
+	if !ok {
+		t.Fatal("Lookup missed a cached entry")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Lookup result diverges from the cached analysis")
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("unexpected counters after hit: %+v", st)
+	}
+	// Nil and pass-through caches never hit.
+	if _, ok := (*Cache)(nil).Lookup(cfg); ok {
+		t.Fatal("nil cache Lookup hit")
+	}
+	if _, ok := CacheOff().Lookup(cfg); ok {
+		t.Fatal("CacheOff Lookup hit")
+	}
+}
+
+// TestCacheMemoizes pins the Memoizes predicate across the cache kinds.
+func TestCacheMemoizes(t *testing.T) {
+	if (*Cache)(nil).Memoizes() {
+		t.Fatal("nil cache claims to memoize")
+	}
+	if CacheOff().Memoizes() {
+		t.Fatal("CacheOff claims to memoize")
+	}
+	if (&Cache{}).Memoizes() {
+		t.Fatal("zero cache claims to memoize")
+	}
+	if !NewCache().Memoizes() {
+		t.Fatal("NewCache does not claim to memoize")
+	}
+}

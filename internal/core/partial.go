@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// This file implements plan-level partial evaluation of the F-1 hot
+// path. Analyze's work factors cleanly along the configuration axes:
+//
+//   - ModelPartial caches everything derivable from (airframe, accel
+//     model, payload, sensing range, knee fraction) — the a_max lookup
+//     (a calibrated-table segment search for real catalogs), the knee
+//     and roof square roots, and the scalar knee throughput the
+//     classify/ceiling comparisons divide by.
+//   - Stage caches one pipeline stage's latency→frequency round trip
+//     (the round trip matters for bit-identical infinity handling).
+//
+// AnalyzeWithPartial recombines them with pure arithmetic, allocating
+// only the exact-size Ceilings slice, and is bit-identical to Analyze —
+// same values, same Inf/NaN semantics, same Validate rejection (the
+// partial_test.go hammer proves it across models and edge inputs). An
+// exploration engine that evaluates a cross product can therefore
+// precompute one ModelPartial per distinct payload triple and one Stage
+// per distinct rate, and pay per candidate only for what actually
+// differs between candidates.
+
+// Stage is one pipeline stage of the factored evaluation: the
+// configured rate together with its precomputed latency (Rate.Period())
+// and effective throughput (Latency.Frequency()). The two derived
+// fields are exactly the per-stage round trip Analyze performs inline,
+// cached so a swept or crossed rate pays for it once, not once per
+// candidate.
+type Stage struct {
+	// Rate is the configured stage rate — what the assembled Config
+	// carries (and what a cache keys on).
+	Rate units.Frequency
+	// Latency is Rate.Period(): infinite for a non-positive rate.
+	Latency units.Latency
+	// Throughput is Latency.Frequency() — the value Analyze compares
+	// and reports. It differs from Rate on the edges (a zero rate round
+	// trips to +Inf latency and back to zero throughput) and possibly
+	// in the last bit for finite rates, which is why both are kept.
+	Throughput units.Frequency
+}
+
+// PrecomputeStage builds the Stage for one configured rate.
+func PrecomputeStage(rate units.Frequency) Stage {
+	lat := rate.Period()
+	return Stage{Rate: rate, Latency: lat, Throughput: lat.Frequency()}
+}
+
+// ModelPartial is the axis-independent part of an F-1 analysis:
+// everything Analyze derives from the airframe, acceleration model,
+// payload, sensing range and knee fraction — and nothing that depends
+// on the pipeline rates. It is immutable after construction and safe to
+// share between goroutines, so a plan can compute one per distinct
+// payload triple and combine it with thousands of stage tuples.
+//
+// A ModelPartial built from an invalid configuration is still usable:
+// it carries the deferred validation state, and AnalyzeWithPartial
+// reports exactly the error Analyze would.
+type ModelPartial struct {
+	// The model-relevant Config fields, verbatim.
+	frame      physics.Airframe
+	accelModel physics.AccelModel
+	payload    units.Mass
+	rng        units.Length
+	kneeFrac   float64
+
+	// model is the derived F-1 curve; modelErr is its validation
+	// failure (unwrapped — the combine wraps it with the current
+	// configuration name, as Analyze does).
+	model    Model
+	modelErr error
+	// knee, roof and kneeHz are only meaningful when modelErr is nil.
+	knee   KneePoint
+	roof   units.Velocity
+	kneeHz float64
+}
+
+// PrecomputeModel evaluates the model-dependent part of Analyze once:
+// the a_max lookup and the knee/roof derivation. Only the Frame,
+// AccelModel, Payload, SensorRange and KneeFraction fields of cfg are
+// consulted; the name and rates may be zero — they are supplied at
+// combine time. Invalid inputs do not error here: the partial records
+// what it could not compute and AnalyzeWithPartial rejects exactly as
+// Analyze would (in particular, the acceleration model is never invoked
+// on inputs Analyze's validation would have stopped — a NaN payload
+// must not reach a calibrated table's segment search).
+func PrecomputeModel(cfg Config) ModelPartial {
+	p := ModelPartial{
+		frame:      cfg.Frame,
+		accelModel: cfg.AccelModel,
+		payload:    cfg.Payload,
+		rng:        cfg.SensorRange,
+		kneeFrac:   cfg.KneeFraction,
+	}
+	p.derive()
+	return p
+}
+
+// derive computes the model, its validation state and the knee/roof
+// fields from the stored configuration fields.
+func (p *ModelPartial) derive() {
+	if p.accelModel == nil ||
+		math.IsNaN(float64(p.payload)) || math.IsInf(float64(p.payload), 0) || p.payload < 0 {
+		// Config.Validate rejects these before Analyze ever touches the
+		// model; mirror that by deferring entirely to combine-time
+		// validation. The zero model's Validate error is never reported
+		// (cfg.Validate fires first), so leave modelErr nil.
+		return
+	}
+	p.model = Model{
+		Accel:        p.accelModel.MaxAccel(p.frame, p.payload),
+		Range:        p.rng,
+		KneeFraction: p.kneeFrac,
+	}
+	if err := p.model.Validate(); err != nil {
+		p.modelErr = err
+		return
+	}
+	p.knee = p.model.Knee()
+	p.roof = p.model.Roof()
+	p.kneeHz = p.knee.Throughput.Hertz()
+}
+
+// WithRange returns the partial re-evaluated at a new sensing range,
+// reusing the a_max lookup — payload and airframe are untouched, so
+// only the range-dependent knee/roof fields are recomputed. The result
+// is bit-identical to PrecomputeModel of the re-ranged configuration;
+// a range sweep over a calibrated catalog pays the table's segment
+// search once instead of once per point.
+func (p ModelPartial) WithRange(d units.Length) ModelPartial {
+	p.rng = d
+	p.modelErr = nil
+	p.knee, p.roof, p.kneeHz = KneePoint{}, 0, 0
+	if p.accelModel == nil ||
+		math.IsNaN(float64(p.payload)) || math.IsInf(float64(p.payload), 0) || p.payload < 0 {
+		p.model = Model{}
+		return p
+	}
+	// Reuse the stored a_max: MaxAccel(frame, payload) is deterministic
+	// in inputs that have not changed.
+	p.model.Range = d
+	if err := p.model.Validate(); err != nil {
+		p.modelErr = err
+		return p
+	}
+	p.knee = p.model.Knee()
+	p.roof = p.model.Roof()
+	p.kneeHz = p.knee.Throughput.Hertz()
+	return p
+}
+
+// Config assembles the complete configuration the combine analyzes:
+// the partial's model fields plus the caller's name and stage rates.
+// It is exactly the Config whose Analyze the combine reproduces — the
+// value to key a cache on.
+func (p *ModelPartial) Config(name string, sensor, compute, control Stage) Config {
+	return Config{
+		Name:         name,
+		Frame:        p.frame,
+		AccelModel:   p.accelModel,
+		Payload:      p.payload,
+		SensorRate:   sensor.Rate,
+		SensorRange:  p.rng,
+		ComputeRate:  compute.Rate,
+		ControlRate:  control.Rate,
+		KneeFraction: p.kneeFrac,
+	}
+}
+
+// AnalyzeWithPartial combines a precomputed model partial with three
+// precomputed pipeline stages into the full F-1 analysis. It is
+// bit-identical to Analyze of the assembled configuration — same
+// values (including Inf/NaN propagation), same Validate rejection —
+// while performing only the axis-dependent arithmetic: stage
+// comparisons, Eq. 4 at the achieved throughput, classification, and
+// ceilings. The only allocation is the exact-size Ceilings slice (and
+// only when a ceiling exists).
+func AnalyzeWithPartial(p *ModelPartial, name string, sensor, compute, control Stage) (Analysis, error) {
+	var an Analysis
+	if err := AnalyzeWithPartialInto(p, name, sensor, compute, control, nil, &an); err != nil {
+		return Analysis{}, err
+	}
+	return an, nil
+}
+
+// arenaCeilingsBlock is the capacity of a fresh arena block when a
+// caller-supplied arena runs out mid-analysis.
+const arenaCeilingsBlock = 256
+
+// AnalyzeWithPartialInto is the bulk evaluator's workhorse: the same
+// combine written directly into *out — a caller looping over
+// thousands of candidates hands the output slot (e.g. the element of
+// a results slice) and skips the two ~350-byte Analysis copies a
+// return value costs per call. On error, *out is the zero Analysis.
+//
+// A non-nil arena supplies the Ceilings backing: the result's
+// Ceilings is a non-overlapping subslice of *arena (capacity-clamped,
+// so a later append cannot reach into it) and *arena is advanced past
+// it; when the arena lacks room a fresh block is started — the old
+// one stays alive through the analyses already referencing it — so a
+// bulk evaluator amortizes one slice allocation over hundreds of
+// analyses. The arena and every arena-backed analysis must stay
+// within one owner: do not hand such analyses to a shared cache (one
+// retained entry would pin the whole block; pass a nil arena there
+// for an exact-size private slice).
+func AnalyzeWithPartialInto(p *ModelPartial, name string, sensor, compute, control Stage, arena *[]Ceiling, out *Analysis) error {
+	an := out
+	*an = Analysis{}
+	cfg := p.Config(name, sensor, compute, control)
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if p.modelErr != nil {
+		return fmt.Errorf("f1: config %q: %w", name, p.modelErr)
+	}
+
+	// Identical to Analyze's inline stage scan, with the per-stage
+	// latency→frequency round trips already done.
+	lats := [3]units.Latency{sensor.Latency, compute.Latency, control.Latency}
+	thr := [3]units.Frequency{sensor.Throughput, compute.Throughput, control.Throughput}
+	action := units.Frequency(math.Inf(1))
+	bottleneck := 0
+	for i := range lats {
+		if thr[i] < action {
+			action = thr[i]
+		}
+		if lats[i] > lats[bottleneck] {
+			bottleneck = i
+		}
+	}
+
+	an.Config = cfg
+	an.AMax = p.model.Accel
+	an.Action = action
+	an.BottleneckStage = stageNames[bottleneck]
+	an.Knee = p.knee
+	an.Roof = p.roof
+	an.SafeVelocity = p.model.SafeVelocityAt(action)
+
+	// Bound classification (§III-B).
+	if action.Hertz() >= p.kneeHz {
+		an.Bound = PhysicsBound
+	} else {
+		switch bottleneck {
+		case 0:
+			an.Bound = SensorBound
+		case 1:
+			an.Bound = ComputeBound
+		default:
+			an.Bound = ControlBound
+		}
+	}
+
+	// Design classification (§III-C) with a ±10 % optimal band.
+	ratio := action.Hertz() / p.kneeHz
+	switch {
+	case math.IsInf(ratio, 1):
+		an.Class = OverProvisioned
+		an.GapFactor = math.Inf(1)
+	case ratio >= 1/OptimalTolerance && ratio <= OptimalTolerance:
+		an.Class = OptimalDesign
+		an.GapFactor = 1
+	case ratio > OptimalTolerance:
+		an.Class = OverProvisioned
+		an.GapFactor = ratio
+	default:
+		an.Class = UnderProvisioned
+		an.GapFactor = 1 / ratio
+		an.VelocityHeadroom = units.Velocity(math.Max(0,
+			p.knee.Velocity.MetersPerSecond()-an.SafeVelocity.MetersPerSecond()))
+	}
+
+	// Ceilings (Fig. 4a): count first, then allocate exactly once —
+	// or carve the exact span out of the caller's arena.
+	nCeil := 0
+	for i := range thr {
+		if thr[i].Hertz() < p.kneeHz {
+			nCeil++
+		}
+	}
+	if nCeil > 0 {
+		var dst []Ceiling
+		if arena != nil {
+			a := *arena
+			if cap(a)-len(a) < nCeil {
+				// Fresh block; the exhausted one stays alive through the
+				// analyses already holding subslices of it.
+				a = make([]Ceiling, 0, arenaCeilingsBlock)
+			}
+			dst = a[len(a):len(a)]
+		} else {
+			dst = make([]Ceiling, 0, nCeil)
+		}
+		for i := range thr {
+			if thr[i].Hertz() < p.kneeHz {
+				dst = append(dst, Ceiling{
+					Source:     stageNames[i],
+					Throughput: thr[i],
+					Velocity:   p.model.SafeVelocityAt(thr[i]),
+				})
+			}
+		}
+		if arena != nil {
+			// Advance the arena past the span and capacity-clamp the
+			// result so later appends cannot alias into it.
+			*arena = dst[:len(dst):cap(dst)]
+			an.Ceilings = dst[:len(dst):len(dst)]
+		} else {
+			an.Ceilings = dst
+		}
+	}
+	return nil
+}

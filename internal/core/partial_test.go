@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/physics"
+	"repro/internal/units"
+)
+
+// f64Bits compares two floats bit-for-bit (NaN-safe, signed-zero-safe).
+func f64Bits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// requireAnalysisIdentical asserts got ≡ want bit-for-bit: every float
+// field compared via Float64bits (so NaN ≡ NaN and +0 ≢ −0), every
+// other field exactly.
+func requireAnalysisIdentical(t *testing.T, label string, got, want Analysis) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Config, want.Config) {
+		t.Fatalf("%s: Config diverges:\n got %+v\nwant %+v", label, got.Config, want.Config)
+	}
+	floats := []struct {
+		name     string
+		got, wnt float64
+	}{
+		{"AMax", float64(got.AMax), float64(want.AMax)},
+		{"Action", float64(got.Action), float64(want.Action)},
+		{"Knee.Throughput", float64(got.Knee.Throughput), float64(want.Knee.Throughput)},
+		{"Knee.Velocity", float64(got.Knee.Velocity), float64(want.Knee.Velocity)},
+		{"Roof", float64(got.Roof), float64(want.Roof)},
+		{"SafeVelocity", float64(got.SafeVelocity), float64(want.SafeVelocity)},
+		{"GapFactor", got.GapFactor, want.GapFactor},
+		{"VelocityHeadroom", float64(got.VelocityHeadroom), float64(want.VelocityHeadroom)},
+	}
+	for _, f := range floats {
+		if !f64Bits(f.got, f.wnt) {
+			t.Fatalf("%s: %s diverges: got %v (bits %x), want %v (bits %x)",
+				label, f.name, f.got, math.Float64bits(f.got), f.wnt, math.Float64bits(f.wnt))
+		}
+	}
+	if got.BottleneckStage != want.BottleneckStage {
+		t.Fatalf("%s: BottleneckStage %q != %q", label, got.BottleneckStage, want.BottleneckStage)
+	}
+	if got.Bound != want.Bound || got.Class != want.Class {
+		t.Fatalf("%s: classification (%v,%v) != (%v,%v)", label, got.Bound, got.Class, want.Bound, want.Class)
+	}
+	if len(got.Ceilings) != len(want.Ceilings) {
+		t.Fatalf("%s: %d ceilings != %d", label, len(got.Ceilings), len(want.Ceilings))
+	}
+	for i := range got.Ceilings {
+		g, w := got.Ceilings[i], want.Ceilings[i]
+		if g.Source != w.Source || !f64Bits(float64(g.Throughput), float64(w.Throughput)) ||
+			!f64Bits(float64(g.Velocity), float64(w.Velocity)) {
+			t.Fatalf("%s: ceiling %d diverges: got %+v, want %+v", label, i, g, w)
+		}
+	}
+}
+
+// partialHammerConfigs is the cross-catalog fixture set: every
+// acceleration model implementation, calibrated tables with clamped and
+// interior payloads, infinite and zero rates, the default-sensor rate
+// shape, knee-fraction overrides, and invalid inputs whose rejection
+// must also match.
+func partialHammerConfigs(t *testing.T) []Config {
+	t.Helper()
+	frame := physics.Airframe{
+		Name: "hammer-frame", BaseMass: units.Grams(1030),
+		MotorCount: 4, MotorThrust: units.GramsForce(650), FrameSize: units.Millimeters(450),
+	}
+	table := physics.MustCalibratedTable([]physics.CalibPoint{
+		{Payload: units.Grams(200), Accel: units.MetersPerSecond2(25)},
+		{Payload: units.Grams(450), Accel: units.MetersPerSecond2(8.5)},
+		{Payload: units.Grams(590), Accel: units.MetersPerSecond2(0.81)},
+		{Payload: units.Grams(640), Accel: units.MetersPerSecond2(0.44)},
+		{Payload: units.Grams(800), Accel: units.MetersPerSecond2(0.405)},
+	})
+	base := Config{
+		Name:        "hammer",
+		Frame:       frame,
+		AccelModel:  physics.PitchLimited{UsableThrustFraction: 0.95},
+		Payload:     units.Grams(400),
+		SensorRate:  units.Hertz(60),
+		SensorRange: units.Meters(4.5),
+		ComputeRate: units.Hertz(178),
+		ControlRate: units.Hertz(1000),
+	}
+	with := func(mut func(*Config)) Config {
+		c := base
+		mut(&c)
+		return c
+	}
+	return []Config{
+		base,
+		with(func(c *Config) { c.AccelModel = physics.ThrustSurplus{} }),
+		with(func(c *Config) {
+			c.AccelModel = physics.FixedAccel(units.MetersPerSecond2(50))
+			c.SensorRange = units.Meters(10)
+		}),
+		// Calibrated table: interior, exactly-on-anchor, and clamped
+		// payloads drive the segment search through all its branches.
+		with(func(c *Config) { c.AccelModel = table; c.Payload = units.Grams(500) }),
+		with(func(c *Config) { c.AccelModel = table; c.Payload = units.Grams(590) }),
+		with(func(c *Config) { c.AccelModel = table; c.Payload = units.Grams(100) }),
+		with(func(c *Config) { c.AccelModel = table; c.Payload = units.Grams(900) }),
+		// Overloaded airframe → floor acceleration.
+		with(func(c *Config) { c.Payload = units.Grams(3000) }),
+		// Infinite rates ("this stage is free") and a zero compute rate
+		// (never produces output → zero action throughput).
+		with(func(c *Config) { c.ComputeRate = units.Frequency(math.Inf(1)) }),
+		with(func(c *Config) {
+			c.SensorRate = units.Frequency(math.Inf(1))
+			c.ComputeRate = units.Frequency(math.Inf(1))
+			c.ControlRate = units.Frequency(math.Inf(1))
+		}),
+		with(func(c *Config) { c.ComputeRate = 0 }),
+		// Infinite sensing range: a meaningful limit the model handles.
+		with(func(c *Config) { c.SensorRange = units.Length(math.Inf(1)) }),
+		// Knee-fraction overrides, including ones that reclassify.
+		with(func(c *Config) { c.KneeFraction = 0.9 }),
+		with(func(c *Config) { c.KneeFraction = 0.99 }),
+		// Paper's Fig. 5 textbook shape.
+		with(func(c *Config) {
+			c.AccelModel = physics.FixedAccel(units.MetersPerSecond2(50))
+			c.SensorRange = units.Meters(10)
+			c.ComputeRate = units.Hertz(10)
+		}),
+		// Invalid configurations: rejection must match bit-for-bit too.
+		with(func(c *Config) { c.AccelModel = nil }),
+		with(func(c *Config) { c.Payload = units.Mass(math.NaN()) }),
+		with(func(c *Config) { c.Payload = units.Mass(math.Inf(1)) }),
+		with(func(c *Config) { c.Payload = -base.Payload }),
+		with(func(c *Config) { c.SensorRange = 0 }),
+		with(func(c *Config) { c.SensorRange = units.Length(math.NaN()) }),
+		with(func(c *Config) { c.SensorRate = units.Frequency(math.NaN()) }),
+		with(func(c *Config) { c.SensorRate = -1 }),
+		with(func(c *Config) { c.ComputeRate = units.Frequency(math.NaN()) }),
+		with(func(c *Config) { c.ComputeRate = -1 }),
+		with(func(c *Config) { c.ControlRate = units.Frequency(math.NaN()) }),
+		with(func(c *Config) { c.ControlRate = 0 }),
+		// NaN payload AND NaN compute rate: validation order must hold
+		// (the compute-rate error fires first, exactly as in Analyze).
+		with(func(c *Config) { c.Payload = units.Mass(math.NaN()); c.ComputeRate = units.Frequency(math.NaN()) }),
+		// Model-level rejection (positive-range config, non-positive
+		// a_max): surfaces through the deferred modelErr path.
+		with(func(c *Config) { c.AccelModel = physics.FixedAccel(0) }),
+		with(func(c *Config) { c.KneeFraction = 1.5 }),
+		with(func(c *Config) { c.KneeFraction = -0.5 }),
+	}
+}
+
+// TestAnalyzeWithPartialMatchesAnalyze is the partial-vs-direct
+// equality hammer: for every fixture configuration, a shared
+// ModelPartial combined with per-configuration stages must reproduce
+// Analyze bit-for-bit — same analysis values (Inf/NaN semantics
+// included), same Validate rejection with the same message.
+func TestAnalyzeWithPartialMatchesAnalyze(t *testing.T) {
+	for i, cfg := range partialHammerConfigs(t) {
+		label := cfg.Name
+		if label == "" {
+			label = "cfg"
+		}
+		p := PrecomputeModel(cfg)
+		got, gotErr := AnalyzeWithPartial(&p, cfg.Name,
+			PrecomputeStage(cfg.SensorRate), PrecomputeStage(cfg.ComputeRate), PrecomputeStage(cfg.ControlRate))
+		want, wantErr := Analyze(cfg)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("fixture %d (%s): error mismatch: partial=%v direct=%v", i, label, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("fixture %d (%s): error text diverges:\npartial: %v\n direct: %v", i, label, gotErr, wantErr)
+			}
+			continue
+		}
+		requireAnalysisIdentical(t, label, got, want)
+	}
+}
+
+// TestPartialReuseAcrossStageTuples shares one partial across a grid of
+// stage tuples — the exploration engine's exact reuse pattern — and
+// checks every combination against the direct analysis.
+func TestPartialReuseAcrossStageTuples(t *testing.T) {
+	cfg := partialHammerConfigs(t)[3] // calibrated table, interior payload
+	p := PrecomputeModel(cfg)
+	rates := []units.Frequency{0, 1, 9.5, 60, 178, 1000, units.Frequency(math.Inf(1))}
+	control := PrecomputeStage(cfg.ControlRate)
+	for _, sr := range rates {
+		for _, cr := range rates {
+			got, gotErr := AnalyzeWithPartial(&p, cfg.Name, PrecomputeStage(sr), PrecomputeStage(cr), control)
+			direct := cfg
+			direct.SensorRate = sr
+			direct.ComputeRate = cr
+			want, wantErr := Analyze(direct)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("(sr=%v cr=%v): error mismatch: partial=%v direct=%v", sr, cr, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("(sr=%v cr=%v): error text diverges", sr, cr)
+				}
+				continue
+			}
+			requireAnalysisIdentical(t, "stage grid", got, want)
+		}
+	}
+}
+
+// TestWithRangeMatchesPrecompute: re-ranging a partial must be
+// indistinguishable from precomputing at the new range — including
+// transitions between valid and invalid ranges in both directions.
+func TestWithRangeMatchesPrecompute(t *testing.T) {
+	ranges := []units.Length{units.Meters(0.5), units.Meters(3), units.Meters(10),
+		units.Length(math.Inf(1)), 0, -1, units.Length(math.NaN())}
+	for i, cfg := range partialHammerConfigs(t) {
+		base := PrecomputeModel(cfg)
+		for _, d := range ranges {
+			reranged := base.WithRange(d)
+			direct := cfg
+			direct.SensorRange = d
+			sensor, compute, control := PrecomputeStage(cfg.SensorRate), PrecomputeStage(cfg.ComputeRate), PrecomputeStage(cfg.ControlRate)
+			got, gotErr := AnalyzeWithPartial(&reranged, cfg.Name, sensor, compute, control)
+			want, wantErr := Analyze(direct)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("fixture %d range %v: error mismatch: reranged=%v direct=%v", i, d, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("fixture %d range %v: error text diverges:\nreranged: %v\n  direct: %v", i, d, gotErr, wantErr)
+				}
+				continue
+			}
+			requireAnalysisIdentical(t, "with-range", got, want)
+		}
+	}
+}
+
+// TestPartialConfigAssembly: the Config a partial assembles for a cache
+// key must equal the original configuration field-for-field.
+func TestPartialConfigAssembly(t *testing.T) {
+	for i, cfg := range partialHammerConfigs(t) {
+		p := PrecomputeModel(cfg)
+		got := p.Config(cfg.Name,
+			PrecomputeStage(cfg.SensorRate), PrecomputeStage(cfg.ComputeRate), PrecomputeStage(cfg.ControlRate))
+		// NaN fields make == and DeepEqual useless here; compare the
+		// comparable parts and the float bits separately.
+		if got.Name != cfg.Name || got.Frame != cfg.Frame || got.AccelModel != cfg.AccelModel {
+			t.Fatalf("fixture %d: identity fields diverge", i)
+		}
+		pairs := [][2]float64{
+			{float64(got.Payload), float64(cfg.Payload)},
+			{float64(got.SensorRate), float64(cfg.SensorRate)},
+			{float64(got.SensorRange), float64(cfg.SensorRange)},
+			{float64(got.ComputeRate), float64(cfg.ComputeRate)},
+			{float64(got.ControlRate), float64(cfg.ControlRate)},
+			{got.KneeFraction, cfg.KneeFraction},
+		}
+		for j, pr := range pairs {
+			if !f64Bits(pr[0], pr[1]) {
+				t.Fatalf("fixture %d: scalar field %d diverges: %v != %v", i, j, pr[0], pr[1])
+			}
+		}
+	}
+}
+
+// TestAnalyzeWithPartialArenaMatches: the arena variant must produce
+// the same analyses as the exact-allocation path while keeping every
+// result's Ceilings non-overlapping — including across a block
+// rollover (the tiny initial arena forces several).
+func TestAnalyzeWithPartialArenaMatches(t *testing.T) {
+	arena := make([]Ceiling, 0, 4) // deliberately tiny: forces fresh blocks
+	type run struct {
+		got, want Analysis
+	}
+	var runs []run
+	for _, cfg := range partialHammerConfigs(t) {
+		p := PrecomputeModel(cfg)
+		sensor, compute, control := PrecomputeStage(cfg.SensorRate), PrecomputeStage(cfg.ComputeRate), PrecomputeStage(cfg.ControlRate)
+		var got Analysis
+		gotErr := AnalyzeWithPartialInto(&p, cfg.Name, sensor, compute, control, &arena, &got)
+		want, wantErr := AnalyzeWithPartial(&p, cfg.Name, sensor, compute, control)
+		if (gotErr == nil) != (wantErr == nil) {
+			t.Fatalf("%s: error mismatch: arena=%v exact=%v", cfg.Name, gotErr, wantErr)
+		}
+		if gotErr != nil {
+			if gotErr.Error() != wantErr.Error() {
+				t.Fatalf("%s: error text diverges", cfg.Name)
+			}
+			continue
+		}
+		runs = append(runs, run{got: got, want: want})
+	}
+	// Compare only after every run: a later analysis overwriting an
+	// earlier one's ceilings (an aliasing bug) would surface here.
+	for i, r := range runs {
+		requireAnalysisIdentical(t, "arena", r.got, r.want)
+		if cap(r.got.Ceilings) != len(r.got.Ceilings) && len(r.got.Ceilings) > 0 {
+			t.Fatalf("run %d: arena-backed Ceilings not capacity-clamped (len %d cap %d)",
+				i, len(r.got.Ceilings), cap(r.got.Ceilings))
+		}
+	}
+}
+
+// TestStageRoundTrip: a Stage must carry exactly the latency→frequency
+// round trip Analyze performs inline.
+func TestStageRoundTrip(t *testing.T) {
+	for _, r := range []units.Frequency{-1, 0, 0.3, 60, 1000, units.Frequency(math.Inf(1)), units.Frequency(math.NaN())} {
+		s := PrecomputeStage(r)
+		if !f64Bits(float64(s.Rate), float64(r)) {
+			t.Fatalf("rate %v: Rate not preserved", r)
+		}
+		if !f64Bits(float64(s.Latency), float64(r.Period())) {
+			t.Fatalf("rate %v: Latency %v != %v", r, s.Latency, r.Period())
+		}
+		if !f64Bits(float64(s.Throughput), float64(r.Period().Frequency())) {
+			t.Fatalf("rate %v: Throughput %v != %v", r, s.Throughput, r.Period().Frequency())
+		}
+	}
+}

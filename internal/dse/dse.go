@@ -26,12 +26,28 @@
 //     collects it. Both are request-scoped: cancelling the context — a
 //     disconnected HTTP client, a deadline — stops in-flight grains
 //     between candidates instead of draining the space.
-//   - Analysis hot paths are allocation-lean: catalog lookups happen
-//     once per axis value (not once per candidate), configuration names
-//     are rendered once per (UAV, compute, algorithm) cell, and an
-//     optional core.Cache memoizes repeated analyses — with
-//     singleflight fill, so concurrent explorations of overlapping
-//     spaces analyze each configuration once, not once per request.
+//   - Analysis hot paths are partially evaluated (explore.go): the
+//     plan resolves every catalog lookup once per axis value, renders
+//     all cell names into one backing buffer, and precomputes the
+//     factored pieces of the F-1 model — one core.ModelPartial per
+//     distinct (airframe, payload, sensing range) triple (the a_max
+//     lookup and knee/roof derivation; the algorithm axis never touches
+//     the model, so algorithm-heavy spaces reuse each partial once per
+//     algorithm) and one core.Stage per distinct sensor, algorithm-on-
+//     compute and control rate. Building a candidate is then index math
+//     plus the allocation-free core.AnalyzeWithPartial combine —
+//     bit-identical to a from-scratch core.Analyze. An optional
+//     core.Cache memoizes repeated analyses, probed allocation-free on
+//     hits and filled through the partial combine on misses — with
+//     context-aware singleflight, so concurrent explorations of
+//     overlapping spaces analyze each configuration once, and a
+//     cancelled request abandons a coalesced wait instead of blocking
+//     on another request's analysis.
+//   - Sweep and GridSweep reuse the same factoring per point: a swept
+//     rate rebuilds one Stage, a swept range goes through
+//     ModelPartial.WithRange (reusing the a_max lookup), and only a
+//     swept payload — the a_max lookup's own input — falls back to the
+//     full analysis.
 //   - Rank and TopK (this file) score every candidate exactly once;
 //     TopK keeps a bounded heap instead of sorting the full slate.
 //   - ParetoFront (pareto.go) runs the argmax set for one objective, a

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -59,13 +60,22 @@ func (e Explorer) grain(n, workers int) int {
 	return stealGrain(n, workers)
 }
 
-// plan is the pre-resolved exploration: every catalog lookup is done
-// once per axis value here, so building candidate i is pure arithmetic
-// plus one core.Analyze call.
+// plan is the pre-resolved, partially evaluated exploration: every
+// catalog lookup is done once per axis value, and every part of the
+// F-1 analysis that depends on only a subset of the axes is computed
+// once per distinct subset value — one core.ModelPartial per distinct
+// (airframe, payload, sensing range) triple, one core.Stage per
+// distinct rate. Building candidate i is then index math, the
+// allocation-free core.AnalyzeWithPartial combine and a constraint
+// check: no catalog access, no acceleration-model evaluation, no
+// knee/roof recomputation.
 type plan struct {
 	cons  Constraints
 	cache *core.Cache
-	uavs  []catalog.UAV
+	// memoized is whether cache actually memoizes; when false the
+	// candidates skip cache plumbing and combine partials directly.
+	memoized bool
+	uavs     []catalog.UAV
 	// computes and computeMass are parallel: computeMass[i] is
 	// computes[i].TotalMass under the catalog's heatsink model.
 	computes    []catalog.Compute
@@ -74,6 +84,17 @@ type plan struct {
 	// cells enumerates the buildable (UAV, compute, algorithm) triples
 	// in canonical order; each crosses with every sensor choice.
 	cells []cell
+	// partials[(u·|computes|+c)·|sensors|+s] is the model partial for
+	// the (UAV u, compute c, sensor s) payload triple. Distinct triples
+	// that resolve to the same (payload, range) on one UAV share a
+	// partial; the algorithm axis never touches the model, so every
+	// algorithm of a cell reuses its partial outright.
+	partials []*core.ModelPartial
+	// sensorStages[u·|sensors|+s] is the sensor pipeline stage — per
+	// (UAV, sensor) because the default sensor choice resolves per UAV.
+	sensorStages []core.Stage
+	// controlStages[u] is UAV u's flight-controller stage.
+	controlStages []core.Stage
 }
 
 // sensorChoice is one value of the sensor axis: a named catalog sensor,
@@ -85,12 +106,14 @@ type sensorChoice struct {
 }
 
 // cell is one buildable (UAV, compute, algorithm) triple with its
-// measured throughput and precomputed configuration name.
+// measured compute stage and precomputed configuration name.
 type cell struct {
 	u, c int
 	algo string
-	rate units.Frequency
-	name string
+	// stage is the algorithm-on-compute pipeline stage; stage.Rate is
+	// the perf-table throughput.
+	stage core.Stage
+	name  string
 }
 
 // total is the number of candidates the plan will visit.
@@ -141,11 +164,11 @@ func newPlan(cat *catalog.Catalog, space Space, cons Constraints, cache *core.Ca
 		p.sensors[i] = sensorChoice{name: name, spec: s}
 	}
 	// Rate lookups once per (algorithm × compute) pair — not once per
-	// candidate — and the configuration name once per cell.
-	type algoRates struct {
-		rates []units.Frequency // parallel to p.computes; <0 = unmeasured
+	// candidate — with each measured rate's stage round trip done here.
+	type algoStages struct {
+		stages []core.Stage // parallel to p.computes; Rate < 0 = unmeasured
 	}
-	perAlgo := make([]algoRates, len(space.Algorithms))
+	perAlgo := make([]algoStages, len(space.Algorithms))
 	for ai, algo := range space.Algorithms {
 		// Validation parity with the UAV/compute/sensor axes: an
 		// algorithm the catalog has never heard of is a caller error,
@@ -156,62 +179,172 @@ func newPlan(cat *catalog.Catalog, space Space, cons Constraints, cache *core.Ca
 		if _, err := cat.Algorithm(algo); err != nil {
 			return nil, fmt.Errorf("dse: resolving algorithm %q: %w", algo, err)
 		}
-		rates := make([]units.Frequency, len(space.Computes))
+		stages := make([]core.Stage, len(space.Computes))
 		for ci, comp := range space.Computes {
 			r, err := cat.Perf(algo, comp)
 			if err != nil {
-				rates[ci] = -1
+				stages[ci] = core.Stage{Rate: -1}
 				continue
 			}
-			rates[ci] = r
+			stages[ci] = core.PrecomputeStage(r)
 		}
-		perAlgo[ai] = algoRates{rates: rates}
+		perAlgo[ai] = algoStages{stages: stages}
 	}
+	// Real catalogs are sparse (most algorithms are measured on few
+	// platforms), so size the cell slice by the measured pairs, not the
+	// full cross product.
+	measured := 0
+	for ai := range perAlgo {
+		for ci := range perAlgo[ai].stages {
+			if perAlgo[ai].stages[ci].Rate >= 0 {
+				measured++
+			}
+		}
+	}
+	// Cell names render into one exact-size backing buffer and are
+	// sliced back out, so the whole plan costs one name allocation
+	// instead of one per cell. Each name is byte-identical to
+	// catalog.Resolved.Name.
+	p.cells = make([]cell, 0, len(space.UAVs)*measured)
+	pairUsed := make([]bool, len(space.UAVs)*len(space.Computes))
+	total := 0
 	for ui := range space.UAVs {
 		for ci := range space.Computes {
 			for ai, algo := range space.Algorithms {
-				rate := perAlgo[ai].rates[ci]
-				if rate < 0 {
+				st := perAlgo[ai].stages[ci]
+				if st.Rate < 0 {
 					continue // not a buildable combination
 				}
-				p.cells = append(p.cells, cell{
-					u: ui, c: ci, algo: algo, rate: rate,
-					// Concatenation, not Sprintf: one allocation, and
-					// byte-identical to catalog.Resolved.Name.
-					name: space.UAVs[ui] + " + " + algo + " + " + space.Computes[ci],
-				})
+				total += len(space.UAVs[ui]) + len(algo) + len(space.Computes[ci]) + 2*len(" + ")
+				p.cells = append(p.cells, cell{u: ui, c: ci, algo: algo, stage: st})
+				pairUsed[ui*len(space.Computes)+ci] = true
 			}
 		}
 	}
+	var names strings.Builder
+	names.Grow(total) // best-effort sizing; offs below is authoritative
+	offs := make([]int, len(p.cells)+1)
+	for i := range p.cells {
+		cl := &p.cells[i]
+		names.WriteString(space.UAVs[cl.u])
+		names.WriteString(" + ")
+		names.WriteString(cl.algo)
+		names.WriteString(" + ")
+		names.WriteString(space.Computes[cl.c])
+		offs[i+1] = names.Len()
+	}
+	all := names.String()
+	for i := range p.cells {
+		p.cells[i].name = all[offs[i]:offs[i+1]]
+	}
+	p.precompute(pairUsed)
+	p.memoized = p.cache.Memoizes()
 	return p, nil
 }
 
-// candidate builds and analyzes candidate i. ok is false when the
-// constraints reject it.
-func (p *plan) candidate(i int) (cand Candidate, ok bool, err error) {
-	cl := &p.cells[i/len(p.sensors)]
-	sc := &p.sensors[i%len(p.sensors)]
+// precompute builds the factored-evaluation tables: per-(UAV, sensor)
+// sensor stages, per-UAV control stages, and one model partial per
+// distinct (UAV, payload, sensing range) triple across the
+// (UAV × compute × sensor) cross section — restricted to the
+// (UAV, compute) pairs some cell actually uses, so a sparse perf table
+// does not pay a_max lookups for unbuildable combinations. The
+// algorithm axis is absent by construction — it only contributes the
+// compute stage — so an algorithm-heavy space reuses each partial once
+// per algorithm.
+func (p *plan) precompute(pairUsed []bool) {
+	nS := len(p.sensors)
+	p.sensorStages = make([]core.Stage, len(p.uavs)*nS)
+	p.controlStages = make([]core.Stage, len(p.uavs))
+	p.partials = make([]*core.ModelPartial, len(p.uavs)*len(p.computes)*nS)
+	type partialKey struct {
+		u       int
+		payload units.Mass
+		rng     units.Length
+	}
+	dedup := make(map[partialKey]*core.ModelPartial, len(p.uavs)*len(p.computes))
+	for ui := range p.uavs {
+		uav := &p.uavs[ui]
+		p.controlStages[ui] = core.PrecomputeStage(uav.ControlRate)
+		for si := range p.sensors {
+			sensor := p.sensors[si].spec
+			if p.sensors[si].useDefault {
+				sensor = uav.DefaultSensor
+			}
+			p.sensorStages[ui*nS+si] = core.PrecomputeStage(sensor.Rate)
+			for ci := range p.computes {
+				if !pairUsed[ui*len(p.computes)+ci] {
+					continue // no buildable cell references this pair
+				}
+				// Assemble through catalog.Resolved so the payload
+				// formula and field mapping live in exactly one place;
+				// the rates are combine-time inputs and stay zero.
+				r := catalog.Resolved{
+					UAV:         *uav,
+					Compute:     p.computes[ci],
+					Sensor:      sensor,
+					ComputeMass: p.computeMass[ci],
+				}
+				key := partialKey{u: ui, payload: r.Payload(), rng: sensor.Range}
+				mp, ok := dedup[key]
+				if !ok {
+					pm := core.PrecomputeModel(r.ConfigNamed(""))
+					mp = &pm
+					dedup[key] = mp
+				}
+				p.partials[(ui*len(p.computes)+ci)*nS+si] = mp
+			}
+		}
+	}
+}
+
+// candidateInto builds and analyzes candidate i in place — callers
+// hand it the output slot so a ~half-kilobyte Candidate is written
+// once, not copied through return values. ok is false when the
+// constraints reject it (the slot's contents are then unspecified).
+// arena, when non-nil, supplies the Ceilings backing for non-memoized
+// candidates (one allocation per block instead of per candidate); the
+// memoized path never uses it — a cached entry must own an exact-size
+// slice, not pin a whole block. ctx governs only a memoized
+// candidate's coalesced wait on another caller's in-flight analysis;
+// the combine itself is pure arithmetic with no cancellation points.
+func (p *plan) candidateInto(ctx context.Context, i int, cand *Candidate, arena *[]core.Ceiling) (ok bool, err error) {
+	nS := len(p.sensors)
+	ci, si := i/nS, i%nS
+	cl := &p.cells[ci]
+	sc := &p.sensors[si]
 	uav := &p.uavs[cl.u]
 	comp := &p.computes[cl.c]
-	sensor := sc.spec
-	if sc.useDefault {
-		sensor = uav.DefaultSensor
+	mp := p.partials[(cl.u*len(p.computes)+cl.c)*nS+si]
+	sensorStage := p.sensorStages[cl.u*nS+si]
+	controlStage := p.controlStages[cl.u]
+	if p.memoized {
+		// Probe before building the fill closure: the hit path — a
+		// server re-exploring a popular space — allocates nothing.
+		cfg := mp.Config(cl.name, sensorStage, cl.stage, controlStage)
+		var hit bool
+		cand.Analysis, hit = p.cache.Lookup(cfg)
+		if !hit {
+			// Clone the name before the entry can be inserted: cl.name is
+			// a substring of the plan-wide name buffer, and a cached
+			// Config holding it would pin that entire buffer in the
+			// process-wide cache for as long as the entry lives. String
+			// keys compare by content, so later Lookups with the
+			// substring name still hit the clone-keyed entry.
+			cfg.Name = strings.Clone(cl.name)
+			name := cfg.Name
+			cand.Analysis, err = p.cache.AnalyzeContextFunc(ctx, cfg, func() (core.Analysis, error) {
+				return core.AnalyzeWithPartial(mp, name, sensorStage, cl.stage, controlStage)
+			})
+		}
+	} else {
+		err = core.AnalyzeWithPartialInto(mp, cl.name, sensorStage, cl.stage, controlStage, arena, &cand.Analysis)
 	}
-	sel := catalog.Selection{UAV: uav.Name, Compute: comp.Name, Algorithm: cl.algo, Sensor: sc.name}
-	r := catalog.Resolved{
-		Selection:   sel,
-		UAV:         *uav,
-		Compute:     *comp,
-		Sensor:      sensor,
-		ComputeRate: cl.rate,
-		ComputeMass: p.computeMass[cl.c],
-	}
-	an, err := p.cache.Analyze(r.ConfigNamed(cl.name))
 	if err != nil {
-		return Candidate{}, false, fmt.Errorf("dse: analyzing %s/%s/%s: %w", uav.Name, comp.Name, cl.algo, err)
+		return false, fmt.Errorf("dse: analyzing %s/%s/%s: %w", uav.Name, comp.Name, cl.algo, err)
 	}
-	cand = Candidate{Selection: sel, Analysis: an, Power: comp.TDP}
-	return cand, p.cons.Allows(cand), nil
+	cand.Selection = catalog.Selection{UAV: uav.Name, Compute: comp.Name, Algorithm: cl.algo, Sensor: sc.name}
+	cand.Power = comp.TDP
+	return p.cons.Allows(*cand), nil
 }
 
 // processChunk analyzes candidates [start,end), returning the survivors
@@ -222,18 +355,33 @@ func (p *plan) candidate(i int) (cand Candidate, ok bool, err error) {
 func (p *plan) processChunk(ctx context.Context, start, end int) ([]Candidate, error) {
 	done := ctx.Done() // one channel load; the per-candidate check is a cheap select
 	out := make([]Candidate, 0, end-start)
+	// One Ceilings block per chunk (up to 3 per candidate): the chunk's
+	// survivors collectively own it, exactly like the out slice itself.
+	// The memoized path allocates exact-size slices instead (a cached
+	// entry must not pin a block), so skip the arena there.
+	var arena *[]core.Ceiling
+	if !p.memoized {
+		// Capped: the serial ExploreContext path routes the whole space
+		// through one chunk, and the combine rolls over to fresh blocks
+		// anyway when a block fills.
+		a := make([]core.Ceiling, 0, 3*min(end-start, 1024))
+		arena = &a
+	}
 	for i := start; i < end; i++ {
 		select {
 		case <-done:
 			return out, ctx.Err()
 		default:
 		}
-		cand, ok, err := p.candidate(i)
+		// Extend first and analyze into the new slot, truncating on a
+		// rejection: survivors are written in place, never copied.
+		out = out[:len(out)+1]
+		ok, err := p.candidateInto(ctx, i, &out[len(out)-1], arena)
 		if err != nil {
-			return out, err
+			return out[:len(out)-1], err
 		}
-		if ok {
-			out = append(out, cand)
+		if !ok {
+			out = out[:len(out)-1]
 		}
 	}
 	return out, nil
@@ -263,6 +411,16 @@ func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 		grain := e.grain(n, workers)
 		if workers == 1 || n <= grain {
 			done := ctx.Done()
+			var cand Candidate
+			// Block-granular arena (non-memoized only): yielded
+			// candidates may be retained by the consumer, so exhausted
+			// blocks are simply left to them and fresh ones started
+			// (inside the combine).
+			var arena *[]core.Ceiling
+			if !p.memoized {
+				a := make([]core.Ceiling, 0, 3*min(n, 1024))
+				arena = &a
+			}
 			for i := 0; i < n; i++ {
 				select {
 				case <-done:
@@ -270,7 +428,7 @@ func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 					return
 				default:
 				}
-				cand, ok, err := p.candidate(i)
+				ok, err := p.candidateInto(ctx, i, &cand, arena)
 				if err != nil {
 					yield(Candidate{}, err)
 					return

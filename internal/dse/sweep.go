@@ -84,6 +84,54 @@ type SweepResult struct {
 // costs more than it saves.
 const sweepSerialThreshold = 64
 
+// sweepEval is a sweep's factored evaluation state: the base
+// configuration's model partial and the three pipeline stages,
+// precomputed once per sweep so each point recomputes only what the
+// swept knob actually invalidates. A rate knob replaces one stage; the
+// range knob re-derives the partial's knee/roof while reusing its
+// a_max lookup (a calibrated-table segment search on real catalogs).
+// The payload knob invalidates the a_max lookup itself, so payload
+// sweeps fall back to the full core.Analyze. Values are copied per
+// point (no shared mutation), so parallel sweep workers can share one
+// base.
+type sweepEval struct {
+	base                     core.ModelPartial
+	name                     string
+	sensor, compute, control core.Stage
+}
+
+// newSweepEval factors cfg once.
+func newSweepEval(cfg core.Config) sweepEval {
+	return sweepEval{
+		base:    core.PrecomputeModel(cfg),
+		name:    cfg.Name,
+		sensor:  core.PrecomputeStage(cfg.SensorRate),
+		compute: core.PrecomputeStage(cfg.ComputeRate),
+		control: core.PrecomputeStage(cfg.ControlRate),
+	}
+}
+
+// with returns a copy with knob k set to v, recomputing only the
+// invalidated part. KnobPayload is the caller's responsibility to
+// avoid (it cannot reuse the base partial).
+func (e sweepEval) with(k Knob, v float64) sweepEval {
+	switch k {
+	case KnobSensorRange:
+		e.base = e.base.WithRange(units.Meters(v))
+	case KnobSensorRate:
+		e.sensor = core.PrecomputeStage(units.Hertz(v))
+	case KnobComputeRate:
+		e.compute = core.PrecomputeStage(units.Hertz(v))
+	}
+	return e
+}
+
+// analyze combines the current partial and stages — bit-identical to
+// core.Analyze of the equivalently knob-applied configuration.
+func (e *sweepEval) analyze() (core.Analysis, error) {
+	return core.AnalyzeWithPartial(&e.base, e.name, e.sensor, e.compute, e.control)
+}
+
 // sampleAt returns the i-th of n samples between lo and hi, linearly or
 // geometrically spaced.
 func sampleAt(lo, hi float64, i, n int, logSpace bool) float64 {
@@ -121,14 +169,34 @@ func SweepContext(ctx context.Context, cfg core.Config, knob Knob, lo, hi float6
 		return SweepResult{}, fmt.Errorf("dse: unknown knob %v", knob)
 	}
 	points := make([]SweepPoint, n)
-	eval := func(i int) error {
-		v := sampleAt(lo, hi, i, n, logSpace)
-		an, err := core.Analyze(knob.apply(cfg, v))
-		if err != nil {
-			return fmt.Errorf("dse: sweep %v at %v: %w", knob, v, err)
+	var eval func(i int) error
+	if knob == KnobPayload {
+		// A payload sweep invalidates the a_max lookup itself — nothing
+		// model-side survives between points; run the full analysis.
+		eval = func(i int) error {
+			v := sampleAt(lo, hi, i, n, logSpace)
+			an, err := core.Analyze(knob.apply(cfg, v))
+			if err != nil {
+				return fmt.Errorf("dse: sweep %v at %v: %w", knob, v, err)
+			}
+			points[i] = SweepPoint{Value: v, Analysis: an}
+			return nil
 		}
-		points[i] = SweepPoint{Value: v, Analysis: an}
-		return nil
+	} else {
+		// Rate and range knobs leave the a_max lookup valid: factor the
+		// configuration once and recompute only the swept part per
+		// point (bit-identical to the full analysis).
+		pe := newSweepEval(cfg)
+		eval = func(i int) error {
+			v := sampleAt(lo, hi, i, n, logSpace)
+			e := pe.with(knob, v)
+			an, err := e.analyze()
+			if err != nil {
+				return fmt.Errorf("dse: sweep %v at %v: %w", knob, v, err)
+			}
+			points[i] = SweepPoint{Value: v, Analysis: an}
+			return nil
+		}
 	}
 	if err := forEachParallel(ctx, n, workers, eval); err != nil {
 		return SweepResult{}, err
@@ -280,15 +348,40 @@ func GridSweepContext(ctx context.Context, cfg core.Config, xKnob Knob, xLo, xHi
 	for yi := range res.Cells {
 		res.Cells[yi] = cells[yi*nx : (yi+1)*nx]
 	}
-	eval := func(i int) error {
-		xi, yi := i%nx, i/nx
-		c := yKnob.apply(xKnob.apply(cfg, res.Xs[xi]), res.Ys[yi])
-		an, err := core.Analyze(c)
-		if err != nil {
-			return fmt.Errorf("dse: grid sweep at (%v=%v, %v=%v): %w", xKnob, res.Xs[xi], yKnob, res.Ys[yi], err)
+	var eval func(i int) error
+	if xKnob == KnobPayload || yKnob == KnobPayload {
+		// A payload axis invalidates the a_max lookup per cell; run the
+		// full analysis.
+		eval = func(i int) error {
+			xi, yi := i%nx, i/nx
+			c := yKnob.apply(xKnob.apply(cfg, res.Xs[xi]), res.Ys[yi])
+			an, err := core.Analyze(c)
+			if err != nil {
+				return fmt.Errorf("dse: grid sweep at (%v=%v, %v=%v): %w", xKnob, res.Xs[xi], yKnob, res.Ys[yi], err)
+			}
+			cells[i] = an
+			return nil
 		}
-		cells[i] = an
-		return nil
+	} else {
+		// Both axes are rate/range knobs: factor once, apply the x knob
+		// once per distinct column value (not once per cell), and
+		// recompute per cell only the y-knob part — same x-then-y
+		// application order as the direct path.
+		pe := newSweepEval(cfg)
+		xEvals := make([]sweepEval, nx)
+		for xi := range xEvals {
+			xEvals[xi] = pe.with(xKnob, res.Xs[xi])
+		}
+		eval = func(i int) error {
+			xi, yi := i%nx, i/nx
+			e := xEvals[xi].with(yKnob, res.Ys[yi])
+			an, err := e.analyze()
+			if err != nil {
+				return fmt.Errorf("dse: grid sweep at (%v=%v, %v=%v): %w", xKnob, res.Xs[xi], yKnob, res.Ys[yi], err)
+			}
+			cells[i] = an
+			return nil
+		}
 	}
 	if err := forEachParallel(ctx, nx*ny, workers, eval); err != nil {
 		return GridResult{}, err
