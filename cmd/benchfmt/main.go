@@ -1,24 +1,40 @@
 // Command benchfmt converts the committed BENCH_dse.json record into Go
 // benchmark output ("BenchmarkX 1 123 ns/op ...") so benchstat can
-// compare a fresh `go test -bench` run against the checked-in baseline
-// — the CI bench-regression job's input.
+// compare a fresh `go test -bench` run against the checked-in baseline,
+// and — with -check — gates a fresh run against that record directly.
 //
 // Usage:
 //
 //	benchfmt [-f BENCH_dse.json] [-section current]
+//	benchfmt -check bench-new.txt [-max-ns-ratio 2.0]
+//	         [-max-alloc-ratio 1.25] [-alloc-slack 8]
 //
 // The section flag picks which record to emit ("current" is the latest
 // capture; "baseline" the pre-rework engine). Benchmarks are emitted in
 // name order so the output is deterministic.
+//
+// -check compares each fresh benchmark against the record's row of the
+// same name and fails (exit 1) on regression. The two families gate
+// differently on purpose: allocs/op is deterministic across machines,
+// so its bound is tight (ratio × recorded + a small slack for
+// scheduling-dependent parallel rows), while ns/op varies with the
+// host, so its bound is loose — it catches an order-of-magnitude
+// slide, not noise. Fresh benchmarks missing from the record are
+// ignored (new benches land before their record does); recorded
+// benchmarks missing from the fresh run are reported but do not fail,
+// so partial runs can still gate what they measured.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // measurement is one benchmark record in BENCH_dse.json.
@@ -39,24 +55,19 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchfmt", flag.ContinueOnError)
 	file := fs.String("f", "BENCH_dse.json", "benchmark record to convert")
 	section := fs.String("section", "current", "record section to emit (current or baseline)")
+	check := fs.String("check", "", "gate this fresh `go test -bench` output file against the record instead of emitting it")
+	maxNsRatio := fs.Float64("max-ns-ratio", 2.0, "-check: fail when ns/op exceeds recorded × this (loose: hosts differ)")
+	maxAllocRatio := fs.Float64("max-alloc-ratio", 1.25, "-check: fail when allocs/op exceeds recorded × this + slack (tight: allocs are deterministic)")
+	allocSlack := fs.Float64("alloc-slack", 8, "-check: absolute allocs/op headroom for scheduling-dependent parallel rows")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	raw, err := os.ReadFile(*file)
+	benches, err := loadSection(*file, *section)
 	if err != nil {
 		return err
 	}
-	var doc map[string]json.RawMessage
-	if err := json.Unmarshal(raw, &doc); err != nil {
-		return fmt.Errorf("%s: %w", *file, err)
-	}
-	sec, ok := doc[*section]
-	if !ok {
-		return fmt.Errorf("%s: no %q section", *file, *section)
-	}
-	var benches map[string]measurement
-	if err := json.Unmarshal(sec, &benches); err != nil {
-		return fmt.Errorf("%s: section %q: %w", *file, *section, err)
+	if *check != "" {
+		return runCheck(*check, benches, *maxNsRatio, *maxAllocRatio, *allocSlack, stdout)
 	}
 	names := make([]string, 0, len(benches))
 	for name := range benches {
@@ -73,5 +84,116 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
+	return nil
+}
+
+func loadSection(file, section string) (map[string]measurement, error) {
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", file, err)
+	}
+	sec, ok := doc[section]
+	if !ok {
+		return nil, fmt.Errorf("%s: no %q section", file, section)
+	}
+	var benches map[string]measurement
+	if err := json.Unmarshal(sec, &benches); err != nil {
+		return nil, fmt.Errorf("%s: section %q: %w", file, section, err)
+	}
+	return benches, nil
+}
+
+// parseBenchOutput extracts "BenchmarkName → measurement" rows from
+// `go test -bench -benchmem` output, ignoring everything else.
+func parseBenchOutput(r io.Reader) (map[string]measurement, error) {
+	out := map[string]measurement{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var m measurement
+		ok := false
+		// fields: name, iterations, then value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsPerOp, ok = v, true
+			case "B/op":
+				m.BytesPerOp = v
+			case "allocs/op":
+				m.AllocsPerOp = v
+			}
+		}
+		if ok {
+			out[fields[0]] = m
+		}
+	}
+	return out, sc.Err()
+}
+
+// runCheck gates fresh benchmark output against the recorded section.
+func runCheck(freshPath string, record map[string]measurement, maxNsRatio, maxAllocRatio, allocSlack float64, stdout io.Writer) error {
+	f, err := os.Open(freshPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fresh, err := parseBenchOutput(f)
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("%s: no benchmark lines found", freshPath)
+	}
+
+	names := make([]string, 0, len(record))
+	for name := range record {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var violations []string
+	checked := 0
+	for _, name := range names {
+		rec := record[name]
+		got, ok := fresh[name]
+		if !ok {
+			fmt.Fprintf(stdout, "SKIP %s: not in fresh output\n", name)
+			continue
+		}
+		checked++
+		nsBound := rec.NsPerOp * maxNsRatio
+		allocBound := rec.AllocsPerOp*maxAllocRatio + allocSlack
+		status := "ok  "
+		if got.NsPerOp > nsBound {
+			status = "FAIL"
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f ns/op > %.0f (recorded %.0f × %.2f)", name, got.NsPerOp, nsBound, rec.NsPerOp, maxNsRatio))
+		}
+		if got.AllocsPerOp > allocBound {
+			status = "FAIL"
+			violations = append(violations, fmt.Sprintf(
+				"%s: %.0f allocs/op > %.0f (recorded %.0f × %.2f + %.0f)", name, got.AllocsPerOp, allocBound, rec.AllocsPerOp, maxAllocRatio, allocSlack))
+		}
+		fmt.Fprintf(stdout, "%s %s: %.0f ns/op (bound %.0f), %.0f allocs/op (bound %.0f)\n",
+			status, name, got.NsPerOp, nsBound, got.AllocsPerOp, allocBound)
+	}
+	if checked == 0 {
+		return fmt.Errorf("no recorded benchmarks matched the fresh output (name drift?)")
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("bench regression:\n  %s", strings.Join(violations, "\n  "))
+	}
+	fmt.Fprintf(stdout, "checked %d/%d recorded benchmarks, all within bounds\n", checked, len(record))
 	return nil
 }

@@ -71,6 +71,77 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func writeFresh(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench-new.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckPasses(t *testing.T) {
+	fresh := writeFresh(t, `goos: linux
+BenchmarkAlpha 	2048	601234 ns/op	764784 B/op	2311 allocs/op
+BenchmarkZeta-4 	9999999	105.2 ns/op	32 B/op	2 allocs/op
+BenchmarkUnrecorded 	1	999999999 ns/op	0 B/op	0 allocs/op
+PASS
+`)
+	var out strings.Builder
+	if err := run([]string{"-f", writeSample(t), "-check", fresh}, &out); err != nil {
+		t.Fatalf("in-bounds check failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "checked 2/2") {
+		t.Errorf("summary missing: %q", out.String())
+	}
+}
+
+func TestCheckFailsOnNsRegression(t *testing.T) {
+	// Recorded 571187 ns/op × default 2.0 = 1142374; 3ms is out.
+	fresh := writeFresh(t, "BenchmarkAlpha 	512	3000000 ns/op	764784 B/op	2311 allocs/op\n")
+	var out strings.Builder
+	err := run([]string{"-f", writeSample(t), "-check", fresh}, &out)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("ns regression not caught: err=%v\n%s", err, out.String())
+	}
+}
+
+func TestCheckFailsOnAllocRegression(t *testing.T) {
+	// Recorded 2311 allocs × 1.25 + 8 = 2896.75; 4000 is a real leak.
+	// ns/op stays in bounds so only the alloc gate fires.
+	fresh := writeFresh(t, "BenchmarkAlpha 	512	600000 ns/op	900000 B/op	4000 allocs/op\n")
+	var out strings.Builder
+	err := run([]string{"-f", writeSample(t), "-check", fresh}, &out)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("alloc regression not caught: err=%v\n%s", err, out.String())
+	}
+}
+
+func TestCheckMissingRowsSkipNotFail(t *testing.T) {
+	fresh := writeFresh(t, "BenchmarkAlpha 	512	600000 ns/op	764784 B/op	2311 allocs/op\n")
+	var out strings.Builder
+	if err := run([]string{"-f", writeSample(t), "-check", fresh}, &out); err != nil {
+		t.Fatalf("partial run failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "SKIP BenchmarkZeta-4") {
+		t.Errorf("missing row not reported: %q", out.String())
+	}
+}
+
+func TestCheckRejectsDisjointNames(t *testing.T) {
+	fresh := writeFresh(t, "BenchmarkRenamedEverything 	1	1 ns/op	0 B/op	0 allocs/op\n")
+	if err := run([]string{"-f", writeSample(t), "-check", fresh}, &strings.Builder{}); err == nil {
+		t.Fatal("fully disjoint fresh output accepted — name drift would disable the gate silently")
+	}
+}
+
+func TestCheckRejectsEmptyFresh(t *testing.T) {
+	fresh := writeFresh(t, "no benchmarks here\n")
+	if err := run([]string{"-f", writeSample(t), "-check", fresh}, &strings.Builder{}); err == nil {
+		t.Fatal("benchless fresh file accepted")
+	}
+}
+
 func TestRunAgainstRepoRecord(t *testing.T) {
 	// The committed record must stay convertible — this is what the CI
 	// bench-regression job feeds to benchstat.

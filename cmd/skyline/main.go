@@ -8,14 +8,33 @@
 //
 //	skyline [-addr :8080] [-catalog file.json]
 //	        [-cache-entries 65536] [-max-inflight 4×GOMAXPROCS]
-//	        [-max-workers-per-request GOMAXPROCS]
+//	        [-queue-depth 4×max-inflight] [-default-timeout 0]
+//	        [-client-rps 0] [-max-workers-per-request GOMAXPROCS]
 //
-// -cache-entries bounds the process-wide analysis cache; -max-inflight
-// caps the concurrently running exploration requests (excess requests
-// get 429 + Retry-After; 0 disables the limit); and
-// -max-workers-per-request clamps one request's workers= knob so a
-// single client cannot monopolize the cores. /healthz reports the cache
-// and admission gauges as JSON.
+// -cache-entries bounds the process-wide analysis cache.
+//
+// Admission control: -max-inflight caps the concurrently running
+// exploration requests (0 disables the limit); excess requests wait in
+// a bounded FIFO queue of -queue-depth entries (0 = 4×max-inflight,
+// negative = no queue, i.e. shed instantly) until a slot frees or
+// their deadline expires. A full queue answers 429 with a Retry-After
+// derived from the observed queue depth and service times; an expired
+// deadline answers 503. -default-timeout bounds each engine-driven
+// request's wall time (0 = none) and callers may ask for less with a
+// timeout= query knob ("500ms", "2s", or bare seconds), clamped to the
+// server default. -client-rps meters each client (X-API-Key header,
+// else remote address) with a token bucket; over-quota clients are
+// shed first under saturation. -max-workers-per-request clamps one
+// request's workers= knob so a single client cannot monopolize the
+// cores.
+//
+// Under sustained saturation (queue past its high-water mark) an
+// unbounded /explore is downgraded to a capped top-K response, flagged
+// via the X-Explore-Degraded header.
+//
+// /healthz reports the cache and admission gauges as JSON; /metrics
+// exports them in the Prometheus text format (queue depth/wait,
+// per-endpoint latency quantiles, shed/panic counters).
 package main
 
 import (
@@ -49,7 +68,13 @@ func setup(args []string) (*skyline.Server, string, error) {
 	cacheEntries := fs.Int("cache-entries", core.DefaultCacheLimit,
 		"bound on the process-wide analysis cache (entries)")
 	maxInflight := fs.Int("max-inflight", 4*runtime.GOMAXPROCS(0),
-		"concurrent exploration requests before /explore answers 429 (0 = unlimited)")
+		"concurrent exploration requests before new ones queue (0 = unlimited)")
+	queueDepth := fs.Int("queue-depth", 0,
+		"admission wait-queue bound; excess requests get 429 (0 = 4×max-inflight, negative = no queue)")
+	defaultTimeout := fs.Duration("default-timeout", 0,
+		"deadline for engine-driven requests and clamp on their timeout= knob (0 = none)")
+	clientRPS := fs.Float64("client-rps", 0,
+		"per-client token-bucket refill rate, keyed by X-API-Key or remote address (0 = no quotas)")
 	maxWorkers := fs.Int("max-workers-per-request", 0,
 		"cap on one exploration request's workers= knob (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
@@ -73,6 +98,9 @@ func setup(args []string) (*skyline.Server, string, error) {
 	}
 	srv := skyline.NewServerWith(cat, skyline.Options{
 		MaxInflight:          *maxInflight,
+		QueueDepth:           *queueDepth,
+		DefaultTimeout:       *defaultTimeout,
+		ClientRPS:            *clientRPS,
 		MaxWorkersPerRequest: *maxWorkers,
 	})
 	return srv, *addr, nil

@@ -8,6 +8,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/faultinject"
 )
 
 // Cache memoizes Analyze results keyed on the full Config value, so
@@ -374,7 +376,16 @@ func (c *Cache) analyze(ctx context.Context, cfg Config, fill func() (Analysis, 
 		sh.mu.Unlock()
 		close(f.done) // publish to followers only after f.an/f.err are set
 	}()
-	if fill != nil {
+	// The fault seam fires as the leader, inside the singleflight: an
+	// armed error is shared with every coalesced follower, and an armed
+	// panic unwinds through the deferred cleanup above — exactly the
+	// paths the robustness tests need to reach on demand. A nil Fire
+	// result must not touch f.err: the abandoned-flight sentinel has to
+	// survive until a normal path overwrites it, or a panicking fill
+	// would publish success to its followers.
+	if ferr := faultinject.Fire(faultinject.SiteCacheFill); ferr != nil {
+		f.err = ferr
+	} else if fill != nil {
 		f.an, f.err = fill()
 	} else {
 		f.an, f.err = analyzeFn(cfg)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/units"
 )
 
@@ -351,8 +352,23 @@ func (p *plan) candidateInto(ctx context.Context, i int, cand *Candidate, arena 
 // in order. On error — including cancellation of ctx, checked between
 // candidates so in-flight chunks abort instead of draining — it returns
 // the survivors found before the failing candidate together with the
-// error.
-func (p *plan) processChunk(ctx context.Context, start, end int) ([]Candidate, error) {
+// error. A panicking analysis (corrupt model data, an armed fault) is
+// recovered into an error rather than unwinding: chunks run on pool
+// goroutines, where an escaped panic would kill the whole process
+// instead of failing one request.
+func (p *plan) processChunk(ctx context.Context, start, end int) (out []Candidate, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("dse: panic analyzing candidates [%d,%d): %v", start, end, r)
+		}
+	}()
+	if err := faultinject.Fire(faultinject.SiteDSEChunk); err != nil {
+		return nil, fmt.Errorf("dse: chunk [%d,%d): %w", start, end, err)
+	}
+	return p.processChunkBody(ctx, start, end)
+}
+
+func (p *plan) processChunkBody(ctx context.Context, start, end int) ([]Candidate, error) {
 	done := ctx.Done() // one channel load; the per-candidate check is a cheap select
 	out := make([]Candidate, 0, end-start)
 	// One Ceilings block per chunk (up to 3 per candidate): the chunk's

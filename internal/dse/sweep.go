@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/units"
 )
 
@@ -213,11 +214,25 @@ func SweepContext(ctx context.Context, cfg core.Config, knob Knob, lo, hi float6
 // error aborts the remaining work (the result is discarded wholesale
 // anyway), and cancelling ctx stops every worker between evaluations;
 // the returned error is the lowest-indexed recorded failure, or ctx's
-// error when nothing else failed first.
+// error when nothing else failed first. A panicking evaluation —
+// corrupt model data, an armed fault — is recovered into that
+// position's error instead of unwinding a pool goroutine and killing
+// the process.
 func forEachParallel(ctx context.Context, n, workers int, eval func(i int) error) error {
 	done := ctx.Done()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	safeEval := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("dse: panic evaluating point %d: %v", i, r)
+			}
+		}()
+		if err := faultinject.Fire(faultinject.SiteDSEChunk); err != nil {
+			return fmt.Errorf("dse: point %d: %w", i, err)
+		}
+		return eval(i)
 	}
 	if n < sweepSerialThreshold || workers == 1 {
 		for i := 0; i < n; i++ {
@@ -226,7 +241,7 @@ func forEachParallel(ctx context.Context, n, workers int, eval func(i int) error
 				return ctx.Err()
 			default:
 			}
-			if err := eval(i); err != nil {
+			if err := safeEval(i); err != nil {
 				return err
 			}
 		}
@@ -241,7 +256,7 @@ func forEachParallel(ctx context.Context, n, workers int, eval func(i int) error
 				return false
 			default:
 			}
-			if err := eval(i); err != nil {
+			if err := safeEval(i); err != nil {
 				mu.Lock()
 				if i < firstIdx {
 					firstIdx, firstErr = i, err

@@ -1,0 +1,117 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFireUnarmedIsNil(t *testing.T) {
+	if err := Fire("nothing.armed.here"); err != nil {
+		t.Fatalf("unarmed Fire = %v, want nil", err)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	boom := errors.New("boom")
+	disarm := Enable("t.err", Fault{Err: boom})
+	defer disarm()
+	if err := Fire("t.err"); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	// Other sites stay clean while one is armed.
+	if err := Fire("t.other"); err != nil {
+		t.Fatalf("unarmed sibling site fired: %v", err)
+	}
+	disarm()
+	if err := Fire("t.err"); err != nil {
+		t.Fatalf("Fire after disarm = %v, want nil", err)
+	}
+}
+
+func TestDefaultErrSubstituted(t *testing.T) {
+	defer Enable("t.default", Fault{})()
+	if err := Fire("t.default"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire = %v, want ErrInjected", err)
+	}
+}
+
+func TestLatencyOnlyPassesThrough(t *testing.T) {
+	defer Enable("t.slow", Fault{Latency: 10 * time.Millisecond})()
+	start := time.Now()
+	if err := Fire("t.slow"); err != nil {
+		t.Fatalf("latency-only fault returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("Fire returned after %v, want >= 10ms", d)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	defer Enable("t.panic", Fault{Panic: true})()
+	defer func() {
+		r := recover()
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T %v, want *Panic", r, r)
+		}
+		if p.Site != "t.panic" {
+			t.Fatalf("panic site = %q", p.Site)
+		}
+	}()
+	Fire("t.panic")
+	t.Fatal("Fire did not panic")
+}
+
+func TestTimesBudgetExactUnderConcurrency(t *testing.T) {
+	defer Enable("t.budget", Fault{Err: ErrInjected, Times: 3})()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if Fire("t.budget") != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 3 {
+		t.Fatalf("bounded fault fired %d times, want exactly 3", fired)
+	}
+}
+
+func TestEnableReplacesAndDisarmIsScoped(t *testing.T) {
+	first := Enable("t.replace", Fault{Err: errors.New("first")})
+	second := Enable("t.replace", Fault{Err: errors.New("second")})
+	defer second()
+	// The stale disarm from the replaced registration must not remove
+	// the active one.
+	first()
+	if err := Fire("t.replace"); err == nil || err.Error() != "second" {
+		t.Fatalf("Fire = %v, want the second registration's error", err)
+	}
+	second()
+	if err := Fire("t.replace"); err != nil {
+		t.Fatalf("Fire after disarm = %v, want nil", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	Enable("t.reset.a", Fault{})
+	Enable("t.reset.b", Fault{Panic: true})
+	Reset()
+	if err := Fire("t.reset.a"); err != nil {
+		t.Fatalf("Fire after Reset = %v", err)
+	}
+	if err := Fire("t.reset.b"); err != nil {
+		t.Fatalf("Fire after Reset = %v", err)
+	}
+}

@@ -33,7 +33,9 @@ func saturate(t *testing.T, srv *httptest.Server) (stream *bufio.Reader, done fu
 
 func TestExploreAdmission429(t *testing.T) {
 	cat := catalog.Synthetic(10, 40, 40) // 16000 candidates: a long stream
-	s := NewServerWith(cat, Options{MaxInflight: 1, Cache: core.NewCache()})
+	// QueueDepth < 0 disables the wait queue: this test pins the legacy
+	// instant-shed mode (queued admission is covered in saturation_test.go).
+	s := NewServerWith(cat, Options{MaxInflight: 1, QueueDepth: -1, Cache: core.NewCache()})
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 

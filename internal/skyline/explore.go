@@ -234,10 +234,14 @@ func (s *Server) requestWorkers(q url.Values) (int, error) {
 // a selection pass the candidates stream as the parallel engine
 // produces them — the first line arrives long before a large sweep
 // finishes — and the request context scopes the work: a dropped client
-// cancels the exploration's workers mid-space. The request runs under
-// the server's admission limit (429 when saturated) and its worker pool
-// is clamped to the per-request cap; the effective pool size is echoed
-// in the X-Explore-Workers header.
+// cancels the exploration's workers mid-space, and the timeout= knob
+// (or server default) bounds it in time. The request waits in the
+// server's admission queue for a slot (429 only when the queue itself
+// is full or the client is over quota) and its worker pool is clamped
+// to the per-request cap; the effective pool size is echoed in the
+// X-Explore-Workers header. While the queue is past its high-water
+// mark an unbounded exploration is downgraded to a capped top-K
+// response, flagged via X-Explore-Degraded.
 func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	req, err := ParseExplore(s.cat, r.URL.Query())
 	if err != nil {
@@ -249,11 +253,31 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	release, ok := s.admit(w)
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	// Graceful degradation decides at arrival: an unbounded exploration
+	// joining a queue past its high-water mark would stream the whole
+	// space to one client while others wait. Downgrade it to a capped
+	// ranking — same work per candidate, a bounded response. (Sampled
+	// before admission: by the time this request gets its slot the
+	// queue it waited in has, by definition, drained below the mark.)
+	degrade := req.TopK == 0 && len(req.Pareto) == 0 && s.degradeTopK > 0 && s.adm.saturated()
+	release, ok := s.admitHeavy(ctx, w, r)
 	if !ok {
 		return
 	}
 	defer release()
+
+	if degrade {
+		req.TopK = s.degradeTopK
+		s.adm.degradedTotal.Add(1)
+		w.Header().Set("X-Explore-Degraded", fmt.Sprintf("top=%d", req.TopK))
+	}
+
 	w.Header().Set("X-Explore-Workers", strconv.Itoa(workers))
 	e := dse.Explorer{
 		Catalog:     s.cat,
@@ -262,17 +286,13 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		Workers:     workers,
 		Cache:       s.cache,
 	}
-	ctx := r.Context()
 
 	// Selection passes need the full slate; they respond only once the
 	// exploration completes (still NDJSON, one line per survivor).
 	if req.TopK > 0 || len(req.Pareto) > 0 {
 		cands, err := e.ExploreContext(ctx)
 		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				return // client is gone; nothing left to tell it
-			}
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			s.engineError(w, ctx, err)
 			return
 		}
 		if req.TopK > 0 {

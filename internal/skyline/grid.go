@@ -2,7 +2,6 @@ package skyline
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -134,18 +133,21 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	release, ok := s.admit(w)
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	release, ok := s.admitHeavy(ctx, w, r)
 	if !ok {
 		return
 	}
 	defer release()
 	w.Header().Set("X-Explore-Workers", strconv.Itoa(req.Workers))
-	hm, err := req.Run(r.Context(), s.cat)
+	hm, err := req.Run(ctx, s.cat)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			return // client is gone
-		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.engineError(w, ctx, err)
 		return
 	}
 	renderSVG(w, hm)

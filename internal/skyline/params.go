@@ -38,7 +38,15 @@
 //	                      waited on another request's in-flight analysis
 //	                      of the same configuration instead of
 //	                      recomputing it) and the admission-control
-//	                      state (in-flight, limit, rejected count).
+//	                      state (in-flight, limit, queue depth/bound,
+//	                      shed/degraded/panic counts, quota clients).
+//	/metrics         GET  the same gauges in the Prometheus text format,
+//	                      plus the series /healthz cannot carry: queue
+//	                      depth and wait-time quantiles, shed counts by
+//	                      reason (queue_full, over_quota, deadline),
+//	                      recovered-panic and degradation counters, and
+//	                      per-endpoint request counts and latency
+//	                      quantiles (p50/p90/p99 over a recent window).
 //
 // Numeric knobs shared with /plot.svg (tdp_w, payload_g, sensor_hz, …)
 // reject negative values and NaN with a 400. +Inf is legal for rate
@@ -51,21 +59,52 @@
 // failure is a clean 500 — error text is never spliced into a
 // partially streamed 200 chart.
 //
-// # Limits
+// # Admission and deadlines
 //
 // Servers built with NewServerWith apply admission control to the
 // engine-driven endpoints (/explore, /grid.svg, /sweep.svg): at most
-// Options.MaxInflight explorations run concurrently and excess requests
-// are shed immediately with 429 Too Many Requests plus a Retry-After
-// header — in-flight streams are never throttled. Each request's worker
-// pool is clamped to Options.MaxWorkersPerRequest so one client cannot
-// monopolize the cores: all three endpoints accept the workers= knob
-// and echo the effective pool size in X-Explore-Workers. Analyses are
-// memoized in the process-wide
-// core.SharedCache (sharded, segmented-LRU eviction) unless Options
-// supplies a dedicated cache.
+// Options.MaxInflight explorations run concurrently, and excess
+// requests wait in a bounded FIFO queue (Options.QueueDepth; default
+// 4×MaxInflight, negative disables queueing) until a slot frees or
+// their deadline expires. Slots are granted strictly in arrival
+// order. A full queue sheds with 429 Too Many Requests; a deadline
+// that expires while queued or mid-exploration answers 503 Service
+// Unavailable. Both carry a Retry-After header estimated from the
+// observed queue depth and an EWMA of recent service times — not a
+// constant. In-flight streams are never throttled.
 //
-// cmd/skyline exposes these as -cache-entries, -max-inflight and
+// Options.DefaultTimeout bounds each engine-driven request's wall
+// time; the timeout= query knob ("500ms", "2s", or bare seconds)
+// requests less, clamped to the server default. The deadline
+// propagates through the exploration engine and the analysis cache,
+// so an expired request stops consuming cores mid-space.
+//
+// Options.ClientRPS meters clients (keyed by X-API-Key, else remote
+// address) with token buckets. Idle capacity ignores quotas — a free
+// slot is never wasted — but under saturation over-quota clients are
+// shed first, and the lightweight endpoints (/api/analyze, /plot.svg,
+// /compare.svg, /api/compare) answer 429 outright when a client's
+// bucket is dry.
+//
+// While the queue sits past its high-water mark, an unbounded /explore
+// is downgraded to a capped top-K response (Options.DegradeTopK,
+// default 50) flagged via the X-Explore-Degraded header: under
+// overload every client gets a useful ranking instead of one client
+// getting the whole space.
+//
+// Every handler runs behind panic-recovery middleware: a panic becomes
+// a clean 500 (when the response has not started) and a counter
+// increment, never a dead process.
+//
+// Each request's worker pool is clamped to
+// Options.MaxWorkersPerRequest so one client cannot monopolize the
+// cores: the engine-driven endpoints accept the workers= knob and echo
+// the effective pool size in X-Explore-Workers. Analyses are memoized
+// in the process-wide core.SharedCache (sharded, segmented-LRU
+// eviction) unless Options supplies a dedicated cache.
+//
+// cmd/skyline exposes these as -cache-entries, -max-inflight,
+// -queue-depth, -default-timeout, -client-rps and
 // -max-workers-per-request flags.
 package skyline
 

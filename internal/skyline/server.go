@@ -13,7 +13,7 @@ import (
 	"net/url"
 	"runtime"
 	"strconv"
-	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/core"
@@ -28,26 +28,63 @@ type Server struct {
 	// cache memoizes analyses across requests: under heavy traffic the
 	// popular configurations hit the F-1 model once, not per process.
 	cache *core.Cache
-	// inflight is the exploration admission semaphore (nil = unlimited):
-	// the engine-driven endpoints acquire a slot or answer 429.
-	inflight chan struct{}
+	// adm is the admission layer for the engine-driven endpoints: a
+	// bounded deadline-aware FIFO queue over the slot pool, per-client
+	// quotas, and the Retry-After/saturation estimates.
+	adm *admitter
+	// metrics backs /metrics and the panic-recovery middleware.
+	metrics *serverMetrics
 	// maxWorkers caps one request's exploration worker pool.
 	maxWorkers int
-	// rejected counts requests turned away with 429.
-	rejected atomic.Uint64
+	// defaultTimeout bounds engine-driven requests without a timeout=
+	// knob, and caps the knob. 0 = no deadline.
+	defaultTimeout time.Duration
+	// degradeTopK caps unbounded /explore responses under saturation;
+	// 0 disables degradation.
+	degradeTopK int
 }
+
+// defaultDegradeTopK is the saturation cap on unbounded /explore
+// responses: large enough to keep the ranking useful, small enough
+// that a degraded response costs a selection pass instead of a full
+// streamed space.
+const defaultDegradeTopK = 50
 
 // Options tune a Server beyond its catalog. The zero value preserves
 // the permissive defaults: the process-wide shared cache, no in-flight
-// admission limit, and per-request workers capped at GOMAXPROCS.
+// admission limit, no request deadline, no quotas, and per-request
+// workers capped at GOMAXPROCS.
 type Options struct {
 	// Cache memoizes analyses across requests. Nil selects the
 	// process-wide core.SharedCache; core.CacheOff() disables caching.
 	Cache *core.Cache
 	// MaxInflight bounds how many engine-driven requests (/explore,
-	// /grid.svg, /sweep.svg) may run concurrently; excess requests get
-	// 429 with a Retry-After header instead of queueing. 0 = unlimited.
+	// /grid.svg, /sweep.svg) may run concurrently. Excess requests wait
+	// in a bounded FIFO queue (see QueueDepth) until a slot frees or
+	// their deadline expires; only a full queue sheds with 429.
+	// 0 = unlimited.
 	MaxInflight int
+	// QueueDepth bounds the admission wait queue. 0 selects the default
+	// (4×MaxInflight); negative disables queueing entirely, restoring
+	// the previous instant-shed behavior. Ignored when MaxInflight is 0.
+	QueueDepth int
+	// DefaultTimeout is the deadline applied to engine-driven requests
+	// that do not carry a timeout= query knob, and the upper clamp on
+	// the knob. 0 = no deadline and an unclamped knob.
+	DefaultTimeout time.Duration
+	// ClientRPS enables per-client token-bucket quotas refilling at
+	// this rate (requests/second), keyed by X-API-Key or remote
+	// address. Over-quota requests are shed first under saturation, and
+	// the lightweight analysis endpoints answer 429 outright.
+	// 0 disables quotas.
+	ClientRPS float64
+	// ClientBurst is the quota bucket size (max burst above the steady
+	// rate). 0 selects max(1, 2×ClientRPS).
+	ClientBurst float64
+	// DegradeTopK caps unbounded /explore responses while the queue is
+	// past its high-water mark, flagged via X-Explore-Degraded.
+	// 0 selects the default (50); negative disables degradation.
+	DegradeTopK int
 	// MaxWorkersPerRequest clamps the workers= query knob (and the
 	// default pool size) so one client cannot monopolize the cores.
 	// 0 or anything above GOMAXPROCS means GOMAXPROCS.
@@ -72,51 +109,134 @@ func NewServerWith(cat *catalog.Catalog, opt Options) *Server {
 	if opt.MaxWorkersPerRequest > 0 && opt.MaxWorkersPerRequest < maxWorkers {
 		maxWorkers = opt.MaxWorkersPerRequest
 	}
-	s := &Server{cat: cat, mux: http.NewServeMux(), cache: cache, maxWorkers: maxWorkers}
-	if opt.MaxInflight > 0 {
-		s.inflight = make(chan struct{}, opt.MaxInflight)
+	queueCap := opt.QueueDepth
+	if queueCap == 0 {
+		queueCap = 4 * opt.MaxInflight
 	}
-	s.mux.HandleFunc("/", s.handlePage)
-	s.mux.HandleFunc("/plot.svg", s.handlePlot)
-	s.mux.HandleFunc("/api/analyze", s.handleAnalyze)
-	s.mux.HandleFunc("/compare.svg", s.handleCompareSVG)
-	s.mux.HandleFunc("/api/compare", s.handleCompare)
-	s.mux.HandleFunc("/sweep.svg", s.handleSweep)
-	s.mux.HandleFunc("/explore", s.handleExplore)
-	s.mux.HandleFunc("/grid.svg", s.handleGrid)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	degrade := opt.DegradeTopK
+	if degrade == 0 {
+		degrade = defaultDegradeTopK
+	} else if degrade < 0 {
+		degrade = 0
+	}
+	s := &Server{
+		cat:            cat,
+		mux:            http.NewServeMux(),
+		cache:          cache,
+		adm:            newAdmitter(opt.MaxInflight, queueCap, newBuckets(opt.ClientRPS, opt.ClientBurst)),
+		metrics:        newServerMetrics(),
+		maxWorkers:     maxWorkers,
+		defaultTimeout: opt.DefaultTimeout,
+		degradeTopK:    degrade,
+	}
+	s.handle("/", s.handlePage)
+	s.handle("/plot.svg", s.handlePlot)
+	s.handle("/api/analyze", s.handleAnalyze)
+	s.handle("/compare.svg", s.handleCompareSVG)
+	s.handle("/api/compare", s.handleCompare)
+	s.handle("/sweep.svg", s.handleSweep)
+	s.handle("/explore", s.handleExplore)
+	s.handle("/grid.svg", s.handleGrid)
+	s.handle("/healthz", s.handleHealthz)
+	s.handle("/metrics", s.handleMetrics)
 	return s
 }
 
-// admit reserves an exploration slot. When the server is saturated it
-// answers 429 with Retry-After and returns ok=false; otherwise the
-// caller must defer release. Admission never queues — a full server
-// sheds load immediately so the in-flight requests keep their cores.
-func (s *Server) admit(w http.ResponseWriter) (release func(), ok bool) {
-	if s.inflight == nil {
-		return func() {}, true
+// requestContext derives the work-scoping context for one request:
+// the timeout= query knob (a Go duration like "1.5s", or bare
+// seconds) bounded above by the server's default timeout, or the
+// default itself when the knob is absent. The returned cancel must be
+// called when the request finishes.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.defaultTimeout
+	if ts := r.URL.Query().Get("timeout"); ts != "" {
+		td, err := time.ParseDuration(ts)
+		if err != nil {
+			if sec, serr := strconv.ParseFloat(ts, 64); serr == nil {
+				td, err = time.Duration(sec*float64(time.Second)), nil
+			}
+		}
+		if err != nil || td <= 0 {
+			return nil, nil, fmt.Errorf("skyline: parameter timeout must be a positive duration (e.g. 500ms, 2s, or bare seconds), got %q", ts)
+		}
+		if s.defaultTimeout > 0 && td > s.defaultTimeout {
+			td = s.defaultTimeout
+		}
+		d = td
 	}
-	select {
-	case s.inflight <- struct{}{}:
-		return func() { <-s.inflight }, true
+	if d <= 0 {
+		ctx, cancel := context.WithCancel(r.Context())
+		return ctx, cancel, nil
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// admitHeavy reserves an exploration slot for an engine-driven
+// request, queueing under ctx's deadline. On admission the caller
+// must defer release; otherwise the shed response (or none, for a
+// vanished client) has already been written.
+func (s *Server) admitHeavy(ctx context.Context, w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	res := s.adm.admit(ctx, clientKey(r))
+	if res.release != nil {
+		return res.release, true
+	}
+	if res.status != 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(res.retryAfter))
+		http.Error(w, res.message, res.status)
+	}
+	return nil, false
+}
+
+// admitLight meters the cheap analysis endpoints against the
+// per-client quota only — they hold no exploration slot and never
+// queue, but a client hammering them still spends its tokens.
+func (s *Server) admitLight(w http.ResponseWriter, r *http.Request) bool {
+	if s.adm.quotas.allow(clientKey(r)) {
+		return true
+	}
+	s.adm.shedOverQuota.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfter()))
+	http.Error(w, "client is over its request quota; retry shortly", http.StatusTooManyRequests)
+	return false
+}
+
+// engineError answers an engine-driven request that failed: a
+// vanished client gets nothing, an expired deadline gets 503 with a
+// Retry-After (the work was sound; the server was slow), and anything
+// else is a request defect worth a 400.
+func (s *Server) engineError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) && ctx.Err() != nil:
+		s.adm.shedDeadline.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfter()))
+		http.Error(w, "request deadline expired during exploration; retry with a longer timeout", http.StatusServiceUnavailable)
+	case errors.Is(err, context.Canceled):
+		// client is gone; nothing left to tell it
 	default:
-		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, "server is at its exploration capacity; retry shortly", http.StatusTooManyRequests)
-		return nil, false
+		http.Error(w, err.Error(), http.StatusBadRequest)
 	}
 }
 
 // HealthJSON is the /healthz response shape: liveness plus the shared
 // cache and admission-control gauges.
 type HealthJSON struct {
-	Status               string          `json:"status"`
-	Cache                core.CacheStats `json:"cache"`
-	CacheHitRate         float64         `json:"cache_hit_rate"`
-	InflightActive       int             `json:"inflight_active"`
-	MaxInflight          int             `json:"max_inflight"` // 0 = unlimited
-	Rejected             uint64          `json:"rejected"`
-	MaxWorkersPerRequest int             `json:"max_workers_per_request"`
+	Status       string          `json:"status"`
+	Cache        core.CacheStats `json:"cache"`
+	CacheHitRate float64         `json:"cache_hit_rate"`
+	// InflightActive counts held exploration slots; MaxInflight is the
+	// slot pool size (0 = unlimited).
+	InflightActive int `json:"inflight_active"`
+	MaxInflight    int `json:"max_inflight"`
+	// QueueDepth/QueueCapacity describe the admission wait queue.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Rejected totals every shed (queue full, over quota, deadline).
+	Rejected             uint64 `json:"rejected"`
+	Degraded             uint64 `json:"degraded"`
+	Panics               uint64 `json:"panics"`
+	QuotaClients         int    `json:"quota_clients"`
+	MaxWorkersPerRequest int    `json:"max_workers_per_request"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -125,9 +245,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:               "ok",
 		Cache:                st,
 		CacheHitRate:         st.HitRate(),
-		InflightActive:       len(s.inflight),
-		MaxInflight:          cap(s.inflight),
-		Rejected:             s.rejected.Load(),
+		InflightActive:       int(s.adm.active.Load()),
+		MaxInflight:          s.adm.capacity,
+		QueueDepth:           int(s.adm.depth.Load()),
+		QueueCapacity:        s.adm.queueCap,
+		Rejected:             s.adm.sheds(),
+		Degraded:             s.adm.degradedTotal.Load(),
+		Panics:               s.metrics.panics.Load(),
+		QuotaClients:         s.adm.quotas.clients(),
 		MaxWorkersPerRequest: s.maxWorkers,
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -162,24 +287,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	release, ok := s.admit(w)
+	ctx, cancel, err := s.requestContext(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	release, ok := s.admitHeavy(ctx, w, r)
 	if !ok {
 		return
 	}
 	defer release()
 	w.Header().Set("X-Explore-Workers", strconv.Itoa(req.Workers))
-	ch, err := req.Run(r.Context(), s.cat)
+	ch, err := req.Run(ctx, s.cat)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			return // client is gone
-		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.engineError(w, ctx, err)
 		return
 	}
 	renderSVG(w, ch)
 }
 
 func (s *Server) handleCompareSVG(w http.ResponseWriter, r *http.Request) {
+	if !s.admitLight(w, r) {
+		return
+	}
 	cmp, err := ParseComparison(s.cat, r.URL.Query())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -195,6 +326,9 @@ type CompareJSON struct {
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if !s.admitLight(w, r) {
+		return
+	}
 	cmp, err := ParseComparison(s.cat, r.URL.Query())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -213,8 +347,10 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// analysisFor runs the model for a request.
-func (s *Server) analysisFor(r *http.Request) (core.Analysis, error) {
+// analysisFor runs the model for a request. ctx scopes a coalesced
+// cache wait: a caller stuck behind another request's fill can still
+// honor its own deadline or disconnect.
+func (s *Server) analysisFor(ctx context.Context, r *http.Request) (core.Analysis, error) {
 	p, err := ParseParams(r.URL.Query())
 	if err != nil {
 		return core.Analysis{}, err
@@ -223,7 +359,7 @@ func (s *Server) analysisFor(r *http.Request) (core.Analysis, error) {
 	if err != nil {
 		return core.Analysis{}, err
 	}
-	return s.cache.Analyze(cfg)
+	return s.cache.AnalyzeContext(ctx, cfg)
 }
 
 // JSONFloat is a float64 whose non-finite values encode as JSON null.
@@ -306,8 +442,21 @@ func Tips(an core.Analysis) []string {
 }
 
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	an, err := s.analysisFor(r)
+	if !s.admitLight(w, r) {
+		return
+	}
+	ctx, cancel, err := s.requestContext(r)
 	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	defer cancel()
+	an, err := s.analysisFor(ctx, r)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.engineError(w, ctx, err)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -375,7 +524,10 @@ func Chart(an core.Analysis) *plot.Chart {
 }
 
 func (s *Server) handlePlot(w http.ResponseWriter, r *http.Request) {
-	an, err := s.analysisFor(r)
+	if !s.admitLight(w, r) {
+		return
+	}
+	an, err := s.analysisFor(r.Context(), r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -419,7 +571,7 @@ func (s *Server) handlePage(w http.ResponseWriter, r *http.Request) {
 		Algorithms: s.cat.AlgorithmNames(),
 		Query:      template.URL(query.Encode()),
 	}
-	an, err := s.analysisFor(r)
+	an, err := s.analysisFor(r.Context(), r)
 	if err != nil {
 		data.Error = err.Error()
 	} else {
