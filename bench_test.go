@@ -34,7 +34,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.Run(cat); err != nil {
+		if _, err := e.Run(context.Background(), cat); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -8,6 +8,7 @@
 //	benchfmt [-f BENCH_dse.json] [-section current]
 //	benchfmt -check bench-new.txt [-max-ns-ratio 2.0]
 //	         [-max-alloc-ratio 1.25] [-alloc-slack 8]
+//	         [-multicore-ns-ratio 1.5]
 //
 // The section flag picks which record to emit ("current" is the latest
 // capture; "baseline" the pre-rework engine). Benchmarks are emitted in
@@ -23,6 +24,14 @@
 // ignored (new benches land before their record does); recorded
 // benchmarks missing from the fresh run are reported but do not fail,
 // so partial runs can still gate what they measured.
+//
+// When the record has a "multicore" section, rows named there take
+// their ns/op bound from that section's measurement × the tighter
+// -multicore-ns-ratio: the multicore rows are the scheduler's headline
+// claims (steal-half rebalancing, contended cache hits), captured on
+// the same runner class that gates them, so they do not get the
+// cross-machine slack the general bound allows. Alloc bounds are
+// unchanged — they come from the main section either way.
 package main
 
 import (
@@ -59,6 +68,7 @@ func run(args []string, stdout io.Writer) error {
 	maxNsRatio := fs.Float64("max-ns-ratio", 2.0, "-check: fail when ns/op exceeds recorded × this (loose: hosts differ)")
 	maxAllocRatio := fs.Float64("max-alloc-ratio", 1.25, "-check: fail when allocs/op exceeds recorded × this + slack (tight: allocs are deterministic)")
 	allocSlack := fs.Float64("alloc-slack", 8, "-check: absolute allocs/op headroom for scheduling-dependent parallel rows")
+	multicoreNsRatio := fs.Float64("multicore-ns-ratio", 1.5, "-check: ns/op bound ratio for rows in the record's multicore section (tight: same runner class)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -67,7 +77,13 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if *check != "" {
-		return runCheck(*check, benches, *maxNsRatio, *maxAllocRatio, *allocSlack, stdout)
+		// The multicore section is optional: records predating it gate
+		// every row with the general cross-machine bound.
+		multicore, err := loadSection(*file, "multicore")
+		if err != nil {
+			multicore = nil
+		}
+		return runCheck(*check, benches, multicore, *maxNsRatio, *maxAllocRatio, *allocSlack, *multicoreNsRatio, stdout)
 	}
 	names := make([]string, 0, len(benches))
 	for name := range benches {
@@ -142,7 +158,9 @@ func parseBenchOutput(r io.Reader) (map[string]measurement, error) {
 }
 
 // runCheck gates fresh benchmark output against the recorded section.
-func runCheck(freshPath string, record map[string]measurement, maxNsRatio, maxAllocRatio, allocSlack float64, stdout io.Writer) error {
+// Rows named in multicore take their ns/op bound from that section's
+// record × multicoreNsRatio instead of the general cross-machine bound.
+func runCheck(freshPath string, record, multicore map[string]measurement, maxNsRatio, maxAllocRatio, allocSlack, multicoreNsRatio float64, stdout io.Writer) error {
 	f, err := os.Open(freshPath)
 	if err != nil {
 		return err
@@ -156,16 +174,25 @@ func runCheck(freshPath string, record map[string]measurement, maxNsRatio, maxAl
 		return fmt.Errorf("%s: no benchmark lines found", freshPath)
 	}
 
-	names := make([]string, 0, len(record))
+	seen := map[string]bool{}
+	var names []string
 	for name := range record {
 		names = append(names, name)
+		seen[name] = true
+	}
+	// Multicore-only rows still gate (against their own section); rows
+	// in both take allocs from the main record and ns from multicore.
+	for name := range multicore {
+		if !seen[name] {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 
 	var violations []string
 	checked := 0
 	for _, name := range names {
-		rec := record[name]
+		rec, inMain := record[name]
 		got, ok := fresh[name]
 		if !ok {
 			fmt.Fprintf(stdout, "SKIP %s: not in fresh output\n", name)
@@ -173,12 +200,20 @@ func runCheck(freshPath string, record map[string]measurement, maxNsRatio, maxAl
 		}
 		checked++
 		nsBound := rec.NsPerOp * maxNsRatio
+		nsRatio, nsRec := maxNsRatio, rec.NsPerOp
+		if mc, ok := multicore[name]; ok {
+			nsBound = mc.NsPerOp * multicoreNsRatio
+			nsRatio, nsRec = multicoreNsRatio, mc.NsPerOp
+			if !inMain {
+				rec = mc
+			}
+		}
 		allocBound := rec.AllocsPerOp*maxAllocRatio + allocSlack
 		status := "ok  "
 		if got.NsPerOp > nsBound {
 			status = "FAIL"
 			violations = append(violations, fmt.Sprintf(
-				"%s: %.0f ns/op > %.0f (recorded %.0f × %.2f)", name, got.NsPerOp, nsBound, rec.NsPerOp, maxNsRatio))
+				"%s: %.0f ns/op > %.0f (recorded %.0f × %.2f)", name, got.NsPerOp, nsBound, nsRec, nsRatio))
 		}
 		if got.AllocsPerOp > allocBound {
 			status = "FAIL"
@@ -194,6 +229,6 @@ func runCheck(freshPath string, record map[string]measurement, maxNsRatio, maxAl
 	if len(violations) > 0 {
 		return fmt.Errorf("bench regression:\n  %s", strings.Join(violations, "\n  "))
 	}
-	fmt.Fprintf(stdout, "checked %d/%d recorded benchmarks, all within bounds\n", checked, len(record))
+	fmt.Fprintf(stdout, "checked %d/%d recorded benchmarks, all within bounds\n", checked, len(names))
 	return nil
 }

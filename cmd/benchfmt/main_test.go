@@ -142,6 +142,57 @@ func TestCheckRejectsEmptyFresh(t *testing.T) {
 	}
 }
 
+const multicoreRecord = `{
+  "current": {
+    "BenchmarkAlpha": {"ns_per_op": 571187, "bytes_per_op": 764784, "allocs_per_op": 2311}
+  },
+  "multicore": {
+    "BenchmarkAlpha": {"ns_per_op": 200000, "bytes_per_op": 764784, "allocs_per_op": 2311},
+    "BenchmarkOnlyMulti-4": {"ns_per_op": 1000, "bytes_per_op": 64, "allocs_per_op": 3}
+  }
+}`
+
+func writeMulticore(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(multicoreRecord), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckMulticoreTightensNsBound(t *testing.T) {
+	// 500000 ns/op clears the general bound (571187 × 2.0) but not the
+	// multicore one (200000 × 1.5 = 300000): the tighter bound must win
+	// for rows recorded in the multicore section.
+	fresh := writeFresh(t, "BenchmarkAlpha 	512	500000 ns/op	764784 B/op	2311 allocs/op\n")
+	var out strings.Builder
+	err := run([]string{"-f", writeMulticore(t), "-check", fresh}, &out)
+	if err == nil || !strings.Contains(err.Error(), "1.50") {
+		t.Fatalf("multicore ns bound not applied: err=%v\n%s", err, out.String())
+	}
+}
+
+func TestCheckMulticoreOnlyRowGates(t *testing.T) {
+	fresh := writeFresh(t, `BenchmarkAlpha 	512	250000 ns/op	764784 B/op	2311 allocs/op
+BenchmarkOnlyMulti-4 	9999	9000 ns/op	64 B/op	3 allocs/op
+`)
+	var out strings.Builder
+	err := run([]string{"-f", writeMulticore(t), "-check", fresh}, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkOnlyMulti-4") {
+		t.Fatalf("multicore-only row not gated: err=%v\n%s", err, out.String())
+	}
+}
+
+func TestCheckWithoutMulticoreSectionStillWorks(t *testing.T) {
+	// Records predating the multicore section gate on the general bound.
+	fresh := writeFresh(t, "BenchmarkAlpha 	512	1000000 ns/op	764784 B/op	2311 allocs/op\n")
+	var out strings.Builder
+	if err := run([]string{"-f", writeSample(t), "-check", fresh}, &out); err != nil {
+		t.Fatalf("record without multicore section failed: %v\n%s", err, out.String())
+	}
+}
+
 func TestRunAgainstRepoRecord(t *testing.T) {
 	// The committed record must stay convertible — this is what the CI
 	// bench-regression job feeds to benchstat.

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 
@@ -23,13 +25,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// Ctrl-C cancels the context, which stops in-flight explorations
+	// between candidates instead of draining them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	id := fs.String("id", "", "run a single experiment (default: all)")
 	out := fs.String("out", "", "directory to write .txt tables and .svg figures")
@@ -62,7 +68,7 @@ func run(args []string, stdout io.Writer) error {
 
 	cat := catalog.Default()
 	for _, e := range todo {
-		res, err := e.Run(cat)
+		res, err := e.Run(ctx, cat)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

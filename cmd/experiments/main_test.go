@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,7 +10,7 @@ import (
 
 func TestRunSingleExperiment(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-id", "fig13"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "fig13"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -20,7 +21,7 @@ func TestRunSingleExperiment(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-id", "fig99"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-id", "fig99"}, &buf); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -28,7 +29,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunWritesArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	var buf strings.Builder
-	if err := run([]string{"-id", "fig12", "-out", dir}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "fig12", "-out", dir}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	txt, err := os.ReadFile(filepath.Join(dir, "fig12.txt"))
@@ -49,7 +50,7 @@ func TestRunWritesArtifacts(t *testing.T) {
 
 func TestRunASCIICharts(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-id", "fig5", "-ascii"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "fig5", "-ascii"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	// The ASCII rendering includes the axis separator line.
@@ -62,7 +63,7 @@ func TestRunCacheStats(t *testing.T) {
 	var buf strings.Builder
 	// table3 explores via a default dse.Explorer, which shares the
 	// process-wide cache the flag reports on.
-	if err := run([]string{"-id", "table3", "-cache-stats"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "table3", "-cache-stats"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "cache: ") || !strings.Contains(buf.String(), "hit rate") {
@@ -70,7 +71,7 @@ func TestRunCacheStats(t *testing.T) {
 	}
 	// Without the flag the line stays out of the report.
 	buf.Reset()
-	if err := run([]string{"-id", "table3"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "table3"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), "cache: ") {
@@ -80,7 +81,7 @@ func TestRunCacheStats(t *testing.T) {
 
 func TestRunBadFlag(t *testing.T) {
 	var buf strings.Builder
-	if err := run([]string{"-nope"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-nope"}, &buf); err == nil {
 		t.Error("unknown flag accepted")
 	}
 }
@@ -88,7 +89,7 @@ func TestRunBadFlag(t *testing.T) {
 func TestRunGridHeatmapArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	var buf strings.Builder
-	if err := run([]string{"-id", "ext-grid", "-out", dir, "-ascii"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-id", "ext-grid", "-out", dir, "-ascii"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

@@ -1,0 +1,114 @@
+// Command reprolint runs the project's own static analyzers (see
+// internal/lint and docs/INVARIANTS.md) over the module and exits
+// non-zero when any unsuppressed finding remains. CI runs it as a
+// gating job next to go vet:
+//
+//	reprolint ./...                 # whole module, all analyzers
+//	reprolint -list                 # describe the analyzers
+//	reprolint -run ctxflow,detorder # a subset
+//	reprolint -vet=false ./...      # skip the stock go vet pass
+//
+// Suppressed findings (justified //reprolint annotations) are counted
+// in the summary but never gate; -show-suppressed prints each one.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("reprolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", ".", "module root to analyze")
+	vet := fs.Bool("vet", true, "also run the stock go vet passes over the module")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	showSuppressed := fs.Bool("show-suppressed", false, "print suppressed findings with their justifications")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	for _, pat := range fs.Args() {
+		// The only supported pattern is the whole module; accepting the
+		// conventional spelling keeps CI invocations idiomatic.
+		if pat != "./..." {
+			fmt.Fprintf(stderr, "reprolint: unsupported pattern %q (only ./... is understood; use -dir for another module)\n", pat)
+			return 2
+		}
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%s\n\t%s\n", a.Name, strings.ReplaceAll(a.Doc, "\n", "\n\t"))
+		}
+		return 0
+	}
+
+	analyzers := lint.All()
+	if *runNames != "" {
+		var err error
+		analyzers, err = lint.ByName(strings.Split(*runNames, ",")...)
+		if err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+	}
+
+	exit := 0
+	if *vet {
+		// go vet owns the stock passes; reprolint layers the
+		// project-specific ones on top rather than reimplementing them.
+		cmd := exec.Command("go", "vet", "./...")
+		cmd.Dir = *dir
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		if err := cmd.Run(); err != nil {
+			fmt.Fprintln(stderr, "reprolint: go vet:", err)
+			exit = 1
+		}
+	}
+
+	pkgs, err := lint.Load(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, "reprolint:", err)
+		return 2
+	}
+	res := lint.Run(pkgs, analyzers)
+	for _, d := range res.Findings {
+		fmt.Fprintln(stdout, d)
+	}
+	if *showSuppressed {
+		for _, d := range res.Suppressed {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	fmt.Fprintf(stdout, "reprolint: %d package(s), %d finding(s), %d justified suppression(s)\n",
+		len(pkgs), len(res.Findings), len(res.Suppressed))
+	if len(res.Findings) > 0 {
+		byAnalyzer := map[string]int{}
+		for _, d := range res.Findings {
+			byAnalyzer[d.Analyzer]++
+		}
+		names := make([]string, 0, len(byAnalyzer))
+		for n := range byAnalyzer {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(stdout, "reprolint: %4d %s\n", byAnalyzer[n], n)
+		}
+		exit = 1
+	}
+	return exit
+}

@@ -227,6 +227,7 @@ func (c *Catalog) AlgorithmNames() []string { return sortedKeys(c.algorithms) }
 
 func sortedKeys[V any](m map[string]V) []string {
 	out := make([]string, 0, len(m))
+	//reprolint:ordered keys are sorted below before the slice is returned
 	for k := range m {
 		out = append(out, k)
 	}

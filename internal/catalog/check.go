@@ -69,12 +69,16 @@ func (c *Catalog) Check() error {
 			}
 		}
 	}
-	// Performance table references.
-	for algo, row := range c.perf {
+	// Performance table references. Iterate sorted keys (not the raw
+	// maps) so the problem list reads the same on every run, matching
+	// the sorted *Names() loops above.
+	for _, algo := range sortedKeys(c.perf) {
+		row := c.perf[algo]
 		if _, ok := c.algorithms[algo]; !ok {
 			add("perf table: algorithm %q not registered", algo)
 		}
-		for plat, f := range row {
+		for _, plat := range sortedKeys(row) {
+			f := row[plat]
 			if _, ok := c.computes[plat]; !ok {
 				add("perf table: %q measured on unregistered platform %q", algo, plat)
 			}

@@ -28,6 +28,11 @@
 // segmented-LRU eviction and context-aware singleflight miss
 // coalescing; its AnalyzeFunc variants let a factored caller fill
 // misses via the partial combine instead of the full Analyze.
+//
+// The combine's allocation discipline (//reprolint:hotpath on
+// AnalyzeWithPartial[Into]) and the package's context-flow contract
+// are mechanized by the internal/lint analyzers and gated in CI via
+// cmd/reprolint; see docs/INVARIANTS.md.
 package core
 
 import (

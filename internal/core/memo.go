@@ -259,6 +259,8 @@ var analyzeFn = Analyze
 //
 // Analyze is AnalyzeContext with context.Background(): the coalesced
 // wait cannot be abandoned.
+//
+//reprolint:ctxshim documented no-context convenience wrapper; request paths use AnalyzeContext
 func (c *Cache) Analyze(cfg Config) (Analysis, error) {
 	return c.analyze(context.Background(), cfg, nil)
 }
@@ -283,6 +285,8 @@ func (c *Cache) AnalyzeContext(ctx context.Context, cfg Config) (Analysis, error
 // configuration is, bit for bit — since its result is cached under cfg
 // and shared with every future caller. Misses still coalesce: one fill
 // runs, followers share it.
+//
+//reprolint:ctxshim documented no-context convenience wrapper; request paths use AnalyzeContextFunc
 func (c *Cache) AnalyzeFunc(cfg Config, fill func() (Analysis, error)) (Analysis, error) {
 	return c.analyze(context.Background(), cfg, fill)
 }

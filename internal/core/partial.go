@@ -182,6 +182,8 @@ func (p *ModelPartial) Config(name string, sensor, compute, control Stage) Confi
 // comparisons, Eq. 4 at the achieved throughput, classification, and
 // ceilings. The only allocation is the exact-size Ceilings slice (and
 // only when a ceiling exists).
+//
+//reprolint:hotpath
 func AnalyzeWithPartial(p *ModelPartial, name string, sensor, compute, control Stage) (Analysis, error) {
 	var an Analysis
 	if err := AnalyzeWithPartialInto(p, name, sensor, compute, control, nil, &an); err != nil {
@@ -210,6 +212,8 @@ const arenaCeilingsBlock = 256
 // within one owner: do not hand such analyses to a shared cache (one
 // retained entry would pin the whole block; pass a nil arena there
 // for an exact-size private slice).
+//
+//reprolint:hotpath
 func AnalyzeWithPartialInto(p *ModelPartial, name string, sensor, compute, control Stage, arena *[]Ceiling, out *Analysis) error {
 	an := out
 	*an = Analysis{}
@@ -294,7 +298,7 @@ func AnalyzeWithPartialInto(p *ModelPartial, name string, sensor, compute, contr
 				// analyses already holding subslices of it.
 				a = make([]Ceiling, 0, arenaCeilingsBlock)
 			}
-			dst = a[len(a):len(a)]
+			dst = a[len(a):]
 		} else {
 			dst = make([]Ceiling, 0, nCeil)
 		}

@@ -57,6 +57,13 @@
 //     same work-stealing scheduler with position-stable writes; they
 //     are the engine behind the Skyline server's /sweep.svg and
 //     /grid.svg and the experiment reproductions.
+//
+// The package's cross-cutting invariants — caller-supplied context
+// flow, deterministic emission order, and the hot-path allocation
+// discipline of the combine and scheduler (//reprolint:hotpath) — are
+// mechanized by the internal/lint analyzers and gated in CI via
+// cmd/reprolint; see docs/INVARIANTS.md for each invariant, its
+// motivation, and the escape hatches.
 package dse
 
 import (

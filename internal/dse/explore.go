@@ -308,6 +308,8 @@ func (p *plan) precompute(pairUsed []bool) {
 // slice, not pin a whole block. ctx governs only a memoized
 // candidate's coalesced wait on another caller's in-flight analysis;
 // the combine itself is pure arithmetic with no cancellation points.
+//
+//reprolint:hotpath
 func (p *plan) candidateInto(ctx context.Context, i int, cand *Candidate, arena *[]core.Ceiling) (ok bool, err error) {
 	nS := len(p.sensors)
 	ci, si := i/nS, i%nS
@@ -333,6 +335,7 @@ func (p *plan) candidateInto(ctx context.Context, i int, cand *Candidate, arena 
 			// substring name still hit the clone-keyed entry.
 			cfg.Name = strings.Clone(cl.name)
 			name := cfg.Name
+			//reprolint:allow hotpathalloc the fill closure is built only on the cache-miss path, which allocates anyway
 			cand.Analysis, err = p.cache.AnalyzeContextFunc(ctx, cfg, func() (core.Analysis, error) {
 				return core.AnalyzeWithPartial(mp, name, sensorStage, cl.stage, controlStage)
 			})
@@ -368,6 +371,7 @@ func (p *plan) processChunk(ctx context.Context, start, end int) (out []Candidat
 	return p.processChunkBody(ctx, start, end)
 }
 
+//reprolint:hotpath
 func (p *plan) processChunkBody(ctx context.Context, start, end int) ([]Candidate, error) {
 	done := ctx.Done() // one channel load; the per-candidate check is a cheap select
 	out := make([]Candidate, 0, end-start)
@@ -412,6 +416,7 @@ func (p *plan) processChunkBody(ctx context.Context, start, end int) ([]Candidat
 func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 	return func(yield func(Candidate, error) bool) {
 		if ctx == nil {
+			//reprolint:allow ctxflow nil-ctx compatibility guard, documented as running uncancellable
 			ctx = context.Background()
 		}
 		p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.cache())
@@ -475,6 +480,7 @@ func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 // order — for every worker count.
 func (e Explorer) ExploreContext(ctx context.Context) ([]Candidate, error) {
 	if ctx == nil {
+		//reprolint:allow ctxflow nil-ctx compatibility guard, documented as running uncancellable
 		ctx = context.Background()
 	}
 	var out []Candidate
@@ -504,6 +510,8 @@ func (e Explorer) ExploreContext(ctx context.Context) ([]Candidate, error) {
 
 // Enumerate collects the full exploration without a cancellation
 // context — ExploreContext with context.Background().
+//
+//reprolint:ctxshim documented no-context convenience wrapper; request paths use ExploreContext
 func (e Explorer) Enumerate() ([]Candidate, error) {
 	return e.ExploreContext(context.Background())
 }

@@ -49,6 +49,8 @@ type stealDeque struct {
 
 // claim pops a grain of at most g indices from the front (lowest
 // indices) of the deque.
+//
+//reprolint:hotpath
 func (d *stealDeque) claim(g int) (span, bool) {
 	d.mu.Lock()
 	if len(d.spans) == 0 {
@@ -70,6 +72,8 @@ func (d *stealDeque) claim(g int) (span, bool) {
 // stealHalf removes the high half (ceil) of the deque's remaining
 // indices — whole spans off the back, splitting at most one — and
 // returns them in ascending order. nil when the deque is empty.
+//
+//reprolint:hotpath
 func (d *stealDeque) stealHalf() []span {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -82,7 +86,9 @@ func (d *stealDeque) stealHalf() []span {
 	}
 	take := (total + 1) / 2 // at least one index whenever any remain
 	taken := take
-	var stolen []span
+	// Whole spans come off the back and at most one is split, so the
+	// result can never outgrow the deque itself.
+	stolen := make([]span, 0, len(d.spans))
 	for take > 0 {
 		last := len(d.spans) - 1
 		s := d.spans[last]
@@ -109,12 +115,15 @@ func (d *stealDeque) stealHalf() []span {
 // install appends stolen spans (ascending, all above the deque's current
 // contents — thieves only steal when their own deque is empty, and
 // spans only enter a deque through its owner).
+//
+//reprolint:hotpath
 func (d *stealDeque) install(spans []span) {
 	n := 0
 	for _, s := range spans {
 		n += s.size()
 	}
 	d.mu.Lock()
+	//reprolint:allow hotpathalloc the deque keeps its backing array across installs, so growth amortizes over the pool run
 	d.spans = append(d.spans, spans...)
 	d.remaining.Add(int64(n))
 	d.mu.Unlock()
@@ -141,6 +150,8 @@ func stealGrain(n, workers int) int {
 // returning false aborts the whole pool, as does ctx expiring. Claimed
 // spans are always handed to process exactly once; on abort, unclaimed
 // spans are simply dropped.
+//
+//reprolint:hotpath
 func stealRun(ctx context.Context, n, workers, grain int, process func(w int, g span) bool) {
 	if grain < 1 {
 		grain = 1
@@ -158,6 +169,7 @@ func stealRun(ctx context.Context, n, workers, grain int, process func(w int, g 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//reprolint:allow hotpathalloc one goroutine launch per worker per pool run, amortized over every grain it processes
 		go func(w int) {
 			defer wg.Done()
 			own := &deques[w]

@@ -146,6 +146,8 @@ func sampleAt(lo, hi float64, i, n int, logSpace bool) float64 {
 // Sweep evaluates the configuration with the knob set to n values
 // spaced linearly (or geometrically when logSpace) between lo and hi —
 // SweepContext without a cancellation context, on all available cores.
+//
+//reprolint:ctxshim documented no-context convenience wrapper; request paths use SweepContext
 func Sweep(cfg core.Config, knob Knob, lo, hi float64, n int, logSpace bool) (SweepResult, error) {
 	return SweepContext(context.Background(), cfg, knob, lo, hi, n, logSpace, 0)
 }
@@ -324,6 +326,8 @@ func (g GridResult) VelocityGrid() [][]float64 {
 // GridSweep evaluates the configuration over the (xKnob × yKnob) grid
 // — GridSweepContext without a cancellation context, on all available
 // cores.
+//
+//reprolint:ctxshim documented no-context convenience wrapper; request paths use GridSweepContext
 func GridSweep(cfg core.Config, xKnob Knob, xLo, xHi float64, nx int, yKnob Knob, yLo, yHi float64, ny int) (GridResult, error) {
 	return GridSweepContext(context.Background(), cfg, xKnob, xLo, xHi, nx, yKnob, yLo, yHi, ny, 0)
 }

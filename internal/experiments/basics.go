@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/plot"
@@ -26,7 +28,7 @@ func init() {
 	})
 }
 
-func runFig2b(*catalog.Catalog) (Result, error) {
+func runFig2b(_ context.Context, _ *catalog.Catalog) (Result, error) {
 	t := Table{
 		Title:   "UAV size classes (Fig. 2b)",
 		Columns: []string{"Class", "Frame size (mm)", "Battery (mAh)", "Endurance (min)"},
@@ -49,7 +51,7 @@ func runFig2b(*catalog.Catalog) (Result, error) {
 	return Result{ID: "fig2b", Title: "Size classes", Tables: []Table{t}, Charts: []*plot.Chart{chart}}, nil
 }
 
-func runFig5(*catalog.Catalog) (Result, error) {
+func runFig5(_ context.Context, _ *catalog.Catalog) (Result, error) {
 	m := core.Model{Accel: units.MetersPerSecond2(50), Range: units.Meters(10)}
 	res := Result{ID: "fig5", Title: "Safety model and F-1 roofline construction"}
 
@@ -110,7 +112,7 @@ func runFig5(*catalog.Catalog) (Result, error) {
 	return res, nil
 }
 
-func runFig12(*catalog.Catalog) (Result, error) {
+func runFig12(_ context.Context, _ *catalog.Catalog) (Result, error) {
 	pl := thermal.DefaultPowerLaw
 	cv := thermal.Convection{}
 	var xs, ys, cs []float64

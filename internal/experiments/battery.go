@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -22,7 +23,7 @@ func init() {
 // hover power) and the battery discharged through a sagging LiPo model.
 // Endurance falls faster than the naive energy/power estimate because
 // I²R losses and the low-voltage cutoff punish high draws non-linearly.
-func runExtBattery(c *catalog.Catalog) (Result, error) {
+func runExtBattery(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "ext-battery", Title: "Endurance under battery sag per onboard computer"}
 	uav, err := c.UAV(catalog.UAVValidationA)
 	if err != nil {

@@ -58,7 +58,7 @@ func rooflineSeries(an core.Analysis, name string, fMin, fMax float64) plot.Seri
 	return s
 }
 
-func runFig11(c *catalog.Catalog) (Result, error) {
+func runFig11(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "fig11", Title: "Compute selection on the DJI Spark"}
 	type variant struct {
 		label string
@@ -110,7 +110,7 @@ func runFig11(c *catalog.Catalog) (Result, error) {
 	return res, nil
 }
 
-func runFig13(c *catalog.Catalog) (Result, error) {
+func runFig13(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "fig13", Title: "Algorithm selection on the AscTec Pelican + TX2"}
 	algos := []string{catalog.AlgoSPA, catalog.AlgoTrailNet, catalog.AlgoDroNet}
 	paperGaps := map[string]string{
@@ -162,7 +162,7 @@ func runFig13(c *catalog.Catalog) (Result, error) {
 	return res, nil
 }
 
-func runFig14(c *catalog.Catalog) (Result, error) {
+func runFig14(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "fig14", Title: "Dual modular redundancy on the AscTec Pelican"}
 	tx2, err := c.Compute(catalog.ComputeTX2)
 	if err != nil {
@@ -244,7 +244,7 @@ func runFig14(c *catalog.Catalog) (Result, error) {
 	return res, nil
 }
 
-func runFig15(c *catalog.Catalog) (Result, error) {
+func runFig15(ctx context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "fig15", Title: "Full UAV system characterization"}
 	space := dse.Space{
 		UAVs:       []string{catalog.UAVAscTecPelican, catalog.UAVDJISpark},
@@ -267,7 +267,7 @@ func runFig15(c *catalog.Catalog) (Result, error) {
 	// order), collecting the slate only for the ranking/Pareto passes.
 	var cands []dse.Candidate
 	seenRoof := map[string]bool{}
-	for cand, err := range (dse.Explorer{Catalog: c, Space: space}).Candidates(context.Background()) {
+	for cand, err := range (dse.Explorer{Catalog: c, Space: space}).Candidates(ctx) {
 		if err != nil {
 			return Result{}, err
 		}
@@ -332,7 +332,7 @@ func runFig15(c *catalog.Catalog) (Result, error) {
 	return res, nil
 }
 
-func runFig16(c *catalog.Catalog) (Result, error) {
+func runFig16(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "fig16", Title: "Hardware-accelerator pitfalls on a nano-UAV"}
 
 	// PULP-DroNet: full autonomy at 6 Hz, 64 mW.
@@ -404,7 +404,7 @@ func runFig16(c *catalog.Catalog) (Result, error) {
 	return res, nil
 }
 
-func runTable3(*catalog.Catalog) (Result, error) {
+func runTable3(_ context.Context, _ *catalog.Catalog) (Result, error) {
 	t := Table{
 		Title:   "Evaluation case studies (Table III)",
 		Columns: []string{"Case study", "Onboard compute", "Autonomy algorithm", "Redundancy", "UAV type"},

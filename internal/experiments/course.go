@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -25,7 +26,7 @@ func init() {
 // below it, missions complete collision-free and get cheaper as speed
 // rises; above it, the obstacles start winning. The mission-scale
 // validation of Eq. 4.
-func runExtCourse(c *catalog.Catalog) (Result, error) {
+func runExtCourse(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "ext-course", Title: "Mission-level crossover at the F-1 safe velocity"}
 	an, err := c.Analyze(catalog.Selection{
 		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -106,8 +107,11 @@ type Experiment struct {
 	ID string
 	// Title names the paper artifact.
 	Title string
-	// Run regenerates the artifact from the catalog.
-	Run func(*catalog.Catalog) (Result, error)
+	// Run regenerates the artifact from the catalog. The context
+	// reaches every engine call the experiment makes, so a cancelled
+	// caller (a timed-out CI step, an interrupted CLI run) stops the
+	// exploration instead of draining it.
+	Run func(context.Context, *catalog.Catalog) (Result, error)
 }
 
 var registry = map[string]Experiment{}
@@ -124,6 +128,7 @@ func register(e Experiment) {
 // All returns every registered experiment sorted by ID.
 func All() []Experiment {
 	out := make([]Experiment, 0, len(registry))
+	//reprolint:ordered the slice is sorted by ID below before it is returned
 	for _, e := range registry {
 		out = append(out, e)
 	}
@@ -136,6 +141,7 @@ func ByID(id string) (Experiment, error) {
 	e, ok := registry[id]
 	if !ok {
 		ids := make([]string, 0, len(registry))
+		//reprolint:ordered ids are sorted below before they reach the error message
 		for k := range registry {
 			ids = append(ids, k)
 		}

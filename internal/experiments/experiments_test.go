@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -49,7 +50,7 @@ func TestAllExperimentsRun(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			res, err := e.Run(cat)
+			res, err := e.Run(context.Background(), cat)
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
@@ -113,7 +114,7 @@ func TestFig7ErrorBand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestFig7ErrorBand(t *testing.T) {
 func TestFig9Drops(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("fig9")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestFig9Drops(t *testing.T) {
 func TestFig11Shape(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("fig11")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestFig11Shape(t *testing.T) {
 func TestFig13Gaps(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("fig13")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestFig13Gaps(t *testing.T) {
 func TestFig14DMRDrop(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("fig14")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestFig14DMRDrop(t *testing.T) {
 func TestFig15RasPiGaps(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("fig15")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +269,7 @@ func TestFig15RasPiGaps(t *testing.T) {
 func TestFig16AcceleratorGaps(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("fig16")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +296,7 @@ func TestFig16AcceleratorGaps(t *testing.T) {
 func TestFig12Anchors(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("fig12")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestFig12Anchors(t *testing.T) {
 func TestFig5Anchors(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("fig5")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}

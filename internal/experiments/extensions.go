@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -43,7 +44,7 @@ func init() {
 
 // runExtMission grounds the paper's motivating claim (citing MAVBench):
 // a higher safe velocity lowers both mission time and mission energy.
-func runExtMission(c *catalog.Catalog) (Result, error) {
+func runExtMission(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "ext-mission", Title: "Safe velocity to mission time/energy"}
 	uav, err := c.UAV(catalog.UAVAscTecPelican)
 	if err != nil {
@@ -113,7 +114,7 @@ func runExtMission(c *catalog.Catalog) (Result, error) {
 // what must an accelerator deliver (rate, latency budget, payload and
 // TDP budget)? This is the §IX "automated design space exploration …
 // optimal domain-specific architecture" direction.
-func runExtTargets(c *catalog.Catalog) (Result, error) {
+func runExtTargets(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "ext-targets", Title: "Accelerator design targets from velocity goals"}
 	t := Table{
 		Title: "Design targets for a DroNet-class accelerator (module mass 10 g)",
@@ -163,7 +164,7 @@ func runExtTargets(c *catalog.Catalog) (Result, error) {
 
 // runExtFaults measures how decision-loop faults erode the simulated
 // safe velocity on UAV-A — the failure modes redundancy guards against.
-func runExtFaults(c *catalog.Catalog) (Result, error) {
+func runExtFaults(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "ext-faults", Title: "Fault injection in the decision loop"}
 	veh, an, err := validationVehicle(c, catalog.UAVValidationA)
 	if err != nil {
@@ -208,7 +209,7 @@ func runExtFaults(c *catalog.Catalog) (Result, error) {
 // runExtJitter quantifies how compute-latency jitter lowers the
 // conservative action rate a safety analysis should assume, and what
 // that costs in safe velocity on the Pelican.
-func runExtJitter(c *catalog.Catalog) (Result, error) {
+func runExtJitter(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "ext-jitter", Title: "Latency jitter vs conservative action rate"}
 	an, err := c.Analyze(catalog.Selection{
 		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})

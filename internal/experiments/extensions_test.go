@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestExtMissionMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestExtMissionMonotone(t *testing.T) {
 func TestExtTargetsPelicanRow(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("ext-targets")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestExtTargetsPelicanRow(t *testing.T) {
 func TestExtFaultsMonotone(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("ext-faults")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestExtFaultsMonotone(t *testing.T) {
 func TestExtJitterMonotone(t *testing.T) {
 	cat := catalog.Default()
 	e, _ := ByID("ext-jitter")
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestExtCourseCrossover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(cat)
+	res, err := e.Run(context.Background(), cat)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestExtGridHeatmap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := e.Run(catalog.Default())
+	res, err := e.Run(context.Background(), catalog.Default())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,7 +22,7 @@ func init() {
 // reference system and renders the safe-velocity field as a heatmap —
 // the two-dimensional generalization of the Fig. 9 payload sweep, and
 // the experiment behind the Skyline /grid.svg endpoint.
-func runExtGrid(c *catalog.Catalog) (Result, error) {
+func runExtGrid(ctx context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "ext-grid", Title: "Grid characterization: payload × compute rate"}
 	cfg, err := c.BuildConfig(catalog.Selection{
 		UAV: catalog.UAVAscTecPelican, Compute: catalog.ComputeTX2, Algorithm: catalog.AlgoDroNet})
@@ -35,7 +36,7 @@ func runExtGrid(c *catalog.Catalog) (Result, error) {
 		fLo    = 1.0
 		fHi    = 200.0 // Hz — spans sensor- and compute-bound regimes
 	)
-	grid, err := dse.GridSweep(cfg, dse.KnobPayload, pLo, pHi, nx, dse.KnobComputeRate, fLo, fHi, ny)
+	grid, err := dse.GridSweepContext(ctx, cfg, dse.KnobPayload, pLo, pHi, nx, dse.KnobComputeRate, fLo, fHi, ny, 0)
 	if err != nil {
 		return Result{}, err
 	}
@@ -66,6 +67,7 @@ func runExtGrid(c *catalog.Catalog) (Result, error) {
 			bounds[an.Bound.String()]++
 		}
 		dominant, best := "", 0
+		//reprolint:ordered argmax with a lexicographic tie-break picks the same winner in any iteration order
 		for b, n := range bounds {
 			if n > best || (n == best && b < dominant) {
 				dominant, best = b, n

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/catalog"
 	"repro/internal/roofline"
 )
@@ -19,7 +21,7 @@ func init() {
 // track reality for FLOP-heavy kernels (VGG16), and overshoot wildly
 // for tiny overhead-bound kernels (DroNet) — quantifying why isolated
 // compute metrics mislead even before UAV physics enters.
-func runExtRoofline(c *catalog.Catalog) (Result, error) {
+func runExtRoofline(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "ext-roofline", Title: "Classic roofline vs measured throughput"}
 	t := Table{
 		Title: "Roofline frame-rate estimates vs catalog measurements",

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/catalog"
@@ -49,7 +50,7 @@ func init() {
 	})
 }
 
-func runTable1(c *catalog.Catalog) (Result, error) {
+func runTable1(_ context.Context, c *catalog.Catalog) (Result, error) {
 	t := Table{
 		Title:   "Specification of the four custom UAVs (Table I)",
 		Columns: []string{"Component", "UAV-A", "UAV-B", "UAV-C", "UAV-D"},
@@ -110,7 +111,7 @@ func validationScenario() flightsim.Scenario {
 	}
 }
 
-func runFig7(c *catalog.Catalog) (Result, error) {
+func runFig7(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "fig7", Title: "Flight validation: model vs simulated flight"}
 
 	// (b) Error table across the four drones.
@@ -182,7 +183,7 @@ func runFig7(c *catalog.Catalog) (Result, error) {
 	return res, nil
 }
 
-func runFig9(c *catalog.Catalog) (Result, error) {
+func runFig9(_ context.Context, c *catalog.Catalog) (Result, error) {
 	res := Result{ID: "fig9", Title: "Safe velocity vs payload weight"}
 	uavA, err := c.UAV(catalog.UAVValidationA)
 	if err != nil {

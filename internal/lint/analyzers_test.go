@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestCtxFlow(t *testing.T) {
+	res := checkFixture(t, "ctxflow", CtxFlow)
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the detached audit-log mint)", got)
+	}
+}
+
+func TestDetOrder(t *testing.T) {
+	res := checkFixture(t, "detorder", DetOrder)
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the sorted-keys range)", got)
+	}
+	if got := len(res.Findings); got != 1 {
+		t.Errorf("gating findings = %d, want 1", got)
+	}
+}
+
+func TestRawFloatJSON(t *testing.T) {
+	res := checkFixture(t, "rawfloatjson", RawFloatJSON)
+	if got := len(res.Findings); got != 5 {
+		t.Errorf("gating findings = %d, want 5", got)
+	}
+}
+
+func TestHotPathAlloc(t *testing.T) {
+	res := checkFixture(t, "hotpathalloc", HotPathAlloc)
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the panic-path Sprintf)", got)
+	}
+}
+
+func TestAtomicMix(t *testing.T) {
+	res := checkFixture(t, "atomicmix", AtomicMix)
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the mutex-guarded reset)", got)
+	}
+}
+
+func TestCleanFixtureHasNoFindings(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "goodrepro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(pkgs, All())
+	for _, d := range res.Findings {
+		t.Errorf("clean fixture: unexpected finding %s", d)
+	}
+	if len(res.Suppressed) != 0 {
+		t.Errorf("clean fixture: unexpected suppressions %v", res.Suppressed)
+	}
+}
+
+// TestDirectiveHygiene exercises the runner's directive checks. The
+// expectations are asserted programmatically because these findings
+// land on comment lines, where a // want comment cannot sit.
+func TestDirectiveHygiene(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src", "directives"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(pkgs, All())
+
+	expect := []string{
+		`unknown directive //reprolint:nonsense`,
+		`//reprolint:allow needs a justification`,
+		`range over map is iteration-order nondeterministic`, // under the bare allow
+		`//reprolint:allow suppresses nothing here`,
+		`//reprolint:ordered needs a justification`,
+		`range over map is iteration-order nondeterministic`, // under the bare ordered
+		`//reprolint:ctxshim on bareShim needs a justification`,
+		`context.Background\(\) in bareShim severs`,
+	}
+	var unmatched []string
+	remaining := append([]Diagnostic(nil), res.Findings...)
+	for _, pat := range expect {
+		re := regexp.MustCompile(pat)
+		found := false
+		for i, d := range remaining {
+			if re.MatchString(d.Message) {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			unmatched = append(unmatched, pat)
+		}
+	}
+	for _, pat := range unmatched {
+		t.Errorf("no finding matched %q", pat)
+	}
+	for _, d := range remaining {
+		t.Errorf("unexpected finding: %s", d)
+	}
+	if len(res.Suppressed) != 1 || !strings.Contains(res.Suppressed[0].Message, "range over map") {
+		t.Errorf("suppressed = %v, want exactly the justified goodOrdered range", res.Suppressed)
+	}
+}
+
+// TestRealTreeIsClean runs the full suite over this repository: the
+// acceptance bar for every invariant the suite encodes. Any finding
+// here means either a real regression or a missing justified
+// annotation — both belong in the failing build.
+func TestRealTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the full module is slow; run without -short")
+	}
+	pkgs, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(pkgs, All())
+	for _, d := range res.Findings {
+		t.Errorf("%s", d)
+	}
+	t.Logf("%d justified suppressions in tree", len(res.Suppressed))
+}

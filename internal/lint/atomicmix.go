@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix enforces the rule behind the scheduler and admission-queue
+// counters: once any access to a variable goes through sync/atomic,
+// every access must — a plain load can observe a torn or stale value,
+// and a plain store can lose a concurrent atomic increment. This is a
+// data race even on runs where the race detector stays quiet (it only
+// sees the interleavings that actually happen).
+//
+// The analyzer collects every variable whose address is passed to a
+// sync/atomic function anywhere in the package, then flags every other
+// (non-atomic) use of those variables. The preferred fix is the typed
+// atomics the repo already uses everywhere (atomic.Int64 & friends),
+// which make plain access a compile error. Initialization or teardown
+// that is provably single-threaded (constructor before publication,
+// or under the owning mutex) is suppressed with
+//
+//	//reprolint:allow atomicmix <why>
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable accessed via sync/atomic anywhere may not also be plain-accessed; " +
+		"use typed atomics (atomic.Int64) or annotate provably-exclusive access",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	// Pass 1: every &v handed to a sync/atomic call marks v as an
+	// atomic variable and sanctions that particular mention.
+	atomicVars := map[types.Object]token.Pos{}
+	sanctioned := map[*ast.Ident]bool{}
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, _, ok := calleePkgFunc(p, call)
+			if !ok || pkgPath != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				id := innermostIdent(un.X)
+				if id == nil {
+					continue
+				}
+				obj := p.Pkg.Info.Uses[id]
+				if _, isVar := obj.(*types.Var); !isVar {
+					continue
+				}
+				if _, seen := atomicVars[obj]; !seen {
+					atomicVars[obj] = call.Pos()
+				}
+				sanctioned[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: any other mention of an atomic variable is a mixed
+	// access. Declaration sites live in Defs, not Uses, so they are
+	// naturally skipped.
+	type finding struct {
+		pos token.Pos
+		obj types.Object
+	}
+	var findings []finding
+	for _, file := range p.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || sanctioned[id] {
+				return true
+			}
+			obj := p.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if _, isAtomic := atomicVars[obj]; isAtomic {
+				findings = append(findings, finding{id.Pos(), obj})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, f := range findings {
+		p.Reportf(f.pos,
+			"%s is accessed via sync/atomic (first at %s) but plain-accessed here: mixed access races; use a typed atomic (it makes this a compile error) or annotate provably-exclusive access",
+			f.obj.Name(), p.Pkg.Fset.Position(atomicVars[f.obj]))
+	}
+}
+
+// innermostIdent returns the rightmost identifier of an lvalue chain:
+// x → x, s.f → f, a.b.c → c.
+func innermostIdent(e ast.Expr) *ast.Ident {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.ParenExpr:
+		return innermostIdent(e.X)
+	case *ast.IndexExpr:
+		return innermostIdent(e.X)
+	case *ast.StarExpr:
+		return innermostIdent(e.X)
+	}
+	return nil
+}

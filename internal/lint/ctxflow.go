@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces the end-to-end context-flow invariant from PR 2/PR 6:
+// a dropped client must cancel in-flight work, which only happens when
+// the request's context reaches the engine. Inside the engine packages,
+// minting a fresh context via context.Background()/context.TODO()
+// severs that chain, so every such call is flagged unless the enclosing
+// function is a documented no-context wrapper shim, marked
+//
+//	//reprolint:ctxshim <why>
+//
+// (the Explore/Sweep/Analyze convenience entry points). As a secondary
+// rule, an exported function that takes a context.Context must take it
+// as the first parameter — the position callers and go vet's lostcancel
+// conventions assume.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Background()/TODO() severs request-context flow inside the engine; " +
+		"only //reprolint:ctxshim-marked wrapper shims may mint a context",
+	Scope: scopeSuffixes("internal/dse", "internal/core", "internal/skyline", "internal/experiments"),
+	Run:   runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				// Package-level initializers cannot be shims.
+				flagFreshContexts(p, decl, false, "")
+				continue
+			}
+			shimmed := false
+			for _, mark := range p.dirs.marks(fn, "ctxshim") {
+				if mark.why == "" {
+					p.Reportf(mark.pos, "//reprolint:ctxshim on %s needs a justification (why may this shim mint its own context?)", fn.Name.Name)
+				} else {
+					shimmed = true
+				}
+			}
+			minted := flagFreshContexts(p, fn, shimmed, fn.Name.Name)
+			if shimmed && !minted {
+				p.Reportf(fn.Pos(), "%s is marked //reprolint:ctxshim but mints no context; remove the stale marker", fn.Name.Name)
+			}
+			checkCtxParamPosition(p, fn)
+		}
+	}
+}
+
+// flagFreshContexts reports context.Background()/TODO() calls under n
+// (unless shimmed) and reports whether any were present.
+func flagFreshContexts(p *Pass, n ast.Node, shimmed bool, fnName string) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, name, ok := calleePkgFunc(p, call)
+		if !ok || pkgPath != "context" || (name != "Background" && name != "TODO") {
+			return true
+		}
+		found = true
+		if !shimmed {
+			where := "package scope"
+			if fnName != "" {
+				where = fnName
+			}
+			p.Reportf(call.Pos(),
+				"context.%s() in %s severs request-context flow (dropped clients cannot cancel this work); thread the caller's ctx, or mark a deliberate wrapper with //reprolint:ctxshim",
+				name, where)
+		}
+		return true
+	})
+	return found
+}
+
+// checkCtxParamPosition flags exported functions whose context.Context
+// parameter is not first.
+func checkCtxParamPosition(p *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fn.Type.Params.List {
+		t := p.TypeOf(field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if t != nil && isContextContext(t) && idx > 0 {
+			p.Reportf(field.Pos(), "%s: context.Context must be the first parameter", fn.Name.Name)
+			return
+		}
+		idx += n
+	}
+}

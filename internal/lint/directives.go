@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// The suite's comment directives, all of the form
+//
+//	//reprolint:<kind> [args] [— justification]
+//
+// and attached to the line they sit on or the line directly below:
+//
+//	//reprolint:hotpath
+//	    marks the next function declaration as hot-path code; the
+//	    hotpathalloc analyzer checks only marked functions.
+//	//reprolint:ctxshim <why>
+//	    marks the next function declaration as a documented no-context
+//	    wrapper shim; ctxflow permits context.Background()/TODO() inside.
+//	//reprolint:ordered <why>
+//	    suppresses a detorder finding on this/the next line — the map's
+//	    keys are sorted (or order is otherwise neutralized) before the
+//	    result is observable.
+//	//reprolint:allow <analyzer> <why>
+//	    suppresses one analyzer's finding on this/the next line.
+//
+// Justifications are mandatory: a bare suppression, an unknown kind,
+// or an annotation that no longer suppresses anything are all
+// reported as findings by the runner (directive hygiene).
+const directivePrefix = "//reprolint:"
+
+type directive struct {
+	kind     string // hotpath, ctxshim, ordered, allow
+	analyzer string // allow only: which analyzer it silences
+	why      string // required justification (ordered/allow/ctxshim)
+	pos      token.Pos
+	line     int
+	file     string
+}
+
+type directives struct {
+	all []*directive
+	// byLine indexes suppression directives (ordered/allow) by
+	// file:line for the two lines they can cover.
+	byLine map[string][]*directive
+	// funcMarks indexes hotpath/ctxshim markers by the *ast.FuncDecl
+	// they annotate.
+	funcMarks map[*ast.FuncDecl][]*directive
+}
+
+// collectDirectives parses every //reprolint: comment in pkg and
+// attaches hotpath/ctxshim markers to their function declarations.
+func collectDirectives(pkg *Package) *directives {
+	ds := &directives{
+		byLine:    map[string][]*directive{},
+		funcMarks: map[*ast.FuncDecl][]*directive{},
+	}
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				d := parseDirective(text)
+				d.pos = c.Pos()
+				pos := pkg.Fset.Position(c.Pos())
+				d.line, d.file = pos.Line, pos.Filename
+				ds.all = append(ds.all, d)
+				if d.kind == "ordered" || d.kind == "allow" {
+					ds.index(d)
+				}
+			}
+		}
+		// Attach function markers: a hotpath/ctxshim directive belongs to
+		// the FuncDecl whose doc comment contains it, or whose body spans
+		// its line (for directives placed inside the function).
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			start := pkg.Fset.Position(fn.Pos()).Line
+			if fn.Doc != nil {
+				start = pkg.Fset.Position(fn.Doc.Pos()).Line
+			}
+			end := pkg.Fset.Position(fn.End()).Line
+			fname := pkg.Fset.Position(fn.Pos()).Filename
+			for _, d := range ds.all {
+				if (d.kind == "hotpath" || d.kind == "ctxshim") && d.file == fname && d.line >= start && d.line <= end {
+					ds.funcMarks[fn] = append(ds.funcMarks[fn], d)
+				}
+			}
+		}
+	}
+	return ds
+}
+
+// parseDirective splits "<kind> [analyzer] [why...]" after the prefix.
+func parseDirective(text string) *directive {
+	// Anything after " — " or " -- " is always justification prose.
+	d := &directive{}
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		d.kind = ""
+		return d
+	}
+	d.kind = fields[0]
+	rest := fields[1:]
+	if d.kind == "allow" && len(rest) > 0 {
+		d.analyzer = rest[0]
+		rest = rest[1:]
+	}
+	d.why = strings.TrimLeft(strings.Join(rest, " "), "—- ")
+	return d
+}
+
+func (ds *directives) index(d *directive) {
+	// A suppression covers its own line and the line below, so it can
+	// sit either at the end of the offending line or on its own line
+	// above it.
+	for _, line := range []int{d.line, d.line + 1} {
+		key := lineKey(d.file, line)
+		ds.byLine[key] = append(ds.byLine[key], d)
+	}
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// allowFor returns the directive suppressing d, if any.
+func (ds *directives) allowFor(d Diagnostic) *directive {
+	for _, dir := range ds.byLine[lineKey(d.Pos.Filename, d.Pos.Line)] {
+		switch dir.kind {
+		case "ordered":
+			if d.Analyzer == "detorder" {
+				return dir
+			}
+		case "allow":
+			if dir.analyzer == d.Analyzer {
+				return dir
+			}
+		}
+	}
+	return nil
+}
+
+// marks reports fn's directives of the given kind.
+func (ds *directives) marks(fn *ast.FuncDecl, kind string) []*directive {
+	var out []*directive
+	for _, d := range ds.funcMarks[fn] {
+		if d.kind == kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// checkFixture loads the fixture module under testdata/src/<mod>, runs
+// the given analyzers over it, and matches the gating findings against
+// the fixture's golden-diagnostic comments, analysistest style:
+//
+//	s.bad()  // want `regexp` `another regexp`
+//
+// Every finding must be claimed by a want on its line and every want
+// must claim a finding. The suite result is returned so callers can
+// additionally assert on suppressions. Directive hygiene is off when a
+// strict subset of the suite runs (a suppression aimed at an analyzer
+// that is not running must not read as stale).
+func checkFixture(t *testing.T, mod string, analyzers ...*Analyzer) Result {
+	t.Helper()
+	pkgs, err := Load(filepath.Join("testdata", "src", mod))
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", mod, err)
+	}
+	res := runSuite(pkgs, analyzers, len(analyzers) == len(All()))
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		pos     string
+		claimed bool
+	}
+	wants := map[string][]*want{} // file:line → expectations
+	var order []*want
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := lineKey(pos.Filename, pos.Line)
+					for _, q := range quotedRe.FindAllString(m[1], -1) {
+						raw, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+						}
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						}
+						w := &want{re: re, raw: raw, pos: pos.String()}
+						wants[key] = append(wants[key], w)
+						order = append(order, w)
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range res.Findings {
+		key := lineKey(d.Pos.Filename, d.Pos.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.claimed && w.re.MatchString(d.Message) {
+				w.claimed = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range order {
+		if !w.claimed {
+			t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.raw)
+		}
+	}
+	return res
+}
+
+var (
+	wantRe   = regexp.MustCompile(`want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+	quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)

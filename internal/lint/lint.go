@@ -1,0 +1,240 @@
+// Package lint is the repository's project-native static analysis
+// suite: a set of Analyzers that mechanize the engine's concurrency,
+// determinism and hot-path invariants — rules that earlier PRs each
+// established by fixing a bug by hand and that, until now, lived only
+// in reviewers' heads and regression tests.
+//
+// The shipped analyzers (see docs/INVARIANTS.md for the full contract,
+// the motivating PR behind each rule, and the annotation escape
+// hatches):
+//
+//   - ctxflow: request contexts must flow end-to-end. Calls to
+//     context.Background()/context.TODO() inside the engine packages
+//     are flagged unless the enclosing function is a documented
+//     no-context shim (//reprolint:ctxshim) — a dropped client must
+//     cancel in-flight work, not drain it.
+//   - rawfloatjson: no raw float64 may reach encoding/json marshaling
+//     in internal/skyline; response structs use JSONFloat so ±Inf/NaN
+//     encode as null instead of 500ing the handler mid-response.
+//   - detorder: no ranging over a map on the candidate-emission or
+//     serialization paths, where iteration order would break the
+//     byte-identical-output guarantee. A range that is sorted before
+//     use is allowed with //reprolint:ordered plus a justification.
+//   - hotpathalloc: functions annotated //reprolint:hotpath may not
+//     call the fmt.Sprint family, build escaping closures, convert
+//     concrete values to interfaces, or append without preallocated
+//     capacity — the combine's allocation budget is part of its
+//     contract, not an accident.
+//   - atomicmix: a variable accessed through sync/atomic anywhere may
+//     not also be accessed by a plain load or store; mixed access is
+//     a data race even when it happens to pass the race detector.
+//
+// The framework deliberately mirrors the golang.org/x/tools
+// go/analysis API shape (Analyzer, Pass, Diagnostic) but is built on
+// the standard library alone — go/ast, go/types and the source
+// importer — because this repository vendors nothing and the build
+// environment is offline. cmd/reprolint is the multichecker driver;
+// it also runs the stock `go vet` passes alongside this suite.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //reprolint:allow suppressions.
+	Name string
+	// Doc is the one-paragraph rule statement (shown by reprolint -list).
+	Doc string
+	// Scope reports whether the analyzer applies to a package import
+	// path; nil means every package.
+	Scope func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	dirs  *directives
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed is set by the runner when a justified
+	// //reprolint:allow (or //reprolint:ordered) annotation covers the
+	// finding; suppressed findings are reported but do not gate.
+	Suppressed bool
+	// Justification is the suppression's recorded reason.
+	Justification string
+}
+
+func (d Diagnostic) String() string {
+	if d.Suppressed {
+		return fmt.Sprintf("%s: [%s] suppressed: %s (%s)", d.Pos, d.Analyzer, d.Message, d.Justification)
+	}
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf resolves an expression's type (nil when unknown).
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// Result is a full suite run over a package set.
+type Result struct {
+	// Findings are the gating diagnostics, position-sorted.
+	Findings []Diagnostic
+	// Suppressed are findings covered by a justified annotation —
+	// counted and reported, never gating.
+	Suppressed []Diagnostic
+}
+
+// Run executes the analyzers over the packages, applies the
+// //reprolint suppression annotations, and validates directive
+// hygiene (a suppression without a justification, an unknown
+// directive, or an annotation that suppresses nothing are themselves
+// findings — a stale escape hatch must not outlive its reason).
+// Hygiene only runs with the full suite: on a subset, a suppression
+// aimed at an unselected analyzer would misread as stale.
+func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	return runSuite(pkgs, analyzers, len(analyzers) == len(All()))
+}
+
+// runSuite is Run with directive hygiene switchable: per-analyzer
+// fixture tests run a single analyzer, so a suppression aimed at a
+// different analyzer must not read as stale there.
+func runSuite(pkgs []*Package, analyzers []*Analyzer, hygiene bool) Result {
+	var res Result
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.Scope != nil && !a.Scope(pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, dirs: dirs, diags: &diags}
+			a.Run(pass)
+		}
+		res.absorb(diags, dirs, pkg, hygiene)
+	}
+	sort.SliceStable(res.Findings, func(i, j int) bool { return posLess(res.Findings[i].Pos, res.Findings[j].Pos) })
+	sort.SliceStable(res.Suppressed, func(i, j int) bool { return posLess(res.Suppressed[i].Pos, res.Suppressed[j].Pos) })
+	return res
+}
+
+func posLess(a, b token.Position) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return a.Column < b.Column
+}
+
+// absorb applies pkg's suppression directives to its diagnostics and
+// appends the directive-hygiene findings.
+func (r *Result) absorb(diags []Diagnostic, dirs *directives, pkg *Package, hygiene bool) {
+	used := make(map[*directive]bool)
+	for _, d := range diags {
+		if dir := dirs.allowFor(d); dir != nil && dir.why != "" {
+			used[dir] = true
+			d.Suppressed = true
+			d.Justification = dir.why
+			r.Suppressed = append(r.Suppressed, d)
+			continue
+		}
+		r.Findings = append(r.Findings, d)
+	}
+	if !hygiene {
+		return
+	}
+	for _, dir := range dirs.all {
+		switch {
+		case dir.kind == "hotpath" || dir.kind == "ctxshim":
+			// Markers consumed by their analyzers; ctxshim additionally
+			// needs a justification (checked by ctxflow itself so the
+			// message can name the shim).
+		case dir.kind == "allow" || dir.kind == "ordered":
+			if dir.why == "" {
+				r.Findings = append(r.Findings, Diagnostic{
+					Analyzer: "reprolint",
+					Pos:      pkg.Fset.Position(dir.pos),
+					Message:  fmt.Sprintf("//reprolint:%s needs a justification (what makes this safe?)", dir.kind),
+				})
+			} else if !used[dir] {
+				r.Findings = append(r.Findings, Diagnostic{
+					Analyzer: "reprolint",
+					Pos:      pkg.Fset.Position(dir.pos),
+					Message:  fmt.Sprintf("//reprolint:%s suppresses nothing here; remove the stale annotation", dir.kind),
+				})
+			}
+		default:
+			r.Findings = append(r.Findings, Diagnostic{
+				Analyzer: "reprolint",
+				Pos:      pkg.Fset.Position(dir.pos),
+				Message:  fmt.Sprintf("unknown directive //reprolint:%s", dir.kind),
+			})
+		}
+	}
+}
+
+// scopeSuffixes builds a Scope function matching packages whose import
+// path ends in (or equals) one of the given suffixes — "internal/dse"
+// matches both repro/internal/dse and a fixture module's
+// badmod/internal/dse.
+func scopeSuffixes(suffixes ...string) func(string) bool {
+	return func(path string) bool {
+		for _, s := range suffixes {
+			if path == s || strings.HasSuffix(path, "/"+s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// All returns the full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{AtomicMix, CtxFlow, DetOrder, HotPathAlloc, RawFloatJSON}
+}
+
+// ByName resolves a subset of the suite by analyzer name.
+func ByName(names ...string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, n := range names {
+		found := false
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path within its module.
+	Path string
+	// Dir is the package's directory on disk.
+	Dir  string
+	Fset *token.FileSet
+	// Files are the parsed non-test Go files, name-sorted.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader loads and type-checks every package of one module using only
+// the standard library: module-local imports recurse into the loader,
+// stdlib imports go through the source importer (which reads
+// $GOROOT/src — no compiled export data or network needed).
+type loader struct {
+	root    string // module root directory
+	module  string // module path from go.mod
+	fset    *token.FileSet
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // import-cycle guard
+	std     types.Importer
+}
+
+// Load type-checks the module rooted at dir and returns its packages
+// in import-path order. Test files, testdata, vendor, hidden and
+// underscore-prefixed directories, and nested modules are skipped —
+// the suite's invariants govern production code; tests are free to
+// use context.Background() and range maps.
+func Load(dir string) ([]*Package, error) {
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		root:    root,
+		module:  module,
+		fset:    fset,
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+		std:     importer.ForCompiler(fset, "source", nil),
+	}
+	dirs, err := ld.packageDirs()
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range dirs {
+		if _, err := ld.load(ld.importPath(d)); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Package, 0, len(ld.pkgs))
+	for _, p := range ld.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// modulePath reads the module declaration from dir/go.mod.
+func modulePath(dir string) (string, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: %s is not a module root: %w", dir, err)
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", dir)
+}
+
+// packageDirs walks the module and returns every directory holding at
+// least one buildable non-test Go file.
+func (ld *loader) packageDirs() ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(ld.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != ld.root {
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			// A nested go.mod starts a different module.
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir
+			}
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+func (ld *loader) importPath(dir string) string {
+	rel, err := filepath.Rel(ld.root, dir)
+	if err != nil || rel == "." {
+		return ld.module
+	}
+	return ld.module + "/" + filepath.ToSlash(rel)
+}
+
+func (ld *loader) dirFor(importPath string) string {
+	if importPath == ld.module {
+		return ld.root
+	}
+	rel := strings.TrimPrefix(importPath, ld.module+"/")
+	return filepath.Join(ld.root, filepath.FromSlash(rel))
+}
+
+// load parses and type-checks one module-local package (memoized).
+func (ld *loader) load(importPath string) (*Package, error) {
+	if p, ok := ld.pkgs[importPath]; ok {
+		return p, nil
+	}
+	if ld.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	ld.loading[importPath] = true
+	defer delete(ld.loading, importPath)
+
+	dir := ld.dirFor(importPath)
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	files := make([]*ast.File, 0, len(bp.GoFiles))
+	fileNames := append([]string(nil), bp.GoFiles...)
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == ld.module || strings.HasPrefix(path, ld.module+"/") {
+				p, err := ld.load(path)
+				if err != nil {
+					return nil, err
+				}
+				return p.Types, nil
+			}
+			return ld.std.Import(path)
+		}),
+	}
+	tpkg, err := conf.Check(importPath, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
+	}
+	p := &Package{Path: importPath, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	ld.pkgs[importPath] = p
+	return p, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

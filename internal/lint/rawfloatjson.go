@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// RawFloatJSON enforces the lesson of the PR 4 /api/analyze bug: a
+// ±Inf or NaN produced by the model (division by a zero ceiling, an
+// empty feasible set) reaching encoding/json as a raw float64 makes
+// Marshal fail and 500s the handler mid-response. Every response
+// struct in internal/skyline therefore routes floats through
+// JSONFloat, whose MarshalJSON encodes non-finite values as null.
+//
+// The analyzer flags any json-marshaled struct field in scope whose
+// type structurally contains a bare float64/float32: directly, or
+// inside a slice, array, map value, pointer, or anonymous struct. A
+// named type (JSONFloat itself, or a domain type from another
+// package) is the deliberate escape — naming the type is the act of
+// taking responsibility for its encoding.
+var RawFloatJSON = &Analyzer{
+	Name: "rawfloatjson",
+	Doc: "raw float64 fields in json-marshaled skyline structs 500 the handler on ±Inf/NaN; " +
+		"use JSONFloat (non-finite encodes as null)",
+	Scope: scopeSuffixes("internal/skyline"),
+	Run:   runRawFloatJSON,
+}
+
+func runRawFloatJSON(p *Pass) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				checkJSONStruct(p, ts.Name.Name, st)
+			}
+		}
+	}
+}
+
+func checkJSONStruct(p *Pass, name string, st *ast.StructType) {
+	// Only structs that opt into JSON marshaling (any json-tagged
+	// field) are response types; plain structs are internal state.
+	if !hasJSONTag(st) {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if !fieldMarshaled(field) {
+			continue
+		}
+		t := p.TypeOf(field.Type)
+		if t == nil || !containsRawFloat(t) {
+			continue
+		}
+		fieldName := "embedded field"
+		if len(field.Names) > 0 {
+			fieldName = field.Names[0].Name
+		}
+		p.Reportf(field.Pos(),
+			"%s.%s: raw floating-point reaches encoding/json (±Inf/NaN makes Marshal fail and 500s the handler); use JSONFloat",
+			name, fieldName)
+	}
+}
+
+func hasJSONTag(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if jsonTag(field) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+func jsonTag(field *ast.Field) string {
+	if field.Tag == nil {
+		return ""
+	}
+	// field.Tag.Value includes the surrounding backquotes.
+	return reflect.StructTag(strings.Trim(field.Tag.Value, "`")).Get("json")
+}
+
+// fieldMarshaled reports whether encoding/json would emit the field:
+// exported, and not tagged json:"-".
+func fieldMarshaled(field *ast.Field) bool {
+	if strings.Split(jsonTag(field), ",")[0] == "-" {
+		return false
+	}
+	if len(field.Names) == 0 {
+		return true // embedded: promoted fields marshal
+	}
+	return field.Names[0].IsExported()
+}
+
+// containsRawFloat reports whether t structurally contains a bare
+// float64/float32. Named types stop the recursion: they are the
+// escape hatch (JSONFloat, or another package's type with its own
+// MarshalJSON contract).
+func containsRawFloat(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Basic:
+		return t.Kind() == types.Float64 || t.Kind() == types.Float32
+	case *types.Slice:
+		return containsRawFloat(t.Elem())
+	case *types.Array:
+		return containsRawFloat(t.Elem())
+	case *types.Map:
+		return containsRawFloat(t.Elem())
+	case *types.Pointer:
+		return containsRawFloat(t.Elem())
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			f := t.Field(i)
+			if f.Exported() && containsRawFloat(f.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,55 @@
+// Package mix is the atomicmix fixture: raw counters touched both
+// through sync/atomic and by plain loads and stores.
+package mix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	hits int64
+	cold int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.hits // want "hits is accessed via sync/atomic"
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want "hits is accessed via sync/atomic"
+}
+
+func (c *counter) reset() {
+	c.mu.Lock()
+	//reprolint:allow atomicmix reset is only called from tests while no worker goroutines run
+	c.hits = 0
+	c.mu.Unlock()
+}
+
+// cold is never atomically accessed: plain use stays legal.
+func (c *counter) coldTouch() int64 {
+	c.cold++
+	return c.cold
+}
+
+var global int32
+
+func bump() {
+	atomic.AddInt32(&global, 1)
+}
+
+func peek() int32 {
+	return global // want "global is accessed via sync/atomic"
+}
+
+var _ = []interface{}{(*counter).inc, (*counter).read, (*counter).racyRead, (*counter).racyWrite, (*counter).reset, (*counter).coldTouch, bump, peek}

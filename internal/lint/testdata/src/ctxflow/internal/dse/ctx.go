@@ -1,0 +1,54 @@
+// Package dse is the ctxflow fixture: the import-path suffix
+// internal/dse places it inside the analyzer's scope.
+package dse
+
+import "context"
+
+var bootCtx = context.Background() // want "context.Background\\(\\) in package scope severs request-context flow"
+
+func use(ctx context.Context) { _ = ctx }
+
+// Explore mints fresh contexts mid-engine: both calls sever the
+// request chain.
+func Explore() {
+	ctx := context.Background() // want "context.Background\\(\\) in Explore severs request-context flow"
+	use(ctx)
+	use(context.TODO()) // want "context.TODO\\(\\) in Explore severs request-context flow"
+}
+
+// Enumerate is the documented convenience wrapper for callers with no
+// request context, so minting one here is the point.
+//
+//reprolint:ctxshim convenience entry point for CLI callers that hold no request context
+func Enumerate() {
+	use(context.Background())
+}
+
+// Nested closures are still inside the engine.
+func Deep() {
+	f := func() context.Context {
+		return context.Background() // want "context.Background\\(\\) in Deep severs request-context flow"
+	}
+	use(f())
+}
+
+// Stale once wrapped a no-context entry point; the refactor that
+// removed the minting should have removed the marker.
+//
+//reprolint:ctxshim left over from an old refactor
+func Stale() { use(context.TODO()) } // not stale: still mints
+
+//reprolint:ctxshim wraps the context-free legacy API
+func TrulyStale() {} // want "TrulyStale is marked //reprolint:ctxshim but mints no context"
+
+// SweepContext has the canonical signature.
+func SweepContext(ctx context.Context, n int) { use(ctx) }
+
+// Sweep buries its context mid-signature.
+func Sweep(n int, ctx context.Context) { use(ctx) } // want "Sweep: context.Context must be the first parameter"
+
+// SuppressedMint documents a deliberate detached-context case.
+func SuppressedMint() {
+	//reprolint:allow ctxflow detached audit-log write must survive request cancellation
+	use(context.Background())
+}

@@ -1,0 +1,46 @@
+// Package dse is the detorder fixture: the import-path suffix
+// internal/dse places it on the candidate-emission path.
+package dse
+
+import "sort"
+
+// Emit collects map keys and sorts before anything observes the
+// order, so the range is annotated.
+func Emit(scores map[string]float64) []string {
+	out := make([]string, 0, len(scores))
+	//reprolint:ordered keys are collected unordered here and sorted before return
+	for name := range scores {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Leak emits in map-iteration order: two runs, two outputs.
+func Leak(scores map[string]float64) []string {
+	out := make([]string, 0, len(scores))
+	for name, s := range scores { // want "range over map is iteration-order nondeterministic"
+		if s > 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Slices range in index order; nothing to flag.
+func Slices(xs []int) int {
+	total := 0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}
+
+// Channels drain in arrival order; also fine.
+func Channels(ch chan int) int {
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}

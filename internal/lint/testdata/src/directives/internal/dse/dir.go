@@ -1,0 +1,59 @@
+// Package dse is the directive-hygiene fixture: every way a
+// //reprolint annotation can go stale or arrive unjustified. The
+// expectations live in the directive hygiene test (the findings sit on
+// comment lines, where a // want comment cannot).
+package dse
+
+import (
+	"context"
+	"sort"
+)
+
+//reprolint:nonsense
+
+// bareAllow carries a suppression with no justification, so the
+// detorder finding still fires and the directive itself is flagged.
+func bareAllow(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//reprolint:allow detorder
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// staleAllow suppresses a finding that no longer exists.
+func staleAllow() int {
+	//reprolint:allow ctxflow the minting call this covered was removed
+	return 1
+}
+
+// bareOrdered sorts correctly but forgot to say why.
+func bareOrdered(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//reprolint:ordered
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodOrdered is the annotation done right: justified and load-bearing.
+func goodOrdered(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//reprolint:ordered keys are sorted below before anything observes the order
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+//reprolint:ctxshim
+func bareShim() context.Context {
+	return context.Background()
+}
+
+var _ = []interface{}{bareAllow, staleAllow, bareOrdered, goodOrdered, bareShim}

@@ -1,0 +1,3 @@
+module goodfix
+
+go 1.24

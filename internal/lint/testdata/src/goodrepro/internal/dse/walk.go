@@ -1,0 +1,23 @@
+// Package dse is the clean fixture: in scope for every analyzer,
+// violating none — reprolint must exit 0 here.
+package dse
+
+import "context"
+
+// Span is one unit of exploration work.
+type Span struct{ Lo, Hi int }
+
+// Walk visits every span index in order, honoring cancellation.
+func Walk(ctx context.Context, spans []Span, visit func(int)) error {
+	for _, s := range spans {
+		for i := s.Lo; i < s.Hi; i++ {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			visit(i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module floatfix
+
+go 1.24

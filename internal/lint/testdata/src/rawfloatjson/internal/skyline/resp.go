@@ -1,0 +1,40 @@
+// Package skyline is the rawfloatjson fixture: the import-path suffix
+// internal/skyline places its response structs in scope.
+package skyline
+
+// JSONFloat stands in for the real server's null-encoding float: a
+// named type is the deliberate escape hatch.
+type JSONFloat float64
+
+// CandidateJSON is a response struct (json tags opt it in).
+type CandidateJSON struct {
+	Name    string             `json:"name"`
+	VSafeMS float64            `json:"v_safe_ms"` // want "CandidateJSON.VSafeMS: raw floating-point reaches encoding/json"
+	KneeHz  JSONFloat          `json:"knee_hz"`
+	Series  []float64          `json:"series"`        // want "CandidateJSON.Series: raw floating-point reaches encoding/json"
+	ByAxis  map[string]float64 `json:"by_axis"`       // want "CandidateJSON.ByAxis: raw floating-point reaches encoding/json"
+	Gap     *float64           `json:"gap,omitempty"` // want "CandidateJSON.Gap: raw floating-point reaches encoding/json"
+	Safe    []JSONFloat        `json:"safe"`
+	Skipped float64            `json:"-"`
+	hidden  float64
+}
+
+// NestedJSON buries the raw float one level down.
+type NestedJSON struct {
+	ID    string   `json:"id"`
+	Inner struct { // want "NestedJSON.Inner: raw floating-point reaches encoding/json"
+		GapFactor float64 `json:"gap"`
+	} `json:"inner"`
+}
+
+// state has no json tags: internal structs may hold raw floats.
+type state struct {
+	X float64
+	Y float64
+}
+
+func (s state) sum() float64 { return s.X + s.Y }
+
+var _ = CandidateJSON{}.hidden
+var _ = state{}
+var _ = NestedJSON{}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleePkgFunc resolves a call of the form pkg.Func(...) to the
+// callee package's import path and function name.
+func calleePkgFunc(p *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, selOK := call.Fun.(*ast.SelectorExpr)
+	if !selOK {
+		return "", "", false
+	}
+	id, idOK := sel.X.(*ast.Ident)
+	if !idOK {
+		return "", "", false
+	}
+	pn, pnOK := p.Pkg.Info.Uses[id].(*types.PkgName)
+	if !pnOK {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// isContextContext reports whether t is context.Context.
+func isContextContext(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcDecls yields every function declaration in the package.
+func funcDecls(p *Pass, fn func(*ast.File, *ast.FuncDecl)) {
+	for _, file := range p.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				fn(file, fd)
+			}
+		}
+	}
+}

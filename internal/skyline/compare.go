@@ -116,10 +116,10 @@ func (c Comparison) Table() []CompareRow {
 	for i, an := range c.Analyses {
 		rows[i] = CompareRow{
 			Name:           an.Config.Name,
-			ActionHz:       an.Action.Hertz(),
-			KneeHz:         an.Knee.Throughput.Hertz(),
-			RoofMS:         an.Roof.MetersPerSecond(),
-			SafeVelocityMS: an.SafeVelocity.MetersPerSecond(),
+			ActionHz:       JSONFloat(an.Action.Hertz()),
+			KneeHz:         JSONFloat(an.Knee.Throughput.Hertz()),
+			RoofMS:         JSONFloat(an.Roof.MetersPerSecond()),
+			SafeVelocityMS: JSONFloat(an.SafeVelocity.MetersPerSecond()),
 			Bound:          an.Bound.String(),
 			Class:          an.Class.String(),
 		}
@@ -128,14 +128,17 @@ func (c Comparison) Table() []CompareRow {
 }
 
 // CompareRow is one configuration's summary in the comparison output.
+// An unconstrained configuration has an infinite action rate, which raw
+// float64 fields would turn into a json.Marshal error; JSONFloat encodes
+// it as null instead.
 type CompareRow struct {
-	Name           string  `json:"name"`
-	ActionHz       float64 `json:"action_hz"`
-	KneeHz         float64 `json:"knee_hz"`
-	RoofMS         float64 `json:"roof_ms"`
-	SafeVelocityMS float64 `json:"safe_velocity_ms"`
-	Bound          string  `json:"bound"`
-	Class          string  `json:"class"`
+	Name           string    `json:"name"`
+	ActionHz       JSONFloat `json:"action_hz"`
+	KneeHz         JSONFloat `json:"knee_hz"`
+	RoofMS         JSONFloat `json:"roof_ms"`
+	SafeVelocityMS JSONFloat `json:"safe_velocity_ms"`
+	Bound          string    `json:"bound"`
+	Class          string    `json:"class"`
 }
 
 // Winner returns the index of the configuration with the highest safe

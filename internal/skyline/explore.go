@@ -170,20 +170,20 @@ func ParseExplore(cat *catalog.Catalog, q url.Values) (ExploreRequest, error) {
 
 // ExploreCandidateJSON is one /explore NDJSON line.
 type ExploreCandidateJSON struct {
-	Name      string  `json:"name"`
-	UAV       string  `json:"uav"`
-	Compute   string  `json:"compute"`
-	Algorithm string  `json:"algorithm"`
-	Sensor    string  `json:"sensor,omitempty"`
-	VSafeMS   float64 `json:"v_safe_ms"`
-	ActionHz  float64 `json:"action_hz"`
-	KneeHz    float64 `json:"knee_hz"`
-	PowerW    float64 `json:"power_w"`
-	PayloadG  float64 `json:"payload_g"`
-	Bound     string  `json:"bound"`
-	Class     string  `json:"class"`
+	Name      string    `json:"name"`
+	UAV       string    `json:"uav"`
+	Compute   string    `json:"compute"`
+	Algorithm string    `json:"algorithm"`
+	Sensor    string    `json:"sensor,omitempty"`
+	VSafeMS   JSONFloat `json:"v_safe_ms"`
+	ActionHz  JSONFloat `json:"action_hz"`
+	KneeHz    JSONFloat `json:"knee_hz"`
+	PowerW    JSONFloat `json:"power_w"`
+	PayloadG  JSONFloat `json:"payload_g"`
+	Bound     string    `json:"bound"`
+	Class     string    `json:"class"`
 	// GapFactor is omitted when not finite (a zero-throughput design).
-	GapFactor float64 `json:"gap_factor,omitempty"`
+	GapFactor JSONFloat `json:"gap_factor,omitempty"`
 }
 
 // exploreLine converts a candidate for the wire.
@@ -195,19 +195,20 @@ func exploreLine(c dse.Candidate) ExploreCandidateJSON {
 		Compute:   c.Selection.Compute,
 		Algorithm: c.Selection.Algorithm,
 		Sensor:    c.Selection.Sensor,
-		VSafeMS:   an.SafeVelocity.MetersPerSecond(),
-		KneeHz:    an.Knee.Throughput.Hertz(),
-		PowerW:    c.Power.Watts(),
-		PayloadG:  an.Config.Payload.Grams(),
+		VSafeMS:   JSONFloat(an.SafeVelocity.MetersPerSecond()),
+		KneeHz:    JSONFloat(an.Knee.Throughput.Hertz()),
+		PowerW:    JSONFloat(c.Power.Watts()),
+		PayloadG:  JSONFloat(an.Config.Payload.Grams()),
 		Bound:     an.Bound.String(),
 		Class:     an.Class.String(),
 	}
-	// JSON has no ±Inf: leave non-finite readings at zero (omitted).
+	// Non-finite readings stay at zero so omitempty drops them and the
+	// wire format matches pre-JSONFloat output byte for byte.
 	if v := an.Action.Hertz(); !math.IsInf(v, 0) && !math.IsNaN(v) {
-		out.ActionHz = v
+		out.ActionHz = JSONFloat(v)
 	}
 	if g := an.GapFactor; !math.IsInf(g, 0) && !math.IsNaN(g) {
-		out.GapFactor = g
+		out.GapFactor = JSONFloat(g)
 	}
 	return out
 }

@@ -58,7 +58,7 @@ func requireSameCandidates(t *testing.T, want []dse.Candidate, got []ExploreCand
 		if got[i].Name != want[i].Name() {
 			t.Fatalf("line %d: name %q, want %q", i, got[i].Name, want[i].Name())
 		}
-		if v := want[i].Analysis.SafeVelocity.MetersPerSecond(); math.Abs(got[i].VSafeMS-v) > 1e-9 {
+		if v := want[i].Analysis.SafeVelocity.MetersPerSecond(); math.Abs(float64(got[i].VSafeMS)-v) > 1e-9 {
 			t.Fatalf("line %d: v_safe %v, want %v", i, got[i].VSafeMS, v)
 		}
 	}

@@ -215,6 +215,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	// Per-endpoint series, deterministically ordered for scrape diffs.
 	patterns := make([]string, 0, len(s.metrics.endpoints))
+	//reprolint:ordered patterns are sorted below before any series is emitted
 	for p := range s.metrics.endpoints {
 		patterns = append(patterns, p)
 	}

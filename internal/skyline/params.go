@@ -106,6 +106,13 @@
 // cmd/skyline exposes these as -cache-entries, -max-inflight,
 // -queue-depth, -default-timeout, -client-rps and
 // -max-workers-per-request flags.
+//
+// The serving path's cross-cutting invariants — request contexts flow
+// into every engine call, JSON-reachable floats go through JSONFloat
+// (the model legitimately produces ±Inf, which json.Marshal rejects
+// raw), and emitted output never depends on map iteration order — are
+// mechanized by the internal/lint analyzers and gated in CI via
+// cmd/reprolint; see docs/INVARIANTS.md.
 package skyline
 
 import (

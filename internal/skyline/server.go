@@ -223,7 +223,7 @@ func (s *Server) engineError(w http.ResponseWriter, ctx context.Context, err err
 type HealthJSON struct {
 	Status       string          `json:"status"`
 	Cache        core.CacheStats `json:"cache"`
-	CacheHitRate float64         `json:"cache_hit_rate"`
+	CacheHitRate JSONFloat       `json:"cache_hit_rate"`
 	// InflightActive counts held exploration slots; MaxInflight is the
 	// slot pool size (0 = unlimited).
 	InflightActive int `json:"inflight_active"`
@@ -244,7 +244,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	out := HealthJSON{
 		Status:               "ok",
 		Cache:                st,
-		CacheHitRate:         st.HitRate(),
+		CacheHitRate:         JSONFloat(st.HitRate()),
 		InflightActive:       int(s.adm.active.Load()),
 		MaxInflight:          s.adm.capacity,
 		QueueDepth:           int(s.adm.depth.Load()),
