@@ -407,6 +407,58 @@ func benchEnumerateAlgoHeavy(b *testing.B, workers int) {
 // algorithm-heavy space.
 func BenchmarkEnumerateAlgoHeavySerial(b *testing.B) { benchEnumerateAlgoHeavy(b, 1) }
 
+// benchEnumerateMission runs the exploration engine with a
+// mission-level objective attached (docs/OBJECTIVES.md): every
+// candidate pays the F-1 combine plus the evaluator, so these rows
+// price the objective seam itself. The space is smaller than the plain
+// enumeration benches (256 vs 1280 candidates) because the simulated
+// objectives are orders of magnitude more expensive per candidate.
+func benchEnumerateMission(b *testing.B, objective string, workers int) {
+	cat := catalog.Synthetic(4, 8, 8) // 256 candidates
+	obj, err := dse.NewObjective(objective, cat, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := dse.Explorer{Catalog: cat, Space: dseBenchSpace(cat), Workers: workers, Cache: core.CacheOff(), Objective: obj}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := e.Enumerate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) != 256 {
+			b.Fatalf("got %d candidates", len(cands))
+		}
+	}
+}
+
+// BenchmarkEnumerateMissionThermalSerial prices the cheapest analytic
+// evaluator (mission.thermal) on one worker — the objective seam's
+// floor overhead over a plain enumeration.
+func BenchmarkEnumerateMissionThermalSerial(b *testing.B) {
+	benchEnumerateMission(b, "mission.thermal", 1)
+}
+
+// BenchmarkEnumerateMissionThermalParallel fans the analytic objective
+// across all cores.
+func BenchmarkEnumerateMissionThermalParallel(b *testing.B) {
+	benchEnumerateMission(b, "mission.thermal", 0)
+}
+
+// BenchmarkEnumerateMissionStochasticSerial prices an expensive
+// Monte-Carlo evaluator (mission.stochastic: 400 jittered pipeline
+// samples per candidate) on one worker.
+func BenchmarkEnumerateMissionStochasticSerial(b *testing.B) {
+	benchEnumerateMission(b, "mission.stochastic", 1)
+}
+
+// BenchmarkEnumerateMissionStochasticParallel fans the Monte-Carlo
+// objective across all cores — the case the work-stealing pool exists
+// for: per-candidate cost dwarfs scheduling overhead.
+func BenchmarkEnumerateMissionStochasticParallel(b *testing.B) {
+	benchEnumerateMission(b, "mission.stochastic", 0)
+}
+
 // BenchmarkEnumerateAlgoHeavyParallel fans the algorithm-heavy space
 // across all cores.
 func BenchmarkEnumerateAlgoHeavyParallel(b *testing.B) { benchEnumerateAlgoHeavy(b, 0) }

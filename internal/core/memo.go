@@ -12,10 +12,16 @@ import (
 	"repro/internal/faultinject"
 )
 
-// Cache memoizes Analyze results keyed on the full Config value, so
-// repeated analyses of the same resolved configuration — a Skyline
-// server replaying popular requests, or an Explorer re-running a design
-// space after a constraint tweak — pay the model cost once.
+// Cache memoizes Analyze results keyed on a ScoreKey — the full Config
+// value plus the objective (and seed) it was scored under — so repeated
+// analyses of the same resolved configuration — a Skyline server
+// replaying popular requests, or an Explorer re-running a design space
+// after a constraint tweak — pay the model cost once. The plain
+// Analyze/Lookup entry points key on the zero objective; the *Scored
+// variants carry an objective's metric columns through the same entry,
+// so a configuration scored under two different objectives (or two
+// Monte-Carlo seeds) occupies two independent entries and results stay
+// byte-deterministic.
 //
 // The cache is sharded: the Config hashes to one of a power-of-two
 // number of independently locked segments, so concurrent exploration
@@ -55,14 +61,30 @@ type Cache struct {
 	shards []shard
 }
 
+// ScoreKey identifies one cached scored analysis: the configuration
+// plus the objective that scored it. A Config analyzed under a
+// different objective — or a Monte-Carlo objective re-run under a
+// different seed — is a different cache entry, so cached metric columns
+// can never leak between objectives. The zero Objective/Seed is the
+// plain (unscored) F-1 analysis, which every Config-keyed entry point
+// uses.
+type ScoreKey struct {
+	Cfg Config
+	// Objective names the evaluator ("" = plain analysis, no metrics).
+	Objective string
+	// Seed is the evaluator's Monte-Carlo seed (0 for deterministic
+	// objectives).
+	Seed int64
+}
+
 // shard is one independently locked cache segment: a map for lookup,
 // two intrusive LRU lists (probation and protected) for the segmented
 // eviction order, and a singleflight registry of analyses currently in
 // flight so concurrent misses of one configuration coalesce.
 type shard struct {
 	mu        sync.Mutex
-	entries   map[Config]*entry
-	inflight  map[Config]*flight
+	entries   map[ScoreKey]*entry
+	inflight  map[ScoreKey]*flight
 	probation lruList
 	protected lruList
 	// capacity bounds len(entries); protectedCap bounds the protected
@@ -75,24 +97,28 @@ type shard struct {
 	evictions    uint64
 }
 
-// flight is one in-progress analysis. The first miss of a Config (the
+// flight is one in-progress analysis. The first miss of a ScoreKey (the
 // leader) creates it, computes, then publishes the result and closes
-// done; concurrent misses of the same Config (followers) wait on done
+// done; concurrent misses of the same key (followers) wait on done
 // and share the leader's result instead of re-analyzing. Errors are
-// shared with the waiting followers too — Analyze is deterministic in
-// its Config, so every follower would have hit the same error — but,
+// shared with the waiting followers too — a fill is deterministic in
+// its key, so every follower would have hit the same error — but,
 // as ever, never cached.
 type flight struct {
-	done chan struct{}
-	an   Analysis
-	err  error
+	done    chan struct{}
+	an      Analysis
+	metrics []float64
+	err     error
 }
 
 // entry is one memoized analysis, linked into exactly one of its
-// shard's two LRU lists.
+// shard's two LRU lists. metrics is the objective's column values (nil
+// for the plain analysis); like the Analysis it is shared between
+// callers and must be treated as read-only.
 type entry struct {
-	cfg        Config
+	key        ScoreKey
 	an         Analysis
+	metrics    []float64
 	prev, next *entry
 	protected  bool
 	// ref is the protected segment's second-chance bit: set on every
@@ -101,20 +127,22 @@ type entry struct {
 	ref bool
 }
 
-// shardFor routes cfg to its segment. The route mixes only the cheap
+// shardFor routes a key to its segment. The route mixes only the cheap
 // scalar knobs (not the airframe or the accel-model interface, which
-// would cost a full runtime hash): correctness never depends on it —
-// every shard map is keyed by the complete Config — only the load
-// spread does, and real design spaces vary exactly these knobs. The
-// shard index must be a pure function of the Config so concurrent
-// lookups of one configuration meet at the same lock.
-func (c *Cache) shardFor(cfg Config) *shard {
+// would cost a full runtime hash) plus the objective identity:
+// correctness never depends on it — every shard map is keyed by the
+// complete ScoreKey — only the load spread does, and real design spaces
+// vary exactly these knobs. The shard index must be a pure function of
+// the key so concurrent lookups of one configuration meet at the same
+// lock.
+func (c *Cache) shardFor(k ScoreKey) *shard {
 	const mix = 0x9E3779B97F4A7C15 // Fibonacci hashing multiplier
+	cfg := &k.Cfg
 	h := math.Float64bits(float64(cfg.Payload)) ^ uint64(len(cfg.Name))
 	h = (h + math.Float64bits(float64(cfg.ComputeRate))) * mix
 	h = (h + math.Float64bits(float64(cfg.SensorRate))) * mix
 	h += math.Float64bits(float64(cfg.SensorRange))
-	h *= mix
+	h = (h + uint64(len(k.Objective)) + uint64(k.Seed)) * mix
 	return &c.shards[(h>>32)&c.mask]
 }
 
@@ -202,8 +230,8 @@ func NewCacheLimit(limit int) *Cache {
 		// most of the shard holds the proven working set, the rest is
 		// churn room for one-hit wonders.
 		sh.protectedCap = sh.capacity * 4 / 5
-		sh.entries = make(map[Config]*entry)
-		sh.inflight = make(map[Config]*flight)
+		sh.entries = make(map[ScoreKey]*entry)
+		sh.inflight = make(map[ScoreKey]*flight)
 	}
 	return c
 }
@@ -262,7 +290,8 @@ var analyzeFn = Analyze
 //
 //reprolint:ctxshim documented no-context convenience wrapper; request paths use AnalyzeContext
 func (c *Cache) Analyze(cfg Config) (Analysis, error) {
-	return c.analyze(context.Background(), cfg, nil)
+	an, _, err := c.analyze(context.Background(), ScoreKey{Cfg: cfg}, nil)
+	return an, err
 }
 
 // AnalyzeContext is Analyze with a context governing the singleflight
@@ -274,7 +303,8 @@ func (c *Cache) Analyze(cfg Config) (Analysis, error) {
 // are pure CPU with no cancellation points, and an abandoned fill would
 // strand the coalesced followers.)
 func (c *Cache) AnalyzeContext(ctx context.Context, cfg Config) (Analysis, error) {
-	return c.analyze(ctx, cfg, nil)
+	an, _, err := c.analyze(ctx, ScoreKey{Cfg: cfg}, nil)
+	return an, err
 }
 
 // AnalyzeFunc is Analyze with a caller-supplied fill: on a miss the
@@ -288,13 +318,37 @@ func (c *Cache) AnalyzeContext(ctx context.Context, cfg Config) (Analysis, error
 //
 //reprolint:ctxshim documented no-context convenience wrapper; request paths use AnalyzeContextFunc
 func (c *Cache) AnalyzeFunc(cfg Config, fill func() (Analysis, error)) (Analysis, error) {
-	return c.analyze(context.Background(), cfg, fill)
+	an, _, err := c.analyze(context.Background(), ScoreKey{Cfg: cfg}, plainFill(fill))
+	return an, err
 }
 
 // AnalyzeContextFunc combines AnalyzeContext and AnalyzeFunc: a
 // caller-supplied miss fill with a context-governed coalesced wait.
 func (c *Cache) AnalyzeContextFunc(ctx context.Context, cfg Config, fill func() (Analysis, error)) (Analysis, error) {
-	return c.analyze(ctx, cfg, fill)
+	an, _, err := c.analyze(ctx, ScoreKey{Cfg: cfg}, plainFill(fill))
+	return an, err
+}
+
+// AnalyzeScoredContextFunc is AnalyzeContextFunc over a full ScoreKey:
+// on a miss of (Config, objective, seed) the fill computes the analysis
+// together with the objective's metric columns, and both are cached and
+// shared — like the Analysis, the returned metrics slice is read-only.
+// fill must be deterministic in the key, since its result is memoized
+// under it and served to every future caller.
+func (c *Cache) AnalyzeScoredContextFunc(ctx context.Context, key ScoreKey, fill func() (Analysis, []float64, error)) (Analysis, []float64, error) {
+	return c.analyze(ctx, key, fill)
+}
+
+// plainFill adapts an analysis-only miss fill to the scored shape (nil
+// metrics). A nil fill stays nil so analyze keeps its analyzeFn default.
+func plainFill(fill func() (Analysis, error)) func() (Analysis, []float64, error) {
+	if fill == nil {
+		return nil
+	}
+	return func() (Analysis, []float64, error) {
+		an, err := fill()
+		return an, nil, err
+	}
 }
 
 // Lookup peeks for a memoized analysis: on a hit it counts the hit,
@@ -305,76 +359,85 @@ func (c *Cache) AnalyzeContextFunc(ctx context.Context, cfg Config, fill func() 
 // path: probe first, and only on absence build the closure and call
 // AnalyzeContextFunc.
 func (c *Cache) Lookup(cfg Config) (Analysis, bool) {
-	if c == nil || len(c.shards) == 0 || !memoizable(cfg) {
-		return Analysis{}, false
+	an, _, ok := c.LookupScored(ScoreKey{Cfg: cfg})
+	return an, ok
+}
+
+// LookupScored is Lookup over a full ScoreKey: a hit returns the
+// analysis together with the objective's cached metric columns (nil for
+// the zero objective). The metrics slice is shared — read-only.
+func (c *Cache) LookupScored(key ScoreKey) (Analysis, []float64, bool) {
+	if c == nil || len(c.shards) == 0 || !memoizable(key.Cfg) {
+		return Analysis{}, nil, false
 	}
-	sh := c.shardFor(cfg)
+	sh := c.shardFor(key)
 	sh.mu.Lock()
-	e, ok := sh.entries[cfg]
+	e, ok := sh.entries[key]
 	if !ok {
 		sh.mu.Unlock()
-		return Analysis{}, false
+		return Analysis{}, nil, false
 	}
 	sh.touch(e)
-	an := e.an
+	an, metrics := e.an, e.metrics
 	sh.mu.Unlock()
-	return an, true
+	return an, metrics, true
 }
 
 // analyze is the shared implementation behind the Analyze* variants.
 // A nil fill means the package-level analyzeFn (i.e. the full Analyze,
-// reassignable only by tests).
-func (c *Cache) analyze(ctx context.Context, cfg Config, fill func() (Analysis, error)) (Analysis, error) {
-	if c == nil || len(c.shards) == 0 || !memoizable(cfg) {
+// reassignable only by tests), which never produces metrics.
+func (c *Cache) analyze(ctx context.Context, key ScoreKey, fill func() (Analysis, []float64, error)) (Analysis, []float64, error) {
+	if c == nil || len(c.shards) == 0 || !memoizable(key.Cfg) {
 		if fill != nil {
 			return fill()
 		}
-		return Analyze(cfg)
+		an, err := Analyze(key.Cfg)
+		return an, nil, err
 	}
-	sh := c.shardFor(cfg)
+	sh := c.shardFor(key)
 	sh.mu.Lock()
-	if e, ok := sh.entries[cfg]; ok {
+	if e, ok := sh.entries[key]; ok {
 		sh.touch(e)
-		an := e.an
+		an, metrics := e.an, e.metrics
 		sh.mu.Unlock()
-		return an, nil
+		return an, metrics, nil
 	}
 	sh.misses++
-	if f, ok := sh.inflight[cfg]; ok {
-		// A leader is already analyzing this exact configuration: wait
-		// for its result instead of burning a second analysis — but no
-		// longer than the follower's own request lives. ctx.Done() is
-		// nil for context.Background(), so the uncancellable wait stays
-		// a two-way select that can only take the done arm.
+	if f, ok := sh.inflight[key]; ok {
+		// A leader is already analyzing this exact key: wait for its
+		// result instead of burning a second analysis — but no longer
+		// than the follower's own request lives. ctx.Done() is nil for
+		// context.Background(), so the uncancellable wait stays a
+		// two-way select that can only take the done arm.
 		sh.coalesced++
 		sh.mu.Unlock()
 		select {
 		case <-f.done:
-			return f.an, f.err
+			return f.an, f.metrics, f.err
 		case <-ctx.Done():
-			return Analysis{}, ctx.Err()
+			return Analysis{}, nil, ctx.Err()
 		}
 	}
 	// errFlightAbandoned is what followers see if the leader never
 	// publishes — i.e. analyzeFn panicked. It is pre-set and overwritten
 	// on every normal path, so it can only escape through a panic.
 	f := &flight{done: make(chan struct{}), err: errFlightAbandoned}
-	sh.inflight[cfg] = f
+	sh.inflight[key] = f
 	sh.mu.Unlock()
 
 	// The cleanup is deferred so that a panicking analyzeFn (bad model
 	// data) cannot strand the flight: the registry entry would otherwise
-	// outlive the leader and every future Analyze of this Config would
+	// outlive the leader and every future Analyze of this key would
 	// coalesce onto a flight that never completes.
 	defer func() {
 		sh.mu.Lock()
-		delete(sh.inflight, cfg)
+		delete(sh.inflight, key)
 		if f.err == nil {
-			// A leader for this Config is unique, but an entry may still
-			// exist if the Config was evicted and re-inserted around an
+			// A leader for this key is unique, but an entry may still
+			// exist if the key was evicted and re-inserted around an
 			// earlier flight; keep the incumbent's LRU position.
-			if _, ok := sh.entries[cfg]; !ok {
-				sh.insert(cfg, f.an)
+			if _, ok := sh.entries[key]; !ok {
+				sh.insert(key, f.an, f.metrics)
 			}
 		}
 		sh.mu.Unlock()
@@ -390,11 +453,11 @@ func (c *Cache) analyze(ctx context.Context, cfg Config, fill func() (Analysis, 
 	if ferr := faultinject.Fire(faultinject.SiteCacheFill); ferr != nil {
 		f.err = ferr
 	} else if fill != nil {
-		f.an, f.err = fill()
+		f.an, f.metrics, f.err = fill()
 	} else {
-		f.an, f.err = analyzeFn(cfg)
+		f.an, f.err = analyzeFn(key.Cfg)
 	}
-	return f.an, f.err
+	return f.an, f.metrics, f.err
 }
 
 // errFlightAbandoned surfaces to singleflight followers whose leader
@@ -452,7 +515,7 @@ func (sh *shard) oldestProtected() *entry {
 
 // insert adds a new probationary entry, evicting one victim first when
 // the shard is full. Callers hold the shard lock.
-func (sh *shard) insert(cfg Config, an Analysis) {
+func (sh *shard) insert(key ScoreKey, an Analysis, metrics []float64) {
 	if sh.capacity == 0 {
 		return
 	}
@@ -464,11 +527,11 @@ func (sh *shard) insert(cfg Config, an Analysis) {
 			victim = sh.oldestProtected()
 			sh.protected.remove(victim)
 		}
-		delete(sh.entries, victim.cfg)
+		delete(sh.entries, victim.key)
 		sh.evictions++
 	}
-	e := &entry{cfg: cfg, an: an}
-	sh.entries[cfg] = e
+	e := &entry{key: key, an: an, metrics: metrics}
+	sh.entries[key] = e
 	sh.probation.pushFront(e)
 }
 
@@ -545,9 +608,10 @@ func (c *Cache) contains(cfg Config) bool {
 	if c == nil || len(c.shards) == 0 || !memoizable(cfg) {
 		return false
 	}
-	sh := c.shardFor(cfg)
+	key := ScoreKey{Cfg: cfg}
+	sh := c.shardFor(key)
 	sh.mu.Lock()
-	_, ok := sh.entries[cfg]
+	_, ok := sh.entries[key]
 	sh.mu.Unlock()
 	return ok
 }

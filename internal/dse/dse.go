@@ -48,6 +48,17 @@
 //     ModelPartial.WithRange (reusing the a_max lookup), and only a
 //     swept payload — the a_max lookup's own input — falls back to the
 //     full analysis.
+//   - An optional mission-level Evaluator (objective.go, mission.go)
+//     scores each surviving candidate with the dormant simulation
+//     packages the F-1 model abstracts away — endurance, battery sag,
+//     thermal/payload packaging, TMR redundancy, flight simulation,
+//     pipeline jitter — emitting named metric columns that Rank, TopK
+//     and ParetoFront consume and the Skyline server streams. Scored
+//     results memoize under (config, objective, seed); Monte-Carlo
+//     evaluators derive each candidate's seed from its identity, so
+//     parallel runs reproduce serial ones bit for bit. See
+//     docs/OBJECTIVES.md for every objective, its columns, units and
+//     the determinism/seed contract.
 //   - Rank and TopK (this file) score every candidate exactly once;
 //     TopK keeps a bounded heap instead of sorting the full slate.
 //   - ParetoFront (pareto.go) runs the argmax set for one objective, a
@@ -84,6 +95,11 @@ type Candidate struct {
 	// Power is the compute platform's TDP (the payload side is already
 	// inside the analysis).
 	Power units.Power
+	// Metrics are the mission-level metric columns, parallel to the
+	// exploring Evaluator's Columns(); nil on plain (objective-less)
+	// explorations. The slice may be shared with the analysis cache —
+	// treat it as read-only.
+	Metrics []float64
 }
 
 // Name renders the candidate's configuration name.

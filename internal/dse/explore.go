@@ -35,6 +35,13 @@ type Explorer struct {
 	// process-wide core.SharedCache; core.CacheOff() disables
 	// memoization entirely (e.g. a benchmark isolating the engine).
 	Cache *core.Cache
+	// Objective optionally scores each surviving candidate with a
+	// mission-level evaluator (see NewObjective and docs/OBJECTIVES.md):
+	// the plan composes it after the partial combine and the constraint
+	// check, fills Candidate.Metrics with its columns, and memoizes
+	// (analysis, metrics) together under a (Config, objective, seed)
+	// cache key. Nil explores the plain F-1 analysis only.
+	Objective Evaluator
 }
 
 // cache resolves the effective analysis cache.
@@ -76,7 +83,14 @@ type plan struct {
 	// memoized is whether cache actually memoizes; when false the
 	// candidates skip cache plumbing and combine partials directly.
 	memoized bool
-	uavs     []catalog.UAV
+	// obj is the optional mission-level evaluator, with its registry
+	// name, base Monte-Carlo seed (0 = deterministic) and column set
+	// resolved once at plan time.
+	obj     Evaluator
+	objName string
+	objSeed int64
+	objCols []ObjectiveColumn
+	uavs    []catalog.UAV
 	// computes and computeMass are parallel: computeMass[i] is
 	// computes[i].TotalMass under the catalog's heatsink model.
 	computes    []catalog.Compute
@@ -125,11 +139,17 @@ func (p *plan) total() int { return len(p.cells) * len(p.sensors) }
 // engine, which hit them on the first analysis); a registered
 // algorithm without a performance-table row on a given compute is
 // silently skipped — that combination is not a buildable system.
-func newPlan(cat *catalog.Catalog, space Space, cons Constraints, cache *core.Cache) (*plan, error) {
+func newPlan(cat *catalog.Catalog, space Space, cons Constraints, cache *core.Cache, obj Evaluator) (*plan, error) {
 	if len(space.UAVs) == 0 || len(space.Computes) == 0 || len(space.Algorithms) == 0 {
 		return nil, fmt.Errorf("dse: space must name at least one UAV, compute and algorithm")
 	}
 	p := &plan{cons: cons, cache: cache}
+	if obj != nil {
+		p.obj = obj
+		p.objName = obj.Name()
+		p.objSeed = obj.Seed()
+		p.objCols = obj.Columns()
+	}
 	p.uavs = make([]catalog.UAV, len(space.UAVs))
 	for i, name := range space.UAVs {
 		u, err := cat.UAV(name)
@@ -320,6 +340,12 @@ func (p *plan) candidateInto(ctx context.Context, i int, cand *Candidate, arena 
 	mp := p.partials[(cl.u*len(p.computes)+cl.c)*nS+si]
 	sensorStage := p.sensorStages[cl.u*nS+si]
 	controlStage := p.controlStages[cl.u]
+	if p.obj != nil {
+		return p.candidateScoredInto(ctx, cl, sc, uav, comp, mp, sensorStage, controlStage, cand, arena)
+	}
+	// The caller's slot may have carried a scored candidate (the serial
+	// paths reuse one); a plain exploration must not leak stale metrics.
+	cand.Metrics = nil
 	if p.memoized {
 		// Probe before building the fill closure: the hit path — a
 		// server re-exploring a popular space — allocates nothing.
@@ -349,6 +375,82 @@ func (p *plan) candidateInto(ctx context.Context, i int, cand *Candidate, arena 
 	cand.Selection = catalog.Selection{UAV: uav.Name, Compute: comp.Name, Algorithm: cl.algo, Sensor: sc.name}
 	cand.Power = comp.TDP
 	return p.cons.Allows(*cand), nil
+}
+
+// candidateScoredInto is the objective path of candidateInto: the
+// partial combine produces the analysis, the constraints prune, and
+// only surviving candidates pay the evaluator — a pruned candidate
+// never runs a Monte-Carlo simulation and never occupies a scored
+// cache entry. With memoization on, (analysis, metrics) are cached
+// together under the (Config, objective, seed) ScoreKey, so re-
+// exploring a popular space under the same objective replays from the
+// cache, while the same Config under another objective — or another
+// seed — fills its own entry. Monte-Carlo evaluators get a
+// per-candidate seed mixed from the base seed and the candidate
+// identity, which is what keeps results identical across worker counts
+// and steal interleavings.
+//
+//reprolint:hotpath
+func (p *plan) candidateScoredInto(ctx context.Context, cl *cell, sc *sensorChoice, uav *catalog.UAV, comp *catalog.Compute, mp *core.ModelPartial, sensorStage, controlStage core.Stage, cand *Candidate, arena *[]core.Ceiling) (ok bool, err error) {
+	var seed int64
+	if p.objSeed != 0 {
+		seed = candSeed(p.objSeed, cl.name, sc.name)
+	}
+	cand.Selection = catalog.Selection{UAV: uav.Name, Compute: comp.Name, Algorithm: cl.algo, Sensor: sc.name}
+	cand.Power = comp.TDP
+	if !p.memoized {
+		if err = core.AnalyzeWithPartialInto(mp, cl.name, sensorStage, cl.stage, controlStage, arena, &cand.Analysis); err != nil {
+			return false, fmt.Errorf("dse: analyzing %s/%s/%s: %w", uav.Name, comp.Name, cl.algo, err)
+		}
+		if !p.cons.Allows(*cand) {
+			return false, nil
+		}
+		metrics := make([]float64, len(p.objCols))
+		if err = p.obj.Evaluate(ctx, cand, seed, metrics); err != nil {
+			return false, fmt.Errorf("dse: objective %s on %s/%s/%s: %w", p.objName, uav.Name, comp.Name, cl.algo, err)
+		}
+		cand.Metrics = metrics
+		return true, nil
+	}
+	// Probe before any allocation: the hit path — a server re-exploring
+	// a popular space under one objective — costs a lookup.
+	key := core.ScoreKey{
+		Cfg:       mp.Config(cl.name, sensorStage, cl.stage, controlStage),
+		Objective: p.objName,
+		Seed:      seed,
+	}
+	var hit bool
+	if cand.Analysis, cand.Metrics, hit = p.cache.LookupScored(key); hit {
+		return p.cons.Allows(*cand), nil
+	}
+	// Miss: combine first, outside the cache, so constraint-pruned
+	// candidates never pay the evaluator. The name is cloned before the
+	// analysis can reach the cache — cl.name is a substring of the
+	// plan-wide name buffer, and a cached key holding it would pin that
+	// whole buffer (see candidateInto).
+	name := strings.Clone(cl.name)
+	cand.Analysis, err = core.AnalyzeWithPartial(mp, name, sensorStage, cl.stage, controlStage)
+	if err != nil {
+		return false, fmt.Errorf("dse: analyzing %s/%s/%s: %w", uav.Name, comp.Name, cl.algo, err)
+	}
+	if !p.cons.Allows(*cand) {
+		return false, nil
+	}
+	key.Cfg.Name = name
+	an := cand.Analysis
+	//reprolint:allow hotpathalloc the fill closure is built only on the cache-miss path, which allocates anyway
+	cand.Analysis, cand.Metrics, err = p.cache.AnalyzeScoredContextFunc(ctx, key, func() (core.Analysis, []float64, error) {
+		scored := Candidate{Selection: cand.Selection, Analysis: an, Power: comp.TDP}
+		metrics := make([]float64, len(p.objCols))
+		if err := p.obj.Evaluate(ctx, &scored, seed, metrics); err != nil {
+			return core.Analysis{}, nil, err
+		}
+		return an, metrics, nil
+	})
+	if err != nil {
+		return false, fmt.Errorf("dse: objective %s on %s/%s/%s: %w", p.objName, uav.Name, comp.Name, cl.algo, err)
+	}
+	return true, nil
 }
 
 // processChunk analyzes candidates [start,end), returning the survivors
@@ -419,7 +521,7 @@ func (e Explorer) Candidates(ctx context.Context) iter.Seq2[Candidate, error] {
 			//reprolint:allow ctxflow nil-ctx compatibility guard, documented as running uncancellable
 			ctx = context.Background()
 		}
-		p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.cache())
+		p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.cache(), e.Objective)
 		if err != nil {
 			yield(Candidate{}, err)
 			return
@@ -484,7 +586,7 @@ func (e Explorer) ExploreContext(ctx context.Context) ([]Candidate, error) {
 		ctx = context.Background()
 	}
 	var out []Candidate
-	p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.cache())
+	p, err := newPlan(e.Catalog, e.Space, e.Constraints, e.cache(), e.Objective)
 	if err != nil {
 		return nil, err
 	}

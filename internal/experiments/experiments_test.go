@@ -11,7 +11,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"ext-battery", "ext-course", "ext-faults", "ext-grid", "ext-jitter", "ext-mission", "ext-roofline", "ext-targets",
+	want := []string{"ext-battery", "ext-course", "ext-faults", "ext-grid", "ext-jitter", "ext-mission", "ext-objectives", "ext-roofline", "ext-targets",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
 		"fig2b", "fig5", "fig7", "fig9", "table1", "table3"}
 	got := All()

@@ -22,6 +22,7 @@
 package flightsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -228,6 +229,15 @@ func Run(v Vehicle, s Scenario, record bool) (Trial, error) {
 // paper's five trials per velocity point. It returns the trials and the
 // infraction count.
 func Trials(v Vehicle, s Scenario, n int, seed int64) ([]Trial, int, error) {
+	return TrialsContext(context.Background(), v, s, n, seed)
+}
+
+// TrialsContext is Trials with cancellation checked between trials, so
+// an abandoned request stops a Monte-Carlo batch mid-candidate instead
+// of draining it. The RNG stream is identical to Trials for the same
+// seed — the cancellation probe draws nothing — so results stay
+// byte-deterministic.
+func TrialsContext(ctx context.Context, v Vehicle, s Scenario, n int, seed int64) ([]Trial, int, error) {
 	if n <= 0 {
 		return nil, 0, fmt.Errorf("flightsim: need at least one trial, got %d", n)
 	}
@@ -235,6 +245,9 @@ func Trials(v Vehicle, s Scenario, n int, seed int64) ([]Trial, int, error) {
 	out := make([]Trial, 0, n)
 	infractions := 0
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		si := s
 		si.DecisionPhase = rng.Float64()
 		si.TargetVelocity = units.MetersPerSecond(

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -40,6 +41,15 @@ type StochasticResult struct {
 // per sample from each stage's jitter band, using a deterministic
 // seeded source. The first 10 % of samples are discarded as warm-up.
 func SimulateJitter(stages []JitterStage, n int, seed int64) (StochasticResult, error) {
+	return SimulateJitterContext(context.Background(), stages, n, seed)
+}
+
+// SimulateJitterContext is SimulateJitter with cancellation checked
+// every sample batch, so an abandoned request stops a Monte-Carlo
+// simulation mid-candidate instead of draining it. The RNG stream is
+// identical to SimulateJitter for the same seed — the cancellation
+// probe draws nothing — so results stay byte-deterministic.
+func SimulateJitterContext(ctx context.Context, stages []JitterStage, n int, seed int64) (StochasticResult, error) {
 	if len(stages) == 0 {
 		return StochasticResult{}, fmt.Errorf("pipeline: no stages")
 	}
@@ -62,6 +72,11 @@ func SimulateJitter(stages []JitterStage, n int, seed int64) (StochasticResult, 
 	var outs []float64
 	var latencies []float64
 	for k := 0; k < n; k++ {
+		if k%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return StochasticResult{}, err
+			}
+		}
 		if k > 0 {
 			cur[0] = prev[1]
 		} else {

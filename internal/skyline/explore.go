@@ -17,11 +17,17 @@ import (
 )
 
 // ExploreRequest is the parsed /explore query: a design space, pruning
-// constraints, and an optional selection pass (top-K under one
-// objective, or a Pareto frontier over several).
+// constraints, an optional mission-level objective scoring each
+// candidate, and an optional selection pass (top-K under one ranking,
+// or a Pareto frontier over several).
 type ExploreRequest struct {
 	Space       dse.Space
 	Constraints dse.Constraints
+
+	// Objective is the mission-level evaluator behind objective=, nil
+	// for a plain F-1 exploration. ObjectiveName is its registry name.
+	Objective     dse.Evaluator
+	ObjectiveName string
 
 	// TopK > 0 selects the K best candidates under Rank.
 	TopK int
@@ -43,8 +49,35 @@ var objectives = map[string]dse.Objective{
 	"balance":  dse.Balance,
 }
 
-// objectiveNames lists the accepted objective names (for error text).
-func objectiveNames() string { return "velocity, power, payload or balance" }
+// objectiveNames lists the accepted rank/pareto names for error text:
+// the built-in F-1 rankings, plus the active objective's metric
+// columns when one is selected.
+func objectiveNames(ev dse.Evaluator) string {
+	base := "velocity, power, payload or balance"
+	if ev == nil {
+		return base
+	}
+	cols := ev.Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ", ") + ", " + base
+}
+
+// rankBy resolves a rank= or pareto= name: the active objective's
+// metric columns take precedence (so "endurance_s" ranks on the
+// evaluator output), then the built-in F-1 rankings.
+func rankBy(name string, ev dse.Evaluator) (dse.Objective, bool) {
+	if ev != nil {
+		cols := ev.Columns()
+		if i := dse.ColumnIndex(cols, name); i >= 0 {
+			return dse.ColumnObjective(cols, i), true
+		}
+	}
+	obj, ok := objectives[name]
+	return obj, ok
+}
 
 // axisValues gathers one space axis from the query: the key may repeat
 // and each value may be a comma-separated list, validated against the
@@ -131,6 +164,21 @@ func ParseExplore(cat *catalog.Catalog, q url.Values) (ExploreRequest, error) {
 		MinVelocity: units.MetersPerSecond(minVelocity),
 	}
 
+	req.ObjectiveName = q.Get("objective")
+	seed, hasSeed, err := parseSeed(q)
+	if err != nil {
+		return ExploreRequest{}, err
+	}
+	if req.ObjectiveName != "" {
+		// The default base seed is 1, not time-derived: two identical
+		// requests must produce byte-identical responses.
+		if req.Objective, err = dse.NewObjective(req.ObjectiveName, cat, seed); err != nil {
+			return ExploreRequest{}, fmt.Errorf("skyline: explore: %w", err)
+		}
+	} else if hasSeed {
+		return ExploreRequest{}, fmt.Errorf("skyline: explore: seed= needs objective=")
+	}
+
 	if ts := q.Get("top"); ts != "" {
 		k, err := strconv.Atoi(ts)
 		if err != nil || k < 1 {
@@ -140,11 +188,17 @@ func ParseExplore(cat *catalog.Catalog, q url.Values) (ExploreRequest, error) {
 	}
 	req.RankName = q.Get("rank")
 	if req.RankName == "" {
-		req.RankName = "velocity"
+		if req.Objective != nil {
+			// An objective exploration ranks on its own first column by
+			// default — the evaluator's headline metric.
+			req.RankName = req.Objective.Columns()[0].Name
+		} else {
+			req.RankName = "velocity"
+		}
 	}
-	obj, ok := objectives[req.RankName]
+	obj, ok := rankBy(req.RankName, req.Objective)
 	if !ok {
-		return ExploreRequest{}, fmt.Errorf("skyline: explore: unknown rank objective %q (want %s)", req.RankName, objectiveNames())
+		return ExploreRequest{}, fmt.Errorf("skyline: explore: unknown rank objective %q (want %s)", req.RankName, objectiveNames(req.Objective))
 	}
 	req.Rank = obj
 	if q.Get("rank") != "" && req.TopK == 0 {
@@ -157,15 +211,39 @@ func ParseExplore(cat *catalog.Catalog, q url.Values) (ExploreRequest, error) {
 		}
 		for _, name := range strings.Split(ps, ",") {
 			name = strings.TrimSpace(name)
-			obj, ok := objectives[name]
+			obj, ok := rankBy(name, req.Objective)
 			if !ok {
-				return ExploreRequest{}, fmt.Errorf("skyline: explore: unknown pareto objective %q (want %s)", name, objectiveNames())
+				return ExploreRequest{}, fmt.Errorf("skyline: explore: unknown pareto objective %q (want %s)", name, objectiveNames(req.Objective))
 			}
 			req.Pareto = append(req.Pareto, obj)
 			req.ParetoNames = append(req.ParetoNames, name)
 		}
 	}
 	return req, nil
+}
+
+// parseSeed reads the seed= knob: the base seed for Monte-Carlo
+// objectives. Absent defaults to 1 so identical requests are
+// byte-identical; 0 is normalized to 1 by the objective registry.
+func parseSeed(q url.Values) (seed int64, present bool, err error) {
+	s := q.Get("seed")
+	if s == "" {
+		return 1, false, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, true, fmt.Errorf("skyline: parameter seed must be an integer, got %q", s)
+	}
+	return v, true, nil
+}
+
+// MetricJSON is one named objective metric on an /explore NDJSON line,
+// emitted in the evaluator's column order (never map order). The value
+// sanitizes through JSONFloat: an unscorable candidate's ±Inf marker
+// encodes as null.
+type MetricJSON struct {
+	Name  string    `json:"name"`
+	Value JSONFloat `json:"value"`
 }
 
 // ExploreCandidateJSON is one /explore NDJSON line.
@@ -184,10 +262,15 @@ type ExploreCandidateJSON struct {
 	Class     string    `json:"class"`
 	// GapFactor is omitted when not finite (a zero-throughput design).
 	GapFactor JSONFloat `json:"gap_factor,omitempty"`
+	// Objective and Metrics appear only on objective= explorations.
+	Objective string       `json:"objective,omitempty"`
+	Metrics   []MetricJSON `json:"metrics,omitempty"`
 }
 
-// exploreLine converts a candidate for the wire.
-func exploreLine(c dse.Candidate) ExploreCandidateJSON {
+// exploreLine converts a candidate for the wire. cols and objName are
+// the active objective's columns and registry name (nil/"" on plain
+// explorations).
+func exploreLine(c dse.Candidate, objName string, cols []dse.ObjectiveColumn) ExploreCandidateJSON {
 	an := c.Analysis
 	out := ExploreCandidateJSON{
 		Name:      c.Name(),
@@ -209,6 +292,13 @@ func exploreLine(c dse.Candidate) ExploreCandidateJSON {
 	}
 	if g := an.GapFactor; !math.IsInf(g, 0) && !math.IsNaN(g) {
 		out.GapFactor = JSONFloat(g)
+	}
+	if objName != "" && len(c.Metrics) == len(cols) {
+		out.Objective = objName
+		out.Metrics = make([]MetricJSON, len(cols))
+		for i, col := range cols {
+			out.Metrics[i] = MetricJSON{Name: col.Name, Value: JSONFloat(c.Metrics[i])}
+		}
 	}
 	return out
 }
@@ -286,6 +376,11 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		Constraints: req.Constraints,
 		Workers:     workers,
 		Cache:       s.cache,
+		Objective:   req.Objective,
+	}
+	var objCols []dse.ObjectiveColumn
+	if req.Objective != nil {
+		objCols = req.Objective.Columns()
 	}
 
 	// Selection passes need the full slate; they respond only once the
@@ -308,7 +403,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		enc := json.NewEncoder(w)
 		for _, c := range cands {
-			if err := enc.Encode(exploreLine(c)); err != nil {
+			if err := enc.Encode(exploreLine(c, req.ObjectiveName, objCols)); err != nil {
 				return
 			}
 		}
@@ -328,7 +423,7 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 			_ = enc.Encode(map[string]string{"error": err.Error()})
 			return
 		}
-		if err := enc.Encode(exploreLine(cand)); err != nil {
+		if err := enc.Encode(exploreLine(cand, req.ObjectiveName, objCols)); err != nil {
 			return // write failure: client went away
 		}
 		// Flush each candidate so clients see results immediately;

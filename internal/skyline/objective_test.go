@@ -1,0 +1,131 @@
+package skyline
+
+import (
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/dse"
+)
+
+// TestExploreUnknownObjective400 asserts the acceptance criterion for
+// typo'd objectives: a 400 whose body lists the full registry.
+func TestExploreUnknownObjective400(t *testing.T) {
+	srv := newTestServer(t)
+	status, body := get(t, srv.URL+"/explore?objective=warp")
+	if status != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", status)
+	}
+	for _, name := range dse.ObjectiveNames() {
+		if !strings.Contains(body, name) {
+			t.Errorf("400 body %q does not list %q", body, name)
+		}
+	}
+}
+
+func TestExploreObjectiveBadParams(t *testing.T) {
+	srv := newTestServer(t)
+	for _, q := range []string{
+		"seed=3",                                // seed without objective
+		"objective=mission.stochastic&seed=1.5", // non-integer seed
+		"objective=mission.thermal&top=3&rank=endurance_s", // another objective's column
+	} {
+		if status, _ := get(t, srv.URL+"/explore?"+q); status != http.StatusBadRequest {
+			t.Errorf("%q: status = %d, want 400", q, status)
+		}
+	}
+}
+
+// TestExploreObjectiveDeterministicBytes drives the acceptance
+// criterion end to end: two identical Monte-Carlo explorations must
+// answer with byte-identical NDJSON bodies.
+func TestExploreObjectiveDeterministicBytes(t *testing.T) {
+	srv := newTestServer(t)
+	u := srv.URL + "/explore?objective=mission.stochastic&uav=" + url.QueryEscape("DJI Spark")
+	fetch := func() string {
+		t.Helper()
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := fetch(), fetch()
+	if a != b {
+		t.Fatalf("identical requests differ:\nfirst  %q\nsecond %q", a, b)
+	}
+	if !strings.Contains(a, `"objective":"mission.stochastic"`) {
+		t.Errorf("body lacks objective tag: %q", a)
+	}
+	if !strings.Contains(a, `"metrics":[{"name":"eff_rate_hz"`) {
+		t.Errorf("body lacks ordered metric columns: %q", a)
+	}
+}
+
+// TestExploreObjectiveRanksOnColumns checks top-K ranking and the
+// Pareto skyline accept the active objective's metric columns and
+// honor their min/max orientation.
+func TestExploreObjectiveRanksOnColumns(t *testing.T) {
+	srv := newTestServer(t)
+	lines := exploreLines(t, srv.URL+"/explore?objective=mission.endurance&top=5&rank=mission_energy_j")
+	if len(lines) != 5 {
+		t.Fatalf("top-5 returned %d lines", len(lines))
+	}
+	prev := float64(lines[0].Metrics[1].Value)
+	for _, l := range lines {
+		if l.Objective != "mission.endurance" || len(l.Metrics) != 3 {
+			t.Fatalf("line %+v lacks objective metrics", l)
+		}
+		if l.Metrics[1].Name != "mission_energy_j" {
+			t.Fatalf("metric order: %+v", l.Metrics)
+		}
+		// mission_energy_j minimizes: ranked ascending.
+		if v := float64(l.Metrics[1].Value); v < prev {
+			t.Fatalf("energy ranking not ascending: %v after %v", v, prev)
+		} else {
+			prev = v
+		}
+	}
+	pareto := exploreLines(t, srv.URL+"/explore?objective=mission.endurance&pareto=mission_time_s,battery_margin")
+	if len(pareto) == 0 {
+		t.Fatal("empty objective pareto front")
+	}
+}
+
+// TestGridObjective covers the /grid.svg objective path: a mission
+// metric heatmap renders, custom mode is rejected, and a metric not in
+// the objective's columns is a 400 listing the valid ones.
+func TestGridObjective(t *testing.T) {
+	srv := newTestServer(t)
+	base := "/grid.svg?x=range&xlo=1&xhi=10&y=compute&ylo=5&yhi=60&nx=4&ny=3"
+	status, body := get(t, srv.URL+base+"&objective=mission.thermal&metric=thrust_margin")
+	if status != http.StatusOK || !strings.Contains(body, "<svg") {
+		t.Fatalf("objective grid: status %d, body %q", status, body[:min(len(body), 120)])
+	}
+	if !strings.Contains(body, "thrust_margin") {
+		t.Error("objective grid does not label the metric column")
+	}
+	status, body = get(t, srv.URL+base+"&objective=mission.thermal&metric=warp")
+	if status != http.StatusBadRequest || !strings.Contains(body, "heatsink_g") {
+		t.Errorf("bad metric: status %d, body %q", status, body)
+	}
+	if status, _ = get(t, srv.URL+base+"&objective=warp"); status != http.StatusBadRequest {
+		t.Errorf("unknown grid objective: status %d, want 400", status)
+	}
+	if status, _ = get(t, srv.URL+base+"&mode=custom&drone_weight_g=1500&rotor_pull_gf=900&sensor_hz=30&sensor_range_m=5&compute_runtime_s=0.05&objective=mission.thermal"); status != http.StatusBadRequest {
+		t.Errorf("custom-mode grid objective: status %d, want 400", status)
+	}
+	if status, _ = get(t, srv.URL+base+"&seed=4"); status != http.StatusBadRequest {
+		t.Errorf("grid seed without objective: status %d, want 400", status)
+	}
+}

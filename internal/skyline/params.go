@@ -17,9 +17,19 @@
 //	                      (repeatable or comma-separated; omitted = whole
 //	                      catalog; sensor=default names the UAV's own
 //	                      sensor). Constraints: max_payload_g=,
-//	                      max_power_w=, min_velocity_ms=. Selection:
-//	                      top=K with rank=velocity|power|payload|balance,
-//	                      or pareto=velocity,power[,payload]. Without
+//	                      max_power_w=, min_velocity_ms=. Scoring:
+//	                      objective=mission.* attaches a mission-level
+//	                      evaluator (endurance, battery, thermal,
+//	                      redundancy, flightsim, stochastic — see
+//	                      docs/OBJECTIVES.md) whose named metric columns
+//	                      are appended to every NDJSON line; seed= sets
+//	                      the Monte-Carlo base seed (default 1, so
+//	                      identical requests are byte-identical).
+//	                      Selection: top=K with
+//	                      rank=velocity|power|payload|balance or any
+//	                      active objective column name, or
+//	                      pareto=velocity,power[,payload] (objective
+//	                      columns accepted there too). Without
 //	                      top/pareto, candidates stream incrementally in
 //	                      canonical order and a dropped connection
 //	                      cancels the exploration's workers. workers=N
@@ -30,7 +40,10 @@
 //	                      of payload|range|sensor|compute), bounds
 //	                      xlo=, xhi=, ylo=, yhi=, resolution nx=, ny=
 //	                      (default 40×30), plus the base configuration
-//	                      parameters of /plot.svg.
+//	                      parameters of /plot.svg. objective= (preset
+//	                      mode only) rescores every cell with a mission
+//	                      evaluator; metric= picks the rendered column
+//	                      and seed= the Monte-Carlo base seed.
 //	/healthz         GET  liveness plus operational gauges as JSON: the
 //	                      shared analysis-cache statistics (entries,
 //	                      capacity, shards, hits/misses/evictions, hit
