@@ -7,12 +7,18 @@
 //	reprolint -list                 # describe the analyzers
 //	reprolint -run ctxflow,detorder # a subset
 //	reprolint -vet=false ./...      # skip the stock go vet pass
+//	reprolint -json - ./...         # machine-readable findings on stdout
+//	reprolint -json lint.json ./... # text output plus a JSON report file
 //
 // Suppressed findings (justified //reprolint annotations) are counted
 // in the summary but never gate; -show-suppressed prints each one.
+// Directive-staleness hygiene only runs with the full suite, so a
+// -run subset prints a one-line notice that it was skipped — a clean
+// subset run must not be mistaken for a clean full run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,6 +29,41 @@ import (
 
 	"repro/internal/lint"
 )
+
+// jsonDiagnostic is one finding in -json output.
+type jsonDiagnostic struct {
+	Analyzer      string `json:"analyzer"`
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Column        int    `json:"column"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed,omitempty"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// jsonReport is the -json document: the same data the text output
+// carries, structured for CI annotation tooling.
+type jsonReport struct {
+	Packages        int              `json:"packages"`
+	Findings        []jsonDiagnostic `json:"findings"`
+	Suppressed      []jsonDiagnostic `json:"suppressed"`
+	HygieneSkipped  bool             `json:"hygiene_skipped,omitempty"`
+	AnalyzersRun    []string         `json:"analyzers_run"`
+	FindingCount    int              `json:"finding_count"`
+	SuppressedCount int              `json:"suppressed_count"`
+}
+
+func toJSONDiag(d lint.Diagnostic) jsonDiagnostic {
+	return jsonDiagnostic{
+		Analyzer:      d.Analyzer,
+		File:          d.Pos.Filename,
+		Line:          d.Pos.Line,
+		Column:        d.Pos.Column,
+		Message:       d.Message,
+		Suppressed:    d.Suppressed,
+		Justification: d.Justification,
+	}
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -36,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	runNames := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	showSuppressed := fs.Bool("show-suppressed", false, "print suppressed findings with their justifications")
+	jsonOut := fs.String("json", "", `write a machine-readable report: "-" replaces text output on stdout, a path writes the file alongside the text output`)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -85,6 +127,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	res := lint.Run(pkgs, analyzers)
+	subset := len(analyzers) != len(lint.All())
+
+	if *jsonOut != "" {
+		report := jsonReport{
+			Packages:        len(pkgs),
+			Findings:        make([]jsonDiagnostic, 0, len(res.Findings)),
+			Suppressed:      make([]jsonDiagnostic, 0, len(res.Suppressed)),
+			HygieneSkipped:  subset,
+			FindingCount:    len(res.Findings),
+			SuppressedCount: len(res.Suppressed),
+		}
+		for _, a := range analyzers {
+			report.AnalyzersRun = append(report.AnalyzersRun, a.Name)
+		}
+		for _, d := range res.Findings {
+			report.Findings = append(report.Findings, toJSONDiag(d))
+		}
+		for _, d := range res.Suppressed {
+			report.Suppressed = append(report.Suppressed, toJSONDiag(d))
+		}
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "reprolint: encode report:", err)
+			return 2
+		}
+		raw = append(raw, '\n')
+		if *jsonOut == "-" {
+			// JSON replaces the text protocol on stdout.
+			if _, err := stdout.Write(raw); err != nil {
+				fmt.Fprintln(stderr, "reprolint:", err)
+				return 2
+			}
+			if len(res.Findings) > 0 {
+				exit = 1
+			}
+			return exit
+		}
+		if err := os.WriteFile(*jsonOut, raw, 0o644); err != nil {
+			fmt.Fprintln(stderr, "reprolint:", err)
+			return 2
+		}
+	}
+
 	for _, d := range res.Findings {
 		fmt.Fprintln(stdout, d)
 	}
@@ -92,6 +177,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, d := range res.Suppressed {
 			fmt.Fprintln(stdout, d)
 		}
+	}
+	if subset {
+		fmt.Fprintln(stdout, "reprolint: note: suppression hygiene skipped (-run subset); stale-directive findings only appear on a full-suite run")
 	}
 	fmt.Fprintf(stdout, "reprolint: %d package(s), %d finding(s), %d justified suppression(s)\n",
 		len(pkgs), len(res.Findings), len(res.Suppressed))

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -10,12 +12,17 @@ import (
 // fixtures maps each analyzer's dirty fixture module to the tag its
 // diagnostics must carry.
 var fixtures = map[string]string{
-	"ctxflow":      "[ctxflow]",
-	"detorder":     "[detorder]",
-	"rawfloatjson": "[rawfloatjson]",
-	"hotpathalloc": "[hotpathalloc]",
-	"atomicmix":    "[atomicmix]",
-	"directives":   "unknown directive",
+	"ctxflow":        "[ctxflow]",
+	"detorder":       "[detorder]",
+	"rawfloatjson":   "[rawfloatjson]",
+	"hotpathalloc":   "[hotpathalloc]",
+	"atomicmix":      "[atomicmix]",
+	"lockorder":      "[lockorder]",
+	"goroleak":       "[goroleak]",
+	"chandiscipline": "[chandiscipline]",
+	"respwrite":      "[respwrite]",
+	"factflow":       "[lockorder]",
+	"directives":     "unknown directive",
 }
 
 func TestDirtyFixturesGate(t *testing.T) {
@@ -51,7 +58,7 @@ func TestListDescribesEveryAnalyzer(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit = %d, want 0", code)
 	}
-	for _, name := range []string{"atomicmix", "ctxflow", "detorder", "hotpathalloc", "rawfloatjson"} {
+	for _, name := range []string{"atomicmix", "chandiscipline", "ctxflow", "detorder", "goroleak", "hotpathalloc", "lockorder", "rawfloatjson", "respwrite"} {
 		if !strings.Contains(out.String(), name) {
 			t.Fatalf("-list output lacks %q:\n%s", name, out.String())
 		}
@@ -82,5 +89,65 @@ func TestSubsetRunsOnlyNamedAnalyzers(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "[ctxflow]") {
 		t.Fatalf("subset run leaked another analyzer:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "suppression hygiene skipped") {
+		t.Fatalf("subset run must announce that hygiene was skipped:\n%s", out.String())
+	}
+}
+
+func TestFullRunHasNoHygieneNotice(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "goodrepro")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-vet=false", "-dir", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s", code, out.String())
+	}
+	if strings.Contains(out.String(), "suppression hygiene skipped") {
+		t.Fatalf("full run must not claim hygiene was skipped:\n%s", out.String())
+	}
+}
+
+func TestJSONStdout(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "factflow")
+	var out, errb bytes.Buffer
+	code := run([]string{"-vet=false", "-dir", dir, "-json", "-", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (dirty fixture gates in JSON mode too)\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if report.FindingCount != 1 || len(report.Findings) != 1 {
+		t.Fatalf("report findings = %d/%d, want 1", report.FindingCount, len(report.Findings))
+	}
+	f := report.Findings[0]
+	if f.Analyzer != "lockorder" || f.Line == 0 || !strings.HasSuffix(f.File, "flow.go") {
+		t.Fatalf("finding lacks machine-usable coordinates: %+v", f)
+	}
+	if strings.Contains(out.String(), "finding(s)") {
+		t.Fatalf("-json - must replace the text protocol on stdout:\n%s", out.String())
+	}
+}
+
+func TestJSONFileKeepsTextOutput(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "lint", "testdata", "src", "goodrepro")
+	path := filepath.Join(t.TempDir(), "lint.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-vet=false", "-dir", dir, "-json", path, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 finding(s)") {
+		t.Fatalf("text summary missing when -json writes to a file:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report jsonReport
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("report file is not JSON: %v", err)
+	}
+	if report.FindingCount != 0 || len(report.AnalyzersRun) == 0 {
+		t.Fatalf("unexpected report: %+v", report)
 	}
 }

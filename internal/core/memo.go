@@ -441,7 +441,10 @@ func (c *Cache) analyze(ctx context.Context, key ScoreKey, fill func() (Analysis
 			}
 		}
 		sh.mu.Unlock()
-		close(f.done) // publish to followers only after f.an/f.err are set
+		// Publish to followers only after f.an/f.err are set. The flight
+		// leader owns done even though this deferred closure is not the
+		// scope that made the channel.
+		close(f.done) //reprolint:allow chandiscipline — the leader's deferred cleanup is the unique closer; followers only receive
 	}()
 	// The fault seam fires as the leader, inside the singleflight: an
 	// armed error is shared with every coalesced follower, and an armed

@@ -274,7 +274,10 @@ func (o *orderedSink) publish(g span, cands []Candidate, err error) bool {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	for !o.closed && len(o.results) >= o.maxAhead && g.start != o.next {
-		o.cond.Wait()
+		// The PR 4 wedged-publisher shape, on purpose: Wait releases mu
+		// while parked, and close() broadcasts so no publisher outlives
+		// the consumer.
+		o.cond.Wait() //reprolint:allow lockorder — cond.Wait parks with mu released; take/close always Broadcast
 	}
 	if o.closed {
 		return false
@@ -300,7 +303,7 @@ func (o *orderedSink) take() (chunkResult, bool) {
 		if o.done {
 			return chunkResult{}, false
 		}
-		o.cond.Wait()
+		o.cond.Wait() //reprolint:allow lockorder — cond.Wait parks with mu released; publish/finish always Broadcast
 	}
 }
 

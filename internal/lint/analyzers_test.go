@@ -45,6 +45,73 @@ func TestAtomicMix(t *testing.T) {
 	}
 }
 
+func TestLockOrder(t *testing.T) {
+	res := checkFixture(t, "lockorder", LockOrder)
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the buffered handoff send)", got)
+	}
+}
+
+func TestGoroLeak(t *testing.T) {
+	res := checkFixture(t, "goroleak", GoroLeak)
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the gopersist flusher)", got)
+	}
+}
+
+func TestChanDiscipline(t *testing.T) {
+	res := checkFixture(t, "chandiscipline", ChanDiscipline)
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the documented handoff close)", got)
+	}
+}
+
+func TestRespWrite(t *testing.T) {
+	res := checkFixture(t, "respwrite", RespWrite)
+	if got := len(res.Suppressed); got != 1 {
+		t.Errorf("suppressed findings = %d, want 1 (the legacy trailer status)", got)
+	}
+}
+
+// TestFactFlowAcrossPackages pins the fact layer's reason to exist:
+// the fixture's only diagnostic fires in the downstream package
+// because of a fact exported while the upstream package was analyzed
+// as a dependency — nothing in the flagged function blocks
+// syntactically.
+func TestFactFlowAcrossPackages(t *testing.T) {
+	res := checkFixture(t, "factflow", LockOrder)
+	if got := len(res.Findings); got != 1 {
+		t.Errorf("gating findings = %d, want exactly the fact-driven drain diagnostic", got)
+	}
+	enc := res.EncodedFacts()
+	if !strings.Contains(enc, "lockorder\tfactflow/internal/sim.BlockOn\tmayBlock=true") {
+		t.Errorf("fact base missing BlockOn's may-block fact:\n%s", enc)
+	}
+}
+
+// TestFactExportIsDeterministic loads and analyzes the same tree
+// repeatedly and demands byte-identical fact encodings — the suite
+// holds itself to the detorder rule it enforces (no map-order
+// dependence may leak into output).
+func TestFactExportIsDeterministic(t *testing.T) {
+	run := func() string {
+		pkgs, err := Load(filepath.Join("testdata", "src", "factflow"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run(pkgs, All()).EncodedFacts()
+	}
+	first := run()
+	if first == "" {
+		t.Fatal("no facts exported over the factflow fixture")
+	}
+	for i := 0; i < 3; i++ {
+		if got := run(); got != first {
+			t.Fatalf("fact encoding differs between identical runs:\n--- first\n%s\n--- run %d\n%s", first, i+2, got)
+		}
+	}
+}
+
 func TestCleanFixtureHasNoFindings(t *testing.T) {
 	pkgs, err := Load(filepath.Join("testdata", "src", "goodrepro"))
 	if err != nil {

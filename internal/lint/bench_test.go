@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkReprolintFullTree prices one gating CI pass: parse and
+// type-check the whole module, then run every analyzer (including the
+// interprocedural fact fixpoints) over it. The recorded bound in
+// BENCH_dse.json keeps the suite honest — an analyzer whose fixpoint
+// stops converging or whose walker goes quadratic shows up here as an
+// order-of-magnitude slide, not as a mysteriously slow CI job.
+func BenchmarkReprolintFullTree(b *testing.B) {
+	root := filepath.Join("..", "..")
+	for i := 0; i < b.N; i++ {
+		pkgs, err := Load(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := Run(pkgs, All())
+		if len(res.Findings) != 0 {
+			b.Fatalf("real tree has findings: %v", res.Findings)
+		}
+	}
+}

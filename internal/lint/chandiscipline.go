@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ChanDiscipline enforces channel ownership: a channel is closed
+// exactly once, by its owning/sender side, and never while another
+// goroutine may still send on it. PR 6's abandoned-flight sentinel
+// bug was this class — a done channel whose ownership was ambiguous
+// between the flight leader and the cleanup path.
+//
+// Rules:
+//
+//  1. Never close a channel received as a function parameter — the
+//     receiver side does not own it, and a second closer panics.
+//  2. Never pass your own channel parameter to a function whose
+//     exported fact says it closes that parameter (the transitive
+//     form of rule 1, carried across packages by the fact layer).
+//  3. Close a channel in the function that made it. Closing a
+//     captured or field channel from elsewhere splits ownership
+//     across scopes; when that split is deliberate (a handoff
+//     protocol), it carries a justified //reprolint:allow
+//     chandiscipline documenting who the owner really is.
+//  4. Never close a channel while a goroutine spawned in the same
+//     function may still send on it — a send on a closed channel
+//     panics; wait for senders (WaitGroup) before closing.
+var ChanDiscipline = &Analyzer{
+	Name: "chandiscipline",
+	Doc: "channels are closed once, on the owning/sender side: no closing parameters " +
+		"(directly or through a callee), no closing channels made elsewhere, no closing while spawned senders run",
+	Scope: scopeSuffixes("internal/dse", "internal/core", "internal/skyline", "internal/experiments"),
+	Facts: true,
+	Run:   runChanDiscipline,
+}
+
+// closeFact marks a function that closes one or more of its channel
+// parameters, by zero-based parameter index. Downstream callers must
+// not pass their own parameters to it.
+type closeFact struct {
+	Params []int // sorted
+}
+
+func (f *closeFact) FactString() string {
+	s := make([]string, len(f.Params))
+	for i, v := range f.Params {
+		s[i] = fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("closesParams=[%s]", strings.Join(s, ","))
+}
+
+func runChanDiscipline(p *Pass) {
+	funcDecls(p, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		checkChanFunc(p, fd)
+	})
+}
+
+// chanParams maps each channel-typed parameter object of ft to its
+// zero-based index.
+func chanParams(p *Pass, ft *ast.FuncType) map[types.Object]int {
+	out := map[types.Object]int{}
+	if ft.Params == nil {
+		return out
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Pkg.Info.Defs[name]; obj != nil {
+				if _, ok := types.Unalias(obj.Type()).Underlying().(*types.Chan); ok {
+					out[obj] = idx
+				}
+			}
+			idx++
+		}
+	}
+	return out
+}
+
+// checkChanFunc runs all four rules over one function declaration.
+func checkChanFunc(p *Pass, fd *ast.FuncDecl) {
+	fn, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	params := chanParams(p, fd.Type)
+
+	// ownParams accumulates every enclosing function's channel
+	// parameters as the walk descends into function literals: a
+	// closure closing its parent's parameter is still closing a
+	// received channel.
+	var closedParams []int
+	made := locallyMadeChans(p, fd.Body)
+	var goSends map[types.Object][]token.Pos
+	var waitPos []token.Pos
+
+	// Pre-scan: sends performed inside go-launched literals, and
+	// WaitGroup.Wait positions (rule 4's synchronization evidence).
+	goSends = map[types.Object][]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if send, ok := m.(*ast.SendStmt); ok {
+						if id, ok := ast.Unparen(send.Chan).(*ast.Ident); ok {
+							if obj := p.Pkg.Info.Uses[id]; obj != nil {
+								goSends[obj] = append(goSends[obj], send.Pos())
+							}
+						}
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if isFuncNamed(calleeFunc(p, n), "(*sync.WaitGroup).Wait") {
+				waitPos = append(waitPos, n.Pos())
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node, litStack []*ast.FuncLit)
+	walk = func(n ast.Node, litStack []*ast.FuncLit) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			if lit, ok := m.(*ast.FuncLit); ok {
+				walk(lit.Body, append(litStack, lit))
+				return false
+			}
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBuiltinClose(p, call) && len(call.Args) == 1 {
+				checkClose(p, call, params, made, litStack, goSends, waitPos, &closedParams)
+				return true
+			}
+			checkCloserCall(p, call, params)
+			return true
+		})
+	}
+	walk(fd.Body, nil)
+
+	// Export the fact: this function closes these parameters.
+	if fn != nil && len(closedParams) > 0 {
+		sort.Ints(closedParams)
+		uniq := closedParams[:0]
+		for i, v := range closedParams {
+			if i == 0 || v != closedParams[i-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		p.ExportObjectFact(fn, &closeFact{Params: append([]int(nil), uniq...)})
+	}
+}
+
+// locallyMadeChans collects objects of channels created by make() in
+// body — including inside its function literals; each make is
+// attributed to the innermost function literal (or the declaration)
+// enclosing it, recorded alongside the object.
+type chanOrigin struct {
+	lit *ast.FuncLit // nil = made in the declaration itself
+}
+
+func locallyMadeChans(p *Pass, body *ast.BlockStmt) map[types.Object]chanOrigin {
+	out := map[types.Object]chanOrigin{}
+	var walk func(n ast.Node, lit *ast.FuncLit)
+	walk = func(n ast.Node, lit *ast.FuncLit) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			if fl, ok := m.(*ast.FuncLit); ok {
+				walk(fl.Body, fl)
+				return false
+			}
+			as, ok := m.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			if len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				id, ok := as.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if !isMakeChan(p, as.Rhs[i]) {
+					continue
+				}
+				obj := p.Pkg.Info.Defs[id]
+				if obj == nil {
+					obj = p.Pkg.Info.Uses[id]
+				}
+				if obj != nil {
+					out[obj] = chanOrigin{lit: lit}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, nil)
+	return out
+}
+
+// isMakeChan reports whether e is make(chan ...).
+func isMakeChan(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "make" {
+		return false
+	}
+	if _, isBuiltin := p.Pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	t := p.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	_, isChan := types.Unalias(t).Underlying().(*types.Chan)
+	return isChan
+}
+
+// checkClose applies rules 1, 3 and 4 to one close call.
+func checkClose(p *Pass, call *ast.CallExpr, params map[types.Object]int,
+	made map[types.Object]chanOrigin, litStack []*ast.FuncLit,
+	goSends map[types.Object][]token.Pos, waitPos []token.Pos, closedParams *[]int) {
+
+	arg := ast.Unparen(call.Args[0])
+	id, isIdent := arg.(*ast.Ident)
+	if !isIdent {
+		// close(x.field), close(f()): the channel was made somewhere
+		// this function is not — rule 3.
+		p.Reportf(call.Pos(),
+			"close of a channel not created in this function (%s); close belongs to the owner that made it — "+
+				"a deliberate ownership handoff needs //reprolint:allow chandiscipline with the protocol spelled out",
+			exprString(arg))
+		return
+	}
+	obj := p.Pkg.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+
+	// Rule 1 (and the fact source): closing a parameter.
+	if idx, ok := params[obj]; ok {
+		*closedParams = append(*closedParams, idx)
+		p.Reportf(call.Pos(),
+			"close of channel parameter %s: the receiver of a channel does not own it; close on the sender side", id.Name)
+		return
+	}
+	// A closure closing one of its own literal parameters.
+	for _, lit := range litStack {
+		for pobj := range chanParams(p, lit.Type) {
+			if pobj == obj {
+				p.Reportf(call.Pos(),
+					"close of channel parameter %s: the receiver of a channel does not own it; close on the sender side", id.Name)
+				return
+			}
+		}
+	}
+
+	origin, wasMade := made[obj]
+	var innermost *ast.FuncLit
+	if len(litStack) > 0 {
+		innermost = litStack[len(litStack)-1]
+	}
+
+	// Rule 3: close in the function (or literal) that made the
+	// channel.
+	if !wasMade || origin.lit != innermost {
+		p.Reportf(call.Pos(),
+			"close of %s, which this function did not create; close belongs to the owner that made the channel — "+
+				"a deliberate ownership handoff needs //reprolint:allow chandiscipline with the protocol spelled out", id.Name)
+		return
+	}
+
+	// Rule 4: closing while a spawned goroutine may still send.
+	if sends := goSends[obj]; len(sends) > 0 {
+		synced := false
+		for _, wp := range waitPos {
+			if wp < call.Pos() {
+				synced = true
+				break
+			}
+		}
+		if !synced {
+			p.Reportf(call.Pos(),
+				"close of %s while a goroutine spawned here may still send on it (send on closed channel panics); "+
+					"wait for senders before closing", id.Name)
+		}
+	}
+}
+
+// checkCloserCall applies rule 2: passing one's own channel parameter
+// to a function whose fact says it closes that parameter.
+func checkCloserCall(p *Pass, call *ast.CallExpr, params map[types.Object]int) {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return
+	}
+	f, ok := p.ObjectFact(fn)
+	if !ok {
+		return
+	}
+	cf := f.(*closeFact)
+	for _, idx := range cf.Params {
+		if idx >= len(call.Args) {
+			continue
+		}
+		id, ok := ast.Unparen(call.Args[idx]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.Pkg.Info.Uses[id]
+		if obj == nil {
+			continue
+		}
+		if _, isParam := params[obj]; isParam {
+			p.Reportf(call.Pos(),
+				"%s closes its parameter %d, and %s is this function's own channel parameter — "+
+					"the close happens on a channel neither function owns", fn.Name(), idx, id.Name)
+		}
+	}
+}
+
+// exprString renders a short expression for a message.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	}
+	return "expression"
+}

@@ -25,6 +25,10 @@ import (
 //	    result is observable.
 //	//reprolint:allow <analyzer> <why>
 //	    suppresses one analyzer's finding on this/the next line.
+//	//reprolint:gopersist <why>
+//	    suppresses a goroleak finding on this/the next line — the
+//	    goroutine is deliberately process-lifetime (or its shutdown is
+//	    proven by something the analyzer cannot see).
 //
 // Justifications are mandatory: a bare suppression, an unknown kind,
 // or an annotation that no longer suppresses anything are all
@@ -32,7 +36,7 @@ import (
 const directivePrefix = "//reprolint:"
 
 type directive struct {
-	kind     string // hotpath, ctxshim, ordered, allow
+	kind     string // hotpath, ctxshim, ordered, allow, gopersist
 	analyzer string // allow only: which analyzer it silences
 	why      string // required justification (ordered/allow/ctxshim)
 	pos      token.Pos
@@ -69,7 +73,7 @@ func collectDirectives(pkg *Package) *directives {
 				pos := pkg.Fset.Position(c.Pos())
 				d.line, d.file = pos.Line, pos.Filename
 				ds.all = append(ds.all, d)
-				if d.kind == "ordered" || d.kind == "allow" {
+				if d.kind == "ordered" || d.kind == "allow" || d.kind == "gopersist" {
 					ds.index(d)
 				}
 			}
@@ -137,6 +141,10 @@ func (ds *directives) allowFor(d Diagnostic) *directive {
 		switch dir.kind {
 		case "ordered":
 			if d.Analyzer == "detorder" {
+				return dir
+			}
+		case "gopersist":
+			if d.Analyzer == "goroleak" {
 				return dir
 			}
 		case "allow":

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The fact layer is what makes the suite interprocedural: an analyzer
+// checking one package can know things about functions defined in
+// another. It deliberately mirrors the golang.org/x/tools go/analysis
+// facts API in miniature — an analyzer exports a Fact attached to a
+// types.Object (or to a whole package) while that package is being
+// analyzed, and imports it when analyzing a downstream package — but,
+// like the rest of the framework, it is built on the standard library
+// alone.
+//
+// Mechanics:
+//
+//   - The runner analyzes packages in dependency (topological) order,
+//     so by the time a package is checked, every module-local package
+//     it imports has already been analyzed and its facts exported.
+//   - Facts are keyed by (analyzer, object): analyzers cannot observe
+//     each other's facts, so a fact's meaning is owned by exactly one
+//     rule.
+//   - A fact-exporting analyzer (Analyzer.Facts) runs over every
+//     package in the load — including packages outside its reporting
+//     Scope — with diagnostics muted out of scope. A lock acquired in
+//     a utility package must still feed the fact base even though the
+//     utility package itself is not held to the engine's invariants.
+//   - Fact contents must be deterministic: any slice inside a Fact is
+//     sorted before export, and EncodedFacts renders the whole fact
+//     base in sorted order, so two runs over the same tree encode
+//     byte-identically (the suite holds itself to the same detorder
+//     rule it enforces).
+type Fact interface {
+	// FactString is the fact's stable, human-readable encoding. It must
+	// be a pure function of the fact's content — no positions, no
+	// pointers, no map-order dependence — because the determinism test
+	// compares encodings across independent loads.
+	FactString() string
+}
+
+// factKey identifies one exported object fact.
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// pkgFactKey identifies one exported package fact.
+type pkgFactKey struct {
+	analyzer string
+	pkg      *types.Package
+}
+
+// factStore is one suite run's fact base, shared by every pass.
+type factStore struct {
+	objects  map[factKey]Fact
+	packages map[pkgFactKey]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{
+		objects:  map[factKey]Fact{},
+		packages: map[pkgFactKey]Fact{},
+	}
+}
+
+// ExportObjectFact attaches f to obj for this pass's analyzer,
+// replacing any previous fact. Facts are visible to later passes of
+// the same analyzer over any package in the load.
+func (p *Pass) ExportObjectFact(obj types.Object, f Fact) {
+	if obj == nil || f == nil {
+		return
+	}
+	p.facts.objects[factKey{p.Analyzer.Name, obj}] = f
+}
+
+// ObjectFact returns the fact this pass's analyzer exported for obj,
+// if any — typically an object from an already-analyzed dependency
+// package, but same-package facts resolve too.
+func (p *Pass) ObjectFact(obj types.Object) (Fact, bool) {
+	if obj == nil {
+		return nil, false
+	}
+	f, ok := p.facts.objects[factKey{p.Analyzer.Name, obj}]
+	return f, ok
+}
+
+// ExportPackageFact attaches f to the package under analysis for this
+// pass's analyzer.
+func (p *Pass) ExportPackageFact(f Fact) {
+	if f == nil {
+		return
+	}
+	p.facts.packages[pkgFactKey{p.Analyzer.Name, p.Pkg.Types}] = f
+}
+
+// PackageFact returns the fact this pass's analyzer exported for tp
+// (use p.Pkg.Types.Imports() to reach dependency packages).
+func (p *Pass) PackageFact(tp *types.Package) (Fact, bool) {
+	if tp == nil {
+		return nil, false
+	}
+	f, ok := p.facts.packages[pkgFactKey{p.Analyzer.Name, tp}]
+	return f, ok
+}
+
+// objectFactName renders an object's stable fully qualified name:
+// functions and methods use types.Func.FullName (which spells out the
+// receiver), everything else pkgpath.Name.
+func objectFactName(obj types.Object) string {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.FullName()
+	}
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// EncodedFacts renders every fact exported during the run as one
+// sorted line-per-fact string:
+//
+//	analyzer<TAB>object-or-package<TAB>fact
+//
+// The encoding is deterministic by construction — sorted here, and
+// sorted inside each fact by the Fact contract — so two independent
+// loads of the same tree must produce byte-identical output; the fact
+// determinism test asserts exactly that.
+func (r Result) EncodedFacts() string {
+	if r.facts == nil {
+		return ""
+	}
+	lines := make([]string, 0, len(r.facts.objects)+len(r.facts.packages))
+	for k, f := range r.facts.objects {
+		lines = append(lines, fmt.Sprintf("%s\t%s\t%s", k.analyzer, objectFactName(k.obj), f.FactString()))
+	}
+	for k, f := range r.facts.packages {
+		lines = append(lines, fmt.Sprintf("%s\tpackage:%s\t%s", k.analyzer, k.pkg.Path(), f.FactString()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// topoOrder returns pkgs sorted so that every package follows all of
+// its module-local imports — the order fact export requires. Ties (and
+// the DFS roots) resolve in import-path order, so the result is
+// deterministic; an import cycle cannot occur (the loader rejects it).
+func topoOrder(pkgs []*Package) []*Package {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	roots := make([]string, 0, len(pkgs))
+	for _, p := range pkgs {
+		roots = append(roots, p.Path)
+	}
+	sort.Strings(roots)
+	out := make([]*Package, 0, len(pkgs))
+	done := make(map[string]bool, len(pkgs))
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := byPath[path]
+		if !ok || done[path] {
+			return
+		}
+		done[path] = true
+		for _, imp := range p.Imports {
+			visit(imp)
+		}
+		out = append(out, p)
+	}
+	for _, path := range roots {
+		visit(path)
+	}
+	return out
+}

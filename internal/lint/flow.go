@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Shared resolution helpers for the interprocedural analyzers
+// (lockorder, goroleak, chandiscipline, respwrite). They answer the
+// questions every flow walk asks: which function does this call
+// invoke, is it a mutex operation, is it one of the standard
+// library's blocking primitives, and what stable name identifies the
+// lock being taken.
+
+// calleeFunc resolves a call expression to the *types.Func it
+// invokes — a package function, a method, or an imported function.
+// It returns nil for builtins, conversions, and calls through
+// function values (whose target the type checker cannot name).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := p.Pkg.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := p.Pkg.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isFuncNamed reports whether fn's fully qualified name (FullName —
+// "(*sync.WaitGroup).Wait", "time.Sleep") is one of names.
+func isFuncNamed(fn *types.Func, names ...string) bool {
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	for _, n := range names {
+		if full == n {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOp classifies call as a mutex acquire or release. It returns
+// the lock's class name and "lock" or "unlock"; ("", "") for
+// anything that is not a sync.Mutex/RWMutex operation. RLock/RUnlock
+// map to the same class as Lock/Unlock — a read lock still
+// participates in acquisition ordering.
+func mutexOp(p *Pass, call *ast.CallExpr) (class, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, _ := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return "", ""
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock", "(*sync.RWMutex).RLock":
+		return lockClass(p, sel.X), "lock"
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return lockClass(p, sel.X), "unlock"
+	}
+	return "", ""
+}
+
+// lockClass renders the mutex operand of a Lock/Unlock call as a
+// stable, instance-independent class name: a struct field becomes
+// pkg.Type.field (every instance of the type shares one ordering
+// class — exactly what a sharded structure needs), a package-level or
+// local mutex becomes pkg.name. The name must be deterministic: it
+// feeds facts and the cross-package lock graph.
+func lockClass(p *Pass, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := p.Pkg.Info.Selections[e]; ok && s.Kind() == types.FieldVal {
+			recv := s.Recv()
+			for {
+				ptr, ok := types.Unalias(recv).(*types.Pointer)
+				if !ok {
+					break
+				}
+				recv = ptr.Elem()
+			}
+			if named, ok := types.Unalias(recv).(*types.Named); ok {
+				obj := named.Obj()
+				prefix := ""
+				if obj.Pkg() != nil {
+					prefix = obj.Pkg().Path() + "."
+				}
+				return prefix + obj.Name() + "." + s.Obj().Name()
+			}
+			return s.Obj().Name()
+		}
+		// Qualified package-level mutex: pkg.Mu.
+		if id, ok := e.X.(*ast.Ident); ok {
+			if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Path() + "." + e.Sel.Name
+			}
+		}
+		return e.Sel.Name
+	case *ast.Ident:
+		if obj := p.Pkg.Info.Uses[e]; obj != nil && obj.Pkg() != nil {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return e.Name
+	}
+	return "?"
+}
+
+// blocksForever reports whether a call is one of the standard
+// library's unboundedly blocking primitives. time.Sleep is included:
+// it is bounded in wall-clock terms but unbounded from the lock
+// holder's point of view — nothing may sleep while holding a mutex.
+func blocksForever(fn *types.Func) bool {
+	return isFuncNamed(fn,
+		"(*sync.WaitGroup).Wait",
+		"(*sync.Cond).Wait",
+		"time.Sleep",
+	)
+}
+
+// isResponseWriter reports whether t is the net/http.ResponseWriter
+// interface type.
+func isResponseWriter(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "ResponseWriter" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}
+
+// constantInt extracts an exact integer from a constant expression's
+// type-and-value.
+func constantInt(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}
+
+// isBuiltinClose reports whether call is the close builtin.
+func isBuiltinClose(p *Pass, call *ast.CallExpr) bool {
+	fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || fun.Name != "close" {
+		return false
+	}
+	_, ok = p.Pkg.Info.Uses[fun].(*types.Builtin)
+	return ok
+}
+
+// selectBlocks reports whether a select statement can block: true
+// unless it has a default clause.
+func selectBlocks(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// terminates reports whether a statement list definitely leaves the
+// enclosing function (ends in return, or an unconditional panic /
+// os.Exit / log.Fatal call) — branches that terminate are excluded
+// from state merges.
+func terminates(p *Pass, stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if fun, ok := call.Fun.(*ast.Ident); ok && fun.Name == "panic" && p.Pkg.Info.Uses[fun] == nil {
+			return true
+		}
+		return isFuncNamed(calleeFunc(p, call), "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln")
+	}
+	return false
+}

@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroLeak demands a provable termination path for every goroutine
+// launched in the engine packages. A leaked goroutine is invisible
+// until a saturated server holds ten thousand of them: the PR 2 pool
+// deadlock was goroutines parked forever on a channel nobody would
+// ever read, and ROADMAP's next subsystems (batcher, persistent
+// tier) launch more background work, not less.
+//
+// Accepted evidence, per launch:
+//
+//   - ctx-derived shutdown: the goroutine's body selects or receives
+//     on a context's Done() channel (directly, or via a local
+//     `done := ctx.Done()`), or calls a function passing it a context
+//     when that function's exported fact says it honors its context
+//     the same way. The fact makes this transitive across packages.
+//   - WaitGroup tracking: the body signals a sync.WaitGroup when it
+//     exits, so some owner provably observes termination.
+//   - bounded body: straight-line code (no loops, selects, or
+//     receives) whose only sends target channels made with a nonzero
+//     buffer in the launching function — it cannot park.
+//
+// Deliberate process-lifetime goroutines are marked on the `go`
+// statement's line with
+//
+//	//reprolint:gopersist <why>
+//
+// and the justification is held to the same staleness hygiene as
+// every other suppression.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc: "every goroutine launched in the engine packages needs a provable termination path " +
+		"(ctx.Done select, WaitGroup tracking, or a bounded body); //reprolint:gopersist marks deliberate exceptions",
+	Scope: scopeSuffixes("internal/dse", "internal/core", "internal/skyline", "internal/experiments"),
+	Facts: true,
+	Run:   runGoroLeak,
+}
+
+// ctxFact marks a function that honors its context: its body watches
+// a ctx.Done() channel or hands its context to a callee that does.
+// Exported so a `go helper(ctx)` launch downstream counts the
+// helper's shutdown path as evidence.
+type ctxFact struct{}
+
+func (*ctxFact) FactString() string { return "honorsCtx" }
+
+func runGoroLeak(p *Pass) {
+	// Fixpoint the honors-its-context property over the same-package
+	// call graph; imported packages contribute through facts.
+	honors := map[*types.Func]bool{}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	funcDecls(p, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok && fd.Body != nil {
+			decls[fn] = fd
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if !honors[fn] && honorsContext(p, fd.Body, honors) {
+				honors[fn] = true
+				changed = true
+			}
+		}
+	}
+	for fn, ok := range honors {
+		if ok {
+			p.ExportObjectFact(fn, &ctxFact{})
+		}
+	}
+
+	// Check every go statement in the package.
+	funcDecls(p, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		buffered := bufferedChans(p, fd.Body)
+		done := doneVars(p, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkLaunch(p, gs, honors, buffered, done)
+			return true
+		})
+	})
+}
+
+// honorsContext reports whether body contains ctx-derived shutdown
+// evidence: a .Done() call on a context-typed expression, or a call
+// passing a context to a function known (same-package fixpoint or
+// imported fact) to honor it. Go-statement bodies are excluded —
+// work a function delegates to another goroutine says nothing about
+// the function's own exit.
+func honorsContext(p *Pass, body ast.Node, honors map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.GoStmt); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isCtxDone(p, call) {
+			found = true
+			return false
+		}
+		if fn := calleeFunc(p, call); fn != nil && passesContext(p, call) {
+			if honors[fn] {
+				found = true
+				return false
+			}
+			if _, ok := p.ObjectFact(fn); ok {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isCtxDone reports whether call is <ctx>.Done() on a
+// context.Context.
+func isCtxDone(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	t := p.TypeOf(sel.X)
+	return t != nil && isContextContext(t)
+}
+
+// passesContext reports whether any argument of call is
+// context-typed.
+func passesContext(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if t := p.TypeOf(arg); t != nil && isContextContext(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// bufferedChans collects the objects of local channels created with a
+// provably nonzero buffer in body — the only channels a "bounded
+// body" goroutine may send to.
+func bufferedChans(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fun.Name != "make" {
+			return
+		}
+		if _, isBuiltin := p.Pkg.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+			return
+		}
+		tv, ok := p.Pkg.Info.Types[call.Args[1]]
+		if !ok || tv.Value == nil {
+			return
+		}
+		if v, exact := constantInt(tv); exact && v > 0 {
+			if obj := p.Pkg.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := p.Pkg.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// doneVars collects local variables assigned from a context's Done()
+// channel (`done := ctx.Done()`) — a launched body receiving on one
+// is ctx-derived shutdown evidence even though the Done() call sits
+// in the launching function.
+func doneVars(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if !ok || !isCtxDone(p, call) {
+				continue
+			}
+			if obj := p.Pkg.Info.Defs[id]; obj != nil {
+				out[obj] = true
+			} else if obj := p.Pkg.Info.Uses[id]; obj != nil {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkLaunch applies the termination-evidence rules to one go
+// statement.
+func checkLaunch(p *Pass, gs *ast.GoStmt, honors map[*types.Func]bool, buffered, done map[types.Object]bool) {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		if launchBodyTerminates(p, lit.Body, honors, buffered, done) {
+			return
+		}
+	} else if fn := calleeFunc(p, gs.Call); fn != nil {
+		// go helper(ctx, ...): the helper's own shutdown path counts
+		// when a context actually flows into the launch.
+		if passesContext(p, gs.Call) {
+			if honors[fn] {
+				return
+			}
+			if _, ok := p.ObjectFact(fn); ok {
+				return
+			}
+		}
+	}
+	p.Reportf(gs.Pos(),
+		"goroutine has no provable termination path (no ctx.Done select, WaitGroup signal, or bounded body); "+
+			"thread a context and select on Done, or mark a deliberate process-lifetime goroutine //reprolint:gopersist with a justification")
+}
+
+// launchBodyTerminates checks a launched function literal's body for
+// any accepted termination evidence.
+func launchBodyTerminates(p *Pass, body *ast.BlockStmt, honors map[*types.Func]bool, buffered, done map[types.Object]bool) bool {
+	if honorsContext(p, body, honors) {
+		return true
+	}
+	if receivesDoneVar(p, body, done) {
+		return true
+	}
+	if signalsWaitGroup(p, body) {
+		return true
+	}
+	return boundedBody(p, body, buffered)
+}
+
+// receivesDoneVar reports whether body receives from a captured
+// `done := ctx.Done()` variable of the launching function.
+func receivesDoneVar(p *Pass, body ast.Node, done map[types.Object]bool) bool {
+	if len(done) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		un, ok := n.(*ast.UnaryExpr)
+		if !ok || un.Op != token.ARROW {
+			return true
+		}
+		if id, ok := ast.Unparen(un.X).(*ast.Ident); ok && done[p.Pkg.Info.Uses[id]] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// signalsWaitGroup reports whether body calls
+// (*sync.WaitGroup).Done, so an owner provably observes exit.
+func signalsWaitGroup(p *Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok &&
+			isFuncNamed(calleeFunc(p, call), "(*sync.WaitGroup).Done") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// boundedBody reports whether body is straight-line code that cannot
+// park: no loops, selects, or receives, and every send targets a
+// channel the launching function made with a nonzero buffer.
+func boundedBody(p *Pass, body ast.Node, buffered map[types.Object]bool) bool {
+	bounded := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt:
+			bounded = false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				bounded = false
+			}
+		case *ast.SendStmt:
+			id, ok := ast.Unparen(n.Chan).(*ast.Ident)
+			if !ok || !buffered[p.Pkg.Info.Uses[id]] {
+				bounded = false
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(p, n); fn != nil && blocksForever(fn) && fn.FullName() != "time.Sleep" {
+				// time.Sleep is bounded in the leak sense: it always
+				// returns. Wait primitives are not.
+				bounded = false
+			}
+		}
+		return bounded
+	})
+	return bounded
+}

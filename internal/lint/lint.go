@@ -29,12 +29,39 @@
 //     not also be accessed by a plain load or store; mixed access is
 //     a data race even when it happens to pass the race detector.
 //
+// The interprocedural analyzers, built on the cross-package fact
+// layer (see facts.go for the design; analyzers export per-object
+// facts when a package is analyzed as a dependency and import them
+// downstream):
+//
+//   - lockorder: mutexes are acquired in one consistent order
+//     everywhere, and no mutex is held across a channel send, a
+//     select, or a call that transitively may block (fact: "function
+//     may block") — the shape of the PR 2 pool deadlock and the PR 4
+//     wedged-publisher hazard.
+//   - goroleak: every `go` launch in the engine packages has a
+//     provable termination path — a ctx-derived Done select, a
+//     WaitGroup tracking it, a bounded body, or a call to a function
+//     whose fact says it honors its context. //reprolint:gopersist
+//     plus a justification is the escape for deliberate
+//     process-lifetime goroutines.
+//   - chandiscipline: channels are closed only on their owning/sender
+//     side — never close a channel received as a parameter, never
+//     send from a spawned goroutine on a channel the parent also
+//     closes without synchronization (the PR 6 abandoned-flight
+//     sentinel class).
+//   - respwrite: skyline handlers call WriteHeader at most once and
+//     never write a body after an error status (fact: "function
+//     writes response"), so helpers that already replied cannot be
+//     followed by a second reply.
+//
 // The framework deliberately mirrors the golang.org/x/tools
-// go/analysis API shape (Analyzer, Pass, Diagnostic) but is built on
-// the standard library alone — go/ast, go/types and the source
-// importer — because this repository vendors nothing and the build
-// environment is offline. cmd/reprolint is the multichecker driver;
-// it also runs the stock `go vet` passes alongside this suite.
+// go/analysis API shape (Analyzer, Pass, Diagnostic, facts) but is
+// built on the standard library alone — go/ast, go/types and the
+// source importer — because this repository vendors nothing and the
+// build environment is offline. cmd/reprolint is the multichecker
+// driver; it also runs the stock `go vet` passes alongside this
+// suite. docs/INVARIANTS.md holds the full rule contract.
 package lint
 
 import (
@@ -56,6 +83,12 @@ type Analyzer struct {
 	// Scope reports whether the analyzer applies to a package import
 	// path; nil means every package.
 	Scope func(pkgPath string) bool
+	// Facts marks an analyzer that exports cross-package facts (see
+	// facts.go). A fact-exporting analyzer runs over every package in
+	// the load in dependency order — out-of-Scope packages run with
+	// diagnostics muted, so their functions still feed the fact base
+	// without being held to the Scope's invariants.
+	Facts bool
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -67,6 +100,10 @@ type Pass struct {
 
 	dirs  *directives
 	diags *[]Diagnostic
+	facts *factStore
+	// muted marks a fact-only pass over an out-of-Scope package:
+	// exports work, Reportf is a no-op.
+	muted bool
 }
 
 // Diagnostic is one reported finding.
@@ -89,8 +126,13 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Reportf records a finding at pos.
+// Reportf records a finding at pos. On a muted (fact-only) pass it is
+// a no-op: the package is outside the analyzer's reporting Scope and
+// was visited only to export facts.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.muted {
+		return
+	}
 	*p.diags = append(*p.diags, Diagnostic{
 		Analyzer: p.Analyzer.Name,
 		Pos:      p.Pkg.Fset.Position(pos),
@@ -108,6 +150,9 @@ type Result struct {
 	// Suppressed are findings covered by a justified annotation —
 	// counted and reported, never gating.
 	Suppressed []Diagnostic
+
+	// facts is the run's fact base, kept for EncodedFacts.
+	facts *factStore
 }
 
 // Run executes the analyzers over the packages, applies the
@@ -124,16 +169,23 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 // runSuite is Run with directive hygiene switchable: per-analyzer
 // fixture tests run a single analyzer, so a suppression aimed at a
 // different analyzer must not read as stale there.
+//
+// Packages are visited in dependency (topological) order so that a
+// fact-exporting analyzer has already seen every module-local import
+// of the package under analysis — the fact base only ever flows
+// downstream. Diagnostic order is unaffected: findings are position-
+// sorted at the end regardless of visit order.
 func runSuite(pkgs []*Package, analyzers []*Analyzer, hygiene bool) Result {
-	var res Result
-	for _, pkg := range pkgs {
+	res := Result{facts: newFactStore()}
+	for _, pkg := range topoOrder(pkgs) {
 		dirs := collectDirectives(pkg)
 		var diags []Diagnostic
 		for _, a := range analyzers {
-			if a.Scope != nil && !a.Scope(pkg.Path) {
+			inScope := a.Scope == nil || a.Scope(pkg.Path)
+			if !inScope && !a.Facts {
 				continue
 			}
-			pass := &Pass{Analyzer: a, Pkg: pkg, dirs: dirs, diags: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, dirs: dirs, diags: &diags, facts: res.facts, muted: !inScope}
 			a.Run(pass)
 		}
 		res.absorb(diags, dirs, pkg, hygiene)
@@ -176,7 +228,7 @@ func (r *Result) absorb(diags []Diagnostic, dirs *directives, pkg *Package, hygi
 			// Markers consumed by their analyzers; ctxshim additionally
 			// needs a justification (checked by ctxflow itself so the
 			// message can name the shim).
-		case dir.kind == "allow" || dir.kind == "ordered":
+		case dir.kind == "allow" || dir.kind == "ordered" || dir.kind == "gopersist":
 			if dir.why == "" {
 				r.Findings = append(r.Findings, Diagnostic{
 					Analyzer: "reprolint",
@@ -217,7 +269,7 @@ func scopeSuffixes(suffixes ...string) func(string) bool {
 
 // All returns the full analyzer suite in deterministic order.
 func All() []*Analyzer {
-	return []*Analyzer{AtomicMix, CtxFlow, DetOrder, HotPathAlloc, RawFloatJSON}
+	return []*Analyzer{AtomicMix, ChanDiscipline, CtxFlow, DetOrder, GoroLeak, HotPathAlloc, LockOrder, RawFloatJSON, RespWrite}
 }
 
 // ByName resolves a subset of the suite by analyzer name.

@@ -25,6 +25,10 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Imports are the module-local import paths, sorted. The runner uses
+	// them to analyze dependencies before dependents so exported facts
+	// are available when a downstream package is checked.
+	Imports []string
 }
 
 // loader loads and type-checks every package of one module using only
@@ -205,7 +209,21 @@ func (ld *loader) load(importPath string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-check %s: %w", importPath, err)
 	}
-	p := &Package{Path: importPath, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info}
+	imports := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == ld.module || strings.HasPrefix(path, ld.module+"/") {
+				imports[path] = true
+			}
+		}
+	}
+	local := make([]string, 0, len(imports))
+	for path := range imports {
+		local = append(local, path)
+	}
+	sort.Strings(local)
+	p := &Package{Path: importPath, Dir: dir, Fset: ld.fset, Files: files, Types: tpkg, Info: info, Imports: local}
 	ld.pkgs[importPath] = p
 	return p, nil
 }

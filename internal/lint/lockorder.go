@@ -1,0 +1,501 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder enforces the two mutex invariants behind the engine's
+// worst historical bugs (the PR 2 pool deadlock, PR 4's
+// wedged-publisher hazard):
+//
+//  1. Mutexes are acquired in one consistent order everywhere. Locks
+//     are grouped into classes (a struct field is one class across
+//     every instance of its type; a package-level or local mutex is
+//     its own class), acquisition edges accumulate into a
+//     cross-package lock graph via the fact layer, and any
+//     acquisition that inverts an established edge is a finding.
+//  2. No mutex is held across an operation that can block
+//     unboundedly: a channel send or receive, a select without
+//     default, sync.Cond.Wait / sync.WaitGroup.Wait / time.Sleep, or
+//     a call to a function whose exported fact says it may block.
+//     (Cond.Wait does release the mutex, but parking under a lock
+//     with no guaranteed broadcaster is exactly the PR 4
+//     wedged-publisher shape — deliberate uses carry a justified
+//     //reprolint:allow lockorder.)
+//
+// Facts: per function, whether it may block and which lock classes
+// it (transitively) acquires; per package, the cumulative lock-order
+// edge set.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutexes must be acquired in one consistent order, and never held across a channel " +
+		"send/receive, a select, or a call that transitively may block",
+	Scope: scopeSuffixes("internal/dse", "internal/core", "internal/skyline", "internal/experiments"),
+	Facts: true,
+	Run:   runLockOrder,
+}
+
+// lockFact is lockorder's per-function summary: may the function
+// block, and which lock classes does it (transitively) acquire.
+type lockFact struct {
+	MayBlock bool
+	Acquires []string // sorted lock classes
+}
+
+func (f *lockFact) FactString() string {
+	return fmt.Sprintf("mayBlock=%t acquires=[%s]", f.MayBlock, strings.Join(f.Acquires, ","))
+}
+
+// lockGraphFact is lockorder's per-package lock graph: every
+// observed acquisition edge "A->B" (B taken while A held), cumulative
+// over the package's module-local imports so downstream packages see
+// the whole upstream graph in one fact.
+type lockGraphFact struct {
+	Edges []string // sorted "A->B"
+}
+
+func (f *lockGraphFact) FactString() string {
+	return fmt.Sprintf("edges=[%s]", strings.Join(f.Edges, ","))
+}
+
+// lockSummary is the in-flight per-function analysis state before it
+// is frozen into a lockFact.
+type lockSummary struct {
+	mayBlock bool
+	acquires map[string]bool
+}
+
+func runLockOrder(p *Pass) {
+	// Pass 1: fixpoint the per-function summaries (mayBlock +
+	// acquired classes) over the same-package call graph, seeded with
+	// facts imported from already-analyzed dependency packages.
+	summaries := map[*types.Func]*lockSummary{}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	funcDecls(p, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok && fd.Body != nil {
+			decls[fn] = fd
+			summaries[fn] = &lockSummary{acquires: map[string]bool{}}
+		}
+	})
+	for changed := true; changed; {
+		changed = false
+		for fn, fd := range decls {
+			if lockSummarize(p, fd.Body, summaries, summaries[fn]) {
+				changed = true
+			}
+		}
+	}
+
+	// Export the function facts (only informative ones).
+	for fn, s := range summaries {
+		if !s.mayBlock && len(s.acquires) == 0 {
+			continue
+		}
+		acq := make([]string, 0, len(s.acquires))
+		for c := range s.acquires {
+			acq = append(acq, c)
+		}
+		sort.Strings(acq)
+		p.ExportObjectFact(fn, &lockFact{MayBlock: s.mayBlock, Acquires: acq})
+	}
+
+	// Merge the lock graphs of every module-local import, then walk
+	// each function with the held-set interpreter, growing the graph
+	// and reporting inversions and blocking-under-lock.
+	edges := map[string]bool{}
+	for _, imp := range p.Pkg.Types.Imports() {
+		if f, ok := p.PackageFact(imp); ok {
+			for _, e := range f.(*lockGraphFact).Edges {
+				edges[e] = true
+			}
+		}
+	}
+	w := &lockWalker{p: p, summaries: summaries, edges: edges}
+	funcDecls(p, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body != nil {
+			w.walkStmts(fd.Body.List, nil)
+		}
+	})
+
+	out := make([]string, 0, len(edges))
+	for e := range edges {
+		out = append(out, e)
+	}
+	sort.Strings(out)
+	p.ExportPackageFact(&lockGraphFact{Edges: out})
+}
+
+// lockSummarize folds one function body into its summary, reading
+// callee summaries (same package) and facts (imports). It reports
+// whether the summary changed. Go-statement bodies are excluded — a
+// `go` launch returns immediately, so the spawned work neither blocks
+// the caller nor holds its locks. Other function literals are also
+// summarized separately (their operations happen when the literal
+// runs, not here); the held-set walker visits them with a fresh
+// held set.
+func lockSummarize(p *Pass, body *ast.BlockStmt, all map[*types.Func]*lockSummary, s *lockSummary) bool {
+	changed := false
+	set := func(block bool, class string) {
+		if block && !s.mayBlock {
+			s.mayBlock = true
+			changed = true
+		}
+		if class != "" && !s.acquires[class] {
+			s.acquires[class] = true
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			set(true, "")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				set(true, "")
+			}
+		case *ast.SelectStmt:
+			if selectBlocks(n) {
+				set(true, "")
+			}
+		case *ast.CallExpr:
+			if class, op := mutexOp(p, n); op == "lock" {
+				set(false, class)
+				return true
+			}
+			fn := calleeFunc(p, n)
+			if fn == nil {
+				return true
+			}
+			if blocksForever(fn) {
+				set(true, "")
+				return true
+			}
+			if cs, ok := all[fn]; ok {
+				set(cs.mayBlock, "")
+				for c := range cs.acquires {
+					set(false, c)
+				}
+			} else if f, ok := p.ObjectFact(fn); ok {
+				lf := f.(*lockFact)
+				set(lf.MayBlock, "")
+				for _, c := range lf.Acquires {
+					set(false, c)
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// heldLock is one acquired lock in the interpreter's held set.
+type heldLock struct {
+	class string
+	pos   token.Pos
+}
+
+// lockWalker is the syntactic held-set interpreter. It tracks which
+// lock classes are held at each statement, copies the set into
+// branches, and merges non-terminating branches by union (a lock held
+// on either path counts as held after the join — conservative, and
+// exact for the straight-line lock/unlock style the engine uses).
+type lockWalker struct {
+	p         *Pass
+	summaries map[*types.Func]*lockSummary
+	edges     map[string]bool
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held []heldLock) []heldLock {
+	for _, st := range stmts {
+		held = w.walkStmt(st, held)
+	}
+	return held
+}
+
+func (w *lockWalker) walkStmt(st ast.Stmt, held []heldLock) []heldLock {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held = w.walkStmt(st.Init, held)
+		}
+		held = w.scanExpr(st.Cond, held)
+		after := w.walkStmts(st.Body.List, copyHeld(held))
+		thenEnds := terminates(w.p, st.Body.List)
+		var elseAfter []heldLock
+		elseEnds := false
+		if st.Else != nil {
+			elseAfter = w.walkStmt(st.Else, copyHeld(held))
+			if blk, ok := st.Else.(*ast.BlockStmt); ok {
+				elseEnds = terminates(w.p, blk.List)
+			}
+		} else {
+			elseAfter = held
+		}
+		switch {
+		case thenEnds && elseEnds:
+			return held
+		case thenEnds:
+			return elseAfter
+		case elseEnds:
+			return after
+		default:
+			return unionHeld(after, elseAfter)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held = w.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			held = w.scanExpr(st.Cond, held)
+		}
+		body := w.walkStmts(st.Body.List, copyHeld(held))
+		return unionHeld(held, body)
+	case *ast.RangeStmt:
+		held = w.scanExpr(st.X, held)
+		body := w.walkStmts(st.Body.List, copyHeld(held))
+		return unionHeld(held, body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			if sw.Init != nil {
+				held = w.walkStmt(sw.Init, held)
+			}
+			if sw.Tag != nil {
+				held = w.scanExpr(sw.Tag, held)
+			}
+			body = sw.Body
+		} else {
+			body = st.(*ast.TypeSwitchStmt).Body
+		}
+		out := copyHeld(held)
+		for _, clause := range body.List {
+			cc := clause.(*ast.CaseClause)
+			end := w.walkStmts(cc.Body, copyHeld(held))
+			if !terminates(w.p, cc.Body) {
+				out = unionHeld(out, end)
+			}
+		}
+		return out
+	case *ast.SelectStmt:
+		if selectBlocks(st) && len(held) > 0 {
+			w.report(st.Pos(), "select", held)
+		}
+		out := copyHeld(held)
+		for _, clause := range st.Body.List {
+			cc := clause.(*ast.CommClause)
+			end := w.walkStmts(cc.Body, copyHeld(held))
+			if !terminates(w.p, cc.Body) {
+				out = unionHeld(out, end)
+			}
+		}
+		return out
+	case *ast.SendStmt:
+		held = w.scanExpr(st.Chan, held)
+		held = w.scanExpr(st.Value, held)
+		if len(held) > 0 {
+			w.report(st.Arrow, "channel send", held)
+		}
+		return held
+	case *ast.GoStmt:
+		// The launch itself is non-blocking; the spawned body runs with
+		// no inherited locks.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, nil)
+		}
+		for _, arg := range st.Call.Args {
+			held = w.scanExpr(arg, held)
+		}
+		return held
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end —
+		// deliberately not removed from the held set. Other deferred
+		// work runs at return; its body is walked with a fresh set.
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, nil)
+		}
+		return held
+	case *ast.ExprStmt:
+		return w.scanExpr(st.X, held)
+	case *ast.AssignStmt:
+		for _, rhs := range st.Rhs {
+			held = w.scanExpr(rhs, held)
+		}
+		for _, lhs := range st.Lhs {
+			held = w.scanExpr(lhs, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			held = w.scanExpr(r, held)
+		}
+		return held
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt, *ast.LabeledStmt:
+		if ls, ok := st.(*ast.LabeledStmt); ok {
+			return w.walkStmt(ls.Stmt, held)
+		}
+		if ds, ok := st.(*ast.DeclStmt); ok {
+			held = w.scanDecl(ds, held)
+		}
+		return held
+	}
+	return held
+}
+
+func (w *lockWalker) scanDecl(ds *ast.DeclStmt, held []heldLock) []heldLock {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok {
+		return held
+	}
+	for _, spec := range gd.Specs {
+		if vs, ok := spec.(*ast.ValueSpec); ok {
+			for _, v := range vs.Values {
+				held = w.scanExpr(v, held)
+			}
+		}
+	}
+	return held
+}
+
+// scanExpr visits an expression's receives and calls in source order,
+// applying lock/unlock transitions and reporting blocking operations
+// performed under a held lock. Nested function literals are walked as
+// separate contexts with an empty held set.
+func (w *lockWalker) scanExpr(e ast.Expr, held []heldLock) []heldLock {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkStmts(n.Body.List, nil)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				w.report(n.OpPos, "channel receive", held)
+			}
+		case *ast.CallExpr:
+			held = w.handleCall(n, held)
+			// Arguments were scanned by handleCall's own traversal
+			// decision: keep walking so nested calls are seen.
+		}
+		return true
+	})
+	return held
+}
+
+// handleCall applies one call's effect on the held set and reports
+// blocking or order-inverting calls.
+func (w *lockWalker) handleCall(call *ast.CallExpr, held []heldLock) []heldLock {
+	if class, op := mutexOp(w.p, call); op != "" {
+		if op == "unlock" {
+			return removeHeld(held, class)
+		}
+		// op == "lock"
+		for _, h := range held {
+			if h.class == class {
+				w.p.Reportf(call.Pos(),
+					"%s acquired while an instance of the same class is already held (self-deadlock for sibling instances; release it first)", class)
+				continue
+			}
+			w.addEdge(call.Pos(), h.class, class)
+		}
+		return append(copyHeld(held), heldLock{class: class, pos: call.Pos()})
+	}
+	fn := calleeFunc(w.p, call)
+	if fn == nil {
+		// Builtins (including close, which never blocks) and calls
+		// through function values: no effect we can see.
+		return held
+	}
+	if blocksForever(fn) && len(held) > 0 {
+		w.report(call.Pos(), fmt.Sprintf("call to %s (blocks)", fn.Name()), held)
+		return held
+	}
+	var mayBlock bool
+	var acquires []string
+	if s, ok := w.summaries[fn]; ok {
+		mayBlock = s.mayBlock
+		for c := range s.acquires {
+			acquires = append(acquires, c)
+		}
+		sort.Strings(acquires)
+	} else if f, ok := w.p.ObjectFact(fn); ok {
+		lf := f.(*lockFact)
+		mayBlock = lf.MayBlock
+		acquires = lf.Acquires
+	}
+	if len(held) > 0 {
+		if mayBlock {
+			w.report(call.Pos(), fmt.Sprintf("call to %s (may block)", fn.Name()), held)
+		}
+		for _, h := range held {
+			for _, c := range acquires {
+				if c == h.class {
+					w.p.Reportf(call.Pos(),
+						"call to %s acquires %s, which is already held here (self-deadlock)", fn.Name(), c)
+					continue
+				}
+				w.addEdge(call.Pos(), h.class, c)
+			}
+		}
+	}
+	return held
+}
+
+// addEdge records acquisition order from→to and reports if the
+// reverse edge is already established anywhere in the merged graph.
+func (w *lockWalker) addEdge(pos token.Pos, from, to string) {
+	if w.edges[to+"->"+from] {
+		w.p.Reportf(pos,
+			"%s acquired while holding %s, but the reverse order is established elsewhere (lock-order inversion; pick one order)", to, from)
+	}
+	w.edges[from+"->"+to] = true
+}
+
+func (w *lockWalker) report(pos token.Pos, what string, held []heldLock) {
+	classes := make([]string, len(held))
+	for i, h := range held {
+		classes[i] = h.class
+	}
+	w.p.Reportf(pos, "%s while holding %s (a blocked holder wedges every other acquirer)", what, strings.Join(classes, ", "))
+}
+
+func copyHeld(held []heldLock) []heldLock {
+	return append([]heldLock(nil), held...)
+}
+
+func removeHeld(held []heldLock, class string) []heldLock {
+	for i := len(held) - 1; i >= 0; i-- {
+		if held[i].class == class {
+			out := copyHeld(held[:i])
+			return append(out, held[i+1:]...)
+		}
+	}
+	return held
+}
+
+func unionHeld(a, b []heldLock) []heldLock {
+	out := copyHeld(a)
+	for _, h := range b {
+		found := false
+		for _, g := range out {
+			if g.class == h.class {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, h)
+		}
+	}
+	return out
+}

@@ -1,0 +1,420 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// RespWrite enforces HTTP response-write discipline in the skyline
+// server: a handler calls WriteHeader at most once, and never writes
+// a body after an error status has been sent. Go's net/http silently
+// drops a second WriteHeader (logging "superfluous" at best), so the
+// client sees a 200 with an error payload glued on — the bug class
+// the streaming /explore endpoint is one refactor away from at all
+// times, since it must commit its header before the first candidate
+// is emitted.
+//
+// The analyzer simulates each writer-taking function's statements
+// with a three-valued state (header sent / body written / error
+// status sent: no, maybe, yes), merging branches so only definite
+// double-writes are reported. Helpers that unconditionally write —
+// on every path — export a fact ("function writes response"), so a
+// handler calling a helper that already replied and then writing
+// again is caught across function and package boundaries.
+var RespWrite = &Analyzer{
+	Name: "respwrite",
+	Doc: "handlers call WriteHeader at most once and never write a body after an error status; " +
+		"helpers that always write a response export a fact so the rule is interprocedural",
+	Scope: scopeSuffixes("internal/skyline"),
+	Facts: true,
+	Run:   runRespWrite,
+}
+
+// writeFact marks a function that writes to its http.ResponseWriter
+// parameter on every path: which parts it commits unconditionally.
+// ErrStatus means every path ends in a complete error response
+// (http.Error or equivalent) — callers must not write a body after
+// calling such a helper.
+type writeFact struct {
+	Header    bool
+	Body      bool
+	ErrStatus bool
+}
+
+func (f *writeFact) FactString() string {
+	return fmt.Sprintf("writesHeader=%t writesBody=%t errStatus=%t", f.Header, f.Body, f.ErrStatus)
+}
+
+// tri is the three-valued write state.
+type tri int
+
+const (
+	triNo tri = iota
+	triMaybe
+	triYes
+)
+
+func mergeTri(a, b tri) tri {
+	if a == b {
+		return a
+	}
+	return triMaybe
+}
+
+// wstate is the response state at one program point.
+type wstate struct {
+	header, body, errStatus tri
+}
+
+func mergeState(a, b wstate) wstate {
+	return wstate{
+		header:    mergeTri(a.header, b.header),
+		body:      mergeTri(a.body, b.body),
+		errStatus: mergeTri(a.errStatus, b.errStatus),
+	}
+}
+
+func runRespWrite(p *Pass) {
+	funcDecls(p, func(_ *ast.File, fd *ast.FuncDecl) {
+		if fd.Body == nil {
+			return
+		}
+		writer := responseWriterParam(p, fd.Type)
+		if writer == nil {
+			return
+		}
+		w := &respWalker{p: p, writer: writer}
+		end, terminated := w.walkStmts(fd.Body.List, wstate{})
+		if !terminated {
+			w.exits = append(w.exits, end)
+		}
+		// Export the unconditional-write fact: true only when every
+		// exit path has definitely committed that part.
+		fact := writeFact{Header: true, Body: true, ErrStatus: true}
+		for _, ex := range w.exits {
+			fact.Header = fact.Header && ex.header == triYes
+			fact.Body = fact.Body && ex.body == triYes
+			fact.ErrStatus = fact.ErrStatus && ex.errStatus == triYes
+		}
+		if fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func); ok && len(w.exits) > 0 &&
+			(fact.Header || fact.Body || fact.ErrStatus) {
+			p.ExportObjectFact(fn, &fact)
+		}
+	})
+}
+
+// responseWriterParam returns the object of ft's
+// http.ResponseWriter parameter, or nil.
+func responseWriterParam(p *Pass, ft *ast.FuncType) types.Object {
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		t := p.TypeOf(field.Type)
+		if t == nil || !isResponseWriter(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Pkg.Info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// respWalker simulates one function's statements against the write
+// state.
+type respWalker struct {
+	p      *Pass
+	writer types.Object
+	exits  []wstate
+}
+
+// walkStmts runs the statement list from st; it returns the end
+// state and whether every path through the list terminated (reached
+// a return).
+func (w *respWalker) walkStmts(stmts []ast.Stmt, st wstate) (wstate, bool) {
+	for _, s := range stmts {
+		var terminated bool
+		st, terminated = w.walkStmt(s, st)
+		if terminated {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (w *respWalker) walkStmt(s ast.Stmt, st wstate) (wstate, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			st = w.scanExpr(r, st)
+		}
+		w.exits = append(w.exits, st)
+		return st, true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		st = w.scanExpr(s.Cond, st)
+		thenEnd, thenTerm := w.walkStmts(s.Body.List, st)
+		elseEnd, elseTerm := st, false
+		if s.Else != nil {
+			elseEnd, elseTerm = w.walkStmt(s.Else, st)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseEnd, false
+		case elseTerm:
+			return thenEnd, false
+		default:
+			return mergeState(thenEnd, elseEnd), false
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranches(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			st = w.scanExpr(s.Cond, st)
+		}
+		bodyEnd, _ := w.walkStmts(s.Body.List, st)
+		return mergeState(st, bodyEnd), false
+	case *ast.RangeStmt:
+		st = w.scanExpr(s.X, st)
+		bodyEnd, _ := w.walkStmts(s.Body.List, st)
+		return mergeState(st, bodyEnd), false
+	case *ast.ExprStmt:
+		return w.scanExpr(s.X, st), false
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			st = w.scanExpr(rhs, st)
+		}
+		return st, false
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred and spawned writes happen out of line; their
+		// literals are not part of this path's state.
+		return st, false
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, st)
+	}
+	return st, false
+}
+
+// walkBranches merges all case bodies of a switch/type-switch/select.
+func (w *respWalker) walkBranches(s ast.Stmt, st wstate) (wstate, bool) {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.walkStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			st = w.scanExpr(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			bodies = append(bodies, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			bodies = append(bodies, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			bodies = append(bodies, cc.Body)
+			hasDefault = hasDefault || cc.Comm == nil
+		}
+	}
+	merged := wstate{}
+	first := true
+	allTerm := len(bodies) > 0
+	for _, body := range bodies {
+		end, term := w.walkStmts(body, st)
+		if term {
+			continue
+		}
+		allTerm = false
+		if first {
+			merged, first = end, false
+		} else {
+			merged = mergeState(merged, end)
+		}
+	}
+	if !hasDefault {
+		// The zero matching case falls through with the entry state.
+		allTerm = false
+		if first {
+			merged, first = st, false
+		} else {
+			merged = mergeState(merged, st)
+		}
+	}
+	if allTerm {
+		return st, true
+	}
+	if first {
+		return st, false
+	}
+	return merged, false
+}
+
+// scanExpr applies every write event inside e to the state, in
+// source order.
+func (w *respWalker) scanExpr(e ast.Expr, st wstate) wstate {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		st = w.applyCall(call, st)
+		return true
+	})
+	return st
+}
+
+// usesWriter reports whether e is (or contains at top level) the
+// function's ResponseWriter parameter.
+func (w *respWalker) usesWriter(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return w.p.Pkg.Info.Uses[id] == w.writer
+}
+
+// applyCall folds one call's response-write effect into the state.
+func (w *respWalker) applyCall(call *ast.CallExpr, st wstate) wstate {
+	fn := calleeFunc(w.p, call)
+
+	// w.WriteHeader(code)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+		sel.Sel.Name == "WriteHeader" && w.usesWriter(sel.X) {
+		if st.header == triYes {
+			w.p.Reportf(call.Pos(),
+				"WriteHeader after the response header was already committed (net/http drops the second status; the client keeps the first)")
+		}
+		// A bare WriteHeader(4xx) does not arm the no-more-body rule:
+		// writing one's own error payload right after it is the manual
+		// form of http.Error. Only a complete error response
+		// (http.Error, or a helper whose fact says so) does.
+		st.header = triYes
+		return st
+	}
+
+	// w.Write(...)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+		sel.Sel.Name == "Write" && w.usesWriter(sel.X) {
+		return w.bodyWrite(call, st)
+	}
+
+	// http.Error(w, ...)
+	if isFuncNamed(fn, "net/http.Error") && len(call.Args) >= 1 && w.usesWriter(call.Args[0]) {
+		if st.header == triYes {
+			w.p.Reportf(call.Pos(),
+				"http.Error after the response header was already committed (the error status never reaches the client)")
+		} else if st.body == triYes {
+			w.p.Reportf(call.Pos(),
+				"http.Error after the response body was already written (the client already has a success header)")
+		}
+		st.header, st.body, st.errStatus = triYes, triYes, triYes
+		return st
+	}
+
+	// Stdlib writers that take the writer as an argument.
+	if fn != nil && writerArgWrites(fn) {
+		for _, arg := range call.Args {
+			if w.usesWriter(arg) {
+				return w.bodyWrite(call, st)
+			}
+		}
+		return st
+	}
+
+	// json.NewEncoder(w).Encode(...) — the writer is an argument of
+	// the nested NewEncoder call.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Encode" {
+		if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok &&
+			isFuncNamed(calleeFunc(w.p, inner), "encoding/json.NewEncoder") &&
+			len(inner.Args) == 1 && w.usesWriter(inner.Args[0]) {
+			return w.bodyWrite(call, st)
+		}
+	}
+
+	// buf.WriteTo(w)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "WriteTo" &&
+		len(call.Args) == 1 && w.usesWriter(call.Args[0]) {
+		return w.bodyWrite(call, st)
+	}
+
+	// A helper with an exported write fact, called with our writer.
+	if fn != nil {
+		if f, ok := w.p.ObjectFact(fn); ok {
+			for _, arg := range call.Args {
+				if !w.usesWriter(arg) {
+					continue
+				}
+				wf := f.(*writeFact)
+				if wf.Header {
+					if st.header == triYes {
+						w.p.Reportf(call.Pos(),
+							"%s always writes the response header, which was already committed here", fn.Name())
+					}
+					st.header = triYes
+				}
+				if wf.Body {
+					if st.errStatus == triYes {
+						w.p.Reportf(call.Pos(),
+							"%s always writes a response body, but an error status was already sent here", fn.Name())
+					}
+					st.body = triYes
+					st.header = triYes
+				}
+				if wf.ErrStatus {
+					st.errStatus = triYes
+				}
+				break
+			}
+		}
+	}
+	return st
+}
+
+// bodyWrite applies a body-write event: an error-status path must
+// not grow a body, and a body implies a committed (200) header.
+func (w *respWalker) bodyWrite(call *ast.CallExpr, st wstate) wstate {
+	if st.errStatus == triYes {
+		w.p.Reportf(call.Pos(),
+			"response body written after an error status (the error payload and this write interleave on the wire)")
+	}
+	st.body = triYes
+	st.header = triYes
+	return st
+}
+
+// writerArgWrites lists the stdlib helpers that write a body to a
+// writer argument.
+func writerArgWrites(fn *types.Func) bool {
+	return isFuncNamed(fn,
+		"fmt.Fprintf", "fmt.Fprint", "fmt.Fprintln",
+		"io.WriteString", "io.Copy",
+	)
+}

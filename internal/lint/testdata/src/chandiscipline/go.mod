@@ -1,0 +1,3 @@
+module chanfix
+
+go 1.24

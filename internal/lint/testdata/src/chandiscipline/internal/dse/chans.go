@@ -1,0 +1,83 @@
+// Package dse is the chandiscipline fixture: channels close once, on
+// the owning/sender side, never while a spawned sender may still be
+// running.
+package dse
+
+import (
+	"sync"
+
+	"chanfix/internal/util"
+)
+
+func closeParam(ch chan int) {
+	close(ch) // want "close of channel parameter ch"
+}
+
+// A closure closing its own parameter is the same mistake.
+func closeLitParam() {
+	f := func(ch chan int) {
+		close(ch) // want "close of channel parameter ch"
+	}
+	f(make(chan int))
+}
+
+// Maker closes; the spawned goroutine only receives: clean.
+func closeOwn() {
+	ch := make(chan int)
+	go func() { <-ch }()
+	close(ch)
+}
+
+// The closure did not make the channel; the enclosing function did.
+func closeCaptured() {
+	ch := make(chan int)
+	f := func() {
+		close(ch) // want "close of ch, which this function did not create"
+	}
+	f()
+}
+
+type stream struct{ out chan int }
+
+func closeField(s *stream) {
+	close(s.out) // want "close of a channel not created in this function"
+}
+
+// Finish's closeFact crossed the package boundary: handing it our own
+// parameter means the close lands on a channel neither function owns.
+func passToCloser(ch chan int) {
+	util.Finish(ch) // want "Finish closes its parameter 0"
+}
+
+// Handing a channel we made to a closer is an ownership transfer:
+// clean.
+func passOwnMake() {
+	ch := make(chan int, 1)
+	ch <- 1
+	util.Finish(ch)
+}
+
+func raceClose() {
+	ch := make(chan int, 4)
+	go func() { ch <- 1 }()
+	close(ch) // want "may still send"
+}
+
+// Joining the senders first makes the close safe.
+func syncedClose() {
+	ch := make(chan int, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- 1
+	}()
+	wg.Wait()
+	close(ch)
+}
+
+// Deliberate ownership handoff, documented.
+func handoffClose(s *stream) {
+	//reprolint:allow chandiscipline — producer side of the stream protocol: the ctor hands the channel out, the producer closes at end-of-stream
+	close(s.out)
+}

@@ -1,0 +1,3 @@
+module factflow
+
+go 1.24

@@ -1,0 +1,22 @@
+// Package dse is the factflow fixture's downstream package: the one
+// diagnostic below only exists because sim.BlockOn's may-block fact
+// crossed the package boundary — nothing in this file blocks
+// syntactically.
+package dse
+
+import (
+	"sync"
+
+	"factflow/internal/sim"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) drain() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return sim.BlockOn(b.ch) // want "call to BlockOn \\(may block\\) while holding"
+}

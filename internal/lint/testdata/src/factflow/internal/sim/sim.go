@@ -1,0 +1,9 @@
+// Package sim is the factflow fixture's upstream package. It is
+// outside every analyzer's reporting scope and contains nothing an
+// analyzer would flag in isolation — its entire purpose is the
+// may-block fact BlockOn exports when the package is analyzed as a
+// dependency.
+package sim
+
+// BlockOn parks until a value arrives.
+func BlockOn(ch chan int) int { return <-ch }

@@ -1,0 +1,56 @@
+package dse
+
+import (
+	"context"
+	"sync"
+)
+
+// pump is the clean concurrency shape the interprocedural analyzers
+// accept without annotation: one consistent lock order, no blocking
+// under a held mutex, ctx-watching or WaitGroup-tracked goroutines,
+// and channels closed by their maker after the senders are joined.
+type pump struct {
+	mu    sync.Mutex
+	seen  int
+	state sync.Mutex
+	ready bool
+}
+
+// bump nests the locks in the one established order (pump.mu before
+// pump.state) and releases before doing anything that could park.
+func (p *pump) bump() {
+	p.mu.Lock()
+	p.state.Lock()
+	p.seen++
+	p.ready = true
+	p.state.Unlock()
+	p.mu.Unlock()
+}
+
+// Fan launches ctx-watching workers, joins them, and closes the
+// result channel on the owning side.
+func Fan(ctx context.Context, n int, out chan<- int) {
+	results := make(chan int, n)
+	var wg sync.WaitGroup
+	done := ctx.Done()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case <-done:
+			case results <- i:
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(results)
+	for v := range results {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		out <- v
+	}
+}

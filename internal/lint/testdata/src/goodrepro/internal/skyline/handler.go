@@ -1,0 +1,39 @@
+// Package skyline is the clean fixture's server slice: the
+// respwrite-approved handler shape — buffer first, commit the header
+// once, and never write past an error.
+package skyline
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
+
+// StatusJSON uses JSONFloat-free integer fields only, so it is also
+// clean for rawfloatjson.
+type StatusJSON struct {
+	Requests int `json:"requests"`
+	Depth    int `json:"depth"`
+}
+
+// HandleStatus marshals to memory before touching the response: on
+// error the client sees a clean 500, on success one committed 200.
+func HandleStatus(w http.ResponseWriter, r *http.Request) {
+	out := StatusJSON{Requests: 1}
+	buf, err := json.Marshal(out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(buf)
+}
+
+// HandleChart streams a prebuilt buffer after a single commit.
+func HandleChart(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	buf.WriteString("<svg/>")
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.WriteHeader(http.StatusOK)
+	_, _ = buf.WriteTo(w)
+}

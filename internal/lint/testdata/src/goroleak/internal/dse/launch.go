@@ -1,0 +1,123 @@
+// Package dse is the goroleak fixture: every `go` launch needs
+// provable termination — ctx-derived shutdown, WaitGroup tracking, or
+// a bounded body — with //reprolint:gopersist as the documented
+// escape.
+package dse
+
+import (
+	"context"
+	"sync"
+
+	"goroleakfix/internal/util"
+)
+
+func leakyRange(ch chan int) {
+	go func() { // want "no provable termination path"
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+func ctxSelect(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// The Done() call sits in the launcher; the body receives on the
+// captured variable.
+func localDoneVar(ctx context.Context, ch chan int) {
+	done := ctx.Done()
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Pump's honors-its-context fact crossed the package boundary: the
+// named launch passes a live ctx, so its shutdown path counts.
+func helperLaunch(ctx context.Context, ch chan int) {
+	go util.Pump(ctx, ch)
+}
+
+// The same fact through a literal body.
+func helperLiteralLaunch(ctx context.Context, ch chan int) {
+	go func() {
+		util.Pump(ctx, ch)
+	}()
+}
+
+// Without a context, the helper's shutdown path proves nothing.
+func helperLaunchNoCtx(ch chan int) {
+	go run(ch) // want "no provable termination path"
+}
+
+func run(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}
+
+func wgTracked(wg *sync.WaitGroup, ch chan int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Straight-line body, sends only into a buffer the launcher made:
+// cannot park.
+func bounded() int {
+	results := make(chan int, 1)
+	go func() {
+		results <- 42
+	}()
+	return <-results
+}
+
+// An unbuffered result channel can park the sender forever if the
+// reader leaves early.
+func unboundedSend(out chan int) {
+	go func() { // want "no provable termination path"
+		out <- 42
+	}()
+}
+
+type sink struct{ ch chan int }
+
+func (s *sink) loop() {
+	for v := range s.ch {
+		_ = v
+	}
+}
+
+func startSink(s *sink) {
+	go s.loop() // want "no provable termination path"
+}
+
+// Deliberate process-lifetime goroutine, documented.
+func persistentFlusher(ch chan int) {
+	//reprolint:gopersist telemetry flusher runs for the process lifetime by design; the process exit reaps it
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}

@@ -1,0 +1,18 @@
+// Package util is outside the reporting scope; goroleak still
+// analyzes it to export the honors-its-context fact for Pump, which
+// internal/dse's launches rely on.
+package util
+
+import "context"
+
+// Pump drains src until its context is cancelled.
+func Pump(ctx context.Context, src chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-src:
+			_ = v
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package dse is the lockorder fixture's in-scope package: blocking
+// under a held mutex and acquisition-order inversions, including ones
+// only visible through facts imported from internal/util.
+package dse
+
+import (
+	"sync"
+	"time"
+
+	"lockorderfix/internal/util"
+)
+
+type engine struct {
+	mu sync.Mutex
+	q  sync.Mutex
+	ch chan int
+}
+
+// lockAB establishes the engine.mu-before-engine.q edge.
+func (e *engine) lockAB() {
+	e.mu.Lock()
+	e.q.Lock()
+	e.q.Unlock()
+	e.mu.Unlock()
+}
+
+// lockBA inverts it.
+func (e *engine) lockBA() {
+	e.q.Lock()
+	e.mu.Lock() // want "lock-order inversion"
+	e.mu.Unlock()
+	e.q.Unlock()
+}
+
+func (e *engine) sendUnderLock() {
+	e.mu.Lock()
+	e.ch <- 1 // want "channel send while holding"
+	e.mu.Unlock()
+}
+
+func (e *engine) recvUnderLock() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return <-e.ch // want "channel receive while holding"
+}
+
+func (e *engine) selectUnderLock() {
+	e.mu.Lock()
+	select { // want "select while holding"
+	case v := <-e.ch:
+		_ = v
+	}
+	e.mu.Unlock()
+}
+
+// A select with a default cannot park; fine under a lock.
+func (e *engine) selectDefaultOK() {
+	e.mu.Lock()
+	select {
+	case v := <-e.ch:
+		_ = v
+	default:
+	}
+	e.mu.Unlock()
+}
+
+func (e *engine) sleepUnderLock() {
+	e.mu.Lock()
+	time.Sleep(time.Millisecond) // want "call to Sleep \\(blocks\\) while holding"
+	e.mu.Unlock()
+}
+
+// waitValue's blocking is only visible in its summary.
+func (e *engine) waitValue() int { return <-e.ch }
+
+func (e *engine) callBlockingUnderLock() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.waitValue() // want "call to waitValue \\(may block\\) while holding"
+}
+
+// BlockOn's may-block fact was exported while internal/util was
+// analyzed as a dependency; the diagnostic exists only because of it.
+func (e *engine) callImportedBlockerUnderLock() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return util.BlockOn(e.ch) // want "call to BlockOn \\(may block\\) while holding"
+}
+
+// The imported lock graph says Pair.A comes before Pair.B.
+func inversionAcrossPackages(p *util.Pair) {
+	p.B.Lock()
+	p.A.Lock() // want "lock-order inversion"
+	p.A.Unlock()
+	p.B.Unlock()
+}
+
+func (e *engine) doubleLock() {
+	e.mu.Lock()
+	e.mu.Lock() // want "already held"
+	e.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// Release first, then block: clean.
+func (e *engine) unlockThenSendOK() {
+	e.mu.Lock()
+	e.mu.Unlock()
+	e.ch <- 1
+}
+
+// A spawned body runs without the launcher's locks: clean.
+func (e *engine) goBodyRunsUnlocked() {
+	e.mu.Lock()
+	go func() {
+		e.ch <- 1
+	}()
+	e.mu.Unlock()
+}
+
+// Deliberate: the channel is buffered to the worker count, so the
+// send cannot park.
+func (e *engine) suppressedSend() {
+	e.mu.Lock()
+	e.ch <- 1 //reprolint:allow lockorder — handoff channel is buffered to the worker count; the send cannot park
+	e.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package util sits outside every analyzer's reporting scope: the
+// findings in this file stay muted, but lockorder still walks it to
+// export facts — BlockOn's may-block summary and Pair's A-before-B
+// acquisition edge both cross into internal/dse through the fact
+// layer.
+package util
+
+import "sync"
+
+// BlockOn parks until a value arrives.
+func BlockOn(ch chan int) int { return <-ch }
+
+// Pair carries two mutexes with an established acquisition order.
+type Pair struct {
+	A sync.Mutex
+	B sync.Mutex
+}
+
+// LockBoth establishes the Pair.A-before-Pair.B edge in this
+// package's lock graph fact.
+func (p *Pair) LockBoth() {
+	p.A.Lock()
+	p.B.Lock()
+	p.B.Unlock()
+	p.A.Unlock()
+}

@@ -1,0 +1,3 @@
+module respwritefix
+
+go 1.24

@@ -1,0 +1,79 @@
+// Package skyline is the respwrite fixture: one WriteHeader per
+// response, and no body after a complete error response.
+package skyline
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"respwritefix/internal/web"
+)
+
+func doubleHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusAccepted) // want "WriteHeader after the response header was already committed"
+}
+
+// The encode-then-Error shape: by the time Encode fails, the 200 and
+// part of the body are on the wire.
+func errorAfterBody(w http.ResponseWriter, r *http.Request) {
+	if err := json.NewEncoder(w).Encode(map[string]int{"a": 1}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError) // want "http.Error after the response header was already committed"
+	}
+}
+
+func doubleError(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "first", http.StatusBadRequest)
+	http.Error(w, "second", http.StatusInternalServerError) // want "http.Error after the response header was already committed"
+}
+
+// Deny's fact says it always writes a complete error response; the
+// fall-through write is the cross-package form of the bug.
+func denyThenWrite(w http.ResponseWriter, r *http.Request) {
+	web.Deny(w, "quota exceeded")
+	fmt.Fprintln(w, "result: 42") // want "response body written after an error status"
+}
+
+// Error-then-return branches are the clean shape.
+func guarded(w http.ResponseWriter, r *http.Request, bad bool) {
+	if bad {
+		http.Error(w, "bad request", http.StatusBadRequest)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// Writing one's own error payload after a bare error status is the
+// manual form of http.Error: clean.
+func manualError(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusTeapot)
+	fmt.Fprintln(w, "short and stout")
+}
+
+// A conditional writer exports no fact; callers stay clean.
+func maybeWrite(w http.ResponseWriter, verbose bool) {
+	if verbose {
+		fmt.Fprintln(w, "verbose preamble")
+	}
+}
+
+func callsConditionalHelper(w http.ResponseWriter, r *http.Request) {
+	maybeWrite(w, true)
+	fmt.Fprintln(w, "done")
+}
+
+// One commit, then a streamed body: clean.
+func stream(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	for i := 0; i < 3; i++ {
+		fmt.Fprintln(w, i)
+	}
+}
+
+// Deliberate, documented double status for a legacy client.
+func legacyTrailer(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	//reprolint:allow respwrite — legacy probe protocol expects a second status line; retired with the v1 clients
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,0 +1,11 @@
+// Package web is outside the reporting scope; respwrite still
+// analyzes it so Deny's always-writes-an-error fact reaches the
+// handlers in internal/skyline.
+package web
+
+import "net/http"
+
+// Deny always writes a complete error response.
+func Deny(w http.ResponseWriter, msg string) {
+	http.Error(w, msg, http.StatusForbidden)
+}

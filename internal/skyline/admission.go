@@ -231,7 +231,10 @@ func (a *admitter) passOnLocked() {
 		a.removeLocked(w)
 		a.depth.Add(-1)
 		w.granted = true
-		close(w.grant)
+		// Grant handoff: admit() makes the channel, but ownership moves
+		// to the queue with the waiter; the slot holder signals by
+		// closing under mu, and granted=true keeps the close unique.
+		close(w.grant) //reprolint:allow chandiscipline — slot holder owns queued grants; close is unique under mu via granted
 		return
 	}
 	a.free++

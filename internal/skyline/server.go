@@ -255,10 +255,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		QuotaClients:         s.adm.quotas.clients(),
 		MaxWorkersPerRequest: s.maxWorkers,
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
+	writeJSON(w, out)
+}
+
+// writeJSON marshals v to memory before touching the response, for
+// the same reason renderSVG buffers: an http.Error issued after the
+// first body byte splices error text onto a committed 200. Encoding
+// first means the client sees either a complete JSON document or a
+// clean 500, never a hybrid. (The respwrite analyzer flagged the
+// previous encode-then-Error shape in three handlers.)
+func writeJSON(w http.ResponseWriter, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)+1))
+	_, _ = w.Write(append(buf, '\n')) // Encoder-compatible framing; a failure means the client left
 }
 
 // renderSVG renders a figure to memory before touching the response.
@@ -338,10 +352,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	if i, ok := cmp.Winner(); ok {
 		out.Winner = cmp.Analyses[i].Config.Name
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	writeJSON(w, out)
 }
 
 // ServeHTTP implements http.Handler.
@@ -475,10 +486,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		PayloadG:        JSONFloat(an.Config.Payload.Grams()),
 		OptimizationTip: Tips(an),
 	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(out); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-	}
+	writeJSON(w, out)
 }
 
 // Chart builds the F-1 plot for an analysis — exported so the CLI can
