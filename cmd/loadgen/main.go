@@ -13,6 +13,7 @@
 //	        [-max-inflight 2] [-queue-depth 4] [-client-rps 0]
 //	        [-default-timeout 0] [-seed 1]
 //	        [-max-shed-rate 1] [-max-p99-wait 0] [-json]
+//	        [-store-dir dir] [-restart-requests 12] [-min-store-hit-rate 0]
 //
 // Scenarios (comma-separated; default all):
 //
@@ -20,6 +21,17 @@
 //	cold        distinct explorations — cache misses, real engine work
 //	disconnect  open streaming explorations and drop them mid-stream
 //	burst       hammer one API key far past any quota
+//	restart     warm-start smoke: run a deterministic request list
+//	            against an in-process server backed by the persistent
+//	            result store, tear the server down, open a fresh one
+//	            (new process state, same store dir), replay the list,
+//	            and compare every response byte for byte. Must be the
+//	            sole scenario; always in-process. -store-dir roots the
+//	            store (default: a private temp dir), -restart-requests
+//	            sizes the list, and -min-store-hit-rate gates the warm
+//	            pass's served-from-store rate (0 = no gate; byte
+//	            mismatches always fail). The report records cold/warm
+//	            wall times and the warm pass's store hits.
 //
 // -fault arms an injection site before the run (in-process mode only):
 // kinds are error, panic, and latency:<duration>. After the run
@@ -36,6 +48,8 @@ package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -54,6 +68,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/skyline"
+	"repro/internal/store"
 )
 
 func main() {
@@ -85,6 +100,11 @@ type config struct {
 	maxShedRate    float64
 	maxP99Wait     time.Duration
 	jsonOut        bool
+
+	// Restart-scenario knobs.
+	storeDir        string
+	restartRequests int
+	minStoreHitRate float64
 }
 
 // faultSpec is one -fault entry: a site and the fault to arm there.
@@ -147,9 +167,35 @@ type report struct {
 	ShedRate    float64          `json:"shed_rate"`
 	Server      serverSide       `json:"server_metrics"`
 	MetricsOK   bool             `json:"metrics_parse_ok"`
+	// Restart carries the warm-start phase's results (restart scenario
+	// only).
+	Restart *restartReport `json:"restart,omitempty"`
 
-	maxShedRate float64
-	maxP99Wait  time.Duration
+	maxShedRate     float64
+	maxP99Wait      time.Duration
+	minStoreHitRate float64
+}
+
+// restartReport is the warm-start smoke summary: the same request list
+// driven cold (fresh store) and warm (fresh server over the surviving
+// store), with per-response byte comparison.
+type restartReport struct {
+	Requests int `json:"requests"`
+	// ColdS/WarmS are the two passes' wall times; the warm pass answers
+	// from disk, so on any real engine workload it is far faster.
+	ColdS float64 `json:"cold_s"`
+	WarmS float64 `json:"warm_s"`
+	// WarmStoreHits counts warm responses carrying X-Explore-Store
+	// (exact hits and superset-filtered answers); WarmStoreHitRate is
+	// that over Requests.
+	WarmStoreHits    int     `json:"warm_store_hits"`
+	WarmStoreHitRate float64 `json:"warm_store_hit_rate"`
+	// ByteMismatches counts warm responses whose bytes differ from the
+	// cold pass — the invariant is zero, gated unconditionally.
+	ByteMismatches int `json:"byte_mismatches"`
+	// RecoveredArtifacts is the warm server's startup-scan count,
+	// scraped from /metrics.
+	RecoveredArtifacts float64 `json:"recovered_artifacts"`
 }
 
 func (r *report) gateFailures() []string {
@@ -165,6 +211,14 @@ func (r *report) gateFailures() []string {
 	}
 	if r.maxP99Wait > 0 && r.Server.QueueWaitP99 > r.maxP99Wait.Seconds() {
 		fails = append(fails, fmt.Sprintf("queue-wait p99 %.3fs > %s", r.Server.QueueWaitP99, r.maxP99Wait))
+	}
+	if r.Restart != nil {
+		if r.Restart.ByteMismatches > 0 {
+			fails = append(fails, fmt.Sprintf("%d warm responses differ from the cold pass byte for byte", r.Restart.ByteMismatches))
+		}
+		if r.minStoreHitRate > 0 && r.Restart.WarmStoreHitRate < r.minStoreHitRate {
+			fails = append(fails, fmt.Sprintf("warm store-hit rate %.3f < %.3f", r.Restart.WarmStoreHitRate, r.minStoreHitRate))
+		}
 	}
 	return fails
 }
@@ -185,6 +239,9 @@ func run(args []string, out io.Writer) (*report, error) {
 	fs.Float64Var(&cfg.maxShedRate, "max-shed-rate", 1, "fail when sheds/attempts exceeds this (1 = no gate)")
 	fs.DurationVar(&cfg.maxP99Wait, "max-p99-wait", 0, "fail when the queue-wait p99 exceeds this (0 = no gate)")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON")
+	fs.StringVar(&cfg.storeDir, "store-dir", "", "restart scenario: persistent store directory (empty = private temp dir)")
+	fs.IntVar(&cfg.restartRequests, "restart-requests", 12, "restart scenario: deterministic request-list length")
+	fs.Float64Var(&cfg.minStoreHitRate, "min-store-hit-rate", 0, "restart scenario: fail when the warm pass's store-hit rate is below this (0 = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -199,8 +256,21 @@ func run(args []string, out io.Writer) (*report, error) {
 	for _, s := range cfg.scenarios {
 		switch s {
 		case "hot", "cold", "disconnect", "burst":
+		case "restart":
+			// The restart scenario owns both server generations, so it
+			// cannot share a run with duration-driven traffic or target a
+			// remote server it cannot restart.
+			if len(cfg.scenarios) != 1 {
+				return nil, fmt.Errorf("scenario restart must be the sole scenario")
+			}
+			if cfg.url != "" {
+				return nil, fmt.Errorf("scenario restart requires the in-process server (-url unsupported)")
+			}
+			if cfg.restartRequests < 1 {
+				return nil, fmt.Errorf("-restart-requests must be positive, got %d", cfg.restartRequests)
+			}
 		default:
-			return nil, fmt.Errorf("unknown scenario %q (want hot, cold, disconnect or burst)", s)
+			return nil, fmt.Errorf("unknown scenario %q (want hot, cold, disconnect, burst or restart)", s)
 		}
 	}
 	var err error
@@ -211,23 +281,31 @@ func run(args []string, out io.Writer) (*report, error) {
 		return nil, fmt.Errorf("-fault requires the in-process server (faults arm this process, not a remote one)")
 	}
 
-	base := cfg.url
-	if base == "" {
-		srv := httptest.NewServer(skyline.NewServerWith(catalog.Synthetic(8, 16, 16), skyline.Options{
-			Cache:          core.NewCache(),
-			MaxInflight:    cfg.maxInflight,
-			QueueDepth:     cfg.queueDepth,
-			ClientRPS:      cfg.clientRPS,
-			DefaultTimeout: cfg.defaultTimeout,
-		}))
-		defer srv.Close()
-		base = srv.URL
-	}
 	for _, f := range cfg.faults {
 		defer faultinject.Enable(f.site, f.fault)()
 	}
 
-	rep := drive(cfg, base)
+	var rep *report
+	if cfg.scenarios[0] == "restart" {
+		if rep, err = driveRestart(cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		base := cfg.url
+		if base == "" {
+			srv := httptest.NewServer(skyline.NewServerWith(catalog.Synthetic(8, 16, 16), skyline.Options{
+				Cache:          core.NewCache(),
+				MaxInflight:    cfg.maxInflight,
+				QueueDepth:     cfg.queueDepth,
+				ClientRPS:      cfg.clientRPS,
+				DefaultTimeout: cfg.defaultTimeout,
+			}))
+			defer srv.Close()
+			base = srv.URL
+		}
+		rep = drive(cfg, base)
+	}
+	rep.minStoreHitRate = cfg.minStoreHitRate
 	rep.maxShedRate = cfg.maxShedRate
 	rep.maxP99Wait = cfg.maxP99Wait
 
@@ -339,6 +417,132 @@ func drive(cfg config, base string) *report {
 	return rep
 }
 
+// restartURLs builds the restart scenario's deterministic request
+// list: a rotation of streaming, top-K and Pareto explorations plus
+// grid renders, each over a small named slice of the synthetic catalog
+// (the synthetic component names are spelled out because the preset
+// defaults do not exist there). The list depends only on n, so the
+// cold and warm passes replay identical requests.
+func restartURLs(n int) []string {
+	urls := make([]string, 0, n)
+	for i := 0; len(urls) < n; i++ {
+		uav := fmt.Sprintf("synth-uav-%03d", i%8)
+		soc := fmt.Sprintf("synth-soc-%03d", i%16)
+		net := fmt.Sprintf("synth-net-%03d", i%16)
+		space := fmt.Sprintf("uav=%s&compute=%s", uav, soc)
+		switch i % 4 {
+		case 0:
+			urls = append(urls, "/explore?"+space) // streaming NDJSON
+		case 1:
+			urls = append(urls, "/explore?"+space+"&top=5")
+		case 2:
+			urls = append(urls, "/explore?"+space+"&pareto=velocity,power")
+		case 3:
+			urls = append(urls, fmt.Sprintf("/grid.svg?uav=%s&compute=%s&algorithm=%s&x=payload&y=range&xlo=0&xhi=300&ylo=4&yhi=20&nx=6&ny=5", uav, soc, net))
+		}
+	}
+	return urls
+}
+
+// driveRestart runs the warm-start smoke: the request list against a
+// store-backed server (cold), then — after tearing that server down —
+// against a fresh server over the same store directory (warm), with
+// every response compared byte for byte via its digest.
+func driveRestart(cfg config) (*report, error) {
+	dir := cfg.storeDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "loadgen-store-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	// Each generation gets fresh in-process state — a new analysis
+	// cache and a newly opened store — exactly like a process restart.
+	newServer := func() (*httptest.Server, error) {
+		st, err := store.Open(dir, 0)
+		if err != nil {
+			return nil, err
+		}
+		return httptest.NewServer(skyline.NewServerWith(catalog.Synthetic(8, 16, 16), skyline.Options{
+			Cache:          core.NewCache(),
+			Store:          st,
+			MaxInflight:    cfg.maxInflight,
+			QueueDepth:     cfg.queueDepth,
+			DefaultTimeout: cfg.defaultTimeout,
+		})), nil
+	}
+	urls := restartURLs(cfg.restartRequests)
+	client := &http.Client{Timeout: 30 * time.Second}
+	rep := &report{Scenarios: cfg.scenarios, ByStatus: map[string]int64{}}
+	rr := &restartReport{Requests: len(urls)}
+	rep.Restart = rr
+
+	pass := func(base string, digests []string) (out []string, hits int, elapsed float64, err error) {
+		start := time.Now()
+		for i, u := range urls {
+			resp, err := client.Get(base + u)
+			if err != nil {
+				return nil, 0, 0, fmt.Errorf("GET %s: %w", u, err)
+			}
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				return nil, 0, 0, fmt.Errorf("GET %s: %w", u, rerr)
+			}
+			rep.Attempts++
+			rep.ByStatus[strconv.Itoa(resp.StatusCode)]++
+			if resp.StatusCode != http.StatusOK {
+				rep.Errors++
+				continue
+			}
+			if resp.Header.Get("X-Explore-Store") != "" {
+				hits++
+			}
+			sum := sha256.Sum256(body)
+			d := hex.EncodeToString(sum[:])
+			out = append(out, d)
+			if digests != nil && i < len(digests) && digests[i] != d {
+				rr.ByteMismatches++
+			}
+		}
+		return out, hits, time.Since(start).Seconds(), nil
+	}
+
+	cold, err := newServer()
+	if err != nil {
+		return nil, err
+	}
+	digests, _, coldS, err := pass(cold.URL, nil)
+	cold.Close()
+	if err != nil {
+		return nil, err
+	}
+	rr.ColdS = coldS
+
+	warm, err := newServer()
+	if err != nil {
+		return nil, err
+	}
+	defer warm.Close()
+	_, hits, warmS, err := pass(warm.URL, digests)
+	if err != nil {
+		return nil, err
+	}
+	rr.WarmS = warmS
+	rr.WarmStoreHits = hits
+	rr.WarmStoreHitRate = float64(hits) / float64(len(urls))
+	rep.DurationS = coldS + warmS
+
+	samples, err := scrapeMetrics(client, warm.URL+"/metrics")
+	if err == nil {
+		rep.MetricsOK = true
+		rr.RecoveredArtifacts = samples["skyline_store_recovered_artifacts"]
+	}
+	return rep, nil
+}
+
 func doGet(ctx context.Context, client *http.Client, url, apiKey string, record func(int), errs *atomic.Uint64) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
@@ -419,4 +623,9 @@ func printReport(w io.Writer, r *report) {
 		r.Server.ShedQueueFull, r.Server.ShedOverQuota, r.Server.ShedDeadline, r.ShedRate)
 	fmt.Fprintf(w, "  queue-wait p99: %.4fs, panics: %.0f, degraded: %.0f, metrics parse: %v\n",
 		r.Server.QueueWaitP99, r.Server.Panics, r.Server.Degraded, r.MetricsOK)
+	if rr := r.Restart; rr != nil {
+		fmt.Fprintf(w, "  restart: %d requests, cold %.2fs -> warm %.2fs\n", rr.Requests, rr.ColdS, rr.WarmS)
+		fmt.Fprintf(w, "  restart: warm store hits %d/%d (rate %.3f), byte mismatches %d, recovered artifacts %.0f\n",
+			rr.WarmStoreHits, rr.Requests, rr.WarmStoreHitRate, rr.ByteMismatches, rr.RecoveredArtifacts)
+	}
 }

@@ -138,6 +138,67 @@ func TestRunFaultArmsAndDisarms(t *testing.T) {
 	}
 }
 
+// TestRunRestartScenario drives the warm-start smoke end to end: cold
+// pass computes and spills, warm pass (fresh server, same store dir)
+// answers everything from disk byte-identically.
+func TestRunRestartScenario(t *testing.T) {
+	rep, err := run([]string{
+		"-scenario", "restart",
+		"-restart-requests", "8",
+		"-store-dir", t.TempDir(),
+		"-min-store-hit-rate", "0.99",
+		"-json",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := rep.Restart
+	if rr == nil {
+		t.Fatal("restart run produced no restart report")
+	}
+	if rr.Requests != 8 || rep.Attempts != 16 {
+		t.Fatalf("requests = %d, attempts = %d; want 8 driven twice", rr.Requests, rep.Attempts)
+	}
+	if rr.ByteMismatches != 0 {
+		t.Fatalf("warm pass diverged: %d byte mismatches", rr.ByteMismatches)
+	}
+	if rr.WarmStoreHits != 8 || rr.WarmStoreHitRate != 1 {
+		t.Fatalf("warm store hits = %d (rate %v); want all 8 from the store", rr.WarmStoreHits, rr.WarmStoreHitRate)
+	}
+	if rr.RecoveredArtifacts != 8 {
+		t.Fatalf("recovered artifacts = %v, want 8", rr.RecoveredArtifacts)
+	}
+	if !rep.MetricsOK {
+		t.Fatal("warm /metrics did not parse")
+	}
+	if failures := rep.gateFailures(); len(failures) != 0 {
+		t.Fatalf("clean restart run reported failures: %v", failures)
+	}
+
+	// Misconfigurations are rejected up front.
+	for _, args := range [][]string{
+		{"-scenario", "restart,hot"},
+		{"-scenario", "restart", "-url", "http://example.invalid"},
+		{"-scenario", "restart", "-restart-requests", "0"},
+	} {
+		if _, err := run(args, io.Discard); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestRestartURLsDeterministic(t *testing.T) {
+	a, b := restartURLs(12), restartURLs(12)
+	if len(a) != 12 {
+		t.Fatalf("len = %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("url %d differs across builds: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
 func TestReportGates(t *testing.T) {
 	r := &report{
 		Attempts:    100,
@@ -160,5 +221,21 @@ func TestReportGates(t *testing.T) {
 	r.maxP99Wait = 0
 	if fails := r.gateFailures(); len(fails) != 0 {
 		t.Errorf("ungated report fails: %v", fails)
+	}
+
+	// Restart gates: byte mismatches always fail; the hit-rate gate
+	// only when configured.
+	r.Restart = &restartReport{Requests: 8, ByteMismatches: 1, WarmStoreHitRate: 0.5}
+	if fails := r.gateFailures(); len(fails) != 1 || !strings.Contains(fails[0], "byte") {
+		t.Errorf("mismatch gate = %v", fails)
+	}
+	r.Restart.ByteMismatches = 0
+	r.minStoreHitRate = 0.9
+	if fails := r.gateFailures(); len(fails) != 1 || !strings.Contains(fails[0], "store-hit rate") {
+		t.Errorf("hit-rate gate = %v", fails)
+	}
+	r.Restart.WarmStoreHitRate = 1
+	if fails := r.gateFailures(); len(fails) != 0 {
+		t.Errorf("clean restart report fails: %v", fails)
 	}
 }

@@ -10,8 +10,18 @@
 //	        [-cache-entries 65536] [-max-inflight 4×GOMAXPROCS]
 //	        [-queue-depth 4×max-inflight] [-default-timeout 0]
 //	        [-client-rps 0] [-max-workers-per-request GOMAXPROCS]
+//	        [-store-dir dir] [-store-limit-bytes 1GiB]
 //
 // -cache-entries bounds the process-wide analysis cache.
+//
+// -store-dir enables the crash-safe persistent result store (off when
+// unset): completed /explore and /grid.svg responses are spilled as
+// content-addressed artifacts and repeat requests — including warm
+// restarts of the server — are answered from disk instead of the
+// engine. -store-limit-bytes bounds the artifact bytes (oldest
+// evicted first; 0 = unbounded). Corrupt artifacts are quarantined
+// and recomputed; persistent store I/O failure degrades the server to
+// recompute-only. See docs/PERSISTENCE.md.
 //
 // Admission control: -max-inflight caps the concurrently running
 // exploration requests (0 disables the limit); excess requests wait in
@@ -32,9 +42,10 @@
 // unbounded /explore is downgraded to a capped top-K response, flagged
 // via the X-Explore-Degraded header.
 //
-// /healthz reports the cache and admission gauges as JSON; /metrics
-// exports them in the Prometheus text format (queue depth/wait,
-// per-endpoint latency quantiles, shed/panic counters).
+// /healthz reports the cache, admission and store gauges as JSON;
+// /metrics exports them in the Prometheus text format (queue
+// depth/wait, per-endpoint latency quantiles, shed/panic counters,
+// store artifact/hit/quarantine/degraded series).
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/skyline"
+	"repro/internal/store"
 )
 
 func main() {
@@ -77,6 +89,10 @@ func setup(args []string) (*skyline.Server, string, error) {
 		"per-client token-bucket refill rate, keyed by X-API-Key or remote address (0 = no quotas)")
 	maxWorkers := fs.Int("max-workers-per-request", 0,
 		"cap on one exploration request's workers= knob (0 = GOMAXPROCS)")
+	storeDir := fs.String("store-dir", "",
+		"directory for the persistent result store (empty = store disabled)")
+	storeLimit := fs.Int64("store-limit-bytes", 1<<30,
+		"byte bound on stored artifacts, oldest evicted first (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return nil, "", err
 	}
@@ -96,12 +112,19 @@ func setup(args []string) (*skyline.Server, string, error) {
 	if *cacheEntries != core.DefaultCacheLimit {
 		core.SetSharedCacheLimit(*cacheEntries)
 	}
-	srv := skyline.NewServerWith(cat, skyline.Options{
+	opt := skyline.Options{
 		MaxInflight:          *maxInflight,
 		QueueDepth:           *queueDepth,
 		DefaultTimeout:       *defaultTimeout,
 		ClientRPS:            *clientRPS,
 		MaxWorkersPerRequest: *maxWorkers,
-	})
-	return srv, *addr, nil
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, *storeLimit)
+		if err != nil {
+			return nil, "", fmt.Errorf("opening result store: %w", err)
+		}
+		opt.Store = st
+	}
+	return skyline.NewServerWith(cat, opt), *addr, nil
 }

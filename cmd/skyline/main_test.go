@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -66,5 +68,40 @@ func TestSetupFlagLimits(t *testing.T) {
 func TestSetupBadFlag(t *testing.T) {
 	if _, _, err := setup([]string{"-catalog", "/nonexistent/catalog.json"}); err == nil {
 		t.Fatal("missing catalog file accepted")
+	}
+}
+
+func TestSetupStoreDisabledByDefault(t *testing.T) {
+	if h := healthz(t, nil); h.Store != nil {
+		t.Errorf("store gauges present without -store-dir: %+v", h.Store)
+	}
+}
+
+func TestSetupStoreFlags(t *testing.T) {
+	dir := t.TempDir()
+	h := healthz(t, []string{"-store-dir", dir, "-store-limit-bytes", "4096"})
+	if h.Store == nil {
+		t.Fatal("-store-dir set but /healthz has no store section")
+	}
+	if h.Store.LimitBytes != 4096 {
+		t.Errorf("store limit = %d, want 4096", h.Store.LimitBytes)
+	}
+	// Open created the store layout on disk.
+	for _, sub := range []string{"objects", "tmp", "quarantine"} {
+		if _, err := os.Stat(filepath.Join(dir, sub)); err != nil {
+			t.Errorf("store layout missing %s/: %v", sub, err)
+		}
+	}
+}
+
+func TestSetupStoreBadDir(t *testing.T) {
+	// A store rooted where a file already sits must fail setup loudly,
+	// not silently run storeless.
+	path := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := setup([]string{"-store-dir", path}); err == nil {
+		t.Fatal("unusable -store-dir accepted")
 	}
 }

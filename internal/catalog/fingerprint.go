@@ -1,0 +1,66 @@
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+)
+
+// Fingerprint returns a stable hex digest identifying the catalog's
+// full contents: every UAV, compute platform, sensor and algorithm
+// (walked in sorted name order), the performance table, and the
+// heatsink model. It is the "catalog revision" component of the
+// persistent result store's canonical keys (docs/PERSISTENCE.md):
+// two processes over the same catalog — whether a paper preset, a
+// loaded JSON file, or a Synthetic fixture — derive the same
+// fingerprint, and any component change invalidates every stored
+// artifact by changing the keys rather than by touching the store.
+//
+// The digest hashes a deterministic textual dump via fmt's %+v
+// verb, which prints struct field values (dereferencing pointers),
+// never addresses; map-backed state is walked in sorted key order.
+// Unlike Save, this works for catalogs whose acceleration models are
+// not serializable (Synthetic's closed-form models included).
+func (c *Catalog) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "catalog/v1\nheatsink=%T%+v\n", c.Heatsink, c.Heatsink)
+	for _, name := range c.UAVNames() {
+		u := c.uavs[name]
+		fmt.Fprintf(h, "uav %q %+v accel=%T%+v\n", name, canonicalUAV(u), u.Accel, u.Accel)
+	}
+	for _, name := range c.ComputeNames() {
+		fmt.Fprintf(h, "compute %q %+v\n", name, c.computes[name])
+	}
+	for _, name := range c.SensorNames() {
+		fmt.Fprintf(h, "sensor %q %+v\n", name, c.sensors[name])
+	}
+	for _, name := range c.AlgorithmNames() {
+		fmt.Fprintf(h, "algorithm %q %+v\n", name, c.algorithms[name])
+	}
+	writePerf(h, c.perf)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// canonicalUAV strips the fields that must not enter the digest: the
+// AccelModel (so the generic %+v dump cannot print an interface-boxed
+// pointer address — the model is hashed separately via its concrete
+// type and dereferenced value) and the airframe's cosmetic display
+// name, which only ever appears in validation error text and which
+// Save deliberately drops — a save/load round trip must keep the
+// fingerprint.
+func canonicalUAV(u UAV) UAV {
+	u.Accel = nil
+	u.Frame.Name = ""
+	return u
+}
+
+// writePerf dumps the performance table in sorted (algorithm,
+// platform) order.
+func writePerf(w io.Writer, t PerfTable) {
+	for _, algo := range sortedKeys(t) {
+		for _, plat := range t.Platforms(algo) {
+			fmt.Fprintf(w, "perf %q %q %v\n", algo, plat, float64(t[algo][plat]))
+		}
+	}
+}

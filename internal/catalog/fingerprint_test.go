@@ -1,0 +1,69 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func TestFingerprintStable(t *testing.T) {
+	// Two independent constructions of the same catalog must agree —
+	// that is what lets a restarted process find its stored artifacts.
+	a, b := Default().Fingerprint(), Default().Fingerprint()
+	if a == "" || a != b {
+		t.Fatalf("Default fingerprints differ: %q vs %q", a, b)
+	}
+	// Repeated calls on one instance are stable (no map-order leak;
+	// the maps are walked in sorted name order).
+	c := Default()
+	first := c.Fingerprint()
+	for i := 0; i < 20; i++ {
+		if got := c.Fingerprint(); got != first {
+			t.Fatalf("call %d: fingerprint drifted %q -> %q", i, first, got)
+		}
+	}
+}
+
+func TestFingerprintSyntheticAndLoaded(t *testing.T) {
+	// Synthetic catalogs carry closed-form acceleration models that
+	// Save cannot serialize; Fingerprint must still work and be stable.
+	if a, b := Synthetic(3, 4, 5).Fingerprint(), Synthetic(3, 4, 5).Fingerprint(); a != b {
+		t.Fatalf("Synthetic fingerprints differ: %q vs %q", a, b)
+	}
+	if Synthetic(3, 4, 5).Fingerprint() == Synthetic(4, 4, 5).Fingerprint() {
+		t.Fatal("different synthetic sizes share a fingerprint")
+	}
+	// A save/load round trip preserves the fingerprint: the JSON file
+	// is a faithful identity, so artifacts survive a catalog reload.
+	var buf bytes.Buffer
+	if err := Default().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Fingerprint(), Default().Fingerprint(); got != want {
+		t.Fatalf("loaded fingerprint %q != default %q", got, want)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Default().Fingerprint()
+	mutate := map[string]func(*Catalog){
+		"uav added":      func(c *Catalog) { u, _ := c.UAV(UAVDJISpark); u.Name = "clone"; c.AddUAV(u) },
+		"uav changed":    func(c *Catalog) { u, _ := c.UAV(UAVDJISpark); u.Battery += 1; c.AddUAV(u) },
+		"compute tdp":    func(c *Catalog) { p, _ := c.Compute(ComputeTX2); p.TDP += units.Watts(0.5); c.AddCompute(p) },
+		"sensor removed": func(c *Catalog) { delete(c.sensors, c.SensorNames()[0]) },
+		"algorithm":      func(c *Catalog) { a, _ := c.Algorithm(AlgoDroNet); a.Name = "variant"; c.AddAlgorithm(a) },
+		"perf cell":      func(c *Catalog) { c.SetPerf(AlgoDroNet, ComputeTX2, units.Hertz(1234)) },
+	}
+	for name, mut := range mutate {
+		c := Default()
+		mut(c)
+		if c.Fingerprint() == base {
+			t.Errorf("%s: fingerprint unchanged by a content change", name)
+		}
+	}
+}

@@ -95,6 +95,7 @@ type shard struct {
 	misses       uint64
 	coalesced    uint64
 	evictions    uint64
+	fills        uint64
 }
 
 // flight is one in-progress analysis. The first miss of a ScoreKey (the
@@ -429,9 +430,16 @@ func (c *Cache) analyze(ctx context.Context, key ScoreKey, fill func() (Analysis
 	// data) cannot strand the flight: the registry entry would otherwise
 	// outlive the leader and every future Analyze of this key would
 	// coalesce onto a flight that never completes.
+	executed := false
 	defer func() {
 		sh.mu.Lock()
 		delete(sh.inflight, key)
+		if executed {
+			// Fills counts the misses this leader actually computed —
+			// the engine-evaluation counter behind the persistent result
+			// store's "warm restart never re-runs the engine" proof.
+			sh.fills++
+		}
 		if f.err == nil {
 			// A leader for this key is unique, but an entry may still
 			// exist if the key was evicted and re-inserted around an
@@ -456,8 +464,10 @@ func (c *Cache) analyze(ctx context.Context, key ScoreKey, fill func() (Analysis
 	if ferr := faultinject.Fire(faultinject.SiteCacheFill); ferr != nil {
 		f.err = ferr
 	} else if fill != nil {
+		executed = true
 		f.an, f.metrics, f.err = fill()
 	} else {
+		executed = true
 		f.an, f.err = analyzeFn(key.Cfg)
 	}
 	return f.an, f.metrics, f.err
@@ -572,6 +582,12 @@ type CacheStats struct {
 	// (singleflight) instead of recomputing it.
 	Coalesced uint64 `json:"coalesced"`
 	Evictions uint64 `json:"evictions"`
+	// Fills counts the misses whose singleflight leader actually ran
+	// the analysis (or its caller-supplied fill) — i.e. real engine
+	// evaluations. It excludes coalesced waits and injected fill
+	// faults, so a server answering entirely from caches and the
+	// persistent result store shows Fills = 0.
+	Fills uint64 `json:"fills"`
 }
 
 // HitRate is Hits over all lookups, 0 when nothing was looked up.
@@ -600,6 +616,7 @@ func (c *Cache) Stats() CacheStats {
 		st.Misses += sh.misses
 		st.Coalesced += sh.coalesced
 		st.Evictions += sh.evictions
+		st.Fills += sh.fills
 		sh.mu.Unlock()
 	}
 	return st

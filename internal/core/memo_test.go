@@ -173,6 +173,12 @@ func TestCacheStatsCounters(t *testing.T) {
 	if st.Misses != 3 || st.Hits != 3 || st.Evictions != 0 {
 		t.Fatalf("stats = %+v, want 3 hits / 3 misses / 0 evictions", st)
 	}
+	// Every miss here ran its own analysis, so fills track misses; a
+	// hit never fills. (Fills is the engine-evaluation counter the
+	// persistent-store warm-restart proof watches.)
+	if st.Fills != 3 {
+		t.Fatalf("fills = %d, want 3 (one per uncoalesced miss)", st.Fills)
+	}
 	if st.Entries != 3 || st.Entries != c.Len() {
 		t.Fatalf("entries = %d (Len %d), want 3", st.Entries, c.Len())
 	}

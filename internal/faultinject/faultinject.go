@@ -39,6 +39,15 @@ const (
 	// exploration engine — the seam for slowing, failing or killing
 	// parallel workers mid-space.
 	SiteDSEChunk = "dse.chunk"
+	// SiteStoreRead fires before each read attempt of a persistent
+	// result-store artifact: an armed error exercises the retry loop
+	// and, when it outlasts the budget, the degrade-to-recompute path.
+	SiteStoreRead = "store.read"
+	// SiteStoreWrite fires before each artifact write attempt (ahead of
+	// the temp file), and SiteStoreRename before the atomic rename that
+	// publishes it — the two halves of the crash-safe write protocol.
+	SiteStoreWrite  = "store.write"
+	SiteStoreRename = "store.rename"
 )
 
 // Fault describes one armed failure mode. Fields compose: a Fault may

@@ -1,10 +1,12 @@
 package skyline
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/url"
@@ -357,6 +359,36 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 	// before admission: by the time this request gets its slot the
 	// queue it waited in has, by definition, drained below the mark.)
 	degrade := req.TopK == 0 && len(req.Pareto) == 0 && s.degradeTopK > 0 && s.adm.saturated()
+
+	// Persistent-store fast path, checked before admission: a warm
+	// repeat is disk I/O, not engine work, so it neither waits for nor
+	// holds an exploration slot — exactly what keeps a restarted
+	// server responsive while its in-memory cache is still cold. A
+	// degraded request skips the store: its mutated top-K shape must
+	// not be stored under (or served from) the canonical key. Any
+	// store failure falls through to recompute.
+	var storeKey string
+	if s.store != nil && !degrade {
+		storeKey = exploreStoreKey(s.catRev, req)
+		if body, ok := s.store.Get(storeKey); ok {
+			s.metrics.storeExplore.Add(1)
+			serveStored(w, "application/x-ndjson", "hit", body)
+			return
+		}
+		// A constrained streaming request is a pure filter over its
+		// unconstrained superset: surviving lines are re-emitted with
+		// their original bytes, so the response matches an engine run.
+		if req.TopK == 0 && len(req.Pareto) == 0 && req.Constraints != (dse.Constraints{}) {
+			if body, ok := s.store.Get(supersetKey(s.catRev, req)); ok {
+				if filtered, fok := filterStored(body, req.Constraints); fok {
+					s.metrics.storeFiltered.Add(1)
+					serveStored(w, "application/x-ndjson", "filtered", filtered)
+					return
+				}
+			}
+		}
+	}
+
 	release, ok := s.admitHeavy(ctx, w, r)
 	if !ok {
 		return
@@ -400,34 +432,60 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		enc := json.NewEncoder(w)
+		// The slate is complete, so the response is encoded to memory
+		// first — which makes it spillable as a store artifact (a
+		// repeat top-K or Pareto query then answers from disk).
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
 		for _, c := range cands {
 			if err := enc.Encode(exploreLine(c, req.ObjectiveName, objCols)); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
 				return
 			}
 		}
+		if storeKey != "" && buf.Len() > 0 && ctx.Err() == nil {
+			s.store.Put(storeKey, buf.Bytes())
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+		_, _ = buf.WriteTo(w) // a write failure means the client left
 		return
 	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	rc := http.NewResponseController(w)
-	enc := json.NewEncoder(w)
+	// With a store enabled, the stream tees into a bounded spill
+	// buffer; only a complete, error-free stream becomes an artifact.
+	var dst io.Writer = w
+	var spill *spillBuffer
+	if storeKey != "" {
+		spill = &spillBuffer{}
+		dst = teeWriter{w: w, spill: spill}
+	}
+	enc := json.NewEncoder(dst)
+	complete := true
 	for cand, err := range e.Candidates(ctx) {
 		if err != nil {
+			complete = false
 			if errors.Is(err, context.Canceled) {
-				return // disconnect: the pool has already been cancelled
+				break // disconnect: the pool has already been cancelled
 			}
 			// Headers are sent; the best we can do is a terminal
 			// error line (ParseExplore has made these unlikely).
 			_ = enc.Encode(map[string]string{"error": err.Error()})
-			return
+			break
 		}
 		if err := enc.Encode(exploreLine(cand, req.ObjectiveName, objCols)); err != nil {
-			return // write failure: client went away
+			complete = false
+			break // write failure: client went away
 		}
 		// Flush each candidate so clients see results immediately;
 		// streaming beats buffering for multi-second explorations.
 		_ = rc.Flush()
+	}
+	// Spill only a clean full stream: a torn or error-bearing body
+	// must never become a servable artifact.
+	if complete && spill != nil && !spill.overflow && ctx.Err() == nil && spill.buf.Len() > 0 {
+		s.store.Put(storeKey, spill.buf.Bytes())
 	}
 }

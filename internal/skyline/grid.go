@@ -1,6 +1,7 @@
 package skyline
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math"
@@ -244,6 +245,17 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
+	// Persistent-store fast path (before admission, like /explore): a
+	// previously rendered grid is served as stored SVG bytes.
+	var storeKey string
+	if s.store != nil {
+		storeKey = gridStoreKey(s.catRev, req)
+		if body, ok := s.store.Get(storeKey); ok {
+			s.metrics.storeGrid.Add(1)
+			serveStored(w, "image/svg+xml", "hit", body)
+			return
+		}
+	}
 	release, ok := s.admitHeavy(ctx, w, r)
 	if !ok {
 		return
@@ -255,5 +267,17 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 		s.engineError(w, ctx, err)
 		return
 	}
-	renderSVG(w, hm)
+	// Render to memory (the renderSVG contract: a complete chart or a
+	// clean 500, never a hybrid), then spill the finished bytes.
+	var buf bytes.Buffer
+	if err := hm.SVG(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if storeKey != "" && ctx.Err() == nil {
+		s.store.Put(storeKey, buf.Bytes())
+	}
+	w.Header().Set("Content-Type", "image/svg+xml")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	_, _ = buf.WriteTo(w) // a write failure here means the client left
 }

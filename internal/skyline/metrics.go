@@ -99,6 +99,12 @@ type serverMetrics struct {
 	// route), so lookups after startup are read-only map hits.
 	endpoints map[string]*endpointStats
 	panics    atomic.Uint64
+	// storeExplore/storeFiltered/storeGrid count responses served from
+	// the persistent result store, by kind: exact /explore artifact,
+	// constraint-filtered superset, and /grid.svg artifact.
+	storeExplore  atomic.Uint64
+	storeFiltered atomic.Uint64
+	storeGrid     atomic.Uint64
 }
 
 func newServerMetrics() *serverMetrics {
@@ -212,6 +218,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cc(`{outcome="miss"}`, float64(st.Misses))
 	cc(`{outcome="coalesced"}`, float64(st.Coalesced))
 	counter("skyline_cache_evictions_total", "Cache entries evicted.")("", float64(st.Evictions))
+	counter("skyline_cache_fills_total", "Cache misses whose singleflight leader ran a real engine evaluation.")("", float64(st.Fills))
+
+	if s.store != nil {
+		ss := s.store.Stats()
+		gauge("skyline_store_artifacts", "Artifacts indexed in the persistent result store.", float64(ss.Artifacts))
+		gauge("skyline_store_bytes", "Bytes of indexed store artifacts.", float64(ss.Bytes))
+		gauge("skyline_store_limit_bytes", "Store byte bound (0 = unbounded).", float64(ss.LimitBytes))
+		gauge("skyline_store_degraded", "1 while the store is in its recompute-only cooldown window.", boolGauge(ss.Degraded))
+		gauge("skyline_store_recovered_artifacts", "Artifacts the startup recovery scan accepted.", float64(ss.RecoveredArtifacts))
+		gauge("skyline_store_discarded_temp", "Torn temp files the startup scan deleted.", float64(ss.DiscardedTemp))
+		sl := counter("skyline_store_lookups_total", "Store lookups, by outcome (a degraded-mode lookup is a miss).")
+		sl(`{outcome="hit"}`, float64(ss.Hits))
+		sl(`{outcome="miss"}`, float64(ss.Misses))
+		sv := counter("skyline_store_served_total", "Responses served from the store, by kind.")
+		sv(`{kind="explore"}`, float64(s.metrics.storeExplore.Load()))
+		sv(`{kind="explore_filtered"}`, float64(s.metrics.storeFiltered.Load()))
+		sv(`{kind="grid"}`, float64(s.metrics.storeGrid.Load()))
+		counter("skyline_store_spills_total", "Completed responses written as store artifacts.")("", float64(ss.Puts))
+		counter("skyline_store_quarantined_total", "Artifacts that failed verification and were moved aside.")("", float64(ss.Quarantined))
+		se := counter("skyline_store_errors_total", "Store operations abandoned after their retry budget, by op.")
+		se(`{op="read"}`, float64(ss.ReadErrors))
+		se(`{op="write"}`, float64(ss.WriteErrors))
+		counter("skyline_store_evictions_total", "Store artifacts evicted past the byte bound.")("", float64(ss.Evictions))
+		counter("skyline_store_degraded_trips_total", "Times the store tripped into the degraded state.")("", float64(ss.DegradedTrips))
+	}
 
 	// Per-endpoint series, deterministically ordered for scrape diffs.
 	patterns := make([]string, 0, len(s.metrics.endpoints))

@@ -46,20 +46,26 @@
 //	                      and seed= the Monte-Carlo base seed.
 //	/healthz         GET  liveness plus operational gauges as JSON: the
 //	                      shared analysis-cache statistics (entries,
-//	                      capacity, shards, hits/misses/evictions, hit
-//	                      rate, plus the coalesced count — misses that
-//	                      waited on another request's in-flight analysis
-//	                      of the same configuration instead of
-//	                      recomputing it) and the admission-control
-//	                      state (in-flight, limit, queue depth/bound,
-//	                      shed/degraded/panic counts, quota clients).
+//	                      capacity, shards, hits/misses/evictions/fills,
+//	                      hit rate, plus the coalesced count — misses
+//	                      that waited on another request's in-flight
+//	                      analysis of the same configuration instead of
+//	                      recomputing it), the admission-control state
+//	                      (in-flight, limit, queue depth/bound,
+//	                      shed/degraded/panic counts, quota clients),
+//	                      and — when the persistent result store is
+//	                      enabled — the store gauges (artifacts, bytes,
+//	                      hits/misses, quarantined, degraded state).
 //	/metrics         GET  the same gauges in the Prometheus text format,
 //	                      plus the series /healthz cannot carry: queue
 //	                      depth and wait-time quantiles, shed counts by
 //	                      reason (queue_full, over_quota, deadline),
-//	                      recovered-panic and degradation counters, and
+//	                      recovered-panic and degradation counters,
 //	                      per-endpoint request counts and latency
-//	                      quantiles (p50/p90/p99 over a recent window).
+//	                      quantiles (p50/p90/p99 over a recent window),
+//	                      and the store series (lookups by outcome,
+//	                      responses served from disk by kind, spills,
+//	                      quarantines, I/O errors, degraded trips).
 //
 // Numeric knobs shared with /plot.svg (tdp_w, payload_g, sensor_hz, …)
 // reject negative values and NaN with a 400. +Inf is legal for rate
@@ -119,6 +125,23 @@
 // cmd/skyline exposes these as -cache-entries, -max-inflight,
 // -queue-depth, -default-timeout, -client-rps and
 // -max-workers-per-request flags.
+//
+// # Persistence
+//
+// Options.Store attaches the crash-safe persistent result tier
+// (internal/store; cmd/skyline's -store-dir / -store-limit-bytes
+// flags). Completed /explore and /grid.svg responses are spilled to
+// disk as content-addressed artifacts keyed by the canonical request —
+// catalog fingerprint, space, constraints, objective and seed — and a
+// repeat request, including one arriving after a server restart, is
+// answered byte-identically from the artifact without re-running the
+// engine (X-Explore-Store: hit). A constraint-tightened streaming
+// /explore is answered by filtering the stored unconstrained superset
+// (X-Explore-Store: filtered). Artifacts are checksummed on every
+// read: corruption quarantines the file and the request falls through
+// to recompute; persistent store I/O failure trips a recompute-only
+// degraded state surfaced on /healthz and /metrics. The key grammar,
+// on-disk layout and atomicity contract are in docs/PERSISTENCE.md.
 //
 // The serving path's cross-cutting invariants — request contexts flow
 // into every engine call, JSON-reachable floats go through JSONFloat

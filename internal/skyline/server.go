@@ -18,6 +18,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/plot"
+	"repro/internal/store"
 	"repro/internal/units"
 )
 
@@ -42,6 +43,13 @@ type Server struct {
 	// degradeTopK caps unbounded /explore responses under saturation;
 	// 0 disables degradation.
 	degradeTopK int
+	// store is the persistent result tier (nil = off): completed
+	// /explore and /grid.svg responses spill as content-addressed
+	// artifacts and repeat requests are served from disk — across
+	// restarts — instead of the engine. catRev is the catalog
+	// fingerprint baked into every store key.
+	store  *store.Store
+	catRev string
 }
 
 // defaultDegradeTopK is the saturation cap on unbounded /explore
@@ -89,6 +97,14 @@ type Options struct {
 	// default pool size) so one client cannot monopolize the cores.
 	// 0 or anything above GOMAXPROCS means GOMAXPROCS.
 	MaxWorkersPerRequest int
+	// Store enables the persistent result tier (docs/PERSISTENCE.md):
+	// completed /explore and /grid.svg responses are written as
+	// checksummed, content-addressed artifacts, and repeat requests —
+	// including after a restart over the same directory — are served
+	// from disk without re-running the engine. A constraint-tightened
+	// streaming /explore is answered by filtering its stored
+	// unconstrained superset. Nil disables the tier.
+	Store *store.Store
 }
 
 // NewServer builds a server over the given catalog (nil = default
@@ -128,6 +144,13 @@ func NewServerWith(cat *catalog.Catalog, opt Options) *Server {
 		maxWorkers:     maxWorkers,
 		defaultTimeout: opt.DefaultTimeout,
 		degradeTopK:    degrade,
+		store:          opt.Store,
+	}
+	if s.store != nil {
+		// Computed once: the fingerprint walks the whole catalog, and
+		// every store key embeds it so a catalog swap invalidates by
+		// key instead of by wiping the store.
+		s.catRev = cat.Fingerprint()
 	}
 	s.handle("/", s.handlePage)
 	s.handle("/plot.svg", s.handlePlot)
@@ -237,6 +260,10 @@ type HealthJSON struct {
 	Panics               uint64 `json:"panics"`
 	QuotaClients         int    `json:"quota_clients"`
 	MaxWorkersPerRequest int    `json:"max_workers_per_request"`
+	// Store carries the persistent result tier's gauges (artifacts,
+	// bytes, hit/quarantine/error counters, degraded state); absent
+	// when the tier is off.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -254,6 +281,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Panics:               s.metrics.panics.Load(),
 		QuotaClients:         s.adm.quotas.clients(),
 		MaxWorkersPerRequest: s.maxWorkers,
+	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		out.Store = &ss
 	}
 	writeJSON(w, out)
 }

@@ -1,0 +1,389 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+)
+
+func mustOpen(t *testing.T, dir string, limit int64) *Store {
+	t.Helper()
+	s, err := Open(dir, limit)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	payload := []byte("line one\nline two\n")
+	if !s.Put("explore/v1\nkey-a", payload) {
+		t.Fatal("Put declined")
+	}
+	got, ok := s.Get("explore/v1\nkey-a")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want stored payload", got, ok)
+	}
+	if _, ok := s.Get("explore/v1\nkey-b"); ok {
+		t.Fatal("Get of unknown key hit")
+	}
+	st := s.Stats()
+	if st.Artifacts != 1 || st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("Stats = %+v; want 1 artifact, 1 hit, 1 miss, 1 put", st)
+	}
+	if st.Bytes <= int64(len(payload)) {
+		t.Fatalf("Stats.Bytes = %d; want payload plus header", st.Bytes)
+	}
+}
+
+func TestNilStore(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("nil store Get hit")
+	}
+	if s.Put("k", []byte("v")) {
+		t.Fatal("nil store Put accepted")
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store Stats = %+v; want zeros", st)
+	}
+}
+
+func TestPutDeclinesEmptyAndOversize(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 64)
+	if s.Put("k", nil) {
+		t.Fatal("Put accepted empty payload")
+	}
+	if s.Put("k", bytes.Repeat([]byte("x"), 1024)) {
+		t.Fatal("Put accepted a payload past the byte limit")
+	}
+	if st := s.Stats(); st.Puts != 0 || st.Artifacts != 0 {
+		t.Fatalf("Stats = %+v; want nothing stored", st)
+	}
+}
+
+// TestReopenRecovers is the warm-restart core: artifacts written by one
+// Store are served by a fresh Store over the same directory.
+func TestReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	a, b := []byte("payload a\n"), []byte("payload b\n")
+	s.Put("key-a", a)
+	s.Put("key-b", b)
+
+	s2 := mustOpen(t, dir, 0)
+	if st := s2.Stats(); st.RecoveredArtifacts != 2 || st.Artifacts != 2 {
+		t.Fatalf("after reopen Stats = %+v; want 2 recovered artifacts", st)
+	}
+	if got, ok := s2.Get("key-a"); !ok || !bytes.Equal(got, a) {
+		t.Fatalf("reopened Get(key-a) = %q, %v", got, ok)
+	}
+	if got, ok := s2.Get("key-b"); !ok || !bytes.Equal(got, b) {
+		t.Fatalf("reopened Get(key-b) = %q, %v", got, ok)
+	}
+}
+
+// TestOpenDiscardsTornTemp: a leftover in tmp/ is a write that never
+// reached its rename — the recovery scan must delete it, not index it.
+func TestOpenDiscardsTornTemp(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir, 0) // creates the layout
+	torn := filepath.Join(dir, "tmp", "put-123.tmp")
+	if err := os.WriteFile(torn, []byte("half an artifa"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, 0)
+	if st := s.Stats(); st.DiscardedTemp != 1 || st.RecoveredArtifacts != 0 {
+		t.Fatalf("Stats = %+v; want 1 discarded temp, 0 recovered", st)
+	}
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatalf("torn temp file still exists (stat err %v)", err)
+	}
+}
+
+// objectFile returns the on-disk path of key's artifact.
+func objectFile(s *Store, key string) string {
+	return s.objectPath(keyHash(key))
+}
+
+func TestBitFlipQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	payload := []byte("trusted bytes, definitely\n")
+	s.Put("key", payload)
+
+	// Flip one payload byte behind the store's back. The header still
+	// matches the file size, so only the checksum can catch it.
+	path := objectFile(s, "key")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, ok := s.Get("key"); ok {
+		t.Fatalf("Get served corrupt payload %q", got)
+	}
+	st := s.Stats()
+	if st.Quarantined != 1 || st.Artifacts != 0 {
+		t.Fatalf("Stats = %+v; want artifact quarantined and dropped", st)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt artifact still in objects/ (stat err %v)", err)
+	}
+	qs, err := os.ReadDir(filepath.Join(dir, "quarantine"))
+	if err != nil || len(qs) != 1 {
+		t.Fatalf("quarantine/ holds %d files (err %v); want the flipped artifact", len(qs), err)
+	}
+	// Once quarantined it stays a miss — never served, never retried.
+	if _, ok := s.Get("key"); ok {
+		t.Fatal("Get hit after quarantine")
+	}
+}
+
+func TestTruncationQuarantined(t *testing.T) {
+	t.Run("at read", func(t *testing.T) {
+		s := mustOpen(t, t.TempDir(), 0)
+		s.Put("key", []byte("a payload long enough to truncate meaningfully\n"))
+		path := objectFile(s, "key")
+		if err := os.Truncate(path, 40); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("key"); ok {
+			t.Fatal("Get served a truncated artifact")
+		}
+		if st := s.Stats(); st.Quarantined != 1 {
+			t.Fatalf("Stats = %+v; want truncated artifact quarantined", st)
+		}
+	})
+	t.Run("at open", func(t *testing.T) {
+		dir := t.TempDir()
+		s := mustOpen(t, dir, 0)
+		s.Put("key", []byte("a payload long enough to truncate meaningfully\n"))
+		if err := os.Truncate(objectFile(s, "key"), 40); err != nil {
+			t.Fatal(err)
+		}
+		s2 := mustOpen(t, dir, 0)
+		st := s2.Stats()
+		if st.RecoveredArtifacts != 0 || st.Quarantined != 1 {
+			t.Fatalf("reopen Stats = %+v; want scan to quarantine the truncated artifact", st)
+		}
+		if _, ok := s2.Get("key"); ok {
+			t.Fatal("reopened Get served a truncated artifact")
+		}
+	})
+}
+
+func TestOpenQuarantinesForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	mustOpen(t, dir, 0)
+	// A file whose name is not a hash must never be indexed.
+	alien := filepath.Join(dir, "objects", "aa", "README")
+	if err := os.MkdirAll(filepath.Dir(alien), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(alien, []byte("not an artifact"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, 0)
+	if st := s.Stats(); st.RecoveredArtifacts != 0 || st.Quarantined != 1 {
+		t.Fatalf("Stats = %+v; want foreign file quarantined", st)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 100)
+	// Each artifact is ~178 bytes (78-byte header + 100 payload): a
+	// 400-byte budget holds two.
+	s := mustOpen(t, t.TempDir(), 400)
+	for i := 0; i < 4; i++ {
+		if !s.Put(fmt.Sprintf("key-%d", i), payload) {
+			t.Fatalf("Put key-%d declined", i)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 2 || st.Artifacts != 2 || st.Bytes > 400 {
+		t.Fatalf("Stats = %+v; want 2 evictions, 2 artifacts within budget", st)
+	}
+	if _, ok := s.Get("key-0"); ok {
+		t.Fatal("oldest artifact survived eviction")
+	}
+	if _, ok := s.Get("key-3"); !ok {
+		t.Fatal("newest artifact was evicted")
+	}
+}
+
+func TestReopenPreservesRecencyOrder(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	payload := bytes.Repeat([]byte("y"), 100)
+	for i := 0; i < 3; i++ {
+		s.Put(fmt.Sprintf("key-%d", i), payload)
+		// Distinct mtimes so the scan's recency order is unambiguous
+		// even on a coarse filesystem clock.
+		older := time.Now().Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(objectFile(s, fmt.Sprintf("key-%d", i)), older, older); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reopen under a budget that holds two: the scan must evict key-0
+	// (oldest mtime), keeping the two most recent.
+	s2 := mustOpen(t, dir, 400)
+	if _, ok := s2.Get("key-0"); ok {
+		t.Fatal("reopen kept the oldest artifact past the budget")
+	}
+	for _, k := range []string{"key-1", "key-2"} {
+		if _, ok := s2.Get(k); !ok {
+			t.Fatalf("reopen evicted %s; want the newest two kept", k)
+		}
+	}
+}
+
+// TestReadFaultRetries: a fault that dies before the retry budget is
+// invisible; one that outlasts it is a miss plus a read error.
+func TestReadFaultRetries(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	payload := []byte("worth retrying for\n")
+	s.Put("key", payload)
+
+	disarm := faultinject.Enable(faultinject.SiteStoreRead, faultinject.Fault{Times: retryAttempts - 1})
+	got, ok := s.Get("key")
+	disarm()
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get under transient fault = %q, %v; want retried success", got, ok)
+	}
+	if st := s.Stats(); st.ReadErrors != 0 || st.Hits != 1 {
+		t.Fatalf("Stats = %+v; want a clean hit after retries", st)
+	}
+
+	disarm = faultinject.Enable(faultinject.SiteStoreRead, faultinject.Fault{Times: retryAttempts})
+	_, ok = s.Get("key")
+	disarm()
+	if ok {
+		t.Fatal("Get hit through an exhausted retry budget")
+	}
+	st := s.Stats()
+	if st.ReadErrors != 1 || st.Quarantined != 0 {
+		t.Fatalf("Stats = %+v; want 1 read error and no quarantine", st)
+	}
+	// The artifact itself is intact: the next clean Get serves it.
+	if got, ok := s.Get("key"); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after fault cleared = %q, %v", got, ok)
+	}
+}
+
+// TestDegradedTrip: degradeThreshold consecutive abandoned operations
+// trip the recompute-only state; the cooldown expiring half-opens it.
+func TestDegradedTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 0)
+	clock := time.Unix(1700000000, 0)
+	s.now = func() time.Time { return clock }
+	s.cooldown = time.Minute
+
+	defer faultinject.Enable(faultinject.SiteStoreRename, faultinject.Fault{})()
+	for i := 0; i < degradeThreshold; i++ {
+		if s.Put(fmt.Sprintf("key-%d", i), []byte("doomed\n")) {
+			t.Fatalf("Put %d succeeded under a rename fault", i)
+		}
+	}
+	st := s.Stats()
+	if !st.Degraded || st.DegradedTrips != 1 || st.WriteErrors != uint64(degradeThreshold) {
+		t.Fatalf("Stats = %+v; want degraded after %d write failures", st, degradeThreshold)
+	}
+	// Degraded: Put declines without touching the disk, Get misses.
+	if s.Put("more", []byte("x\n")) {
+		t.Fatal("degraded Put accepted")
+	}
+	if _, ok := s.Get("key-0"); ok {
+		t.Fatal("degraded Get hit")
+	}
+	if st := s.Stats(); st.WriteErrors != uint64(degradeThreshold) {
+		t.Fatalf("degraded Put still reached the disk: %+v", st)
+	}
+
+	// Cooldown expires → half-open: the next operation probes the disk
+	// again (the fault is still armed here, so it re-trips only after
+	// another full threshold of failures).
+	clock = clock.Add(2 * time.Minute)
+	if st := s.Stats(); st.Degraded {
+		t.Fatalf("Stats = %+v; want degraded state expired", st)
+	}
+	faultinject.Reset()
+	if !s.Put("recovered", []byte("back\n")) {
+		t.Fatal("Put declined after cooldown with a healthy disk")
+	}
+	if got, ok := s.Get("recovered"); !ok || !bytes.Equal(got, []byte("back\n")) {
+		t.Fatalf("Get after recovery = %q, %v", got, ok)
+	}
+}
+
+// TestRenameFaultLeavesNoTemp: a failed publish must clean up its temp
+// file so crash debris never accumulates during normal operation.
+func TestRenameFaultLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+	disarm := faultinject.Enable(faultinject.SiteStoreRename, faultinject.Fault{Times: retryAttempts})
+	s.Put("key", []byte("never published\n"))
+	disarm()
+	names, err := os.ReadDir(filepath.Join(dir, "tmp"))
+	if err != nil || len(names) != 0 {
+		t.Fatalf("tmp/ holds %d files after failed rename (err %v); want none", len(names), err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), 16<<10)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", (g+i)%16)
+				if i%2 == 0 {
+					s.Put(key, []byte(key+" payload\n"))
+				} else if got, ok := s.Get(key); ok {
+					if want := key + " payload\n"; string(got) != want {
+						t.Errorf("Get(%s) = %q; want %q", key, got, want)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Stats() // must not race with the workers' last operations
+}
+
+func TestArtifactCodec(t *testing.T) {
+	payload := []byte("some bytes\n")
+	raw := encodeArtifact(payload)
+	got, err := decodeArtifact(raw)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("decode(encode(p)) = %q, %v", got, err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"no newline":   func(b []byte) []byte { return bytes.ReplaceAll(b, []byte("\n"), []byte(" ")) },
+		"bad magic":    func(b []byte) []byte { b[0] = 'X'; return b },
+		"short digest": func(b []byte) []byte { return append([]byte("reprostore1 abcd 11\n"), payload...) },
+		"negative len": func(b []byte) []byte {
+			return append([]byte(artifactMagic+" "+string(bytes.Repeat([]byte("0"), 64))+" -1\n"), payload...)
+		},
+		"flipped digest": func(b []byte) []byte { b[len(artifactMagic)+1] ^= 1; return b },
+		"truncated":      func(b []byte) []byte { return b[:len(b)-4] },
+	} {
+		bad := mutate(append([]byte(nil), encodeArtifact(payload)...))
+		if _, err := decodeArtifact(bad); err == nil {
+			t.Errorf("%s: decodeArtifact accepted corrupt input", name)
+		}
+	}
+}
